@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Every bench regenerates one artifact of the paper (Table 1, Figures 1–4)
+or checks one performance claim (§2.4, §3.2, §7).  Benches print the
+rows/series the paper reports through the ``report`` fixture, which
+bypasses pytest's capture so the output lands in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import Viewer
+from repro.core.dashboard import build_demo_dashboard
+
+
+@pytest.fixture(scope="session")
+def world():
+    """One populated dashboard shared by read-only benches."""
+    dash, directory, result = build_demo_dashboard(seed=2025, duration_hours=6.0)
+    viewer = Viewer(username=directory.users()[0].username)
+    return dash, directory, viewer
+
+
+@pytest.fixture
+def report(capsys):
+    """Print artifact rows to the real terminal (not captured)."""
+
+    def _print(*lines):
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _print
+
+
+def fresh_world(seed=2025, hours=2.0, **kw):
+    """A private world for benches that mutate state."""
+    dash, directory, result = build_demo_dashboard(
+        seed=seed, duration_hours=hours, **kw
+    )
+    viewer = Viewer(username=directory.users()[0].username)
+    return dash, directory, viewer

@@ -1,0 +1,119 @@
+"""A1 — modularity ablation (§2.3/§2.4).
+
+"the modular design ensures that if one widget or component stops
+working, it does not break the entire dashboard."  We break each widget
+in turn (handler raises) and verify the homepage still renders every
+other widget; then we *remove* a route entirely (component migrated
+away) and verify the rest of the dashboard is untouched.
+"""
+
+from __future__ import annotations
+
+from repro.core.routes import ApiRoute
+from repro.core.pages.homepage import HOMEPAGE_WIDGETS
+
+from .conftest import fresh_world
+
+
+def break_route(dash, name):
+    route = dash.registry.get(name)
+    broken = ApiRoute(
+        name=route.name,
+        path=route.path,
+        feature=route.feature,
+        data_sources=route.data_sources,
+        handler=lambda c, v, p: (_ for _ in ()).throw(
+            RuntimeError("injected failure")
+        ),
+        client_max_age_s=route.client_max_age_s,
+    )
+    dash.registry.unregister(name)
+    dash.registry.register(broken)
+    return route
+
+
+def restore_route(dash, original):
+    dash.registry.unregister(original.name)
+    dash.registry.register(original)
+
+
+def test_ablation_break_each_widget(benchmark, report):
+    dash, directory, viewer = fresh_world(seed=8, hours=1.0)
+    lines = [
+        "",
+        "A1: failure-injection matrix — break one widget, render the page",
+        f"{'broken widget':>16s} {'page renders':>13s} {'healthy widgets':>16s} "
+        f"{'failed widgets':>15s}",
+        "-" * 66,
+    ]
+    for name in HOMEPAGE_WIDGETS:
+        original = break_route(dash, name)
+        render = dash.render_homepage(viewer)
+        healthy = [w for w in HOMEPAGE_WIDGETS if w not in render.failures]
+        lines.append(
+            f"{name:>16s} {'yes':>13s} {len(healthy):>14d}/5 "
+            f"{','.join(render.failures):>15s}"
+        )
+        # exactly the broken widget fails; all others render
+        assert set(render.failures) == {name}
+        assert len(healthy) == 4
+        assert "widget-error" in render.html
+        for other in healthy:
+            assert f'data-widget="{other}"' in render.html
+        restore_route(dash, original)
+    report(*lines)
+
+    # everything restored: clean render
+    assert dash.render_homepage(viewer).ok
+
+    original = break_route(dash, "storage")
+    benchmark(lambda: dash.render_homepage(viewer))
+    restore_route(dash, original)
+
+
+def test_ablation_remove_component_entirely(benchmark, report):
+    """Portability story (§2.4): a site adopting only a subset of
+    components simply doesn't register the rest."""
+    dash, directory, viewer = fresh_world(seed=8, hours=1.0)
+    dash.registry.unregister("accounts")
+    dash.registry.unregister("storage")
+
+    # the other widgets keep working through their own routes
+    for name in ("announcements", "recent_jobs", "system_status"):
+        assert dash.call(name, viewer).ok
+    # removed components 404 rather than crash
+    assert dash.call("accounts", viewer).status == 404
+    assert dash.call("storage", viewer).status == 404
+    # pages are unaffected
+    assert dash.call("my_jobs", viewer).ok
+    assert dash.call("cluster_status", viewer).ok
+
+    render = dash.render_homepage(viewer)
+    assert set(render.failures) == {"accounts", "storage"}
+    report(
+        "",
+        "A1b: subset deployment — accounts+storage unregistered; "
+        f"remaining widgets render: "
+        f"{sorted(set(HOMEPAGE_WIDGETS) - set(render.failures))}",
+    )
+    benchmark(lambda: dash.call("my_jobs", viewer))
+
+
+def test_ablation_broken_substrate_isolated(benchmark, report):
+    """Even a substrate outage (news site down) only takes out its own
+    widget."""
+    dash, directory, viewer = fresh_world(seed=8, hours=1.0)
+
+    def down(*a, **k):
+        raise ConnectionError("news site unreachable")
+
+    dash.ctx.news.fetch = down  # type: ignore[method-assign]
+    dash.ctx.cache.clear()
+    render = dash.render_homepage(viewer)
+    assert set(render.failures) == {"announcements"}
+    report(
+        "",
+        "A1c: news-site outage -> only the announcements widget degrades "
+        f"(failures: {list(render.failures)})",
+    )
+    benchmark(lambda: dash.render_homepage(viewer))

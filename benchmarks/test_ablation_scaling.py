@@ -1,0 +1,121 @@
+"""A3 — scalability ablation (§2.4 Performance: "speed and scalability").
+
+The paper positions the dashboard for production clusters with "many
+users using Slurm and the Open OnDemand dashboard simultaneously".  We
+sweep the two scale axes a deployment actually grows along and print
+the per-page latency:
+
+* cluster size (Cluster Status renders every node);
+* accounting history depth (My Jobs / Performance Metrics scan it).
+
+Shape expectation: warm-cache page latency stays in interactive
+territory (single-digit milliseconds) across the sweep, and cold-cache
+latency grows roughly linearly with the scanned data.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.auth import Directory, Viewer
+from repro.core.dashboard import Dashboard
+from repro.slurm.cluster import ClusterSpec, NodeGroupSpec, PartitionSpec, SlurmCluster
+
+from .conftest import fresh_world
+
+
+def build_sized_dashboard(n_nodes: int):
+    spec = ClusterSpec(
+        name="scale",
+        node_groups=[
+            NodeGroupSpec(prefix="c", count=n_nodes, cpus=64, memory_mb=256_000)
+        ],
+        partitions=[PartitionSpec(name="cpu", node_prefixes=["c"], is_default=True)],
+    )
+    cluster = SlurmCluster(spec)
+    directory = Directory()
+    directory.add_user("alice")
+    directory.add_account("lab", members=["alice"])
+    return Dashboard(cluster, directory), Viewer(username="alice")
+
+
+def timed(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1000
+
+
+def test_ablation_cluster_size_sweep(benchmark, report):
+    lines = [
+        "",
+        "A3: Cluster Status latency vs cluster size",
+        f"{'nodes':>7s} {'cold (ms)':>10s} {'warm (ms)':>10s}",
+        "-" * 30,
+    ]
+    results = []
+    for n_nodes in (32, 128, 512, 1024):
+        dash, viewer = build_sized_dashboard(n_nodes)
+
+        def cold():
+            dash.ctx.cache.clear()
+            assert dash.call("cluster_status", viewer).ok
+
+        def warm():
+            assert dash.call("cluster_status", viewer).ok
+
+        warm()  # prime
+        cold_ms, warm_ms = timed(cold), timed(warm)
+        results.append((n_nodes, cold_ms, warm_ms))
+        lines.append(f"{n_nodes:>7d} {cold_ms:>10.2f} {warm_ms:>10.2f}")
+    report(*lines)
+
+    # warm path must stay interactive even at 1024 nodes
+    assert results[-1][2] < 100, "warm page render must stay fast"
+    # cold path should scale roughly with node count, not explode
+    assert results[-1][1] < results[0][1] * 200
+
+    dash, viewer = build_sized_dashboard(512)
+
+    def cold_512():
+        dash.ctx.cache.clear()
+        dash.call("cluster_status", viewer)
+
+    benchmark(cold_512)
+
+
+def test_ablation_history_depth_sweep(benchmark, report):
+    lines = [
+        "",
+        "A3b: My Jobs latency vs accounting-history depth",
+        f"{'history':>9s} {'jobs':>6s} {'cold (ms)':>10s} {'warm (ms)':>10s}",
+        "-" * 40,
+    ]
+    deepest = None
+    for hours in (2.0, 8.0, 24.0):
+        dash, directory, viewer = fresh_world(seed=99, hours=hours)
+        n_jobs = len(dash.ctx.cluster.accounting.query())
+
+        def cold():
+            dash.ctx.cache.clear()
+            assert dash.call("my_jobs", viewer).ok
+
+        def warm():
+            assert dash.call("my_jobs", viewer).ok
+
+        warm()
+        cold_ms, warm_ms = timed(cold, repeats=3), timed(warm, repeats=3)
+        lines.append(f"{hours:>7.0f}h {n_jobs:>6d} {cold_ms:>10.2f} {warm_ms:>10.2f}")
+        deepest = (dash, viewer)
+        assert warm_ms < 100
+    report(*lines)
+
+    dash, viewer = deepest
+
+    def cold_deep():
+        dash.ctx.cache.clear()
+        dash.call("my_jobs", viewer)
+
+    benchmark(cold_deep)

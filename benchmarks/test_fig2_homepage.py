@@ -1,0 +1,95 @@
+"""F2 — regenerate Figure 2: the dashboard homepage.
+
+Renders the homepage for a real user of the populated cluster and
+prints the widget inventory (what Figure 2 shows): the five widgets,
+their row counts, and representative content.  Benchmarks cold vs warm
+full-page render.
+"""
+
+from __future__ import annotations
+
+from .conftest import fresh_world
+
+
+def test_fig2_homepage_contents(benchmark, report):
+    dash, directory, viewer = fresh_world(hours=6.0)
+    render = dash.render_homepage(viewer)
+    assert render.ok, render.failures
+
+    ann = dash.call("announcements", viewer).data
+    jobs = dash.call("recent_jobs", viewer).data
+    status = dash.call("system_status", viewer).data
+    accounts = dash.call("accounts", viewer).data
+    storage = dash.call("storage", viewer).data
+
+    lines = [
+        "",
+        f"Figure 2: homepage for user {viewer.username!r} "
+        f"({len(render.html):,} bytes of HTML)",
+        "-" * 78,
+        f"Announcements widget : {len(ann['articles'])} articles",
+    ]
+    for a in ann["articles"][:3]:
+        lines.append(f"    [{a['color']:>6s}/{a['style']:<6s}] {a['title'][:56]}")
+    lines.append(f"Recent Jobs widget   : {len(jobs['jobs'])} cards")
+    for j in jobs["jobs"][:3]:
+        lines.append(
+            f"    #{j['job_id']:<8} {j['name'][:28]:28s} {j['state_label']:12s} "
+            f"{j['timestamp_label']} {j['timestamp']}"
+        )
+    lines.append("System Status widget :")
+    for p in status["partitions"]:
+        lines.append(
+            f"    {p['name']:8s} CPUs {p['cpus_in_use']:>5d}/{p['cpus_total']:<5d} "
+            f"({p['cpu_fraction'] * 100:3.0f}%, {p['cpu_color']})"
+            + (
+                f"  GPUs {p['gpus_in_use']}/{p['gpus_total']}"
+                if p["gpu_fraction"] is not None
+                else ""
+            )
+        )
+    lines.append("Accounts widget      :")
+    for a in accounts["accounts"]:
+        lines.append(
+            f"    {a['name']:16s} CPUs {a['cpus_in_use']}"
+            + (f"/{a['cpu_limit']}" if a["cpu_limit"] else "")
+            + f" queued {a['cpus_queued']}, GPU hours {a['gpu_hours_used']:g}"
+        )
+    lines.append("Storage widget       :")
+    for d in storage["directories"]:
+        lines.append(
+            f"    {d['path']:30s} {d['used_display']:>9s}/{d['quota_display']:<9s} "
+            f"({d['bytes_color']})"
+        )
+    report(*lines)
+
+    # every widget present exactly once in the rendered page
+    for marker in (
+        "widget-announcements",
+        "widget-recent-jobs",
+        "widget-system-status",
+        "widget-accounts",
+        "widget-storage",
+    ):
+        assert render.html.count(marker) == 1
+
+    benchmark(lambda: dash.render_homepage(viewer))
+
+
+def test_fig2_homepage_cold_cache(benchmark):
+    """Cold-cache render: every widget pays its data-source cost."""
+    dash, directory, viewer = fresh_world(hours=2.0)
+
+    def cold():
+        dash.ctx.cache.clear()
+        assert dash.render_homepage(viewer).ok
+
+    benchmark(cold)
+
+
+def test_fig2_shell_renders_instantly(benchmark, world):
+    """§2.3: the shell (loading placeholders) never waits on data."""
+    dash, _, viewer = world
+    html = dash.render_homepage_shell(viewer)
+    assert html.count("component-loading") == 5
+    benchmark(lambda: dash.render_homepage_shell(viewer))

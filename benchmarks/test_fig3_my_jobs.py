@@ -1,0 +1,87 @@
+"""F3 — regenerate Figure 3: the My Jobs page.
+
+Prints the job table the figure shows (all states, QoS, wait times,
+efficiency columns toggled on, friendly reason messages, efficiency
+warnings) plus the two §4.2 chart series, for a user with group jobs.
+"""
+
+from __future__ import annotations
+
+from .conftest import fresh_world
+
+
+def test_fig3_my_jobs_table_and_charts(benchmark, report):
+    dash, directory, viewer = fresh_world(hours=6.0)
+    data = dash.call("my_jobs", viewer, {"efficiency": True}).data
+    assert data["jobs"], "populated cluster must yield jobs"
+
+    states = {j["state"] for j in data["jobs"]}
+    assert "COMPLETED" in states
+    assert len(states) >= 3, f"want variety of states, got {states}"
+
+    lines = [
+        "",
+        f"Figure 3: My Jobs for {viewer.username!r} — {data['total']} jobs "
+        f"(own + group), efficiency columns ON",
+        f"{'Job ID':>9s} {'Name':24s} {'User':8s} {'QoS':7s} {'State':11s} "
+        f"{'Wait':>10s} {'Tm-eff':>7s} {'CPU-eff':>8s} {'Mem-eff':>8s}",
+        "-" * 100,
+    ]
+    for j in data["jobs"][:14]:
+        eff = j["efficiency"]
+        lines.append(
+            f"{j['job_id']:>9s} {j['name'][:24]:24s} {j['user']:8s} "
+            f"{j['qos']:7s} {j['state']:11s} {j['wait_time']:>10s} "
+            f"{eff['time']:>7s} {eff['cpu']:>8s} {eff['memory']:>8s}"
+        )
+
+    pending = [j for j in data["jobs"] if j["state"] == "PENDING" and j["reason_friendly"]]
+    if pending:
+        lines.append("")
+        lines.append("Friendly reason messages (§4.1):")
+        for j in pending[:3]:
+            lines.append(f"  {j['reason']}: {j['reason_friendly']}")
+
+    warned = [j for j in data["jobs"] if j["warnings"]]
+    lines.append("")
+    lines.append(f"Efficiency warnings (§4.1): {len(warned)} jobs flagged")
+    for j in warned[:3]:
+        lines.append(f"  #{j['job_id']}: {j['warnings'][0]['message'][:90]}")
+
+    chart = data["charts"]["state_distribution"]
+    lines.append("")
+    lines.append("Job state distribution by user (Chart.js series, %):")
+    for ds in chart["datasets"]:
+        vals = " ".join(f"{v:5.1f}" for v in ds["data"])
+        lines.append(f"  {ds['label']:>14s} | {vals}")
+    lines.append(f"  {'users':>14s} | " + " ".join(f"{u[:5]:>5s}" for u in chart["labels"]))
+
+    gpu = data["charts"]["gpu_hours"]
+    lines.append("")
+    lines.append("GPU hour distribution by user (Chart.js series):")
+    for user, hours in zip(
+        gpu["labels"], gpu["datasets"][0]["data"] if gpu["datasets"] else []
+    ):
+        lines.append(f"  {user:>14s} | {'#' * min(60, max(1, int(hours)))} {hours:.1f} h")
+    report(*lines)
+
+    # the paper's premise: interactive jobs show low CPU efficiency
+    interactive = [
+        j for j in data["jobs"]
+        if j["details"]["interactive_app"] and j["efficiency"]["cpu"] != "n/a"
+    ]
+    if interactive:
+        worst = min(
+            int(j["efficiency"]["cpu"].rstrip("%")) for j in interactive
+        )
+        assert worst <= 25, "interactive jobs should show low CPU efficiency"
+
+    benchmark(lambda: dash.call("my_jobs", viewer, {"efficiency": True}))
+
+
+def test_fig3_filters(benchmark, world):
+    """The chart-click filter path: clicking a state segment filters."""
+    dash, _, viewer = world
+    data = dash.call("my_jobs", viewer, {"state": "COMPLETED"}).data
+    assert all(j["state"] == "COMPLETED" for j in data["jobs"])
+    benchmark(lambda: dash.call("my_jobs", viewer, {"state": "COMPLETED"}))

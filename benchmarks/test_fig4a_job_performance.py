@@ -1,0 +1,63 @@
+"""F4a — regenerate Figure 4a: the Job Performance Metrics page.
+
+Prints the aggregate metric summary for every selectable time range
+(24 h ... all time, plus a custom range), as the page's cards show.
+"""
+
+from __future__ import annotations
+
+from .conftest import fresh_world
+
+
+def test_fig4a_metrics_per_range(benchmark, report):
+    dash, directory, viewer = fresh_world(hours=6.0)
+
+    lines = [
+        "",
+        f"Figure 4a: Job Performance Metrics for {viewer.username!r}",
+        f"{'range':>7s} {'jobs':>5s} {'avg wait':>10s} {'mean dur':>10s} "
+        f"{'total wall':>11s} {'CPU-h':>8s} {'GPU-h':>7s} "
+        f"{'t-eff':>6s} {'c-eff':>6s} {'m-eff':>6s}",
+        "-" * 90,
+    ]
+    results = {}
+    for rng in ("24h", "7d", "30d", "90d", "all"):
+        m = dash.call("job_performance", viewer, {"range": rng}).data["metrics"]
+        results[rng] = m
+        lines.append(
+            f"{rng:>7s} {m['job_count']:>5d} {m['avg_queue_wait']:>10s} "
+            f"{m['mean_duration']:>10s} {m['total_wall_time']:>11s} "
+            f"{m['total_cpu_hours']:>8.1f} {m['total_gpu_hours']:>7.1f} "
+            f"{_fmt(m['mean_time_efficiency']):>6s} "
+            f"{_fmt(m['mean_cpu_efficiency']):>6s} "
+            f"{_fmt(m['mean_memory_efficiency']):>6s}"
+        )
+    # custom range: the last 2 simulated hours
+    clock = dash.clock
+    custom = dash.call(
+        "job_performance",
+        viewer,
+        {"start": clock.isoformat(clock.now() - 7200)},
+    ).data["metrics"]
+    lines.append(
+        f"{'custom':>7s} {custom['job_count']:>5d} {custom['avg_queue_wait']:>10s} "
+        f"{custom['mean_duration']:>10s} {custom['total_wall_time']:>11s} "
+        f"{custom['total_cpu_hours']:>8.1f} {custom['total_gpu_hours']:>7.1f}"
+    )
+    report(*lines)
+
+    # shape: ranges nest — wider windows can only contain more jobs
+    assert (
+        results["24h"]["job_count"]
+        <= results["7d"]["job_count"]
+        <= results["30d"]["job_count"]
+        <= results["all"]["job_count"]
+    )
+    assert results["all"]["job_count"] > 0
+    assert custom["job_count"] <= results["all"]["job_count"]
+
+    benchmark(lambda: dash.call("job_performance", viewer, {"range": "all"}))
+
+
+def _fmt(v):
+    return "n/a" if v is None else f"{v:.0f}%"

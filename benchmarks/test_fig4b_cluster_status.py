@@ -1,0 +1,126 @@
+"""F4b — regenerate Figure 4b: the Cluster Status page.
+
+Injects the full spectrum of node states (drained, maintenance, down),
+then prints the grid view's color histogram and the list view's rows,
+plus the search and sort interactions the page supports.
+"""
+
+from __future__ import annotations
+
+from repro.core.pages.cluster_status import (
+    render_cluster_status_grid,
+    render_cluster_status_list,
+)
+
+from .conftest import fresh_world
+
+
+def test_fig4b_grid_and_list(benchmark, report):
+    dash, directory, viewer = fresh_world(hours=4.0)
+    cluster = dash.ctx.cluster
+    cluster.nodes["a002"].drain("bad DIMM")
+    cluster.nodes["a005"].set_down("PSU failure")
+    cluster.nodes["g002"].set_maint()
+    dash.ctx.cache.clear()
+
+    data = dash.call("cluster_status", viewer).data
+    colors = {}
+    for n in data["nodes"]:
+        colors[n["color"]] = colors.get(n["color"], 0) + 1
+
+    lines = [
+        "",
+        f"Figure 4b: Cluster Status — {data['total']} nodes",
+        "Grid view (cell color histogram):",
+    ]
+    for color, count in sorted(colors.items()):
+        lines.append(f"  {color:12s} {'■' * count} {count}")
+    lines.append("State counts: " + ", ".join(
+        f"{s}={c}" for s, c in sorted(data["state_counts"].items())
+    ))
+    lines.append("")
+    lines.append("List view:")
+    lines.append(f"  {'Node':8s} {'State':10s} {'Partitions':12s} "
+                 f"{'CPU load':>9s} {'Mem load':>9s}")
+    for n in data["nodes"]:
+        lines.append(
+            f"  {n['name']:8s} {n['state']:10s} "
+            f"{','.join(n['partitions']):12s} "
+            f"{n['cpu_fraction'] * 100:>8.0f}% {n['memory_fraction'] * 100:>8.0f}%"
+        )
+
+    # interactions
+    search = dash.call("cluster_status", viewer, {"search": "gpu"}).data
+    lines.append("")
+    lines.append(
+        f"Search 'gpu' -> {search['shown']} nodes: "
+        + ", ".join(n["name"] for n in search["nodes"])
+    )
+    hot = dash.call(
+        "cluster_status", viewer, {"sort": "cpu_load", "desc": True}
+    ).data["nodes"][:3]
+    lines.append(
+        "Sort by CPU load desc -> "
+        + ", ".join(f"{n['name']} ({n['cpu_fraction'] * 100:.0f}%)" for n in hot)
+    )
+    report(*lines)
+
+    # the figure's palette must be present once states are injected
+    assert colors.get("yellow", 0) >= 1  # drained
+    assert colors.get("orange", 0) >= 1  # maint
+    assert colors.get("red", 0) >= 1  # down
+    assert colors.get("green", 0) + colors.get("faded-green", 0) >= 1
+
+    # both renderings
+    grid_html = render_cluster_status_grid(data).render()
+    list_html = render_cluster_status_list(data).render()
+    assert grid_html.count("node-cell") == data["shown"]
+    assert "node-search" in list_html
+
+    def page():
+        dash.ctx.cache.clear()
+        d = dash.call("cluster_status", viewer).data
+        render_cluster_status_grid(d).render()
+        render_cluster_status_list(d).render()
+
+    benchmark(page)
+
+
+def test_fig4b_scales_to_larger_cluster(benchmark, report):
+    """Grid view on a 512-node cluster (a realistic production size)."""
+    from repro.slurm.cluster import ClusterSpec, NodeGroupSpec, PartitionSpec, SlurmCluster
+    from repro.auth import Directory, Viewer
+    from repro.core.dashboard import Dashboard
+
+    spec = ClusterSpec(
+        name="big",
+        node_groups=[
+            NodeGroupSpec(prefix="c", count=448, cpus=128, memory_mb=512_000),
+            NodeGroupSpec(prefix="g", count=64, cpus=128, memory_mb=1_024_000,
+                          gpus=4, gres_model="nvidia_a100"),
+        ],
+        partitions=[
+            PartitionSpec(name="cpu", node_prefixes=["c"], is_default=True),
+            PartitionSpec(name="gpu", node_prefixes=["g"]),
+        ],
+    )
+    cluster = SlurmCluster(spec)
+    directory = Directory()
+    directory.add_user("alice")
+    directory.add_account("lab", members=["alice"])
+    dash = Dashboard(cluster, directory)
+    viewer = Viewer(username="alice")
+
+    data = dash.call("cluster_status", viewer).data
+    assert data["total"] == 512
+    report(
+        "",
+        f"Figure 4b at production scale: {data['total']} nodes, "
+        f"{sum(data['state_counts'].values())} cells rendered",
+    )
+
+    def cold_page():
+        dash.ctx.cache.clear()
+        dash.call("cluster_status", viewer)
+
+    benchmark(cold_page)

@@ -1,0 +1,73 @@
+"""F4c — regenerate Figure 4c: the Node Overview page.
+
+Prints both top cards (status, resource usage) and both tabs (node
+details, running jobs) for a busy GPU node of the populated cluster.
+"""
+
+from __future__ import annotations
+
+from repro.core.pages.node_overview import render_node_overview
+
+from .conftest import fresh_world
+
+
+def busiest_node(dash):
+    """Pick the node with the most running jobs (a GPU node if possible)."""
+    sched = dash.ctx.cluster.scheduler
+    nodes = sorted(
+        dash.ctx.cluster.nodes.values(),
+        key=lambda n: (-len(n.running_job_ids), -n.gpus),
+    )
+    return nodes[0].name
+
+
+def test_fig4c_node_overview(benchmark, report):
+    dash, directory, viewer = fresh_world(hours=6.0)
+    name = busiest_node(dash)
+    data = dash.call("node_overview", viewer, {"node": name}).data
+
+    lines = [
+        "",
+        f"Figure 4c: Node Overview for {name}",
+        "Status card:",
+        f"  State       : {data['status']['state']} "
+        f"({data['status']['state_color']})",
+        f"  Last active : {data['status']['last_active']}",
+        "Resource usage card:",
+        f"  CPUs   : {data['usage']['cpu']['used']}/{data['usage']['cpu']['total']} "
+        f"({data['usage']['cpu']['fraction'] * 100:.0f}%, "
+        f"{data['usage']['cpu']['color']}), load {data['usage']['cpu']['load']:g}",
+        f"  Memory : {data['usage']['memory']['display']} "
+        f"({data['usage']['memory']['fraction'] * 100:.0f}%, "
+        f"{data['usage']['memory']['color']})",
+    ]
+    if data["usage"]["gpu"]:
+        g = data["usage"]["gpu"]
+        lines.append(
+            f"  GPUs   : {g['used']}/{g['total']} {g['model']} "
+            f"({g['fraction'] * 100:.0f}%)"
+        )
+    lines.append("Node details tab:")
+    for d in data["details"]:
+        lines.append(f"  {d['field']:20s}: {d['value']}")
+    lines.append(f"Running jobs tab ({len(data['running_jobs'])} jobs):")
+    for j in data["running_jobs"]:
+        lines.append(
+            f"  #{j['job_id']:<7} {j['name'][:26]:26s} {j['user']:10s} "
+            f"{j['partition']:6s} {j['allocated_cpus']:>3d} CPUs "
+            f"{j['allocated_memory']:>8s} elapsed {j['elapsed']}"
+        )
+    report(*lines)
+
+    # figure contract: both cards + both tabs populated
+    assert data["status"]["state"]
+    assert data["details"], "details tab must have scontrol fields"
+    html = render_node_overview(data).render()
+    assert "Node details" in html and "Running jobs" in html
+
+    def cold():
+        dash.ctx.cache.clear()
+        d = dash.call("node_overview", viewer, {"node": name}).data
+        render_node_overview(d).render()
+
+    benchmark(cold)

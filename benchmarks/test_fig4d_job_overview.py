@@ -1,0 +1,155 @@
+"""F4d — regenerate Figure 4d: the Job Overview page.
+
+Walks the full page for three representative jobs: an Open OnDemand
+interactive session (session tab + connect controls), a long batch job
+(1000-line log tail), and an array task (job array tab), printing the
+header, timeline, overview cards and tabs as the figure shows them.
+"""
+
+from __future__ import annotations
+
+from repro.core.pages.job_overview import render_job_overview
+from repro.ood import LOG_TAIL_LINES
+from repro.slurm import JobSpec, TRES
+from repro.auth import Viewer
+
+from .conftest import fresh_world
+
+
+def test_fig4d_job_overview(benchmark, report):
+    dash, directory, viewer = fresh_world(hours=2.0)
+    user = viewer.username
+    account = directory.account_names_of(user)[0]
+    cluster = dash.ctx.cluster
+
+    # an interactive session...
+    session = dash.ctx.sessions.launch(
+        "jupyter", user=user, account=account,
+        form_values={"cpus": 4, "memory_gb": 8, "hours": 6},
+    )
+    # ...a long batch job whose log exceeds the 1000-line cap (charged to
+    # an unlimited account so a busy group limit cannot leave it queued)...
+    long_job = cluster.submit(
+        JobSpec(
+            name="md_production", user=user, account="bench-acct", partition="cpu",
+            req=TRES(cpus=16, mem_mb=32_000, nodes=1),
+            time_limit=8 * 3600, actual_runtime=5 * 3600,
+            actual_cpu_utilization=0.85,
+        )
+    )[0]
+    # ...and an array job.
+    array = cluster.submit(
+        JobSpec(
+            name="param_sweep", user=user, account="bench-acct", partition="cpu",
+            req=TRES(cpus=2, mem_mb=4000, nodes=1),
+            time_limit=3600, actual_runtime=900, array_size=4,
+        )
+    )
+    cluster.advance(2 * 3600)
+    dash.ctx.cache.clear()
+
+    lines = ["", "Figure 4d: Job Overview"]
+
+    # -- interactive job: header/timeline/cards/session --------------------
+    data = dash.call("job_overview", viewer, {"job_id": session.job_id}).data
+    h, tl = data["header"], data["timeline"]
+    lines += [
+        "-" * 78,
+        f"[interactive] Job {h['job_id']}: {h['name']} — "
+        f"{h['state_label']} ({h['state_color']})",
+        "  Timeline : " + " -> ".join(
+            f"{e['label']} {'@' + e['time'] if e['reached'] else '(pending)'}"
+            for e in tl["events"]
+        ),
+    ]
+    ov = data["overview"]
+    lines.append(
+        f"  Cards    : Info(user={ov['job_information']['user']}, "
+        f"qos={ov['job_information']['qos']}) "
+        f"Resources(cpus={ov['resources']['cpus']}, "
+        f"mem={ov['resources']['memory']}) "
+        f"Time(wall={ov['time']['wall_time']}, "
+        f"remaining={ov['time']['time_remaining']}) "
+        f"Efficiency(cpu={ov['efficiency']['cpu']})"
+    )
+    sess = data["session"]
+    lines.append(
+        f"  Session  : {sess['app_title']} id={sess['session_id']} "
+        f"state={sess['state']} connect={sess['connect_url'] is not None}"
+    )
+
+    # -- long job: the §7 log tail ------------------------------------------
+    data = dash.call("job_overview", viewer, {"job_id": long_job.job_id}).data
+    log = data["logs"]["out"]
+    lines += [
+        "-" * 78,
+        f"[batch] Job {long_job.job_id}: md_production — output tab",
+        f"  total {log['total_lines']} lines; showing "
+        f"{len(log['lines'])} from line {log['first_line_number']} "
+        f"(truncated={log['truncated']})",
+        f"  full file: {log['full_file_url']}",
+    ]
+    for i, text in enumerate(log["lines"][-3:]):
+        lines.append(
+            f"  {log['first_line_number'] + len(log['lines']) - 3 + i:>7} | {text}"
+        )
+    assert log["truncated"] and len(log["lines"]) == LOG_TAIL_LINES
+
+    # -- array task: the job array tab ---------------------------------------
+    data = dash.call("job_overview", viewer, {"job_id": array[2].job_id}).data
+    arr = data["array"]
+    lines += [
+        "-" * 78,
+        f"[array] Job {array[2].display_id}: param_sweep — job array tab "
+        f"({len(arr['tasks'])} tasks)",
+    ]
+    for t in arr["tasks"]:
+        lines.append(
+            f"  task {t['task_id']}: {t['state']:10s} nodes={t['nodes'] or '-':8s} "
+            f"elapsed {t['elapsed']}"
+        )
+    assert len(arr["tasks"]) == 4
+    report(*lines)
+
+    html = render_job_overview(data).render()
+    assert "Job array" in html
+
+    def overview_with_logs():
+        dash.ctx.cache.clear()
+        d = dash.call("job_overview", viewer, {"job_id": long_job.job_id}).data
+        render_job_overview(d).render()
+
+    benchmark(overview_with_logs)
+
+
+def test_fig4d_privacy_of_logs(benchmark, world, report):
+    """§7: logs inherit file permissions — group members see the page but
+    not the logs; outsiders get 403 for the page."""
+    dash, directory, viewer = world
+    own = dash.ctx.cluster.accounting.query(users=[viewer.username], limit=1)
+    if not own:
+        import pytest
+
+        pytest.skip("viewer has no archived jobs in this world")
+    job_id = own[0].job_id
+    outsider = None
+    accounts = set(directory.account_names_of(viewer.username))
+    for u in directory.users():
+        if u.username != viewer.username and not (
+            set(directory.account_names_of(u.username)) & accounts
+        ):
+            outsider = u.username
+            break
+    resp_owner = dash.call("job_overview", viewer, {"job_id": job_id})
+    assert resp_owner.ok and resp_owner.data["logs"]["available"]
+    if outsider:
+        resp_out = dash.call(
+            "job_overview", Viewer(username=outsider), {"job_id": job_id}
+        )
+        assert resp_out.status == 403
+        report(
+            "",
+            f"Log privacy: owner {viewer.username!r} reads logs; "
+            f"outsider {outsider!r} gets HTTP {resp_out.status}",
+        )
+    benchmark(lambda: dash.call("job_overview", viewer, {"job_id": job_id}))

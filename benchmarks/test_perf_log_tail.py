@@ -1,0 +1,104 @@
+"""P3 — the 1000-line log tail keeps Job Overview fast (§7).
+
+"the interface will only show the most recent 1000 lines in the log
+files so the file loads quickly".  We grow a job's log from hundreds to
+hundreds of thousands of lines and time (a) reading the whole file and
+(b) reading the 1000-line tail.  The paper's claim holds if tail time is
+flat in file size while full-file time grows linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.ood import LOG_TAIL_LINES, LogStore
+from repro.slurm import JobSpec, TRES
+
+from .conftest import fresh_world
+
+
+def make_long_job(dash, viewer, directory, runtime_s: float):
+    account = directory.account_names_of(viewer.username)[0]
+    job = dash.ctx.cluster.submit(
+        JobSpec(
+            name=f"long_{int(runtime_s)}",
+            user=viewer.username,
+            account=account,
+            partition="cpu",
+            req=TRES(cpus=1, mem_mb=1000, nodes=1),
+            # stay under the partition's 4-day MaxTime or the job pends
+            time_limit=min(runtime_s * 1.5, 4 * 86400.0 - 60),
+            actual_runtime=runtime_s,
+        )
+    )[0]
+    dash.ctx.cluster.advance(runtime_s + 1)
+    return job
+
+
+def test_perf_log_tail_scaling(benchmark, report):
+    dash, directory, viewer = fresh_world(seed=13, hours=0.1)
+    store = LogStore()
+    now_jobs = []
+    for runtime in (600.0, 6000.0, 60_000.0, 300_000.0):
+        job = make_long_job(dash, viewer, directory, runtime)
+        now_jobs.append((runtime, job))
+    now = dash.ctx.cluster.now()
+
+    rows = []
+    for runtime, job in now_jobs:
+        total = store.line_count(job, "out", now)
+        t0 = time.perf_counter()
+        lines, first, _ = store.tail(job, "out", now)
+        tail_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        full = store.read_lines(job, "out", now)
+        full_s = time.perf_counter() - t0
+        assert len(full) == total
+        assert len(lines) == min(total, LOG_TAIL_LINES)
+        rows.append((total, tail_s * 1000, full_s * 1000))
+
+    report(
+        "",
+        "P3: Job Overview log load — 1000-line tail vs whole file (§7)",
+        f"{'file lines':>11s} {'tail-1000 (ms)':>15s} {'full file (ms)':>15s} "
+        f"{'speedup':>8s}",
+        "-" * 56,
+        *(
+            f"{total:>11,d} {tail_ms:>15.2f} {full_ms:>15.2f} "
+            f"{full_ms / max(tail_ms, 1e-6):>7.0f}x"
+            for total, tail_ms, full_ms in rows
+        ),
+    )
+
+    # shape: tail cost is ~flat; full-file cost grows with the file
+    small_tail, big_tail = rows[1][1], rows[-1][1]
+    assert big_tail < small_tail * 10, "tail must not scale with file size"
+    assert rows[-1][2] > rows[0][2] * 20, "full read must scale with file size"
+    # at the largest size the tail is much cheaper than the full read
+    assert rows[-1][2] / rows[-1][1] > 10
+
+    biggest = now_jobs[-1][1]
+    benchmark(lambda: store.tail(biggest, "out", now))
+
+
+def test_perf_full_page_with_huge_log(benchmark, report):
+    """End-to-end: the Job Overview route stays fast for a week-long job."""
+    dash, directory, viewer = fresh_world(seed=13, hours=0.1)
+    job = make_long_job(dash, viewer, directory, 3 * 86400.0)
+    total = dash.ctx.logs.line_count(job, "out", dash.ctx.cluster.now())
+    assert total > 100_000
+
+    def load():
+        dash.ctx.cache.clear()
+        resp = dash.call("job_overview", viewer, {"job_id": job.job_id})
+        assert resp.ok
+        assert len(resp.data["logs"]["out"]["lines"]) == LOG_TAIL_LINES
+
+    result = benchmark(load)
+    report(
+        "",
+        f"P3b: Job Overview over a {total:,}-line log serves only the "
+        f"{LOG_TAIL_LINES}-line tail (see benchmark timing above).",
+    )

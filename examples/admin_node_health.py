@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Admin workflow (paper §6/§6.1): watch node health on Cluster Status.
+
+An administrator drains a suspect node, takes one down, and puts one in
+maintenance, then uses the Cluster Status grid + Node Overview pages to
+see the cluster exactly as users would — including which jobs are
+stranded on the problem node.
+
+Run:  python examples/admin_node_health.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Viewer, build_demo_dashboard
+
+
+def main() -> int:
+    dash, directory, _ = build_demo_dashboard(seed=31, duration_hours=6.0)
+    admin = Viewer(username="root", is_admin=True)
+    cluster = dash.ctx.cluster
+
+    # break some hardware
+    cluster.nodes["a003"].drain("ECC errors on DIMM A2")
+    cluster.nodes["a007"].set_down("PSU failure")
+    cluster.nodes["g002"].set_maint("GPU driver upgrade")
+    print("Injected: a003 draining (bad DIMM), a007 down (PSU), g002 maint\n")
+
+    # Cluster Status grid: color histogram
+    data = dash.call("cluster_status", admin).data
+    print("Cluster Status grid:")
+    for n in data["nodes"]:
+        print(f"  {n['name']:6s} [{n['color']:11s}] {n['state']:9s} "
+              f"CPU {n['cpu_fraction'] * 100:3.0f}%  {n['cpus']} cores")
+    print("\nState counts:", data["state_counts"])
+
+    # List view: sort by CPU load to find the hot nodes
+    hot = dash.call(
+        "cluster_status", admin, {"sort": "cpu_load", "desc": True}
+    ).data["nodes"][:3]
+    print("\nBusiest nodes:")
+    for n in hot:
+        print(f"  {n['name']}: {n['cpu_fraction'] * 100:.0f}% CPU, "
+              f"partitions {','.join(n['partitions'])}")
+
+    # search the list view the way a user would
+    drained = dash.call("cluster_status", admin, {"search": "drain"}).data
+    print(f"\nSearch 'drain' -> {drained['shown']} node(s):",
+          [n["name"] for n in drained["nodes"]])
+
+    # Node Overview for the draining node: who is stranded on it?
+    overview = dash.call("node_overview", admin, {"node": "a003"}).data
+    print(f"\nNode Overview a003: state={overview['status']['state']} "
+          f"reason={overview['status']['reason']!r}")
+    jobs = overview["running_jobs"]
+    if jobs:
+        print(f"  {len(jobs)} job(s) still running while the node drains:")
+        for j in jobs:
+            print(f"    #{j['job_id']} {j['name'][:30]} ({j['user']}), "
+                  f"elapsed {j['elapsed']}")
+    else:
+        print("  no jobs on it — safe to take offline")
+
+    # details tab: the facts users used to dig out of scontrol by hand
+    details = {d["field"]: d["value"] for d in overview["details"]}
+    print("\nNode details tab:")
+    for field in ("Total CPUs", "Real memory (MB)", "Available features",
+                  "Operating system"):
+        if field in details:
+            print(f"  {field:18s}: {details[field]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Cache tuning (paper §2.4): the staleness / daemon-load tradeoff.
+
+The paper chooses per-source TTLs — ~30 s for squeue, 30–60 min for
+announcements — to "balance quick response times with up-to-date
+information".  This example makes that tradeoff measurable: it simulates
+a population of users polling the Recent Jobs widget for an hour under
+different squeue TTLs and reports slurmctld RPC rate, daemon latency,
+and worst-case data staleness.
+
+Run:  python examples/cache_tuning.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CachePolicy, Viewer, build_demo_dashboard
+
+POLL_INTERVAL_S = 5.0  # each user refreshes this often
+USERS_POLLING = 12
+WINDOW_S = 3600.0
+#: model an already-busy slurmctld: scheduling RPCs leave little headroom
+CTLD_CAPACITY_RPS = 2.0
+
+
+def run_with_ttl(ttl: float | None) -> dict:
+    """One hour of polling with the given squeue TTL (None = no cache)."""
+    dash, directory, _ = build_demo_dashboard(
+        seed=55,
+        duration_hours=1.0,
+        cache_policy=CachePolicy(squeue=ttl if ttl else 30.0),
+        use_server_cache=ttl is not None,
+    )
+    dash.ctx.cluster.daemons.ctld.config.capacity_rps = CTLD_CAPACITY_RPS
+    viewers = [
+        Viewer(username=u.username) for u in directory.users()[:USERS_POLLING]
+    ]
+    dash.ctx.cluster.daemons.reset_counters()
+
+    t = 0.0
+    worst_staleness = 0.0
+    while t < WINDOW_S:
+        for viewer in viewers:
+            dash.call("recent_jobs", viewer)
+            entry = dash.ctx.cache.entry(f"squeue:{viewer.username}")
+            if entry is not None:
+                worst_staleness = max(worst_staleness, entry.age(dash.clock.now()))
+        dash.clock.advance(POLL_INTERVAL_S)
+        t += POLL_INTERVAL_S
+
+    ctld = dash.ctx.cluster.daemons.ctld
+    return {
+        "ttl": ttl,
+        "squeue_rpcs": ctld.rpcs_by_kind.get("squeue", 0),
+        "rpc_per_min": ctld.rpcs_by_kind.get("squeue", 0) / (WINDOW_S / 60),
+        "mean_latency_ms": ctld.mean_latency * 1000,
+        "worst_staleness_s": worst_staleness,
+    }
+
+
+def main() -> int:
+    print(f"{USERS_POLLING} users polling Recent Jobs every "
+          f"{POLL_INTERVAL_S:.0f} s for {WINDOW_S / 60:.0f} min\n")
+    print(f"{'squeue TTL':>12} {'squeue RPCs':>12} {'RPC/min':>9} "
+          f"{'ctld latency':>13} {'max staleness':>14}")
+    for ttl in (None, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0):
+        row = run_with_ttl(ttl)
+        label = "no cache" if ttl is None else f"{ttl:.0f} s"
+        print(f"{label:>12} {row['squeue_rpcs']:>12} "
+              f"{row['rpc_per_min']:>9.1f} {row['mean_latency_ms']:>10.2f} ms "
+              f"{row['worst_staleness_s']:>11.0f} s")
+    print(
+        "\nThe paper's ~30 s choice sits at the knee: ~6x fewer slurmctld"
+        "\nRPCs than uncached polling (and a daemon back at its unloaded"
+        "\nlatency) while users never see data older than half a minute."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Interactive-app workflow (paper §7 session tab): launch Jupyter,
+watch it on the dashboard, read its logs, debug a failure.
+
+Follows one user through the full Open OnDemand loop:
+
+1. submit a Jupyter session from the app form;
+2. see it appear in the Recent Jobs widget;
+3. open its Job Overview: timeline, session tab with Connect button;
+4. tail the output log (line-numbered, capped at 1000 lines);
+5. watch a failing batch job and read its traceback from the error tab.
+
+Run:  python examples/interactive_session_workflow.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import JobSpec, TRES, Viewer, build_demo_dashboard
+
+
+def main() -> int:
+    dash, directory, _ = build_demo_dashboard(seed=7, duration_hours=1.0)
+    user = directory.users()[0].username
+    account = directory.account_names_of(user)[0]
+    viewer = Viewer(username=user)
+    print(f"User {user!r} on allocation {account!r}\n")
+
+    # 1. launch Jupyter through the OOD form
+    session = dash.ctx.sessions.launch(
+        "jupyter",
+        user=user,
+        account=account,
+        form_values={"cpus": 8, "memory_gb": 16, "hours": 4, "partition": "cpu"},
+    )
+    print(f"Launched session {session.session_id} (job {session.job_id})")
+
+    # 2. wait for the session to start (it may queue behind the group's
+    #    CPU limit on a busy cluster), then look at the Recent Jobs widget
+    #    after the 30 s squeue TTL — the §2.4 freshness/load tradeoff
+    waited = 0.0
+    while (
+        dash.ctx.cluster.scheduler.job(session.job_id).state.name != "RUNNING"
+        and waited < 4 * 3600
+    ):
+        dash.ctx.cluster.advance(60)
+        waited += 60
+    dash.ctx.cluster.advance(31)
+    if waited:
+        print(f"(session queued for {waited / 60:.0f} min before starting)")
+    cards = dash.call("recent_jobs", viewer).data["jobs"]
+    mine = next(c for c in cards if c["job_id"] == str(session.job_id))
+    print(f"Recent Jobs widget: #{mine['job_id']} {mine['name']} "
+          f"-> {mine['state_label']}")
+
+    # 3. Job Overview: session tab
+    data = dash.call("job_overview", viewer, {"job_id": session.job_id}).data
+    sess = data["session"]
+    print("\nJob Overview / Session tab:")
+    print(f"  App        : {sess['app_title']}  (relaunch: {sess['relaunch_url']})")
+    print(f"  Session id : {sess['session_id']}")
+    print(f"  Working dir: {sess['working_dir']}")
+    print(f"  State      : {sess['state']}")
+    print(f"  Connect    : {sess['connect_url']}")
+
+    # 4. output log after half an hour of running
+    dash.ctx.cluster.advance(1800)
+    dash.ctx.cache.clear()  # skip the stale scontrol_job entry
+    data = dash.call("job_overview", viewer, {"job_id": session.job_id}).data
+    out = data["logs"]["out"]
+    print(f"\nOutput log ({out['total_lines']} lines total, "
+          f"showing from line {out['first_line_number']}):")
+    for i, line in enumerate(out["lines"][-5:]):
+        no = out["first_line_number"] + len(out["lines"]) - 5 + i
+        print(f"  {no:>6} | {line}")
+
+    # 5. a failing batch job and its error tab
+    fail = dash.ctx.cluster.submit(
+        JobSpec(
+            name="debug_me",
+            user=user,
+            account=account,
+            partition="cpu",
+            req=TRES(cpus=4, mem_mb=8000, nodes=1),
+            time_limit=3600,
+            actual_runtime=300,
+            exit_code=1,
+        )
+    )[0]
+    dash.ctx.cluster.advance(301)
+    data = dash.call("job_overview", viewer, {"job_id": fail.job_id}).data
+    print(f"\nJob {fail.job_id} ({data['header']['name']}) "
+          f"ended {data['header']['state_label']}; error tab:")
+    for line in data["logs"]["err"]["lines"][-5:]:
+        print(f"  | {line}")
+
+    # privacy check: another user cannot read these logs
+    other = next(
+        u.username
+        for u in directory.users()
+        if u.username != user and account not in directory.account_names_of(u.username)
+    )
+    resp = dash.call("job_overview", Viewer(username=other), {"job_id": fail.job_id})
+    print(f"\nSame page as unrelated user {other!r}: HTTP {resp.status}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Operations day: maintenance windows + real-time job monitoring.
+
+Combines two extensions the paper lists as ongoing work (§9) with the
+§3.1 announcements loop:
+
+1. the center schedules a maintenance window on half the CPU rack —
+   the announcements widget warns users immediately;
+2. a user keeps working; a JobWatcher streams their job events
+   (submitted/started/finished) the way a notification toast would;
+3. the window opens: nodes drain, new jobs queue, the Cluster Status
+   grid goes orange;
+4. the window closes: nodes return, the queue drains, the watcher
+   reports the backlog starting.
+
+Run:  python examples/operations_day.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import JobSpec, TRES, Viewer, build_demo_dashboard
+from repro.core import JobWatcher
+from repro.slurm import MaintenanceScheduler
+
+
+def show_events(tag, events):
+    for ev in events:
+        label = f"#{ev.display_id} {ev.name}".strip()
+        print(f"  [{tag}] {ev.kind:14s} {label} {('- ' + ev.detail) if ev.detail else ''}")
+
+
+def main() -> int:
+    dash, directory, _ = build_demo_dashboard(seed=3, duration_hours=1.0)
+    cluster = dash.ctx.cluster
+    user = directory.users()[0].username
+    account = directory.account_names_of(user)[0]
+    viewer = Viewer(username=user)
+    watcher = JobWatcher(dash.ctx, viewer)
+    watcher.poll()  # prime
+
+    maint = MaintenanceScheduler(cluster, dash.ctx.news)
+    rack = [n for n in cluster.nodes if n.startswith("a")][:4]
+    now = cluster.now()
+    window = maint.schedule(
+        start=now + 1800,
+        end=now + 5400,
+        node_names=rack,
+        title="Rack A firmware updates",
+    )
+    print(f"Scheduled maintenance on {', '.join(rack)} "
+          f"({dash.clock.isoformat(window.start)} — "
+          f"{dash.clock.isoformat(window.end)})\n")
+
+    # the announcements widget warns users right away (§3.1)
+    dash.ctx.cache.clear()
+    ann = dash.call("announcements", viewer).data["articles"]
+    warn = next(a for a in ann if a["title"] == "Rack A firmware updates")
+    print(f"Announcements widget: [{warn['color']}] {warn['title']} "
+          f"(upcoming={warn['upcoming']})\n")
+
+    # the user submits work; the watcher narrates
+    def submit(name, cpus, runtime):
+        return cluster.submit(JobSpec(
+            name=name, user=user, account=account, partition="cpu",
+            req=TRES(cpus=cpus, mem_mb=cpus * 2000, nodes=1),
+            time_limit=2 * 3600, actual_runtime=runtime,
+        ))[0]
+
+    submit("pre_maint_run", 8, 900)
+    cluster.advance(40)
+    show_events("t+40s", watcher.poll())
+
+    # window opens
+    cluster.advance(1800)
+    dash.ctx.cache.clear()
+    grid = dash.call("cluster_status", viewer).data
+    orange = [n["name"] for n in grid["nodes"] if n["color"] == "orange"]
+    yellow = [n["name"] for n in grid["nodes"] if n["color"] == "yellow"]
+    print(f"\nWindow open: MAINT nodes {orange}, draining {yellow}")
+    show_events("window", watcher.poll())
+
+    during = submit("during_maint", 8, 600)
+    cluster.advance(40)
+    show_events("queued?", watcher.poll())
+    print(f"  (job {during.job_id} state: {during.state.value}, "
+          f"reason: {during.reason})")
+
+    # window closes
+    cluster.advance(5400)
+    dash.ctx.cache.clear()
+    grid = dash.call("cluster_status", viewer).data
+    orange = [n["name"] for n in grid["nodes"] if n["color"] == "orange"]
+    print(f"\nWindow closed: MAINT nodes now {orange or 'none'}; "
+          f"window status = {window.status}")
+    show_events("after", watcher.poll())
+    print(f"\nWatcher saw {watcher.events_seen} events total.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

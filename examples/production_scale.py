@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Production scale: the dashboard on an Anvil-shaped 1048-node cluster.
+
+Uses the `repro.slurm.configs.anvil_like()` preset (three partitions,
+A100 GPU pool, standby QoS with requeue preemption) under a heavier
+synthetic population, then walks the pages an operator cares about at
+that scale — with timings, since §2.4's design goal is "speed and
+scalability".
+
+Run:  python examples/production_scale.py [--scale 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.auth import Viewer
+from repro.core.dashboard import Dashboard
+from repro.slurm import SlurmCluster
+from repro.slurm.configs import anvil_like
+from repro.slurm.workload import WorkloadConfig, WorkloadGenerator
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="fraction of the full 1048-node Anvil shape")
+    parser.add_argument("--hours", type=float, default=4.0)
+    args = parser.parse_args()
+
+    t0 = time.perf_counter()
+    cluster = SlurmCluster(anvil_like(scale=args.scale))
+    print(f"Cluster: {cluster.name}, {len(cluster.nodes)} nodes, "
+          f"{cluster.total_capacity().cpus:,} cores, "
+          f"{cluster.total_capacity().gpus} GPUs")
+
+    cfg = WorkloadConfig(
+        seed=11,
+        n_users=24,
+        n_accounts=8,
+        mean_interarrival_s=20.0,  # a busy production feed
+        grp_cpu_limit=int(4096 * max(args.scale, 0.05)),
+        grp_gpu_limit=16,
+    )
+    gen = WorkloadGenerator(cfg)
+    directory = gen.build_directory()
+    for assoc in gen.associations(directory):
+        cluster.scheduler.associations.setdefault(assoc.account, assoc)
+    dash = Dashboard(cluster, directory)
+    result = gen.run(cluster, directory, args.hours * 3600.0)
+    print(f"Workload: {result.submitted} jobs over {args.hours:g} simulated "
+          f"hours (built in {time.perf_counter() - t0:.1f} s wall)")
+
+    viewer = Viewer(username=directory.users()[0].username)
+    admin = Viewer(username="root", is_admin=True)
+
+    def timed_call(label, name, params=None, who=viewer):
+        t = time.perf_counter()
+        resp = dash.call(name, who, params)
+        ms = (time.perf_counter() - t) * 1000
+        assert resp.ok, resp.error
+        return resp.data, ms
+
+    status, ms = timed_call("system_status", "system_status")
+    print(f"\nSystem Status ({ms:.1f} ms):")
+    for p in status["partitions"]:
+        print(f"  {p['name']:10s} CPUs {p['cpus_in_use']:>7,}/{p['cpus_total']:<7,} "
+              f"({p['cpu_fraction'] * 100:3.0f}%, {p['cpu_color']})")
+
+    grid, ms = timed_call("cluster_status", "cluster_status")
+    colors = {}
+    for n in grid["nodes"]:
+        colors[n["color"]] = colors.get(n["color"], 0) + 1
+    print(f"\nCluster Status grid over {grid['total']} nodes ({ms:.1f} ms): "
+          + ", ".join(f"{c}={n}" for c, n in sorted(colors.items())))
+
+    jobs, ms = timed_call("my_jobs", "my_jobs")
+    print(f"My Jobs: {jobs['total']} rows ({ms:.1f} ms)")
+
+    # warm-cache revisit: the path users actually hit
+    _, warm_ms = timed_call("cluster_status", "cluster_status")
+    print(f"Cluster Status again, warm server cache: {warm_ms:.2f} ms")
+
+    ov, ms = timed_call("admin_overview", "admin_overview", who=admin)
+    print(f"\nAdmin Overview ({ms:.1f} ms):")
+    print(f"  live jobs: {ov['queue']['total_live']} "
+          f"{ov['queue']['by_state']}")
+    if ov["utilization_24h"]:
+        print(f"  utilization (24h): {ov['utilization_24h']['allocated_pct']}")
+    print(f"  top user: {ov['top_users_24h'][0] if ov['top_users_24h'] else 'n/a'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up the dashboard over a simulated cluster.
+
+Builds a populated cluster (24 h of synthetic traffic), wires the
+dashboard, and walks the public API the way the homepage does: fetch
+every widget's route, render the full page to HTML, and serve it over
+HTTP for a real browser.
+
+Run:  python examples/quickstart.py [--serve]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro import Viewer, build_demo_dashboard
+from repro.web import DashboardServer
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", action="store_true",
+                        help="start the HTTP server and wait for Ctrl-C")
+    parser.add_argument("--hours", type=float, default=24.0,
+                        help="hours of simulated cluster history")
+    parser.add_argument("--seed", type=int, default=2025)
+    args = parser.parse_args()
+
+    print(f"Building a cluster with {args.hours:g} h of history (seed {args.seed})…")
+    dash, directory, result = build_demo_dashboard(
+        seed=args.seed, duration_hours=args.hours
+    )
+    print(f"  {result.submitted} jobs submitted by {len(result.users)} users "
+          f"across {len(result.accounts)} allocations")
+
+    viewer = Viewer(username=directory.users()[0].username)
+    print(f"\nOpening the dashboard as {viewer.username!r}…\n")
+
+    # -- the five homepage widgets, through their API routes ---------------
+    for widget in ("announcements", "recent_jobs", "system_status",
+                   "accounts", "storage"):
+        resp = dash.call(widget, viewer)
+        assert resp.ok, resp.error
+        data = resp.data
+        if widget == "announcements":
+            print(f"Announcements ({len(data['articles'])}):")
+            for a in data["articles"][:3]:
+                print(f"  [{a['color']:6s}] {a['title']}")
+        elif widget == "recent_jobs":
+            print(f"\nRecent jobs ({len(data['jobs'])}):")
+            for j in data["jobs"][:5]:
+                print(f"  #{j['job_id']:<8} {j['name'][:30]:30s} "
+                      f"{j['state_label']:12s} {j['timestamp_label']} {j['timestamp']}")
+        elif widget == "system_status":
+            print("\nSystem status:")
+            for p in data["partitions"]:
+                print(f"  {p['name']:8s} CPUs {p['cpus_in_use']}/{p['cpus_total']} "
+                      f"({p['cpu_fraction'] * 100:.0f}%, {p['cpu_color']})")
+        elif widget == "accounts":
+            print("\nAccounts:")
+            for a in data["accounts"]:
+                limit = f"/{a['cpu_limit']}" if a["cpu_limit"] else ""
+                print(f"  {a['name']:16s} CPUs {a['cpus_in_use']}{limit} "
+                      f"(queued {a['cpus_queued']}), "
+                      f"GPU hours {a['gpu_hours_used']:g}")
+        elif widget == "storage":
+            print("\nStorage:")
+            for d in data["directories"]:
+                print(f"  {d['path']:28s} {d['used_display']:>9s} of "
+                      f"{d['quota_display']:>9s} ({d['bytes_color']})")
+
+    # -- render the homepage to a file (full document, browser-ready) --------
+    html = dash.render_homepage(viewer).document
+    out = pathlib.Path(__file__).parent / "homepage.html"
+    out.write_text(html)
+    print(f"\nFull homepage rendered to {out} ({len(html):,} bytes)")
+
+    # -- cache effectiveness -------------------------------------------------
+    stats = dash.ctx.cache.stats
+    print(f"Server cache: {stats.hits} hits / {stats.misses} misses "
+          f"(hit rate {stats.hit_rate * 100:.0f}%)")
+
+    if args.serve:
+        with DashboardServer(dash) as server:
+            print(f"\nServing at {server.url}/ "
+                  f"(send header X-Remote-User: {viewer.username})")
+            print("Ctrl-C to stop.")
+            try:
+                import time
+
+                while True:
+                    time.sleep(1)
+            except KeyboardInterrupt:
+                pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

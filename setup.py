@@ -1,0 +1,6 @@
+"""Thin shim so `pip install -e .` works in offline environments that lack
+the `wheel` package (legacy editable install path). All metadata lives in
+pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — reproduction of "A Modular, Responsive, and Accessible HPC
+Dashboard Built upon Open OnDemand" (Tan & Jin, SC Workshops '25).
+
+Public API quick reference
+--------------------------
+
+>>> from repro import build_demo_dashboard, Viewer
+>>> dash, directory, _ = build_demo_dashboard(duration_hours=2.0)
+>>> viewer = Viewer(username=directory.users()[0].username)
+>>> resp = dash.call("recent_jobs", viewer)
+>>> resp.ok
+True
+
+Packages:
+
+* :mod:`repro.core` — the dashboard (widgets, pages, caching, routes);
+* :mod:`repro.slurm` — the Slurm simulator substrate;
+* :mod:`repro.ood` — Open OnDemand apps/sessions/files substrate;
+* :mod:`repro.storage`, :mod:`repro.news` — quota DB and news API;
+* :mod:`repro.auth` — users, allocations, privacy policy;
+* :mod:`repro.web` — JSON API server + browser-style client;
+* :mod:`repro.sim` — deterministic clock/event/RNG kernel.
+"""
+
+from .auth import Directory, PermissionDenied, PermissionPolicy, Viewer
+from .core import (
+    CachePolicy,
+    ClientCache,
+    Dashboard,
+    DashboardContext,
+    RouteRegistry,
+    TTLCache,
+    build_demo_dashboard,
+)
+from .slurm import JobSpec, JobState, SlurmCluster, TRES, small_test_cluster
+from .slurm.workload import WorkloadConfig, populated_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Directory",
+    "PermissionDenied",
+    "PermissionPolicy",
+    "Viewer",
+    "CachePolicy",
+    "ClientCache",
+    "Dashboard",
+    "DashboardContext",
+    "RouteRegistry",
+    "TTLCache",
+    "build_demo_dashboard",
+    "JobSpec",
+    "JobState",
+    "SlurmCluster",
+    "TRES",
+    "small_test_cluster",
+    "WorkloadConfig",
+    "populated_cluster",
+    "__version__",
+]

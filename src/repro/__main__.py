@@ -1,0 +1,62 @@
+"""``python -m repro`` — stand up a demo dashboard server.
+
+Builds a populated simulated cluster, wires the full dashboard, and
+serves it over HTTP.  Authentication is header-based, as behind Open
+OnDemand's proxy:
+
+    curl -H 'X-Remote-User: alice' http://127.0.0.1:8080/api/v1/my_jobs
+    curl -H 'X-Remote-User: alice' http://127.0.0.1:8080/        # HTML
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import Viewer, build_demo_dashboard
+from repro.web import DashboardServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument(
+        "--hours", type=float, default=12.0,
+        help="hours of simulated cluster history to generate",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="start, print status, and exit (for smoke tests)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"Building demo cluster (seed={args.seed}, {args.hours:g} h history)…")
+    dash, directory, result = build_demo_dashboard(
+        seed=args.seed, duration_hours=args.hours
+    )
+    users = [u.username for u in directory.users()]
+    print(f"  {result.submitted} jobs, users: {', '.join(users[:6])}…")
+
+    server = DashboardServer(dash, host=args.host, port=args.port).start()
+    print(f"Serving at {server.url}/")
+    print(f"Try: curl -H 'X-Remote-User: {users[0]}' {server.url}/api/v1/my_jobs")
+    if args.once:
+        # prove it answers, then shut down
+        render = dash.render_homepage(Viewer(username=users[0]))
+        print(f"homepage ok={render.ok} ({len(render.html):,} bytes)")
+        server.stop()
+        return 0
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Identity substrate: users, accounts/allocations, and privacy policy."""
+
+from .permissions import PermissionDenied, PermissionPolicy, Viewer, assert_all_visible
+from .users import Account, Directory, User
+
+__all__ = [
+    "Account",
+    "Directory",
+    "User",
+    "PermissionDenied",
+    "PermissionPolicy",
+    "Viewer",
+    "assert_all_visible",
+]

@@ -1,0 +1,129 @@
+"""Privacy / permission filters (paper §2.4, "Privacy").
+
+The dashboard is "personal to the user": every route filters what it
+returns down to the requesting user's own scope.
+
+* Homepage: only the user's allocations and disks.
+* My Jobs: only jobs the user submitted, or jobs charged to an
+  account/group the user is a member of.
+* Job Overview logs: only readable by the submitting user (file
+  permissions are inherited from the filesystem).
+* Account usage export: account managers only (§3.4 use case).
+
+These checks are centralized here so every page applies identical rules
+and tests can exercise them in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Sequence
+
+from .users import Directory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.slurm.model import Job
+
+
+class PermissionDenied(Exception):
+    """Raised when a user requests data outside their privacy scope."""
+
+
+@dataclass(frozen=True)
+class Viewer:
+    """The authenticated identity making a dashboard request."""
+
+    username: str
+    is_admin: bool = False
+
+
+class PermissionPolicy:
+    """Centralized implementation of the paper's privacy rules."""
+
+    def __init__(self, directory: Directory):
+        self.directory = directory
+
+    # -- job visibility ----------------------------------------------------
+
+    def can_see_job(self, viewer: Viewer, job: "Job") -> bool:
+        """My Jobs rule: own jobs, or jobs under a shared account."""
+        if viewer.is_admin:
+            return True
+        if job.user == viewer.username:
+            return True
+        return job.account in self.directory.account_names_of(viewer.username)
+
+    def filter_jobs(self, viewer: Viewer, jobs: Iterable["Job"]) -> List["Job"]:
+        """Subset of ``jobs`` visible to the viewer (My Jobs scope)."""
+        return [j for j in jobs if self.can_see_job(viewer, j)]
+
+    # -- log visibility ------------------------------------------------------
+
+    def can_read_job_logs(self, viewer: Viewer, job: "Job") -> bool:
+        """Logs inherit file permissions: only the submitting user (§7)."""
+        if viewer.is_admin:
+            return True
+        return job.user == viewer.username
+
+    def require_log_access(self, viewer: Viewer, job: "Job") -> None:
+        """Raise :class:`PermissionDenied` unless the viewer may read the job's logs."""
+        if not self.can_read_job_logs(viewer, job):
+            raise PermissionDenied(
+                f"user {viewer.username!r} may not read logs of job "
+                f"{job.job_id} owned by {job.user!r}"
+            )
+
+    # -- account scoping -----------------------------------------------------
+
+    def visible_accounts(self, viewer: Viewer) -> List[str]:
+        """Accounts widget rule: only the user's own allocations."""
+        if viewer.is_admin:
+            return [a.name for a in self.directory.accounts()]
+        return self.directory.account_names_of(viewer.username)
+
+    def require_account_member(self, viewer: Viewer, account: str) -> None:
+        """Raise :class:`PermissionDenied` unless the viewer belongs to ``account``."""
+        if viewer.is_admin:
+            return
+        if account not in self.directory.account_names_of(viewer.username):
+            raise PermissionDenied(
+                f"user {viewer.username!r} is not a member of account {account!r}"
+            )
+
+    def can_export_account_usage(self, viewer: Viewer, account: str) -> bool:
+        """Per-user usage export (§3.4) is for managers and admins.
+
+        Regular members may still *view* aggregate usage.
+        """
+        if viewer.is_admin:
+            return True
+        acct = self.directory.account(account)
+        return acct.is_manager(viewer.username)
+
+    def require_export_access(self, viewer: Viewer, account: str) -> None:
+        """Raise :class:`PermissionDenied` unless the viewer may export ``account``."""
+        if not self.can_export_account_usage(viewer, account):
+            raise PermissionDenied(
+                f"user {viewer.username!r} may not export usage for {account!r}"
+            )
+
+    # -- storage scoping -------------------------------------------------------
+
+    def visible_storage_owners(self, viewer: Viewer) -> List[str]:
+        """Keys whose storage directories the user may see: their own
+        username plus their accounts (group directories)."""
+        owners = [viewer.username]
+        owners.extend(self.directory.account_names_of(viewer.username))
+        return owners
+
+
+def assert_all_visible(
+    policy: PermissionPolicy, viewer: Viewer, jobs: Sequence["Job"]
+) -> None:
+    """Test/benchmark helper: verify a response leaked nothing."""
+    for job in jobs:
+        if not policy.can_see_job(viewer, job):
+            raise PermissionDenied(
+                f"leak: job {job.job_id} (user={job.user}, account={job.account}) "
+                f"is visible to {viewer.username}"
+            )

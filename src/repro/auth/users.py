@@ -1,0 +1,178 @@
+"""Users, Unix groups, and Slurm accounts (allocations).
+
+The paper's privacy rules (§2.4) are phrased in terms of three identities:
+
+* the *user* (who is logged into Open OnDemand),
+* the *allocation/account* a job was charged to (a Slurm account — the
+  paper calls these "allocations" or "groups" interchangeably), and
+* the Unix *group* owning shared storage directories.
+
+We model a directory of users and accounts.  An account has members and
+optionally managers (PIs / group managers who may export per-user usage,
+per §3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class User:
+    """A cluster user.
+
+    Attributes
+    ----------
+    username:
+        Unix login name; unique key.
+    full_name:
+        Display name shown by the dashboard shell.
+    uid:
+        Numeric uid; used for file-permission checks on job logs.
+    """
+
+    username: str
+    full_name: str = ""
+    uid: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.username:
+            raise ValueError("username must be non-empty")
+
+
+@dataclass
+class Account:
+    """A Slurm account / allocation ("group" in the paper's UI copy).
+
+    Attributes
+    ----------
+    name:
+        Account name, e.g. ``physics-lab``.
+    members:
+        Usernames allowed to charge jobs to this account.
+    managers:
+        Subset of members allowed to export per-user usage breakdowns.
+    description:
+        Free-text shown in the Accounts widget.
+    """
+
+    name: str
+    members: List[str] = field(default_factory=list)
+    managers: List[str] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("account name must be non-empty")
+        for m in self.managers:
+            if m not in self.members:
+                raise ValueError(f"manager {m!r} is not a member of {self.name!r}")
+
+    def is_member(self, username: str) -> bool:
+        """True if ``username`` belongs to this account."""
+        return username in self.members
+
+    def is_manager(self, username: str) -> bool:
+        """True if ``username`` manages this account."""
+        return username in self.managers
+
+
+class Directory:
+    """In-memory directory of users and accounts.
+
+    This replaces LDAP + the Slurm association database for identity
+    purposes.  It is the single source of truth that both the scheduler
+    (for association limits) and the dashboard (for privacy filtering)
+    consult.
+    """
+
+    def __init__(self) -> None:
+        self._users: Dict[str, User] = {}
+        self._accounts: Dict[str, Account] = {}
+        self._next_uid = 10001
+
+    # -- users -----------------------------------------------------------
+
+    def add_user(self, username: str, full_name: str = "", uid: Optional[int] = None) -> User:
+        """Register a new user, auto-assigning a uid when omitted."""
+        if username in self._users:
+            raise ValueError(f"duplicate user {username!r}")
+        if uid is None:
+            uid = self._next_uid
+            self._next_uid += 1
+        user = User(username=username, full_name=full_name or username, uid=uid)
+        self._users[username] = user
+        return user
+
+    def user(self, username: str) -> User:
+        """Look up a user by login (KeyError if unknown)."""
+        try:
+            return self._users[username]
+        except KeyError:
+            raise KeyError(f"unknown user {username!r}") from None
+
+    def has_user(self, username: str) -> bool:
+        """True if a user with this login exists."""
+        return username in self._users
+
+    def users(self) -> List[User]:
+        """All users in the directory."""
+        return list(self._users.values())
+
+    # -- accounts ---------------------------------------------------------
+
+    def add_account(
+        self,
+        name: str,
+        members: Iterable[str] = (),
+        managers: Iterable[str] = (),
+        description: str = "",
+    ) -> Account:
+        """Register a new account; members must already exist."""
+        if name in self._accounts:
+            raise ValueError(f"duplicate account {name!r}")
+        members = list(members)
+        for m in members:
+            if m not in self._users:
+                raise KeyError(f"account {name!r} references unknown user {m!r}")
+        acct = Account(
+            name=name,
+            members=members,
+            managers=list(managers),
+            description=description,
+        )
+        self._accounts[name] = acct
+        return acct
+
+    def account(self, name: str) -> Account:
+        """Look up an account by name (KeyError if unknown)."""
+        try:
+            return self._accounts[name]
+        except KeyError:
+            raise KeyError(f"unknown account {name!r}") from None
+
+    def has_account(self, name: str) -> bool:
+        """True if an account with this name exists."""
+        return name in self._accounts
+
+    def accounts(self) -> List[Account]:
+        """All accounts in the directory."""
+        return list(self._accounts.values())
+
+    def accounts_of(self, username: str) -> List[Account]:
+        """All accounts the user belongs to (Accounts widget scope)."""
+        return [a for a in self._accounts.values() if a.is_member(username)]
+
+    def account_names_of(self, username: str) -> List[str]:
+        """Names of the accounts ``username`` belongs to."""
+        return [a.name for a in self.accounts_of(username)]
+
+    def colleagues_of(self, username: str) -> List[str]:
+        """Everyone sharing at least one account with ``username`` —
+        the visibility set for the My Jobs group view (§2.4)."""
+        seen: dict[str, None] = {}
+        for acct in self.accounts_of(username):
+            for member in acct.members:
+                seen.setdefault(member, None)
+        return list(seen)

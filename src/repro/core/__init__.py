@@ -1,0 +1,73 @@
+"""The paper's contribution: the modular HPC dashboard itself."""
+
+from .caching import CachePolicy, CacheStats, TTLCache
+from .charts import (
+    StackedBar,
+    StackedBarChart,
+    StackedBarSegment,
+    gpu_hour_distribution,
+    job_state_distribution,
+)
+from .clientcache import ClientCache, FetchOutcome, IndexedDBStore
+from .colors import (
+    announcement_color,
+    announcement_style,
+    job_state_color,
+    job_state_label,
+    node_state_color,
+    utilization_color,
+)
+from .dashboard import Dashboard, build_demo_dashboard
+from .efficiency import (
+    EfficiencyWarning,
+    JobEfficiency,
+    compute_efficiency,
+    efficiency_warnings,
+    mean_efficiency,
+)
+from .export import export_csv, export_excel_xml
+from .monitor import JobEvent, JobWatcher
+from .records import JobRecord, NodeRecord
+from .routes import (
+    ApiRoute,
+    DashboardContext,
+    RouteRegistry,
+    RouteResponse,
+)
+
+__all__ = [
+    "CachePolicy",
+    "CacheStats",
+    "TTLCache",
+    "StackedBar",
+    "StackedBarChart",
+    "StackedBarSegment",
+    "gpu_hour_distribution",
+    "job_state_distribution",
+    "ClientCache",
+    "FetchOutcome",
+    "IndexedDBStore",
+    "announcement_color",
+    "announcement_style",
+    "job_state_color",
+    "job_state_label",
+    "node_state_color",
+    "utilization_color",
+    "Dashboard",
+    "build_demo_dashboard",
+    "EfficiencyWarning",
+    "JobEfficiency",
+    "compute_efficiency",
+    "efficiency_warnings",
+    "mean_efficiency",
+    "export_csv",
+    "export_excel_xml",
+    "JobEvent",
+    "JobWatcher",
+    "JobRecord",
+    "NodeRecord",
+    "ApiRoute",
+    "DashboardContext",
+    "RouteRegistry",
+    "RouteResponse",
+]

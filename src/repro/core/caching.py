@@ -1,0 +1,171 @@
+"""Server-side TTL cache — the Rails in-memory cache of the paper (§2.4).
+
+The backend "uses Ruby on Rails in-memory caching to store the responses
+to all Slurm commands and external API calls, refreshing their values
+periodically".  :class:`TTLCache` reproduces `Rails.cache.fetch`: look
+the key up; on a miss (or expiry) run the supplied block, store the
+result with the per-source TTL, and return it.
+
+:class:`CachePolicy` centralizes the per-data-source expiration times the
+paper motivates: ~30 s for ``squeue`` (changes fast, protects slurmctld)
+up to 30–60 min for announcements (changes slowly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.clock import SimClock
+
+
+@dataclass
+class CacheEntry:
+    value: Any
+    stored_at: float
+    ttl: float
+
+    def expires_at(self) -> float:
+        """Absolute simulated time at which the entry expires."""
+        return self.stored_at + self.ttl
+
+    def is_fresh(self, now: float) -> bool:
+        """True while ``now`` is before the entry's expiry."""
+        return now < self.expires_at()
+
+    def age(self, now: float) -> float:
+        """Seconds since the entry was stored."""
+        return now - self.stored_at
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class TTLCache:
+    """Clock-driven TTL cache with fetch-with-block semantics."""
+
+    def __init__(self, clock: SimClock, default_ttl: float = 60.0, max_entries: int = 10_000):
+        if default_ttl <= 0:
+            raise ValueError("default_ttl must be positive")
+        self.clock = clock
+        self.default_ttl = default_ttl
+        self.max_entries = max_entries
+        self._entries: Dict[str, CacheEntry] = {}
+        self.stats = CacheStats()
+
+    # -- Rails.cache.fetch ---------------------------------------------------
+
+    def fetch(self, key: str, compute: Callable[[], Any], ttl: Optional[float] = None) -> Any:
+        """Return the cached value for ``key``; on miss/expiry call
+        ``compute``, store its result with ``ttl``, and return it."""
+        now = self.clock.now()
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry.is_fresh(now):
+                self.stats.hits += 1
+                return entry.value
+            self.stats.expirations += 1
+        self.stats.misses += 1
+        value = compute()
+        self.write(key, value, ttl)
+        return value
+
+    # -- direct access -----------------------------------------------------
+
+    def read(self, key: str) -> Any:
+        """Fresh value or None (does not count toward hit/miss stats)."""
+        entry = self._entries.get(key)
+        if entry is not None and entry.is_fresh(self.clock.now()):
+            return entry.value
+        return None
+
+    def write(self, key: str, value: Any, ttl: Optional[float] = None) -> None:
+        """Store ``value`` under ``key`` with the given (or default) TTL."""
+        ttl = self.default_ttl if ttl is None else ttl
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive: {ttl}")
+        if len(self._entries) >= self.max_entries and key not in self._entries:
+            self._evict_one()
+        self._entries[key] = CacheEntry(
+            value=value, stored_at=self.clock.now(), ttl=ttl
+        )
+
+    def delete(self, key: str) -> bool:
+        """Remove one key; returns True if it existed."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    def entry(self, key: str) -> Optional[CacheEntry]:
+        """The raw entry (fresh or stale), for staleness instrumentation."""
+        return self._entries.get(key)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _evict_one(self) -> None:
+        """Evict the entry closest to expiry (cheap stand-in for LRU)."""
+        victim = min(self._entries.items(), key=lambda kv: kv[1].expires_at())
+        del self._entries[victim[0]]
+
+    def purge_expired(self) -> int:
+        """Drop expired entries; returns how many were removed."""
+        now = self.clock.now()
+        stale = [k for k, e in self._entries.items() if not e.is_fresh(now)]
+        for k in stale:
+            del self._entries[k]
+        return len(stale)
+
+
+@dataclass(frozen=True)
+class CachePolicy:
+    """Per-data-source TTLs (seconds), as chosen in the paper §2.4/§3.
+
+    "cluster announcements ... cache the articles ... for 30 minutes to an
+    hour"; "the recent jobs widget queries squeue ... we set the cache
+    expiration time to around 30 seconds."
+    """
+
+    squeue: float = 30.0
+    sinfo: float = 60.0
+    sacct: float = 120.0
+    scontrol_node: float = 60.0
+    scontrol_job: float = 15.0
+    scontrol_assoc: float = 300.0
+    news: float = 1800.0
+    storage: float = 3600.0
+    default: float = 60.0
+
+    def ttl_for(self, source: str) -> float:
+        """TTL (seconds) for a named data source; unknown sources get the default."""
+        return float(getattr(self, source, self.default))
+
+    def as_dict(self) -> Dict[str, float]:
+        """All per-source TTLs as a plain dict (for reporting)."""
+        return {
+            name: float(getattr(self, name))
+            for name in (
+                "squeue",
+                "sinfo",
+                "sacct",
+                "scontrol_node",
+                "scontrol_job",
+                "scontrol_assoc",
+                "news",
+                "storage",
+            )
+        }

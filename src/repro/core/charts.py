@@ -1,0 +1,128 @@
+"""Chart series builders for the My Jobs visualizations (paper §4.2).
+
+Two charts, both grouped by user (the Chart.js stacked bar charts of the
+paper):
+
+* **job state distribution** — per user, the percentage of jobs in each
+  state; clicking a segment filters the table by that state, so each
+  segment carries its filter key;
+* **GPU hour distribution** — per user, GPU hours consumed by the jobs in
+  the list, for allocation managers tracking group GPU usage.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.slurm.model import Job, JobState
+
+from .colors import job_state_color
+
+
+@dataclass
+class StackedBarSegment:
+    label: str
+    value: float
+    color: str
+    filter_key: str
+
+
+@dataclass
+class StackedBar:
+    category: str  # the user
+    segments: List[StackedBarSegment] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return sum(s.value for s in self.segments)
+
+
+@dataclass
+class StackedBarChart:
+    title: str
+    unit: str
+    bars: List[StackedBar] = field(default_factory=list)
+
+    def bar_for(self, category: str) -> StackedBar:
+        """The bar for one category (KeyError if absent)."""
+        for bar in self.bars:
+            if bar.category == category:
+                return bar
+        raise KeyError(f"no bar for {category!r}")
+
+    def to_chartjs(self) -> dict:
+        """Chart.js ``data`` object (labels + one dataset per segment
+        label), matching what the real frontend feeds the library."""
+        labels = [b.category for b in self.bars]
+        series: Dict[str, List[float]] = {}
+        colors: Dict[str, str] = {}
+        for bar in self.bars:
+            for seg in bar.segments:
+                series.setdefault(seg.label, [0.0] * len(labels))
+                colors[seg.label] = seg.color
+        for i, bar in enumerate(self.bars):
+            for seg in bar.segments:
+                series[seg.label][i] = seg.value
+        return {
+            "labels": labels,
+            "datasets": [
+                {
+                    "label": name,
+                    "data": values,
+                    "backgroundColor": colors[name],
+                }
+                for name, values in series.items()
+            ],
+        }
+
+
+def job_state_distribution(jobs: Sequence[Job]) -> StackedBarChart:
+    """Percent of each user's jobs in each state (§4.2)."""
+    by_user: Dict[str, Dict[JobState, int]] = defaultdict(lambda: defaultdict(int))
+    for job in jobs:
+        by_user[job.user][job.state] += 1
+    chart = StackedBarChart(title="Job state distribution by user", unit="%")
+    for user in sorted(by_user):
+        counts = by_user[user]
+        total = sum(counts.values())
+        bar = StackedBar(category=user)
+        for state in JobState:
+            if counts.get(state):
+                bar.segments.append(
+                    StackedBarSegment(
+                        label=state.value,
+                        value=round(100.0 * counts[state] / total, 2),
+                        color=job_state_color(state),
+                        filter_key=f"state:{state.value}",
+                    )
+                )
+        chart.bars.append(bar)
+    return chart
+
+
+def gpu_hour_distribution(jobs: Sequence[Job], now: float) -> StackedBarChart:
+    """GPU hours per user in the job list (§4.2).  Users with zero GPU
+    hours are omitted, as in the paper's chart."""
+    hours: Dict[str, float] = defaultdict(float)
+    for job in jobs:
+        gh = job.gpu_hours(now)
+        if gh > 0:
+            hours[job.user] += gh
+    chart = StackedBarChart(title="GPU hour distribution by user", unit="GPU-hours")
+    for user in sorted(hours, key=lambda u: -hours[u]):
+        chart.bars.append(
+            StackedBar(
+                category=user,
+                segments=[
+                    StackedBarSegment(
+                        label="GPU hours",
+                        value=round(hours[user], 2),
+                        color="blue",
+                        filter_key=f"user:{user}",
+                    )
+                ],
+            )
+        )
+    return chart

@@ -1,0 +1,108 @@
+"""The dashboard's status-color contract.
+
+Collected in one module because the paper applies the same coding rules
+across widgets and pages:
+
+* utilization progress bars: green < 70 %, yellow 70–90 %, red > 90 % (§3.3);
+* announcements: outage red, maintenance yellow, other gray; past items
+  faded (§3.1);
+* node grid: allocated/mixed green, idle faded green, drained yellow,
+  maintenance orange, down red (§6);
+* each job state gets a stable color and friendly label (§7).
+"""
+
+from __future__ import annotations
+
+from repro.news.api import Article, Category
+from repro.slurm.model import JobState, NodeState
+
+GREEN = "green"
+FADED_GREEN = "faded-green"
+YELLOW = "yellow"
+ORANGE = "orange"
+RED = "red"
+GRAY = "gray"
+BLUE = "blue"
+
+#: §3.3 thresholds, shared by System Status, Storage, Node Overview bars
+UTILIZATION_WARNING = 0.70
+UTILIZATION_CRITICAL = 0.90
+
+
+def utilization_color(fraction: float) -> str:
+    """Color for a utilization fraction in [0, 1] (values above 1 clamp red)."""
+    if fraction < 0:
+        raise ValueError(f"utilization cannot be negative: {fraction}")
+    if fraction < UTILIZATION_WARNING:
+        return GREEN
+    if fraction <= UTILIZATION_CRITICAL:
+        return YELLOW
+    return RED
+
+
+def announcement_color(category: Category) -> str:
+    """§3.1: outages red, maintenance yellow, everything else gray."""
+    if category is Category.OUTAGE:
+        return RED
+    if category is Category.MAINTENANCE:
+        return YELLOW
+    return GRAY
+
+
+def announcement_style(article: Article, now: float) -> str:
+    """'active' for current/future announcements, 'past' (faint gray) for
+    elapsed ones (§3.1)."""
+    return "past" if article.is_past(now) else "active"
+
+
+_NODE_COLORS = {
+    NodeState.ALLOCATED: GREEN,
+    NodeState.MIXED: GREEN,
+    NodeState.IDLE: FADED_GREEN,
+    NodeState.DRAINED: YELLOW,
+    NodeState.DRAINING: YELLOW,
+    NodeState.MAINT: ORANGE,
+    NodeState.DOWN: RED,
+}
+
+
+def node_state_color(state: NodeState) -> str:
+    """§6 grid-view palette."""
+    return _NODE_COLORS[state]
+
+
+_JOB_COLORS = {
+    JobState.PENDING: YELLOW,
+    JobState.RUNNING: BLUE,
+    JobState.SUSPENDED: ORANGE,
+    JobState.COMPLETED: GREEN,
+    JobState.CANCELLED: GRAY,
+    JobState.FAILED: RED,
+    JobState.TIMEOUT: ORANGE,
+    JobState.NODE_FAIL: RED,
+    JobState.OUT_OF_MEMORY: RED,
+    JobState.PREEMPTED: ORANGE,
+}
+
+_JOB_LABELS = {
+    JobState.PENDING: "Queued",
+    JobState.RUNNING: "Running",
+    JobState.SUSPENDED: "Suspended",
+    JobState.COMPLETED: "Completed",
+    JobState.CANCELLED: "Cancelled",
+    JobState.FAILED: "Failed",
+    JobState.TIMEOUT: "Timed out",
+    JobState.NODE_FAIL: "Node failure",
+    JobState.OUT_OF_MEMORY: "Out of memory",
+    JobState.PREEMPTED: "Preempted",
+}
+
+
+def job_state_color(state: JobState) -> str:
+    """Stable display color for a job state."""
+    return _JOB_COLORS[state]
+
+
+def job_state_label(state: JobState) -> str:
+    """Human label shown instead of Slurm's ALL-CAPS state names."""
+    return _JOB_LABELS[state]

@@ -1,0 +1,164 @@
+"""Job efficiency metrics and warnings (paper §4.1, §4.3).
+
+Three efficiencies, as defined by the paper's Toggle Efficiency Data
+columns:
+
+* **time efficiency** — "the percentage of the requested time that was
+  used": elapsed / time limit;
+* **CPU efficiency** — "the percentage of the requested CPU time that was
+  used": TotalCPU / (elapsed x allocated CPUs), i.e. what ``seff`` calls
+  CPU efficiency;
+* **memory efficiency** — "how much memory was used compared to how much
+  was requested": MaxRSS / requested-memory-per-node.
+
+The efficiency *warnings* tell users they are over-requesting: "you are
+only using a certain percentage of what you requested and ... requesting
+less resources in the future will reduce your queue wait times and leave
+more resources for others."  GPU efficiency is deliberately absent —
+the paper marks it as work in progress (§4.1) — but GPU *hours* are
+accounted elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.slurm.model import Job, JobState
+
+
+@dataclass(frozen=True)
+class JobEfficiency:
+    """Efficiency triple for one job; fields are fractions in [0, 1] or
+    None when not computable (e.g. a job that never started)."""
+
+    time: Optional[float]
+    cpu: Optional[float]
+    memory: Optional[float]
+
+    def format(self, which: str) -> str:
+        """One metric as a display string (``'42%'`` or ``'n/a'``)."""
+        val = getattr(self, which)
+        return "n/a" if val is None else f"{val * 100:.0f}%"
+
+
+def compute_efficiency(job: Job, now: float) -> JobEfficiency:
+    """Efficiencies from the accounting fields of one job record."""
+    elapsed = job.elapsed(now)
+    if elapsed <= 0:
+        return JobEfficiency(time=None, cpu=None, memory=None)
+
+    time_eff: Optional[float] = None
+    if job.time_limit > 0 and job.state.is_terminal:
+        time_eff = min(1.0, elapsed / job.time_limit)
+
+    cpu_eff: Optional[float] = None
+    if job.total_cpu_seconds > 0 or job.state.is_terminal:
+        denom = elapsed * job.req.cpus
+        if denom > 0:
+            cpu_eff = min(1.0, job.total_cpu_seconds / denom)
+
+    mem_eff: Optional[float] = None
+    per_node_req = job.req.mem_mb / max(1, job.req.nodes)
+    if job.max_rss_mb > 0 and per_node_req > 0:
+        mem_eff = min(1.0, job.max_rss_mb / per_node_req)
+
+    return JobEfficiency(time=time_eff, cpu=cpu_eff, memory=mem_eff)
+
+
+@dataclass(frozen=True)
+class EfficiencyWarning:
+    """One actionable over-request warning shown in the My Jobs table."""
+
+    job_id: int
+    kind: str  # "cpu" | "memory" | "time"
+    used_pct: float
+    message: str
+
+
+#: below these, a terminal job earns a warning (tunable per deployment)
+CPU_WARNING_THRESHOLD = 0.25
+MEM_WARNING_THRESHOLD = 0.25
+TIME_WARNING_THRESHOLD = 0.25
+#: tiny jobs aren't worth nagging about
+MIN_ELAPSED_FOR_WARNINGS = 120.0
+
+
+def efficiency_warnings(
+    job: Job,
+    now: float,
+    eff: Optional[JobEfficiency] = None,
+) -> List[EfficiencyWarning]:
+    """Warnings for one job, mirroring the paper's phrasing (§4.1).
+
+    Only terminal jobs are judged (a running job may yet use what it
+    asked for), and only CPU/memory/time — GPU warnings are future work.
+    """
+    if not job.state.is_terminal or job.state is JobState.CANCELLED:
+        return []
+    if job.elapsed(now) < MIN_ELAPSED_FOR_WARNINGS:
+        return []
+    if eff is None:
+        eff = compute_efficiency(job, now)
+    out: List[EfficiencyWarning] = []
+    if eff.cpu is not None and eff.cpu < CPU_WARNING_THRESHOLD:
+        out.append(
+            EfficiencyWarning(
+                job_id=job.job_id,
+                kind="cpu",
+                used_pct=eff.cpu * 100,
+                message=(
+                    f"This job used only {eff.cpu * 100:.0f}% of the "
+                    f"{job.req.cpus} CPUs it requested. Requesting fewer CPUs "
+                    "will reduce your queue wait times and leave more "
+                    "resources for others."
+                ),
+            )
+        )
+    if eff.memory is not None and eff.memory < MEM_WARNING_THRESHOLD:
+        out.append(
+            EfficiencyWarning(
+                job_id=job.job_id,
+                kind="memory",
+                used_pct=eff.memory * 100,
+                message=(
+                    f"This job used only {eff.memory * 100:.0f}% of its "
+                    "requested memory. Requesting less memory will reduce "
+                    "your queue wait times and leave more resources for "
+                    "others."
+                ),
+            )
+        )
+    if (
+        eff.time is not None
+        and eff.time < TIME_WARNING_THRESHOLD
+        and job.state is not JobState.TIMEOUT
+    ):
+        out.append(
+            EfficiencyWarning(
+                job_id=job.job_id,
+                kind="time",
+                used_pct=eff.time * 100,
+                message=(
+                    f"This job used only {eff.time * 100:.0f}% of its "
+                    "requested time limit. A shorter time limit helps the "
+                    "scheduler start your jobs sooner."
+                ),
+            )
+        )
+    return out
+
+
+def mean_efficiency(
+    jobs: List[Job], now: float, which: str
+) -> Optional[float]:
+    """Mean of one efficiency metric over jobs where it is computable
+    (used by the Job Performance Metrics page, §5)."""
+    values = [
+        v
+        for job in jobs
+        if (v := getattr(compute_efficiency(job, now), which)) is not None
+    ]
+    if not values:
+        return None
+    return sum(values) / len(values)

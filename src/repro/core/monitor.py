@@ -1,0 +1,147 @@
+"""Real-time job monitoring — the paper's §9 "real-time job monitoring"
+future-work item, implemented as the documented extension.
+
+Production Open OnDemand frontends poll; true push would need a message
+bus.  :class:`JobWatcher` models the polling client cleanly: each
+``poll()`` diffs the viewer's current job list against the previous
+snapshot and emits typed events (submitted / started / finished /
+reason-changed), which a frontend would surface as toast notifications.
+
+The watcher reads through the same cached ``squeue`` path as the Recent
+Jobs widget, so watching adds no extra slurmctld load beyond what the
+dashboard already generates (§3.2's constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.auth import Viewer
+from repro.slurm.model import JobState
+
+from .records import JobRecord
+from .routes import DashboardContext
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One observed change in a watched job."""
+
+    kind: str  # "submitted" | "started" | "finished" | "reason_changed" | "requeued"
+    job_id: int
+    display_id: str
+    name: str
+    state: JobState
+    detail: str = ""
+    at: float = 0.0
+
+
+@dataclass
+class _Snapshot:
+    state: JobState
+    reason: str
+
+
+class JobWatcher:
+    """Polling monitor over one viewer's jobs."""
+
+    def __init__(self, ctx: DashboardContext, viewer: Viewer):
+        self.ctx = ctx
+        self.viewer = viewer
+        self._known: Dict[int, _Snapshot] = {}
+        self._primed = False
+        self.events_seen = 0
+
+    def poll(self) -> List[JobEvent]:
+        """Diff the viewer's job list against the last poll.
+
+        The first poll primes the snapshot and emits nothing (a user who
+        just opened the page should not be spammed with history).
+        Terminal jobs eventually leave squeue output (MinJobAge); a job
+        that disappears while active is reported as finished with an
+        unknown final state.
+        """
+        now = self.ctx.now()
+        records = self.ctx.recent_jobs_of(self.viewer.username)
+        events: List[JobEvent] = []
+        current: Dict[int, _Snapshot] = {}
+        for rec in records:
+            current[rec.job_id] = _Snapshot(state=rec.state, reason=rec.reason)
+            if not self._primed:
+                continue
+            prev = self._known.get(rec.job_id)
+            events.extend(self._diff(rec, prev, now))
+        if self._primed:
+            for job_id, prev in self._known.items():
+                if job_id not in current and prev.state.is_active:
+                    events.append(
+                        JobEvent(
+                            kind="finished",
+                            job_id=job_id,
+                            display_id=str(job_id),
+                            name="",
+                            state=prev.state,
+                            detail="job left the queue",
+                            at=now,
+                        )
+                    )
+        self._known = current
+        self._primed = True
+        self.events_seen += len(events)
+        return events
+
+    def _diff(
+        self, rec: JobRecord, prev: Optional[_Snapshot], now: float
+    ) -> List[JobEvent]:
+        out: List[JobEvent] = []
+        if prev is None:
+            out.append(self._event("submitted", rec, now))
+            if rec.state is not JobState.PENDING:
+                # submitted and progressed between polls
+                kind = "started" if rec.state is JobState.RUNNING else "finished"
+                out.append(self._event(kind, rec, now))
+            return out
+        if prev.state is rec.state:
+            if (
+                rec.state is JobState.PENDING
+                and prev.reason != rec.reason
+            ):
+                out.append(
+                    self._event(
+                        "reason_changed",
+                        rec,
+                        now,
+                        detail=f"{prev.reason} -> {rec.reason}",
+                    )
+                )
+            return out
+        if rec.state is JobState.PENDING:
+            # active -> pending only happens on preemption/requeue
+            out.append(
+                self._event(
+                    "requeued", rec, now, detail=f"was {prev.state.value}"
+                )
+            )
+        elif rec.state is JobState.RUNNING:
+            out.append(self._event("started", rec, now))
+        elif rec.state.is_terminal:
+            if prev.state is JobState.PENDING:
+                # pending -> terminal skipped the running notification
+                out.append(self._event("started", rec, now, detail="(implied)"))
+            out.append(
+                self._event("finished", rec, now, detail=rec.state.value)
+            )
+        return out
+
+    @staticmethod
+    def _event(kind: str, rec: JobRecord, now: float, detail: str = "") -> JobEvent:
+        return JobEvent(
+            kind=kind,
+            job_id=rec.job_id,
+            display_id=rec.display_id,
+            name=rec.name,
+            state=rec.state,
+            detail=detail,
+            at=now,
+        )

@@ -1,0 +1,38 @@
+"""Dashboard pages/apps (paper §3–§7)."""
+
+from . import (
+    admin,
+    cluster_status,
+    homepage,
+    job_overview,
+    job_performance,
+    my_jobs,
+    news_page,
+    node_overview,
+    sessions_page,
+)
+
+ALL_PAGE_ROUTES = (
+    homepage.ROUTE,
+    my_jobs.ROUTE,
+    job_performance.ROUTE,
+    cluster_status.ROUTE,
+    node_overview.ROUTE,
+    job_overview.ROUTE,
+    admin.ROUTE,
+    news_page.ROUTE,
+    sessions_page.ROUTE,
+)
+
+__all__ = [
+    "admin",
+    "cluster_status",
+    "homepage",
+    "job_overview",
+    "job_performance",
+    "my_jobs",
+    "news_page",
+    "node_overview",
+    "sessions_page",
+    "ALL_PAGE_ROUTES",
+]

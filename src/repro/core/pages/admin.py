@@ -1,0 +1,190 @@
+"""Admin Overview page — the paper's §9 "permission-based job
+accounting, such as administrator-only content" (listed as under
+development; implemented here as the documented extension).
+
+Admin-only: a cluster-wide operational snapshot no regular user may see
+
+* queue health: jobs by state and by pending reason;
+* top users by CPU hours over the last 24 h (cluster-wide, crossing the
+  privacy scope — hence the admin gate);
+* node fleet summary with problem nodes (drained/down, with reasons);
+* backend health: daemon RPC load and server-cache hit rates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict
+
+from repro.auth import PermissionDenied, Viewer
+from repro.slurm.commands import Sreport, parse_sreport
+from repro.slurm.model import JobState, NodeState
+
+from ..rendering import card, data_table, el
+from ..routes import ApiRoute, DashboardContext
+
+
+def admin_overview_data(
+    ctx: DashboardContext, viewer: Viewer, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Route handler; raises PermissionDenied for non-admins."""
+    if not viewer.is_admin:
+        raise PermissionDenied(
+            f"user {viewer.username!r} is not an administrator"
+        )
+    now = ctx.now()
+    sched = ctx.cluster.scheduler
+
+    live = sched.visible_jobs()
+    by_state = Counter(j.state.value for j in live)
+    pending_reasons = Counter(
+        j.reason for j in live if j.state is JobState.PENDING
+    )
+
+    day_ago = now - 86400.0
+    recent = ctx.cluster.accounting.query(start=day_ago)
+    usage: Counter = Counter()
+    for job in recent:
+        usage[job.user] += job.cpu_hours(now)
+    top_users = [
+        {"user": user, "cpu_hours": round(hours, 2)}
+        for user, hours in usage.most_common(10)
+    ]
+
+    node_states = Counter(n.state.value for n in ctx.cluster.nodes.values())
+    problem_nodes = [
+        {"name": n.name, "state": n.state.value, "reason": n.state_reason}
+        for n in ctx.cluster.nodes.values()
+        if n.state in (NodeState.DRAINED, NodeState.DRAINING, NodeState.DOWN,
+                       NodeState.MAINT)
+    ]
+
+    # cluster utilization over the last 24 h, through sreport's text path
+    util_start = max(0.0, day_ago)
+    utilization = None
+    if now > util_start:
+        out = Sreport(ctx.cluster).cluster_utilization(util_start, now)
+        row = parse_sreport(out.stdout)[0]
+        utilization = {
+            "allocated_cpu_s": int(row["Allocated"]),
+            "idle_cpu_s": int(row["Idle"]),
+            "down_cpu_s": int(row["Down"]),
+            "allocated_pct": row["AllocatedPct"],
+        }
+
+    cache = ctx.cache.stats
+    return {
+        "utilization_24h": utilization,
+        "queue": {
+            "by_state": dict(by_state),
+            "pending_reasons": dict(pending_reasons),
+            "total_live": len(live),
+        },
+        "top_users_24h": top_users,
+        "nodes": {
+            "by_state": dict(node_states),
+            "problems": problem_nodes,
+        },
+        "backend": {
+            "daemons": ctx.cluster.daemons.snapshot(),
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": round(cache.hit_rate, 4),
+                "entries": len(ctx.cache),
+            },
+        },
+        "as_of": ctx.clock.isoformat(now),
+    }
+
+
+def render_admin_overview(data: Dict[str, Any]):
+    """Frontend: operational cards + tables."""
+    queue = data["queue"]
+    queue_card = card(
+        "Queue",
+        el("div", f"Live jobs: {queue['total_live']}"),
+        *[
+            el("div", f"{state}: {count}")
+            for state, count in sorted(queue["by_state"].items())
+        ],
+        el(
+            "div",
+            "Pending reasons: "
+            + ", ".join(
+                f"{r} ({c})" for r, c in sorted(queue["pending_reasons"].items())
+            ),
+            cls="pending-reasons",
+        ),
+    )
+    users_table = data_table(
+        ["User", "CPU hours (24h)"],
+        [[u["user"], f"{u['cpu_hours']:g}"] for u in data["top_users_24h"]],
+        cls="top-users",
+    )
+    node_card = card(
+        "Node fleet",
+        *[
+            el("div", f"{state}: {count}")
+            for state, count in sorted(data["nodes"]["by_state"].items())
+        ],
+    )
+    problems = data_table(
+        ["Node", "State", "Reason"],
+        [[p["name"], p["state"], p["reason"]] for p in data["nodes"]["problems"]],
+        cls="problem-nodes",
+    )
+    backend = data["backend"]
+    util = data["utilization_24h"]
+    util_card = card(
+        "Utilization (24h)",
+        el("div", f"Allocated: {util['allocated_pct']}" if util else "n/a"),
+        (
+            el(
+                "div",
+                f"Idle CPU-h: {util['idle_cpu_s'] / 3600:.0f}, "
+                f"down CPU-h: {util['down_cpu_s'] / 3600:.0f}",
+            )
+            if util
+            else None
+        ),
+    )
+    backend_card = card(
+        "Backend health",
+        el(
+            "div",
+            f"slurmctld: {backend['daemons']['slurmctld']['recent_rate_rps']} rps, "
+            f"{backend['daemons']['slurmctld']['current_latency_s'] * 1000:.1f} ms",
+        ),
+        el(
+            "div",
+            f"slurmdbd: {backend['daemons']['slurmdbd']['recent_rate_rps']} rps",
+        ),
+        el(
+            "div",
+            f"server cache: {backend['cache']['hit_rate'] * 100:.0f}% hit rate "
+            f"({backend['cache']['entries']} entries)",
+        ),
+    )
+    return el(
+        "section",
+        el("header", el("h3", "Admin Overview"),
+           el("span", f"as of {data['as_of']}", cls="text-muted"),
+           cls="page-header"),
+        el("div", queue_card, node_card, util_card, backend_card, cls="card-row"),
+        el("h4", "Top users by CPU hours (24h)"),
+        users_table,
+        el("h4", "Problem nodes"),
+        problems,
+        cls="page page-admin-overview",
+    )
+
+
+ROUTE = ApiRoute(
+    name="admin_overview",
+    path="/api/v1/admin/overview",
+    feature="Admin Overview (admin-only)",
+    data_sources=("slurmctld state", "sacct (Slurm)", "daemon metrics"),
+    handler=admin_overview_data,
+    client_max_age_s=30.0,
+)

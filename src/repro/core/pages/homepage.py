@@ -1,0 +1,114 @@
+"""Dashboard homepage (paper §3, Figure 2).
+
+Assembles the five widgets into one page.  Crucially it does *not* wait
+for any widget's data: the page shell renders immediately with loading
+placeholders, and each widget is populated from its own API route (§2.3)
+— that is what :func:`render_homepage_shell` vs :func:`render_homepage`
+model.  Widget failures degrade to an inline error block instead of
+taking the page down (§2.4 Modularity).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.auth import Viewer
+
+from ..rendering import el, loading_placeholder, page_shell
+from ..routes import ApiRoute, DashboardContext, RouteRegistry
+from ..widgets import ALL_WIDGET_ROUTES, WIDGET_RENDERERS
+
+#: widget order on the homepage (Figure 2 layout)
+HOMEPAGE_WIDGETS = tuple(route.name for route in ALL_WIDGET_ROUTES)
+
+
+def homepage_data(
+    ctx: DashboardContext, viewer: Viewer, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Route handler: the homepage *manifest* — which widgets to load and
+    from where.  Widget payloads come from the individual routes."""
+    return {
+        "username": viewer.username,
+        "widgets": [
+            {"name": r.name, "path": r.path, "max_age_s": r.client_max_age_s}
+            for r in ALL_WIDGET_ROUTES
+        ],
+    }
+
+
+def render_homepage_shell(username: str):
+    """The instantly-served page: chrome + a loading placeholder per
+    widget (§2.3: 'the dashboard to load instantly and display a loading
+    animation')."""
+    slots = [
+        el(
+            "div",
+            loading_placeholder(name),
+            cls="widget-slot",
+            data_widget=name,
+        )
+        for name in HOMEPAGE_WIDGETS
+    ]
+    return page_shell("homepage", username, el("div", *slots, cls="widget-grid"))
+
+
+def render_homepage(
+    ctx: DashboardContext,
+    registry: RouteRegistry,
+    viewer: Viewer,
+) -> "HomepageRender":
+    """Fetch every widget through its route and render the filled page.
+
+    A failing widget renders an error block in its slot; the others are
+    unaffected — the modularity contract the benchmarks verify.
+    """
+    slots = []
+    failures: Dict[str, str] = {}
+    for name in HOMEPAGE_WIDGETS:
+        response = registry.call(ctx, name, viewer)
+        if response.ok:
+            body = WIDGET_RENDERERS[name](response.data)
+        else:
+            failures[name] = response.error or "unknown error"
+            body = el(
+                "div",
+                f"The {name.replace('_', ' ')} widget is temporarily unavailable.",
+                cls="widget-error alert alert-danger",
+                role="alert",
+            )
+        slots.append(el("div", body, cls="widget-slot", data_widget=name))
+    page = page_shell("homepage", viewer.username, el("div", *slots, cls="widget-grid"))
+    return HomepageRender(page=page, failures=failures)
+
+
+class HomepageRender:
+    """Rendered homepage plus which widgets failed (for instrumentation)."""
+
+    def __init__(self, page, failures: Dict[str, str]):
+        self.page = page
+        self.failures = failures
+
+    @property
+    def html(self) -> str:
+        return self.page.render()
+
+    @property
+    def document(self) -> str:
+        """Complete standalone HTML document (with the stylesheet)."""
+        from ..rendering import render_document
+
+        return render_document("HPC Dashboard", self.page)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+ROUTE = ApiRoute(
+    name="homepage",
+    path="/api/v1/homepage",
+    feature="Dashboard homepage",
+    data_sources=("dashboard manifest",),
+    handler=homepage_data,
+    client_max_age_s=3600.0,
+)

@@ -1,0 +1,132 @@
+"""My Interactive Sessions page.
+
+Open OnDemand's session list — the paper's Job Overview session tab
+shows "the buttons and controls to launch the interactive app ...
+identical to what is in the My Interactive Sessions page" (§7), so the
+page itself belongs in the reproduction.  One card per session the user
+has launched: app, backing job, state, connect controls, working-dir
+link.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.auth import Viewer
+from repro.ood import files_app_url
+from ..colors import job_state_color
+from ..rendering import card, el
+from ..routes import ApiRoute, DashboardContext
+
+
+def sessions_page_data(
+    ctx: DashboardContext, viewer: Viewer, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Route handler: the viewer's sessions, newest job first.
+
+    Covers sessions launched through this OOD instance *and* jobs that
+    arrived pre-tagged with interactive provenance (e.g. launched from
+    another login node) — the dashboard treats them identically.
+    """
+    cards: List[Dict[str, Any]] = []
+    seen_session_ids: set[str] = set()
+
+    for session in ctx.sessions.sessions_for(viewer.username):
+        cards.append(_session_card(ctx, session))
+        seen_session_ids.add(session.session_id)
+
+    # interactive jobs not launched via this manager (workload-generated)
+    for rec in ctx.jobs_in_scope(viewer):
+        if rec.user != viewer.username or not rec.is_interactive:
+            continue
+        internal = ctx.cluster.accounting.get(rec.job_id)
+        if internal is None:
+            try:
+                internal = ctx.cluster.scheduler.job(rec.job_id)
+            except KeyError:
+                continue
+        session = ctx.sessions.session_for_job(internal)
+        if session is None or session.session_id in seen_session_ids:
+            continue
+        cards.append(_session_card(ctx, session))
+        seen_session_ids.add(session.session_id)
+
+    cards.sort(key=lambda c: -c["job_id"])
+    active = [c for c in cards if c["state"] in ("Queued", "Running")]
+    return {
+        "sessions": cards,
+        "total": len(cards),
+        "active": len(active),
+    }
+
+
+def _session_card(ctx: DashboardContext, session) -> Dict[str, Any]:
+    app = ctx.apps.get(session.app_key) if session.app_key in ctx.apps else None
+    state = ctx.sessions.card_state(session)
+    job_state = None
+    job = None
+    try:
+        job = ctx.cluster.scheduler.job(session.job_id)
+    except KeyError:
+        job = ctx.cluster.accounting.get(session.job_id)
+    if job is not None:
+        job_state = job.state
+    return {
+        "session_id": session.session_id,
+        "app": session.app_key,
+        "app_title": app.title if app else session.app_key,
+        "relaunch_url": app.form_url if app else "",
+        "job_id": session.job_id,
+        "job_overview_url": f"/jobs/{session.job_id}",
+        "state": state,
+        "state_color": job_state_color(job_state)
+        if job_state is not None
+        else "gray",
+        "connect_url": ctx.sessions.connect_url(session),
+        "working_dir": session.working_dir(),
+        "working_dir_url": files_app_url(session.working_dir()),
+    }
+
+
+def render_sessions_page(data: Dict[str, Any]):
+    """Frontend: one card per session, Connect button when running."""
+    cards = []
+    for s in data["sessions"]:
+        body = [
+            el("div", "Backing job: ",
+               el("a", f"#{s['job_id']}", href=s["job_overview_url"])),
+            el("div", f"Session ID: {s['session_id']}"),
+            el("div", "Working directory: ",
+               el("a", s["working_dir"], href=s["working_dir_url"])),
+            el("span", s["state"], cls=f"session-state text-{s['state_color']}"),
+        ]
+        if s["connect_url"]:
+            body.append(
+                el("a", "Connect", href=s["connect_url"], cls="btn btn-connect")
+            )
+        body.append(
+            el("a", "Launch another", href=s["relaunch_url"], cls="relaunch-link")
+        )
+        cards.append(card(s["app_title"], *body, cls="session-card"))
+    return el(
+        "section",
+        el(
+            "header",
+            el("h3", "My Interactive Sessions"),
+            el("span", f"{data['active']} active / {data['total']} total",
+               cls="text-muted"),
+            cls="page-header",
+        ),
+        el("div", *cards, cls="session-card-list"),
+        cls="page page-sessions",
+    )
+
+
+ROUTE = ApiRoute(
+    name="my_sessions",
+    path="/api/v1/sessions",
+    feature="My Interactive Sessions",
+    data_sources=("OOD session store", "sacct (Slurm)"),
+    handler=sessions_page_data,
+    client_max_age_s=30.0,
+)

@@ -1,0 +1,41 @@
+"""HTML rendering: safe elements, ERB-style templates, dashboard components."""
+
+from .components import (
+    accordion,
+    badge,
+    card,
+    data_table,
+    loading_placeholder,
+    node_grid_cell,
+    page_shell,
+    progress_bar,
+    tabs,
+    timeline,
+    tooltip_span,
+)
+from .document import STYLESHEET, render_document
+from .html import Element, RawHTML, el, escape
+from .templates import Template, TemplateError, render_template
+
+__all__ = [
+    "accordion",
+    "badge",
+    "card",
+    "data_table",
+    "loading_placeholder",
+    "node_grid_cell",
+    "page_shell",
+    "progress_bar",
+    "tabs",
+    "timeline",
+    "tooltip_span",
+    "STYLESHEET",
+    "render_document",
+    "Element",
+    "RawHTML",
+    "el",
+    "escape",
+    "Template",
+    "TemplateError",
+    "render_template",
+]

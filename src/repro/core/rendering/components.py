@@ -1,0 +1,237 @@
+"""Reusable dashboard components (the Bootstrap-card layer of the paper).
+
+Each helper returns an :class:`~repro.core.rendering.html.Element` so
+pages can compose, and tests can query structure (classes, colors,
+ARIA attributes) without a browser.  Accessibility is part of the
+paper's title — progress bars carry ``role="progressbar"`` + value
+attributes, accordions use ``aria-expanded``, tooltips use ``title``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..colors import utilization_color
+from .html import Element, el
+
+
+def progress_bar(
+    fraction: float,
+    label: str = "",
+    color: Optional[str] = None,
+) -> Element:
+    """Color-coded utilization bar (§3.3 thresholds by default)."""
+    fraction = max(0.0, min(1.0, fraction))
+    pct = round(fraction * 100, 1)
+    color = color or utilization_color(fraction)
+    return el(
+        "div",
+        el(
+            "div",
+            f"{pct:g}%",
+            cls=f"progress-bar bg-{color}",
+            style=f"width: {pct:g}%",
+            role="progressbar",
+            aria_valuenow=f"{pct:g}",
+            aria_valuemin="0",
+            aria_valuemax="100",
+            aria_label=label or "utilization",
+        ),
+        cls="progress",
+    )
+
+
+def card(title: str, *body: object, footer: object = None, cls: str = "") -> Element:
+    """A Bootstrap-style card with header/body/footer."""
+    children: List[object] = [
+        el("div", el("h5", title, cls="card-title"), cls="card-header"),
+        el("div", *body, cls="card-body"),
+    ]
+    if footer is not None:
+        children.append(el("div", footer, cls="card-footer"))
+    return el("div", *children, cls=f"card {cls}".strip())
+
+
+def badge(text: str, color: str) -> Element:
+    """Status pill (job states, announcement categories...)."""
+    return el("span", text, cls=f"badge badge-{color}")
+
+
+def tooltip_span(text: str, tip: str) -> Element:
+    """Hoverable text: the My Jobs reason/status tooltips (§3.2, §4.1)."""
+    return el("span", text, title=tip, cls="has-tooltip", tabindex="0")
+
+
+def accordion(items: Sequence[Tuple[str, object, dict]]) -> Element:
+    """Accordion list (Announcements widget layout, §3.1).
+
+    ``items`` are ``(header, body, extra)`` where extra may carry
+    ``color``, ``style`` ("active"/"past") and ``subtitle``.
+    """
+    entries = []
+    for i, (header, body, extra) in enumerate(items):
+        color = extra.get("color", "gray")
+        style = extra.get("style", "active")
+        subtitle = extra.get("subtitle", "")
+        head_children: List[object] = [el("strong", header)]
+        if subtitle:
+            head_children.append(el("small", subtitle, cls="text-muted"))
+        entries.append(
+            el(
+                "div",
+                el(
+                    "button",
+                    *head_children,
+                    cls=f"accordion-header border-{color} item-{style}",
+                    aria_expanded="false",
+                    aria_controls=f"accordion-body-{i}",
+                ),
+                el(
+                    "div",
+                    body,
+                    cls="accordion-body collapse",
+                    id=f"accordion-body-{i}",
+                ),
+                cls=f"accordion-item item-{style}",
+            )
+        )
+    return el("div", *entries, cls="accordion")
+
+
+def data_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    cls: str = "",
+    sortable: bool = True,
+    row_attrs: Optional[Sequence[dict]] = None,
+) -> Element:
+    """Sortable data table (the DataTables-flavoured job/node lists)."""
+    head = el(
+        "tr",
+        *[
+            el("th", h, scope="col", data_sortable="true" if sortable else None)
+            for h in headers
+        ],
+    )
+    body_rows = []
+    rows = list(rows)
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+        attrs = dict(row_attrs[i]) if row_attrs else {}
+        body_rows.append(
+            el("tr", *[c if isinstance(c, Element) else el("td", c) for c in map(_cell, row)], **attrs)
+        )
+    return el(
+        "table",
+        el("thead", head),
+        el("tbody", *body_rows),
+        cls=f"table data-table {cls}".strip(),
+    )
+
+
+def _cell(value: object) -> Element:
+    if isinstance(value, Element) and value.tag == "td":
+        return value
+    if isinstance(value, Element):
+        return el("td", value)
+    return el("td", "" if value is None else str(value))
+
+
+def tabs(panes: Sequence[Tuple[str, object]], active: int = 0) -> Element:
+    """Tabbed section (Job Overview / Node Overview bottom sections)."""
+    if not panes:
+        raise ValueError("tabs need at least one pane")
+    if not (0 <= active < len(panes)):
+        raise ValueError(f"active index {active} out of range")
+    nav = el(
+        "ul",
+        *[
+            el(
+                "li",
+                el(
+                    "button",
+                    title_,
+                    cls="nav-link" + (" active" if i == active else ""),
+                    role="tab",
+                    aria_selected="true" if i == active else "false",
+                    aria_controls=f"tab-pane-{i}",
+                ),
+                cls="nav-item",
+            )
+            for i, (title_, _) in enumerate(panes)
+        ],
+        cls="nav nav-tabs",
+        role="tablist",
+    )
+    bodies = [
+        el(
+            "div",
+            body,
+            cls="tab-pane" + (" active" if i == active else ""),
+            id=f"tab-pane-{i}",
+            role="tabpanel",
+        )
+        for i, (_, body) in enumerate(panes)
+    ]
+    return el("div", nav, el("div", *bodies, cls="tab-content"), cls="tabs")
+
+
+def node_grid_cell(name: str, color: str, tip: str, href: str) -> Element:
+    """One color-coded square in the Cluster Status grid view (§6)."""
+    return el(
+        "a",
+        el("span", name, cls="node-label"),
+        cls=f"node-cell bg-{color}",
+        title=tip,
+        href=href,
+        role="gridcell",
+    )
+
+
+def timeline(events: Sequence[Tuple[str, str, bool]], color: str) -> Element:
+    """Job Overview timeline (§7): (label, timestamp, reached) markers."""
+    dots = []
+    for label, stamp, reached in events:
+        dots.append(
+            el(
+                "div",
+                el("span", cls=f"timeline-dot {'filled' if reached else 'hollow'} bg-{color}"),
+                el("div", label, cls="timeline-label"),
+                el("div", stamp, cls="timeline-time"),
+                cls="timeline-event" + (" reached" if reached else ""),
+            )
+        )
+    return el("div", *dots, cls=f"timeline border-{color}")
+
+
+def loading_placeholder(component: str) -> Element:
+    """The loading animation shown while a component fetches (§2.3) —
+    the dashboard loads instantly and fills in, instead of blanking."""
+    return el(
+        "div",
+        el("span", cls="spinner", role="status", aria_hidden="true"),
+        el("span", f"Loading {component}…", cls="sr-only"),
+        cls="component-loading",
+        data_component=component,
+    )
+
+
+def page_shell(title: str, username: str, *content: object) -> Element:
+    """The dashboard page chrome: nav bar with the pre-rendered username
+    (the one piece of server-side data ERB injects up front, §2.2.1)."""
+    return el(
+        "div",
+        el(
+            "nav",
+            el("span", "HPC Dashboard", cls="navbar-brand"),
+            el("span", f"Logged in as {username}", cls="navbar-user"),
+            cls="navbar",
+            role="navigation",
+        ),
+        el("main", *content, role="main", id="content"),
+        cls="dashboard-shell",
+        data_page=title,
+    )

@@ -1,0 +1,110 @@
+"""Full HTML document assembly with the dashboard stylesheet.
+
+`page_shell` renders the in-app chrome; this module wraps any page in a
+complete ``<!DOCTYPE html>`` document with an embedded stylesheet that
+implements the paper's visual contract (color-coded bars and badges,
+the node grid, the accordion, responsive card rows), so the HTML the
+examples write to disk is genuinely viewable in a browser.
+"""
+
+from __future__ import annotations
+
+from .html import Element, escape
+
+#: the color tokens used by components (bg-/text-/border- prefixes)
+_PALETTE = {
+    "green": "#2e7d32",
+    "faded-green": "#a5d6a7",
+    "yellow": "#f9a825",
+    "orange": "#ef6c00",
+    "red": "#c62828",
+    "gray": "#757575",
+    "blue": "#1565c0",
+}
+
+
+def _palette_css() -> str:
+    rules = []
+    for name, color in _PALETTE.items():
+        fg = "#ffffff" if name not in ("faded-green", "yellow") else "#1b1b1b"
+        rules.append(f".bg-{name}{{background:{color};color:{fg};}}")
+        rules.append(f".text-{name}{{color:{color};}}")
+        rules.append(f".border-{name}{{border-left:4px solid {color};}}")
+    return "".join(rules)
+
+
+STYLESHEET = (
+    "body{font-family:system-ui,sans-serif;margin:0;background:#f5f6f8;"
+    "color:#1b1b1b;}"
+    ".navbar{display:flex;justify-content:space-between;padding:.6rem 1rem;"
+    "background:#222;color:#fff;}"
+    "main{padding:1rem;max-width:1200px;margin:0 auto;}"
+    ".widget-grid{display:grid;grid-template-columns:repeat(auto-fit,"
+    "minmax(340px,1fr));gap:1rem;}"
+    ".widget,.card{background:#fff;border-radius:8px;padding:.8rem;"
+    "box-shadow:0 1px 3px rgba(0,0,0,.12);}"
+    ".widget-header{display:flex;justify-content:space-between;"
+    "align-items:baseline;}"
+    ".progress{background:#e0e0e0;border-radius:4px;height:1.1rem;"
+    "margin:.25rem 0;overflow:hidden;}"
+    ".progress-bar{height:100%;font-size:.75rem;text-align:center;"
+    "white-space:nowrap;}"
+    ".badge{border-radius:999px;padding:.1rem .6rem;font-size:.8rem;}"
+    ".accordion-item{border-bottom:1px solid #eee;padding:.3rem 0;}"
+    ".accordion-header{display:block;width:100%;text-align:left;"
+    "background:none;border:none;padding:.3rem .5rem;cursor:pointer;}"
+    ".item-past{opacity:.55;}"
+    ".accordion-body.collapse{display:none;}"
+    ".node-grid{display:flex;flex-wrap:wrap;gap:4px;}"
+    ".node-cell{width:64px;height:40px;display:flex;align-items:center;"
+    "justify-content:center;border-radius:4px;font-size:.7rem;"
+    "text-decoration:none;}"
+    "table.data-table{border-collapse:collapse;width:100%;background:#fff;}"
+    "table.data-table th,table.data-table td{border-bottom:1px solid #eee;"
+    "padding:.35rem .5rem;text-align:left;font-size:.85rem;}"
+    ".nav-tabs{display:flex;list-style:none;margin:0;padding:0;gap:.25rem;}"
+    ".nav-link{border:none;background:#e8e8e8;padding:.4rem .9rem;"
+    "border-radius:6px 6px 0 0;cursor:pointer;}"
+    ".nav-link.active{background:#fff;font-weight:600;}"
+    ".tab-pane{display:none;background:#fff;padding:.8rem;}"
+    ".tab-pane.active{display:block;}"
+    ".timeline{display:flex;gap:2rem;padding:.8rem;}"
+    ".timeline-dot{display:inline-block;width:12px;height:12px;"
+    "border-radius:50%;}"
+    ".timeline-dot.hollow{background:#fff;border:2px solid currentColor;}"
+    ".log-view{font-family:ui-monospace,monospace;font-size:.78rem;"
+    "max-height:420px;overflow:auto;background:#101418;color:#d7e3ee;"
+    "padding:.5rem;}"
+    ".log-line{display:flex;gap:.8rem;}"
+    ".line-number{color:#5c6c7c;min-width:4rem;text-align:right;"
+    "user-select:none;}"
+    ".alert{padding:.5rem .8rem;border-radius:6px;margin:.3rem 0;}"
+    ".alert-warning{background:#fff8e1;border:1px solid #f9a825;}"
+    ".alert-danger{background:#fdecea;border:1px solid #c62828;}"
+    ".card-row{display:grid;grid-template-columns:repeat(auto-fit,"
+    "minmax(240px,1fr));gap:1rem;margin:.8rem 0;}"
+    ".component-loading .spinner{display:inline-block;width:1rem;"
+    "height:1rem;border:2px solid #bbb;border-top-color:#333;"
+    "border-radius:50%;animation:spin .8s linear infinite;}"
+    "@keyframes spin{to{transform:rotate(360deg);}}"
+    ".sr-only{position:absolute;width:1px;height:1px;overflow:hidden;"
+    "clip:rect(0 0 0 0);}"
+    + _palette_css()
+)
+
+
+def render_document(title: str, body: Element | str, lang: str = "en") -> str:
+    """Wrap a rendered page in a complete standalone HTML document."""
+    body_html = body.render() if isinstance(body, Element) else str(body)
+    return (
+        "<!DOCTYPE html>\n"
+        f'<html lang="{escape(lang)}">\n'
+        "<head>\n"
+        '<meta charset="utf-8"/>\n'
+        '<meta name="viewport" content="width=device-width, initial-scale=1"/>\n'
+        f"<title>{escape(title)}</title>\n"
+        f"<style>{STYLESHEET}</style>\n"
+        "</head>\n"
+        f"<body>{body_html}</body>\n"
+        "</html>\n"
+    )

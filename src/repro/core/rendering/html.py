@@ -1,0 +1,109 @@
+"""Minimal, safe HTML construction.
+
+The real dashboard renders HTML through ERB templates + Bootstrap; here a
+tiny element builder gives us the same artifact (accessible HTML strings)
+without a browser.  All text content is escaped by default — the privacy
+posture of the dashboard extends to not letting job names inject markup.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Iterable, Mapping, Optional, Union
+
+Child = Union[str, "Element", None]
+
+#: elements that never take children (rendered self-closed)
+VOID_ELEMENTS = frozenset({"br", "hr", "img", "input", "meta", "link"})
+
+
+def escape(text: object) -> str:
+    """Escape text for HTML content or attribute values."""
+    return _html.escape(str(text), quote=True)
+
+
+class Element:
+    """One HTML element; renders deterministically (sorted attrs)."""
+
+    __slots__ = ("tag", "attrs", "children")
+
+    def __init__(self, tag: str, attrs: Optional[Mapping[str, object]] = None,
+                 children: Iterable[Child] = ()):
+        if not tag.isalnum():
+            raise ValueError(f"suspicious tag name {tag!r}")
+        self.tag = tag
+        self.attrs = dict(attrs or {})
+        self.children = [c for c in children if c is not None]
+        if self.tag in VOID_ELEMENTS and self.children:
+            raise ValueError(f"<{tag}> cannot have children")
+
+    def render(self) -> str:
+        """Serialize the element (attributes sorted, text escaped)."""
+        attr_str = "".join(
+            f' {name}="{escape(value)}"'
+            for name, value in sorted(self.attrs.items())
+            if value is not None and value is not False
+        )
+        if self.tag in VOID_ELEMENTS:
+            return f"<{self.tag}{attr_str}/>"
+        inner = "".join(
+            child.render() if isinstance(child, Element) else escape(child)
+            for child in self.children
+        )
+        return f"<{self.tag}{attr_str}>{inner}</{self.tag}>"
+
+    def __str__(self) -> str:
+        return self.render()
+
+    # -- querying (test convenience) --------------------------------------
+
+    def find_all(self, tag: Optional[str] = None, cls: Optional[str] = None) -> list:
+        """Depth-first search by tag and/or CSS class."""
+        found = []
+        for child in self.children:
+            if isinstance(child, Element):
+                if (tag is None or child.tag == tag) and (
+                    cls is None or cls in str(child.attrs.get("class", "")).split()
+                ):
+                    found.append(child)
+                found.extend(child.find_all(tag, cls))
+        return found
+
+    def text(self) -> str:
+        """Concatenated text content (unescaped source text)."""
+        parts = []
+        for child in self.children:
+            parts.append(child.text() if isinstance(child, Element) else str(child))
+        return "".join(parts)
+
+
+def el(tag: str, *children: Child, **attrs: object) -> Element:
+    """Terse element constructor: ``el("div", "hi", cls="card")``.
+
+    ``cls`` maps to the ``class`` attribute; ``data_foo`` to ``data-foo``.
+    """
+    mapped = {}
+    for name, value in attrs.items():
+        if name == "cls":
+            name = "class"
+        else:
+            name = name.replace("_", "-")
+        mapped[name] = value
+    return Element(tag, mapped, children)
+
+
+class RawHTML(Element):
+    """Pre-rendered trusted markup (output of another component)."""
+
+    __slots__ = ("_markup",)
+
+    def __init__(self, markup: str):
+        super().__init__("span", None, ())
+        self._markup = markup
+
+    def render(self) -> str:  # type: ignore[override]
+        """Return the trusted markup verbatim."""
+        return self._markup
+
+    def text(self) -> str:  # type: ignore[override]
+        return ""

@@ -1,0 +1,158 @@
+"""A miniature ERB-style template engine.
+
+The paper's code structure pairs "a frontend ERB template file" with API
+routes (§2.3); only a few server-side values (like the username) are
+pre-rendered into the template, everything else arrives via JSON.  This
+engine supports that exact usage:
+
+* ``<%= expression %>`` — evaluate and HTML-escape;
+* ``<%- expression %>`` — evaluate raw (for nesting rendered components);
+* ``<% for x in items %> ... <% end %>`` — loops;
+* ``<% if cond %> ... <% end %>`` — conditionals.
+
+Expressions are evaluated against the provided context dict only (no
+builtins beyond a safe whitelist), which keeps templates declarative.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+from .html import escape
+
+_TOKEN_RE = re.compile(r"<%(=|-)?\s*(.*?)\s*%>", re.DOTALL)
+
+_SAFE_BUILTINS = {
+    "len": len,
+    "round": round,
+    "min": min,
+    "max": max,
+    "int": int,
+    "float": float,
+    "str": str,
+    "sorted": sorted,
+    "enumerate": enumerate,
+}
+
+
+class TemplateError(ValueError):
+    """Raised for malformed templates or failing expressions."""
+
+
+class Template:
+    """A compiled template; render with a context dict."""
+
+    def __init__(self, source: str, name: str = "<template>"):
+        self.source = source
+        self.name = name
+        self._ops = self._compile(source)
+
+    # -- compilation -------------------------------------------------------
+
+    def _compile(self, source: str) -> List[tuple]:
+        ops: List[tuple] = []
+        pos = 0
+        for match in _TOKEN_RE.finditer(source):
+            if match.start() > pos:
+                ops.append(("text", source[pos : match.start()]))
+            flavor, body = match.group(1), match.group(2)
+            if flavor == "=":
+                ops.append(("expr", body))
+            elif flavor == "-":
+                ops.append(("raw", body))
+            elif body == "end":
+                ops.append(("end",))
+            elif body.startswith("for ") or body.startswith("if "):
+                ops.append(("block", body))
+            else:
+                raise TemplateError(
+                    f"{self.name}: unsupported directive <% {body} %>"
+                )
+            pos = match.end()
+        if pos < len(source):
+            ops.append(("text", source[pos:]))
+        # validate block nesting now rather than at render time
+        depth = 0
+        for op in ops:
+            if op[0] == "block":
+                depth += 1
+            elif op[0] == "end":
+                depth -= 1
+                if depth < 0:
+                    raise TemplateError(f"{self.name}: unmatched <% end %>")
+        if depth != 0:
+            raise TemplateError(f"{self.name}: {depth} unclosed block(s)")
+        return ops
+
+    # -- rendering ----------------------------------------------------------
+
+    def render(self, context: Dict[str, Any]) -> str:
+        """Render the template against ``context``; returns HTML text."""
+        out: List[str] = []
+        self._render_ops(self._ops, 0, len(self._ops), dict(context), out)
+        return "".join(out)
+
+    def _render_ops(self, ops, start, end, ctx, out) -> None:
+        i = start
+        while i < end:
+            op = ops[i]
+            kind = op[0]
+            if kind == "text":
+                out.append(op[1])
+            elif kind == "expr":
+                out.append(escape(self._eval(op[1], ctx)))
+            elif kind == "raw":
+                out.append(str(self._eval(op[1], ctx)))
+            elif kind == "block":
+                close = self._find_close(ops, i, end)
+                header = op[1]
+                if header.startswith("for "):
+                    m = re.match(r"for\s+(\w+(?:\s*,\s*\w+)*)\s+in\s+(.+)", header)
+                    if not m:
+                        raise TemplateError(f"{self.name}: bad for: {header!r}")
+                    var_names = [v.strip() for v in m.group(1).split(",")]
+                    iterable = self._eval(m.group(2), ctx)
+                    for item in iterable:
+                        inner = dict(ctx)
+                        if len(var_names) == 1:
+                            inner[var_names[0]] = item
+                        else:
+                            for name, val in zip(var_names, item):
+                                inner[name] = val
+                        self._render_ops(ops, i + 1, close, inner, out)
+                else:  # if
+                    cond = self._eval(header[3:], ctx)
+                    if cond:
+                        self._render_ops(ops, i + 1, close, ctx, out)
+                i = close
+            elif kind == "end":
+                pass
+            i += 1
+
+    @staticmethod
+    def _find_close(ops, start, end) -> int:
+        depth = 0
+        for i in range(start, end):
+            if ops[i][0] == "block":
+                depth += 1
+            elif ops[i][0] == "end":
+                depth -= 1
+                if depth == 0:
+                    return i
+        raise TemplateError("unclosed block")  # pragma: no cover - compile checks
+
+    def _eval(self, expr: str, ctx: Dict[str, Any]) -> Any:
+        try:
+            return eval(  # noqa: S307 - sandboxed: no builtins beyond whitelist
+                expr, {"__builtins__": _SAFE_BUILTINS}, ctx
+            )
+        except Exception as exc:
+            raise TemplateError(
+                f"{self.name}: error evaluating {expr!r}: {exc}"
+            ) from exc
+
+
+def render_template(source: str, **context: Any) -> str:
+    """One-shot helper: compile and render."""
+    return Template(source).render(context)

@@ -1,0 +1,355 @@
+"""API route registry and dashboard context.
+
+Paper §2.3: "Each dashboard feature consists of a frontend ERB template
+file paired with one or more backend API routes. ... components can be
+easily moved and modified as isolated parts."  We reproduce that 1:1
+structure:
+
+* every widget/page registers one :class:`ApiRoute` (name, path, handler,
+  declared data sources — the Table 1 contract);
+* :class:`RouteRegistry.call` isolates failures: a crashing handler
+  yields an error response for *that* component, never an exception that
+  would take down the rest of the dashboard (§2.4 Modularity);
+* :class:`DashboardContext` is the backend's view of the world: the
+  cluster (via its command-line layer), the news API, the storage
+  database — with every external read going through the server-side
+  TTL cache (§2.4 Performance).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.auth import Directory, PermissionDenied, PermissionPolicy, Viewer
+from repro.news.api import Article, NewsAPI
+from repro.ood import AppRegistry, LogStore, SessionManager
+from repro.slurm.cluster import SlurmCluster
+from repro.slurm.commands import (
+    Sacct,
+    Scontrol,
+    Sinfo,
+    Squeue,
+    parse_sacct,
+    parse_scontrol_blocks,
+    parse_sinfo,
+    parse_squeue,
+)
+from repro.slurm.model import JobState
+from repro.storage.quota import DirectoryQuota, QuotaDatabase
+
+from .caching import CachePolicy, TTLCache
+from .records import JobRecord, NodeRecord
+
+RouteHandler = Callable[["DashboardContext", Viewer, Dict[str, Any]], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class ApiRoute:
+    """One backend API route, paired with one frontend component (§2.3)."""
+
+    name: str  # "recent_jobs"
+    path: str  # "/api/v1/widgets/recent_jobs"
+    feature: str  # "Recent Jobs widget" — Table 1's left column
+    data_sources: Tuple[str, ...]  # Table 1's right column
+    handler: RouteHandler
+    #: client-side freshness window suggested to the frontend (seconds)
+    client_max_age_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not self.path.startswith("/"):
+            raise ValueError(f"route path must start with '/': {self.path!r}")
+
+
+@dataclass
+class RouteResponse:
+    """JSON-shaped response envelope every route returns."""
+
+    ok: bool
+    data: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    status: int = 200
+    route: str = ""
+    elapsed_ms: float = 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        """The JSON envelope sent over HTTP."""
+        out: Dict[str, Any] = {"ok": self.ok, "route": self.route, "status": self.status}
+        if self.ok:
+            out["data"] = self.data
+        else:
+            out["error"] = self.error
+        return out
+
+
+class RouteRegistry:
+    """All registered routes; the modular dispatch point."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, ApiRoute] = {}
+        self._by_path: Dict[str, ApiRoute] = {}
+
+    def register(self, route: ApiRoute) -> ApiRoute:
+        """Add a route; duplicate names/paths are rejected."""
+        if route.name in self._by_name:
+            raise ValueError(f"duplicate route name {route.name!r}")
+        if route.path in self._by_path:
+            raise ValueError(f"duplicate route path {route.path!r}")
+        self._by_name[route.name] = route
+        self._by_path[route.path] = route
+        return route
+
+    def unregister(self, name: str) -> None:
+        """Remove a component's route (used by the modularity ablation —
+        a removed widget must not affect its siblings)."""
+        route = self._by_name.pop(name, None)
+        if route is None:
+            raise KeyError(f"no route named {name!r}")
+        del self._by_path[route.path]
+
+    def get(self, name: str) -> ApiRoute:
+        """Look up a route by name (KeyError if unknown)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no route named {name!r}") from None
+
+    def by_path(self, path: str) -> Optional[ApiRoute]:
+        """The route serving ``path``, or None."""
+        return self._by_path.get(path)
+
+    def all_routes(self) -> List[ApiRoute]:
+        """Every registered route, in registration order."""
+        return list(self._by_name.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    # -- dispatch -----------------------------------------------------------
+
+    def call(
+        self,
+        ctx: "DashboardContext",
+        name: str,
+        viewer: Viewer,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> RouteResponse:
+        """Invoke one route with failure isolation (§2.4 Modularity)."""
+        params = params or {}
+        route = self._by_name.get(name)
+        if route is None:
+            return RouteResponse(
+                ok=False, error=f"unknown route {name!r}", status=404, route=name
+            )
+        t0 = time.perf_counter()
+        try:
+            data = route.handler(ctx, viewer, params)
+            return RouteResponse(
+                ok=True,
+                data=data,
+                route=name,
+                elapsed_ms=(time.perf_counter() - t0) * 1000,
+            )
+        except PermissionDenied as exc:
+            return RouteResponse(
+                ok=False, error=str(exc), status=403, route=name,
+                elapsed_ms=(time.perf_counter() - t0) * 1000,
+            )
+        except KeyError as exc:
+            return RouteResponse(
+                ok=False, error=f"not found: {exc}", status=404, route=name,
+                elapsed_ms=(time.perf_counter() - t0) * 1000,
+            )
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            return RouteResponse(
+                ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+                status=500,
+                route=name,
+                elapsed_ms=(time.perf_counter() - t0) * 1000,
+            )
+
+
+class DashboardContext:
+    """Everything the backend routes can reach, behind the server cache.
+
+    Each accessor runs the corresponding Slurm command / external API
+    call on cache miss only, with the per-source TTLs of
+    :class:`~repro.core.caching.CachePolicy` (§2.4 Performance).
+    """
+
+    def __init__(
+        self,
+        cluster: SlurmCluster,
+        directory: Directory,
+        quotas: QuotaDatabase,
+        news: NewsAPI,
+        cache_policy: Optional[CachePolicy] = None,
+        use_server_cache: bool = True,
+    ):
+        self.cluster = cluster
+        self.directory = directory
+        self.policy = PermissionPolicy(directory)
+        self.quotas = quotas
+        self.news = news
+        self.cache_policy = cache_policy or CachePolicy()
+        self.use_server_cache = use_server_cache
+        self.cache = TTLCache(cluster.clock, default_ttl=self.cache_policy.default)
+        self.sessions = SessionManager(cluster)
+        self.apps = AppRegistry()
+        self.logs = LogStore()
+        self._squeue = Squeue(cluster)
+        self._sinfo = Sinfo(cluster)
+        self._sacct = Sacct(cluster)
+        self._scontrol = Scontrol(cluster)
+
+    @property
+    def clock(self):
+        return self.cluster.clock
+
+    def now(self) -> float:
+        """Current simulated time (seconds since the epoch)."""
+        return self.cluster.clock.now()
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def _cached(self, source: str, key: str, compute: Callable[[], Any]) -> Any:
+        if not self.use_server_cache:
+            return compute()
+        return self.cache.fetch(
+            f"{source}:{key}", compute, ttl=self.cache_policy.ttl_for(source)
+        )
+
+    # -- Slurm data (commands -> text -> parse -> records) --------------------
+
+    def recent_jobs_of(self, username: str) -> List[JobRecord]:
+        """squeue scoped to one user (Recent Jobs widget, 30 s TTL)."""
+
+        def compute() -> List[JobRecord]:
+            out = self._squeue.run(user=username)
+            return [
+                JobRecord.from_squeue_row(r, self.clock)
+                for r in parse_squeue(out.stdout)
+            ]
+
+        return self._cached("squeue", username, compute)
+
+    def partition_status(self) -> List[dict]:
+        """sinfo summary rows (System Status widget, 60 s TTL)."""
+
+        def compute() -> List[dict]:
+            return parse_sinfo(self._sinfo.run().stdout)
+
+        return self._cached("sinfo", "all", compute)
+
+    def jobs_in_scope(
+        self,
+        viewer: Viewer,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        states: Optional[Sequence[JobState]] = None,
+    ) -> List[JobRecord]:
+        """sacct over the viewer's privacy scope: own jobs plus jobs under
+        shared accounts (§2.4); the My Jobs / Performance Metrics source."""
+        accounts = self.policy.visible_accounts(viewer)
+        key = f"{viewer.username}:{start}:{end}"
+
+        def compute() -> List[JobRecord]:
+            out = self._sacct.run(
+                users=[viewer.username], accounts=accounts, start=start, end=end
+            )
+            return [
+                JobRecord.from_sacct_row(r, self.clock)
+                for r in parse_sacct(out.stdout)
+            ]
+
+        records = self._cached("sacct", key, compute)
+        if states is not None:
+            wanted = set(states)
+            records = [r for r in records if r.state in wanted]
+        return records
+
+    def node_records(self) -> List[NodeRecord]:
+        """All nodes via scontrol show node (Cluster Status, 60 s TTL)."""
+
+        def compute() -> List[NodeRecord]:
+            out = self._scontrol.show_nodes()
+            return [
+                NodeRecord.from_scontrol_block(b, self.clock)
+                for b in parse_scontrol_blocks(out.stdout)
+            ]
+
+        return self._cached("scontrol_node", "all", compute)
+
+    def node_record(self, name: str) -> NodeRecord:
+        """One node (Node Overview)."""
+        if name not in self.cluster.nodes:
+            raise KeyError(f"unknown node {name!r}")
+
+        def compute() -> NodeRecord:
+            out = self._scontrol.show_node(name)
+            return NodeRecord.from_scontrol_block(
+                parse_scontrol_blocks(out.stdout)[0], self.clock
+            )
+
+        return self._cached("scontrol_node", name, compute)
+
+    def job_record(self, job_id: int) -> JobRecord:
+        """One job via scontrol (live) falling back to sacct (archived)."""
+
+        def compute() -> JobRecord:
+            try:
+                out = self._scontrol.show_job(job_id)
+                return JobRecord.from_scontrol_block(
+                    parse_scontrol_blocks(out.stdout)[0], self.clock
+                )
+            except KeyError:
+                archived = self.cluster.accounting.get(job_id)
+                if archived is None:
+                    raise KeyError(f"unknown job {job_id}") from None
+                # archived jobs still flow through the sacct text path
+                res = self._sacct.run(users=[archived.user])
+                for row in parse_sacct(res.stdout):
+                    if row["JobIDRaw"] == str(job_id):
+                        return JobRecord.from_sacct_row(row, self.clock)
+                raise KeyError(f"unknown job {job_id}") from None
+
+        return self._cached("scontrol_job", str(job_id), compute)
+
+    def association_info(self, account: str) -> dict:
+        """scontrol show assoc block for one account (Accounts widget)."""
+
+        def compute() -> dict:
+            out = self._scontrol.show_assoc(account)
+            return parse_scontrol_blocks(out.stdout)[0]
+
+        return self._cached("scontrol_assoc", account, compute)
+
+    def cluster_queue(self) -> List[JobRecord]:
+        """The whole live queue via squeue (shared cache entry used by the
+        Accounts widget to count queued CPUs per allocation)."""
+
+        def compute() -> List[JobRecord]:
+            out = self._squeue.run(include_finished=False)
+            return [
+                JobRecord.from_squeue_row(r, self.clock)
+                for r in parse_squeue(out.stdout)
+            ]
+
+        return self._cached("squeue", "__all__", compute)
+
+    # -- non-Slurm data --------------------------------------------------------
+
+    def announcements(self, limit: int = 10) -> List[Article]:
+        """News API articles (30 min TTL, per §2.4's example)."""
+        return self._cached("news", f"limit={limit}", lambda: self.news.fetch(limit))
+
+    def storage_for(self, viewer: Viewer) -> List[DirectoryQuota]:
+        """Quota rows for the viewer's storage scope (1 h TTL)."""
+        owners = self.policy.visible_storage_owners(viewer)
+
+        def compute() -> List[DirectoryQuota]:
+            return self.quotas.directories_for(owners)
+
+        return self._cached("storage", viewer.username, compute)

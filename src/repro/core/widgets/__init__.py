@@ -1,0 +1,30 @@
+"""Homepage widgets, each a (route handler, renderer) pair (paper §3)."""
+
+from . import accounts, announcements, recent_jobs, storage, system_status
+
+#: registration order is the homepage layout order (Figure 2)
+ALL_WIDGET_ROUTES = (
+    announcements.ROUTE,
+    recent_jobs.ROUTE,
+    system_status.ROUTE,
+    accounts.ROUTE,
+    storage.ROUTE,
+)
+
+WIDGET_RENDERERS = {
+    "announcements": announcements.render_announcements,
+    "recent_jobs": recent_jobs.render_recent_jobs,
+    "system_status": system_status.render_system_status,
+    "accounts": accounts.render_accounts,
+    "storage": storage.render_storage,
+}
+
+__all__ = [
+    "accounts",
+    "announcements",
+    "recent_jobs",
+    "storage",
+    "system_status",
+    "ALL_WIDGET_ROUTES",
+    "WIDGET_RENDERERS",
+]

@@ -1,0 +1,137 @@
+"""Accounts widget (paper §3.4).
+
+Shows each allocation the user belongs to with its CPU limit, CPUs
+currently in use and queued, and GPU hours used against the allocation's
+GPU-hour limit.  Managers get an export dropdown (CSV / Excel) with the
+per-user usage breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.auth import Viewer
+from repro.slurm.model import JobState, TRES
+
+from ..colors import utilization_color
+from ..rendering import el, progress_bar
+from ..routes import ApiRoute, DashboardContext
+
+
+def accounts_data(
+    ctx: DashboardContext, viewer: Viewer, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Route handler: usage vs limits for each of the viewer's accounts."""
+    queue = ctx.cluster_queue()
+    accounts = []
+    for name in ctx.policy.visible_accounts(viewer):
+        try:
+            assoc = ctx.association_info(name)
+        except KeyError:
+            # accounts without a Slurm association (no limits) still show
+            assoc = {}
+        grp = TRES.parse(assoc.get("GrpTRES", "")) if assoc.get("GrpTRES") else None
+        alloc = (
+            TRES.parse(assoc.get("GrpTRESAlloc", ""))
+            if assoc.get("GrpTRESAlloc")
+            else TRES()
+        )
+        queued_cpus = sum(
+            r.req.cpus
+            for r in queue
+            if r.account == name and r.state is JobState.PENDING
+        )
+        cpu_limit = grp.cpus if grp and grp.cpus else None
+        cpu_frac = alloc.cpus / cpu_limit if cpu_limit else None
+        gpu_hours_used = float(assoc.get("GPUHoursUsed", 0.0) or 0.0)
+        raw_limit = assoc.get("GrpGPUHoursLimit", "N")
+        gpu_hours_limit = None if raw_limit in ("N", "", None) else float(raw_limit)
+        gpu_frac = (
+            gpu_hours_used / gpu_hours_limit if gpu_hours_limit else None
+        )
+        accounts.append(
+            {
+                "name": name,
+                "cpus_in_use": alloc.cpus,
+                "cpus_queued": queued_cpus,
+                "cpu_limit": cpu_limit,
+                "cpu_fraction": round(cpu_frac, 4) if cpu_frac is not None else None,
+                "cpu_color": (
+                    utilization_color(cpu_frac) if cpu_frac is not None else None
+                ),
+                "gpu_hours_used": round(gpu_hours_used, 2),
+                "gpu_hours_limit": gpu_hours_limit,
+                "gpu_fraction": (
+                    round(min(gpu_frac, 1.0), 4) if gpu_frac is not None else None
+                ),
+                "can_export": ctx.policy.can_export_account_usage(viewer, name),
+                "export_urls": {
+                    "csv": f"/api/v1/export/account_usage/{name}.csv",
+                    "xlsx": f"/api/v1/export/account_usage/{name}.xls",
+                },
+            }
+        )
+    return {"accounts": accounts, "user_guide_url": "/docs/accounting"}
+
+
+def render_accounts(data: Dict[str, Any]):
+    """Frontend: one row per allocation with usage bars + export menu."""
+    rows = []
+    for acct in data["accounts"]:
+        parts = [
+            el(
+                "div",
+                el("strong", acct["name"]),
+                el(
+                    "span",
+                    f"CPUs in use: {acct['cpus_in_use']}"
+                    + (f" / {acct['cpu_limit']}" if acct["cpu_limit"] else "")
+                    + f" (queued: {acct['cpus_queued']})",
+                    cls="account-cpus",
+                ),
+            )
+        ]
+        if acct["cpu_fraction"] is not None:
+            parts.append(
+                progress_bar(acct["cpu_fraction"], label=f"{acct['name']} CPU usage")
+            )
+        gpu_text = f"GPU hours used: {acct['gpu_hours_used']:g}"
+        if acct["gpu_hours_limit"]:
+            gpu_text += f" / {acct['gpu_hours_limit']:g}"
+        parts.append(el("div", gpu_text, cls="account-gpu-hours"))
+        if acct["gpu_fraction"] is not None:
+            parts.append(
+                progress_bar(acct["gpu_fraction"], label=f"{acct['name']} GPU hours")
+            )
+        if acct["can_export"]:
+            parts.append(
+                el(
+                    "div",
+                    el("a", "Export CSV", href=acct["export_urls"]["csv"]),
+                    el("a", "Export Excel", href=acct["export_urls"]["xlsx"]),
+                    cls="export-dropdown",
+                )
+            )
+        rows.append(el("div", *parts, cls="account-row"))
+    return el(
+        "section",
+        el(
+            "header",
+            el("h4", "Accounts"),
+            el("a", "Accounting guide", href=data["user_guide_url"], cls="widget-link"),
+            cls="widget-header",
+        ),
+        *rows,
+        cls="widget widget-accounts",
+        aria_label="Allocation usage",
+    )
+
+
+ROUTE = ApiRoute(
+    name="accounts",
+    path="/api/v1/widgets/accounts",
+    feature="Accounts widget",
+    data_sources=("scontrol show assoc (Slurm)",),
+    handler=accounts_data,
+    client_max_age_s=120.0,
+)

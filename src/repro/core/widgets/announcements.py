@@ -1,0 +1,89 @@
+"""Announcements widget (paper §3.1).
+
+Gathers the latest news from the center's news API (cached server-side
+for 30 minutes) and renders an accordion: collapsed title/date rows that
+expand to the article body.  Outages are red, maintenance yellow, the
+rest gray; past announcements get the faint "past" styling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.auth import Viewer
+
+from ..colors import announcement_color, announcement_style
+from ..rendering import accordion, el
+from ..routes import ApiRoute, DashboardContext
+
+
+def announcements_data(
+    ctx: DashboardContext, viewer: Viewer, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Route handler: JSON list of recent articles with display hints."""
+    limit = int(params.get("limit", 8))
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    now = ctx.now()
+    articles = []
+    for art in ctx.announcements(limit=limit):
+        articles.append(
+            {
+                "id": art.article_id,
+                "title": art.title,
+                "body": art.body,
+                "category": art.category.value,
+                "color": announcement_color(art.category),
+                "style": announcement_style(art, now),
+                "posted_at": ctx.clock.isoformat(art.posted_at),
+                "starts_at": (
+                    ctx.clock.isoformat(art.starts_at)
+                    if art.starts_at is not None
+                    else None
+                ),
+                "ends_at": (
+                    ctx.clock.isoformat(art.ends_at) if art.ends_at is not None else None
+                ),
+                "upcoming": art.is_upcoming(now),
+                "active_now": art.is_active(now),
+            }
+        )
+    return {"articles": articles, "all_news_url": "/news"}
+
+
+def render_announcements(data: Dict[str, Any]):
+    """Frontend: accordion layout with color-coded urgency (§3.1)."""
+    items = []
+    for art in data["articles"]:
+        subtitle = art["posted_at"]
+        if art["starts_at"]:
+            subtitle += f" — window {art['starts_at']} to {art['ends_at']}"
+        items.append(
+            (
+                art["title"],
+                art["body"],
+                {"color": art["color"], "style": art["style"], "subtitle": subtitle},
+            )
+        )
+    return el(
+        "section",
+        el(
+            "header",
+            el("h4", "Announcements"),
+            el("a", "View all news", href=data["all_news_url"], cls="widget-link"),
+            cls="widget-header",
+        ),
+        accordion(items),
+        cls="widget widget-announcements",
+        aria_label="Cluster announcements",
+    )
+
+
+ROUTE = ApiRoute(
+    name="announcements",
+    path="/api/v1/widgets/announcements",
+    feature="Announcements widget",
+    data_sources=("API call to RCAC news page",),
+    handler=announcements_data,
+    client_max_age_s=300.0,
+)

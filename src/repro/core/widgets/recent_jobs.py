@@ -1,0 +1,115 @@
+"""Recent Jobs widget (paper §3.2).
+
+Shows the user's latest jobs — queued, running, or just finished — in
+compact cards: name, id, status, and the most relevant timestamp, with
+the status reason explained in a hoverable tooltip.  Data comes from
+``squeue`` and is cached aggressively (~30 s) on both sides because
+squeue load lands on slurmctld.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.auth import Viewer
+from repro.slurm import reasons as R
+from repro.slurm.model import JobState
+
+from ..colors import job_state_color, job_state_label
+from ..rendering import badge, el, tooltip_span
+from ..routes import ApiRoute, DashboardContext
+
+
+def recent_jobs_data(
+    ctx: DashboardContext, viewer: Viewer, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Route handler: the viewer's most recent jobs as card payloads."""
+    limit = int(params.get("limit", 8))
+    records = ctx.recent_jobs_of(viewer.username)[:limit]
+    now = ctx.now()
+    cards = []
+    for rec in records:
+        if rec.state is JobState.PENDING:
+            stamp_label, stamp = "Submitted", rec.submit_time
+        elif rec.state is JobState.RUNNING:
+            stamp_label, stamp = "Started", rec.start_time
+        else:
+            stamp_label, stamp = "Ended", rec.end_time
+        reason_info = R.explain(rec.reason)
+        est = rec.raw.get("EST_START", "N/A")
+        cards.append(
+            {
+                "job_id": rec.display_id,
+                "name": rec.name,
+                "state": rec.state.value,
+                "state_label": job_state_label(rec.state),
+                "state_color": job_state_color(rec.state),
+                "reason": rec.reason,
+                "reason_tooltip": reason_info.friendly,
+                "timestamp_label": stamp_label,
+                "timestamp": ctx.clock.isoformat(stamp) if stamp is not None else "n/a",
+                # squeue --start projection, for pending jobs (None otherwise)
+                "estimated_start": (
+                    est if rec.state is JobState.PENDING and est != "N/A" else None
+                ),
+                "overview_url": f"/jobs/{rec.job_id}",
+            }
+        )
+    return {"jobs": cards, "all_jobs_url": "/my_jobs", "as_of": ctx.clock.isoformat(now)}
+
+
+def render_recent_jobs(data: Dict[str, Any]):
+    """Frontend: compact card per job with tooltip'd status (§3.2)."""
+    cards = []
+    for job in data["jobs"]:
+        status = badge(job["state_label"], job["state_color"])
+        tip = job["reason_tooltip"]
+        cards.append(
+            el(
+                "a",
+                el("div", el("strong", job["name"]), el("small", f"#{job['job_id']}")),
+                el(
+                    "div",
+                    tooltip_span(job["state_label"], tip) if tip else status,
+                    cls=f"job-status text-{job['state_color']}",
+                ),
+                el(
+                    "div",
+                    f"{job['timestamp_label']}: {job['timestamp']}",
+                    cls="job-timestamp",
+                ),
+                (
+                    el(
+                        "div",
+                        f"Estimated start: {job['estimated_start']}",
+                        cls="job-estimated-start",
+                    )
+                    if job.get("estimated_start")
+                    else None
+                ),
+                cls="job-card",
+                href=job["overview_url"],
+            )
+        )
+    return el(
+        "section",
+        el(
+            "header",
+            el("h4", "Recent Jobs"),
+            el("a", "All jobs", href=data["all_jobs_url"], cls="widget-link"),
+            cls="widget-header",
+        ),
+        el("div", *cards, cls="job-card-list"),
+        cls="widget widget-recent-jobs",
+        aria_label="Recent jobs",
+    )
+
+
+ROUTE = ApiRoute(
+    name="recent_jobs",
+    path="/api/v1/widgets/recent_jobs",
+    feature="Recent Jobs widget",
+    data_sources=("squeue (Slurm)",),
+    handler=recent_jobs_data,
+    client_max_age_s=30.0,
+)

@@ -1,0 +1,93 @@
+"""Storage widget (paper §3.5).
+
+Lists every directory the user can use — home, scratch, and group/project
+directories — with disk usage and file counts, color-coded bars, and a
+link into the Open OnDemand files app for each path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.auth import Viewer
+from repro.ood import files_app_url
+from repro.storage.quota import format_bytes
+
+from ..colors import utilization_color
+from ..rendering import el, progress_bar
+from ..routes import ApiRoute, DashboardContext
+
+
+def storage_data(
+    ctx: DashboardContext, viewer: Viewer, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Route handler: quota rows scoped to the viewer (§2.4 Privacy)."""
+    dirs = []
+    for entry in ctx.storage_for(viewer):
+        dirs.append(
+            {
+                "path": entry.path,
+                "label": entry.label,
+                "filesystem": entry.kind.value,
+                "owner": entry.owner,
+                "used_bytes": entry.used_bytes,
+                "quota_bytes": entry.quota_bytes,
+                "used_display": format_bytes(entry.used_bytes),
+                "quota_display": format_bytes(entry.quota_bytes),
+                "bytes_fraction": round(entry.bytes_fraction, 4),
+                "bytes_color": utilization_color(entry.bytes_fraction),
+                "used_files": entry.used_files,
+                "quota_files": entry.quota_files,
+                "files_fraction": round(entry.files_fraction, 4),
+                "files_color": utilization_color(entry.files_fraction),
+                "files_app_url": files_app_url(entry.path),
+            }
+        )
+    return {"directories": dirs}
+
+
+def render_storage(data: Dict[str, Any]):
+    """Frontend: one block per directory with two bars (§3.5)."""
+    rows = []
+    for d in data["directories"]:
+        rows.append(
+            el(
+                "div",
+                el(
+                    "div",
+                    el("strong", f"{d['label']} "),
+                    el("a", d["path"], href=d["files_app_url"], cls="files-link"),
+                    el("small", f" ({d['filesystem']})"),
+                ),
+                el(
+                    "div",
+                    f"Storage: {d['used_display']} of {d['quota_display']}",
+                    cls="storage-bytes",
+                ),
+                progress_bar(d["bytes_fraction"], label=f"{d['path']} storage"),
+                el(
+                    "div",
+                    f"Files: {d['used_files']:,} of {d['quota_files']:,}",
+                    cls="storage-files",
+                ),
+                progress_bar(d["files_fraction"], label=f"{d['path']} file count"),
+                cls="storage-row",
+            )
+        )
+    return el(
+        "section",
+        el("header", el("h4", "Storage"), cls="widget-header"),
+        *rows,
+        cls="widget widget-storage",
+        aria_label="Storage usage",
+    )
+
+
+ROUTE = ApiRoute(
+    name="storage",
+    path="/api/v1/widgets/storage",
+    feature="Storage widget",
+    data_sources=("ZFS and GPFS storage database",),
+    handler=storage_data,
+    client_max_age_s=600.0,
+)

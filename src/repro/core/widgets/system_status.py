@@ -1,0 +1,106 @@
+"""System Status widget (paper §3.3).
+
+Per-partition overview from ``sinfo``: name, availability, node/CPU/GPU
+traffic as both text and a color-coded progress bar (green < 70 %,
+yellow 70–90 %, red > 90 %).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.auth import Viewer
+
+from ..colors import utilization_color
+from ..rendering import el, progress_bar
+from ..routes import ApiRoute, DashboardContext
+
+
+def system_status_data(
+    ctx: DashboardContext, viewer: Viewer, params: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Route handler: partition utilization summary."""
+    partitions = []
+    for row in ctx.partition_status():
+        cpu_frac = row["cpus_alloc"] / row["cpus_total"] if row["cpus_total"] else 0.0
+        gpu_frac = (
+            row["gpus_alloc"] / row["gpus_total"] if row["gpus_total"] else None
+        )
+        busy_nodes = row["nodes_alloc"] + row["nodes_other"]
+        node_frac = busy_nodes / row["nodes_total"] if row["nodes_total"] else 0.0
+        partitions.append(
+            {
+                "name": row["partition"],
+                "is_default": row["is_default"],
+                "available": row["AVAIL"] == "up",
+                "time_limit": row["TIMELIMIT"],
+                "cpus_in_use": row["cpus_alloc"],
+                "cpus_total": row["cpus_total"],
+                "cpu_fraction": round(cpu_frac, 4),
+                "cpu_color": utilization_color(cpu_frac),
+                "gpus_in_use": row["gpus_alloc"],
+                "gpus_total": row["gpus_total"],
+                "gpu_fraction": round(gpu_frac, 4) if gpu_frac is not None else None,
+                "gpu_color": (
+                    utilization_color(gpu_frac) if gpu_frac is not None else None
+                ),
+                "nodes_in_use": busy_nodes,
+                "nodes_total": row["nodes_total"],
+                "node_fraction": round(node_frac, 4),
+            }
+        )
+    return {"partitions": partitions, "details_url": "/cluster_status"}
+
+
+def render_system_status(data: Dict[str, Any]):
+    """Frontend: text + color-coded bars per partition (§3.3)."""
+    rows = []
+    for part in data["partitions"]:
+        bars = [
+            el("div", f"CPUs {part['cpus_in_use']}/{part['cpus_total']}"),
+            progress_bar(part["cpu_fraction"], label=f"{part['name']} CPU usage"),
+        ]
+        if part["gpu_fraction"] is not None:
+            bars.append(el("div", f"GPUs {part['gpus_in_use']}/{part['gpus_total']}"))
+            bars.append(
+                progress_bar(part["gpu_fraction"], label=f"{part['name']} GPU usage")
+            )
+        rows.append(
+            el(
+                "div",
+                el(
+                    "div",
+                    el("strong", part["name"] + ("*" if part["is_default"] else "")),
+                    el(
+                        "span",
+                        "up" if part["available"] else "down",
+                        cls="partition-avail "
+                        + ("text-green" if part["available"] else "text-red"),
+                    ),
+                ),
+                *bars,
+                cls="partition-status",
+            )
+        )
+    return el(
+        "section",
+        el(
+            "header",
+            el("h4", "System Status"),
+            el("a", "Partition details", href=data["details_url"], cls="widget-link"),
+            cls="widget-header",
+        ),
+        *rows,
+        cls="widget widget-system-status",
+        aria_label="System status",
+    )
+
+
+ROUTE = ApiRoute(
+    name="system_status",
+    path="/api/v1/widgets/system_status",
+    feature="System Status widget",
+    data_sources=("sinfo (Slurm)",),
+    handler=system_status_data,
+    client_max_age_s=60.0,
+)

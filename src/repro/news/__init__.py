@@ -1,0 +1,5 @@
+"""News/announcements substrate (stand-in for the center's news API)."""
+
+from .api import Article, Category, NewsAPI, seed_news
+
+__all__ = ["Article", "Category", "NewsAPI", "seed_news"]

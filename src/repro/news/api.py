@@ -1,0 +1,192 @@
+"""Center news/announcements API (Announcements widget's data source).
+
+Stands in for "the news API on our center's website" (paper §3.1).
+Articles carry a category — outage, maintenance or general news — and,
+for outages/maintenance, an effective window.  The widget color-codes by
+category (outage -> red, maintenance -> yellow, other -> gray) and styles
+past announcements as faded (§3.1); the classification helpers for that
+live here because they are properties of the article, not the widget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.rng import RandomStreams
+
+
+class Category(enum.Enum):
+    OUTAGE = "outage"
+    MAINTENANCE = "maintenance"
+    FEATURE = "feature"
+    NEWS = "news"
+
+
+@dataclass
+class Article:
+    """One announcement on the center's news page."""
+
+    article_id: int
+    title: str
+    body: str
+    category: Category
+    posted_at: float  # sim time seconds
+    #: effective window, for outages/maintenance; None = no window
+    starts_at: Optional[float] = None
+    ends_at: Optional[float] = None
+
+    def is_past(self, now: float) -> bool:
+        """Past = the event window has fully elapsed (faded-gray styling)."""
+        if self.ends_at is not None:
+            return self.ends_at < now
+        return False
+
+    def is_active(self, now: float) -> bool:
+        """Active = inside the event window right now."""
+        return (
+            self.starts_at is not None
+            and self.ends_at is not None
+            and self.starts_at <= now <= self.ends_at
+        )
+
+    def is_upcoming(self, now: float) -> bool:
+        """True when the event window lies entirely in the future."""
+        return self.starts_at is not None and self.starts_at > now
+
+
+class NewsAPI:
+    """The external news endpoint the backend route calls (and caches)."""
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+        self._articles: List[Article] = []
+        self._next_id = 1
+        self.request_count = 0  # instrumentation for cache benches
+        #: simulated HTTP round-trip to the external site
+        self.latency_s = 0.150
+
+    def publish(
+        self,
+        title: str,
+        body: str,
+        category: Category = Category.NEWS,
+        starts_at: Optional[float] = None,
+        ends_at: Optional[float] = None,
+        posted_at: Optional[float] = None,
+    ) -> Article:
+        """Post a new article; window endpoints must come as a pair."""
+        if not title:
+            raise ValueError("article title must be non-empty")
+        if (starts_at is None) != (ends_at is None):
+            raise ValueError("starts_at and ends_at must be given together")
+        if starts_at is not None and ends_at < starts_at:
+            raise ValueError("article window ends before it starts")
+        art = Article(
+            article_id=self._next_id,
+            title=title,
+            body=body,
+            category=category,
+            posted_at=self.clock.now() if posted_at is None else posted_at,
+            starts_at=starts_at,
+            ends_at=ends_at,
+        )
+        self._next_id += 1
+        self._articles.append(art)
+        return art
+
+    def fetch(
+        self, limit: int = 10, category: Optional[Category] = None
+    ) -> List[Article]:
+        """The API call the Announcements route makes: newest first."""
+        self.request_count += 1
+        arts = self._articles
+        if category is not None:
+            arts = [a for a in arts if a.category is category]
+        return sorted(arts, key=lambda a: -a.posted_at)[:limit]
+
+    def all_articles(self) -> List[Article]:
+        """Every article ever published (the /news page source)."""
+        return list(self._articles)
+
+
+MAINTENANCE_TITLES = [
+    "Scheduled maintenance: {cluster} compute nodes",
+    "{cluster} scratch filesystem maintenance",
+    "Network switch upgrade on {cluster}",
+    "Slurm upgrade on {cluster}",
+]
+
+OUTAGE_TITLES = [
+    "UNPLANNED OUTAGE: {cluster} login nodes unreachable",
+    "Emergency downtime: {cluster} cooling failure",
+    "{cluster} scratch filesystem degraded",
+]
+
+NEWS_TITLES = [
+    "New software stack deployed on {cluster}",
+    "Training workshop: introduction to {cluster}",
+    "Allocation renewal window now open",
+    "Office hours moved to Thursdays",
+    "New GPU partition available on {cluster}",
+]
+
+
+def seed_news(
+    api: NewsAPI,
+    cluster: str = "anvil",
+    seed: int = 0,
+    n_articles: int = 12,
+    horizon_days: float = 30.0,
+) -> None:
+    """Publish a realistic mixed feed: past/active/upcoming maintenance,
+    one outage, and general news, spread over the past ``horizon_days``
+    plus an upcoming maintenance window (so the widget shows every
+    styling state)."""
+    gen = RandomStreams(seed).stream("news")
+    now = api.clock.now()
+    day = 86400.0
+    for i in range(n_articles):
+        posted = now - float(gen.uniform(0, horizon_days)) * day
+        roll = float(gen.uniform())
+        if roll < 0.15:
+            start = posted + 2 * day
+            api.publish(
+                title=str(gen.choice(OUTAGE_TITLES)).format(cluster=cluster),
+                body="We are investigating an unplanned outage. Jobs may fail "
+                "to start until service is restored.",
+                category=Category.OUTAGE,
+                starts_at=start,
+                ends_at=start + float(gen.uniform(0.1, 1.0)) * day,
+                posted_at=posted,
+            )
+        elif roll < 0.45:
+            start = posted + float(gen.uniform(3, 10)) * day
+            api.publish(
+                title=str(gen.choice(MAINTENANCE_TITLES)).format(cluster=cluster),
+                body="The cluster will be unavailable during the maintenance "
+                "window. Queued jobs will resume afterwards.",
+                category=Category.MAINTENANCE,
+                starts_at=start,
+                ends_at=start + float(gen.uniform(0.2, 1.5)) * day,
+                posted_at=posted,
+            )
+        else:
+            api.publish(
+                title=str(gen.choice(NEWS_TITLES)).format(cluster=cluster),
+                body="See the user guide for details.",
+                category=Category.NEWS if roll < 0.8 else Category.FEATURE,
+                posted_at=posted,
+            )
+    # guarantee one *upcoming* maintenance so the widget always has an
+    # "anticipate the downtime" row, per the paper's §3.1 use case
+    api.publish(
+        title=f"Scheduled maintenance: {cluster} full-cluster downtime",
+        body="All of the cluster will be offline for scheduled maintenance.",
+        category=Category.MAINTENANCE,
+        starts_at=now + 5 * day,
+        ends_at=now + 5.5 * day,
+        posted_at=now - 0.5 * day,
+    )

@@ -1,0 +1,17 @@
+"""Open OnDemand framework substrate: apps, sessions, files, job logs."""
+
+from .apps import AppRegistry, BUILTIN_APPS, FormField, InteractiveApp
+from .files import LOG_TAIL_LINES, LogStore, files_app_url
+from .sessions import Session, SessionManager
+
+__all__ = [
+    "AppRegistry",
+    "BUILTIN_APPS",
+    "FormField",
+    "InteractiveApp",
+    "LOG_TAIL_LINES",
+    "LogStore",
+    "files_app_url",
+    "Session",
+    "SessionManager",
+]

@@ -1,0 +1,144 @@
+"""Open OnDemand interactive-app registry.
+
+Open OnDemand's signature feature (paper §2.1) is interactive apps:
+Jupyter, RStudio, MATLAB, VS Code launched from a web form as Slurm jobs.
+The dashboard's Job Overview session tab (§7) links back to these apps,
+so the substrate models the registry, each app's submit form, and how a
+form submission turns into a Slurm :class:`~repro.slurm.model.JobSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class FormField:
+    """One field of an interactive app's launch form."""
+
+    name: str
+    label: str
+    kind: str = "number"  # number | select | text
+    default: object = None
+    choices: tuple = ()
+
+    def validate(self, value: object) -> object:
+        """Validate one submitted value against the field's kind."""
+        if self.kind == "number":
+            try:
+                num = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise ValueError(f"{self.name}: expected a number, got {value!r}")
+            if num <= 0:
+                raise ValueError(f"{self.name}: must be positive")
+            return num
+        if self.kind == "select":
+            if value not in self.choices:
+                raise ValueError(
+                    f"{self.name}: {value!r} not one of {self.choices}"
+                )
+            return value
+        return str(value)
+
+
+@dataclass(frozen=True)
+class InteractiveApp:
+    """A launchable interactive application."""
+
+    key: str  # "jupyter"
+    title: str  # "Jupyter Notebook"
+    category: str = "Interactive Apps"
+    description: str = ""
+    form: tuple = ()
+    #: path of the OOD form, used by the session tab's relaunch link
+    form_url: str = ""
+
+    def validate_form(self, values: Dict[str, object]) -> Dict[str, object]:
+        """Validate submitted values against the form; fill defaults."""
+        out: Dict[str, object] = {}
+        for fld in self.form:
+            if fld.name in values:
+                out[fld.name] = fld.validate(values[fld.name])
+            elif fld.default is not None:
+                out[fld.name] = fld.default
+            else:
+                raise ValueError(f"missing required field {fld.name!r}")
+        unknown = set(values) - {f.name for f in self.form}
+        if unknown:
+            raise ValueError(f"unknown form fields: {sorted(unknown)}")
+        return out
+
+
+def _standard_form(max_hours: int = 12) -> tuple:
+    return (
+        FormField(name="cpus", label="Number of CPUs", kind="number", default=1),
+        FormField(name="memory_gb", label="Memory (GB)", kind="number", default=4),
+        FormField(name="hours", label="Wall time (hours)", kind="number", default=1),
+        FormField(
+            name="partition",
+            label="Partition",
+            kind="select",
+            default="cpu",
+            choices=("cpu", "gpu"),
+        ),
+    )
+
+
+BUILTIN_APPS: Dict[str, InteractiveApp] = {
+    "jupyter": InteractiveApp(
+        key="jupyter",
+        title="Jupyter Notebook",
+        description="Launch JupyterLab on a compute node.",
+        form=_standard_form(),
+        form_url="/pun/sys/dashboard/batch_connect/sys/jupyter/session_contexts/new",
+    ),
+    "rstudio": InteractiveApp(
+        key="rstudio",
+        title="RStudio Server",
+        description="Launch RStudio Server on a compute node.",
+        form=_standard_form(),
+        form_url="/pun/sys/dashboard/batch_connect/sys/rstudio/session_contexts/new",
+    ),
+    "matlab": InteractiveApp(
+        key="matlab",
+        title="MATLAB",
+        description="Launch MATLAB with a virtual desktop.",
+        form=_standard_form(),
+        form_url="/pun/sys/dashboard/batch_connect/sys/matlab/session_contexts/new",
+    ),
+    "vscode": InteractiveApp(
+        key="vscode",
+        title="VS Code Server",
+        description="Launch code-server on a compute node.",
+        form=_standard_form(),
+        form_url="/pun/sys/dashboard/batch_connect/sys/vscode/session_contexts/new",
+    ),
+}
+
+
+class AppRegistry:
+    """Registry of interactive apps available on this OOD install."""
+
+    def __init__(self, apps: Optional[Dict[str, InteractiveApp]] = None):
+        self._apps = dict(BUILTIN_APPS if apps is None else apps)
+
+    def get(self, key: str) -> InteractiveApp:
+        """Look up an app by key (KeyError if unknown)."""
+        try:
+            return self._apps[key]
+        except KeyError:
+            raise KeyError(f"unknown interactive app {key!r}") from None
+
+    def register(self, app: InteractiveApp) -> None:
+        """Add a custom app (ValueError on duplicate keys)."""
+        if app.key in self._apps:
+            raise ValueError(f"app {app.key!r} already registered")
+        self._apps[app.key] = app
+
+    def all_apps(self) -> List[InteractiveApp]:
+        """All registered apps, sorted by display title."""
+        return sorted(self._apps.values(), key=lambda a: a.title)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._apps

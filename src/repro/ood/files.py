@@ -1,0 +1,116 @@
+"""Files-app URL helpers and the simulated job-log filesystem.
+
+The paper's Job Overview output/error tabs (§7) read the job's log files
+from the shared filesystem (inheriting POSIX permissions), show the most
+recent 1000 lines with line numbers, and link to the full file in the
+Open OnDemand files app.  We simulate the filesystem with a deterministic
+log generator: a job's logs are reproducible from its id, long enough to
+exercise the tail-1000 path for long-running jobs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.slurm.model import Job, JobState
+
+#: the paper's display cap: "the interface will only show the most recent
+#: 1000 lines in the log files so the file loads quickly" (§7)
+LOG_TAIL_LINES = 1000
+
+
+def files_app_url(path: str) -> str:
+    """Link into the built-in OOD files app for a filesystem path (§3.5)."""
+    if not path.startswith("/"):
+        raise ValueError(f"files app links require absolute paths: {path!r}")
+    return f"/pun/sys/dashboard/files/fs{path}"
+
+
+class LogStore:
+    """Deterministic synthetic job logs, one writer per (job, stream).
+
+    Log volume scales with how long the job ran, so long jobs exceed the
+    1000-line display cap and short jobs do not — letting tests and
+    benches exercise both sides of the paper's tail behaviour.
+    """
+
+    #: one log line roughly every this many seconds of runtime
+    SECONDS_PER_LINE = 2.0
+
+    def __init__(self, max_lines: int = 2_000_000):
+        self.max_lines = max_lines
+        self.reads = 0  # instrumentation
+
+    # -- paths -------------------------------------------------------------
+
+    @staticmethod
+    def stdout_path(job: Job) -> str:
+        """Filesystem path of the job's stdout log."""
+        return job.spec.std_out or f"/home/{job.user}/slurm-{job.job_id}.out"
+
+    @staticmethod
+    def stderr_path(job: Job) -> str:
+        """Filesystem path of the job's stderr log."""
+        return job.spec.std_err or f"/home/{job.user}/slurm-{job.job_id}.err"
+
+    # -- content -----------------------------------------------------------
+
+    def line_count(self, job: Job, stream: str, now: float) -> int:
+        """How many lines the stream holds at ``now``."""
+        elapsed = job.elapsed(now)
+        if elapsed <= 0:
+            return 0
+        if stream == "out":
+            n = int(elapsed / self.SECONDS_PER_LINE) + 3
+        elif stream == "err":
+            # stderr is sparse unless the job failed
+            n = int(elapsed / (self.SECONDS_PER_LINE * 40)) + 1
+            if job.state in (JobState.FAILED, JobState.OUT_OF_MEMORY):
+                n += 25
+        else:
+            raise ValueError(f"unknown stream {stream!r} (want 'out' or 'err')")
+        return min(n, self.max_lines)
+
+    def read_lines(
+        self,
+        job: Job,
+        stream: str,
+        now: float,
+        offset: int = 0,
+        limit: int | None = None,
+    ) -> List[str]:
+        """Read log lines [offset, offset+limit).  Generation is O(limit),
+        not O(file) — the property the paper's 1000-line tail relies on."""
+        self.reads += 1
+        total = self.line_count(job, stream, now)
+        if offset < 0:
+            raise ValueError("offset cannot be negative")
+        end = total if limit is None else min(total, offset + limit)
+        return [
+            self._line(job, stream, i, total) for i in range(offset, end)
+        ]
+
+    def tail(
+        self, job: Job, stream: str, now: float, lines: int = LOG_TAIL_LINES
+    ) -> tuple[List[str], int, int]:
+        """The Job Overview read: last ``lines`` lines.
+
+        Returns ``(lines, first_line_number, total_lines)`` where line
+        numbers are 1-based — the page shows them in the left gutter (§7).
+        """
+        total = self.line_count(job, stream, now)
+        offset = max(0, total - lines)
+        return self.read_lines(job, stream, now, offset=offset), offset + 1, total
+
+    def _line(self, job: Job, stream: str, i: int, total: int) -> str:
+        if stream == "out":
+            if i == 0:
+                return f"=== job {job.job_id} ({job.name}) starting on {','.join(job.nodes) or 'n/a'} ==="
+            if i == total - 1 and job.state.is_terminal:
+                return f"=== job {job.job_id} finished: {job.state.value} ==="
+            return f"[step {i:06d}] progress ok (job {job.job_id})"
+        if job.state is JobState.OUT_OF_MEMORY and i >= max(0, total - 3):
+            return f"slurmstepd: error: Detected 1 oom-kill event(s) in StepId={job.job_id}.batch"
+        if job.state is JobState.FAILED and i >= max(0, total - 25):
+            return f"Traceback frame {total - i} (job {job.job_id})"
+        return f"[warn {i:04d}] transient condition (job {job.job_id})"

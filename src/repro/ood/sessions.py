@@ -1,0 +1,152 @@
+"""Open OnDemand interactive sessions (batch-connect).
+
+A session = one interactive-app launch = one Slurm job with
+:class:`~repro.slurm.model.InteractiveSessionInfo` provenance.  The Job
+Overview session tab (§7) shows the app name (with a relaunch link), the
+session id, a link to the session's working directory in the files app,
+and the connect controls once the job is running — all of which come from
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.slurm.cluster import SlurmCluster
+from repro.slurm.model import InteractiveSessionInfo, Job, JobSpec, JobState, TRES
+
+from .apps import AppRegistry
+
+
+@dataclass
+class Session:
+    """One interactive-app session and its backing job."""
+
+    session_id: str
+    app_key: str
+    user: str
+    job_id: int
+
+    def working_dir(self) -> str:
+        """The session's batch-connect working directory."""
+        return (
+            f"/home/{self.user}/ondemand/data/sys/dashboard/batch_connect/"
+            f"{self.session_id}"
+        )
+
+
+class SessionManager:
+    """Launches and tracks interactive sessions against a cluster."""
+
+    def __init__(self, cluster: SlurmCluster, registry: Optional[AppRegistry] = None):
+        self.cluster = cluster
+        self.registry = registry or AppRegistry()
+        self._sessions: Dict[str, Session] = {}
+        self._counter = 0
+
+    # -- launching ---------------------------------------------------------
+
+    def launch(
+        self,
+        app_key: str,
+        user: str,
+        account: str,
+        form_values: Optional[Dict[str, object]] = None,
+        actual_active_fraction: float = 0.25,
+        actual_cpu_utilization: float = 0.10,
+    ) -> Session:
+        """Validate the form, submit the backing Slurm job, register the
+        session.  The ``actual_*`` parameters are simulation ground truth:
+        how much of the requested session the user will really use (paper
+        §4.3 calls out that this is typically small)."""
+        app = self.registry.get(app_key)
+        values = app.validate_form(form_values or {})
+        self._counter += 1
+        session_id = f"{app_key}-{self._counter:06d}"
+        cpus = int(values["cpus"])
+        hours = float(values["hours"])
+        info = InteractiveSessionInfo(
+            app_name=app_key,
+            session_id=session_id,
+            working_dir=f"/home/{user}/ondemand/data/sys/dashboard/batch_connect/{session_id}",
+        )
+        spec = JobSpec(
+            name=f"sys/dashboard/{app_key}",
+            user=user,
+            account=account,
+            partition=str(values["partition"]),
+            req=TRES(
+                cpus=cpus,
+                mem_mb=int(float(values["memory_gb"]) * 1024),
+                nodes=1,
+            ),
+            time_limit=hours * 3600.0,
+            actual_runtime=max(60.0, hours * 3600.0 * actual_active_fraction),
+            actual_cpu_utilization=actual_cpu_utilization,
+            interactive=info,
+            work_dir=info.working_dir,
+            std_out=f"{info.working_dir}/output.log",
+            std_err=f"{info.working_dir}/error.log",
+        )
+        job = self.cluster.submit(spec)[0]
+        session = Session(
+            session_id=session_id, app_key=app_key, user=user, job_id=job.job_id
+        )
+        self._sessions[session_id] = session
+        return session
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, session_id: str) -> Session:
+        """Look up a session by id (KeyError if unknown)."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"unknown session {session_id!r}") from None
+
+    def sessions_for(self, user: str) -> List[Session]:
+        """All sessions launched by ``user``."""
+        return [s for s in self._sessions.values() if s.user == user]
+
+    def session_for_job(self, job: Job) -> Optional[Session]:
+        """Resolve a job back to its session, whether it was launched via
+        this manager or arrived pre-tagged from the workload generator."""
+        for s in self._sessions.values():
+            if s.job_id == job.job_id:
+                return s
+        if job.spec.interactive is not None:
+            info = job.spec.interactive
+            return Session(
+                session_id=info.session_id,
+                app_key=info.app_name,
+                user=job.user,
+                job_id=job.job_id,
+            )
+        return None
+
+    def connect_url(self, session: Session) -> Optional[str]:
+        """The 'Connect' button target — only once the job is running."""
+        job = self._job_of(session)
+        if job is None or job.state is not JobState.RUNNING:
+            return None
+        node = job.nodes[0] if job.nodes else "unknown"
+        return f"https://ondemand.example.edu/node/{node}/{session.session_id}/"
+
+    def card_state(self, session: Session) -> str:
+        """The state label on a session card: Queued / Starting / Running /
+        Completed, as OOD's My Interactive Sessions page shows."""
+        job = self._job_of(session)
+        if job is None:
+            return "Completed"
+        if job.state is JobState.PENDING:
+            return "Queued"
+        if job.state is JobState.RUNNING:
+            return "Running"
+        return "Completed"
+
+    def _job_of(self, session: Session) -> Optional[Job]:
+        try:
+            return self.cluster.scheduler.job(session.job_id)
+        except KeyError:
+            return self.cluster.accounting.get(session.job_id)

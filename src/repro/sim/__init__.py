@@ -1,0 +1,17 @@
+"""Deterministic simulation kernel: virtual clock, event loop, RNG streams."""
+
+from .clock import DEFAULT_EPOCH, SimClock, duration_hms, parse_duration
+from .events import EventHandle, EventLoop
+from .rng import RandomStreams, bounded_lognormal, zipf_weights
+
+__all__ = [
+    "DEFAULT_EPOCH",
+    "SimClock",
+    "duration_hms",
+    "parse_duration",
+    "EventHandle",
+    "EventLoop",
+    "RandomStreams",
+    "bounded_lognormal",
+    "zipf_weights",
+]

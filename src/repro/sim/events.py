@@ -1,0 +1,176 @@
+"""Discrete-event loop driving the cluster simulation.
+
+The Slurm simulator is event-driven: job submission, job completion, node
+state changes and scheduler passes are all events on a single priority
+queue keyed by simulated time.  :class:`EventLoop` owns a
+:class:`~repro.sim.clock.SimClock` and pops events in time order,
+advancing the clock to each event's timestamp.
+
+Events scheduled for the same instant run in FIFO order of scheduling
+(stable tie-break by a monotonically increasing sequence number), which
+keeps the simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .clock import SimClock
+
+EventCallback = Callable[[], Any]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def label(self) -> str:
+        return self._event.label
+
+
+class EventLoop:
+    """Deterministic discrete-event loop over a :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule_at(self, t: float, callback: EventCallback, label: str = "") -> EventHandle:
+        """Schedule ``callback`` to run at absolute simulated time ``t``."""
+        if t < self.clock.now():
+            raise ValueError(
+                f"cannot schedule event at {t} in the past (now={self.clock.now()})"
+            )
+        ev = _ScheduledEvent(t, next(self._seq), callback, label)
+        heapq.heappush(self._queue, ev)
+        return EventHandle(ev)
+
+    def schedule_in(self, delay: float, callback: EventCallback, label: str = "") -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule_at(self.clock.now() + delay, callback, label)
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: EventCallback,
+        label: str = "",
+        first_delay: float | None = None,
+    ) -> EventHandle:
+        """Schedule a recurring event.  Cancelling the returned handle stops
+        the recurrence at the next firing."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        handle_box: list[EventHandle] = []
+
+        def _fire() -> None:
+            if handle_box and handle_box[0].cancelled:
+                return
+            callback()
+            nxt = self.schedule_in(interval, _fire, label)
+            # keep the user's handle pointed at the live event so cancel()
+            # keeps working across firings
+            if handle_box:
+                handle_box[0]._event = nxt._event  # noqa: SLF001
+
+        first = self.schedule_in(
+            interval if first_delay is None else first_delay, _fire, label
+        )
+        handle_box.append(first)
+        return first
+
+    # -- running ---------------------------------------------------------
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending (non-cancelled) event, or None."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False if the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            # If someone advanced the clock directly past this event's
+            # timestamp, run the event now rather than failing: overdue
+            # events fire immediately.
+            self.clock.advance_to(max(ev.time, self.clock.now()))
+            ev.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run_until(self, t: float) -> int:
+        """Run all events with timestamp <= ``t``, then advance the clock to
+        ``t``.  Returns the number of events processed."""
+        count = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > t:
+                break
+            self.step()
+            count += 1
+        self.clock.advance_to(max(t, self.clock.now()))
+        return count
+
+    def run_for(self, seconds: float) -> int:
+        """Run the simulation forward ``seconds`` of virtual time."""
+        return self.run_until(self.clock.now() + seconds)
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the queue entirely (bounded by ``max_events``)."""
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise RuntimeError(
+                    f"event loop did not quiesce within {max_events} events"
+                )
+        return count
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EventLoop(t={self.clock.now():.1f}, pending={self.pending})"

@@ -1,0 +1,74 @@
+"""Slurm workload-manager simulator.
+
+The paper's dashboard gathers everything from Slurm (Table 1); this
+package is the from-scratch substitute: a scheduler (slurmctld), an
+accounting archive (slurmdbd), a daemon load model, and a command layer
+(`squeue`/`sinfo`/`sacct`/`scontrol`) rendering authentic text output.
+"""
+
+from .accounting import AccountingDatabase, UsageRollup
+from .cluster import (
+    ClusterSpec,
+    NodeGroupSpec,
+    PartitionSpec,
+    SlurmCluster,
+    small_test_cluster,
+)
+from .daemon import DaemonBus, DaemonConfig, DaemonLoadModel
+from .gpumetrics import GpuTelemetry, GpuUsageRecord
+from .hostlist import compress_hostlist, expand_hostlist
+from .maintenance import MaintenanceScheduler, MaintenanceWindow
+from .model import (
+    Association,
+    AssociationUsage,
+    InteractiveSessionInfo,
+    Job,
+    JobSpec,
+    JobState,
+    Node,
+    NodeState,
+    Partition,
+    QoS,
+    Reservation,
+    TRES,
+    format_exit_code,
+    format_memory,
+    parse_memory_mb,
+)
+from .scheduler import SchedulerConfig, SlurmScheduler
+
+__all__ = [
+    "AccountingDatabase",
+    "UsageRollup",
+    "ClusterSpec",
+    "NodeGroupSpec",
+    "PartitionSpec",
+    "SlurmCluster",
+    "small_test_cluster",
+    "DaemonBus",
+    "DaemonConfig",
+    "DaemonLoadModel",
+    "GpuTelemetry",
+    "GpuUsageRecord",
+    "compress_hostlist",
+    "expand_hostlist",
+    "MaintenanceScheduler",
+    "MaintenanceWindow",
+    "Association",
+    "AssociationUsage",
+    "InteractiveSessionInfo",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "Node",
+    "NodeState",
+    "Partition",
+    "QoS",
+    "Reservation",
+    "TRES",
+    "format_exit_code",
+    "format_memory",
+    "parse_memory_mb",
+    "SchedulerConfig",
+    "SlurmScheduler",
+]

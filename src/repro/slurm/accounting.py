@@ -1,0 +1,161 @@
+"""slurmdbd simulator: the job accounting archive behind ``sacct``.
+
+Every job the scheduler retires is archived here.  Queries support the
+filters the dashboard needs: by user, by account set, by state, and by
+time window (sacct's ``--starttime/--endtime`` semantics: a job matches if
+its [submit, end] interval overlaps the window).
+
+The database also maintains per-(account, user) usage rollups that feed
+the Accounts widget (§3.4) and its CSV/Excel export.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .model import Job, JobState
+
+
+@dataclass
+class UsageRollup:
+    """Accumulated usage for one (account, user) pair."""
+
+    account: str
+    user: str
+    job_count: int = 0
+    cpu_hours: float = 0.0
+    gpu_hours: float = 0.0
+    wall_hours: float = 0.0
+    mem_mb_hours: float = 0.0
+
+    def add(self, job: Job, now: float) -> None:
+        """Fold one finished job into the rollup."""
+        elapsed_h = job.elapsed(now) / 3600.0
+        self.job_count += 1
+        self.cpu_hours += job.req.cpus * elapsed_h
+        self.gpu_hours += job.req.gpus * elapsed_h
+        self.wall_hours += elapsed_h
+        self.mem_mb_hours += job.req.mem_mb * elapsed_h
+
+
+class AccountingDatabase:
+    """In-memory archive of finished (and optionally live) job records."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[int, Job] = {}
+        self._by_user: Dict[str, List[int]] = defaultdict(list)
+        self._by_account: Dict[str, List[int]] = defaultdict(list)
+        self._rollups: Dict[tuple[str, str], UsageRollup] = {}
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def record(self, job: Job) -> None:
+        """Archive a retired job (idempotent per job id: newest wins)."""
+        fresh = job.job_id not in self._jobs
+        self._jobs[job.job_id] = job
+        if fresh:
+            self._by_user[job.user].append(job.job_id)
+            self._by_account[job.account].append(job.job_id)
+            if job.end_time is not None:
+                key = (job.account, job.user)
+                rollup = self._rollups.get(key)
+                if rollup is None:
+                    rollup = UsageRollup(account=job.account, user=job.user)
+                    self._rollups[key] = rollup
+                rollup.add(job, job.end_time)
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, job_id: int) -> Optional[Job]:
+        """The archived record for a job id, or None."""
+        return self._jobs.get(job_id)
+
+    def query(
+        self,
+        users: Optional[Sequence[str]] = None,
+        accounts: Optional[Sequence[str]] = None,
+        states: Optional[Sequence[JobState]] = None,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        partition: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Job]:
+        """sacct-style query.  Filters are ANDed; ``users``/``accounts`` are
+        ORed *within* themselves but a job matches if it matches either the
+        user filter or the account filter when both are given — this is the
+        dashboard's "my jobs or my groups' jobs" scope (§2.4)."""
+        if users is not None and accounts is not None:
+            ids: set[int] = set()
+            for u in users:
+                ids.update(self._by_user.get(u, ()))
+            for a in accounts:
+                ids.update(self._by_account.get(a, ()))
+            candidates: Iterable[Job] = (self._jobs[i] for i in ids)
+        elif users is not None:
+            ids = set()
+            for u in users:
+                ids.update(self._by_user.get(u, ()))
+            candidates = (self._jobs[i] for i in ids)
+        elif accounts is not None:
+            ids = set()
+            for a in accounts:
+                ids.update(self._by_account.get(a, ()))
+            candidates = (self._jobs[i] for i in ids)
+        else:
+            candidates = self._jobs.values()
+
+        state_set = set(states) if states is not None else None
+        out: List[Job] = []
+        for job in candidates:
+            if state_set is not None and job.state not in state_set:
+                continue
+            if partition is not None and job.partition != partition:
+                continue
+            if not _overlaps(job, start, end):
+                continue
+            out.append(job)
+        out.sort(key=lambda j: (j.submit_time, j.job_id))
+        if limit is not None:
+            out = out[-limit:]
+        return out
+
+    def jobs_of_array(self, array_job_id: int) -> List[Job]:
+        """All tasks of one job array, in task order (Job Overview §7)."""
+        tasks = [
+            j for j in self._jobs.values() if j.array_job_id == array_job_id
+        ]
+        tasks.sort(key=lambda j: (j.array_task_id or 0))
+        return tasks
+
+    # -- rollups ------------------------------------------------------------
+
+    def usage_by_account(self, account: str) -> List[UsageRollup]:
+        """Per-user usage breakdown for one account (export use case §3.4)."""
+        rows = [r for (acct, _), r in self._rollups.items() if acct == account]
+        rows.sort(key=lambda r: (-r.cpu_hours, r.user))
+        return rows
+
+    def account_gpu_hours(self, account: str) -> float:
+        """Total GPU-hours charged to an account."""
+        return sum(r.gpu_hours for r in self.usage_by_account(account))
+
+    def account_cpu_hours(self, account: str) -> float:
+        """Total CPU-hours charged to an account."""
+        return sum(r.cpu_hours for r in self.usage_by_account(account))
+
+
+def _overlaps(job: Job, start: Optional[float], end: Optional[float]) -> bool:
+    """sacct window semantics: job interval [submit, end-or-inf] must
+    intersect [start, end]."""
+    if start is not None:
+        job_end = job.end_time if job.end_time is not None else float("inf")
+        if job_end < start:
+            return False
+    if end is not None and job.submit_time > end:
+        return False
+    return True

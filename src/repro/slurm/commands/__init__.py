@@ -1,0 +1,28 @@
+"""Simulated Slurm command-line layer (the dashboard's data access path)."""
+
+from .base import CommandResult, SlurmCommand, parse_pipe_table, pipe_join
+from .sacct import Sacct, parse_sacct
+from .scontrol import Scontrol, parse_scontrol_blocks
+from .sinfo import Sinfo, parse_sinfo
+from .squeue import Squeue, parse_squeue
+from .sprio import Sprio, parse_sprio
+from .sreport import Sreport, parse_sreport
+
+__all__ = [
+    "CommandResult",
+    "SlurmCommand",
+    "parse_pipe_table",
+    "pipe_join",
+    "Sacct",
+    "parse_sacct",
+    "Scontrol",
+    "parse_scontrol_blocks",
+    "Sinfo",
+    "parse_sinfo",
+    "Squeue",
+    "parse_squeue",
+    "Sreport",
+    "parse_sreport",
+    "Sprio",
+    "parse_sprio",
+]

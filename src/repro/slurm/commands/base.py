@@ -1,0 +1,90 @@
+"""Shared plumbing for the simulated Slurm command-line tools.
+
+Each command object wraps the cluster, renders text output in the same
+shape the real tool produces, and records an RPC against the appropriate
+daemon (squeue/sinfo/scontrol -> slurmctld, sacct -> slurmdbd) so the
+load model can price the traffic the dashboard generates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.slurm.cluster import SlurmCluster
+
+
+@dataclass(frozen=True)
+class CommandResult:
+    """Outcome of one simulated command invocation.
+
+    Attributes
+    ----------
+    stdout:
+        The rendered text output (what a shell pipeline would see).
+    latency_s:
+        Simulated daemon round-trip latency, from the load model.
+    command:
+        The binary name ("squeue", "sacct", ...), for instrumentation.
+    """
+
+    stdout: str
+    latency_s: float
+    command: str
+
+    @property
+    def lines(self) -> List[str]:
+        return [ln for ln in self.stdout.splitlines() if ln.strip()]
+
+
+class SlurmCommand:
+    """Base class: holds the cluster and meters daemon traffic."""
+
+    #: binary name; subclasses override
+    command = "slurm"
+
+    def __init__(self, cluster: "SlurmCluster"):
+        self.cluster = cluster
+
+    def _finish(self, stdout: str, kind: str = "") -> CommandResult:
+        latency = self.cluster.daemons.record(self.command, kind or self.command)
+        return CommandResult(stdout=stdout, latency_s=latency, command=self.command)
+
+
+def sanitize_field(value: str) -> str:
+    """Make a value safe for one pipe-table cell.
+
+    User-controlled strings (job names, reasons) may contain the ``|``
+    separator or line breaks (including Unicode ones like NEL/LS/PS that
+    ``str.splitlines`` honours); the command layer substitutes
+    lookalikes so parsable output stays parsable.
+    """
+    value = value.replace("|", "/")
+    if any(ch.isspace() and ch not in " \t" for ch in value):
+        value = "".join(
+            " " if (ch.isspace() and ch not in " \t") else ch for ch in value
+        )
+    return value
+
+
+def pipe_join(fields: List[str]) -> str:
+    """Join fields --parsable2 style (pipe separated, no trailing pipe)."""
+    return "|".join(sanitize_field(f) for f in fields)
+
+
+def parse_pipe_table(text: str) -> List[dict]:
+    """Parse pipe-separated output whose first line is the header."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        return []
+    header = lines[0].split("|")
+    rows = []
+    for ln in lines[1:]:
+        values = ln.split("|")
+        if len(values) != len(header):
+            raise ValueError(
+                f"malformed row (expected {len(header)} fields, got {len(values)}): {ln!r}"
+            )
+        rows.append(dict(zip(header, values)))
+    return rows

@@ -1,0 +1,249 @@
+"""Simulated ``scontrol show job|node|partition|assoc`` — data source for
+the Job Overview, Node Overview, Cluster Status pages and the Accounts
+widget (Table 1).
+
+Output uses scontrol's ``Key=Value`` block format, and
+:func:`parse_scontrol_blocks` parses it back — the dashboard backend
+shells out and parses exactly like this in production.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.sim.clock import duration_hms
+from repro.slurm.hostlist import compress_hostlist
+from repro.slurm.model import Job, Node, Partition, format_memory
+
+from .base import CommandResult, SlurmCommand
+
+
+class Scontrol(SlurmCommand):
+    """``scontrol`` over the simulated slurmctld."""
+
+    command = "scontrol"
+
+    # -- show job -----------------------------------------------------------
+
+    def show_job(self, job_id: int) -> CommandResult:
+        """Render one job's Key=Value block."""
+        job = self.cluster.scheduler.job(job_id)
+        return self._finish(self._render_job(job), kind="scontrol_show_job")
+
+    def show_jobs(self) -> CommandResult:
+        """Render blocks for every job ctld still remembers."""
+        blocks = [
+            self._render_job(j) for j in self.cluster.scheduler.visible_jobs()
+        ]
+        return self._finish("\n".join(blocks), kind="scontrol_show_job")
+
+    def _render_job(self, job: Job) -> str:
+        clock = self.cluster.clock
+        now = clock.now()
+        lines = [
+            f"JobId={job.job_id} JobName={job.name}",
+            f"   UserId={job.user}(0) GroupId={job.account}(0) MCS_label=N/A",
+            f"   Priority={int(job.priority)} Nice=0 Account={job.account} QOS={job.qos}",
+            f"   JobState={job.state.value} Reason={job.reason} Dependency=(null)",
+            f"   Requeue=0 Restarts=0 BatchFlag=1 Reboot=0 ExitCode={job.exit_code}:0",
+            f"   RunTime={duration_hms(job.elapsed(now))} TimeLimit={duration_hms(job.time_limit)} TimeMin=N/A",
+            f"   SubmitTime={clock.isoformat(job.submit_time)} EligibleTime={clock.isoformat(job.eligible_time)}",
+            f"   StartTime={clock.isoformat(job.start_time) if job.start_time is not None else 'Unknown'} "
+            f"EndTime={clock.isoformat(job.end_time) if job.end_time is not None else 'Unknown'} Deadline=N/A",
+            f"   Partition={job.partition} AllocNode:Sid=login01:12345",
+            f"   ReqNodeList=(null) ExcNodeList=(null)",
+            f"   NodeList={compress_hostlist(job.nodes) if job.nodes else '(null)'}",
+            f"   NumNodes={job.req.nodes} NumCPUs={job.req.cpus} NumTasks={job.req.cpus} CPUs/Task=1",
+            f"   TRES={job.req.format()}",
+            f"   MinMemoryNode={format_memory(max(1, job.req.mem_mb // max(1, job.req.nodes)))} MinTmpDiskNode=0",
+            f"   Features={','.join(job.spec.features) if job.spec.features else '(null)'} DelayBoot=00:00:00",
+            f"   WorkDir={job.spec.work_dir or '/home/' + job.user}",
+            f"   StdErr={job.spec.std_err or ''}",
+            f"   StdOut={job.spec.std_out or ''}",
+        ]
+        if job.is_array_task:
+            lines.insert(
+                1,
+                f"   ArrayJobId={job.array_job_id} ArrayTaskId={job.array_task_id}",
+            )
+        return "\n".join(lines) + "\n"
+
+    # -- show node -----------------------------------------------------------
+
+    def show_node(self, name: str) -> CommandResult:
+        """Render one node's Key=Value block."""
+        node = self.cluster.scheduler.node(name)
+        self.cluster.scheduler.refresh_node_loads()
+        return self._finish(self._render_node(node), kind="scontrol_show_node")
+
+    def show_nodes(self) -> CommandResult:
+        """Render blocks for every node."""
+        self.cluster.scheduler.refresh_node_loads()
+        blocks = [self._render_node(n) for n in self.cluster.nodes.values()]
+        return self._finish("\n".join(blocks), kind="scontrol_show_node")
+
+    def _render_node(self, node: Node) -> str:
+        clock = self.cluster.clock
+        gres = (
+            f"gpu:{node.gres_model}:{node.gpus}" if node.gpus else "(null)"
+        )
+        gres_used = (
+            f"gpu:{node.gres_model}:{node.alloc.gpus}" if node.gpus else "(null)"
+        )
+        features = ",".join(node.features) if node.features else "(null)"
+        lines = [
+            f"NodeName={node.name} Arch={node.arch} CoresPerSocket={max(1, node.cpus // 2)}",
+            f"   CPUAlloc={node.alloc.cpus} CPUTot={node.cpus} CPULoad={node.cpu_load:.2f}",
+            f"   AvailableFeatures={features}",
+            f"   ActiveFeatures={features}",
+            f"   Gres={gres}",
+            f"   GresUsed={gres_used}",
+            f"   NodeAddr={node.name} NodeHostName={node.name} Version=23.11.4",
+            f"   OS={node.os}",
+            f"   RealMemory={node.real_memory_mb} AllocMem={node.alloc.mem_mb} "
+            f"FreeMem={node.real_memory_mb - node.alloc.mem_mb} Sockets=2 Boards=1",
+            f"   State={node.state.value} ThreadsPerCore=1 TmpDisk=0 Weight=1",
+            f"   Partitions={','.join(node.partitions)}",
+            f"   BootTime={clock.isoformat(node.boot_time)} SlurmdStartTime={clock.isoformat(node.boot_time)}",
+            f"   LastBusyTime={clock.isoformat(node.last_busy)}",
+        ]
+        if node.state_reason:
+            lines.append(f"   Reason={node.state_reason}")
+        return "\n".join(lines) + "\n"
+
+    # -- show partition ---------------------------------------------------------
+
+    def show_partition(self, name: Optional[str] = None) -> CommandResult:
+        """Render partition blocks (one or all)."""
+        parts = self.cluster.partitions
+        names = [name] if name is not None else list(parts)
+        blocks = []
+        for n in names:
+            if n not in parts:
+                raise KeyError(f"unknown partition {n!r}")
+            blocks.append(self._render_partition(parts[n]))
+        return self._finish("\n".join(blocks), kind="scontrol_show_partition")
+
+    def _render_partition(self, part: Partition) -> str:
+        nodes = [self.cluster.nodes[n] for n in part.node_names]
+        total_cpus = sum(n.cpus for n in nodes)
+        lines = [
+            f"PartitionName={part.name}",
+            f"   AllowQos={','.join(part.allowed_qos)}",
+            f"   Default={'YES' if part.is_default else 'NO'} State={part.state}",
+            f"   MaxTime={duration_hms(part.max_time)} PriorityTier={part.priority_tier}",
+            f"   Nodes={compress_hostlist(n.name for n in nodes)}",
+            f"   TotalCPUs={total_cpus} TotalNodes={len(nodes)}",
+        ]
+        return "\n".join(lines) + "\n"
+
+    # -- show reservation -----------------------------------------------------
+
+    def show_reservation(self, name: Optional[str] = None) -> CommandResult:
+        """Render reservation blocks (one or all)."""
+        res_map = self.cluster.scheduler.reservations
+        names = [name] if name is not None else sorted(res_map)
+        blocks = []
+        for n in names:
+            if n not in res_map:
+                raise KeyError(f"unknown reservation {n!r}")
+            blocks.append(self._render_reservation(res_map[n]))
+        if not blocks:
+            return self._finish(
+                "No reservations in the system\n", kind="scontrol_show_resv"
+            )
+        return self._finish("\n".join(blocks), kind="scontrol_show_resv")
+
+    def _render_reservation(self, res) -> str:
+        clock = self.cluster.clock
+        nodes = [self.cluster.nodes[n] for n in res.node_names]
+        lines = [
+            f"ReservationName={res.name} StartTime={clock.isoformat(res.start)} "
+            f"EndTime={clock.isoformat(res.end)} Duration={duration_hms(res.end - res.start)}",
+            f"   Nodes={compress_hostlist(n.name for n in nodes)} "
+            f"NodeCnt={len(nodes)} CoreCnt={sum(n.cpus for n in nodes)}",
+            f"   Flags={res.flags} State="
+            f"{'ACTIVE' if res.is_active(clock.now()) else 'INACTIVE'}",
+        ]
+        return "\n".join(lines) + "\n"
+
+    # -- show assoc ---------------------------------------------------------
+
+    def show_assoc(self, account: Optional[str] = None) -> CommandResult:
+        """Association records with group limits and live usage — the
+        Accounts widget's data source (``scontrol show assoc``, Table 1)."""
+        sched = self.cluster.scheduler
+        accounts = (
+            [account] if account is not None else sorted(sched.associations)
+        )
+        blocks = []
+        for name in accounts:
+            assoc = sched.associations.get(name)
+            if assoc is None:
+                raise KeyError(f"unknown association for account {name!r}")
+            usage = sched.association_usage(name)
+            grp = assoc.grp_tres.format() if assoc.grp_tres else ""
+            gpu_limit = (
+                f"{assoc.grp_gpu_hours_limit:.0f}"
+                if assoc.grp_gpu_hours_limit is not None
+                else "N"
+            )
+            blocks.append(
+                "\n".join(
+                    [
+                        f"ClusterName={self.cluster.name} Account={name} UserName= Partition= Priority=0",
+                        f"   GrpTRES={grp}",
+                        f"   GrpTRESAlloc={usage.alloc.format()}",
+                        f"   GrpJobs={usage.running_jobs}",
+                        f"   GrpGPUHoursLimit={gpu_limit} GPUHoursUsed={usage.gpu_hours_used:.2f}",
+                        f"   CPUHoursUsed={usage.cpu_hours_used:.2f} Fairshare={assoc.fairshare}",
+                    ]
+                )
+                + "\n"
+            )
+        return self._finish("\n".join(blocks), kind="scontrol_show_assoc")
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_KV_RE = re.compile(r"(\S+?)=((?:[^\s=]|=(?=\S*\s))*?)(?=\s+\S+=|\s*$)")
+
+
+def parse_scontrol_blocks(text: str) -> List[Dict[str, str]]:
+    """Parse scontrol's Key=Value block output into dicts, one per block.
+
+    Blocks are separated by lines that start at column 0; continuation
+    lines are indented, exactly as scontrol prints them.  Values may
+    contain ``:`` and ``/`` (paths, TRES strings); keys never contain
+    whitespace.
+    """
+    blocks: List[Dict[str, str]] = []
+    current: Dict[str, str] = {}
+    for raw in text.splitlines():
+        if not raw.strip():
+            continue
+        if not raw.startswith(" ") and current:
+            blocks.append(current)
+            current = {}
+        _parse_kv_line(raw.strip(), current)
+    if current:
+        blocks.append(current)
+    return blocks
+
+
+def _parse_kv_line(line: str, out: Dict[str, str]) -> None:
+    """Parse one ``A=1 B=two words C=3`` line.
+
+    scontrol packs several pairs per line; values can contain spaces only
+    when they are the last pair on the line (e.g. ``Reason=node down``),
+    so we split greedily on `` key=`` boundaries.
+    """
+    # Find all "key=" starts, then slice values between them.
+    starts = [(m.start(), m.group(1)) for m in re.finditer(r"(?:^|\s)([A-Za-z_:/][\w:/.-]*)=", line)]
+    for i, (pos, key) in enumerate(starts):
+        val_start = pos + (0 if pos == 0 else 1) + len(key) + 1
+        val_end = starts[i + 1][0] if i + 1 < len(starts) else len(line)
+        out[key] = line[val_start:val_end].strip()

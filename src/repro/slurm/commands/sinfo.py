@@ -1,0 +1,136 @@
+"""Simulated ``sinfo`` — the System Status widget's data source (Table 1).
+
+Each partition gets one summary row with Slurm's A/I/O/T (allocated /
+idle / other / total) convention for both nodes and CPUs, plus GPU
+aggregate columns the dashboard uses to draw its utilization bars (§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.clock import duration_hms
+from repro.slurm.hostlist import compress_hostlist
+from repro.slurm.model import NodeState, Partition
+
+from .base import CommandResult, SlurmCommand, parse_pipe_table, pipe_join
+
+HEADER = [
+    "PARTITION",
+    "AVAIL",
+    "TIMELIMIT",
+    "NODES(A/I/O/T)",
+    "CPUS(A/I/O/T)",
+    "GPUS(A/T)",
+    "STATE",
+    "NODELIST",
+]
+
+
+NODE_HEADER = [
+    "NODELIST",
+    "NODES",
+    "PARTITION",
+    "STATE",
+    "CPUS",
+    "MEMORY",
+    "GRES",
+]
+
+
+class Sinfo(SlurmCommand):
+    """``sinfo`` over the simulated slurmctld."""
+
+    command = "sinfo"
+
+    def run_node_oriented(self, partition: str | None = None) -> CommandResult:
+        """``sinfo --Node``: one row per (node, partition) pair."""
+        parts = self.cluster.partitions
+        names = [partition] if partition is not None else list(parts)
+        lines = [pipe_join(NODE_HEADER)]
+        for pname in names:
+            if pname not in parts:
+                raise KeyError(f"unknown partition {pname!r}")
+            for nn in parts[pname].node_names:
+                node = self.cluster.nodes[nn]
+                gres = (
+                    f"gpu:{node.gres_model}:{node.gpus}" if node.gpus else "(null)"
+                )
+                lines.append(
+                    pipe_join(
+                        [
+                            node.name,
+                            "1",
+                            pname,
+                            node.state.value.lower(),
+                            str(node.cpus),
+                            str(node.real_memory_mb),
+                            gres,
+                        ]
+                    )
+                )
+        return self._finish("\n".join(lines) + "\n", kind="sinfo")
+
+    def run(self, partition: str | None = None) -> CommandResult:
+        """Render one summary row per partition."""
+        parts = self.cluster.partitions
+        names = [partition] if partition is not None else list(parts)
+        lines = [pipe_join(HEADER)]
+        for name in names:
+            if name not in parts:
+                raise KeyError(f"unknown partition {name!r}")
+            lines.append(pipe_join(self._render_row(parts[name])))
+        return self._finish("\n".join(lines) + "\n", kind="sinfo")
+
+    def _render_row(self, part: Partition) -> List[str]:
+        nodes = [self.cluster.nodes[n] for n in part.node_names]
+        alloc_nodes = sum(
+            1 for n in nodes if n.state in (NodeState.ALLOCATED, NodeState.MIXED)
+        )
+        idle_nodes = sum(1 for n in nodes if n.state is NodeState.IDLE)
+        other_nodes = len(nodes) - alloc_nodes - idle_nodes
+        alloc_cpus = sum(n.alloc.cpus for n in nodes)
+        total_cpus = sum(n.cpus for n in nodes)
+        other_cpus = sum(n.cpus for n in nodes if not n.state.is_schedulable)
+        idle_cpus = total_cpus - alloc_cpus - other_cpus
+        alloc_gpus = sum(n.alloc.gpus for n in nodes)
+        total_gpus = sum(n.gpus for n in nodes)
+        # dominant state label, like sinfo's STATE column for grouped rows
+        state = _dominant_state(nodes)
+        return [
+            f"{part.name}{'*' if part.is_default else ''}",
+            "up" if part.state == "UP" else "down",
+            duration_hms(part.max_time),
+            f"{alloc_nodes}/{idle_nodes}/{other_nodes}/{len(nodes)}",
+            f"{alloc_cpus}/{max(0, idle_cpus)}/{other_cpus}/{total_cpus}",
+            f"{alloc_gpus}/{total_gpus}",
+            state,
+            compress_hostlist(n.name for n in nodes),
+        ]
+
+
+def _dominant_state(nodes) -> str:
+    counts: dict[str, int] = {}
+    for n in nodes:
+        label = n.state.value.lower()
+        counts[label] = counts.get(label, 0) + 1
+    if not counts:
+        return "n/a"
+    return max(counts.items(), key=lambda kv: kv[1])[0]
+
+
+def parse_sinfo(text: str) -> List[dict]:
+    """Parse sinfo output, splitting the A/I/O/T composites into ints."""
+    rows = parse_pipe_table(text)
+    for row in rows:
+        a, i, o, t = (int(x) for x in row["NODES(A/I/O/T)"].split("/"))
+        row["nodes_alloc"], row["nodes_idle"] = a, i
+        row["nodes_other"], row["nodes_total"] = o, t
+        a, i, o, t = (int(x) for x in row["CPUS(A/I/O/T)"].split("/"))
+        row["cpus_alloc"], row["cpus_idle"] = a, i
+        row["cpus_other"], row["cpus_total"] = o, t
+        ga, gt = (int(x) for x in row["GPUS(A/T)"].split("/"))
+        row["gpus_alloc"], row["gpus_total"] = ga, gt
+        row["partition"] = row["PARTITION"].rstrip("*")
+        row["is_default"] = row["PARTITION"].endswith("*")
+    return rows

@@ -1,0 +1,62 @@
+"""Simulated ``sprio`` — pending-job priority factors.
+
+Shows why the queue is ordered the way it is: per-job totals decomposed
+into the multifactor components (age, QoS, fairshare).  Useful for
+explaining "why isn't my job starting" beyond the reason code, and for
+testing the fairshare factor observably.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import CommandResult, SlurmCommand, parse_pipe_table, pipe_join
+
+HEADER = [
+    "JOBID",
+    "USER",
+    "ACCOUNT",
+    "PRIORITY",
+    "AGE",
+    "QOS",
+    "FAIRSHARE",
+]
+
+
+class Sprio(SlurmCommand):
+    """``sprio`` over the simulated slurmctld."""
+
+    command = "squeue"  # sprio talks to slurmctld like squeue does
+
+    def run(self, user: Optional[str] = None) -> CommandResult:
+        """Render priority factors for pending jobs, highest first."""
+        sched = self.cluster.scheduler
+        now = self.cluster.clock.now()
+        jobs = sched.pending_jobs()
+        if user is not None:
+            jobs = [j for j in jobs if j.user == user]
+        jobs = sorted(
+            jobs, key=lambda j: -sum(sched.priority_components(j, now).values())
+        )
+        lines = [pipe_join(HEADER)]
+        for job in jobs:
+            parts = sched.priority_components(job, now)
+            lines.append(
+                pipe_join(
+                    [
+                        job.display_id,
+                        job.user,
+                        job.account,
+                        f"{sum(parts.values()):.0f}",
+                        f"{parts['age']:.1f}",
+                        f"{parts['qos']:.0f}",
+                        f"{parts['fairshare']:.1f}",
+                    ]
+                )
+            )
+        return self._finish("\n".join(lines) + "\n", kind="sprio")
+
+
+def parse_sprio(text: str) -> List[dict]:
+    """Parse sprio output into records."""
+    return parse_pipe_table(text)

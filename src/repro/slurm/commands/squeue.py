@@ -1,0 +1,115 @@
+"""Simulated ``squeue`` — the Recent Jobs widget's data source (Table 1).
+
+Output follows ``squeue --Format`` parsable conventions: a pipe-separated
+table with a header row, covering the columns the dashboard consumes.
+Querying squeue hits **slurmctld**, which is exactly why the paper caches
+its results aggressively (§3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sim.clock import duration_hms
+from repro.slurm.hostlist import compress_hostlist
+from repro.slurm.model import Job, JobState
+
+from .base import CommandResult, SlurmCommand, parse_pipe_table, pipe_join
+
+HEADER = [
+    "JOBID",
+    "PARTITION",
+    "NAME",
+    "USER",
+    "ACCOUNT",
+    "STATE",
+    "REASON",
+    "QOS",
+    "SUBMIT_TIME",
+    "START_TIME",
+    "EST_START",
+    "END_TIME",
+    "TIME",
+    "TIME_LIMIT",
+    "NODES",
+    "CPUS",
+    "TRES_PER_JOB",
+    "NODELIST(REASON)",
+]
+
+
+class Squeue(SlurmCommand):
+    """``squeue`` over the simulated slurmctld."""
+
+    command = "squeue"
+
+    def run(
+        self,
+        user: Optional[str] = None,
+        users: Optional[Sequence[str]] = None,
+        partition: Optional[str] = None,
+        states: Optional[Sequence[JobState]] = None,
+        include_finished: bool = True,
+    ) -> CommandResult:
+        """Render the queue.  By default shows pending + running + recently
+        finished jobs, like real squeue does within MinJobAge."""
+        sched = self.cluster.scheduler
+        clock = self.cluster.clock
+        now = clock.now()
+        jobs = sched.visible_jobs()
+        if not include_finished:
+            jobs = [j for j in jobs if j.state.is_active]
+        if user is not None:
+            jobs = [j for j in jobs if j.user == user]
+        if users is not None:
+            allowed = set(users)
+            jobs = [j for j in jobs if j.user in allowed]
+        if partition is not None:
+            jobs = [j for j in jobs if j.partition == partition]
+        if states is not None:
+            wanted = set(states)
+            jobs = [j for j in jobs if j.state in wanted]
+        jobs = sorted(jobs, key=lambda j: (-j.submit_time, -j.job_id))
+
+        lines = [pipe_join(HEADER)]
+        for job in jobs:
+            lines.append(pipe_join(self._render_row(job, now)))
+        return self._finish("\n".join(lines) + "\n", kind="squeue")
+
+    def _render_row(self, job: Job, now: float) -> List[str]:
+        clock = self.cluster.clock
+        if job.state is JobState.PENDING:
+            nodelist = f"({job.reason})"
+        elif job.nodes:
+            nodelist = compress_hostlist(job.nodes)
+        else:
+            nodelist = ""
+        est = None
+        if job.state is JobState.PENDING:
+            est = self.cluster.scheduler.estimate_start(job.job_id)
+        return [
+            job.display_id,
+            job.partition,
+            job.name,
+            job.user,
+            job.account,
+            job.state.value,
+            job.reason,
+            job.qos,
+            clock.isoformat(job.submit_time),
+            clock.isoformat(job.start_time) if job.start_time is not None else "N/A",
+            clock.isoformat(est) if est is not None else "N/A",
+            clock.isoformat(job.end_time) if job.end_time is not None else "N/A",
+            duration_hms(job.elapsed(now)),
+            duration_hms(job.time_limit),
+            str(job.req.nodes),
+            str(job.req.cpus),
+            job.req.format(),
+            nodelist,
+        ]
+
+
+def parse_squeue(text: str) -> List[dict]:
+    """Parse squeue output back into records, the way the dashboard's
+    backend route does after shelling out."""
+    return parse_pipe_table(text)

@@ -1,0 +1,133 @@
+"""Simulated ``sreport`` — slurmdbd's reporting tool.
+
+Two reports the dashboard's admin page and center staff actually use:
+
+* ``cluster utilization``: allocated / idle / down CPU-time over a
+  window, as percentages of cluster capacity;
+* ``user top``: the heaviest users by CPU-hours over a window.
+
+Like real sreport, queries hit **slurmdbd**, not the scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import List, Optional
+
+from repro.slurm.model import JobState
+
+from .base import CommandResult, SlurmCommand, parse_pipe_table, pipe_join
+
+UTILIZATION_HEADER = [
+    "Cluster",
+    "Allocated",
+    "Idle",
+    "Down",
+    "Reported",
+    "AllocatedPct",
+]
+
+TOP_HEADER = ["Cluster", "Login", "Account", "CPUHours", "JobCount"]
+
+
+class Sreport(SlurmCommand):
+    """``sreport`` over the simulated slurmdbd."""
+
+    command = "sreport"
+
+    def cluster_utilization(
+        self, start: float, end: Optional[float] = None
+    ) -> CommandResult:
+        """CPU-second accounting over [start, end] (end defaults to now).
+
+        ``Allocated`` sums each job's in-window CPU-seconds; ``Down``
+        charges currently-down/drained nodes for the whole window (a
+        simplification of Slurm's event-table bookkeeping, adequate for
+        trend reporting); ``Idle`` is the remainder of capacity.
+        """
+        now = self.cluster.clock.now()
+        if end is None:
+            end = now
+        if end <= start:
+            raise ValueError("report window must have positive duration")
+        window = end - start
+
+        total_cpus = sum(n.cpus for n in self.cluster.nodes.values())
+        reported = total_cpus * window
+
+        allocated = 0.0
+        jobs = self.cluster.accounting.query(start=start, end=end)
+        live = [
+            j
+            for j in self.cluster.scheduler.visible_jobs()
+            if j.state is JobState.RUNNING
+        ]
+        seen = {j.job_id for j in jobs}
+        for job in jobs + [j for j in live if j.job_id not in seen]:
+            if job.start_time is None:
+                continue
+            s = max(start, job.start_time)
+            e = min(end, job.end_time if job.end_time is not None else end)
+            if e > s:
+                allocated += (e - s) * job.req.cpus
+
+        down = sum(
+            n.cpus * window
+            for n in self.cluster.nodes.values()
+            if not n.state.is_schedulable
+        )
+        idle = max(0.0, reported - allocated - down)
+        row = [
+            self.cluster.name,
+            f"{allocated:.0f}",
+            f"{idle:.0f}",
+            f"{down:.0f}",
+            f"{reported:.0f}",
+            f"{100 * allocated / reported:.2f}%" if reported else "0.00%",
+        ]
+        text = pipe_join(UTILIZATION_HEADER) + "\n" + pipe_join(row) + "\n"
+        return self._finish(text, kind="sreport_utilization")
+
+    def user_top(
+        self,
+        start: float,
+        end: Optional[float] = None,
+        top: int = 10,
+    ) -> CommandResult:
+        """Heaviest users by CPU-hours over the window (``sreport user top``)."""
+        now = self.cluster.clock.now()
+        if end is None:
+            end = now
+        usage: dict[tuple[str, str], dict] = defaultdict(
+            lambda: {"cpu_hours": 0.0, "jobs": 0}
+        )
+        for job in self.cluster.accounting.query(start=start, end=end):
+            if job.start_time is None:
+                continue
+            s = max(start, job.start_time)
+            e = min(end, job.end_time if job.end_time is not None else end)
+            if e <= s:
+                continue
+            key = (job.user, job.account)
+            usage[key]["cpu_hours"] += (e - s) * job.req.cpus / 3600.0
+            usage[key]["jobs"] += 1
+        ranked = sorted(usage.items(), key=lambda kv: -kv[1]["cpu_hours"])[:top]
+        lines = [pipe_join(TOP_HEADER)]
+        for (user, account), stats in ranked:
+            lines.append(
+                pipe_join(
+                    [
+                        self.cluster.name,
+                        user,
+                        account,
+                        f"{stats['cpu_hours']:.2f}",
+                        str(stats["jobs"]),
+                    ]
+                )
+            )
+        return self._finish("\n".join(lines) + "\n", kind="sreport_top")
+
+
+def parse_sreport(text: str) -> List[dict]:
+    """Parse either sreport table back into records."""
+    return parse_pipe_table(text)

@@ -1,0 +1,134 @@
+"""Ready-made cluster configurations.
+
+The paper deploys "across multiple HPC clusters at RCAC"; these presets
+approximate the public shapes of those systems (node counts and sizes
+from their published specs, rounded) so examples and benchmarks can run
+against realistic fleets without hand-building specs.
+
+All presets return a :class:`~repro.slurm.cluster.ClusterSpec`; pass it
+to :class:`~repro.slurm.cluster.SlurmCluster` (optionally scaled down
+via ``scale`` for fast tests).
+"""
+
+from __future__ import annotations
+
+from .cluster import ClusterSpec, NodeGroupSpec, PartitionSpec
+from .model import QoS
+
+
+def _scaled(count: int, scale: float) -> int:
+    return max(1, int(round(count * scale)))
+
+
+def anvil_like(scale: float = 1.0) -> ClusterSpec:
+    """Anvil-shaped: ~1000 CPU nodes (128 cores, 256 GB), 16 GPU nodes
+    (4x A100), plus a large-memory pool."""
+    return ClusterSpec(
+        name="anvil",
+        node_groups=[
+            NodeGroupSpec(
+                prefix="a",
+                count=_scaled(1000, scale),
+                cpus=128,
+                memory_mb=257_000,
+                features=["milan", "avx2"],
+                pad=4,
+            ),
+            NodeGroupSpec(
+                prefix="b",
+                count=_scaled(32, scale),
+                cpus=128,
+                memory_mb=1_031_000,
+                features=["milan", "avx2", "bigmem"],
+                pad=3,
+            ),
+            NodeGroupSpec(
+                prefix="g",
+                count=_scaled(16, scale),
+                cpus=128,
+                memory_mb=515_000,
+                gpus=4,
+                gres_model="nvidia_a100",
+                features=["milan", "avx2", "gpu"],
+                pad=3,
+            ),
+        ],
+        partitions=[
+            PartitionSpec(
+                name="wholenode",
+                node_prefixes=["a"],
+                is_default=True,
+                max_time_s=4 * 86400.0,
+            ),
+            PartitionSpec(
+                name="highmem", node_prefixes=["b"], max_time_s=2 * 86400.0
+            ),
+            PartitionSpec(name="gpu", node_prefixes=["g"], max_time_s=2 * 86400.0),
+        ],
+        qos=[
+            QoS(name="standby", priority=0, preempt_mode="requeue"),
+            QoS(name="normal", priority=1),
+        ],
+    )
+
+
+def bell_like(scale: float = 1.0) -> ClusterSpec:
+    """Bell-shaped community cluster: ~450 nodes of 128 cores."""
+    return ClusterSpec(
+        name="bell",
+        node_groups=[
+            NodeGroupSpec(
+                prefix="bell-a",
+                count=_scaled(450, scale),
+                cpus=128,
+                memory_mb=257_000,
+                features=["rome", "avx2"],
+                pad=3,
+            ),
+        ],
+        partitions=[
+            PartitionSpec(
+                name="bell",
+                node_prefixes=["bell-a"],
+                is_default=True,
+                max_time_s=14 * 86400.0,
+            ),
+        ],
+        qos=[
+            QoS(name="standby", priority=0, preempt_mode="requeue"),
+            QoS(name="normal", priority=1),
+        ],
+    )
+
+
+def teaching_cluster() -> ClusterSpec:
+    """A tiny 4-node cluster for demos and documentation examples."""
+    return ClusterSpec(
+        name="scholar",
+        node_groups=[
+            NodeGroupSpec(prefix="s", count=3, cpus=32, memory_mb=128_000),
+            NodeGroupSpec(
+                prefix="sg",
+                count=1,
+                cpus=32,
+                memory_mb=192_000,
+                gpus=2,
+                gres_model="nvidia_t4",
+                features=["gpu"],
+            ),
+        ],
+        partitions=[
+            PartitionSpec(
+                name="scholar", node_prefixes=["s"], is_default=True,
+                max_time_s=86400.0,
+            ),
+            PartitionSpec(name="gpu", node_prefixes=["sg"], max_time_s=43200.0),
+        ],
+    )
+
+
+PRESETS = {
+    "anvil": anvil_like,
+    "bell": bell_like,
+    "scholar": lambda scale=1.0: teaching_cluster(),
+}

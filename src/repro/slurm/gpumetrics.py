@@ -1,0 +1,73 @@
+"""Per-job GPU telemetry — the "additional tools" of paper §4.1.
+
+The paper ships CPU/memory efficiency but notes: "As additional tools
+are necessary to collect job-level GPU efficiency, this work only
+includes efficiency warnings for CPU and memory. The implementation of
+GPU efficiency is currently underway."
+
+This module is that additional tool, modeled on a DCGM-style collector:
+it samples each running job's GPU utilization and accumulates *used*
+GPU-seconds, independent of Slurm accounting (which only knows GPUs
+were *allocated*).  The dashboard consumes it as an optional data
+source, so GPU efficiency ships as the paper's documented extension,
+off by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .model import Job
+
+
+@dataclass
+class GpuUsageRecord:
+    """Accumulated GPU usage for one job."""
+
+    job_id: int
+    gpus_allocated: int
+    gpu_seconds_allocated: float
+    gpu_seconds_used: float
+
+    @property
+    def efficiency(self) -> Optional[float]:
+        """GPU efficiency fraction for a job, or None."""
+        if self.gpu_seconds_allocated <= 0:
+            return None
+        return min(1.0, self.gpu_seconds_used / self.gpu_seconds_allocated)
+
+
+class GpuTelemetry:
+    """Cluster-wide job-level GPU usage collector (DCGM-agent stand-in)."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, GpuUsageRecord] = {}
+        self.queries = 0  # instrumentation for Table-1-style source checks
+
+    def record_job_end(self, job: Job, now: float) -> None:
+        """Called when a job retires; no-op for CPU-only jobs."""
+        if job.req.gpus <= 0:
+            return
+        elapsed = job.elapsed(now)
+        allocated = elapsed * job.req.gpus
+        used = allocated * job.spec.actual_gpu_utilization
+        self._records[job.job_id] = GpuUsageRecord(
+            job_id=job.job_id,
+            gpus_allocated=job.req.gpus,
+            gpu_seconds_allocated=allocated,
+            gpu_seconds_used=used,
+        )
+
+    def usage(self, job_id: int) -> Optional[GpuUsageRecord]:
+        """The per-job record, or None for CPU jobs / unknown ids."""
+        self.queries += 1
+        return self._records.get(job_id)
+
+    def efficiency(self, job_id: int) -> Optional[float]:
+        """GPU efficiency fraction for a job, or None when untracked."""
+        rec = self.usage(job_id)
+        return rec.efficiency if rec is not None else None
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,125 @@
+"""Slurm hostlist expressions: ``a[001-003,005]`` <-> explicit node names.
+
+Slurm command output compresses node lists (``NodeList=a[001-004]``) and
+the dashboard must expand them to link each node to its Node Overview
+page.  We implement both directions with Slurm's zero-padding semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+_RANGE_RE = re.compile(r"^(?P<prefix>.*?)\[(?P<body>[^\]]+)\](?P<suffix>.*)$")
+_NUM_SUFFIX_RE = re.compile(r"^(?P<prefix>.*?)(?P<num>\d+)$")
+
+
+def expand_hostlist(expr: str) -> List[str]:
+    """Expand a Slurm hostlist expression into explicit host names.
+
+    >>> expand_hostlist("a[001-003,007]")
+    ['a001', 'a002', 'a003', 'a007']
+    >>> expand_hostlist("gpu01,gpu02")
+    ['gpu01', 'gpu02']
+    >>> expand_hostlist("")
+    []
+    """
+    expr = expr.strip()
+    if not expr:
+        return []
+    hosts: List[str] = []
+    for part in _split_top_level(expr):
+        m = _RANGE_RE.match(part)
+        if not m:
+            hosts.append(part)
+            continue
+        prefix, body, suffix = m.group("prefix"), m.group("body"), m.group("suffix")
+        for piece in body.split(","):
+            piece = piece.strip()
+            if "-" in piece:
+                lo_s, _, hi_s = piece.partition("-")
+                width = len(lo_s) if lo_s.startswith("0") else 0
+                lo, hi = int(lo_s), int(hi_s)
+                if hi < lo:
+                    raise ValueError(f"descending range in hostlist: {piece!r}")
+                for i in range(lo, hi + 1):
+                    hosts.append(f"{prefix}{i:0{width}d}{suffix}")
+            else:
+                hosts.append(f"{prefix}{piece}{suffix}")
+    return hosts
+
+
+def _split_top_level(expr: str) -> List[str]:
+    """Split on commas that are not inside brackets."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in expr:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced brackets in hostlist {expr!r}")
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ValueError(f"unbalanced brackets in hostlist {expr!r}")
+    if current:
+        parts.append("".join(current))
+    return [p for p in (s.strip() for s in parts) if p]
+
+
+def compress_hostlist(hosts: Iterable[str]) -> str:
+    """Compress host names into Slurm's bracketed range notation.
+
+    Hosts are grouped by (prefix, zero-pad width); consecutive numbers
+    collapse into ranges.  Order of groups follows first appearance.
+
+    >>> compress_hostlist(["a001", "a002", "a003", "a007"])
+    'a[001-003,007]'
+    >>> compress_hostlist(["login"])
+    'login'
+    """
+    groups: dict[tuple[str, int], list[int]] = {}
+    order: list[tuple[str, int]] = []
+    plain: list[str] = []
+    for host in hosts:
+        m = _NUM_SUFFIX_RE.match(host)
+        if not m:
+            plain.append(host)
+            continue
+        num_s = m.group("num")
+        width = len(num_s) if num_s.startswith("0") else 0
+        key = (m.group("prefix"), width)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(int(num_s))
+
+    out: list[str] = list(dict.fromkeys(plain))
+    for prefix, width in order:
+        nums = sorted(set(groups[(prefix, width)]))
+        ranges: list[str] = []
+        start = prev = nums[0]
+        for n in nums[1:]:
+            if n == prev + 1:
+                prev = n
+                continue
+            ranges.append(_fmt_range(start, prev, width))
+            start = prev = n
+        ranges.append(_fmt_range(start, prev, width))
+        if len(ranges) == 1 and "-" not in ranges[0]:
+            out.append(f"{prefix}{ranges[0]}")
+        else:
+            out.append(f"{prefix}[{','.join(ranges)}]")
+    return ",".join(out)
+
+
+def _fmt_range(lo: int, hi: int, width: int) -> str:
+    if lo == hi:
+        return f"{lo:0{width}d}"
+    return f"{lo:0{width}d}-{hi:0{width}d}"

@@ -1,0 +1,141 @@
+"""Scheduled maintenance windows tying Slurm and the news feed together.
+
+The paper's Announcements widget exists so users can "anticipate when
+the cluster will not be available" (§3.1).  This module closes the loop
+the way an HPC center operates: scheduling a maintenance window
+
+1. publishes a maintenance announcement on the news API immediately
+   (yellow, upcoming -> active -> past styling as time passes);
+2. drains the affected nodes when the window opens (running jobs finish,
+   nothing new starts — Slurm's graceful drain);
+3. flips drained nodes to MAINT for the duration;
+4. resumes the nodes when the window closes.
+
+Everything is driven by the shared event loop, so the Cluster Status
+grid and the Announcements widget stay consistent with each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.news.api import Category, NewsAPI
+
+from .cluster import SlurmCluster
+from .model import NodeState, Reservation
+
+
+@dataclass
+class MaintenanceWindow:
+    """A scheduled maintenance event and its live status."""
+
+    title: str
+    start: float
+    end: float
+    node_names: List[str]
+    article_id: Optional[int] = None
+    reservation_name: Optional[str] = None
+    status: str = "scheduled"  # scheduled | active | completed | cancelled
+
+
+class MaintenanceScheduler:
+    """Plans and executes maintenance windows on one cluster."""
+
+    def __init__(self, cluster: SlurmCluster, news: Optional[NewsAPI] = None):
+        self.cluster = cluster
+        self.news = news
+        self.windows: List[MaintenanceWindow] = []
+
+    def schedule(
+        self,
+        start: float,
+        end: float,
+        node_names: Optional[Sequence[str]] = None,
+        title: str = "Scheduled maintenance",
+        body: str = "The listed nodes will be unavailable during the window.",
+    ) -> MaintenanceWindow:
+        """Schedule a window at absolute simulated times [start, end)."""
+        now = self.cluster.now()
+        if start < now:
+            raise ValueError(f"maintenance cannot start in the past ({start} < {now})")
+        if end <= start:
+            raise ValueError("maintenance window must have positive duration")
+        if node_names is None:
+            node_names = list(self.cluster.nodes)
+        else:
+            node_names = list(node_names)
+            for name in node_names:
+                if name not in self.cluster.nodes:
+                    raise KeyError(f"unknown node {name!r}")
+
+        window = MaintenanceWindow(
+            title=title, start=start, end=end, node_names=node_names
+        )
+        # a MAINT reservation keeps jobs whose time limit would overlap
+        # the window from starting on these nodes (real Slurm behaviour)
+        res_name = f"maint_{len(self.windows) + 1}"
+        self.cluster.scheduler.create_reservation(
+            Reservation(name=res_name, start=start, end=end,
+                        node_names=node_names)
+        )
+        window.reservation_name = res_name
+        if self.news is not None:
+            article = self.news.publish(
+                title=title,
+                body=body,
+                category=Category.MAINTENANCE,
+                starts_at=start,
+                ends_at=end,
+            )
+            window.article_id = article.article_id
+        loop = self.cluster.loop
+        loop.schedule_at(start, lambda w=window: self._begin(w), f"maint begin {title}")
+        loop.schedule_at(end, lambda w=window: self._finish(w), f"maint end {title}")
+        self.windows.append(window)
+        return window
+
+    def cancel(self, window: MaintenanceWindow) -> None:
+        """Cancel a window that has not begun."""
+        if window.status != "scheduled":
+            raise ValueError(f"cannot cancel a {window.status} window")
+        window.status = "cancelled"
+        if window.reservation_name:
+            self.cluster.scheduler.delete_reservation(window.reservation_name)
+        # nodes may have been skipped because of the reservation; reschedule
+        self.cluster.scheduler.schedule_pass()
+
+    # -- event-loop callbacks ----------------------------------------------
+
+    def _begin(self, window: MaintenanceWindow) -> None:
+        if window.status != "scheduled":
+            return
+        window.status = "active"
+        for name in window.node_names:
+            node = self.cluster.nodes[name]
+            if node.running_job_ids:
+                # graceful: drain now, flip to MAINT once the node empties
+                node.drain(f"maintenance: {window.title}")
+            else:
+                node.set_maint(window.title)
+
+    def _finish(self, window: MaintenanceWindow) -> None:
+        if window.status != "active":
+            return
+        window.status = "completed"
+        if window.reservation_name:
+            self.cluster.scheduler.delete_reservation(window.reservation_name)
+        for name in window.node_names:
+            node = self.cluster.nodes[name]
+            if node.state in (NodeState.MAINT, NodeState.DRAINED, NodeState.DRAINING):
+                node.resume()
+        # freed capacity: let the scheduler use it immediately
+        self.cluster.scheduler.schedule_pass()
+
+    def active_windows(self) -> List[MaintenanceWindow]:
+        """Windows currently in progress."""
+        return [w for w in self.windows if w.status == "active"]
+
+    def upcoming_windows(self) -> List[MaintenanceWindow]:
+        """Windows scheduled but not yet begun."""
+        return [w for w in self.windows if w.status == "scheduled"]

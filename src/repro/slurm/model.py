@@ -1,0 +1,586 @@
+"""Slurm data model: TRES, jobs, nodes, partitions, QoS, associations.
+
+This mirrors the subset of Slurm's object model that the paper's dashboard
+consumes through ``squeue``/``sinfo``/``sacct``/``scontrol``.  Field names
+follow Slurm's own vocabulary (TRES, GRES, QOS, association) so the command
+layer can render authentic-looking output.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+# ---------------------------------------------------------------------------
+# TRES — trackable resources
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TRES:
+    """A trackable-resource vector: CPUs, memory (MB), GPUs, nodes.
+
+    Supports elementwise arithmetic and the ``fits_in`` comparison used by
+    the scheduler's node-fitting and limit checks.
+    """
+
+    cpus: int = 0
+    mem_mb: int = 0
+    gpus: int = 0
+    nodes: int = 0
+
+    def __post_init__(self) -> None:
+        # hot path: TRES is built millions of times per simulation, so the
+        # validation avoids reflection
+        if self.cpus < 0 or self.mem_mb < 0 or self.gpus < 0 or self.nodes < 0:
+            for name in ("cpus", "mem_mb", "gpus", "nodes"):
+                if getattr(self, name) < 0:
+                    raise ValueError(f"TRES.{name} cannot be negative")
+
+    def __add__(self, other: "TRES") -> "TRES":
+        return TRES(
+            self.cpus + other.cpus,
+            self.mem_mb + other.mem_mb,
+            self.gpus + other.gpus,
+            self.nodes + other.nodes,
+        )
+
+    def __sub__(self, other: "TRES") -> "TRES":
+        return TRES(
+            self.cpus - other.cpus,
+            self.mem_mb - other.mem_mb,
+            self.gpus - other.gpus,
+            self.nodes - other.nodes,
+        )
+
+    def fits_in(self, capacity: "TRES") -> bool:
+        """True if every component is <= the capacity's component."""
+        return (
+            self.cpus <= capacity.cpus
+            and self.mem_mb <= capacity.mem_mb
+            and self.gpus <= capacity.gpus
+            and self.nodes <= capacity.nodes
+        )
+
+    def is_zero(self) -> bool:
+        """True when every component is zero."""
+        return self.cpus == 0 and self.mem_mb == 0 and self.gpus == 0 and self.nodes == 0
+
+    def format(self) -> str:
+        """Render in Slurm's ``cpu=4,mem=16000M,node=1,gres/gpu=2`` style."""
+        parts = []
+        if self.cpus:
+            parts.append(f"cpu={self.cpus}")
+        if self.mem_mb:
+            parts.append(f"mem={self.mem_mb}M")
+        if self.nodes:
+            parts.append(f"node={self.nodes}")
+        if self.gpus:
+            parts.append(f"gres/gpu={self.gpus}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "TRES":
+        """Inverse of :meth:`format`.  Unknown keys are rejected."""
+        cpus = mem_mb = gpus = nodes = 0
+        text = text.strip()
+        if not text:
+            return cls()
+        for item in text.split(","):
+            key, _, val = item.partition("=")
+            key = key.strip()
+            val = val.strip()
+            if key == "cpu":
+                cpus = int(val)
+            elif key == "mem":
+                mem_mb = parse_memory_mb(val)
+            elif key == "node":
+                nodes = int(val)
+            elif key in ("gres/gpu", "gpu"):
+                gpus = int(val)
+            else:
+                raise ValueError(f"unknown TRES key {key!r} in {text!r}")
+        return cls(cpus=cpus, mem_mb=mem_mb, gpus=gpus, nodes=nodes)
+
+
+def parse_memory_mb(text: str) -> int:
+    """Parse Slurm memory strings: ``4000M``, ``16G``, ``2T``, bare MB."""
+    text = text.strip().upper()
+    if not text:
+        raise ValueError("empty memory value")
+    mult = 1
+    if text[-1] in "KMGT":
+        mult = {"K": 1 / 1024, "M": 1, "G": 1024, "T": 1024 * 1024}[text[-1]]
+        text = text[:-1]
+    return int(round(float(text) * mult))
+
+
+def format_memory(mem_mb: int) -> str:
+    """Render memory the way the dashboard shows it: 16G, 500M, 1.5T."""
+    if mem_mb >= 1024 * 1024 and mem_mb % (1024 * 128) == 0:
+        val = mem_mb / (1024 * 1024)
+        return f"{val:g}T"
+    if mem_mb >= 1024:
+        val = mem_mb / 1024
+        if abs(val - round(val)) < 1e-9:
+            return f"{int(round(val))}G"
+        return f"{val:.1f}G"
+    return f"{mem_mb}M"
+
+
+# ---------------------------------------------------------------------------
+# Job
+# ---------------------------------------------------------------------------
+
+
+class JobState(enum.Enum):
+    """Slurm base job states (sacct's ``State`` column)."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    SUSPENDED = "SUSPENDED"
+    COMPLETED = "COMPLETED"
+    CANCELLED = "CANCELLED"
+    FAILED = "FAILED"
+    TIMEOUT = "TIMEOUT"
+    NODE_FAIL = "NODE_FAIL"
+    OUT_OF_MEMORY = "OUT_OF_MEMORY"
+    PREEMPTED = "PREEMPTED"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self not in (JobState.PENDING, JobState.RUNNING, JobState.SUSPENDED)
+
+    @property
+    def is_active(self) -> bool:
+        """True while the job can still start or run."""
+        return not self.is_terminal
+
+    @property
+    def short_code(self) -> str:
+        """squeue's two-letter state codes."""
+        return _SHORT_CODES[self]
+
+
+_SHORT_CODES = {
+    JobState.PENDING: "PD",
+    JobState.RUNNING: "R",
+    JobState.SUSPENDED: "S",
+    JobState.COMPLETED: "CD",
+    JobState.CANCELLED: "CA",
+    JobState.FAILED: "F",
+    JobState.TIMEOUT: "TO",
+    JobState.NODE_FAIL: "NF",
+    JobState.OUT_OF_MEMORY: "OOM",
+    JobState.PREEMPTED: "PR",
+}
+
+
+@dataclass
+class InteractiveSessionInfo:
+    """Provenance linking a job to an Open OnDemand interactive app (§7)."""
+
+    app_name: str
+    session_id: str
+    working_dir: str
+
+
+@dataclass
+class JobSpec:
+    """What a user submits (sbatch/salloc arguments) plus the *ground
+    truth* of how the job will actually behave, which the simulator uses
+    to drive completion events and accounting statistics.
+
+    The "actual_*" fields are the simulator's stand-in for the physics of
+    the real workload; they never reach the dashboard directly, only via
+    accounting records, exactly as production telemetry would.
+    """
+
+    name: str
+    user: str
+    account: str
+    partition: str
+    req: TRES
+    time_limit: float  # seconds
+    qos: str = "normal"
+    work_dir: str = ""
+    std_out: str = ""
+    std_err: str = ""
+    # ground truth of execution
+    actual_runtime: float = 60.0
+    actual_cpu_utilization: float = 0.9  # fraction of allocated CPU time used
+    #: fraction of allocated GPU time used; read by the GPU telemetry
+    #: collector, not by Slurm accounting (paper §4.1's "additional tools")
+    actual_gpu_utilization: float = 0.5
+    actual_max_rss_mb: int = 0
+    exit_code: int = 0
+    fail_state: Optional[JobState] = None  # force FAILED/NODE_FAIL etc.
+    # array support
+    array_size: int = 0  # 0 = not an array
+    #: job ids this job waits for (sbatch --dependency=afterok semantics)
+    depends_on: List[int] = field(default_factory=list)
+    # OOD provenance
+    interactive: Optional[InteractiveSessionInfo] = None
+    features: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.req.cpus <= 0:
+            raise ValueError("job must request at least one CPU")
+        if self.req.nodes <= 0:
+            raise ValueError("job must request at least one node")
+        if self.time_limit <= 0:
+            raise ValueError("job must have a positive time limit")
+        if self.actual_runtime < 0:
+            raise ValueError("actual_runtime cannot be negative")
+        if not (0.0 <= self.actual_cpu_utilization <= 1.0):
+            raise ValueError("actual_cpu_utilization must be within [0, 1]")
+        if not (0.0 <= self.actual_gpu_utilization <= 1.0):
+            raise ValueError("actual_gpu_utilization must be within [0, 1]")
+
+
+@dataclass
+class Job:
+    """A job record as tracked by slurmctld and archived by slurmdbd."""
+
+    job_id: int
+    spec: JobSpec
+    state: JobState = JobState.PENDING
+    reason: str = "None"
+    submit_time: float = 0.0
+    eligible_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    nodes: List[str] = field(default_factory=list)
+    priority: float = 0.0
+    exit_code: int = 0
+    # usage filled at completion (or sampled while running)
+    total_cpu_seconds: float = 0.0
+    max_rss_mb: int = 0
+    # array bookkeeping
+    array_job_id: Optional[int] = None
+    array_task_id: Optional[int] = None
+
+    # -- convenience passthroughs -----------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def user(self) -> str:
+        return self.spec.user
+
+    @property
+    def account(self) -> str:
+        return self.spec.account
+
+    @property
+    def partition(self) -> str:
+        return self.spec.partition
+
+    @property
+    def qos(self) -> str:
+        return self.spec.qos
+
+    @property
+    def req(self) -> TRES:
+        return self.spec.req
+
+    @property
+    def time_limit(self) -> float:
+        return self.spec.time_limit
+
+    @property
+    def is_array_task(self) -> bool:
+        return self.array_task_id is not None
+
+    @property
+    def display_id(self) -> str:
+        """Job id as shown by squeue: ``1234_7`` for array tasks."""
+        if self.is_array_task:
+            return f"{self.array_job_id}_{self.array_task_id}"
+        return str(self.job_id)
+
+    # -- durations -----------------------------------------------------------
+
+    def wait_time(self, now: float) -> float:
+        """Queue wait: submit -> start (or submit -> now while pending)."""
+        if self.start_time is not None:
+            return max(0.0, self.start_time - self.submit_time)
+        return max(0.0, now - self.submit_time)
+
+    def elapsed(self, now: float) -> float:
+        """Wall time used so far (0 while pending)."""
+        if self.start_time is None:
+            return 0.0
+        end = self.end_time if self.end_time is not None else now
+        return max(0.0, end - self.start_time)
+
+    def gpu_hours(self, now: float) -> float:
+        """GPU-hours consumed = allocated GPUs x elapsed hours."""
+        return self.req.gpus * self.elapsed(now) / 3600.0
+
+    def cpu_hours(self, now: float) -> float:
+        """Allocated CPUs x elapsed hours."""
+        return self.req.cpus * self.elapsed(now) / 3600.0
+
+    def clone(self) -> "Job":
+        """Deep-enough copy for handing to accounting archives."""
+        return replace(self, nodes=list(self.nodes))
+
+
+# ---------------------------------------------------------------------------
+# Node
+# ---------------------------------------------------------------------------
+
+
+class NodeState(enum.Enum):
+    """Node base states as shown by sinfo/scontrol."""
+
+    IDLE = "IDLE"
+    MIXED = "MIXED"
+    ALLOCATED = "ALLOCATED"
+    DRAINED = "DRAINED"
+    DRAINING = "DRAINING"
+    MAINT = "MAINT"
+    DOWN = "DOWN"
+
+    @property
+    def is_schedulable(self) -> bool:
+        return self in (NodeState.IDLE, NodeState.MIXED, NodeState.ALLOCATED)
+
+    @property
+    def is_online(self) -> bool:
+        return self is not NodeState.DOWN
+
+
+@dataclass
+class Node:
+    """A compute node with capacity, live usage, and configuration facts.
+
+    Configuration fields (``features``, ``os``, ``gres_model``...) exist so
+    the Node Overview details tab (§6.1) has real content to show.
+    """
+
+    name: str
+    cpus: int
+    real_memory_mb: int
+    gpus: int = 0
+    gres_model: str = ""
+    partitions: List[str] = field(default_factory=list)
+    features: List[str] = field(default_factory=list)
+    os: str = "Linux 5.14.0-el9"
+    arch: str = "x86_64"
+    state: NodeState = NodeState.IDLE
+    state_reason: str = ""
+    # live usage
+    alloc: TRES = field(default_factory=TRES)
+    cpu_load: float = 0.0
+    boot_time: float = 0.0
+    last_busy: float = 0.0
+    running_job_ids: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.cpus <= 0:
+            raise ValueError(f"node {self.name}: cpus must be positive")
+        if self.real_memory_mb <= 0:
+            raise ValueError(f"node {self.name}: memory must be positive")
+        if self.gpus < 0:
+            raise ValueError(f"node {self.name}: gpus cannot be negative")
+
+    @property
+    def capacity(self) -> TRES:
+        return TRES(cpus=self.cpus, mem_mb=self.real_memory_mb, gpus=self.gpus, nodes=1)
+
+    @property
+    def available(self) -> TRES:
+        return self.capacity - self.alloc
+
+    def can_fit(self, per_node: TRES) -> bool:
+        """Can this node host a per-node share of a job right now?"""
+        if not self.state.is_schedulable:
+            return False
+        # hot path: checked for every (pending job, node) pair each pass;
+        # compare raw counters instead of building TRES vectors
+        alloc = self.alloc
+        return (
+            per_node.cpus <= self.cpus - alloc.cpus
+            and per_node.mem_mb <= self.real_memory_mb - alloc.mem_mb
+            and per_node.gpus <= self.gpus - alloc.gpus
+        )
+
+    def allocate(self, per_node: TRES, job_id: int) -> None:
+        """Carve a per-node share out of this node for a job."""
+        if not self.can_fit(per_node):
+            raise ValueError(f"node {self.name} cannot fit {per_node} for job {job_id}")
+        self.alloc = self.alloc + TRES(per_node.cpus, per_node.mem_mb, per_node.gpus, 0)
+        self.running_job_ids.append(job_id)
+        self._refresh_state()
+
+    def release(self, per_node: TRES, job_id: int) -> None:
+        """Return a job's per-node share to this node."""
+        if job_id not in self.running_job_ids:
+            raise ValueError(f"job {job_id} is not running on node {self.name}")
+        self.alloc = self.alloc - TRES(per_node.cpus, per_node.mem_mb, per_node.gpus, 0)
+        self.running_job_ids.remove(job_id)
+        self._refresh_state()
+
+    def _refresh_state(self) -> None:
+        if self.state in (NodeState.DOWN, NodeState.MAINT, NodeState.DRAINED):
+            return
+        if self.state is NodeState.DRAINING:
+            if not self.running_job_ids:
+                self.state = NodeState.DRAINED
+            return
+        if self.alloc.cpus == 0:
+            self.state = NodeState.IDLE
+        elif self.alloc.cpus >= self.cpus:
+            self.state = NodeState.ALLOCATED
+        else:
+            self.state = NodeState.MIXED
+
+    # -- admin transitions -----------------------------------------------
+
+    def drain(self, reason: str) -> None:
+        """Stop scheduling onto the node; drains when jobs finish."""
+        if self.running_job_ids:
+            self.state = NodeState.DRAINING
+        else:
+            self.state = NodeState.DRAINED
+        self.state_reason = reason
+
+    def resume(self) -> None:
+        """Return the node to service and recompute its state."""
+        self.state = NodeState.IDLE
+        self.state_reason = ""
+        self._refresh_state()
+
+    def set_down(self, reason: str) -> None:
+        """Mark the node DOWN (hard failure)."""
+        self.state = NodeState.DOWN
+        self.state_reason = reason
+
+    def set_maint(self, reason: str = "scheduled maintenance") -> None:
+        """Mark the node as in scheduled maintenance."""
+        self.state = NodeState.MAINT
+        self.state_reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Partition, QoS, Association
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Partition:
+    """A Slurm partition (queue) over a set of nodes."""
+
+    name: str
+    node_names: List[str]
+    max_time: float = 14 * 86400.0  # seconds
+    state: str = "UP"
+    is_default: bool = False
+    allowed_qos: List[str] = field(default_factory=lambda: ["normal"])
+    priority_tier: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("partition name must be non-empty")
+        if not self.node_names:
+            raise ValueError(f"partition {self.name!r} has no nodes")
+        if self.max_time <= 0:
+            raise ValueError(f"partition {self.name!r}: max_time must be positive")
+
+
+@dataclass
+class QoS:
+    """Quality of Service: a priority bump plus optional per-user caps.
+
+    ``preempt_mode`` states what may happen to *this QoS's running jobs*
+    when a higher-priority QoS needs the resources (Slurm's per-QoS
+    PreemptMode): ``"off"`` (never preempted), ``"requeue"`` (job goes
+    back to pending) or ``"cancel"`` (job ends as PREEMPTED).
+    """
+
+    name: str
+    priority: int = 0
+    max_jobs_per_user: Optional[int] = None
+    max_tres_per_user: Optional[TRES] = None
+    max_wall: Optional[float] = None
+    preempt_mode: str = "off"
+
+    def __post_init__(self) -> None:
+        if self.preempt_mode not in ("off", "requeue", "cancel"):
+            raise ValueError(
+                f"QoS {self.name!r}: preempt_mode must be off/requeue/cancel"
+            )
+
+
+@dataclass
+class Association:
+    """A (account, user) association with group resource limits.
+
+    ``grp_tres`` caps the *account's* concurrently allocated resources —
+    exceeding it yields the AssocGrpCpuLimit pending reason the paper
+    explains to users (§4.1).  ``grp_gpu_hours_limit`` models the paper's
+    "limit on the hours of GPU usage" (§3.4) accumulated over the
+    accounting period.
+    """
+
+    account: str
+    user: str = ""  # "" = the account-level association
+    grp_tres: Optional[TRES] = None
+    grp_gpu_hours_limit: Optional[float] = None
+    max_jobs: Optional[int] = None
+    fairshare: int = 1
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.account, self.user)
+
+
+@dataclass
+class AssociationUsage:
+    """Live usage counters slurmctld keeps per account association."""
+
+    alloc: TRES = field(default_factory=TRES)
+    running_jobs: int = 0
+    gpu_hours_used: float = 0.0
+    cpu_hours_used: float = 0.0
+
+
+@dataclass
+class Reservation:
+    """A Slurm reservation: nodes set aside for a time window.
+
+    The scheduler will not start a job on reserved nodes if the job's
+    time limit would overlap the window (how Slurm protects maintenance
+    windows from long jobs submitted beforehand).
+    """
+
+    name: str
+    start: float
+    end: float
+    node_names: List[str]
+    flags: str = "MAINT"
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"reservation {self.name!r} has a non-positive window")
+        if not self.node_names:
+            raise ValueError(f"reservation {self.name!r} covers no nodes")
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """True if [start, end) intersects the reservation window."""
+        return start < self.end and end > self.start
+
+    def is_active(self, now: float) -> bool:
+        """True while ``now`` is inside the reservation window."""
+        return self.start <= now < self.end
+
+
+#: Exit code rendering as sacct shows it ("0:0" = code:signal).
+def format_exit_code(code: int, signal: int = 0) -> str:
+    """Render an exit code sacct-style ("0:0" = code:signal)."""
+    return f"{code}:{signal}"

@@ -1,0 +1,414 @@
+"""Synthetic workload generator.
+
+Substitutes for the production traffic on Purdue's clusters.  It creates a
+user/account population, then drives the cluster with a mixed job stream
+whose shape matches what the paper describes:
+
+* batch CPU jobs with decent efficiency;
+* multi-node MPI jobs;
+* GPU training jobs (so GPU-hour charts have content, §4.2);
+* **interactive Open OnDemand app jobs** (Jupyter, RStudio, MATLAB, VS
+  Code) with deliberately low efficiency — the paper singles these out:
+  "It is common to see low efficiency on interactive app jobs such as
+  Jupyter Notebook jobs where users will request many CPUs and a long
+  time limit and only use it for a short period of time" (§4.3);
+* job arrays (Job Overview's array tab, §7);
+* a tail of failures, timeouts and OOM kills so every job state appears.
+
+Everything is driven by named RNG streams off one seed, so a given seed
+reproduces the identical cluster history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.auth.users import Directory
+from repro.sim.rng import RandomStreams, bounded_lognormal, zipf_weights
+
+from .cluster import SlurmCluster
+from .model import Association, InteractiveSessionInfo, JobSpec, TRES
+
+#: Interactive apps the OOD substrate ships with (matches repro.ood registry).
+INTERACTIVE_APPS = ("jupyter", "rstudio", "matlab", "vscode")
+
+FIRST_NAMES = [
+    "alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+    "ivan", "judy", "mallory", "niaj", "olivia", "peggy", "quentin",
+    "rupert", "sybil", "trent", "ursula", "victor", "wendy", "xavier",
+    "yolanda", "zach",
+]
+
+LAB_THEMES = [
+    "physics", "chem", "bio", "astro", "ml", "cfd", "genomics", "climate",
+    "materials", "neuro", "quantum", "geo",
+]
+
+JOB_NAME_STEMS = [
+    "md_run", "train_resnet", "vasp_relax", "blast_search", "wrf_forecast",
+    "cfd_mesh", "qchem_opt", "align_reads", "spark_etl", "lammps_eq",
+    "fft_bench", "mc_sweep",
+]
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for the synthetic population and job mix."""
+
+    seed: int = 2025
+    n_users: int = 12
+    n_accounts: int = 4
+    #: mean seconds between submissions (exponential inter-arrival)
+    mean_interarrival_s: float = 150.0
+    #: probability weights of each job template
+    mix: Dict[str, float] = field(
+        default_factory=lambda: {
+            "batch_cpu": 0.40,
+            "mpi": 0.08,
+            "gpu_train": 0.09,
+            "interactive": 0.23,
+            "array": 0.05,
+            "pipeline": 0.05,
+            "failing": 0.05,
+            "timeout": 0.03,
+            "oom": 0.02,
+        }
+    )
+    #: per-account group CPU limit (None = unlimited)
+    grp_cpu_limit: Optional[int] = 320
+    grp_gpu_limit: Optional[int] = 8
+    gpu_hours_budget: Optional[float] = 5000.0
+
+
+@dataclass
+class WorkloadResult:
+    """What the generator produced, for assertions and reporting."""
+
+    submitted: int = 0
+    by_template: Dict[str, int] = field(default_factory=dict)
+    users: List[str] = field(default_factory=list)
+    accounts: List[str] = field(default_factory=list)
+
+
+class WorkloadGenerator:
+    """Drives a :class:`SlurmCluster` with a reproducible job stream."""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None):
+        self.config = config or WorkloadConfig()
+        self.streams = RandomStreams(self.config.seed)
+
+    # -- population ---------------------------------------------------------
+
+    def build_directory(self) -> Directory:
+        """Users and accounts; every account gets a manager (its first
+        member) for the export-permission tests (§3.4)."""
+        cfg = self.config
+        directory = Directory()
+        usernames = [FIRST_NAMES[i % len(FIRST_NAMES)] + ("" if i < len(FIRST_NAMES) else str(i)) for i in range(cfg.n_users)]
+        for name in usernames:
+            directory.add_user(name, full_name=name.capitalize())
+        gen = self.streams.stream("population")
+        for i in range(cfg.n_accounts):
+            theme = LAB_THEMES[i % len(LAB_THEMES)]
+            account = f"{theme}-lab"
+            size = int(gen.integers(2, max(3, cfg.n_users // cfg.n_accounts + 3)))
+            members = [
+                str(m)
+                for m in gen.choice(
+                    usernames, size=min(size, len(usernames)), replace=False
+                )
+            ]
+            # Ensure overlap: every user belongs somewhere.
+            directory.add_account(
+                account,
+                members=members,
+                managers=[members[0]],
+                description=f"{theme.capitalize()} research group allocation",
+            )
+        # attach orphan users to the first account
+        first = directory.accounts()[0]
+        for name in usernames:
+            if not directory.accounts_of(name):
+                first.members.append(name)
+        return directory
+
+    def associations(self, directory: Directory) -> List[Association]:
+        """Account-level associations with the configured group limits."""
+        cfg = self.config
+        out = []
+        for acct in directory.accounts():
+            out.append(
+                Association(
+                    account=acct.name,
+                    grp_tres=TRES(
+                        cpus=cfg.grp_cpu_limit or 0, gpus=cfg.grp_gpu_limit or 0
+                    )
+                    if cfg.grp_cpu_limit or cfg.grp_gpu_limit
+                    else None,
+                    grp_gpu_hours_limit=cfg.gpu_hours_budget,
+                )
+            )
+        return out
+
+    # -- job templates ---------------------------------------------------------
+
+    def _pick_user_account(self, directory: Directory) -> Tuple[str, str]:
+        gen = self.streams.stream("actors")
+        users = [u.username for u in directory.users()]
+        weights = zipf_weights(len(users))
+        user = str(gen.choice(users, p=weights))
+        accounts = directory.account_names_of(user)
+        account = str(gen.choice(accounts))
+        return user, account
+
+    def make_spec(
+        self, template: str, directory: Directory, cluster: SlurmCluster
+    ) -> JobSpec:
+        """Build one JobSpec for the named template."""
+        gen = self.streams.stream(f"tmpl:{template}")
+        user, account = self._pick_user_account(directory)
+        cpu_part = cluster.default_partition().name
+        gpu_part = next(
+            (
+                p.name
+                for p in cluster.partitions.values()
+                if any(cluster.nodes[n].gpus for n in p.node_names)
+            ),
+            cpu_part,
+        )
+        stem = str(gen.choice(JOB_NAME_STEMS))
+
+        if template == "batch_cpu":
+            cpus = int(gen.choice([1, 2, 4, 8, 16, 32]))
+            runtime = bounded_lognormal(gen, 1800, 1.0, 60, 4 * 3600)
+            return JobSpec(
+                name=stem,
+                user=user,
+                account=account,
+                partition=cpu_part,
+                req=TRES(cpus=cpus, mem_mb=cpus * 2000, nodes=1),
+                time_limit=runtime * float(gen.uniform(1.2, 4.0)),
+                actual_runtime=runtime,
+                actual_cpu_utilization=float(gen.uniform(0.7, 0.98)),
+                work_dir=f"/home/{user}/{stem}",
+                std_out=f"/home/{user}/{stem}/slurm-%j.out",
+                std_err=f"/home/{user}/{stem}/slurm-%j.err",
+            )
+        if template == "mpi":
+            nodes = int(gen.choice([2, 4]))
+            cpus = nodes * 64
+            runtime = bounded_lognormal(gen, 3600, 0.8, 300, 8 * 3600)
+            return JobSpec(
+                name=f"{stem}_mpi",
+                user=user,
+                account=account,
+                partition=cpu_part,
+                req=TRES(cpus=cpus, mem_mb=nodes * 120_000, nodes=nodes),
+                time_limit=runtime * float(gen.uniform(1.3, 3.0)),
+                actual_runtime=runtime,
+                actual_cpu_utilization=float(gen.uniform(0.8, 0.99)),
+            )
+        if template == "gpu_train":
+            gpus = int(gen.choice([1, 1, 2]))
+            runtime = bounded_lognormal(gen, 3600, 0.7, 600, 8 * 3600)
+            return JobSpec(
+                name=f"train_{stem}",
+                user=user,
+                account=account,
+                partition=gpu_part,
+                req=TRES(cpus=gpus * 8, mem_mb=gpus * 32_000, gpus=gpus, nodes=1),
+                time_limit=runtime * float(gen.uniform(1.2, 2.5)),
+                actual_runtime=runtime,
+                actual_cpu_utilization=float(gen.uniform(0.3, 0.8)),
+                actual_gpu_utilization=float(gen.uniform(0.4, 0.95)),
+            )
+        if template == "interactive":
+            app = str(gen.choice(list(INTERACTIVE_APPS)))
+            cpus = int(gen.choice([4, 8, 16, 32]))  # over-requested, per §4.3
+            limit = float(gen.choice([4, 8, 12]) * 3600)
+            active = bounded_lognormal(gen, 1500, 0.8, 120, limit * 0.9)
+            session_id = f"{app}-{int(gen.integers(10_000, 99_999))}"
+            return JobSpec(
+                name=f"sys/dashboard/{app}",
+                user=user,
+                account=account,
+                partition=cpu_part,
+                req=TRES(cpus=cpus, mem_mb=cpus * 4000, nodes=1),
+                time_limit=limit,
+                actual_runtime=active,
+                actual_cpu_utilization=float(gen.uniform(0.02, 0.20)),
+                interactive=InteractiveSessionInfo(
+                    app_name=app,
+                    session_id=session_id,
+                    working_dir=f"/home/{user}/ondemand/data/sys/dashboard/batch_connect/{session_id}",
+                ),
+            )
+        if template == "pipeline":
+            # stage 1 of a two-stage chain; run() submits stage 2 with a
+            # dependency on the returned job
+            runtime = bounded_lognormal(gen, 1200, 0.6, 120, 2 * 3600)
+            return JobSpec(
+                name=f"{stem}_stage1",
+                user=user,
+                account=account,
+                partition=cpu_part,
+                req=TRES(cpus=8, mem_mb=16_000, nodes=1),
+                time_limit=runtime * 2,
+                actual_runtime=runtime,
+                actual_cpu_utilization=float(gen.uniform(0.6, 0.95)),
+            )
+        if template == "array":
+            tasks = int(gen.choice([4, 8, 16]))
+            runtime = bounded_lognormal(gen, 900, 0.6, 60, 2 * 3600)
+            return JobSpec(
+                name=f"{stem}_array",
+                user=user,
+                account=account,
+                partition=cpu_part,
+                req=TRES(cpus=2, mem_mb=4000, nodes=1),
+                time_limit=runtime * 2,
+                actual_runtime=runtime,
+                actual_cpu_utilization=float(gen.uniform(0.6, 0.95)),
+                array_size=tasks,
+            )
+        if template == "failing":
+            runtime = bounded_lognormal(gen, 300, 0.8, 10, 3600)
+            return JobSpec(
+                name=f"{stem}_dbg",
+                user=user,
+                account=account,
+                partition=cpu_part,
+                req=TRES(cpus=4, mem_mb=8000, nodes=1),
+                time_limit=2 * 3600,
+                actual_runtime=runtime,
+                actual_cpu_utilization=float(gen.uniform(0.2, 0.8)),
+                exit_code=int(gen.choice([1, 2, 127])),
+            )
+        if template == "timeout":
+            limit = float(gen.choice([1, 2]) * 1800)
+            return JobSpec(
+                name=f"{stem}_long",
+                user=user,
+                account=account,
+                partition=cpu_part,
+                req=TRES(cpus=8, mem_mb=16_000, nodes=1),
+                time_limit=limit,
+                actual_runtime=limit * float(gen.uniform(1.5, 3.0)),
+                actual_cpu_utilization=float(gen.uniform(0.6, 0.95)),
+            )
+        if template == "oom":
+            return JobSpec(
+                name=f"{stem}_bigmem",
+                user=user,
+                account=account,
+                partition=cpu_part,
+                req=TRES(cpus=4, mem_mb=8000, nodes=1),
+                time_limit=3600,
+                actual_runtime=float(gen.uniform(120, 1800)),
+                actual_cpu_utilization=float(gen.uniform(0.3, 0.9)),
+                actual_max_rss_mb=int(gen.integers(9000, 20_000)),
+            )
+        raise ValueError(f"unknown template {template!r}")
+
+    # -- driving -----------------------------------------------------------
+
+    def run(
+        self,
+        cluster: SlurmCluster,
+        directory: Directory,
+        duration_s: float,
+        drain: bool = False,
+    ) -> WorkloadResult:
+        """Submit a stream of jobs over ``duration_s`` of simulated time.
+
+        With ``drain=True`` the simulation keeps running after the last
+        submission until the queue empties (useful for pure-history
+        populations); otherwise the cluster is left mid-flight with
+        pending and running jobs, which is what the live dashboard pages
+        want to show.
+        """
+        cfg = self.config
+        arrivals = self.streams.stream("arrivals")
+        mix_names = list(cfg.mix)
+        mix_p = np.array([cfg.mix[k] for k in mix_names], dtype=float)
+        mix_p = mix_p / mix_p.sum()
+        chooser = self.streams.stream("mix")
+
+        result = WorkloadResult(
+            users=[u.username for u in directory.users()],
+            accounts=[a.name for a in directory.accounts()],
+        )
+        t = 0.0
+        submissions: List[Tuple[float, str]] = []
+        while True:
+            t += float(arrivals.exponential(cfg.mean_interarrival_s))
+            if t >= duration_s:
+                break
+            submissions.append((t, str(chooser.choice(mix_names, p=mix_p))))
+
+        start = cluster.now()
+        for offset, template in submissions:
+            cluster.loop.run_until(start + offset)
+            spec = self.make_spec(template, directory, cluster)
+            jobs = cluster.submit(spec)
+            result.submitted += 1
+            result.by_template[template] = result.by_template.get(template, 0) + 1
+            if template == "pipeline":
+                # stage 2 depends on stage 1 (afterok)
+                gen = self.streams.stream("tmpl:pipeline2")
+                runtime = bounded_lognormal(gen, 900, 0.5, 60, 3600)
+                stage2 = JobSpec(
+                    name=spec.name.replace("_stage1", "_stage2"),
+                    user=spec.user,
+                    account=spec.account,
+                    partition=spec.partition,
+                    req=TRES(cpus=4, mem_mb=8000, nodes=1),
+                    time_limit=runtime * 2,
+                    actual_runtime=runtime,
+                    actual_cpu_utilization=float(gen.uniform(0.6, 0.95)),
+                    depends_on=[jobs[0].job_id],
+                )
+                cluster.submit(stage2)
+                result.submitted += 1
+                result.by_template["pipeline"] = result.by_template["pipeline"] + 1
+        cluster.loop.run_until(start + duration_s)
+        if drain:
+            # The periodic scheduler event keeps the loop non-empty forever,
+            # so "drain" means: advance until no live jobs remain.
+            sched = cluster.scheduler
+            guard = 0
+            while sched.pending_jobs() or sched.running_jobs():
+                cluster.loop.run_for(600)
+                guard += 1
+                if guard > 100_000:
+                    raise RuntimeError("workload drain did not converge")
+        return result
+
+
+def populated_cluster(
+    seed: int = 2025,
+    duration_hours: float = 24.0,
+    config: Optional[WorkloadConfig] = None,
+    cluster: Optional[SlurmCluster] = None,
+    drain: bool = False,
+) -> Tuple[SlurmCluster, Directory, WorkloadResult]:
+    """One-call fixture: a cluster with history, live jobs, users, accounts.
+
+    Used across tests, examples and benchmarks as the standard stand-in
+    for a production cluster.
+    """
+    from .cluster import small_test_cluster
+
+    cfg = config or WorkloadConfig(seed=seed)
+    gen = WorkloadGenerator(cfg)
+    directory = gen.build_directory()
+    if cluster is None:
+        cluster = small_test_cluster(associations=gen.associations(directory))
+    else:
+        for assoc in gen.associations(directory):
+            cluster.scheduler.associations.setdefault(assoc.account, assoc)
+    result = gen.run(cluster, directory, duration_hours * 3600.0, drain=drain)
+    return cluster, directory, result

@@ -1,0 +1,23 @@
+"""Storage quota substrate (stand-in for the ZFS/GPFS storage database)."""
+
+from .quota import (
+    GB,
+    TB,
+    DirectoryQuota,
+    FilesystemKind,
+    QuotaDatabase,
+    format_bytes,
+    provision_standard_layout,
+    randomize_usage,
+)
+
+__all__ = [
+    "GB",
+    "TB",
+    "DirectoryQuota",
+    "FilesystemKind",
+    "QuotaDatabase",
+    "format_bytes",
+    "provision_standard_layout",
+    "randomize_usage",
+]

@@ -1,0 +1,194 @@
+"""ZFS/GPFS-like storage quota database (Storage widget's data source).
+
+Paper Table 1 lists the Storage widget's source as the "ZFS and GPFS
+storage database": every user has a home directory (ZFS) and a scratch
+directory (GPFS), plus project directories shared by their
+allocations/groups (§3.5).  Quotas track both bytes and file counts, and
+the widget shows each with a color-coded progress bar.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.rng import RandomStreams
+
+
+class FilesystemKind(enum.Enum):
+    """Backing filesystem technology (display-only, like the real portal)."""
+
+    ZFS = "ZFS"
+    GPFS = "GPFS"
+
+
+@dataclass
+class DirectoryQuota:
+    """One quota-managed directory."""
+
+    path: str
+    owner: str  # username or account name
+    kind: FilesystemKind
+    label: str  # "Home", "Scratch", "Project"
+    quota_bytes: int
+    quota_files: int
+    used_bytes: int = 0
+    used_files: int = 0
+
+    def __post_init__(self) -> None:
+        if self.quota_bytes <= 0 or self.quota_files <= 0:
+            raise ValueError(f"{self.path}: quotas must be positive")
+        self._check_usage()
+
+    def _check_usage(self) -> None:
+        if self.used_bytes < 0 or self.used_files < 0:
+            raise ValueError(f"{self.path}: usage cannot be negative")
+
+    @property
+    def bytes_fraction(self) -> float:
+        return self.used_bytes / self.quota_bytes
+
+    @property
+    def files_fraction(self) -> float:
+        return self.used_files / self.quota_files
+
+    def set_usage(self, used_bytes: int, used_files: int) -> None:
+        """Replace the directory's usage counters."""
+        self.used_bytes = used_bytes
+        self.used_files = used_files
+        self._check_usage()
+
+    def add_usage(self, delta_bytes: int, delta_files: int) -> None:
+        """Apply a usage delta (the result must stay non-negative)."""
+        self.used_bytes += delta_bytes
+        self.used_files += delta_files
+        self._check_usage()
+
+
+class QuotaDatabase:
+    """All quota-managed directories on the cluster, queryable by owner."""
+
+    def __init__(self) -> None:
+        self._dirs: Dict[str, DirectoryQuota] = {}
+        self.query_count = 0  # instrumentation for cache benches
+
+    def add(self, entry: DirectoryQuota) -> DirectoryQuota:
+        """Register a directory (duplicate paths rejected)."""
+        if entry.path in self._dirs:
+            raise ValueError(f"duplicate directory {entry.path!r}")
+        self._dirs[entry.path] = entry
+        return entry
+
+    def get(self, path: str) -> DirectoryQuota:
+        """Look up a directory by path (KeyError if unknown)."""
+        try:
+            return self._dirs[path]
+        except KeyError:
+            raise KeyError(f"no quota entry for {path!r}") from None
+
+    def all_directories(self) -> List[DirectoryQuota]:
+        """Every quota-managed directory."""
+        return list(self._dirs.values())
+
+    def directories_for(self, owners: List[str]) -> List[DirectoryQuota]:
+        """The privacy-scoped lookup the Storage widget performs: only
+        directories owned by the user or one of their accounts (§2.4)."""
+        self.query_count += 1
+        owner_set = set(owners)
+        out = [d for d in self._dirs.values() if d.owner in owner_set]
+        out.sort(key=lambda d: (_label_rank(d.label), d.path))
+        return out
+
+
+def _label_rank(label: str) -> int:
+    order = {"Home": 0, "Scratch": 1, "Project": 2}
+    return order.get(label, 99)
+
+
+# -- provisioning -----------------------------------------------------------
+
+GB = 1024**3
+TB = 1024**4
+
+
+def provision_standard_layout(
+    db: QuotaDatabase,
+    usernames: List[str],
+    accounts: List[str],
+    cluster_name: str = "anvil",
+    home_quota_bytes: int = 25 * GB,
+    home_quota_files: int = 400_000,
+    scratch_quota_bytes: int = 100 * TB,
+    scratch_quota_files: int = 2_000_000,
+    project_quota_bytes: int = 5 * TB,
+    project_quota_files: int = 5_000_000,
+) -> None:
+    """Create the standard RCAC-style directory layout:
+    ``/home/<user>`` (ZFS), ``/scratch/<cluster>/<user>`` (GPFS) and
+    ``/depot/<account>`` (GPFS project space)."""
+    for user in usernames:
+        db.add(
+            DirectoryQuota(
+                path=f"/home/{user}",
+                owner=user,
+                kind=FilesystemKind.ZFS,
+                label="Home",
+                quota_bytes=home_quota_bytes,
+                quota_files=home_quota_files,
+            )
+        )
+        db.add(
+            DirectoryQuota(
+                path=f"/scratch/{cluster_name}/{user}",
+                owner=user,
+                kind=FilesystemKind.GPFS,
+                label="Scratch",
+                quota_bytes=scratch_quota_bytes,
+                quota_files=scratch_quota_files,
+            )
+        )
+    for account in accounts:
+        db.add(
+            DirectoryQuota(
+                path=f"/depot/{account}",
+                owner=account,
+                kind=FilesystemKind.GPFS,
+                label="Project",
+                quota_bytes=project_quota_bytes,
+                quota_files=project_quota_files,
+            )
+        )
+
+
+def randomize_usage(db: QuotaDatabase, seed: int = 0) -> None:
+    """Fill directories with plausible usage levels, including a few over
+    the 70 % and 90 % color thresholds so the widget shows all colors."""
+    gen = RandomStreams(seed).stream("storage-usage")
+    for i, entry in enumerate(db.all_directories()):
+        frac_bytes = float(gen.beta(1.6, 2.8))
+        # force some entries into the warning/critical bands
+        if i % 7 == 0:
+            frac_bytes = float(gen.uniform(0.71, 0.89))
+        elif i % 11 == 0:
+            frac_bytes = float(gen.uniform(0.91, 0.99))
+        frac_files = float(gen.beta(1.4, 4.0))
+        entry.set_usage(
+            used_bytes=int(entry.quota_bytes * frac_bytes),
+            used_files=int(entry.quota_files * frac_files),
+        )
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable bytes, dashboard-style (1.5 TB, 320 GB, 12 MB)."""
+    if n < 0:
+        raise ValueError("byte count cannot be negative")
+    units = ["B", "KB", "MB", "GB", "TB", "PB"]
+    value = float(n)
+    for unit in units:
+        if value < 1024 or unit == units[-1]:
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}".replace(".0 ", " ")
+        value /= 1024
+    raise AssertionError("unreachable")

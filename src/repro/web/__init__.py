@@ -1,0 +1,22 @@
+"""Web layer: JSON API server and browser-style client."""
+
+from .client import (
+    BrowserClient,
+    HttpTransport,
+    InProcessTransport,
+    Transport,
+    TransportError,
+    WidgetLoad,
+)
+from .server import DashboardServer, coerce_params
+
+__all__ = [
+    "BrowserClient",
+    "HttpTransport",
+    "InProcessTransport",
+    "Transport",
+    "TransportError",
+    "WidgetLoad",
+    "DashboardServer",
+    "coerce_params",
+]

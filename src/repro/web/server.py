@@ -1,0 +1,176 @@
+"""JSON API server over the dashboard routes.
+
+The production system serves these routes from Ruby on Rails behind
+Open OnDemand's per-user nginx; here a stdlib HTTP server fills that
+role so the examples can exercise a real network path.  Authentication
+is modeled the way OOD does it: the authenticated username arrives in a
+trusted header (``X-Remote-User``).
+
+The server is optional — everything can be driven in-process through
+:class:`~repro.core.dashboard.Dashboard` — but the HTTP layer lets the
+browser-style client talk to the same API shape the paper's frontend
+fetches.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlparse
+
+#: download URLs the Accounts widget links to (§3.4 export dropdown)
+_EXPORT_RE = re.compile(
+    r"^/api/v1/export/account_usage/(?P<account>[^/]+)\.(?P<fmt>csv|xls)$"
+)
+
+from repro.auth import Viewer
+from repro.core.dashboard import Dashboard
+
+
+def coerce_params(pairs) -> Dict[str, Any]:
+    """Type query-string values: ints, floats, booleans, else strings."""
+    out: Dict[str, Any] = {}
+    for key, value in pairs:
+        if value.lower() in ("true", "false"):
+            out[key] = value.lower() == "true"
+            continue
+        try:
+            out[key] = int(value)
+            continue
+        except ValueError:
+            pass
+        try:
+            out[key] = float(value)
+            continue
+        except ValueError:
+            pass
+        out[key] = value
+    return out
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to a Dashboard via the server instance."""
+
+    server_version = "ReproDashboard/1.0"
+
+    @property
+    def dashboard(self) -> Dashboard:
+        return self.server.dashboard  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(fmt, *args)
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        params = coerce_params(parse_qsl(parsed.query))
+        username = self.headers.get("X-Remote-User")
+
+        if parsed.path == "/healthz":
+            self._send(200, {"ok": True, "service": "repro-dashboard"})
+            return
+        if username is None:
+            self._send(401, {"ok": False, "error": "missing X-Remote-User header"})
+            return
+        viewer = Viewer(
+            username=username,
+            is_admin=self.headers.get("X-Admin", "") == "1",
+        )
+        if parsed.path == "/":
+            html = self.dashboard.render_homepage(viewer).document
+            self._send_html(200, html)
+            return
+        export = _EXPORT_RE.match(parsed.path)
+        if export is not None:
+            response = self.dashboard.call(
+                "account_usage_export",
+                viewer,
+                {"account": export.group("account"), "format": export.group("fmt")},
+            )
+            if not response.ok:
+                self._send(response.status, response.to_json())
+                return
+            self._send_download(
+                response.data["content"],
+                response.data["mime_type"],
+                response.data["filename"],
+            )
+            return
+        response = self.dashboard.get(parsed.path, viewer, params)
+        self._send(response.status if not response.ok else 200, response.to_json())
+
+    # -- helpers ------------------------------------------------------------
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_download(self, content: str, mime: str, filename: str) -> None:
+        body = content.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", mime)
+        self.send_header(
+            "Content-Disposition", f'attachment; filename="{filename}"'
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_html(self, status: int, html: str) -> None:
+        body = html.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class DashboardServer:
+    """Threaded HTTP server wrapping one :class:`Dashboard`."""
+
+    def __init__(self, dashboard: Dashboard, host: str = "127.0.0.1", port: int = 0,
+                 verbose: bool = False):
+        self.dashboard = dashboard
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.dashboard = dashboard  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "DashboardServer":
+        """Start serving on a background thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "DashboardServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

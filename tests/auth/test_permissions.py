@@ -1,0 +1,101 @@
+"""Tests for the privacy rules of paper §2.4."""
+
+import pytest
+
+from repro.auth import PermissionDenied, Viewer, assert_all_visible
+from repro.slurm import JobSpec, TRES
+from repro.slurm.model import Job
+
+
+def make_job(job_id, user, account):
+    spec = JobSpec(
+        name="j",
+        user=user,
+        account=account,
+        partition="cpu",
+        req=TRES(cpus=1, mem_mb=100, nodes=1),
+        time_limit=60,
+    )
+    return Job(job_id=job_id, spec=spec)
+
+
+class TestJobVisibility:
+    def test_own_job_visible(self, policy, alice):
+        job = make_job(1, "alice", "physics-lab")
+        assert policy.can_see_job(alice, job)
+
+    def test_group_job_visible(self, policy, alice):
+        job = make_job(2, "bob", "physics-lab")
+        assert policy.can_see_job(alice, job)
+
+    def test_unrelated_job_hidden(self, policy, alice):
+        job = make_job(3, "dave", "chem-lab")
+        assert not policy.can_see_job(alice, job)
+
+    def test_own_job_under_foreign_account_still_visible(self, policy, alice):
+        """A job the user submitted is always theirs to see."""
+        job = make_job(4, "alice", "chem-lab")
+        assert policy.can_see_job(alice, job)
+
+    def test_admin_sees_everything(self, policy):
+        root = Viewer(username="root", is_admin=True)
+        job = make_job(5, "dave", "chem-lab")
+        assert policy.can_see_job(root, job)
+
+    def test_filter_jobs(self, policy, alice):
+        jobs = [
+            make_job(1, "alice", "physics-lab"),
+            make_job(2, "dave", "chem-lab"),
+            make_job(3, "carol", "physics-lab"),
+        ]
+        visible = policy.filter_jobs(alice, jobs)
+        assert [j.job_id for j in visible] == [1, 3]
+
+    def test_assert_all_visible_raises_on_leak(self, policy, alice):
+        with pytest.raises(PermissionDenied):
+            assert_all_visible(policy, alice, [make_job(9, "dave", "chem-lab")])
+
+
+class TestLogAccess:
+    def test_only_submitter_reads_logs(self, policy, alice):
+        own = make_job(1, "alice", "physics-lab")
+        group = make_job(2, "bob", "physics-lab")
+        assert policy.can_read_job_logs(alice, own)
+        # group membership is NOT enough for logs (§7: filesystem perms)
+        assert not policy.can_read_job_logs(alice, group)
+
+    def test_require_log_access_raises(self, policy, alice):
+        job = make_job(2, "bob", "physics-lab")
+        with pytest.raises(PermissionDenied):
+            policy.require_log_access(alice, job)
+
+    def test_admin_reads_logs(self, policy):
+        root = Viewer(username="root", is_admin=True)
+        assert policy.can_read_job_logs(root, make_job(1, "bob", "physics-lab"))
+
+
+class TestAccountScope:
+    def test_visible_accounts(self, policy, alice, dave):
+        assert policy.visible_accounts(alice) == ["physics-lab"]
+        assert policy.visible_accounts(dave) == ["chem-lab"]
+
+    def test_admin_sees_all_accounts(self, policy):
+        root = Viewer(username="root", is_admin=True)
+        assert sorted(policy.visible_accounts(root)) == ["chem-lab", "physics-lab"]
+
+    def test_require_account_member(self, policy, alice):
+        policy.require_account_member(alice, "physics-lab")
+        with pytest.raises(PermissionDenied):
+            policy.require_account_member(alice, "chem-lab")
+
+    def test_export_requires_manager(self, policy, directory):
+        manager = Viewer(username="alice")  # manager of physics-lab
+        member = Viewer(username="bob")  # plain member
+        assert policy.can_export_account_usage(manager, "physics-lab")
+        assert not policy.can_export_account_usage(member, "physics-lab")
+        with pytest.raises(PermissionDenied):
+            policy.require_export_access(member, "physics-lab")
+
+    def test_storage_owner_scope(self, policy, alice):
+        owners = policy.visible_storage_owners(alice)
+        assert owners == ["alice", "physics-lab"]

@@ -1,0 +1,79 @@
+"""Tests for the user/account directory."""
+
+import pytest
+
+from repro.auth.users import Account, Directory, User
+
+
+class TestUser:
+    def test_empty_username_rejected(self):
+        with pytest.raises(ValueError):
+            User(username="")
+
+    def test_frozen(self):
+        u = User(username="alice")
+        with pytest.raises(AttributeError):
+            u.username = "bob"
+
+
+class TestAccount:
+    def test_manager_must_be_member(self):
+        with pytest.raises(ValueError):
+            Account(name="lab", members=["a"], managers=["b"])
+
+    def test_membership_checks(self):
+        acct = Account(name="lab", members=["a", "b"], managers=["a"])
+        assert acct.is_member("a") and acct.is_member("b")
+        assert acct.is_manager("a") and not acct.is_manager("b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Account(name="")
+
+
+class TestDirectory:
+    def test_add_and_get_user(self, directory):
+        assert directory.user("alice").username == "alice"
+
+    def test_uids_unique_and_assigned(self, directory):
+        uids = [u.uid for u in directory.users()]
+        assert len(set(uids)) == len(uids)
+
+    def test_duplicate_user_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.add_user("alice")
+
+    def test_unknown_user_keyerror(self, directory):
+        with pytest.raises(KeyError):
+            directory.user("nobody")
+
+    def test_account_requires_known_members(self, directory):
+        with pytest.raises(KeyError):
+            directory.add_account("x", members=["ghost"])
+
+    def test_duplicate_account_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.add_account("physics-lab")
+
+    def test_accounts_of(self, directory):
+        names = [a.name for a in directory.accounts_of("carol")]
+        assert sorted(names) == ["chem-lab", "physics-lab"]
+        assert directory.account_names_of("eve") == []
+
+    def test_colleagues_of_spans_shared_accounts(self, directory):
+        # carol shares physics-lab with alice/bob and chem-lab with dave
+        assert set(directory.colleagues_of("carol")) == {
+            "alice",
+            "bob",
+            "carol",
+            "dave",
+        }
+
+    def test_colleagues_of_loner(self, directory):
+        assert directory.colleagues_of("eve") == []
+
+    def test_has_user_and_account(self, directory):
+        assert directory.has_user("bob")
+        assert not directory.has_user("zed")
+        assert directory.has_account("chem-lab")
+        assert not directory.has_account("zzz")

@@ -1,0 +1,92 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import Directory, PermissionPolicy, Viewer
+from repro.slurm import (
+    Association,
+    JobSpec,
+    TRES,
+    small_test_cluster,
+)
+from repro.slurm.workload import WorkloadConfig, populated_cluster
+
+
+@pytest.fixture
+def cluster():
+    """A small empty cluster: 8 CPU nodes + 2 GPU nodes, no limits."""
+    return small_test_cluster()
+
+@pytest.fixture
+def limited_cluster():
+    """Cluster with a 64-CPU / 4-GPU group limit on account 'lab'."""
+    assoc = Association(account="lab", grp_tres=TRES(cpus=64, gpus=4))
+    return small_test_cluster(associations=[assoc])
+
+
+@pytest.fixture
+def directory():
+    d = Directory()
+    for name in ("alice", "bob", "carol", "dave", "eve"):
+        d.add_user(name)
+    d.add_account("physics-lab", members=["alice", "bob", "carol"], managers=["alice"])
+    d.add_account("chem-lab", members=["carol", "dave"], managers=["carol"])
+    return d
+
+
+@pytest.fixture
+def policy(directory):
+    return PermissionPolicy(directory)
+
+
+@pytest.fixture
+def alice():
+    return Viewer(username="alice")
+
+
+@pytest.fixture
+def dave():
+    return Viewer(username="dave")
+
+
+@pytest.fixture(scope="session")
+def busy_world():
+    """A populated cluster shared (read-only!) across integration tests.
+
+    6 hours of simulated traffic: running, pending and finished jobs of
+    every flavour.  Tests must not mutate it; mutating tests build their
+    own cluster.
+    """
+    cluster, directory, result = populated_cluster(
+        seed=42, duration_hours=6.0, config=WorkloadConfig(seed=42)
+    )
+    return cluster, directory, result
+
+
+def simple_spec(
+    user="alice",
+    account="lab",
+    partition="cpu",
+    cpus=4,
+    mem_mb=8000,
+    gpus=0,
+    nodes=1,
+    time_limit=3600.0,
+    actual_runtime=600.0,
+    utilization=0.9,
+    **kw,
+):
+    """Terse JobSpec builder used across test modules."""
+    return JobSpec(
+        name=kw.pop("name", "job"),
+        user=user,
+        account=account,
+        partition=partition,
+        req=TRES(cpus=cpus, mem_mb=mem_mb, gpus=gpus, nodes=nodes),
+        time_limit=time_limit,
+        actual_runtime=actual_runtime,
+        actual_cpu_utilization=utilization,
+        **kw,
+    )

@@ -1,0 +1,200 @@
+"""Fixtures for core-dashboard tests: a small, fully controlled world."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import Directory, Viewer
+from repro.core.dashboard import Dashboard
+from repro.news.api import Category, NewsAPI
+from repro.slurm import Association, JobSpec, TRES, small_test_cluster
+from repro.storage.quota import (
+    GB,
+    DirectoryQuota,
+    FilesystemKind,
+    QuotaDatabase,
+)
+from tests.conftest import simple_spec
+
+
+@pytest.fixture
+def world():
+    """A deterministic dashboard world with one of everything:
+
+    * alice (manager) and bob in physics-lab; dave alone in chem-lab;
+    * a running job, a pending job behind the assoc CPU limit, a
+      low-efficiency completed job, a failed job, a GPU job, an
+      interactive Jupyter session, and a 3-task array — all under
+      physics-lab; one private job for dave under chem-lab;
+    * quotas at known fractions; a news feed with one of each category.
+    """
+    cluster = small_test_cluster(
+        associations=[
+            Association(
+                account="physics-lab",
+                grp_tres=TRES(cpus=96, gpus=4),
+                grp_gpu_hours_limit=1000.0,
+            ),
+            Association(account="chem-lab", grp_tres=TRES(cpus=64)),
+        ]
+    )
+    directory = Directory()
+    for name in ("alice", "bob", "dave"):
+        directory.add_user(name)
+    directory.add_account(
+        "physics-lab", members=["alice", "bob"], managers=["alice"]
+    )
+    directory.add_account("chem-lab", members=["dave"], managers=["dave"])
+
+    quotas = QuotaDatabase()
+    quotas.add(
+        DirectoryQuota(
+            path="/home/alice", owner="alice", kind=FilesystemKind.ZFS,
+            label="Home", quota_bytes=25 * GB, quota_files=400_000,
+            used_bytes=5 * GB, used_files=10_000,
+        )
+    )
+    quotas.add(
+        DirectoryQuota(
+            path="/scratch/anvil/alice", owner="alice", kind=FilesystemKind.GPFS,
+            label="Scratch", quota_bytes=100 * GB, quota_files=1_000_000,
+            used_bytes=95 * GB, used_files=750_000,
+        )
+    )
+    quotas.add(
+        DirectoryQuota(
+            path="/depot/physics-lab", owner="physics-lab",
+            kind=FilesystemKind.GPFS, label="Project",
+            quota_bytes=100 * GB, quota_files=1_000_000,
+            used_bytes=80 * GB, used_files=100_000,
+        )
+    )
+    quotas.add(
+        DirectoryQuota(
+            path="/home/dave", owner="dave", kind=FilesystemKind.ZFS,
+            label="Home", quota_bytes=25 * GB, quota_files=400_000,
+            used_bytes=1 * GB, used_files=500,
+        )
+    )
+
+    news = NewsAPI(cluster.clock)
+    now = cluster.clock.now()
+    news.publish(
+        "UNPLANNED OUTAGE: anvil login nodes unreachable",
+        "We are investigating.",
+        category=Category.OUTAGE,
+        starts_at=now - 7200, ends_at=now - 3600, posted_at=now - 7200,
+    )
+    news.publish(
+        "Scheduled maintenance: anvil full-cluster downtime",
+        "Cluster offline during window.",
+        category=Category.MAINTENANCE,
+        starts_at=now + 3 * 86400, ends_at=now + 3.5 * 86400,
+        posted_at=now - 1000,
+    )
+    news.publish("New software stack deployed", "module avail", posted_at=now - 500)
+
+    dash = Dashboard(cluster, directory, quotas=quotas, news=news)
+
+    jobs = {}
+    # low-efficiency completed job (warnings): 32 cpus, 10% util, short
+    jobs["low_eff"] = cluster.submit(
+        simple_spec(
+            name="notebook_batch", user="alice", account="physics-lab",
+            cpus=32, mem_mb=64_000, time_limit=8 * 3600,
+            actual_runtime=1200, utilization=0.10,
+        )
+    )[0]
+    # failed job for bob
+    jobs["failed"] = cluster.submit(
+        simple_spec(
+            name="crashy", user="bob", account="physics-lab",
+            cpus=4, mem_mb=8000, exit_code=1, actual_runtime=300,
+        )
+    )[0]
+    # completed GPU job for bob: 2 GPUs x 30 min = 1 GPU-hour
+    jobs["gpu"] = cluster.submit(
+        simple_spec(
+            name="train_gpu", user="bob", account="physics-lab",
+            partition="gpu", cpus=8, mem_mb=32_000, gpus=2,
+            actual_runtime=1800, time_limit=7200, utilization=0.8,
+        )
+    )[0]
+    # array job, 3 tasks, quick
+    jobs["array"] = cluster.submit(
+        simple_spec(
+            name="sweep", user="alice", account="physics-lab",
+            cpus=2, mem_mb=2000, array_size=3, actual_runtime=600,
+            time_limit=3600,
+        )
+    )
+    # dave's private job in chem-lab
+    jobs["private"] = cluster.submit(
+        simple_spec(
+            name="secret", user="dave", account="chem-lab",
+            cpus=4, mem_mb=4000, actual_runtime=600,
+        )
+    )[0]
+    cluster.advance(2000)  # the jobs above complete
+
+    # interactive Jupyter session for alice (still running)
+    session = dash.ctx.sessions.launch(
+        "jupyter", user="alice", account="physics-lab",
+        form_values={"cpus": 8, "memory_gb": 16, "hours": 4},
+    )
+    jobs["interactive"] = cluster.scheduler.job(session.job_id)
+    # long-running job for alice
+    jobs["running"] = cluster.submit(
+        simple_spec(
+            name="md_long", user="alice", account="physics-lab",
+            cpus=16, mem_mb=32_000, actual_runtime=6 * 3600,
+            time_limit=8 * 3600,
+        )
+    )[0]
+    # saturate the assoc CPU limit so the next job pends with the reason
+    jobs["filler"] = cluster.submit(
+        simple_spec(
+            name="filler", user="bob", account="physics-lab",
+            cpus=64, mem_mb=1000, actual_runtime=4 * 3600,
+            time_limit=5 * 3600,
+        )
+    )[0]
+    jobs["pending"] = cluster.submit(
+        simple_spec(
+            name="blocked", user="alice", account="physics-lab",
+            cpus=32, mem_mb=1000, time_limit=3600,
+        )
+    )[0]
+    cluster.advance(300)
+
+    return dash, directory, jobs, session
+
+
+@pytest.fixture
+def dash(world):
+    return world[0]
+
+
+@pytest.fixture
+def jobs(world):
+    return world[2]
+
+
+@pytest.fixture
+def session(world):
+    return world[3]
+
+
+@pytest.fixture
+def alice_v():
+    return Viewer(username="alice")
+
+
+@pytest.fixture
+def bob_v():
+    return Viewer(username="bob")
+
+
+@pytest.fixture
+def dave_v():
+    return Viewer(username="dave")

@@ -1,0 +1,66 @@
+"""Tests for the admin-only overview page (§9 extension)."""
+
+import pytest
+
+from repro.auth import Viewer
+from repro.core.pages.admin import render_admin_overview
+
+
+@pytest.fixture
+def root():
+    return Viewer(username="root", is_admin=True)
+
+
+class TestAdminGate:
+    def test_regular_user_403(self, dash, alice_v):
+        resp = dash.call("admin_overview", alice_v)
+        assert resp.status == 403
+
+    def test_admin_allowed(self, dash, root):
+        resp = dash.call("admin_overview", root)
+        assert resp.ok
+
+
+class TestAdminData:
+    def test_queue_summary(self, dash, root, jobs):
+        data = dash.call("admin_overview", root).data
+        q = data["queue"]
+        assert q["total_live"] > 0
+        assert "RUNNING" in q["by_state"]
+        assert "AssocGrpCpuLimit" in q["pending_reasons"]
+
+    def test_top_users_cross_privacy_scope(self, dash, root):
+        """The admin view aggregates across all accounts — precisely what
+        regular users cannot see."""
+        data = dash.call("admin_overview", root).data
+        users = {u["user"] for u in data["top_users_24h"]}
+        assert {"alice", "bob", "dave"} <= users
+        hours = [u["cpu_hours"] for u in data["top_users_24h"]]
+        assert hours == sorted(hours, reverse=True)
+
+    def test_node_fleet_and_problems(self, dash, root):
+        dash.ctx.cluster.nodes["a008"].drain("flaky NIC")
+        data = dash.call("admin_overview", root).data
+        assert sum(data["nodes"]["by_state"].values()) == 10
+        problems = {p["name"]: p for p in data["nodes"]["problems"]}
+        assert problems["a008"]["reason"] == "flaky NIC"
+
+    def test_backend_health(self, dash, root):
+        dash.call("recent_jobs", Viewer(username="alice"))
+        data = dash.call("admin_overview", root).data
+        backend = data["backend"]
+        assert backend["daemons"]["slurmctld"]["total_rpcs"] >= 1
+        assert 0.0 <= backend["cache"]["hit_rate"] <= 1.0
+
+    def test_render(self, dash, root):
+        data = dash.call("admin_overview", root).data
+        html = render_admin_overview(data).render()
+        assert "Admin Overview" in html
+        assert "Top users by CPU hours" in html
+        assert "Problem nodes" in html
+
+    def test_not_in_feature_table(self, dash):
+        """Table 1 stays exactly the paper's table; the admin page is an
+        extension beyond it."""
+        features = {r["feature"] for r in dash.feature_table()}
+        assert "Admin Overview (admin-only)" not in features

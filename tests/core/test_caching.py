@@ -1,0 +1,142 @@
+"""Tests for the server-side TTL cache (Rails.cache equivalent)."""
+
+import pytest
+
+from repro.core.caching import CachePolicy, TTLCache
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def cache(clock):
+    return TTLCache(clock, default_ttl=60.0)
+
+
+class TestFetch:
+    def test_miss_computes_and_stores(self, cache):
+        calls = []
+        value = cache.fetch("k", lambda: calls.append(1) or "v")
+        assert value == "v"
+        assert calls == [1]
+        assert cache.stats.misses == 1
+
+    def test_hit_skips_compute(self, cache):
+        cache.fetch("k", lambda: "v1")
+        value = cache.fetch("k", lambda: pytest.fail("must not compute"))
+        assert value == "v1"
+        assert cache.stats.hits == 1
+
+    def test_expiry_recomputes(self, cache, clock):
+        cache.fetch("k", lambda: "old", ttl=30)
+        clock.advance(31)
+        value = cache.fetch("k", lambda: "new")
+        assert value == "new"
+        assert cache.stats.expirations == 1
+
+    def test_fresh_until_exactly_ttl(self, cache, clock):
+        cache.fetch("k", lambda: "v", ttl=30)
+        clock.advance(29.9)
+        assert cache.fetch("k", lambda: "other") == "v"
+
+    def test_per_key_ttl(self, cache, clock):
+        cache.fetch("fast", lambda: 1, ttl=10)
+        cache.fetch("slow", lambda: 2, ttl=1000)
+        clock.advance(20)
+        assert cache.read("fast") is None
+        assert cache.read("slow") == 2
+
+    def test_hit_rate(self, cache):
+        cache.fetch("k", lambda: 1)
+        cache.fetch("k", lambda: 1)
+        cache.fetch("k", lambda: 1)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestDirectAccess:
+    def test_read_returns_none_for_missing(self, cache):
+        assert cache.read("nope") is None
+
+    def test_write_then_read(self, cache):
+        cache.write("k", 42)
+        assert cache.read("k") == 42
+
+    def test_write_zero_ttl_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.write("k", 1, ttl=0)
+
+    def test_default_ttl_positive_required(self, clock):
+        with pytest.raises(ValueError):
+            TTLCache(clock, default_ttl=0)
+
+    def test_delete(self, cache):
+        cache.write("k", 1)
+        assert cache.delete("k") is True
+        assert cache.delete("k") is False
+
+    def test_clear_and_len(self, cache):
+        cache.write("a", 1)
+        cache.write("b", 2)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_entry_exposes_staleness(self, cache, clock):
+        cache.write("k", 1, ttl=10)
+        clock.advance(25)
+        entry = cache.entry("k")
+        assert entry is not None
+        assert not entry.is_fresh(clock.now())
+        assert entry.age(clock.now()) == pytest.approx(25)
+
+    def test_purge_expired(self, cache, clock):
+        cache.write("a", 1, ttl=10)
+        cache.write("b", 2, ttl=100)
+        clock.advance(50)
+        assert cache.purge_expired() == 1
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_bounded_size(self, clock):
+        cache = TTLCache(clock, default_ttl=60, max_entries=5)
+        for i in range(10):
+            cache.write(f"k{i}", i)
+        assert len(cache) == 5
+
+    def test_evicts_closest_to_expiry(self, clock):
+        cache = TTLCache(clock, default_ttl=60, max_entries=2)
+        cache.write("short", 1, ttl=10)
+        cache.write("long", 2, ttl=1000)
+        cache.write("new", 3, ttl=100)
+        assert cache.read("short") is None
+        assert cache.read("long") == 2
+
+
+class TestCachePolicy:
+    def test_paper_defaults(self):
+        """§2.4: squeue ~30 s; announcements 30 min to 1 h."""
+        p = CachePolicy()
+        assert p.squeue == 30.0
+        assert 1800.0 <= p.news <= 3600.0
+        assert p.storage >= p.sinfo
+
+    def test_ttl_for_known_source(self):
+        assert CachePolicy().ttl_for("squeue") == 30.0
+
+    def test_ttl_for_unknown_source_falls_back(self):
+        assert CachePolicy().ttl_for("mystery") == CachePolicy().default
+
+    def test_as_dict_has_every_source(self):
+        d = CachePolicy().as_dict()
+        assert set(d) == {
+            "squeue", "sinfo", "sacct", "scontrol_node", "scontrol_job",
+            "scontrol_assoc", "news", "storage",
+        }
+
+    def test_custom_policy(self):
+        p = CachePolicy(squeue=5.0)
+        assert p.ttl_for("squeue") == 5.0

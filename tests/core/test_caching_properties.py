@@ -1,0 +1,95 @@
+"""Property-based tests for the server-side TTL cache."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.caching import TTLCache
+from repro.sim.clock import SimClock
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["fetch", "advance", "delete"]),
+            st.sampled_from(["k1", "k2"]),
+            st.floats(1.0, 120.0),
+        ),
+        max_size=30,
+    )
+)
+@settings(deadline=None)
+def test_fetch_never_returns_expired_value(ops):
+    """Whatever the operation sequence, a fetch result is either freshly
+    computed or younger than its TTL."""
+    clock = SimClock()
+    cache = TTLCache(clock, default_ttl=60.0)
+    counter = [0]
+    written_at: dict[str, tuple[int, float, float]] = {}  # key -> (val, t, ttl)
+
+    def compute():
+        counter[0] += 1
+        return counter[0]
+
+    for op, key, amount in ops:
+        if op == "advance":
+            clock.advance(amount)
+        elif op == "delete":
+            cache.delete(key)
+            written_at.pop(key, None)
+        else:
+            ttl = amount
+            before = counter[0]
+            value = cache.fetch(key, compute, ttl=ttl)
+            now = clock.now()
+            if counter[0] == before:
+                # a cache hit: must be the stored value and still fresh
+                stored_val, stored_t, stored_ttl = written_at[key]
+                assert value == stored_val
+                assert now - stored_t < stored_ttl
+            else:
+                assert value == counter[0]
+                written_at[key] = (value, now, ttl)
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """Stateful check: TTLCache agrees with a dict-of-(value, expiry) model."""
+
+    def __init__(self):
+        super().__init__()
+        self.clock = SimClock()
+        self.cache = TTLCache(self.clock, default_ttl=50.0)
+        self.model: dict[str, tuple[object, float]] = {}
+        self.counter = 0
+
+    @rule(key=st.sampled_from("abc"), ttl=st.floats(1.0, 200.0))
+    def write(self, key, ttl):
+        self.counter += 1
+        self.cache.write(key, self.counter, ttl=ttl)
+        self.model[key] = (self.counter, self.clock.now() + ttl)
+
+    @rule(key=st.sampled_from("abc"))
+    def delete(self, key):
+        self.cache.delete(key)
+        self.model.pop(key, None)
+
+    @rule(seconds=st.floats(0.5, 300.0))
+    def advance(self, seconds):
+        self.clock.advance(seconds)
+
+    @invariant()
+    def reads_match_model(self):
+        now = self.clock.now()
+        for key in "abc":
+            got = self.cache.read(key)
+            entry = self.model.get(key)
+            if entry is not None and now < entry[1]:
+                assert got == entry[0]
+            else:
+                assert got is None
+
+
+TestCacheModel = CacheMachine.TestCase
+TestCacheModel.settings = settings(
+    max_examples=50, stateful_step_count=30, deadline=None
+)

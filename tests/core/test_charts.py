@@ -1,0 +1,100 @@
+"""Tests for the My Jobs chart builders (§4.2)."""
+
+import pytest
+
+from repro.core.charts import gpu_hour_distribution, job_state_distribution
+from repro.slurm.model import Job, JobSpec, JobState, TRES
+
+
+def make_job(job_id, user, state=JobState.COMPLETED, gpus=0, hours=1.0):
+    spec = JobSpec(
+        name="j", user=user, account="a", partition="p",
+        req=TRES(cpus=1, mem_mb=100, gpus=gpus, nodes=1), time_limit=36000,
+    )
+    return Job(
+        job_id=job_id, spec=spec, state=state,
+        start_time=0.0, end_time=hours * 3600.0,
+    )
+
+
+NOW = 10 * 3600.0
+
+
+class TestStateDistribution:
+    def test_percentages_per_user(self):
+        jobs = [
+            make_job(1, "alice", JobState.COMPLETED),
+            make_job(2, "alice", JobState.COMPLETED),
+            make_job(3, "alice", JobState.FAILED),
+            make_job(4, "bob", JobState.RUNNING),
+        ]
+        chart = job_state_distribution(jobs)
+        alice = chart.bar_for("alice")
+        by_label = {s.label: s.value for s in alice.segments}
+        assert by_label["COMPLETED"] == pytest.approx(66.67, abs=0.01)
+        assert by_label["FAILED"] == pytest.approx(33.33, abs=0.01)
+        assert alice.total == pytest.approx(100.0, abs=0.1)
+
+    def test_segments_carry_filter_keys(self):
+        chart = job_state_distribution([make_job(1, "alice", JobState.FAILED)])
+        seg = chart.bar_for("alice").segments[0]
+        assert seg.filter_key == "state:FAILED"
+        assert seg.color == "red"
+
+    def test_users_sorted(self):
+        chart = job_state_distribution(
+            [make_job(1, "zed"), make_job(2, "amy")]
+        )
+        assert [b.category for b in chart.bars] == ["amy", "zed"]
+
+    def test_empty(self):
+        assert job_state_distribution([]).bars == []
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            job_state_distribution([]).bar_for("ghost")
+
+
+class TestGpuHourDistribution:
+    def test_hours_per_user(self):
+        jobs = [
+            make_job(1, "alice", gpus=2, hours=3.0),  # 6 gpu-h
+            make_job(2, "alice", gpus=1, hours=1.0),  # 1 gpu-h
+            make_job(3, "bob", gpus=4, hours=0.5),  # 2 gpu-h
+        ]
+        chart = gpu_hour_distribution(jobs, NOW)
+        assert chart.bar_for("alice").total == pytest.approx(7.0)
+        assert chart.bar_for("bob").total == pytest.approx(2.0)
+
+    def test_sorted_by_hours_descending(self):
+        jobs = [
+            make_job(1, "small", gpus=1, hours=1.0),
+            make_job(2, "big", gpus=4, hours=4.0),
+        ]
+        chart = gpu_hour_distribution(jobs, NOW)
+        assert [b.category for b in chart.bars] == ["big", "small"]
+
+    def test_cpu_only_users_omitted(self):
+        jobs = [make_job(1, "alice", gpus=0), make_job(2, "bob", gpus=1)]
+        chart = gpu_hour_distribution(jobs, NOW)
+        assert [b.category for b in chart.bars] == ["bob"]
+
+
+class TestChartJsShape:
+    def test_to_chartjs(self):
+        jobs = [
+            make_job(1, "alice", JobState.COMPLETED),
+            make_job(2, "bob", JobState.FAILED),
+        ]
+        data = job_state_distribution(jobs).to_chartjs()
+        assert data["labels"] == ["alice", "bob"]
+        datasets = {d["label"]: d for d in data["datasets"]}
+        assert datasets["COMPLETED"]["data"] == [100.0, 0.0]
+        assert datasets["FAILED"]["data"] == [0.0, 100.0]
+        assert datasets["FAILED"]["backgroundColor"] == "red"
+
+    def test_chartjs_datasets_aligned_with_labels(self):
+        jobs = [make_job(i, f"u{i % 3}") for i in range(9)]
+        data = job_state_distribution(jobs).to_chartjs()
+        for ds in data["datasets"]:
+            assert len(ds["data"]) == len(data["labels"])

@@ -1,0 +1,87 @@
+"""Model-based test of the client cache against a reference model.
+
+A Hypothesis state machine drives :class:`ClientCache` with fetches,
+invalidations and clock advances, mirroring every operation onto a
+plain-dict reference model.  The properties checked:
+
+* the value *rendered* is always either the latest stored copy or a
+  freshly fetched one — never anything older;
+* a fetch within the freshness window never performs a remote request;
+* a stale fetch renders the old copy but stores the fresh one;
+* after any operation, cache contents equal the model.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.clientcache import ClientCache
+from repro.sim.clock import SimClock
+
+KEYS = ["a", "b", "c"]
+
+
+class ClientCacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = SimClock()
+        self.cache = ClientCache(self.clock)
+        self.counter = 0
+        #: reference model: key -> (value, stored_at)
+        self.model: dict[str, tuple[int, float]] = {}
+
+    def _remote(self):
+        self.counter += 1
+        return self.counter
+
+    @rule(key=st.sampled_from(KEYS), max_age=st.floats(1.0, 100.0))
+    def fetch(self, key, max_age):
+        remote_calls_before = self.counter
+        outcome = self.cache.fetch(key, self._remote, max_age_s=max_age)
+        now = self.clock.now()
+        prev = self.model.get(key)
+        if prev is None:
+            # cold: must hit the network and return the fresh value
+            assert outcome.served_from == "network"
+            assert outcome.value == self.counter
+            assert self.counter == remote_calls_before + 1
+            self.model[key] = (outcome.value, now)
+        else:
+            value, stored_at = prev
+            age = now - stored_at
+            assert outcome.served_from == "client-cache"
+            assert outcome.value == value, "rendered value must be the stored copy"
+            if age <= max_age:
+                assert self.counter == remote_calls_before, "fresh: no request"
+                assert not outcome.revalidated
+            else:
+                assert self.counter == remote_calls_before + 1
+                assert outcome.revalidated
+                self.model[key] = (self.counter, now)
+
+    @rule(key=st.sampled_from(KEYS))
+    def invalidate(self, key):
+        removed = self.cache.invalidate(key)
+        assert removed == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(seconds=st.floats(0.1, 200.0))
+    def advance(self, seconds):
+        self.clock.advance(seconds)
+
+    @invariant()
+    def cache_matches_model(self):
+        for key, (value, stored_at) in self.model.items():
+            rec = self.cache.db.get(ClientCache.STORE, key)
+            assert rec is not None
+            assert rec.value == value
+            assert rec.stored_at == stored_at
+        assert self.cache.db.count(ClientCache.STORE) == len(self.model)
+
+
+TestClientCacheModel = ClientCacheMachine.TestCase
+TestClientCacheModel.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

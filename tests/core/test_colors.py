@@ -1,0 +1,92 @@
+"""Tests for the status-color contract (DESIGN.md §5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.colors import (
+    announcement_color,
+    announcement_style,
+    job_state_color,
+    job_state_label,
+    node_state_color,
+    utilization_color,
+)
+from repro.news.api import Article, Category
+from repro.slurm.model import JobState, NodeState
+
+
+class TestUtilizationColor:
+    @pytest.mark.parametrize(
+        "frac,color",
+        [
+            (0.0, "green"),
+            (0.69, "green"),
+            (0.70, "yellow"),
+            (0.90, "yellow"),
+            (0.901, "red"),
+            (1.0, "red"),
+            (1.5, "red"),
+        ],
+    )
+    def test_thresholds(self, frac, color):
+        """§3.3: green <70%, yellow 70-90%, red >90%."""
+        assert utilization_color(frac) == color
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            utilization_color(-0.1)
+
+    @given(st.floats(min_value=0, max_value=2, allow_nan=False))
+    def test_total_function(self, frac):
+        assert utilization_color(frac) in ("green", "yellow", "red")
+
+
+class TestAnnouncementColors:
+    def test_category_colors(self):
+        """§3.1: outages red, maintenance yellow, everything else gray."""
+        assert announcement_color(Category.OUTAGE) == "red"
+        assert announcement_color(Category.MAINTENANCE) == "yellow"
+        assert announcement_color(Category.NEWS) == "gray"
+        assert announcement_color(Category.FEATURE) == "gray"
+
+    def test_past_vs_active_style(self):
+        past = Article(1, "t", "b", Category.OUTAGE, 0.0, starts_at=10, ends_at=20)
+        assert announcement_style(past, now=100) == "past"
+        assert announcement_style(past, now=15) == "active"
+        windowless = Article(2, "t", "b", Category.NEWS, 0.0)
+        assert announcement_style(windowless, now=10**9) == "active"
+
+
+class TestNodeColors:
+    @pytest.mark.parametrize(
+        "state,color",
+        [
+            (NodeState.ALLOCATED, "green"),
+            (NodeState.MIXED, "green"),
+            (NodeState.IDLE, "faded-green"),
+            (NodeState.DRAINED, "yellow"),
+            (NodeState.DRAINING, "yellow"),
+            (NodeState.MAINT, "orange"),
+            (NodeState.DOWN, "red"),
+        ],
+    )
+    def test_palette(self, state, color):
+        """§6 grid-view palette."""
+        assert node_state_color(state) == color
+
+    def test_every_state_mapped(self):
+        for state in NodeState:
+            assert node_state_color(state)
+
+
+class TestJobColors:
+    def test_every_state_has_color_and_label(self):
+        for state in JobState:
+            assert job_state_color(state)
+            assert job_state_label(state)
+
+    def test_key_states(self):
+        assert job_state_color(JobState.FAILED) == "red"
+        assert job_state_color(JobState.COMPLETED) == "green"
+        assert job_state_label(JobState.PENDING) == "Queued"
+        assert job_state_label(JobState.OUT_OF_MEMORY) == "Out of memory"

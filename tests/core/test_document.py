@@ -1,0 +1,99 @@
+"""Tests for the standalone HTML document renderer."""
+
+import pytest
+
+from repro.core.rendering import STYLESHEET, el, render_document
+from repro.core.rendering.document import _PALETTE
+
+
+class TestRenderDocument:
+    def test_complete_document(self):
+        doc = render_document("Test Page", el("p", "hello"))
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "<title>Test Page</title>" in doc
+        assert "<p>hello</p>" in doc
+        assert 'lang="en"' in doc
+        assert "viewport" in doc
+
+    def test_title_escaped(self):
+        doc = render_document("<script>", el("p", "x"))
+        assert "<title><script></title>" not in doc
+        assert "&lt;script&gt;" in doc
+
+    def test_accepts_prerendered_string(self):
+        doc = render_document("T", "<div>raw</div>")
+        assert "<div>raw</div>" in doc
+
+    def test_stylesheet_embedded(self):
+        doc = render_document("T", el("p", "x"))
+        assert STYLESHEET in doc
+
+    def test_stylesheet_covers_every_palette_color(self):
+        for name in _PALETTE:
+            assert f".bg-{name}{{" in STYLESHEET
+            assert f".text-{name}{{" in STYLESHEET
+            assert f".border-{name}{{" in STYLESHEET
+
+    def test_stylesheet_covers_core_components(self):
+        for selector in (
+            ".progress-bar",
+            ".node-cell",
+            ".accordion-item",
+            ".timeline-dot",
+            ".log-view",
+            ".line-number",
+            "table.data-table",
+            ".nav-link",
+        ):
+            assert selector in STYLESHEET, selector
+
+
+class TestHomepageDocument:
+    def test_document_property(self, dash, alice_v):
+        render = dash.render_homepage(alice_v)
+        doc = render.document
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "widget-grid" in doc
+        assert "Logged in as alice" in doc
+        assert "<style>" in doc
+
+    def test_http_serves_document(self, dash, alice_v):
+        import urllib.request
+
+        from repro.web.server import DashboardServer
+
+        with DashboardServer(dash) as server:
+            req = urllib.request.Request(
+                server.url + "/", headers={"X-Remote-User": "alice"}
+            )
+            body = urllib.request.urlopen(req).read().decode()
+        assert body.startswith("<!DOCTYPE html>")
+        assert "<style>" in body
+
+
+class TestSinfoNodeOriented:
+    def test_node_rows(self, dash, alice_v):
+        from repro.slurm.commands import Sinfo
+        from repro.slurm.commands.base import parse_pipe_table
+
+        out = Sinfo(dash.ctx.cluster).run_node_oriented()
+        rows = parse_pipe_table(out.stdout)
+        assert len(rows) == 10  # one per (node, partition)
+        gpu_rows = [r for r in rows if r["PARTITION"] == "gpu"]
+        assert len(gpu_rows) == 2
+        assert gpu_rows[0]["GRES"] == "gpu:nvidia_a100:4"
+        assert all(r["NODES"] == "1" for r in rows)
+
+    def test_partition_filter(self, dash):
+        from repro.slurm.commands import Sinfo
+        from repro.slurm.commands.base import parse_pipe_table
+
+        out = Sinfo(dash.ctx.cluster).run_node_oriented(partition="cpu")
+        rows = parse_pipe_table(out.stdout)
+        assert len(rows) == 8
+
+    def test_unknown_partition(self, dash):
+        from repro.slurm.commands import Sinfo
+
+        with pytest.raises(KeyError):
+            Sinfo(dash.ctx.cluster).run_node_oriented(partition="ghost")

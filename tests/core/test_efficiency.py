@@ -1,0 +1,159 @@
+"""Tests for efficiency metrics and warnings (§4.1/§4.3)."""
+
+import pytest
+
+from repro.core.efficiency import (
+    compute_efficiency,
+    efficiency_warnings,
+    mean_efficiency,
+)
+from repro.slurm.model import Job, JobSpec, JobState, TRES
+
+
+def make_job(
+    cpus=8,
+    mem_mb=16000,
+    nodes=1,
+    time_limit=3600.0,
+    start=0.0,
+    end=1800.0,
+    total_cpu_seconds=None,
+    max_rss_mb=8000,
+    state=JobState.COMPLETED,
+):
+    spec = JobSpec(
+        name="j", user="u", account="a", partition="p",
+        req=TRES(cpus=cpus, mem_mb=mem_mb, nodes=nodes),
+        time_limit=time_limit,
+    )
+    job = Job(
+        job_id=1, spec=spec, state=state,
+        submit_time=0.0, start_time=start, end_time=end,
+        max_rss_mb=max_rss_mb,
+    )
+    if total_cpu_seconds is None and end is not None:
+        total_cpu_seconds = (end - start) * cpus * 0.5
+    job.total_cpu_seconds = total_cpu_seconds or 0.0
+    return job
+
+
+NOW = 10_000.0
+
+
+class TestComputeEfficiency:
+    def test_time_efficiency(self):
+        job = make_job(time_limit=3600, end=1800)
+        eff = compute_efficiency(job, NOW)
+        assert eff.time == pytest.approx(0.5)
+
+    def test_cpu_efficiency(self):
+        # 8 cpus, 1800 s elapsed, 7200 cpu-seconds used -> 0.5
+        job = make_job(total_cpu_seconds=7200)
+        eff = compute_efficiency(job, NOW)
+        assert eff.cpu == pytest.approx(0.5)
+
+    def test_memory_efficiency(self):
+        job = make_job(mem_mb=16000, max_rss_mb=4000)
+        eff = compute_efficiency(job, NOW)
+        assert eff.memory == pytest.approx(0.25)
+
+    def test_memory_per_node_basis(self):
+        # 2 nodes, 16 GB total -> 8 GB/node; 4 GB RSS -> 0.5
+        job = make_job(mem_mb=16000, nodes=2, cpus=8, max_rss_mb=4000)
+        assert compute_efficiency(job, NOW).memory == pytest.approx(0.5)
+
+    def test_never_started_job_has_no_metrics(self):
+        job = make_job(start=None, end=None, state=JobState.PENDING,
+                       max_rss_mb=0)
+        job.start_time = None
+        job.end_time = None
+        eff = compute_efficiency(job, NOW)
+        assert eff.time is None and eff.cpu is None and eff.memory is None
+
+    def test_running_job_has_no_time_efficiency(self):
+        """Time efficiency is only meaningful once the job has ended."""
+        job = make_job(end=None, state=JobState.RUNNING, max_rss_mb=0)
+        job.end_time = None
+        eff = compute_efficiency(job, now=1800.0)
+        assert eff.time is None
+
+    def test_values_capped_at_one(self):
+        job = make_job(total_cpu_seconds=10**9, max_rss_mb=10**9)
+        eff = compute_efficiency(job, NOW)
+        assert eff.cpu == 1.0 and eff.memory == 1.0
+
+    def test_format(self):
+        eff = compute_efficiency(make_job(total_cpu_seconds=7200), NOW)
+        assert eff.format("cpu") == "50%"
+        job = make_job(end=None, state=JobState.RUNNING)
+        job.end_time = None
+        assert compute_efficiency(job, 100.0).format("time") == "n/a"
+
+
+class TestWarnings:
+    def test_low_cpu_efficiency_warns_with_paper_phrasing(self):
+        job = make_job(cpus=32, total_cpu_seconds=1800 * 32 * 0.05)
+        warnings = efficiency_warnings(job, NOW)
+        cpu = next(w for w in warnings if w.kind == "cpu")
+        assert "only using" not in cpu.message  # exact paper text paraphrased
+        assert "reduce your queue wait times" in cpu.message
+        assert "leave more resources for others" in cpu.message
+        assert cpu.used_pct == pytest.approx(5.0)
+
+    def test_efficient_job_no_warnings(self):
+        job = make_job(
+            total_cpu_seconds=1800 * 8 * 0.9,
+            max_rss_mb=14000,
+            time_limit=2000,
+        )
+        assert efficiency_warnings(job, NOW) == []
+
+    def test_running_job_not_judged(self):
+        job = make_job(end=None, state=JobState.RUNNING, total_cpu_seconds=1)
+        job.end_time = None
+        assert efficiency_warnings(job, now=1800.0) == []
+
+    def test_cancelled_job_not_judged(self):
+        job = make_job(state=JobState.CANCELLED, total_cpu_seconds=1)
+        assert efficiency_warnings(job, NOW) == []
+
+    def test_short_job_not_judged(self):
+        job = make_job(end=30.0, total_cpu_seconds=1)
+        assert efficiency_warnings(job, NOW) == []
+
+    def test_timeout_job_gets_no_time_warning(self):
+        """A job killed at its limit used 100% of its time by definition;
+        warning about time would be nonsense."""
+        job = make_job(state=JobState.TIMEOUT, end=3600.0,
+                       total_cpu_seconds=3600 * 8 * 0.05)
+        kinds = {w.kind for w in efficiency_warnings(job, NOW)}
+        assert "time" not in kinds
+
+    def test_low_memory_warns(self):
+        job = make_job(max_rss_mb=100)
+        kinds = {w.kind for w in efficiency_warnings(job, NOW)}
+        assert "memory" in kinds
+
+    def test_low_time_warns(self):
+        job = make_job(time_limit=8 * 3600, end=1800.0,
+                       total_cpu_seconds=1800 * 8 * 0.9, max_rss_mb=15000)
+        kinds = {w.kind for w in efficiency_warnings(job, NOW)}
+        assert kinds == {"time"}
+
+
+class TestMeanEfficiency:
+    def test_mean_over_computable_jobs(self):
+        jobs = [
+            make_job(total_cpu_seconds=1800 * 8 * 0.4),
+            make_job(total_cpu_seconds=1800 * 8 * 0.8),
+        ]
+        assert mean_efficiency(jobs, NOW, "cpu") == pytest.approx(0.6)
+
+    def test_none_when_no_jobs_computable(self):
+        job = make_job(state=JobState.PENDING)
+        job.start_time = None
+        job.end_time = None
+        assert mean_efficiency([job], NOW, "cpu") is None
+
+    def test_empty_list(self):
+        assert mean_efficiency([], NOW, "time") is None

@@ -1,0 +1,125 @@
+"""Gap-coverage tests: smaller behaviours of the dashboard core."""
+
+import pytest
+
+from repro.auth import Viewer
+from repro.core.monitor import JobWatcher
+from repro.slurm import JobState
+from tests.conftest import simple_spec
+
+
+class TestJobsInScopeStates:
+    def test_states_filter(self, dash, alice_v):
+        failed = dash.ctx.jobs_in_scope(alice_v, states=[JobState.FAILED])
+        assert failed
+        assert all(r.state is JobState.FAILED for r in failed)
+
+
+class TestClusterQueue:
+    def test_live_only(self, dash):
+        queue = dash.ctx.cluster_queue()
+        assert queue
+        assert all(r.state.is_active for r in queue)
+
+
+class TestHomepageManifestWindows:
+    def test_per_widget_freshness(self, dash, alice_v):
+        manifest = dash.call("homepage", alice_v).data
+        windows = {w["name"]: w["max_age_s"] for w in manifest["widgets"]}
+        # fast-moving squeue data gets the tightest window (§2.4)
+        assert windows["recent_jobs"] <= min(windows.values())
+        assert windows["storage"] >= windows["recent_jobs"]
+
+
+class TestRouteTiming:
+    def test_elapsed_recorded(self, dash, alice_v):
+        resp = dash.call("system_status", alice_v)
+        assert resp.elapsed_ms >= 0.0
+
+
+class TestReasonChangeEvent:
+    def test_watcher_reports_reason_transition(self, cluster):
+        """Pending reason transitions (e.g. Priority -> Resources when the
+        job ahead starts) surface as reason_changed events."""
+        from repro.auth import Directory
+        from repro.core.dashboard import Dashboard
+
+        directory = Directory()
+        directory.add_user("alice")
+        directory.add_account("lab", members=["alice"])
+        dash = Dashboard(cluster, directory)
+        viewer = Viewer(username="alice")
+
+        # fill the cluster with *staggered* end times so only one node
+        # frees up first, then queue two more wide jobs
+        for i in range(8):
+            cluster.submit(
+                simple_spec(cpus=64, mem_mb=100,
+                            actual_runtime=1800 + i * 600,
+                            time_limit=1800 + i * 600)
+            )
+        first = cluster.submit(simple_spec(name="first", cpus=64, mem_mb=100,
+                                           actual_runtime=1800,
+                                           time_limit=1800))[0]
+        second = cluster.submit(simple_spec(name="second", cpus=64, mem_mb=100,
+                                            time_limit=1800))[0]
+        assert first.reason == "Resources"
+        assert second.reason == "Priority"
+
+        watcher = JobWatcher(dash.ctx, viewer)
+        watcher.poll()
+        # at t=1800 exactly one node frees: 'first' starts, 'second'
+        # becomes the head of the queue with reason Resources
+        cluster.advance(1840)
+        assert first.state is JobState.RUNNING
+        assert second.state is JobState.PENDING
+        events = watcher.poll()
+        changed = [e for e in events if e.kind == "reason_changed"
+                   and e.job_id == second.job_id]
+        assert changed
+        assert "Priority -> Resources" in changed[0].detail
+
+
+class TestExportFilenames:
+    def test_xls_filename(self, dash, alice_v):
+        resp = dash.call(
+            "account_usage_export", alice_v,
+            {"account": "physics-lab", "format": "xls"},
+        )
+        assert resp.data["filename"] == "physics-lab_usage.xls"
+
+
+class TestLogStoreCap:
+    def test_max_lines_cap(self, cluster):
+        from repro.ood import LogStore
+
+        store = LogStore(max_lines=500)
+        job = cluster.submit(simple_spec(cpus=1, actual_runtime=4 * 3600,
+                                         time_limit=5 * 3600))[0]
+        cluster.advance(4 * 3600 + 1)
+        assert store.line_count(job, "out", cluster.now()) == 500
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+class TestSessionIdInMyJobsDetails:
+    def test_interactive_row_carries_session_id(self, dash, alice_v, session):
+        data = dash.call("my_jobs", alice_v).data
+        row = next(j for j in data["jobs"] if "jupyter" in j["name"])
+        assert row["details"]["session_id"] == session.session_id
+
+    def test_batch_row_has_no_session_id(self, dash, alice_v):
+        data = dash.call("my_jobs", alice_v).data
+        row = next(j for j in data["jobs"] if j["name"] == "md_long")
+        assert row["details"]["session_id"] == ""

@@ -1,0 +1,110 @@
+"""Tests for the real-time job watcher (§9 extension)."""
+
+import pytest
+
+from repro.auth import Directory, Viewer
+from repro.core.dashboard import Dashboard
+from repro.core.monitor import JobWatcher
+from repro.slurm import JobState, small_test_cluster
+from tests.conftest import simple_spec
+
+
+@pytest.fixture
+def watch_world():
+    cluster = small_test_cluster()
+    directory = Directory()
+    directory.add_user("alice")
+    directory.add_account("lab", members=["alice"])
+    dash = Dashboard(cluster, directory)
+    viewer = Viewer(username="alice")
+    watcher = JobWatcher(dash.ctx, viewer)
+    return cluster, dash, watcher
+
+
+def advance_past_ttl(cluster, dash, seconds=31.0):
+    """Move time past the squeue TTL so the watcher sees fresh data."""
+    cluster.advance(seconds)
+
+
+class TestJobWatcher:
+    def test_first_poll_is_silent(self, watch_world):
+        cluster, dash, watcher = watch_world
+        cluster.submit(simple_spec(actual_runtime=7200, time_limit=7200))
+        assert watcher.poll() == []
+
+    def test_new_running_job_emits_submitted_and_started(self, watch_world):
+        cluster, dash, watcher = watch_world
+        watcher.poll()  # prime
+        job = cluster.submit(simple_spec(actual_runtime=7200, time_limit=7200))[0]
+        advance_past_ttl(cluster, dash)
+        events = watcher.poll()
+        kinds = [e.kind for e in events if e.job_id == job.job_id]
+        assert kinds == ["submitted", "started"]
+
+    def test_pending_job_emits_submitted_only(self, watch_world):
+        cluster, dash, watcher = watch_world
+        watcher.poll()
+        for _ in range(8):
+            cluster.submit(simple_spec(cpus=64, mem_mb=100,
+                                       actual_runtime=7200, time_limit=7200))
+        blocked = cluster.submit(simple_spec(cpus=64, mem_mb=100,
+                                             time_limit=3600))[0]
+        advance_past_ttl(cluster, dash)
+        events = [e for e in watcher.poll() if e.job_id == blocked.job_id]
+        assert [e.kind for e in events] == ["submitted"]
+        assert events[0].state is JobState.PENDING
+
+    def test_completion_emits_finished(self, watch_world):
+        cluster, dash, watcher = watch_world
+        job = cluster.submit(simple_spec(actual_runtime=600, time_limit=3600))[0]
+        watcher.poll()  # prime with the running job
+        cluster.advance(601)
+        events = [e for e in watcher.poll() if e.job_id == job.job_id]
+        assert [e.kind for e in events] == ["finished"]
+        assert events[0].detail == "COMPLETED"
+
+    def test_failure_detail(self, watch_world):
+        cluster, dash, watcher = watch_world
+        job = cluster.submit(simple_spec(exit_code=1, actual_runtime=300,
+                                         time_limit=3600))[0]
+        watcher.poll()
+        cluster.advance(301)
+        events = [e for e in watcher.poll() if e.job_id == job.job_id]
+        assert events[0].detail == "FAILED"
+
+    def test_job_leaving_queue_reported_finished(self, watch_world):
+        """A running job that vanishes from squeue (purge) still closes out."""
+        cluster, dash, watcher = watch_world
+        job = cluster.submit(simple_spec(actual_runtime=60, time_limit=3600))[0]
+        watcher.poll()
+        # past completion AND MinJobAge purge
+        cluster.advance(61 + cluster.scheduler.config.min_job_age + 60)
+        events = [e for e in watcher.poll() if e.job_id == job.job_id]
+        assert [e.kind for e in events] == ["finished"]
+
+    def test_no_duplicate_events_on_repeat_polls(self, watch_world):
+        cluster, dash, watcher = watch_world
+        watcher.poll()
+        cluster.submit(simple_spec(actual_runtime=7200, time_limit=7200))
+        advance_past_ttl(cluster, dash)
+        first = watcher.poll()
+        assert first
+        second = watcher.poll()
+        assert second == []
+
+    def test_watcher_uses_cached_squeue(self, watch_world):
+        """Polling inside one TTL adds no slurmctld load (§3.2)."""
+        cluster, dash, watcher = watch_world
+        watcher.poll()
+        before = cluster.daemons.ctld.rpcs_by_kind.get("squeue", 0)
+        for _ in range(20):
+            watcher.poll()
+        assert cluster.daemons.ctld.rpcs_by_kind.get("squeue", 0) == before
+
+    def test_events_counter(self, watch_world):
+        cluster, dash, watcher = watch_world
+        watcher.poll()
+        cluster.submit(simple_spec(actual_runtime=7200, time_limit=7200))
+        advance_past_ttl(cluster, dash)
+        watcher.poll()
+        assert watcher.events_seen >= 2

@@ -1,0 +1,157 @@
+"""Tests for the parsed-record layer (sacct/squeue/scontrol -> JobRecord)."""
+
+import pytest
+
+from repro.core.records import JobRecord, NodeRecord
+from repro.slurm import JobState
+from repro.slurm.commands import (
+    Sacct,
+    Scontrol,
+    Squeue,
+    parse_sacct,
+    parse_scontrol_blocks,
+    parse_squeue,
+)
+from tests.conftest import simple_spec
+
+
+@pytest.fixture
+def finished(cluster):
+    job = cluster.submit(
+        simple_spec(
+            name="done", cpus=8, mem_mb=16000, actual_runtime=1800,
+            time_limit=3600, utilization=0.5,
+        )
+    )[0]
+    cluster.advance(1801)
+    return cluster, job
+
+
+class TestFromSacct:
+    def test_roundtrip_core_fields(self, finished):
+        cluster, job = finished
+        rows = parse_sacct(Sacct(cluster).run(users=["alice"]).stdout)
+        rec = JobRecord.from_sacct_row(rows[0], cluster.clock)
+        assert rec.job_id == job.job_id
+        assert rec.state is JobState.COMPLETED
+        assert rec.req.cpus == 8
+        assert rec.req.mem_mb == 16000
+        assert rec.submit_time == pytest.approx(job.submit_time)
+        assert rec.start_time == pytest.approx(job.start_time)
+        assert rec.end_time == pytest.approx(job.end_time)
+        assert rec.time_limit == pytest.approx(3600)
+        assert rec.nodes == job.nodes
+
+    def test_numeric_usage_fields(self, finished):
+        cluster, job = finished
+        rows = parse_sacct(Sacct(cluster).run(users=["alice"]).stdout)
+        rec = JobRecord.from_sacct_row(rows[0], cluster.clock)
+        assert rec.total_cpu_seconds == pytest.approx(job.total_cpu_seconds, abs=1)
+        assert rec.max_rss_mb == job.max_rss_mb
+
+    def test_derived_quantities_match_internal(self, finished):
+        cluster, job = finished
+        now = cluster.now()
+        rows = parse_sacct(Sacct(cluster).run(users=["alice"]).stdout)
+        rec = JobRecord.from_sacct_row(rows[0], cluster.clock)
+        assert rec.elapsed(now) == pytest.approx(job.elapsed(now), abs=1)
+        assert rec.wait_time(now) == pytest.approx(job.wait_time(now), abs=1)
+
+    def test_cancelled_state_decoration_parsed(self, cluster):
+        job = cluster.submit(simple_spec(name="c"), held=True)[0]
+        cluster.scheduler.cancel(job.job_id)
+        rows = parse_sacct(Sacct(cluster).run().stdout)
+        rec = JobRecord.from_sacct_row(rows[0], cluster.clock)
+        assert rec.state is JobState.CANCELLED
+
+    def test_array_task_ids(self, cluster):
+        tasks = cluster.submit(simple_spec(array_size=2, actual_runtime=10))
+        cluster.advance(11)
+        rows = parse_sacct(Sacct(cluster).run().stdout)
+        recs = [JobRecord.from_sacct_row(r, cluster.clock) for r in rows]
+        arr = [r for r in recs if r.is_array_task]
+        assert len(arr) == 2
+        assert arr[0].array_job_id == tasks[0].job_id
+
+    def test_interactive_detection(self, cluster):
+        from repro.slurm.model import InteractiveSessionInfo
+
+        spec = simple_spec(name="sys/dashboard/jupyter", actual_runtime=10)
+        spec.interactive = InteractiveSessionInfo("jupyter", "jupyter-1", "/x")
+        cluster.submit(spec)
+        cluster.advance(11)
+        rows = parse_sacct(Sacct(cluster).run().stdout)
+        rec = JobRecord.from_sacct_row(rows[0], cluster.clock)
+        assert rec.is_interactive
+        assert rec.interactive_app == "jupyter"
+
+
+class TestFromSqueue:
+    def test_running_job(self, cluster):
+        job = cluster.submit(simple_spec(cpus=4, actual_runtime=7200,
+                                         time_limit=7200))[0]
+        cluster.advance(60)
+        rows = parse_squeue(Squeue(cluster).run(user="alice").stdout)
+        rec = JobRecord.from_squeue_row(rows[0], cluster.clock)
+        assert rec.state is JobState.RUNNING
+        assert rec.nodes == job.nodes
+        assert rec.req.cpus == 4
+        assert rec.end_time is None
+
+    def test_pending_job_nodes_empty(self, cluster):
+        for _ in range(8):
+            cluster.submit(simple_spec(cpus=64, mem_mb=100,
+                                       actual_runtime=7200, time_limit=7200))
+        cluster.submit(simple_spec(name="waiting", cpus=64, mem_mb=100,
+                                   time_limit=3600))
+        rows = parse_squeue(Squeue(cluster).run().stdout)
+        waiting = next(r for r in rows if r["NAME"] == "waiting")
+        rec = JobRecord.from_squeue_row(waiting, cluster.clock)
+        assert rec.state is JobState.PENDING
+        assert rec.nodes == []
+        assert rec.reason in ("Resources", "Priority")
+
+
+class TestFromScontrol:
+    def test_job_block(self, finished):
+        cluster, job = finished
+        fresh = cluster.submit(simple_spec(name="live", cpus=2,
+                                           actual_runtime=7200,
+                                           time_limit=7200))[0]
+        out = Scontrol(cluster).show_job(fresh.job_id)
+        block = parse_scontrol_blocks(out.stdout)[0]
+        rec = JobRecord.from_scontrol_block(block, cluster.clock)
+        assert rec.job_id == fresh.job_id
+        assert rec.state is JobState.RUNNING
+        assert rec.user == "alice"
+        assert rec.req.cpus == 2
+
+    def test_node_block(self, finished):
+        cluster, _ = finished
+        out = Scontrol(cluster).show_node("g001")
+        rec = NodeRecord.from_scontrol_block(
+            parse_scontrol_blocks(out.stdout)[0], cluster.clock
+        )
+        assert rec.name == "g001"
+        assert rec.gpus_total == 4
+        assert rec.gres_model == "nvidia_a100"
+        assert rec.gpu_fraction == 0.0
+        assert "gpu" in rec.partitions
+
+    def test_node_fractions(self, cluster):
+        job = cluster.submit(simple_spec(cpus=32, mem_mb=128_000,
+                                         actual_runtime=7200,
+                                         time_limit=7200))[0]
+        out = Scontrol(cluster).show_node(job.nodes[0])
+        rec = NodeRecord.from_scontrol_block(
+            parse_scontrol_blocks(out.stdout)[0], cluster.clock
+        )
+        assert rec.cpu_fraction == pytest.approx(0.5)
+        assert rec.memory_fraction == pytest.approx(0.5)
+
+    def test_cpu_only_node_gpu_fraction_none(self, cluster):
+        out = Scontrol(cluster).show_node("a001")
+        rec = NodeRecord.from_scontrol_block(
+            parse_scontrol_blocks(out.stdout)[0], cluster.clock
+        )
+        assert rec.gpu_fraction is None

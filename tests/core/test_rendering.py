@@ -1,0 +1,234 @@
+"""Tests for HTML elements, templates, and dashboard components."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rendering import (
+    Element,
+    RawHTML,
+    Template,
+    TemplateError,
+    accordion,
+    badge,
+    card,
+    data_table,
+    el,
+    escape,
+    loading_placeholder,
+    node_grid_cell,
+    page_shell,
+    progress_bar,
+    render_template,
+    tabs,
+    timeline,
+    tooltip_span,
+)
+
+
+class TestElement:
+    def test_basic_render(self):
+        assert el("div", "hi").render() == "<div>hi</div>"
+
+    def test_attrs_sorted_and_escaped(self):
+        html = el("a", "x", href='/p?a=1&b="2"', cls="link").render()
+        assert html == '<a class="link" href="/p?a=1&amp;b=&quot;2&quot;">x</a>'
+
+    def test_text_children_escaped(self):
+        assert "<script>" not in el("div", "<script>alert(1)</script>").render()
+
+    @given(st.text(max_size=100))
+    def test_no_text_can_inject_markup(self, text):
+        rendered = el("div", text).render()
+        inner = rendered[len("<div>") : -len("</div>")]
+        assert "<" not in inner and ">" not in inner
+
+    def test_none_children_skipped(self):
+        assert el("div", None, "a", None).render() == "<div>a</div>"
+
+    def test_void_elements(self):
+        assert el("br").render() == "<br/>"
+        with pytest.raises(ValueError):
+            Element("br", None, ["x"])
+
+    def test_bad_tag_rejected(self):
+        with pytest.raises(ValueError):
+            el("div onclick")
+
+    def test_data_attr_mapping(self):
+        assert 'data-widget="x"' in el("div", data_widget="x").render()
+
+    def test_false_and_none_attrs_omitted(self):
+        html = el("div", hidden=False, title=None).render()
+        assert html == "<div></div>"
+
+    def test_find_all_by_tag_and_class(self):
+        tree = el("div", el("span", "a", cls="x"), el("div", el("span", "b")))
+        assert len(tree.find_all("span")) == 2
+        assert len(tree.find_all(cls="x")) == 1
+
+    def test_text_extraction(self):
+        tree = el("div", "a", el("b", "c"), "d")
+        assert tree.text() == "acd"
+
+    def test_raw_html_passthrough(self):
+        assert RawHTML("<b>hi</b>").render() == "<b>hi</b>"
+
+    def test_escape(self):
+        assert escape("<&>") == "&lt;&amp;&gt;"
+
+
+class TestTemplate:
+    def test_expression_escaped(self):
+        out = render_template("Hello <%= name %>!", name="<b>")
+        assert out == "Hello &lt;b&gt;!"
+
+    def test_raw_expression(self):
+        out = render_template("<%- markup %>", markup="<b>x</b>")
+        assert out == "<b>x</b>"
+
+    def test_loop(self):
+        out = render_template(
+            "<% for x in items %>[<%= x %>]<% end %>", items=[1, 2, 3]
+        )
+        assert out == "[1][2][3]"
+
+    def test_loop_with_tuple_unpacking(self):
+        out = render_template(
+            "<% for k, v in pairs %><%= k %>=<%= v %>;<% end %>",
+            pairs=[("a", 1), ("b", 2)],
+        )
+        assert out == "a=1;b=2;"
+
+    def test_conditional(self):
+        tpl = "<% if show %>yes<% end %>no"
+        assert render_template(tpl, show=True) == "yesno"
+        assert render_template(tpl, show=False) == "no"
+
+    def test_nested_blocks(self):
+        tpl = "<% for x in xs %><% if x > 1 %><%= x %><% end %><% end %>"
+        assert render_template(tpl, xs=[1, 2, 3]) == "23"
+
+    def test_safe_builtins_available(self):
+        assert render_template("<%= len(items) %>", items=[1, 2]) == "2"
+
+    def test_dangerous_builtins_blocked(self):
+        with pytest.raises(TemplateError):
+            render_template("<%= open('/etc/passwd') %>")
+
+    def test_unclosed_block_rejected_at_compile(self):
+        with pytest.raises(TemplateError):
+            Template("<% for x in xs %>")
+
+    def test_unmatched_end_rejected(self):
+        with pytest.raises(TemplateError):
+            Template("<% end %>")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(TemplateError):
+            Template("<% while True %><% end %>")
+
+    def test_failing_expression_reports_template_name(self):
+        tpl = Template("<%= missing %>", name="widget.erb")
+        with pytest.raises(TemplateError, match="widget.erb"):
+            tpl.render({})
+
+    def test_username_prerender_use_case(self):
+        """The paper's actual ERB usage: pre-render the username (§2.2.1)."""
+        out = render_template(
+            "<nav>Logged in as <%= username %></nav>", username="alice"
+        )
+        assert out == "<nav>Logged in as alice</nav>"
+
+
+class TestComponents:
+    def test_progress_bar_colors_by_threshold(self):
+        assert "bg-green" in progress_bar(0.5).render()
+        assert "bg-yellow" in progress_bar(0.8).render()
+        assert "bg-red" in progress_bar(0.95).render()
+
+    def test_progress_bar_accessibility(self):
+        html = progress_bar(0.42, label="CPU usage").render()
+        assert 'role="progressbar"' in html
+        assert 'aria-valuenow="42"' in html
+        assert 'aria-label="CPU usage"' in html
+
+    def test_progress_bar_clamps(self):
+        assert 'aria-valuenow="100"' in progress_bar(3.0).render()
+
+    def test_card_structure(self):
+        c = card("Title", "body text", footer="foot")
+        assert len(c.find_all(cls="card-header")) == 1
+        assert len(c.find_all(cls="card-body")) == 1
+        assert len(c.find_all(cls="card-footer")) == 1
+        assert "Title" in c.text()
+
+    def test_badge(self):
+        assert badge("Running", "blue").render() == (
+            '<span class="badge badge-blue">Running</span>'
+        )
+
+    def test_tooltip_keyboard_accessible(self):
+        html = tooltip_span("AssocGrpCpuLimit", "group CPU limit reached").render()
+        assert 'title="group CPU limit reached"' in html
+        assert 'tabindex="0"' in html
+
+    def test_accordion_styles_and_colors(self):
+        acc = accordion(
+            [
+                ("Outage", "body", {"color": "red", "style": "active"}),
+                ("Old news", "body", {"color": "gray", "style": "past"}),
+            ]
+        )
+        html = acc.render()
+        assert "border-red" in html
+        assert "item-past" in html
+        assert 'aria-expanded="false"' in html
+
+    def test_data_table_shape(self):
+        t = data_table(["A", "B"], [["1", "2"], ["3", "4"]])
+        assert len(t.find_all("th")) == 2
+        assert len(t.find_all("td")) == 4
+
+    def test_data_table_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            data_table(["A", "B"], [["only one"]])
+
+    def test_data_table_row_attrs(self):
+        t = data_table(["A"], [["1"]], row_attrs=[{"data-job-id": "7"}])
+        assert 'data-job-id="7"' in t.render()
+
+    def test_tabs_render_and_validate(self):
+        t = tabs([("One", el("p", "1")), ("Two", el("p", "2"))], active=1)
+        html = t.render()
+        assert 'role="tablist"' in html
+        assert html.count('role="tab"') == 2
+        assert 'aria-selected="true"' in html
+        with pytest.raises(ValueError):
+            tabs([])
+        with pytest.raises(ValueError):
+            tabs([("One", "x")], active=5)
+
+    def test_node_grid_cell(self):
+        html = node_grid_cell("a001", "green", "a001: 4/64 CPUs", "/nodes/a001").render()
+        assert "bg-green" in html
+        assert 'href="/nodes/a001"' in html
+        assert 'title="a001: 4/64 CPUs"' in html
+
+    def test_timeline_reached_markers(self):
+        t = timeline(
+            [("Submitted", "t0", True), ("Ended", "—", False)], color="blue"
+        )
+        html = t.render()
+        assert html.count("timeline-event") >= 2
+        assert "hollow" in html and "filled" in html
+
+    def test_loading_placeholder(self):
+        html = loading_placeholder("recent_jobs").render()
+        assert 'data-component="recent_jobs"' in html
+        assert 'role="status"' in html
+
+    def test_page_shell_prerenders_username(self):
+        html = page_shell("home", "alice", el("p", "x")).render()
+        assert "Logged in as alice" in html
+        assert 'role="navigation"' in html
+        assert 'role="main"' in html

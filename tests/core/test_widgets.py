@@ -1,0 +1,200 @@
+"""Tests for the five homepage widgets (paper §3, Figure 2)."""
+
+import pytest
+
+from repro.core.widgets import ALL_WIDGET_ROUTES, WIDGET_RENDERERS
+from repro.core.widgets.accounts import render_accounts
+from repro.core.widgets.announcements import render_announcements
+from repro.core.widgets.recent_jobs import render_recent_jobs
+from repro.core.widgets.storage import render_storage
+from repro.core.widgets.system_status import render_system_status
+
+
+def widget_data(dash, name, viewer, params=None):
+    resp = dash.call(name, viewer, params)
+    assert resp.ok, resp.error
+    return resp.data
+
+
+class TestAnnouncementsWidget:
+    def test_articles_listed_newest_first(self, dash, alice_v):
+        data = widget_data(dash, "announcements", alice_v)
+        titles = [a["title"] for a in data["articles"]]
+        assert titles[0] == "New software stack deployed"
+        assert len(titles) == 3
+
+    def test_color_coding(self, dash, alice_v):
+        data = widget_data(dash, "announcements", alice_v)
+        by_cat = {a["category"]: a for a in data["articles"]}
+        assert by_cat["outage"]["color"] == "red"
+        assert by_cat["maintenance"]["color"] == "yellow"
+        assert by_cat["news"]["color"] == "gray"
+
+    def test_past_outage_styled_past(self, dash, alice_v):
+        data = widget_data(dash, "announcements", alice_v)
+        outage = next(a for a in data["articles"] if a["category"] == "outage")
+        assert outage["style"] == "past"
+        maint = next(a for a in data["articles"] if a["category"] == "maintenance")
+        assert maint["style"] == "active"
+        assert maint["upcoming"] is True
+
+    def test_limit_param(self, dash, alice_v):
+        data = widget_data(dash, "announcements", alice_v, {"limit": 1})
+        assert len(data["articles"]) == 1
+
+    def test_bad_limit_isolated(self, dash, alice_v):
+        resp = dash.call("announcements", alice_v, {"limit": -1})
+        assert not resp.ok and resp.status == 500
+
+    def test_render(self, dash, alice_v):
+        data = widget_data(dash, "announcements", alice_v)
+        html = render_announcements(data).render()
+        assert "accordion" in html
+        assert "border-red" in html
+        assert "item-past" in html
+        assert "View all news" in html
+
+
+class TestRecentJobsWidget:
+    def test_only_viewers_jobs(self, dash, alice_v):
+        data = widget_data(dash, "recent_jobs", alice_v)
+        assert data["jobs"], "alice has recent jobs"
+        # every card links to a job overview
+        assert all(c["overview_url"].startswith("/jobs/") for c in data["jobs"])
+
+    def test_states_and_timestamps(self, dash, alice_v):
+        data = widget_data(dash, "recent_jobs", alice_v)
+        by_name = {c["name"]: c for c in data["jobs"]}
+        running = by_name["md_long"]
+        assert running["state"] == "RUNNING"
+        assert running["timestamp_label"] == "Started"
+        pending = by_name["blocked"]
+        assert pending["state"] == "PENDING"
+        assert pending["timestamp_label"] == "Submitted"
+
+    def test_pending_reason_tooltip_is_friendly(self, dash, alice_v):
+        data = widget_data(dash, "recent_jobs", alice_v)
+        pending = next(c for c in data["jobs"] if c["state"] == "PENDING")
+        assert pending["reason"] == "AssocGrpCpuLimit"
+        assert "aggregate group CPU limit" in pending["reason_tooltip"]
+
+    def test_render(self, dash, alice_v):
+        data = widget_data(dash, "recent_jobs", alice_v)
+        html = render_recent_jobs(data).render()
+        assert "job-card" in html
+        assert "md_long" in html
+
+    def test_limit(self, dash, alice_v):
+        data = widget_data(dash, "recent_jobs", alice_v, {"limit": 2})
+        assert len(data["jobs"]) == 2
+
+
+class TestSystemStatusWidget:
+    def test_partitions_present(self, dash, alice_v):
+        data = widget_data(dash, "system_status", alice_v)
+        names = {p["name"] for p in data["partitions"]}
+        assert names == {"cpu", "gpu"}
+
+    def test_utilization_and_color(self, dash, alice_v):
+        data = widget_data(dash, "system_status", alice_v)
+        cpu = next(p for p in data["partitions"] if p["name"] == "cpu")
+        # filler(64) + md_long(16) + jupyter(8) running on 512 cpus
+        assert cpu["cpus_in_use"] == 88
+        assert cpu["cpu_fraction"] == pytest.approx(88 / 512, abs=1e-3)
+        assert cpu["cpu_color"] == "green"
+
+    def test_gpu_partition_has_gpu_stats(self, dash, alice_v):
+        data = widget_data(dash, "system_status", alice_v)
+        gpu = next(p for p in data["partitions"] if p["name"] == "gpu")
+        assert gpu["gpus_total"] == 8
+        assert gpu["gpu_fraction"] is not None
+
+    def test_render(self, dash, alice_v):
+        data = widget_data(dash, "system_status", alice_v)
+        html = render_system_status(data).render()
+        assert "progressbar" in html
+        assert "Partition details" in html
+
+
+class TestAccountsWidget:
+    def test_scoped_to_viewer(self, dash, alice_v, dave_v):
+        alice_accounts = widget_data(dash, "accounts", alice_v)["accounts"]
+        assert [a["name"] for a in alice_accounts] == ["physics-lab"]
+        dave_accounts = widget_data(dash, "accounts", dave_v)["accounts"]
+        assert [a["name"] for a in dave_accounts] == ["chem-lab"]
+
+    def test_cpu_usage_and_limit(self, dash, alice_v):
+        acct = widget_data(dash, "accounts", alice_v)["accounts"][0]
+        assert acct["cpu_limit"] == 96
+        assert acct["cpus_in_use"] == 88  # filler 64 + md_long 16 + jupyter 8
+        assert acct["cpus_queued"] == 32  # the blocked job
+        assert acct["cpu_color"] == "red"
+
+    def test_gpu_hours_used(self, dash, alice_v):
+        acct = widget_data(dash, "accounts", alice_v)["accounts"][0]
+        assert acct["gpu_hours_used"] == pytest.approx(1.0, abs=0.05)
+        assert acct["gpu_hours_limit"] == 1000.0
+
+    def test_export_gated_by_manager(self, dash, alice_v, bob_v):
+        alice_acct = widget_data(dash, "accounts", alice_v)["accounts"][0]
+        assert alice_acct["can_export"] is True
+        bob_acct = widget_data(dash, "accounts", bob_v)["accounts"][0]
+        assert bob_acct["can_export"] is False
+
+    def test_render(self, dash, alice_v):
+        data = widget_data(dash, "accounts", alice_v)
+        html = render_accounts(data).render()
+        assert "physics-lab" in html
+        assert "Export CSV" in html
+
+
+class TestStorageWidget:
+    def test_scoped_directories(self, dash, alice_v):
+        data = widget_data(dash, "storage", alice_v)
+        paths = [d["path"] for d in data["directories"]]
+        assert paths == [
+            "/home/alice",
+            "/scratch/anvil/alice",
+            "/depot/physics-lab",
+        ]
+
+    def test_fractions_and_colors(self, dash, alice_v):
+        data = widget_data(dash, "storage", alice_v)
+        by_path = {d["path"]: d for d in data["directories"]}
+        assert by_path["/home/alice"]["bytes_color"] == "green"
+        assert by_path["/scratch/anvil/alice"]["bytes_color"] == "red"
+        assert by_path["/depot/physics-lab"]["bytes_color"] == "yellow"
+
+    def test_files_app_links(self, dash, alice_v):
+        data = widget_data(dash, "storage", alice_v)
+        assert all(
+            d["files_app_url"] == f"/pun/sys/dashboard/files/fs{d['path']}"
+            for d in data["directories"]
+        )
+
+    def test_human_readable_sizes(self, dash, alice_v):
+        data = widget_data(dash, "storage", alice_v)
+        home = data["directories"][0]
+        assert home["used_display"] == "5 GB"
+        assert home["quota_display"] == "25 GB"
+
+    def test_render(self, dash, alice_v):
+        data = widget_data(dash, "storage", alice_v)
+        html = render_storage(data).render()
+        assert "/home/alice" in html
+        assert html.count('role="progressbar"') == 6  # 2 bars x 3 dirs
+
+
+class TestWidgetRegistry:
+    def test_five_widgets_registered(self):
+        assert len(ALL_WIDGET_ROUTES) == 5
+        assert set(WIDGET_RENDERERS) == {r.name for r in ALL_WIDGET_ROUTES}
+
+    def test_table1_data_sources(self):
+        """The widget half of the paper's Table 1."""
+        sources = {r.feature: r.data_sources for r in ALL_WIDGET_ROUTES}
+        assert sources["Recent Jobs widget"] == ("squeue (Slurm)",)
+        assert sources["System Status widget"] == ("sinfo (Slurm)",)
+        assert sources["Accounts widget"] == ("scontrol show assoc (Slurm)",)
+        assert sources["Storage widget"] == ("ZFS and GPFS storage database",)
+        assert sources["Announcements widget"] == ("API call to RCAC news page",)

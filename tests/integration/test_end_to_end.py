@@ -1,0 +1,162 @@
+"""Integration tests: the full dashboard over a realistically busy cluster."""
+
+import pytest
+
+from repro.auth import Viewer
+from repro.core.dashboard import Dashboard, build_demo_dashboard
+
+
+@pytest.fixture(scope="module")
+def demo():
+    dash, directory, result = build_demo_dashboard(seed=77, duration_hours=6.0)
+    return dash, directory, result
+
+
+class TestEveryRouteForEveryUser:
+    def test_widget_routes(self, demo):
+        dash, directory, _ = demo
+        for user in directory.users():
+            viewer = Viewer(username=user.username)
+            for name in ("announcements", "recent_jobs", "system_status",
+                         "accounts", "storage"):
+                resp = dash.call(name, viewer)
+                assert resp.ok, f"{name} for {user.username}: {resp.error}"
+
+    def test_page_routes(self, demo):
+        dash, directory, _ = demo
+        for user in directory.users()[:4]:
+            viewer = Viewer(username=user.username)
+            assert dash.call("my_jobs", viewer).ok
+            assert dash.call("job_performance", viewer).ok
+            assert dash.call("cluster_status", viewer).ok
+
+    def test_homepage_renders_for_everyone(self, demo):
+        dash, directory, _ = demo
+        for user in directory.users()[:4]:
+            render = dash.render_homepage(Viewer(username=user.username))
+            assert render.ok, render.failures
+
+
+class TestPrivacySweep:
+    def test_my_jobs_never_leaks(self, demo):
+        """For every user: every row is their own or a group member's."""
+        dash, directory, _ = demo
+        for user in directory.users():
+            viewer = Viewer(username=user.username)
+            accounts = set(directory.account_names_of(user.username))
+            data = dash.call("my_jobs", viewer).data
+            for job in data["jobs"]:
+                assert (
+                    job["user"] == user.username or job["account"] in accounts
+                ), f"leak: {job['job_id']} visible to {user.username}"
+
+    def test_storage_never_leaks(self, demo):
+        dash, directory, _ = demo
+        for user in directory.users():
+            viewer = Viewer(username=user.username)
+            allowed = {user.username, *directory.account_names_of(user.username)}
+            data = dash.call("storage", viewer).data
+            for d in data["directories"]:
+                assert d["owner"] in allowed
+
+    def test_accounts_scoped(self, demo):
+        dash, directory, _ = demo
+        for user in directory.users():
+            viewer = Viewer(username=user.username)
+            data = dash.call("accounts", viewer).data
+            names = {a["name"] for a in data["accounts"]}
+            assert names == set(directory.account_names_of(user.username))
+
+
+class TestDataSourceContract:
+    """Table 1 verified against live daemon instrumentation: each route
+    touches exactly the Slurm command the paper says it does."""
+
+    CASES = [
+        ("recent_jobs", "slurmctld", "squeue"),
+        ("system_status", "slurmctld", "sinfo"),
+        ("my_jobs", "slurmdbd", "sacct"),
+        ("job_performance", "slurmdbd", "sacct"),
+        ("cluster_status", "slurmctld", "scontrol_show_node"),
+    ]
+
+    @pytest.mark.parametrize("route,daemon,kind", CASES)
+    def test_route_hits_declared_source(self, route, daemon, kind):
+        dash, directory, _ = build_demo_dashboard(seed=5, duration_hours=0.5)
+        viewer = Viewer(username=directory.users()[0].username)
+        dash.ctx.cluster.daemons.reset_counters()
+        dash.ctx.cache.clear()
+        resp = dash.call(route, viewer)
+        assert resp.ok
+        model = getattr(dash.ctx.cluster.daemons, "ctld" if daemon == "slurmctld" else "dbd")
+        assert model.rpcs_by_kind.get(kind, 0) >= 1
+
+    def test_announcements_hits_news_api_not_slurm(self):
+        dash, directory, _ = build_demo_dashboard(seed=5, duration_hours=0.5)
+        viewer = Viewer(username=directory.users()[0].username)
+        dash.ctx.cluster.daemons.reset_counters()
+        dash.ctx.cache.clear()
+        before = dash.ctx.news.request_count
+        assert dash.call("announcements", viewer).ok
+        assert dash.ctx.news.request_count == before + 1
+        assert dash.ctx.cluster.daemons.ctld.total_rpcs == 0
+
+    def test_storage_hits_quota_db_not_slurm(self):
+        dash, directory, _ = build_demo_dashboard(seed=5, duration_hours=0.5)
+        viewer = Viewer(username=directory.users()[0].username)
+        dash.ctx.cluster.daemons.reset_counters()
+        dash.ctx.cache.clear()
+        before = dash.ctx.quotas.query_count
+        assert dash.call("storage", viewer).ok
+        assert dash.ctx.quotas.query_count == before + 1
+        assert dash.ctx.cluster.daemons.ctld.total_rpcs == 0
+
+
+class TestCachingUnderLoad:
+    def test_polling_users_protected_by_cache(self):
+        """50 widget polls inside one TTL -> a single squeue RPC."""
+        dash, directory, _ = build_demo_dashboard(seed=6, duration_hours=0.5)
+        viewer = Viewer(username=directory.users()[0].username)
+        dash.ctx.cluster.daemons.reset_counters()
+        dash.ctx.cache.clear()
+        for _ in range(50):
+            assert dash.call("recent_jobs", viewer).ok
+        assert dash.ctx.cluster.daemons.ctld.rpcs_by_kind.get("squeue", 0) == 1
+
+    def test_data_refreshes_after_ttl(self):
+        dash, directory, _ = build_demo_dashboard(seed=6, duration_hours=0.5)
+        viewer = Viewer(username=directory.users()[0].username)
+        dash.call("recent_jobs", viewer)
+        before = dash.ctx.cluster.daemons.ctld.rpcs_by_kind.get("squeue", 0)
+        dash.clock.advance(31)
+        dash.call("recent_jobs", viewer)
+        after = dash.ctx.cluster.daemons.ctld.rpcs_by_kind.get("squeue", 0)
+        assert after == before + 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_dashboard_output(self):
+        a, dir_a, _ = build_demo_dashboard(seed=99, duration_hours=1.0)
+        b, dir_b, _ = build_demo_dashboard(seed=99, duration_hours=1.0)
+        user = dir_a.users()[0].username
+        ja = a.call("my_jobs", Viewer(username=user)).data["jobs"]
+        jb = b.call("my_jobs", Viewer(username=user)).data["jobs"]
+        assert [j["job_id"] for j in ja] == [j["job_id"] for j in jb]
+        assert ja == jb
+
+
+class TestJobOverviewOnBusyCluster:
+    def test_every_archived_job_has_an_overview(self, demo):
+        dash, directory, _ = demo
+        root = Viewer(username="root", is_admin=True)
+        sample = dash.ctx.cluster.accounting.query(limit=25)
+        for job in sample:
+            resp = dash.call("job_overview", root, {"job_id": job.job_id})
+            assert resp.ok, f"job {job.job_id}: {resp.error}"
+
+    def test_every_node_has_an_overview(self, demo):
+        dash, directory, _ = demo
+        viewer = Viewer(username=directory.users()[0].username)
+        for name in dash.ctx.cluster.nodes:
+            resp = dash.call("node_overview", viewer, {"node": name})
+            assert resp.ok, f"node {name}: {resp.error}"

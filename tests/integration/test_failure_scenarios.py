@@ -1,0 +1,119 @@
+"""Integration tests: failures and preemption as seen through the dashboard."""
+
+import pytest
+
+from repro.auth import Directory, Viewer
+from repro.core.dashboard import Dashboard
+from repro.slurm import JobState, QoS, small_test_cluster
+from tests.conftest import simple_spec
+
+
+@pytest.fixture
+def ops_world():
+    cluster = small_test_cluster(
+        qos=[
+            QoS(name="standby", priority=0, preempt_mode="requeue"),
+            QoS(name="urgent", priority=10),
+        ]
+    )
+    directory = Directory()
+    for name in ("alice", "vip"):
+        directory.add_user(name)
+    directory.add_account("lab", members=["alice", "vip"])
+    dash = Dashboard(cluster, directory)
+    return dash, cluster
+
+
+class TestNodeFailureThroughDashboard:
+    def test_failed_node_red_in_grid_and_admin(self, ops_world):
+        dash, cluster = ops_world
+        viewer = Viewer(username="alice")
+        job = cluster.submit(simple_spec(cpus=8, actual_runtime=7200,
+                                         time_limit=7200))[0]
+        cluster.scheduler.fail_node(job.nodes[0], "kernel panic")
+        dash.ctx.cache.clear()
+
+        grid = dash.call("cluster_status", viewer).data
+        failed_cell = next(n for n in grid["nodes"] if n["name"] == job.nodes[0])
+        assert failed_cell["color"] == "red"
+        assert failed_cell["state"] == "DOWN"
+
+        admin = dash.call(
+            "admin_overview", Viewer(username="root", is_admin=True)
+        ).data
+        problems = {p["name"]: p for p in admin["nodes"]["problems"]}
+        assert problems[job.nodes[0]]["reason"] == "kernel panic"
+
+    def test_node_fail_job_in_my_jobs_with_label(self, ops_world):
+        dash, cluster = ops_world
+        viewer = Viewer(username="alice")
+        job = cluster.submit(simple_spec(cpus=8, actual_runtime=7200,
+                                         time_limit=7200))[0]
+        cluster.scheduler.fail_node(job.nodes[0])
+        dash.ctx.cache.clear()
+        data = dash.call("my_jobs", viewer).data
+        row = next(j for j in data["jobs"] if j["job_id"] == str(job.job_id))
+        assert row["state"] == "NODE_FAIL"
+        assert row["state_label"] == "Node failure"
+        assert row["state_color"] == "red"
+
+    def test_node_overview_of_down_node(self, ops_world):
+        dash, cluster = ops_world
+        viewer = Viewer(username="alice")
+        cluster.scheduler.fail_node("a004", "psu dead")
+        dash.ctx.cache.clear()
+        data = dash.call("node_overview", viewer, {"node": "a004"}).data
+        assert data["status"]["state"] == "DOWN"
+        assert not data["status"]["online"]
+        assert data["status"]["reason"] == "psu dead"
+        assert data["running_jobs"] == []
+
+
+class TestPreemptionThroughDashboard:
+    def test_preempted_and_requeued_job_visible(self, ops_world):
+        dash, cluster = ops_world
+        viewer = Viewer(username="alice")
+        # fill the cpu partition with standby work
+        standby_jobs = [
+            cluster.submit(simple_spec(qos="standby", cpus=64, mem_mb=1000,
+                                       actual_runtime=7200, time_limit=7200))[0]
+            for _ in range(8)
+        ]
+        urgent = cluster.submit(
+            simple_spec(user="vip", qos="urgent", cpus=64, mem_mb=1000,
+                        actual_runtime=600, time_limit=3600)
+        )[0]
+        assert urgent.state is JobState.RUNNING
+        requeued = [j for j in standby_jobs if j.state is JobState.PENDING]
+        assert requeued, "one standby job must have been requeued"
+
+        dash.ctx.cache.clear()
+        data = dash.call("my_jobs", viewer).data
+        by_id = {j["job_id"]: j for j in data["jobs"]}
+        assert by_id[str(urgent.job_id)]["state"] == "RUNNING"
+        assert by_id[str(requeued[0].job_id)]["state"] == "PENDING"
+
+    def test_watcher_narrates_preemption(self, ops_world):
+        """The real-time monitor reports the victim going back to pending
+        as a reason change / restart cycle."""
+        from repro.core.monitor import JobWatcher
+
+        dash, cluster = ops_world
+        viewer = Viewer(username="alice")
+        victim = cluster.submit(
+            simple_spec(qos="standby", cpus=64, mem_mb=1000,
+                        actual_runtime=7200, time_limit=7200)
+        )[0]
+        for _ in range(7):
+            cluster.submit(simple_spec(qos="standby", cpus=64, mem_mb=1000,
+                                       actual_runtime=7200, time_limit=7200))
+        watcher = JobWatcher(dash.ctx, viewer)
+        watcher.poll()
+        cluster.submit(simple_spec(user="vip", qos="urgent", cpus=64,
+                                   mem_mb=1000, actual_runtime=600,
+                                   time_limit=3600))
+        cluster.advance(31)
+        events = watcher.poll()
+        requeues = [e for e in events if e.kind == "requeued"]
+        assert requeues, f"expected a requeue event, got {events}"
+        assert requeues[0].detail == "was RUNNING"

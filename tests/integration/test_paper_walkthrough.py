@@ -1,0 +1,220 @@
+"""The paper, section by section, as executable assertions.
+
+Each test corresponds to one claim or described behaviour in Tan & Jin
+(SC Workshops '25), cited by section.  This is the fidelity contract of
+the reproduction: if a test here fails, the repo no longer implements
+what the paper says.
+"""
+
+import pytest
+
+from repro.auth import Viewer
+from repro.core.dashboard import build_demo_dashboard
+
+
+@pytest.fixture(scope="module")
+def paper_world():
+    dash, directory, result = build_demo_dashboard(seed=7, duration_hours=6.0)
+    viewer = Viewer(username=directory.users()[0].username)
+    return dash, directory, viewer
+
+
+class TestSection22Architecture:
+    def test_backend_routes_return_json(self, paper_world):
+        """§2.2.2: 'The majority of backend routes are API routes, meaning
+        their responses are in JavaScript Object Notation.'"""
+        import json
+
+        dash, _, viewer = paper_world
+        resp = dash.call("system_status", viewer)
+        json.dumps(resp.to_json())  # must be JSON-serializable
+
+    def test_backend_runs_slurm_commands(self, paper_world):
+        """§2.2.2: 'most of the backend routes run Slurm commands.'"""
+        dash, _, viewer = paper_world
+        dash.ctx.cache.clear()
+        dash.ctx.cluster.daemons.reset_counters()
+        dash.call("recent_jobs", viewer)
+        dash.call("my_jobs", viewer)
+        snapshot = dash.ctx.cluster.daemons.snapshot()
+        assert snapshot["slurmctld"]["total_rpcs"] >= 1
+        assert snapshot["slurmdbd"]["total_rpcs"] >= 1
+
+
+class TestSection23CodeStructure:
+    def test_one_route_per_component(self, paper_world):
+        """§2.3: each feature pairs a frontend component with API routes."""
+        dash, _, _ = paper_world
+        names = {r.name for r in dash.registry.all_routes()}
+        for component in ("announcements", "recent_jobs", "system_status",
+                          "accounts", "storage", "my_jobs", "job_performance",
+                          "cluster_status", "node_overview", "job_overview"):
+            assert component in names
+
+    def test_dashboard_loads_instantly_with_placeholders(self, paper_world):
+        """§2.3: 'it allows the dashboard to load instantly and display a
+        loading animation if the data requires some time to load.'"""
+        dash, _, viewer = paper_world
+        shell = dash.render_homepage_shell(viewer)
+        assert shell.count("component-loading") == 5
+
+
+class TestSection24Design:
+    def test_modularity_one_component_failure_isolated(self, paper_world):
+        """§2.4: 'if one widget or component stops working, it does not
+        break the entire dashboard.'"""
+        dash, _, viewer = paper_world
+        route = dash.registry.get("announcements")
+        broken = type(route)(
+            name=route.name, path=route.path, feature=route.feature,
+            data_sources=route.data_sources, handler=lambda c, v, p: 1 / 0,
+        )
+        dash.registry.unregister("announcements")
+        dash.registry.register(broken)
+        try:
+            render = dash.render_homepage(viewer)
+            assert set(render.failures) == {"announcements"}
+        finally:
+            dash.registry.unregister("announcements")
+            dash.registry.register(route)
+
+    def test_cache_ttls_follow_the_papers_choices(self, paper_world):
+        """§2.4: announcements cached 30-60 min; squeue ~30 s."""
+        dash, _, _ = paper_world
+        policy = dash.ctx.cache_policy
+        assert 1800 <= policy.news <= 3600
+        assert 15 <= policy.squeue <= 60
+
+    def test_privacy_personal_dashboard(self, paper_world):
+        """§2.4: 'we only show allocations and disks that each user has
+        access to.'"""
+        dash, directory, viewer = paper_world
+        accounts = dash.call("accounts", viewer).data["accounts"]
+        assert {a["name"] for a in accounts} == set(
+            directory.account_names_of(viewer.username)
+        )
+
+
+class TestSection3Homepage:
+    def test_announcement_color_coding(self, paper_world):
+        """§3.1: 'outages being red, maintenance periods being yellow, and
+        everything else being gray.'"""
+        dash, _, viewer = paper_world
+        arts = dash.call("announcements", viewer).data["articles"]
+        for a in arts:
+            if a["category"] == "outage":
+                assert a["color"] == "red"
+            elif a["category"] == "maintenance":
+                assert a["color"] == "yellow"
+            else:
+                assert a["color"] == "gray"
+
+    def test_recent_jobs_saves_a_terminal_squeue(self, paper_world):
+        """§3.2: the widget shows what `squeue` would, per user."""
+        dash, _, viewer = paper_world
+        cards = dash.call("recent_jobs", viewer).data["jobs"]
+        assert all("state_label" in c and "timestamp" in c for c in cards)
+
+    def test_system_status_thresholds(self, paper_world):
+        """§3.3: 'green representing less than 70% utilization, yellow
+        between 70% and 90%, and red over 90%.'"""
+        dash, _, viewer = paper_world
+        for p in dash.call("system_status", viewer).data["partitions"]:
+            f = p["cpu_fraction"]
+            expected = "green" if f < 0.7 else ("yellow" if f <= 0.9 else "red")
+            assert p["cpu_color"] == expected
+
+    def test_accounts_export_for_managers(self, paper_world):
+        """§3.4: 'a dropdown for each account to allow users to export the
+        breakdown of account usage by user into an Excel or CSV file.'"""
+        dash, directory, _ = paper_world
+        acct = directory.accounts()[0]
+        manager = Viewer(username=acct.managers[0])
+        resp = dash.call(
+            "account_usage_export", manager,
+            {"account": acct.name, "format": "csv"},
+        )
+        assert resp.ok and "user" in resp.data["content"]
+
+    def test_storage_shows_files_and_size_with_links(self, paper_world):
+        """§3.5: 'directory path, disk usage, and file count are shown,
+        along with a color-coded progress bar' + files-app link."""
+        dash, _, viewer = paper_world
+        for d in dash.call("storage", viewer).data["directories"]:
+            assert d["quota_files"] > 0 and d["quota_bytes"] > 0
+            assert d["bytes_color"] in ("green", "yellow", "red")
+            assert d["files_app_url"].startswith("/pun/sys/dashboard/files/fs/")
+
+
+class TestSection4MyJobs:
+    def test_more_job_types_than_just_queued(self, paper_world):
+        """§4: shows 'more job types than just queued jobs'."""
+        dash, _, viewer = paper_world
+        states = {j["state"] for j in dash.call("my_jobs", viewer).data["jobs"]}
+        assert len(states - {"PENDING"}) >= 2
+
+    def test_assoc_grp_cpu_limit_message_verbatim(self, paper_world):
+        """§4.1's exact example message."""
+        from repro.slurm import reasons as R
+
+        assert R.explain("AssocGrpCpuLimit").friendly == (
+            "It means this job's association has reached its aggregate "
+            "group CPU limit."
+        )
+
+    def test_efficiency_columns_are_three(self, paper_world):
+        """§4.3: 'three columns ... time efficiency, CPU efficiency, and
+        memory efficiency.'"""
+        dash, _, viewer = paper_world
+        data = dash.call("my_jobs", viewer, {"efficiency": True}).data
+        job = data["jobs"][0]
+        assert set(job["efficiency"]) == {"time", "cpu", "memory"}
+
+    def test_no_gpu_warnings_shipped(self, paper_world):
+        """§4.1: 'this work only includes efficiency warnings for CPU and
+        memory.'"""
+        dash, _, viewer = paper_world
+        for job in dash.call("my_jobs", viewer).data["jobs"]:
+            for w in job["warnings"]:
+                assert w["kind"] in ("cpu", "memory", "time")
+
+
+class TestSection7JobOverview:
+    def test_log_tail_is_1000_lines(self, paper_world):
+        """§7: 'the interface will only show the most recent 1000 lines.'"""
+        from repro.ood import LOG_TAIL_LINES
+
+        assert LOG_TAIL_LINES == 1000
+
+    def test_log_permissions_inherited(self, paper_world):
+        """§7: 'users cannot check job output and error logs from other
+        users.'"""
+        dash, directory, viewer = paper_world
+        own = dash.ctx.cluster.accounting.query(users=[viewer.username], limit=1)
+        job_id = own[0].job_id
+        colleague = next(
+            u for u in directory.colleagues_of(viewer.username)
+            if u != viewer.username
+        )
+        data = dash.call(
+            "job_overview", Viewer(username=colleague), {"job_id": job_id}
+        ).data
+        assert not data["logs"]["available"]
+
+
+class TestSection8Migration:
+    def test_subset_of_features_deployable(self, paper_world):
+        """§8/§2.4: 'other HPC centers can choose to implement only a
+        portion of the features.'"""
+        from repro.core.dashboard import Dashboard
+        from repro.core.routes import RouteRegistry
+        from repro.core.widgets import ALL_WIDGET_ROUTES
+
+        dash, _, viewer = paper_world
+        # a fresh registry with just two widgets behaves as a mini-dashboard
+        registry = RouteRegistry()
+        for route in ALL_WIDGET_ROUTES[:2]:
+            registry.register(route)
+        resp = registry.call(dash.ctx, "announcements", viewer)
+        assert resp.ok
+        assert registry.call(dash.ctx, "storage", viewer).status == 404

@@ -1,0 +1,78 @@
+"""Soak test: a multi-day simulation stays consistent end to end."""
+
+import pytest
+
+from repro.auth import Viewer
+from repro.core.dashboard import Dashboard
+from repro.slurm import TRES
+from repro.slurm.workload import WorkloadConfig, WorkloadGenerator, populated_cluster
+
+
+@pytest.fixture(scope="module")
+def two_day_world():
+    return populated_cluster(seed=314, duration_hours=48.0)
+
+
+class TestLongRunConsistency:
+    def test_accounting_conserves_jobs(self, two_day_world):
+        cluster, _, result = two_day_world
+        # stats["submitted"] counts individual jobs (array tasks expand);
+        # result.submitted counts submissions, so it is a lower bound
+        total_jobs = cluster.scheduler.stats["submitted"]
+        assert total_jobs >= result.submitted
+        archived = len(cluster.accounting.query())
+        still_active = len(
+            [j for j in cluster.scheduler.visible_jobs() if j.state.is_active]
+        )
+        # every job is either archived (terminal) or still active
+        assert archived + still_active == total_jobs
+        assert archived <= total_jobs
+
+    def test_no_node_overallocated_after_days(self, two_day_world):
+        cluster, _, _ = two_day_world
+        for node in cluster.nodes.values():
+            assert 0 <= node.alloc.cpus <= node.cpus
+            assert 0 <= node.alloc.mem_mb <= node.real_memory_mb
+            assert 0 <= node.alloc.gpus <= node.gpus
+
+    def test_association_alloc_matches_live_jobs(self, two_day_world):
+        cluster, _, result = two_day_world
+        for account in result.accounts:
+            usage = cluster.scheduler.association_usage(account)
+            expected = TRES()
+            for job in cluster.scheduler.running_jobs():
+                if job.account == account:
+                    expected = expected + job.req
+            assert usage.alloc == expected
+
+    def test_grp_limits_never_violated(self, two_day_world):
+        cluster, _, result = two_day_world
+        for account in result.accounts:
+            assoc = cluster.scheduler.associations.get(account)
+            if assoc is None or assoc.grp_tres is None:
+                continue
+            usage = cluster.scheduler.association_usage(account)
+            if assoc.grp_tres.cpus:
+                assert usage.alloc.cpus <= assoc.grp_tres.cpus
+            if assoc.grp_tres.gpus:
+                assert usage.alloc.gpus <= assoc.grp_tres.gpus
+
+    def test_dashboard_healthy_after_days(self, two_day_world):
+        cluster, directory, _ = two_day_world
+        dash = Dashboard(cluster, directory)
+        for user in directory.users()[:3]:
+            viewer = Viewer(username=user.username)
+            render = dash.render_homepage(viewer)
+            assert render.ok, render.failures
+            assert dash.call("my_jobs", viewer).ok
+        assert dash.call(
+            "admin_overview", Viewer(username="root", is_admin=True)
+        ).ok
+
+    def test_wait_times_are_sane(self, two_day_world):
+        """No archived job waited longer than the whole simulation."""
+        cluster, _, _ = two_day_world
+        horizon = cluster.now()
+        for job in cluster.accounting.query():
+            assert 0 <= job.wait_time(horizon) <= horizon
+            assert job.elapsed(horizon) <= horizon

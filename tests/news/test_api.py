@@ -1,0 +1,106 @@
+"""Tests for the news/announcements API."""
+
+import pytest
+
+from repro.news import Category, NewsAPI, seed_news
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    c = SimClock()
+    c.advance(40 * 86400)  # well past epoch so seeded history fits
+    return c
+
+
+@pytest.fixture
+def api(clock):
+    return NewsAPI(clock)
+
+
+class TestPublish:
+    def test_ids_increment(self, api):
+        a = api.publish("one", "body")
+        b = api.publish("two", "body")
+        assert (a.article_id, b.article_id) == (1, 2)
+
+    def test_empty_title_rejected(self, api):
+        with pytest.raises(ValueError):
+            api.publish("", "body")
+
+    def test_window_must_be_complete(self, api):
+        with pytest.raises(ValueError):
+            api.publish("x", "b", starts_at=1.0)
+
+    def test_window_must_be_ordered(self, api):
+        with pytest.raises(ValueError):
+            api.publish("x", "b", starts_at=10.0, ends_at=5.0)
+
+
+class TestFetch:
+    def test_newest_first(self, api, clock):
+        api.publish("old", "b", posted_at=clock.now() - 100)
+        api.publish("new", "b")
+        titles = [a.title for a in api.fetch()]
+        assert titles == ["new", "old"]
+
+    def test_limit(self, api):
+        for i in range(15):
+            api.publish(f"a{i}", "b")
+        assert len(api.fetch(limit=5)) == 5
+
+    def test_category_filter(self, api):
+        api.publish("m", "b", category=Category.MAINTENANCE)
+        api.publish("n", "b", category=Category.NEWS)
+        got = api.fetch(category=Category.MAINTENANCE)
+        assert [a.title for a in got] == ["m"]
+
+    def test_request_count(self, api):
+        api.fetch()
+        api.fetch()
+        assert api.request_count == 2
+
+
+class TestTemporalClassification:
+    def test_past_active_upcoming(self, api, clock):
+        now = clock.now()
+        past = api.publish("p", "b", starts_at=now - 200, ends_at=now - 100)
+        active = api.publish("a", "b", starts_at=now - 50, ends_at=now + 50)
+        future = api.publish("f", "b", starts_at=now + 100, ends_at=now + 200)
+        assert past.is_past(now) and not past.is_active(now)
+        assert active.is_active(now) and not active.is_past(now)
+        assert future.is_upcoming(now) and not future.is_active(now)
+
+    def test_windowless_article_never_past(self, api, clock):
+        art = api.publish("n", "b")
+        assert not art.is_past(clock.now() + 10**9)
+        assert not art.is_active(clock.now())
+
+
+class TestSeedNews:
+    def test_seed_is_deterministic(self, clock):
+        a1, a2 = NewsAPI(clock), NewsAPI(clock)
+        seed_news(a1, seed=7)
+        seed_news(a2, seed=7)
+        assert [x.title for x in a1.all_articles()] == [
+            x.title for x in a2.all_articles()
+        ]
+
+    def test_seed_publishes_requested_count_plus_upcoming(self, api):
+        seed_news(api, n_articles=12)
+        assert len(api.all_articles()) == 13
+
+    def test_seed_guarantees_upcoming_maintenance(self, api, clock):
+        seed_news(api, seed=3)
+        upcoming = [
+            a
+            for a in api.all_articles()
+            if a.category is Category.MAINTENANCE and a.is_upcoming(clock.now())
+        ]
+        assert upcoming
+
+    def test_seed_has_multiple_categories(self, api):
+        seed_news(api, seed=1, n_articles=20)
+        cats = {a.category for a in api.all_articles()}
+        assert Category.MAINTENANCE in cats
+        assert Category.NEWS in cats or Category.FEATURE in cats

@@ -1,0 +1,73 @@
+"""Tests for the OOD interactive-app registry and forms."""
+
+import pytest
+
+from repro.ood import AppRegistry, FormField, InteractiveApp
+
+
+class TestFormField:
+    def test_number_validation(self):
+        f = FormField(name="cpus", label="CPUs", kind="number")
+        assert f.validate(4) == 4.0
+        assert f.validate("8") == 8.0
+        with pytest.raises(ValueError):
+            f.validate("abc")
+        with pytest.raises(ValueError):
+            f.validate(-1)
+
+    def test_select_validation(self):
+        f = FormField(name="p", label="P", kind="select", choices=("cpu", "gpu"))
+        assert f.validate("gpu") == "gpu"
+        with pytest.raises(ValueError):
+            f.validate("tpu")
+
+    def test_text_passthrough(self):
+        f = FormField(name="t", label="T", kind="text")
+        assert f.validate(123) == "123"
+
+
+class TestAppForm:
+    def test_defaults_filled(self):
+        reg = AppRegistry()
+        app = reg.get("jupyter")
+        values = app.validate_form({})
+        assert values["cpus"] == 1
+        assert values["partition"] == "cpu"
+
+    def test_unknown_field_rejected(self):
+        app = AppRegistry().get("jupyter")
+        with pytest.raises(ValueError):
+            app.validate_form({"gpus": 1})
+
+    def test_missing_required_field(self):
+        app = InteractiveApp(
+            key="x",
+            title="X",
+            form=(FormField(name="req", label="R", kind="text"),),
+        )
+        with pytest.raises(ValueError):
+            app.validate_form({})
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        reg = AppRegistry()
+        for key in ("jupyter", "rstudio", "matlab", "vscode"):
+            assert key in reg
+            assert reg.get(key).form_url
+
+    def test_all_apps_sorted_by_title(self):
+        titles = [a.title for a in AppRegistry().all_apps()]
+        assert titles == sorted(titles)
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            AppRegistry().get("fortnite")
+
+    def test_register_custom_and_duplicate(self):
+        reg = AppRegistry()
+        app = InteractiveApp(key="paraview", title="ParaView")
+        reg.register(app)
+        assert reg.get("paraview").title == "ParaView"
+        with pytest.raises(ValueError):
+            reg.register(app)

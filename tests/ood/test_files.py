@@ -1,0 +1,123 @@
+"""Tests for files-app links and the simulated log store."""
+
+import pytest
+
+from repro.ood import LOG_TAIL_LINES, LogStore, files_app_url
+from repro.slurm import JobState
+from tests.conftest import simple_spec
+
+
+def test_files_app_url():
+    assert files_app_url("/home/alice") == "/pun/sys/dashboard/files/fs/home/alice"
+    with pytest.raises(ValueError):
+        files_app_url("relative/path")
+
+
+@pytest.fixture
+def store():
+    return LogStore()
+
+
+@pytest.fixture
+def long_job(cluster):
+    """A job that ran long enough to exceed the 1000-line tail cap."""
+    job = cluster.submit(simple_spec(actual_runtime=3 * 3600, time_limit=4 * 3600))[0]
+    cluster.advance(3 * 3600 + 10)
+    assert job.state is JobState.COMPLETED
+    return job, cluster.now()
+
+
+class TestLineCounts:
+    def test_pending_job_has_no_logs(self, cluster, store):
+        job = cluster.submit(simple_spec(), held=True)[0]
+        assert store.line_count(job, "out", cluster.now()) == 0
+
+    def test_long_job_exceeds_tail_cap(self, long_job, store):
+        job, now = long_job
+        assert store.line_count(job, "out", now) > LOG_TAIL_LINES
+
+    def test_stderr_sparser_than_stdout(self, long_job, store):
+        job, now = long_job
+        assert store.line_count(job, "err", now) < store.line_count(job, "out", now)
+
+    def test_failed_job_has_traceback_lines(self, cluster, store):
+        job = cluster.submit(simple_spec(exit_code=1, actual_runtime=120))[0]
+        cluster.advance(121)
+        now = cluster.now()
+        lines = store.read_lines(job, "err", now)
+        assert any("Traceback" in ln for ln in lines)
+
+    def test_oom_job_mentions_oom_kill(self, cluster, store):
+        job = cluster.submit(simple_spec(mem_mb=1000, actual_max_rss_mb=9000))[0]
+        cluster.advance(601)
+        lines = store.read_lines(job, "err", cluster.now())
+        assert any("oom-kill" in ln for ln in lines)
+
+    def test_unknown_stream_rejected(self, long_job, store):
+        job, now = long_job
+        with pytest.raises(ValueError):
+            store.line_count(job, "debug", now)
+
+
+class TestReads:
+    def test_read_window(self, long_job, store):
+        job, now = long_job
+        lines = store.read_lines(job, "out", now, offset=10, limit=5)
+        assert len(lines) == 5
+        assert "step 000010" in lines[0]
+
+    def test_negative_offset_rejected(self, long_job, store):
+        job, now = long_job
+        with pytest.raises(ValueError):
+            store.read_lines(job, "out", now, offset=-1)
+
+    def test_first_and_last_lines_are_markers(self, long_job, store):
+        job, now = long_job
+        total = store.line_count(job, "out", now)
+        first = store.read_lines(job, "out", now, offset=0, limit=1)[0]
+        last = store.read_lines(job, "out", now, offset=total - 1)[0]
+        assert "starting" in first
+        assert "finished: COMPLETED" in last
+
+    def test_deterministic(self, long_job, store):
+        job, now = long_job
+        a = store.read_lines(job, "out", now, offset=100, limit=10)
+        b = LogStore().read_lines(job, "out", now, offset=100, limit=10)
+        assert a == b
+
+
+class TestTail:
+    def test_tail_returns_cap_for_long_logs(self, long_job, store):
+        job, now = long_job
+        lines, first_no, total = store.tail(job, "out", now)
+        assert len(lines) == LOG_TAIL_LINES
+        assert first_no == total - LOG_TAIL_LINES + 1
+        assert total == store.line_count(job, "out", now)
+
+    def test_tail_returns_all_for_short_logs(self, cluster, store):
+        job = cluster.submit(simple_spec(actual_runtime=60))[0]
+        cluster.advance(61)
+        lines, first_no, total = store.tail(job, "out", cluster.now())
+        assert len(lines) == total
+        assert first_no == 1
+
+    def test_tail_is_o_tail_not_o_file(self, long_job):
+        """Reading the tail must not generate the whole file."""
+        import time
+
+        job, now = long_job
+        store = LogStore()
+        t0 = time.perf_counter()
+        store.tail(job, "out", now, lines=100)
+        tail_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        store.read_lines(job, "out", now)  # the whole file
+        full_time = time.perf_counter() - t0
+        assert tail_time < full_time
+
+    def test_paths(self, cluster, store):
+        job = cluster.submit(simple_spec(std_out="/x/o.log", std_err="/x/e.log"))[0]
+        assert store.stdout_path(job) == "/x/o.log"
+        assert store.stderr_path(job) == "/x/e.log"
+        bare = cluster.submit(simple_spec())[0]
+        assert store.stdout_path(bare).endswith(f"slurm-{bare.job_id}.out")

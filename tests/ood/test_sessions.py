@@ -1,0 +1,102 @@
+"""Tests for interactive sessions backed by Slurm jobs."""
+
+import pytest
+
+from repro.ood import SessionManager
+from repro.slurm import JobState
+from tests.conftest import simple_spec
+
+
+@pytest.fixture
+def mgr(cluster):
+    return SessionManager(cluster)
+
+
+class TestLaunch:
+    def test_launch_submits_job(self, mgr, cluster):
+        s = mgr.launch("jupyter", user="alice", account="lab",
+                       form_values={"cpus": 4, "hours": 2})
+        job = cluster.scheduler.job(s.job_id)
+        assert job.state is JobState.RUNNING
+        assert job.name == "sys/dashboard/jupyter"
+        assert job.req.cpus == 4
+        assert job.time_limit == 2 * 3600
+        assert job.spec.interactive.session_id == s.session_id
+
+    def test_session_ids_unique(self, mgr):
+        a = mgr.launch("jupyter", "alice", "lab")
+        b = mgr.launch("jupyter", "alice", "lab")
+        assert a.session_id != b.session_id
+
+    def test_bad_form_rejected(self, mgr):
+        with pytest.raises(ValueError):
+            mgr.launch("jupyter", "alice", "lab", form_values={"cpus": -4})
+
+    def test_unknown_app_rejected(self, mgr):
+        with pytest.raises(KeyError):
+            mgr.launch("doom", "alice", "lab")
+
+    def test_low_utilization_ground_truth(self, mgr, cluster):
+        """Sessions model the paper's inefficient-interactive-job premise."""
+        s = mgr.launch("rstudio", "alice", "lab", form_values={"hours": 8})
+        job = cluster.scheduler.job(s.job_id)
+        assert job.spec.actual_cpu_utilization <= 0.2
+        assert job.spec.actual_runtime < job.time_limit
+
+
+class TestQueries:
+    def test_sessions_for_user(self, mgr):
+        mgr.launch("jupyter", "alice", "lab")
+        mgr.launch("matlab", "bob", "lab")
+        assert len(mgr.sessions_for("alice")) == 1
+        assert mgr.sessions_for("carol") == []
+
+    def test_get_unknown(self, mgr):
+        with pytest.raises(KeyError):
+            mgr.get("nope")
+
+    def test_session_for_job_via_manager(self, mgr, cluster):
+        s = mgr.launch("jupyter", "alice", "lab")
+        job = cluster.scheduler.job(s.job_id)
+        assert mgr.session_for_job(job).session_id == s.session_id
+
+    def test_session_for_job_via_provenance(self, mgr, cluster):
+        """Jobs tagged by the workload generator resolve without manager
+        bookkeeping (the dashboard sees them identically)."""
+        from repro.slurm.model import InteractiveSessionInfo
+
+        spec = simple_spec(name="sys/dashboard/vscode")
+        spec.interactive = InteractiveSessionInfo(
+            app_name="vscode", session_id="vscode-99999", working_dir="/tmp/x"
+        )
+        job = cluster.submit(spec)[0]
+        s = mgr.session_for_job(job)
+        assert s.app_key == "vscode" and s.session_id == "vscode-99999"
+
+    def test_session_for_plain_job_is_none(self, mgr, cluster):
+        job = cluster.submit(simple_spec())[0]
+        assert mgr.session_for_job(job) is None
+
+
+class TestConnectAndState:
+    def test_connect_url_only_when_running(self, mgr, cluster):
+        s = mgr.launch("jupyter", "alice", "lab", form_values={"hours": 1})
+        assert mgr.connect_url(s) is not None
+        assert mgr.card_state(s) == "Running"
+        cluster.advance(3700)  # session job ends
+        assert mgr.connect_url(s) is None
+        assert mgr.card_state(s) == "Completed"
+
+    def test_queued_state(self, mgr, cluster):
+        # saturate the cpu partition so the session queues
+        for _ in range(8):
+            cluster.submit(simple_spec(cpus=64, mem_mb=1000,
+                                       actual_runtime=7200, time_limit=7200))
+        s = mgr.launch("jupyter", "alice", "lab", form_values={"cpus": 64, "memory_gb": 1})
+        assert mgr.card_state(s) == "Queued"
+        assert mgr.connect_url(s) is None
+
+    def test_connect_url_names_node(self, mgr, cluster):
+        s = mgr.launch("jupyter", "alice", "lab")
+        job = cluster.scheduler.job(s.job_id)
+        assert job.nodes[0] in mgr.connect_url(s)

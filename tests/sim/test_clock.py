@@ -1,0 +1,122 @@
+"""Tests for the virtual clock and Slurm duration formatting."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.clock import SimClock, duration_hms, parse_duration
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=100.0).now() == 100.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance(self):
+        c = SimClock()
+        c.advance(10)
+        c.advance(5.5)
+        assert c.now() == pytest.approx(15.5)
+
+    def test_advance_negative_rejected(self):
+        c = SimClock()
+        with pytest.raises(ValueError):
+            c.advance(-1)
+
+    def test_advance_to(self):
+        c = SimClock()
+        c.advance_to(42.0)
+        assert c.now() == 42.0
+
+    def test_advance_to_past_rejected(self):
+        c = SimClock(start=10)
+        with pytest.raises(ValueError):
+            c.advance_to(5)
+
+    def test_isoformat_at_epoch(self):
+        c = SimClock()
+        assert c.isoformat() == "2025-11-16T00:00:00"
+
+    def test_isoformat_roundtrip(self):
+        c = SimClock()
+        c.advance(3 * 86400 + 3661)
+        assert c.parse_iso(c.isoformat()) == pytest.approx(c.now())
+
+    def test_datetime_for_specific_t(self):
+        c = SimClock()
+        assert c.datetime(60) == datetime.datetime(2025, 11, 16, 0, 1, 0)
+
+    def test_custom_epoch(self):
+        epoch = datetime.datetime(2020, 1, 1)
+        c = SimClock(epoch=epoch)
+        assert c.isoformat() == "2020-01-01T00:00:00"
+
+    def test_observers_called_on_advance(self):
+        c = SimClock()
+        seen = []
+        c.subscribe(seen.append)
+        c.advance(5)
+        c.advance(7)
+        assert seen == [5.0, 12.0]
+
+
+class TestDurationHms:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (0, "00:00:00"),
+            (59, "00:00:59"),
+            (3661, "01:01:01"),
+            (86399, "23:59:59"),
+            (86400, "1-00:00:00"),
+            (90061, "1-01:01:01"),
+            (14 * 86400, "14-00:00:00"),
+        ],
+    )
+    def test_formats(self, seconds, expected):
+        assert duration_hms(seconds) == expected
+
+    def test_negative_clamps_to_zero(self):
+        assert duration_hms(-5) == "00:00:00"
+
+    def test_rounds_fractional_seconds(self):
+        assert duration_hms(59.6) == "00:01:00"
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("30", 1800.0),  # bare minutes, sbatch-style
+            ("30:00", 1800.0),
+            ("01:00:00", 3600.0),
+            ("1-00:00:00", 86400.0),
+            ("2-12", 2 * 86400 + 12 * 3600.0),
+            ("1-06:30", 86400 + 6 * 3600 + 30 * 60.0),
+        ],
+    )
+    def test_parses(self, text, expected):
+        assert parse_duration(text) == expected
+
+    def test_unlimited(self):
+        assert parse_duration("UNLIMITED") == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_duration("")
+
+    def test_bad_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            parse_duration("00:00:99")
+
+    @given(st.integers(min_value=0, max_value=100 * 86400))
+    def test_roundtrip_property(self, seconds):
+        """duration_hms and parse_duration are inverses on whole seconds."""
+        assert parse_duration(duration_hms(seconds)) == float(seconds)

@@ -1,0 +1,145 @@
+"""Tests for the deterministic event loop."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+
+
+def test_step_advances_clock_to_event_time():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(10.0, lambda: fired.append(loop.clock.now()))
+    assert loop.step() is True
+    assert fired == [10.0]
+    assert loop.clock.now() == 10.0
+
+
+def test_events_run_in_time_order():
+    loop = EventLoop()
+    order = []
+    loop.schedule_at(5, lambda: order.append("b"))
+    loop.schedule_at(1, lambda: order.append("a"))
+    loop.schedule_at(9, lambda: order.append("c"))
+    loop.run_all()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    loop = EventLoop()
+    order = []
+    for tag in ("first", "second", "third"):
+        loop.schedule_at(3.0, lambda t=tag: order.append(t))
+    loop.run_all()
+    assert order == ["first", "second", "third"]
+
+
+def test_schedule_in_is_relative():
+    loop = EventLoop()
+    loop.clock.advance(100)
+    fired = []
+    loop.schedule_in(5, lambda: fired.append(loop.clock.now()))
+    loop.run_all()
+    assert fired == [105.0]
+
+
+def test_schedule_in_past_rejected():
+    loop = EventLoop()
+    loop.clock.advance(50)
+    with pytest.raises(ValueError):
+        loop.schedule_at(10, lambda: None)
+    with pytest.raises(ValueError):
+        loop.schedule_in(-1, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    loop = EventLoop()
+    fired = []
+    h = loop.schedule_at(5, lambda: fired.append(1))
+    h.cancel()
+    loop.run_all()
+    assert fired == []
+
+
+def test_run_until_only_runs_due_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(5, lambda: fired.append(5))
+    loop.schedule_at(15, lambda: fired.append(15))
+    n = loop.run_until(10)
+    assert n == 1
+    assert fired == [5]
+    assert loop.clock.now() == 10.0
+    loop.run_until(20)
+    assert fired == [5, 15]
+
+
+def test_run_for_is_relative_window():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_at(5, lambda: fired.append(1))
+    loop.run_for(3)
+    assert fired == []
+    loop.run_for(3)
+    assert fired == [1]
+
+
+def test_events_can_schedule_events():
+    loop = EventLoop()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            loop.schedule_in(1, lambda: chain(n + 1))
+
+    loop.schedule_at(0.5, lambda: chain(0))
+    loop.run_all()
+    assert fired == [0, 1, 2, 3]
+    assert loop.clock.now() == 3.5
+
+
+def test_recurring_event_fires_repeatedly():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_every(10, lambda: fired.append(loop.clock.now()))
+    loop.run_until(35)
+    assert fired == [10.0, 20.0, 30.0]
+
+
+def test_recurring_event_cancel_stops_it():
+    loop = EventLoop()
+    fired = []
+    handle = loop.schedule_every(10, lambda: fired.append(loop.clock.now()))
+    loop.run_until(25)
+    handle.cancel()
+    loop.run_until(100)
+    assert fired == [10.0, 20.0]
+
+
+def test_recurring_first_delay():
+    loop = EventLoop()
+    fired = []
+    loop.schedule_every(10, lambda: fired.append(loop.clock.now()), first_delay=1)
+    loop.run_until(22)
+    assert fired == [1.0, 11.0, 21.0]
+
+
+def test_run_all_guards_against_runaway():
+    loop = EventLoop()
+
+    def reschedule():
+        loop.schedule_in(0.001, reschedule)
+
+    loop.schedule_in(0.001, reschedule)
+    with pytest.raises(RuntimeError):
+        loop.run_all(max_events=100)
+
+
+def test_pending_and_processed_counters():
+    loop = EventLoop()
+    loop.schedule_at(1, lambda: None)
+    h = loop.schedule_at(2, lambda: None)
+    h.cancel()
+    assert loop.pending == 1
+    loop.run_all()
+    assert loop.processed == 1

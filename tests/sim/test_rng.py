@@ -1,0 +1,80 @@
+"""Tests for named random streams and distribution helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RandomStreams, bounded_lognormal, zipf_weights
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(7).stream("x").integers(0, 1000, 10)
+    b = RandomStreams(7).stream("x").integers(0, 1000, 10)
+    assert (a == b).all()
+
+
+def test_different_names_are_independent():
+    rs = RandomStreams(7)
+    a = rs.stream("x").integers(0, 1000, 10)
+    b = rs.stream("y").integers(0, 1000, 10)
+    assert not (a == b).all()
+
+
+def test_adding_consumer_does_not_perturb_existing():
+    """The reproducibility property that motivates named streams."""
+    rs1 = RandomStreams(3)
+    a1 = rs1.stream("arrivals").integers(0, 10**6, 5)
+
+    rs2 = RandomStreams(3)
+    rs2.stream("new-consumer").integers(0, 10**6, 100)  # interloper
+    a2 = rs2.stream("arrivals").integers(0, 10**6, 5)
+    assert (a1 == a2).all()
+
+
+def test_stream_is_cached():
+    rs = RandomStreams(1)
+    assert rs.stream("a") is rs.stream("a")
+
+
+def test_fork_independent_of_parent():
+    rs = RandomStreams(5)
+    child = rs.fork("w1")
+    a = rs.stream("s").integers(0, 10**6, 5)
+    b = child.stream("s").integers(0, 10**6, 5)
+    assert not (a == b).all()
+
+
+def test_fork_reproducible():
+    a = RandomStreams(5).fork("w1").stream("s").integers(0, 10**6, 5)
+    b = RandomStreams(5).fork("w1").stream("s").integers(0, 10**6, 5)
+    assert (a == b).all()
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        w = zipf_weights(10)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(20)
+        assert (np.diff(w) < 0).all()
+
+    def test_single_item(self):
+        assert zipf_weights(1)[0] == pytest.approx(1.0)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestBoundedLognormal:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_always_within_bounds(self, seed):
+        gen = np.random.default_rng(seed)
+        v = bounded_lognormal(gen, mean=100.0, sigma=2.0, low=10.0, high=500.0)
+        assert 10.0 <= v <= 500.0
+
+    def test_bad_bounds_rejected(self):
+        gen = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bounded_lognormal(gen, 10, 1, low=5, high=1)

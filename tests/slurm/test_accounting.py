@@ -1,0 +1,130 @@
+"""Tests for the slurmdbd accounting archive."""
+
+import pytest
+
+from repro.slurm import JobState
+from repro.slurm.accounting import AccountingDatabase
+from repro.slurm.model import Job, JobSpec, TRES
+
+
+def make_job(job_id, user="alice", account="lab", submit=0.0, start=10.0, end=110.0,
+             state=JobState.COMPLETED, cpus=4, gpus=0, partition="cpu", array_job_id=None,
+             array_task_id=None):
+    spec = JobSpec(
+        name=f"job{job_id}",
+        user=user,
+        account=account,
+        partition=partition,
+        req=TRES(cpus=cpus, mem_mb=1000, gpus=gpus, nodes=1),
+        time_limit=3600,
+    )
+    return Job(
+        job_id=job_id,
+        spec=spec,
+        state=state,
+        submit_time=submit,
+        eligible_time=submit,
+        start_time=start,
+        end_time=end,
+        array_job_id=array_job_id,
+        array_task_id=array_task_id,
+    )
+
+
+@pytest.fixture
+def db():
+    d = AccountingDatabase()
+    d.record(make_job(1, user="alice", account="lab", submit=0, end=100))
+    d.record(make_job(2, user="bob", account="lab", submit=50, end=200))
+    d.record(make_job(3, user="carol", account="other", submit=100, end=300))
+    d.record(make_job(4, user="alice", account="other", submit=400, end=500,
+                      state=JobState.FAILED))
+    return d
+
+
+class TestQuery:
+    def test_all(self, db):
+        assert len(db.query()) == 4
+
+    def test_by_user(self, db):
+        assert {j.job_id for j in db.query(users=["alice"])} == {1, 4}
+
+    def test_by_account(self, db):
+        assert {j.job_id for j in db.query(accounts=["lab"])} == {1, 2}
+
+    def test_user_or_account_union(self, db):
+        # "my jobs or my groups' jobs": union semantics
+        got = {j.job_id for j in db.query(users=["alice"], accounts=["lab"])}
+        assert got == {1, 2, 4}
+
+    def test_by_state(self, db):
+        assert {j.job_id for j in db.query(states=[JobState.FAILED])} == {4}
+
+    def test_time_window_overlap(self, db):
+        # window [150, 350] overlaps jobs 2 (ends 200) and 3 (ends 300)
+        got = {j.job_id for j in db.query(start=150, end=350)}
+        assert got == {2, 3}
+
+    def test_window_excludes_ended_before_start(self, db):
+        assert {j.job_id for j in db.query(start=250)} == {3, 4}
+
+    def test_window_excludes_submitted_after_end(self, db):
+        assert {j.job_id for j in db.query(end=40)} == {1}
+
+    def test_limit_keeps_most_recent(self, db):
+        got = [j.job_id for j in db.query(limit=2)]
+        assert got == [3, 4]
+
+    def test_sorted_by_submit_time(self, db):
+        ids = [j.job_id for j in db.query()]
+        assert ids == [1, 2, 3, 4]
+
+    def test_get(self, db):
+        assert db.get(1).user == "alice"
+        assert db.get(999) is None
+
+    def test_record_idempotent(self, db):
+        db.record(make_job(1))
+        assert len(db) == 4
+
+    def test_partition_filter(self, db):
+        db.record(make_job(5, partition="gpu"))
+        assert {j.job_id for j in db.query(partition="gpu")} == {5}
+
+
+class TestArrays:
+    def test_jobs_of_array_sorted(self, db):
+        db.record(make_job(10, array_job_id=10, array_task_id=1))
+        db.record(make_job(11, array_job_id=10, array_task_id=0))
+        tasks = db.jobs_of_array(10)
+        assert [t.array_task_id for t in tasks] == [0, 1]
+
+    def test_jobs_of_array_empty(self, db):
+        assert db.jobs_of_array(999) == []
+
+
+class TestRollups:
+    def test_usage_by_account(self, db):
+        rows = db.usage_by_account("lab")
+        assert {r.user for r in rows} == {"alice", "bob"}
+        alice = next(r for r in rows if r.user == "alice")
+        # job 1: 4 cpus * (100-10)/3600 h
+        assert alice.cpu_hours == pytest.approx(4 * 90 / 3600)
+        assert alice.job_count == 1
+
+    def test_rollup_sorted_by_cpu_hours(self, db):
+        db.record(make_job(6, user="zed", account="lab", cpus=64, start=0, end=3600))
+        rows = db.usage_by_account("lab")
+        assert rows[0].user == "zed"
+
+    def test_account_totals(self, db):
+        db.record(make_job(7, user="gina", account="lab", gpus=2, start=0, end=3600))
+        assert db.account_gpu_hours("lab") == pytest.approx(2.0)
+        assert db.account_cpu_hours("lab") > 0
+
+    def test_unfinished_job_not_rolled_up(self):
+        d = AccountingDatabase()
+        job = make_job(1, end=None, state=JobState.RUNNING)
+        job.end_time = None
+        d.record(job)
+        assert d.usage_by_account("lab") == []

@@ -1,0 +1,71 @@
+"""Robustness tests for the command text layer with hostile inputs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.slurm.commands import parse_squeue, Squeue
+from repro.slurm.commands.base import pipe_join, sanitize_field, parse_pipe_table
+from tests.conftest import simple_spec
+
+#: printable text including the separators we must survive
+hostile_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), min_codepoint=32),
+    min_size=1,
+    max_size=40,
+).map(lambda s: s.strip() or "x")
+
+
+class TestSanitization:
+    def test_pipe_in_job_name_does_not_corrupt_table(self, cluster):
+        cluster.submit(simple_spec(name="evil|name|here"))
+        rows = parse_squeue(Squeue(cluster).run().stdout)
+        assert len(rows) == 1
+        assert rows[0]["NAME"] == "evil/name/here"
+
+    def test_newline_in_job_name(self, cluster):
+        cluster.submit(simple_spec(name="two\nlines"))
+        rows = parse_squeue(Squeue(cluster).run().stdout)
+        assert len(rows) == 1
+        assert "\n" not in rows[0]["NAME"]
+
+    def test_sanitize_field(self):
+        assert sanitize_field("a|b") == "a/b"
+        assert sanitize_field("a\nb\rc") == "a b c"
+        assert sanitize_field("clean") == "clean"
+
+    @given(st.lists(hostile_text, min_size=1, max_size=8))
+    def test_pipe_table_roundtrip_property(self, fields):
+        """Any sanitized row parses back with the same column count."""
+        header = [f"C{i}" for i in range(len(fields))]
+        text = pipe_join(header) + "\n" + pipe_join(fields) + "\n"
+        rows = parse_pipe_table(text)
+        assert len(rows) == 1
+        assert list(rows[0]) == header
+
+    @given(hostile_text)
+    def test_job_name_survives_full_squeue_path(self, name):
+        """Arbitrary printable job names never break squeue parsing."""
+        from repro.slurm import small_test_cluster
+
+        cluster = small_test_cluster(cpu_nodes=1)
+        cluster.submit(simple_spec(name=name))
+        rows = parse_squeue(Squeue(cluster).run().stdout)
+        assert len(rows) == 1
+
+
+class TestHtmlSafetyOfJobNames:
+    def test_script_in_job_name_escaped_in_my_jobs(self, cluster):
+        """A malicious job name cannot inject markup into the dashboard."""
+        from repro.auth import Directory, Viewer
+        from repro.core.dashboard import Dashboard
+        from repro.core.pages.my_jobs import render_my_jobs
+
+        directory = Directory()
+        directory.add_user("alice")
+        directory.add_account("lab", members=["alice"])
+        dash = Dashboard(cluster, directory)
+        cluster.submit(simple_spec(name="<script>alert(1)</script>"))
+        data = dash.call("my_jobs", Viewer(username="alice")).data
+        html = render_my_jobs(data).render()
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html

@@ -1,0 +1,263 @@
+"""Tests for the simulated Slurm command layer: render + parse round trips."""
+
+import pytest
+
+from repro.slurm import JobState, TRES
+from repro.slurm.commands import (
+    Sacct,
+    Scontrol,
+    Sinfo,
+    Squeue,
+    parse_pipe_table,
+    parse_sacct,
+    parse_scontrol_blocks,
+    parse_sinfo,
+    parse_squeue,
+)
+from tests.conftest import simple_spec
+
+
+@pytest.fixture
+def busy_cluster(cluster):
+    """Cluster with a running, pending, and completed job."""
+    cluster.submit(simple_spec(name="running", cpus=32, actual_runtime=7200, time_limit=7200))
+    cluster.submit(simple_spec(name="done", cpus=4, actual_runtime=60))
+    # 9 x 64 cpus saturates the 8-node cpu partition -> last one pends
+    for i in range(8):
+        cluster.submit(simple_spec(name=f"fill{i}", cpus=64, mem_mb=1000,
+                                   actual_runtime=7200, time_limit=7200))
+    cluster.submit(simple_spec(name="waiting", cpus=64, mem_mb=1000, time_limit=3600))
+    cluster.advance(120)
+    return cluster
+
+
+class TestSqueue:
+    def test_header_and_rows(self, busy_cluster):
+        res = Squeue(busy_cluster).run()
+        rows = parse_squeue(res.stdout)
+        assert len(rows) >= 3
+        names = {r["NAME"] for r in rows}
+        assert {"running", "done", "waiting"} <= names
+
+    def test_states_rendered(self, busy_cluster):
+        rows = parse_squeue(Squeue(busy_cluster).run().stdout)
+        by_name = {r["NAME"]: r for r in rows}
+        assert by_name["running"]["STATE"] == "RUNNING"
+        assert by_name["waiting"]["STATE"] == "PENDING"
+        assert by_name["done"]["STATE"] == "COMPLETED"
+
+    def test_pending_shows_reason_in_nodelist(self, busy_cluster):
+        rows = parse_squeue(Squeue(busy_cluster).run().stdout)
+        waiting = next(r for r in rows if r["NAME"] == "waiting")
+        assert waiting["NODELIST(REASON)"].startswith("(")
+        assert waiting["REASON"] in ("Resources", "Priority")
+
+    def test_filter_by_user(self, busy_cluster):
+        busy_cluster.submit(simple_spec(user="zed", name="zjob"))
+        rows = parse_squeue(Squeue(busy_cluster).run(user="zed").stdout)
+        assert {r["USER"] for r in rows} == {"zed"}
+
+    def test_filter_by_states(self, busy_cluster):
+        rows = parse_squeue(
+            Squeue(busy_cluster).run(states=[JobState.PENDING]).stdout
+        )
+        assert all(r["STATE"] == "PENDING" for r in rows)
+
+    def test_exclude_finished(self, busy_cluster):
+        rows = parse_squeue(Squeue(busy_cluster).run(include_finished=False).stdout)
+        assert all(r["STATE"] in ("PENDING", "RUNNING") for r in rows)
+
+    def test_sorted_newest_first(self, busy_cluster):
+        rows = parse_squeue(Squeue(busy_cluster).run().stdout)
+        submit_times = [r["SUBMIT_TIME"] for r in rows]
+        assert submit_times == sorted(submit_times, reverse=True)
+
+    def test_records_ctld_rpc(self, busy_cluster):
+        before = busy_cluster.daemons.ctld.total_rpcs
+        Squeue(busy_cluster).run()
+        assert busy_cluster.daemons.ctld.total_rpcs == before + 1
+
+    def test_time_columns_format(self, busy_cluster):
+        rows = parse_squeue(Squeue(busy_cluster).run().stdout)
+        running = next(r for r in rows if r["NAME"] == "running")
+        assert running["TIME"] == "00:02:00"
+        assert running["TIME_LIMIT"] == "02:00:00"
+
+
+class TestSinfo:
+    def test_partitions_listed(self, busy_cluster):
+        rows = parse_sinfo(Sinfo(busy_cluster).run().stdout)
+        assert {r["partition"] for r in rows} == {"cpu", "gpu"}
+
+    def test_default_partition_starred(self, busy_cluster):
+        rows = parse_sinfo(Sinfo(busy_cluster).run().stdout)
+        cpu = next(r for r in rows if r["partition"] == "cpu")
+        assert cpu["is_default"]
+
+    def test_aiot_sums(self, busy_cluster):
+        rows = parse_sinfo(Sinfo(busy_cluster).run().stdout)
+        for r in rows:
+            assert (
+                r["nodes_alloc"] + r["nodes_idle"] + r["nodes_other"]
+                == r["nodes_total"]
+            )
+            assert (
+                r["cpus_alloc"] + r["cpus_idle"] + r["cpus_other"] == r["cpus_total"]
+            )
+
+    def test_allocated_cpus_visible(self, busy_cluster):
+        rows = parse_sinfo(Sinfo(busy_cluster).run().stdout)
+        cpu = next(r for r in rows if r["partition"] == "cpu")
+        assert cpu["cpus_alloc"] > 0
+
+    def test_single_partition(self, busy_cluster):
+        rows = parse_sinfo(Sinfo(busy_cluster).run(partition="gpu").stdout)
+        assert len(rows) == 1 and rows[0]["partition"] == "gpu"
+
+    def test_unknown_partition(self, busy_cluster):
+        with pytest.raises(KeyError):
+            Sinfo(busy_cluster).run(partition="nope")
+
+
+class TestSacct:
+    def test_completed_job_in_history(self, busy_cluster):
+        rows = parse_sacct(Sacct(busy_cluster).run(users=["alice"]).stdout)
+        done = next(r for r in rows if r["JobName"] == "done")
+        assert done["base_state"] == "COMPLETED"
+        assert done["ExitCode"] == "0:0"
+        assert done["Elapsed"] == "00:01:00"
+
+    def test_live_jobs_included(self, busy_cluster):
+        rows = parse_sacct(Sacct(busy_cluster).run(users=["alice"]).stdout)
+        states = {r["base_state"] for r in rows}
+        assert "RUNNING" in states and "PENDING" in states
+
+    def test_time_window(self, busy_cluster):
+        busy_cluster.advance(4000)
+        rows = parse_sacct(
+            Sacct(busy_cluster).run(users=["alice"], start=0, end=10).stdout
+        )
+        # every job was submitted at t=0, so all overlap a [0,10] window
+        assert len(rows) > 0
+
+    def test_hits_dbd_not_ctld(self, busy_cluster):
+        before_ctld = busy_cluster.daemons.ctld.total_rpcs
+        before_dbd = busy_cluster.daemons.dbd.total_rpcs
+        Sacct(busy_cluster).run()
+        assert busy_cluster.daemons.ctld.total_rpcs == before_ctld
+        assert busy_cluster.daemons.dbd.total_rpcs == before_dbd + 1
+
+    def test_cancelled_decoration(self, cluster):
+        job = cluster.submit(simple_spec(name="canc"), held=True)[0]
+        cluster.scheduler.cancel(job.job_id)
+        rows = parse_sacct(Sacct(cluster).run().stdout)
+        row = next(r for r in rows if r["JobName"] == "canc")
+        assert row["State"].startswith("CANCELLED by")
+        assert row["base_state"] == "CANCELLED"
+
+    def test_reqtres_roundtrips(self, busy_cluster):
+        rows = parse_sacct(Sacct(busy_cluster).run().stdout)
+        row = next(r for r in rows if r["JobName"] == "running")
+        assert TRES.parse(row["ReqTRES"]).cpus == 32
+
+
+class TestScontrol:
+    def test_show_job_roundtrip(self, busy_cluster):
+        jid = next(
+            j.job_id
+            for j in busy_cluster.scheduler.visible_jobs()
+            if j.name == "running"
+        )
+        out = Scontrol(busy_cluster).show_job(jid)
+        block = parse_scontrol_blocks(out.stdout)[0]
+        assert block["JobId"] == str(jid)
+        assert block["JobState"] == "RUNNING"
+        assert block["Partition"] == "cpu"
+        assert TRES.parse(block["TRES"]).cpus == 32
+
+    def test_show_job_array_fields(self, cluster):
+        tasks = cluster.submit(simple_spec(array_size=3))
+        out = Scontrol(cluster).show_job(tasks[1].job_id)
+        block = parse_scontrol_blocks(out.stdout)[0]
+        assert block["ArrayJobId"] == str(tasks[0].job_id)
+        assert block["ArrayTaskId"] == "1"
+
+    def test_show_node_roundtrip(self, busy_cluster):
+        out = Scontrol(busy_cluster).show_node("g001")
+        block = parse_scontrol_blocks(out.stdout)[0]
+        assert block["NodeName"] == "g001"
+        assert block["Gres"] == "gpu:nvidia_a100:4"
+        assert int(block["RealMemory"]) > 0
+        assert block["Partitions"] == "gpu"
+
+    def test_show_node_reports_alloc_and_load(self, busy_cluster):
+        job = next(
+            j for j in busy_cluster.scheduler.running_jobs() if j.name == "running"
+        )
+        out = Scontrol(busy_cluster).show_node(job.nodes[0])
+        block = parse_scontrol_blocks(out.stdout)[0]
+        assert int(block["CPUAlloc"]) >= 32
+        assert float(block["CPULoad"]) > 0
+
+    def test_show_nodes_all(self, busy_cluster):
+        out = Scontrol(busy_cluster).show_nodes()
+        blocks = parse_scontrol_blocks(out.stdout)
+        assert len(blocks) == len(busy_cluster.nodes)
+
+    def test_show_node_unknown(self, busy_cluster):
+        with pytest.raises(KeyError):
+            Scontrol(busy_cluster).show_node("zzz")
+
+    def test_show_node_includes_reason_when_drained(self, cluster):
+        cluster.nodes["a001"].drain("bad dimm")
+        out = Scontrol(cluster).show_node("a001")
+        block = parse_scontrol_blocks(out.stdout)[0]
+        assert block["State"] == "DRAINED"
+        assert block["Reason"] == "bad dimm"
+
+    def test_show_partition(self, busy_cluster):
+        out = Scontrol(busy_cluster).show_partition("cpu")
+        block = parse_scontrol_blocks(out.stdout)[0]
+        assert block["PartitionName"] == "cpu"
+        assert block["Default"] == "YES"
+        assert int(block["TotalNodes"]) == 8
+
+    def test_show_assoc(self, limited_cluster):
+        limited_cluster.submit(
+            simple_spec(cpus=32, actual_runtime=7200, time_limit=7200)
+        )
+        out = Scontrol(limited_cluster).show_assoc("lab")
+        block = parse_scontrol_blocks(out.stdout)[0]
+        assert block["Account"] == "lab"
+        assert TRES.parse(block["GrpTRES"]).cpus == 64
+        assert TRES.parse(block["GrpTRESAlloc"]).cpus == 32
+
+    def test_show_assoc_unknown(self, cluster):
+        with pytest.raises(KeyError):
+            Scontrol(cluster).show_assoc("ghost")
+
+
+class TestParsers:
+    def test_parse_pipe_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            parse_pipe_table("A|B\n1|2|3\n")
+
+    def test_parse_pipe_table_empty(self):
+        assert parse_pipe_table("") == []
+
+    def test_parse_scontrol_multiple_blocks(self):
+        text = "JobId=1 JobName=a\n   Partition=cpu\nJobId=2 JobName=b\n   Partition=gpu\n"
+        blocks = parse_scontrol_blocks(text)
+        assert len(blocks) == 2
+        assert blocks[0]["JobId"] == "1" and blocks[1]["Partition"] == "gpu"
+
+    def test_parse_scontrol_value_with_spaces(self):
+        blocks = parse_scontrol_blocks("NodeName=a001\n   Reason=bad dimm\n")
+        assert blocks[0]["Reason"] == "bad dimm"
+
+    def test_parse_scontrol_paths(self):
+        blocks = parse_scontrol_blocks(
+            "JobId=1\n   WorkDir=/home/alice/run_1\n   StdOut=/home/alice/run_1/o.log\n"
+        )
+        assert blocks[0]["WorkDir"] == "/home/alice/run_1"
+        assert blocks[0]["StdOut"] == "/home/alice/run_1/o.log"

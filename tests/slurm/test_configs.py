@@ -1,0 +1,60 @@
+"""Tests for the cluster configuration presets."""
+
+import pytest
+
+from repro.slurm import SlurmCluster
+from repro.slurm.configs import PRESETS, anvil_like, bell_like, teaching_cluster
+from tests.conftest import simple_spec
+
+
+class TestPresets:
+    def test_anvil_shape(self):
+        spec = anvil_like()
+        cluster = SlurmCluster(spec)
+        assert len(cluster.nodes) == 1048
+        assert cluster.default_partition().name == "wholenode"
+        gpu_nodes = [n for n in cluster.nodes.values() if n.gpus]
+        assert len(gpu_nodes) == 16
+        assert all(n.gres_model == "nvidia_a100" for n in gpu_nodes)
+
+    def test_anvil_scaled_down(self):
+        cluster = SlurmCluster(anvil_like(scale=0.01))
+        assert 3 <= len(cluster.nodes) <= 15
+        # scaling never drops a group to zero
+        assert any(n.gpus for n in cluster.nodes.values())
+
+    def test_bell_shape(self):
+        cluster = SlurmCluster(bell_like(scale=0.1))
+        assert len(cluster.nodes) == 45
+        assert cluster.default_partition().max_time == 14 * 86400.0
+
+    def test_teaching_cluster_runs_jobs(self):
+        cluster = SlurmCluster(teaching_cluster())
+        job = cluster.submit(
+            simple_spec(partition="scholar", cpus=4, actual_runtime=60)
+        )[0]
+        cluster.advance(61)
+        assert job.state.name == "COMPLETED"
+
+    def test_presets_registry(self):
+        assert set(PRESETS) == {"anvil", "bell", "scholar"}
+        for factory in PRESETS.values():
+            SlurmCluster(factory(0.05) if factory is not PRESETS["scholar"] else factory())
+
+    def test_standby_qos_preemptible_on_anvil(self):
+        cluster = SlurmCluster(anvil_like(scale=0.005))
+        assert cluster.scheduler.qos["standby"].preempt_mode == "requeue"
+
+    def test_preset_works_with_dashboard(self):
+        from repro.auth import Directory, Viewer
+        from repro.core.dashboard import Dashboard
+
+        cluster = SlurmCluster(anvil_like(scale=0.01))
+        directory = Directory()
+        directory.add_user("alice")
+        directory.add_account("lab", members=["alice"])
+        dash = Dashboard(cluster, directory)
+        resp = dash.call("system_status", Viewer(username="alice"))
+        assert resp.ok
+        names = {p["name"] for p in resp.data["partitions"]}
+        assert names == {"wholenode", "highmem", "gpu"}

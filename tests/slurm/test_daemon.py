@@ -1,0 +1,95 @@
+"""Tests for the daemon RPC load/latency model (paper §3.2)."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.slurm.daemon import DaemonBus, DaemonConfig, DaemonLoadModel
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def model(clock):
+    return DaemonLoadModel(
+        DaemonConfig(name="ctld", base_latency_s=0.02, capacity_rps=10, window_s=10),
+        clock,
+    )
+
+
+class TestLoadModel:
+    def test_unloaded_latency_is_base(self, model):
+        assert model.latency_at() == pytest.approx(0.02)
+
+    def test_latency_grows_with_rate(self, model, clock):
+        low = model.latency_at()
+        for _ in range(50):
+            model.record_rpc("squeue")
+        high = model.latency_at()
+        assert high > low
+
+    def test_saturation_penalty_kicks_in(self, model):
+        # 200 rpcs in a 10s window = 20 rps on a 10 rps daemon: saturated
+        for _ in range(200):
+            model.record_rpc("squeue")
+        assert model.latency_at() > 2 * 0.02
+
+    def test_window_slides(self, model, clock):
+        for _ in range(100):
+            model.record_rpc("squeue")
+        busy = model.latency_at()
+        clock.advance(60)  # window empties
+        assert model.latency_at() < busy
+        assert model.recent_rate() == 0.0
+
+    def test_counters(self, model):
+        model.record_rpc("squeue")
+        model.record_rpc("squeue")
+        model.record_rpc("sinfo")
+        assert model.total_rpcs == 3
+        assert model.rpcs_by_kind == {"squeue": 2, "sinfo": 1}
+        assert model.mean_latency > 0
+
+    def test_reset(self, model):
+        model.record_rpc("x")
+        model.reset_counters()
+        assert model.total_rpcs == 0
+        assert model.mean_latency == 0.0
+        assert model.recent_rate() == 0.0
+
+    def test_snapshot_shape(self, model):
+        model.record_rpc("squeue")
+        snap = model.snapshot()
+        assert snap["daemon"] == "ctld"
+        assert snap["total_rpcs"] == 1
+        assert "current_latency_s" in snap
+
+
+class TestDaemonBus:
+    def test_routing(self, clock):
+        bus = DaemonBus(clock)
+        bus.record("squeue")
+        bus.record("sinfo")
+        bus.record("scontrol", kind="scontrol_show_node")
+        bus.record("sacct")
+        assert bus.ctld.total_rpcs == 3
+        assert bus.dbd.total_rpcs == 1
+        assert bus.ctld.rpcs_by_kind["scontrol_show_node"] == 1
+
+    def test_unknown_command_rejected(self, clock):
+        with pytest.raises(ValueError):
+            DaemonBus(clock).record("frobnicate")
+
+    def test_sacct_load_does_not_slow_ctld(self, clock):
+        """The architectural point of §3.2: dbd traffic is isolated."""
+        bus = DaemonBus(clock)
+        base = bus.ctld.latency_at()
+        for _ in range(500):
+            bus.record("sacct")
+        assert bus.ctld.latency_at() == pytest.approx(base)
+
+    def test_snapshot_has_both_daemons(self, clock):
+        snap = DaemonBus(clock).snapshot()
+        assert set(snap) == {"slurmctld", "slurmdbd"}

@@ -1,0 +1,84 @@
+"""Tests for job dependencies (sbatch --dependency=afterok semantics)."""
+
+import pytest
+
+from repro.slurm import JobState
+from repro.slurm import reasons as R
+from tests.conftest import simple_spec
+
+
+class TestDependencies:
+    def test_waits_for_dependency(self, cluster):
+        first = cluster.submit(simple_spec(name="stage1", actual_runtime=600))[0]
+        second = cluster.submit(
+            simple_spec(name="stage2", depends_on=[first.job_id])
+        )[0]
+        assert second.state is JobState.PENDING
+        assert second.reason == R.DEPENDENCY
+
+    def test_starts_after_dependency_completes(self, cluster):
+        first = cluster.submit(simple_spec(actual_runtime=600))[0]
+        second = cluster.submit(
+            simple_spec(depends_on=[first.job_id], actual_runtime=300)
+        )[0]
+        cluster.advance(601)
+        assert first.state is JobState.COMPLETED
+        assert second.state is JobState.RUNNING
+        assert second.start_time == pytest.approx(600, abs=1)
+
+    def test_failed_dependency_blocks_forever(self, cluster):
+        first = cluster.submit(simple_spec(exit_code=1, actual_runtime=60))[0]
+        second = cluster.submit(simple_spec(depends_on=[first.job_id]))[0]
+        cluster.advance(61)
+        assert first.state is JobState.FAILED
+        cluster.advance(3600)
+        assert second.state is JobState.PENDING
+        assert second.reason == R.DEPENDENCY_NEVER
+
+    def test_cancelled_dependency_blocks_forever(self, cluster):
+        first = cluster.submit(simple_spec(), held=True)[0]
+        second = cluster.submit(simple_spec(depends_on=[first.job_id]))[0]
+        cluster.scheduler.cancel(first.job_id)
+        cluster.advance(120)
+        assert second.reason == R.DEPENDENCY_NEVER
+
+    def test_chain_of_dependencies(self, cluster):
+        a = cluster.submit(simple_spec(name="a", actual_runtime=100))[0]
+        b = cluster.submit(
+            simple_spec(name="b", depends_on=[a.job_id], actual_runtime=100)
+        )[0]
+        c = cluster.submit(
+            simple_spec(name="c", depends_on=[b.job_id], actual_runtime=100)
+        )[0]
+        cluster.advance(250)  # a: 0-100, b: 100-200, c: starts at 200
+        assert a.state is JobState.COMPLETED
+        assert b.state is JobState.COMPLETED
+        assert c.state is JobState.RUNNING
+        assert c.start_time == pytest.approx(200, abs=1)
+
+    def test_multiple_dependencies_all_required(self, cluster):
+        a = cluster.submit(simple_spec(actual_runtime=100))[0]
+        b = cluster.submit(simple_spec(actual_runtime=500))[0]
+        c = cluster.submit(simple_spec(depends_on=[a.job_id, b.job_id]))[0]
+        cluster.advance(200)
+        assert c.state is JobState.PENDING  # b still running
+        cluster.advance(400)
+        assert c.state is JobState.RUNNING
+
+    def test_unknown_dependency_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.submit(simple_spec(depends_on=[999_999]))
+
+    def test_dependency_survives_purge(self, cluster):
+        """The dependency resolves even after the parent is purged from
+        ctld memory (outcome ledger)."""
+        first = cluster.submit(simple_spec(actual_runtime=60))[0]
+        cluster.advance(61 + cluster.scheduler.config.min_job_age + 60)
+        assert first.job_id not in cluster.scheduler.jobs
+        second = cluster.submit(simple_spec(depends_on=[first.job_id]))[0]
+        assert second.state is JobState.RUNNING
+
+    def test_dependency_reason_has_friendly_message(self):
+        info = R.explain(R.DEPENDENCY_NEVER)
+        assert "can never start" in info.friendly
+        assert info.severity == "error"

@@ -1,0 +1,191 @@
+"""Gap-coverage tests: smaller behaviours of the Slurm layer."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.slurm import JobState, NodeState, TRES
+from repro.slurm.commands import Sacct, Squeue, parse_sacct, parse_squeue
+from repro.slurm.commands.sinfo import _dominant_state
+from tests.conftest import simple_spec
+
+
+class TestSqueueMultiUser:
+    def test_users_filter(self, cluster):
+        for user in ("amy", "bob", "cal"):
+            cluster.submit(simple_spec(user=user, actual_runtime=7200,
+                                       time_limit=7200))
+        rows = parse_squeue(Squeue(cluster).run(users=["amy", "cal"]).stdout)
+        assert {r["USER"] for r in rows} == {"amy", "cal"}
+
+
+class TestSacctLimit:
+    def test_limit_keeps_most_recent(self, cluster):
+        for i in range(5):
+            cluster.submit(simple_spec(name=f"j{i}", actual_runtime=10))
+            cluster.advance(20)
+        rows = parse_sacct(Sacct(cluster).run(limit=2).stdout)
+        assert [r["JobName"] for r in rows] == ["j3", "j4"]
+
+
+class TestSinfoDominantState:
+    def test_majority_state_wins(self, cluster):
+        cluster.nodes["a001"].drain("x")
+        cluster.nodes["a002"].drain("x")
+        nodes = [cluster.nodes[f"a00{i}"] for i in range(1, 4)]
+        # 2 drained vs 1 idle
+        assert _dominant_state(nodes) == "drained"
+
+    def test_empty(self):
+        assert _dominant_state([]) == "n/a"
+
+
+class TestNodeResume:
+    def test_resume_from_maint(self, cluster):
+        node = cluster.nodes["a001"]
+        node.set_maint("fw")
+        assert node.state is NodeState.MAINT
+        node.resume()
+        assert node.state is NodeState.IDLE
+
+    def test_resume_recomputes_mixed(self, cluster):
+        job = cluster.submit(simple_spec(cpus=4, actual_runtime=7200,
+                                         time_limit=7200))[0]
+        node = cluster.nodes[job.nodes[0]]
+        node.drain("check")
+        assert node.state is NodeState.DRAINING
+        node.resume()
+        assert node.state is NodeState.MIXED
+
+
+class TestClockTz:
+    def test_bad_offset_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().isoformat_tz(0, offset_minutes=24 * 61)
+
+    def test_zero_offset(self):
+        assert SimClock().isoformat_tz(0, 0) == "2025-11-16T00:00:00+00:00"
+
+    def test_half_hour_offset(self):
+        # e.g. India Standard Time
+        assert SimClock().isoformat_tz(0, 330).endswith("+05:30")
+
+
+class TestTRESEdges:
+    def test_parse_whitespace(self):
+        assert TRES.parse(" cpu=2 , mem=1G ") == TRES(cpus=2, mem_mb=1024)
+
+    def test_format_zero_components_omitted(self):
+        assert TRES(cpus=2).format() == "cpu=2"
+
+
+class TestEventHandleProperties:
+    def test_handle_metadata(self):
+        from repro.sim.events import EventLoop
+
+        loop = EventLoop()
+        h = loop.schedule_at(5.0, lambda: None, label="tick")
+        assert h.time == 5.0
+        assert h.label == "tick"
+        assert not h.cancelled
+        h.cancel()
+        assert h.cancelled
+
+
+class TestZipfShape:
+    def test_steeper_s_more_skew(self):
+        from repro.sim.rng import zipf_weights
+
+        flat = zipf_weights(10, s=0.5)
+        steep = zipf_weights(10, s=2.0)
+        assert steep[0] > flat[0]
+
+
+class TestWorkloadPipelines:
+    def test_pipeline_stage2_depends_on_stage1(self):
+        from repro.slurm.workload import populated_cluster
+
+        cluster, _, result = populated_cluster(seed=42, duration_hours=6.0)
+        assert result.by_template.get("pipeline", 0) >= 2
+        stage2 = [
+            j
+            for j in cluster.accounting.query()
+            if j.spec.depends_on and j.name.endswith("_stage2")
+        ]
+        if stage2:  # stage 2 jobs finished within the window
+            for child in stage2:
+                parent = cluster.accounting.get(child.spec.depends_on[0])
+                assert parent is not None
+                assert parent.state is JobState.COMPLETED
+                assert child.start_time >= parent.end_time
+
+
+class TestQosMaxWall:
+    def test_over_limit_job_blocked(self):
+        from repro.slurm import QoS, small_test_cluster
+        from repro.slurm import reasons as R
+        from repro.slurm.model import JobState
+
+        c = small_test_cluster(qos=[QoS(name="debug", max_wall=1800.0)])
+        job = c.submit(simple_spec(qos="debug", time_limit=7200))[0]
+        assert job.state is JobState.PENDING
+        assert job.reason == R.QOS_MAX_WALL
+        info = R.explain(R.QOS_MAX_WALL)
+        assert "maximum wall" in info.friendly
+
+    def test_within_limit_runs(self):
+        from repro.slurm import QoS, small_test_cluster
+        from repro.slurm.model import JobState
+
+        c = small_test_cluster(qos=[QoS(name="debug", max_wall=1800.0)])
+        job = c.submit(simple_spec(qos="debug", time_limit=900))[0]
+        assert job.state is JobState.RUNNING
+
+
+class TestEstimatedStart:
+    def test_blocked_job_gets_projection(self):
+        from repro.slurm import small_test_cluster
+
+        c = small_test_cluster(cpu_nodes=1)
+        c.submit(simple_spec(cpus=64, actual_runtime=1800, time_limit=3600))
+        blocked = c.submit(simple_spec(cpus=64, time_limit=1800))[0]
+        est = c.scheduler.estimate_start(blocked.job_id)
+        # conservative: when the running job hits its limit
+        assert est == pytest.approx(3600, abs=1)
+
+    def test_permanently_blocked_has_no_estimate(self, cluster):
+        job = cluster.submit(simple_spec(time_limit=30 * 86400.0))[0]
+        assert job.reason == "PartitionTimeLimit"
+        assert cluster.scheduler.estimate_start(job.job_id) is None
+
+    def test_running_job_has_no_estimate(self, cluster):
+        job = cluster.submit(simple_spec(actual_runtime=600, time_limit=3600))[0]
+        assert cluster.scheduler.estimate_start(job.job_id) is None
+
+    def test_estimate_in_squeue_output(self):
+        from repro.slurm import small_test_cluster
+        from repro.slurm.commands import Squeue, parse_squeue
+
+        c = small_test_cluster(cpu_nodes=1)
+        c.submit(simple_spec(cpus=64, actual_runtime=1800, time_limit=3600))
+        c.submit(simple_spec(name="waiting", cpus=64, time_limit=1800))
+        rows = parse_squeue(Squeue(c).run().stdout)
+        waiting = next(r for r in rows if r["NAME"] == "waiting")
+        assert waiting["EST_START"] == "2025-11-16T01:00:00"
+
+    def test_estimate_reaches_recent_jobs_widget(self):
+        from repro.auth import Directory, Viewer
+        from repro.core.dashboard import Dashboard
+        from repro.slurm import small_test_cluster
+
+        c = small_test_cluster(cpu_nodes=1)
+        directory = Directory()
+        directory.add_user("alice")
+        directory.add_account("lab", members=["alice"])
+        dash = Dashboard(c, directory)
+        c.submit(simple_spec(cpus=64, actual_runtime=1800, time_limit=3600))
+        c.submit(simple_spec(name="waiting", cpus=64, time_limit=1800))
+        cards = dash.call("recent_jobs", Viewer(username="alice")).data["jobs"]
+        waiting = next(j for j in cards if j["name"] == "waiting")
+        assert waiting["estimated_start"] == "2025-11-16T01:00:00"
+        running = next(j for j in cards if j["state"] == "RUNNING")
+        assert running["estimated_start"] is None

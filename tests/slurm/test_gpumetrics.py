@@ -1,0 +1,103 @@
+"""Tests for the GPU telemetry collector (the paper's §4.1 extension)."""
+
+import pytest
+
+from repro.slurm import JobState
+from tests.conftest import simple_spec
+
+
+class TestGpuTelemetry:
+    def test_gpu_job_recorded_on_end(self, cluster):
+        spec = simple_spec(partition="gpu", cpus=8, gpus=2,
+                           actual_runtime=1800, time_limit=3600)
+        spec.actual_gpu_utilization = 0.5
+        job = cluster.submit(spec)[0]
+        cluster.advance(1801)
+        rec = cluster.gpu_telemetry.usage(job.job_id)
+        assert rec is not None
+        assert rec.gpus_allocated == 2
+        assert rec.gpu_seconds_allocated == pytest.approx(2 * 1800)
+        assert rec.gpu_seconds_used == pytest.approx(2 * 1800 * 0.5)
+        assert rec.efficiency == pytest.approx(0.5)
+
+    def test_cpu_job_not_recorded(self, cluster):
+        job = cluster.submit(simple_spec(actual_runtime=60))[0]
+        cluster.advance(61)
+        assert cluster.gpu_telemetry.usage(job.job_id) is None
+        assert cluster.gpu_telemetry.efficiency(job.job_id) is None
+
+    def test_running_job_not_yet_recorded(self, cluster):
+        spec = simple_spec(partition="gpu", cpus=8, gpus=1,
+                           actual_runtime=7200, time_limit=7200)
+        job = cluster.submit(spec)[0]
+        cluster.advance(60)
+        assert job.state is JobState.RUNNING
+        assert cluster.gpu_telemetry.usage(job.job_id) is None
+
+    def test_utilization_validation(self):
+        with pytest.raises(ValueError):
+            spec = simple_spec(gpus=1)
+            spec.__class__(**{**spec.__dict__, "actual_gpu_utilization": 1.5})
+
+    def test_query_counter(self, cluster):
+        cluster.gpu_telemetry.usage(1)
+        cluster.gpu_telemetry.usage(2)
+        assert cluster.gpu_telemetry.queries == 2
+
+
+class TestGpuEfficiencyInMyJobs:
+    def test_gpu_column_appears_when_enabled(self, cluster):
+        """The dashboard surfaces GPU efficiency behind the experimental
+        flag, from telemetry rather than sacct."""
+        from repro.auth import Directory, Viewer
+        from repro.core.dashboard import Dashboard
+
+        directory = Directory()
+        directory.add_user("alice")
+        directory.add_account("lab", members=["alice"])
+        dash = Dashboard(cluster, directory)
+        spec = simple_spec(partition="gpu", cpus=8, gpus=2,
+                           actual_runtime=1800, time_limit=3600)
+        spec.actual_gpu_utilization = 0.75
+        job = cluster.submit(spec)[0]
+        cluster.advance(1801)
+        viewer = Viewer(username="alice")
+        data = dash.call(
+            "my_jobs", viewer, {"efficiency": True, "gpu_efficiency": True}
+        ).data
+        row = next(j for j in data["jobs"] if j["job_id"] == str(job.job_id))
+        assert row["efficiency"]["gpu"] == "75%"
+        assert data["gpu_efficiency_enabled"]
+
+    def test_gpu_column_na_for_cpu_jobs(self, cluster):
+        from repro.auth import Directory, Viewer
+        from repro.core.dashboard import Dashboard
+
+        directory = Directory()
+        directory.add_user("alice")
+        directory.add_account("lab", members=["alice"])
+        dash = Dashboard(cluster, directory)
+        job = cluster.submit(simple_spec(actual_runtime=600))[0]
+        cluster.advance(601)
+        data = dash.call(
+            "my_jobs", Viewer(username="alice"),
+            {"efficiency": True, "gpu_efficiency": True},
+        ).data
+        row = next(j for j in data["jobs"] if j["job_id"] == str(job.job_id))
+        assert row["efficiency"]["gpu"] == "n/a"
+
+    def test_gpu_column_absent_by_default(self, cluster):
+        from repro.auth import Directory, Viewer
+        from repro.core.dashboard import Dashboard
+
+        directory = Directory()
+        directory.add_user("alice")
+        directory.add_account("lab", members=["alice"])
+        dash = Dashboard(cluster, directory)
+        cluster.submit(simple_spec(actual_runtime=60))
+        cluster.advance(61)
+        data = dash.call(
+            "my_jobs", Viewer(username="alice"), {"efficiency": True}
+        ).data
+        assert not data["gpu_efficiency_enabled"]
+        assert "gpu" not in data["jobs"][0]["efficiency"]

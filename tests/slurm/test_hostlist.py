@@ -1,0 +1,74 @@
+"""Tests for hostlist expansion/compression."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.slurm.hostlist import compress_hostlist, expand_hostlist
+
+
+class TestExpand:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            ("a001", ["a001"]),
+            ("a[001-003]", ["a001", "a002", "a003"]),
+            ("a[001-002,005]", ["a001", "a002", "a005"]),
+            ("a[1-3]", ["a1", "a2", "a3"]),
+            ("gpu01,gpu02", ["gpu01", "gpu02"]),
+            ("a[01-02],b[1-2]", ["a01", "a02", "b1", "b2"]),
+            ("", []),
+            ("node[9-11]", ["node9", "node10", "node11"]),
+        ],
+    )
+    def test_expands(self, expr, expected):
+        assert expand_hostlist(expr) == expected
+
+    def test_zero_padding_preserved(self):
+        assert expand_hostlist("a[008-010]") == ["a008", "a009", "a010"]
+
+    def test_descending_range_rejected(self):
+        with pytest.raises(ValueError):
+            expand_hostlist("a[5-3]")
+
+    def test_unbalanced_brackets_rejected(self):
+        with pytest.raises(ValueError):
+            expand_hostlist("a[1-3")
+
+
+class TestCompress:
+    @pytest.mark.parametrize(
+        "hosts,expected",
+        [
+            (["a001", "a002", "a003"], "a[001-003]"),
+            (["a001", "a002", "a005"], "a[001-002,005]"),
+            (["a001"], "a001"),
+            (["login"], "login"),
+            (["a001", "b001"], "a001,b001"),
+            ([], ""),
+        ],
+    )
+    def test_compresses(self, hosts, expected):
+        assert compress_hostlist(hosts) == expected
+
+    def test_duplicates_collapse(self):
+        assert compress_hostlist(["a001", "a001", "a002"]) == "a[001-002]"
+
+    def test_unsorted_input(self):
+        assert compress_hostlist(["a003", "a001", "a002"]) == "a[001-003]"
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "gpu", "node"]),
+            st.integers(min_value=0, max_value=500),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_roundtrip_property(pairs):
+    """compress -> expand returns the sorted unique host set."""
+    hosts = [f"{p}{n:03d}" for p, n in pairs]
+    out = expand_hostlist(compress_hostlist(hosts))
+    assert sorted(set(out)) == sorted(set(hosts))

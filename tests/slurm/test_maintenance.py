@@ -1,0 +1,139 @@
+"""Tests for scheduled maintenance windows (Slurm + news integration)."""
+
+import pytest
+
+from repro.news import Category, NewsAPI
+from repro.slurm import JobState, NodeState
+from repro.slurm.maintenance import MaintenanceScheduler
+from tests.conftest import simple_spec
+
+
+@pytest.fixture
+def news(cluster):
+    return NewsAPI(cluster.clock)
+
+
+@pytest.fixture
+def maint(cluster, news):
+    return MaintenanceScheduler(cluster, news)
+
+
+class TestScheduling:
+    def test_announcement_published_immediately(self, cluster, news, maint):
+        now = cluster.now()
+        window = maint.schedule(now + 3600, now + 7200, ["a001"])
+        assert window.article_id is not None
+        art = news.all_articles()[0]
+        assert art.category is Category.MAINTENANCE
+        assert art.is_upcoming(now)
+        assert window in maint.upcoming_windows()
+
+    def test_past_start_rejected(self, cluster, maint):
+        cluster.advance(100)
+        with pytest.raises(ValueError):
+            maint.schedule(50, 200, ["a001"])
+
+    def test_empty_window_rejected(self, cluster, maint):
+        now = cluster.now()
+        with pytest.raises(ValueError):
+            maint.schedule(now + 100, now + 100, ["a001"])
+
+    def test_unknown_node_rejected(self, cluster, maint):
+        now = cluster.now()
+        with pytest.raises(KeyError):
+            maint.schedule(now + 100, now + 200, ["ghost"])
+
+    def test_default_is_whole_cluster(self, cluster, maint):
+        now = cluster.now()
+        window = maint.schedule(now + 100, now + 200)
+        assert set(window.node_names) == set(cluster.nodes)
+
+
+class TestExecution:
+    def test_idle_node_goes_maint_then_resumes(self, cluster, maint):
+        now = cluster.now()
+        maint.schedule(now + 100, now + 200, ["a001"])
+        cluster.advance(150)
+        assert cluster.nodes["a001"].state is NodeState.MAINT
+        cluster.advance(100)
+        assert cluster.nodes["a001"].state is NodeState.IDLE
+
+    def test_busy_node_drains_gracefully(self, cluster, maint):
+        job = cluster.submit(simple_spec(cpus=4, actual_runtime=300,
+                                         time_limit=3600))[0]
+        node_name = job.nodes[0]
+        now = cluster.now()
+        maint.schedule(now + 100, now + 1000, [node_name])
+        cluster.advance(150)
+        # window open, job still running -> draining, job unharmed
+        assert cluster.nodes[node_name].state is NodeState.DRAINING
+        assert job.state is JobState.RUNNING
+        cluster.advance(200)  # job ends at t=300
+        assert job.state is JobState.COMPLETED
+        assert cluster.nodes[node_name].state is NodeState.DRAINED
+        cluster.advance(700)  # window closes at t=1000
+        assert cluster.nodes[node_name].state is NodeState.IDLE
+
+    def test_no_new_jobs_start_during_window(self, cluster, maint):
+        now = cluster.now()
+        maint.schedule(now + 100, now + 5000, [n for n in cluster.nodes
+                                               if n.startswith("a")])
+        cluster.advance(150)
+        job = cluster.submit(simple_spec(cpus=4))[0]
+        assert job.state is JobState.PENDING
+        cluster.advance(5000)
+        assert job.state in (JobState.RUNNING, JobState.COMPLETED)
+
+    def test_cancelled_window_never_fires(self, cluster, maint):
+        now = cluster.now()
+        window = maint.schedule(now + 100, now + 200, ["a001"])
+        maint.cancel(window)
+        cluster.advance(300)
+        assert cluster.nodes["a001"].state is NodeState.IDLE
+        assert window.status == "cancelled"
+
+    def test_cannot_cancel_active_window(self, cluster, maint):
+        now = cluster.now()
+        window = maint.schedule(now + 100, now + 500, ["a001"])
+        cluster.advance(150)
+        with pytest.raises(ValueError):
+            maint.cancel(window)
+        assert window in maint.active_windows()
+
+    def test_window_status_lifecycle(self, cluster, maint):
+        now = cluster.now()
+        window = maint.schedule(now + 100, now + 200, ["a001"])
+        assert window.status == "scheduled"
+        cluster.advance(150)
+        assert window.status == "active"
+        cluster.advance(100)
+        assert window.status == "completed"
+
+
+class TestDashboardIntegration:
+    def test_announcement_and_grid_stay_consistent(self, cluster, news, maint):
+        """The §3.1 loop: the widget warns, then the grid shows MAINT."""
+        from repro.auth import Directory, Viewer
+        from repro.core.dashboard import Dashboard
+
+        directory = Directory()
+        directory.add_user("alice")
+        directory.add_account("lab", members=["alice"])
+        dash = Dashboard(cluster, directory, news=news)
+        viewer = Viewer(username="alice")
+        now = cluster.now()
+        maint.schedule(now + 3600, now + 7200, ["a001", "a002"],
+                       title="Rack A maintenance")
+
+        ann = dash.call("announcements", viewer).data["articles"]
+        upcoming = next(a for a in ann if a["title"] == "Rack A maintenance")
+        assert upcoming["color"] == "yellow" and upcoming["upcoming"]
+
+        cluster.advance(3700)
+        dash.ctx.cache.clear()
+        grid = dash.call("cluster_status", viewer).data
+        colors = {n["name"]: n["color"] for n in grid["nodes"]}
+        assert colors["a001"] == "orange" and colors["a002"] == "orange"
+        ann = dash.call("announcements", viewer).data["articles"]
+        active = next(a for a in ann if a["title"] == "Rack A maintenance")
+        assert active["active_now"] and active["style"] == "active"

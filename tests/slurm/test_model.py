@@ -1,0 +1,258 @@
+"""Tests for the Slurm data model: TRES, memory, Job, Node."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.slurm.model import (
+    Job,
+    JobSpec,
+    JobState,
+    Node,
+    NodeState,
+    Partition,
+    TRES,
+    format_exit_code,
+    format_memory,
+    parse_memory_mb,
+)
+
+tres_strategy = st.builds(
+    TRES,
+    cpus=st.integers(0, 512),
+    mem_mb=st.integers(0, 2_000_000),
+    gpus=st.integers(0, 16),
+    nodes=st.integers(0, 64),
+)
+
+
+class TestTRES:
+    def test_add_sub(self):
+        a = TRES(cpus=4, mem_mb=100, gpus=1, nodes=1)
+        b = TRES(cpus=2, mem_mb=50, gpus=0, nodes=1)
+        assert a + b == TRES(6, 150, 1, 2)
+        assert (a + b) - b == a
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TRES(cpus=-1)
+
+    def test_fits_in(self):
+        assert TRES(4, 100, 0, 1).fits_in(TRES(8, 200, 0, 2))
+        assert not TRES(9, 100, 0, 1).fits_in(TRES(8, 200, 0, 2))
+        assert not TRES(4, 100, 1, 1).fits_in(TRES(8, 200, 0, 2))
+
+    def test_is_zero(self):
+        assert TRES().is_zero()
+        assert not TRES(cpus=1).is_zero()
+
+    def test_format(self):
+        assert TRES(4, 16000, 2, 1).format() == "cpu=4,mem=16000M,node=1,gres/gpu=2"
+        assert TRES().format() == ""
+
+    def test_parse(self):
+        t = TRES.parse("cpu=4,mem=16G,node=1,gres/gpu=2")
+        assert t == TRES(4, 16384, 2, 1)
+        assert TRES.parse("") == TRES()
+
+    def test_parse_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            TRES.parse("cpu=1,billing=7")
+
+    @given(tres_strategy)
+    def test_format_parse_roundtrip(self, t):
+        assert TRES.parse(t.format()) == t
+
+    @given(tres_strategy, tres_strategy)
+    def test_add_then_sub_roundtrip(self, a, b):
+        assert (a + b) - b == a
+
+
+class TestMemory:
+    @pytest.mark.parametrize(
+        "text,mb",
+        [("4000M", 4000), ("16G", 16384), ("1T", 1024 * 1024), ("512", 512), ("1.5G", 1536)],
+    )
+    def test_parse(self, text, mb):
+        assert parse_memory_mb(text) == mb
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_memory_mb("")
+
+    @pytest.mark.parametrize(
+        "mb,text", [(500, "500M"), (1024, "1G"), (1536, "1.5G"), (2 * 1024 * 1024, "2T")]
+    )
+    def test_format(self, mb, text):
+        assert format_memory(mb) == text
+
+
+class TestJobSpecValidation:
+    def base(self, **kw):
+        args = dict(
+            name="j",
+            user="u",
+            account="a",
+            partition="p",
+            req=TRES(cpus=1, mem_mb=100, nodes=1),
+            time_limit=60.0,
+        )
+        args.update(kw)
+        return JobSpec(**args)
+
+    def test_valid(self):
+        self.base()
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ValueError):
+            self.base(req=TRES(cpus=0, mem_mb=1, nodes=1))
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            self.base(req=TRES(cpus=1, mem_mb=1, nodes=0))
+
+    def test_nonpositive_time_limit_rejected(self):
+        with pytest.raises(ValueError):
+            self.base(time_limit=0)
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            self.base(actual_cpu_utilization=1.5)
+
+
+class TestJob:
+    def make(self, **kw):
+        spec = JobSpec(
+            name="j",
+            user="u",
+            account="a",
+            partition="p",
+            req=TRES(cpus=4, mem_mb=100, gpus=2, nodes=1),
+            time_limit=3600,
+        )
+        return Job(job_id=7, spec=spec, **kw)
+
+    def test_wait_time_pending_grows(self):
+        job = self.make(submit_time=10.0)
+        assert job.wait_time(now=70.0) == 60.0
+
+    def test_wait_time_after_start_fixed(self):
+        job = self.make(submit_time=10.0, start_time=40.0)
+        assert job.wait_time(now=1000.0) == 30.0
+
+    def test_elapsed_pending_zero(self):
+        assert self.make().elapsed(now=100.0) == 0.0
+
+    def test_elapsed_running(self):
+        job = self.make(start_time=50.0)
+        assert job.elapsed(now=80.0) == 30.0
+
+    def test_elapsed_finished(self):
+        job = self.make(start_time=50.0, end_time=90.0)
+        assert job.elapsed(now=500.0) == 40.0
+
+    def test_gpu_and_cpu_hours(self):
+        job = self.make(start_time=0.0, end_time=3600.0)
+        assert job.gpu_hours(now=7200.0) == pytest.approx(2.0)
+        assert job.cpu_hours(now=7200.0) == pytest.approx(4.0)
+
+    def test_display_id_array(self):
+        job = self.make(array_job_id=7, array_task_id=3)
+        assert job.display_id == "7_3"
+        assert self.make().display_id == "7"
+
+    def test_state_terminal_flags(self):
+        assert JobState.COMPLETED.is_terminal
+        assert not JobState.RUNNING.is_terminal
+        assert JobState.PENDING.is_active
+
+    def test_short_codes(self):
+        assert JobState.PENDING.short_code == "PD"
+        assert JobState.RUNNING.short_code == "R"
+        assert JobState.OUT_OF_MEMORY.short_code == "OOM"
+
+
+class TestNode:
+    def make(self, **kw):
+        args = dict(name="a001", cpus=8, real_memory_mb=1000, gpus=2)
+        args.update(kw)
+        return Node(**args)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(cpus=0)
+        with pytest.raises(ValueError):
+            self.make(real_memory_mb=0)
+
+    def test_capacity_and_available(self):
+        n = self.make()
+        assert n.capacity == TRES(8, 1000, 2, 1)
+        n.allocate(TRES(cpus=2, mem_mb=100, gpus=1, nodes=1), job_id=1)
+        # node-count is not consumed by allocations, only cpu/mem/gpu
+        assert n.available == TRES(6, 900, 1, 1)
+
+    def test_state_transitions_on_alloc(self):
+        n = self.make()
+        assert n.state is NodeState.IDLE
+        n.allocate(TRES(cpus=2, mem_mb=100, nodes=1), job_id=1)
+        assert n.state is NodeState.MIXED
+        n.allocate(TRES(cpus=6, mem_mb=100, nodes=1), job_id=2)
+        assert n.state is NodeState.ALLOCATED
+        n.release(TRES(cpus=6, mem_mb=100, nodes=1), job_id=2)
+        assert n.state is NodeState.MIXED
+        n.release(TRES(cpus=2, mem_mb=100, nodes=1), job_id=1)
+        assert n.state is NodeState.IDLE
+
+    def test_cannot_overallocate(self):
+        n = self.make()
+        assert not n.can_fit(TRES(cpus=9, mem_mb=1, nodes=1))
+        with pytest.raises(ValueError):
+            n.allocate(TRES(cpus=9, mem_mb=1, nodes=1), job_id=1)
+
+    def test_release_unknown_job_rejected(self):
+        n = self.make()
+        with pytest.raises(ValueError):
+            n.release(TRES(cpus=1, mem_mb=1, nodes=1), job_id=99)
+
+    def test_drain_with_running_jobs_goes_draining(self):
+        n = self.make()
+        n.allocate(TRES(cpus=1, mem_mb=1, nodes=1), job_id=1)
+        n.drain("bad dimm")
+        assert n.state is NodeState.DRAINING
+        n.release(TRES(cpus=1, mem_mb=1, nodes=1), job_id=1)
+        assert n.state is NodeState.DRAINED
+
+    def test_drain_idle_goes_drained(self):
+        n = self.make()
+        n.drain("fw update")
+        assert n.state is NodeState.DRAINED
+        assert not n.can_fit(TRES(cpus=1, mem_mb=1, nodes=1))
+
+    def test_resume(self):
+        n = self.make()
+        n.drain("x")
+        n.resume()
+        assert n.state is NodeState.IDLE
+        assert n.state_reason == ""
+
+    def test_down_and_maint(self):
+        n = self.make()
+        n.set_down("power")
+        assert n.state is NodeState.DOWN and not n.state.is_online
+        n2 = self.make()
+        n2.set_maint()
+        assert n2.state is NodeState.MAINT and n2.state.is_online
+
+
+class TestPartition:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Partition(name="", node_names=["a"])
+        with pytest.raises(ValueError):
+            Partition(name="p", node_names=[])
+        with pytest.raises(ValueError):
+            Partition(name="p", node_names=["a"], max_time=0)
+
+
+def test_format_exit_code():
+    assert format_exit_code(0) == "0:0"
+    assert format_exit_code(1, 9) == "1:9"

@@ -1,0 +1,166 @@
+"""Tests for QoS preemption and node-failure injection."""
+
+import pytest
+
+from repro.slurm import JobState, QoS, small_test_cluster
+from repro.slurm import reasons as R
+from tests.conftest import simple_spec
+
+
+def preempt_cluster(mode="requeue", cpu_nodes=1):
+    qos = [
+        QoS(name="standby", priority=0, preempt_mode=mode),
+        QoS(name="urgent", priority=10),
+    ]
+    return small_test_cluster(cpu_nodes=cpu_nodes, qos=qos)
+
+
+class TestQoSValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            QoS(name="x", preempt_mode="maybe")
+
+
+class TestRequeuePreemption:
+    def test_urgent_job_preempts_standby(self):
+        c = preempt_cluster("requeue")
+        standby = c.submit(
+            simple_spec(qos="standby", cpus=64, actual_runtime=7200,
+                        time_limit=7200)
+        )[0]
+        urgent = c.submit(
+            simple_spec(user="vip", qos="urgent", cpus=64,
+                        actual_runtime=600, time_limit=3600)
+        )[0]
+        assert urgent.state is JobState.RUNNING
+        assert standby.state is JobState.PENDING
+        # requeued behind the urgent job; re-labeled by the follow-up pass
+        assert standby.reason in (R.PRIORITY, R.RESOURCES)
+        assert standby.start_time is None
+        assert standby.nodes == []
+        assert c.scheduler.stats["preempted"] == 1
+
+    def test_requeued_job_runs_again_later(self):
+        c = preempt_cluster("requeue")
+        standby = c.submit(
+            simple_spec(qos="standby", cpus=64, actual_runtime=1200,
+                        time_limit=7200)
+        )[0]
+        c.submit(simple_spec(user="vip", qos="urgent", cpus=64,
+                             actual_runtime=600, time_limit=3600))
+        c.advance(700)  # urgent done; standby restarts from scratch
+        assert standby.state is JobState.RUNNING
+        c.advance(1300)
+        assert standby.state is JobState.COMPLETED
+
+    def test_usage_accounting_after_preemption(self):
+        c = preempt_cluster("requeue")
+        c.submit(simple_spec(qos="standby", cpus=64, actual_runtime=7200,
+                             time_limit=7200))
+        c.advance(1800)  # standby consumed 32 cpu-hours so far
+        c.submit(simple_spec(user="vip", qos="urgent", cpus=64,
+                             actual_runtime=600, time_limit=3600))
+        usage = c.scheduler.association_usage("lab")
+        # the preempted run's cpu-hours were charged; alloc equals urgent's
+        assert usage.cpu_hours_used == pytest.approx(32.0, abs=0.5)
+        assert usage.alloc.cpus == 64
+        assert usage.running_jobs == 1
+
+    def test_normal_qos_not_preemptible(self):
+        c = preempt_cluster("requeue")
+        normal = c.submit(simple_spec(cpus=64, actual_runtime=7200,
+                                      time_limit=7200))[0]
+        urgent = c.submit(simple_spec(user="vip", qos="urgent", cpus=64,
+                                      time_limit=3600))[0]
+        assert normal.state is JobState.RUNNING
+        assert urgent.state is JobState.PENDING
+
+    def test_equal_priority_does_not_preempt(self):
+        c = preempt_cluster("requeue")
+        standby1 = c.submit(simple_spec(qos="standby", cpus=64,
+                                        actual_runtime=7200, time_limit=7200))[0]
+        standby2 = c.submit(simple_spec(qos="standby", cpus=64,
+                                        time_limit=3600))[0]
+        assert standby1.state is JobState.RUNNING
+        assert standby2.state is JobState.PENDING
+
+    def test_preempts_minimum_victims(self):
+        c = preempt_cluster("requeue", cpu_nodes=2)
+        a = c.submit(simple_spec(qos="standby", cpus=64, actual_runtime=7200,
+                                 time_limit=7200))[0]
+        b = c.submit(simple_spec(qos="standby", cpus=64, actual_runtime=7200,
+                                 time_limit=7200))[0]
+        c.submit(simple_spec(user="vip", qos="urgent", cpus=32,
+                             actual_runtime=600, time_limit=3600))
+        # only one standby job needed to make room
+        states = sorted([a.state, b.state], key=lambda s: s.value)
+        assert states.count(JobState.RUNNING) == 1
+        assert states.count(JobState.PENDING) == 1
+
+
+class TestCancelPreemption:
+    def test_victim_ends_preempted(self):
+        c = preempt_cluster("cancel")
+        standby = c.submit(simple_spec(qos="standby", cpus=64,
+                                       actual_runtime=7200, time_limit=7200))[0]
+        c.submit(simple_spec(user="vip", qos="urgent", cpus=64,
+                             actual_runtime=600, time_limit=3600))
+        assert standby.state is JobState.PREEMPTED
+        assert standby.end_time is not None
+        # archived with the PREEMPTED state
+        rec = c.accounting.get(standby.job_id)
+        assert rec is not None and rec.state is JobState.PREEMPTED
+
+    def test_preempted_visible_in_sacct(self):
+        from repro.slurm.commands import Sacct, parse_sacct
+
+        c = preempt_cluster("cancel")
+        c.submit(simple_spec(qos="standby", cpus=64, actual_runtime=7200,
+                             time_limit=7200))
+        c.submit(simple_spec(user="vip", qos="urgent", cpus=64,
+                             actual_runtime=600, time_limit=3600))
+        rows = parse_sacct(Sacct(c).run().stdout)
+        assert any(r["base_state"] == "PREEMPTED" for r in rows)
+
+
+class TestNodeFailure:
+    def test_jobs_on_failed_node_end_node_fail(self, cluster):
+        job = cluster.submit(simple_spec(cpus=8, actual_runtime=7200,
+                                         time_limit=7200))[0]
+        victims = cluster.scheduler.fail_node(job.nodes[0], "kernel panic")
+        assert job in victims
+        assert job.state is JobState.NODE_FAIL
+        assert job.exit_code == 1
+        node = cluster.nodes[victims[0].nodes[0] if victims[0].nodes else "a001"]
+
+    def test_failed_node_is_down_with_reason(self, cluster):
+        job = cluster.submit(simple_spec(cpus=8, actual_runtime=7200,
+                                         time_limit=7200))[0]
+        name = job.nodes[0]
+        cluster.scheduler.fail_node(name, "kernel panic")
+        node = cluster.nodes[name]
+        assert node.state.value == "DOWN"
+        assert node.state_reason == "kernel panic"
+        assert node.alloc.cpus == 0
+
+    def test_other_jobs_unaffected(self, cluster):
+        a = cluster.submit(simple_spec(cpus=40, actual_runtime=7200,
+                                       time_limit=7200))[0]
+        b = cluster.submit(simple_spec(cpus=40, actual_runtime=7200,
+                                       time_limit=7200))[0]
+        assert a.nodes != b.nodes
+        cluster.scheduler.fail_node(a.nodes[0])
+        assert a.state is JobState.NODE_FAIL
+        assert b.state is JobState.RUNNING
+
+    def test_pending_work_moves_to_surviving_nodes(self, cluster):
+        job = cluster.submit(simple_spec(cpus=8, actual_runtime=7200,
+                                         time_limit=7200))[0]
+        cluster.scheduler.fail_node(job.nodes[0])
+        replacement = cluster.submit(simple_spec(cpus=8, actual_runtime=60))[0]
+        assert replacement.state is JobState.RUNNING
+        assert replacement.nodes[0] != job.nodes[0]
+
+    def test_idle_node_failure_kills_nothing(self, cluster):
+        victims = cluster.scheduler.fail_node("a005", "psu")
+        assert victims == []

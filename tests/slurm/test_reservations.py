@@ -1,0 +1,161 @@
+"""Tests for Slurm reservations and their maintenance integration."""
+
+import pytest
+
+from repro.slurm import JobState, Reservation
+from repro.slurm import reasons as R
+from repro.slurm.commands import Scontrol, parse_scontrol_blocks
+from tests.conftest import simple_spec
+
+
+class TestReservationModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Reservation(name="r", start=100, end=100, node_names=["a"])
+        with pytest.raises(ValueError):
+            Reservation(name="r", start=0, end=10, node_names=[])
+
+    def test_overlaps(self):
+        res = Reservation(name="r", start=100, end=200, node_names=["a"])
+        assert res.overlaps(150, 250)
+        assert res.overlaps(50, 101)
+        assert not res.overlaps(200, 300)  # windows are half-open
+        assert not res.overlaps(0, 100)
+
+    def test_is_active(self):
+        res = Reservation(name="r", start=100, end=200, node_names=["a"])
+        assert not res.is_active(50)
+        assert res.is_active(100)
+        assert not res.is_active(200)
+
+
+class TestSchedulerReservations:
+    def test_create_and_delete(self, cluster):
+        res = Reservation(name="m1", start=100, end=200, node_names=["a001"])
+        cluster.scheduler.create_reservation(res)
+        assert "m1" in cluster.scheduler.reservations
+        cluster.scheduler.delete_reservation("m1")
+        assert "m1" not in cluster.scheduler.reservations
+        with pytest.raises(KeyError):
+            cluster.scheduler.delete_reservation("m1")
+
+    def test_duplicate_and_unknown_node_rejected(self, cluster):
+        res = Reservation(name="m1", start=100, end=200, node_names=["a001"])
+        cluster.scheduler.create_reservation(res)
+        with pytest.raises(ValueError):
+            cluster.scheduler.create_reservation(res)
+        with pytest.raises(ValueError):
+            cluster.scheduler.create_reservation(
+                Reservation(name="m2", start=1, end=2, node_names=["ghost"])
+            )
+
+    def test_overlapping_job_blocked_with_reqnodenotavail(self, cluster):
+        """A job whose time limit reaches into the window must not start
+        on reserved nodes."""
+        all_cpu = [n for n in cluster.nodes if n.startswith("a")]
+        cluster.scheduler.create_reservation(
+            Reservation(name="maint", start=3600, end=7200, node_names=all_cpu)
+        )
+        job = cluster.submit(simple_spec(time_limit=2 * 3600))[0]
+        assert job.state is JobState.PENDING
+        assert job.reason == R.REQ_NODE_NOT_AVAIL
+
+    def test_short_job_starts_before_window(self, cluster):
+        all_cpu = [n for n in cluster.nodes if n.startswith("a")]
+        cluster.scheduler.create_reservation(
+            Reservation(name="maint", start=3600, end=7200, node_names=all_cpu)
+        )
+        job = cluster.submit(simple_spec(time_limit=1800, actual_runtime=600))[0]
+        assert job.state is JobState.RUNNING
+
+    def test_job_starts_on_unreserved_nodes(self, cluster):
+        cluster.scheduler.create_reservation(
+            Reservation(name="maint", start=3600, end=7200,
+                        node_names=["a001", "a002"])
+        )
+        job = cluster.submit(simple_spec(time_limit=4 * 3600,
+                                         actual_runtime=600))[0]
+        assert job.state is JobState.RUNNING
+        assert job.nodes[0] not in ("a001", "a002")
+
+    def test_blocked_job_starts_after_window(self, cluster):
+        all_cpu = [n for n in cluster.nodes if n.startswith("a")]
+        cluster.scheduler.create_reservation(
+            Reservation(name="maint", start=3600, end=7200, node_names=all_cpu)
+        )
+        job = cluster.submit(simple_spec(time_limit=2 * 3600,
+                                         actual_runtime=600))[0]
+        assert job.reason == R.REQ_NODE_NOT_AVAIL
+        cluster.advance(7300)
+        # reservation expired (window passed); the job may now run
+        cluster.scheduler.delete_reservation("maint")
+        cluster.scheduler.schedule_pass()
+        assert job.state is JobState.RUNNING
+
+
+class TestScontrolShowReservation:
+    def test_render_and_parse(self, cluster):
+        cluster.scheduler.create_reservation(
+            Reservation(name="maint_1", start=3600, end=7200,
+                        node_names=["a001", "a002"])
+        )
+        out = Scontrol(cluster).show_reservation()
+        block = parse_scontrol_blocks(out.stdout)[0]
+        assert block["ReservationName"] == "maint_1"
+        assert block["Nodes"] == "a[001-002]"
+        assert block["NodeCnt"] == "2"
+        assert block["Duration"] == "01:00:00"
+        assert block["State"] == "INACTIVE"
+
+    def test_active_state(self, cluster):
+        cluster.scheduler.create_reservation(
+            Reservation(name="m", start=0, end=7200, node_names=["a001"])
+        )
+        out = Scontrol(cluster).show_reservation("m")
+        assert "State=ACTIVE" in out.stdout
+
+    def test_empty(self, cluster):
+        out = Scontrol(cluster).show_reservation()
+        assert "No reservations" in out.stdout
+
+    def test_unknown(self, cluster):
+        with pytest.raises(KeyError):
+            Scontrol(cluster).show_reservation("ghost")
+
+
+class TestMaintenanceWithReservations:
+    def test_window_creates_and_clears_reservation(self, cluster):
+        from repro.slurm.maintenance import MaintenanceScheduler
+
+        maint = MaintenanceScheduler(cluster)
+        now = cluster.now()
+        window = maint.schedule(now + 3600, now + 7200, ["a001"])
+        assert window.reservation_name in cluster.scheduler.reservations
+        cluster.advance(7300)
+        assert window.status == "completed"
+        assert window.reservation_name not in cluster.scheduler.reservations
+
+    def test_long_job_wont_start_before_window(self, cluster):
+        from repro.slurm.maintenance import MaintenanceScheduler
+
+        maint = MaintenanceScheduler(cluster)
+        now = cluster.now()
+        all_cpu = [n for n in cluster.nodes if n.startswith("a")]
+        maint.schedule(now + 1800, now + 5400, all_cpu)
+        long_job = cluster.submit(simple_spec(time_limit=3600))[0]
+        assert long_job.reason == R.REQ_NODE_NOT_AVAIL
+        short_job = cluster.submit(simple_spec(time_limit=900,
+                                               actual_runtime=300))[0]
+        assert short_job.state is JobState.RUNNING
+
+    def test_cancel_releases_blocked_jobs(self, cluster):
+        from repro.slurm.maintenance import MaintenanceScheduler
+
+        maint = MaintenanceScheduler(cluster)
+        now = cluster.now()
+        all_cpu = [n for n in cluster.nodes if n.startswith("a")]
+        window = maint.schedule(now + 1800, now + 5400, all_cpu)
+        job = cluster.submit(simple_spec(time_limit=3600))[0]
+        assert job.state is JobState.PENDING
+        maint.cancel(window)
+        assert job.state is JobState.RUNNING

@@ -1,0 +1,356 @@
+"""Tests for the slurmctld scheduler: lifecycle, limits, backfill."""
+
+import pytest
+
+from repro.slurm import (
+    Association,
+    JobState,
+    NodeState,
+    QoS,
+    SchedulerConfig,
+    TRES,
+    small_test_cluster,
+)
+from repro.slurm import reasons as R
+from tests.conftest import simple_spec
+
+
+class TestLifecycle:
+    def test_job_starts_immediately_when_space(self, cluster):
+        job = cluster.submit(simple_spec())[0]
+        assert job.state is JobState.RUNNING
+        assert job.start_time == cluster.now()
+        assert len(job.nodes) == 1
+
+    def test_job_completes_after_actual_runtime(self, cluster):
+        job = cluster.submit(simple_spec(actual_runtime=600))[0]
+        cluster.advance(599)
+        assert job.state is JobState.RUNNING
+        cluster.advance(2)
+        assert job.state is JobState.COMPLETED
+        assert job.end_time == pytest.approx(600)
+        assert job.exit_code == 0
+
+    def test_node_released_on_completion(self, cluster):
+        job = cluster.submit(simple_spec(cpus=4))[0]
+        node = cluster.nodes[job.nodes[0]]
+        assert node.alloc.cpus == 4
+        cluster.advance(601)
+        assert node.alloc.cpus == 0
+        assert node.state is NodeState.IDLE
+
+    def test_timeout_when_runtime_exceeds_limit(self, cluster):
+        job = cluster.submit(
+            simple_spec(time_limit=300, actual_runtime=10_000)
+        )[0]
+        cluster.advance(301)
+        assert job.state is JobState.TIMEOUT
+        assert job.elapsed(cluster.now()) == pytest.approx(300)
+
+    def test_failed_on_nonzero_exit(self, cluster):
+        job = cluster.submit(simple_spec(exit_code=2))[0]
+        cluster.advance(601)
+        assert job.state is JobState.FAILED
+        assert job.exit_code == 2
+
+    def test_oom_when_rss_exceeds_request(self, cluster):
+        job = cluster.submit(
+            simple_spec(mem_mb=1000, actual_max_rss_mb=5000)
+        )[0]
+        cluster.advance(601)
+        assert job.state is JobState.OUT_OF_MEMORY
+        assert job.exit_code == 137
+        assert job.max_rss_mb == 5000
+
+    def test_forced_fail_state(self, cluster):
+        job = cluster.submit(simple_spec(fail_state=JobState.NODE_FAIL))[0]
+        cluster.advance(601)
+        assert job.state is JobState.NODE_FAIL
+        assert job.exit_code != 0
+
+    def test_accounting_record_written(self, cluster):
+        job = cluster.submit(simple_spec())[0]
+        cluster.advance(601)
+        rec = cluster.accounting.get(job.job_id)
+        assert rec is not None
+        assert rec.state is JobState.COMPLETED
+
+    def test_total_cpu_seconds_respects_utilization(self, cluster):
+        job = cluster.submit(
+            simple_spec(cpus=8, actual_runtime=100, utilization=0.5)
+        )[0]
+        cluster.advance(101)
+        assert job.total_cpu_seconds == pytest.approx(8 * 100 * 0.5)
+
+    def test_purged_after_min_job_age(self, cluster):
+        job = cluster.submit(simple_spec(actual_runtime=10))[0]
+        cluster.advance(11)
+        assert job.job_id in {j.job_id for j in cluster.scheduler.visible_jobs()}
+        cluster.advance(cluster.scheduler.config.min_job_age + 60)
+        assert job.job_id not in {j.job_id for j in cluster.scheduler.visible_jobs()}
+        # but the accounting archive remembers forever
+        assert cluster.accounting.get(job.job_id) is not None
+
+
+class TestQueueingAndReasons:
+    def test_resources_reason_when_cluster_full(self, cluster):
+        # fill all 8 cpu nodes (64 cpus each)
+        for _ in range(8):
+            cluster.submit(simple_spec(cpus=64, actual_runtime=7200, time_limit=7200))
+        waiting = cluster.submit(simple_spec(cpus=64, time_limit=3600))[0]
+        assert waiting.state is JobState.PENDING
+        assert waiting.reason == R.RESOURCES
+
+    def test_priority_reason_behind_blocked_job(self, cluster):
+        for _ in range(8):
+            cluster.submit(simple_spec(cpus=64, actual_runtime=7200, time_limit=7200))
+        cluster.submit(simple_spec(cpus=64, time_limit=7200))
+        second = cluster.submit(simple_spec(cpus=64, time_limit=7200))[0]
+        assert second.reason in (R.PRIORITY, R.RESOURCES)
+
+    def test_assoc_grp_cpu_limit(self, limited_cluster):
+        c = limited_cluster
+        c.submit(simple_spec(cpus=64, actual_runtime=7200, time_limit=7200))
+        blocked = c.submit(simple_spec(cpus=1))[0]
+        assert blocked.state is JobState.PENDING
+        assert blocked.reason == R.ASSOC_GRP_CPU_LIMIT
+
+    def test_assoc_grp_gres_limit(self, limited_cluster):
+        c = limited_cluster
+        c.submit(
+            simple_spec(partition="gpu", cpus=8, gpus=4, actual_runtime=7200, time_limit=7200)
+        )
+        blocked = c.submit(simple_spec(partition="gpu", cpus=1, gpus=1))[0]
+        assert blocked.reason == R.ASSOC_GRP_GRES_LIMIT
+
+    def test_other_account_not_blocked_by_assoc_limit(self, limited_cluster):
+        c = limited_cluster
+        c.submit(simple_spec(cpus=64, actual_runtime=7200, time_limit=7200))
+        other = c.submit(simple_spec(account="otherlab", cpus=4))[0]
+        assert other.state is JobState.RUNNING
+
+    def test_partition_time_limit_reason(self, cluster):
+        job = cluster.submit(simple_spec(time_limit=10 * 86400.0))[0]
+        assert job.state is JobState.PENDING
+        assert job.reason == R.PARTITION_TIME_LIMIT
+
+    def test_partition_node_limit_reason(self, cluster):
+        job = cluster.submit(simple_spec(cpus=64 * 9, nodes=9, time_limit=3600))[0]
+        assert job.reason == R.PARTITION_NODE_LIMIT
+
+    def test_bad_constraints_reason(self, cluster):
+        job = cluster.submit(simple_spec(features=["h100"]))[0]
+        assert job.reason == R.BAD_CONSTRAINTS
+
+    def test_feature_constraint_satisfied(self, cluster):
+        job = cluster.submit(simple_spec(partition="gpu", features=["gpu"]))[0]
+        assert job.state is JobState.RUNNING
+
+    def test_unknown_partition_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.submit(simple_spec(partition="nope"))
+
+    def test_unknown_qos_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.submit(simple_spec(qos="gold"))
+
+    def test_blocked_job_starts_when_resources_free(self, limited_cluster):
+        c = limited_cluster
+        c.submit(simple_spec(cpus=64, actual_runtime=600, time_limit=3600))
+        blocked = c.submit(simple_spec(cpus=32))[0]
+        assert blocked.reason == R.ASSOC_GRP_CPU_LIMIT
+        c.advance(700)
+        assert blocked.state in (JobState.RUNNING, JobState.COMPLETED)
+
+
+class TestQoSLimits:
+    def make_cluster(self):
+        qos = [
+            QoS(name="standby", priority=0, max_jobs_per_user=2),
+            QoS(
+                name="wide",
+                priority=0,
+                max_tres_per_user=TRES(cpus=8),
+            ),
+        ]
+        return small_test_cluster(qos=qos)
+
+    def test_max_jobs_per_user(self):
+        c = self.make_cluster()
+        c.submit(simple_spec(qos="standby", actual_runtime=7200, time_limit=7200))
+        c.submit(simple_spec(qos="standby", actual_runtime=7200, time_limit=7200))
+        third = c.submit(simple_spec(qos="standby"))[0]
+        assert third.reason == R.QOS_MAX_JOBS_PER_USER
+
+    def test_max_tres_per_user(self):
+        c = self.make_cluster()
+        c.submit(simple_spec(qos="wide", cpus=6, actual_runtime=7200, time_limit=7200))
+        blocked = c.submit(simple_spec(qos="wide", cpus=4))[0]
+        assert blocked.reason == R.QOS_MAX_TRES_PER_USER
+
+    def test_limits_are_per_user(self):
+        c = self.make_cluster()
+        c.submit(simple_spec(qos="standby", actual_runtime=7200, time_limit=7200))
+        c.submit(simple_spec(qos="standby", actual_runtime=7200, time_limit=7200))
+        other = c.submit(simple_spec(user="bob", qos="standby"))[0]
+        assert other.state is JobState.RUNNING
+
+
+class TestHoldCancel:
+    def test_hold_then_release(self, cluster):
+        job = cluster.submit(simple_spec(), held=True)[0]
+        assert job.state is JobState.PENDING
+        assert job.reason == R.JOB_HELD_USER
+        cluster.advance(120)
+        assert job.state is JobState.PENDING
+        cluster.scheduler.release(job.job_id)
+        assert job.state is JobState.RUNNING
+
+    def test_hold_running_job_rejected(self, cluster):
+        job = cluster.submit(simple_spec())[0]
+        with pytest.raises(ValueError):
+            cluster.scheduler.hold(job.job_id)
+
+    def test_cancel_pending(self, cluster):
+        job = cluster.submit(simple_spec(), held=True)[0]
+        cluster.scheduler.cancel(job.job_id)
+        assert job.state is JobState.CANCELLED
+
+    def test_cancel_running_releases_nodes(self, cluster):
+        job = cluster.submit(simple_spec(cpus=8))[0]
+        node = cluster.nodes[job.nodes[0]]
+        cluster.scheduler.cancel(job.job_id)
+        assert job.state is JobState.CANCELLED
+        assert node.alloc.cpus == 0
+
+    def test_cancel_finished_rejected(self, cluster):
+        job = cluster.submit(simple_spec(actual_runtime=10))[0]
+        cluster.advance(11)
+        with pytest.raises(ValueError):
+            cluster.scheduler.cancel(job.job_id)
+
+    def test_release_unheld_rejected(self, cluster):
+        job = cluster.submit(simple_spec(), held=True)[0]
+        cluster.scheduler.release(job.job_id)
+        with pytest.raises(ValueError):
+            cluster.scheduler.release(job.job_id)
+
+
+class TestArrays:
+    def test_array_creates_tasks(self, cluster):
+        tasks = cluster.submit(simple_spec(array_size=5))
+        assert len(tasks) == 5
+        assert all(t.array_job_id == tasks[0].job_id for t in tasks)
+        assert [t.array_task_id for t in tasks] == [0, 1, 2, 3, 4]
+        assert tasks[1].display_id == f"{tasks[0].job_id}_1"
+
+    def test_array_tasks_archived_individually(self, cluster):
+        tasks = cluster.submit(simple_spec(array_size=3, actual_runtime=10))
+        cluster.advance(20)
+        arr = cluster.accounting.jobs_of_array(tasks[0].job_id)
+        assert len(arr) == 3
+        assert all(t.state is JobState.COMPLETED for t in arr)
+
+
+class TestMultiNode:
+    def test_multi_node_allocation(self, cluster):
+        job = cluster.submit(
+            simple_spec(cpus=128, mem_mb=200_000, nodes=2, actual_runtime=60)
+        )[0]
+        assert job.state is JobState.RUNNING
+        assert len(job.nodes) == 2
+        for name in job.nodes:
+            assert cluster.nodes[name].alloc.cpus == 64
+
+    def test_multi_node_release(self, cluster):
+        job = cluster.submit(simple_spec(cpus=128, nodes=2, actual_runtime=60))[0]
+        cluster.advance(61)
+        assert all(cluster.nodes[n].alloc.cpus == 0 for n in job.nodes)
+
+
+class TestBackfill:
+    def test_small_job_backfills_around_blocked_wide_job(self):
+        c = small_test_cluster(cpu_nodes=2)
+        # Occupy both nodes for 2h.
+        c.submit(simple_spec(cpus=64, actual_runtime=7200, time_limit=7200))
+        c.submit(simple_spec(cpus=64, actual_runtime=7200, time_limit=7200))
+        # Wide job needs both nodes -> blocked with Resources.
+        wide = c.submit(simple_spec(cpus=128, nodes=2, time_limit=3600))[0]
+        assert wide.reason == R.RESOURCES
+        # A short job cannot fit *now* (nodes full) so backfill does not
+        # apply; but once one node frees, a short job should start even
+        # though the wide job is still first in line.
+        c.advance(7201)  # both initial jobs end; wide starts
+        assert wide.state is JobState.RUNNING
+
+    def test_backfill_starts_short_job_on_free_node(self):
+        c = small_test_cluster(cpu_nodes=2, scheduler=SchedulerConfig(backfill=True))
+        # One node busy 2h, one node free.
+        c.submit(simple_spec(cpus=64, actual_runtime=7200, time_limit=7200))
+        # Wide job wants both nodes -> blocked (Resources), shadow = 2h.
+        wide = c.submit(simple_spec(cpus=128, nodes=2, time_limit=3600))[0]
+        assert wide.state is JobState.PENDING
+        # Short job fits on the free node and ends before the shadow time.
+        short = c.submit(simple_spec(cpus=4, time_limit=1800, actual_runtime=900))[0]
+        assert short.state is JobState.RUNNING
+        assert c.scheduler.stats["backfilled"] >= 1
+
+    def test_backfill_respects_shadow_time(self):
+        c = small_test_cluster(cpu_nodes=2, scheduler=SchedulerConfig(backfill=True))
+        c.submit(simple_spec(cpus=64, actual_runtime=7200, time_limit=7200))
+        wide = c.submit(simple_spec(cpus=128, nodes=2, time_limit=3600))[0]
+        # This job would outlive the shadow window -> must NOT backfill.
+        long_job = c.submit(simple_spec(cpus=4, time_limit=4 * 7200))[0]
+        assert long_job.state is JobState.PENDING
+        assert long_job.reason == R.PRIORITY
+
+    def test_backfill_disabled(self):
+        c = small_test_cluster(
+            cpu_nodes=2, scheduler=SchedulerConfig(backfill=False)
+        )
+        c.submit(simple_spec(cpus=64, actual_runtime=7200, time_limit=7200))
+        wide = c.submit(simple_spec(cpus=128, nodes=2, time_limit=3600))[0]
+        short = c.submit(simple_spec(cpus=4, time_limit=1800))[0]
+        assert short.state is JobState.PENDING
+
+
+class TestPriority:
+    def test_qos_priority_orders_queue(self):
+        qos = [QoS(name="high", priority=10)]
+        c = small_test_cluster(cpu_nodes=1, qos=qos)
+        c.submit(simple_spec(cpus=64, actual_runtime=600, time_limit=3600))
+        normal = c.submit(simple_spec(cpus=64, time_limit=3600, actual_runtime=60))[0]
+        vip = c.submit(
+            simple_spec(cpus=64, qos="high", time_limit=3600, actual_runtime=60)
+        )[0]
+        c.advance(610)  # first job done at t=600; the high-QOS job starts
+        assert vip.state is JobState.RUNNING
+        assert normal.state is JobState.PENDING
+
+    def test_age_increases_priority(self, cluster):
+        job = cluster.submit(simple_spec(time_limit=10 * 86400))[0]  # stuck pending
+        p0 = job.priority
+        cluster.advance(3600)
+        assert job.priority > p0
+
+
+class TestAssociationUsage:
+    def test_usage_tracks_alloc_and_hours(self, limited_cluster):
+        c = limited_cluster
+        job = c.submit(simple_spec(cpus=32, actual_runtime=3600, time_limit=7200))[0]
+        usage = c.scheduler.association_usage("lab")
+        assert usage.alloc.cpus == 32
+        assert usage.running_jobs == 1
+        c.advance(3601)
+        assert usage.alloc.cpus == 0
+        assert usage.running_jobs == 0
+        assert usage.cpu_hours_used == pytest.approx(32.0)
+
+    def test_gpu_hours_accumulate(self, limited_cluster):
+        c = limited_cluster
+        c.submit(
+            simple_spec(partition="gpu", cpus=8, gpus=2, actual_runtime=1800, time_limit=3600)
+        )
+        c.advance(1801)
+        usage = c.scheduler.association_usage("lab")
+        assert usage.gpu_hours_used == pytest.approx(1.0)

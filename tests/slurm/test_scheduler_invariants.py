@@ -1,0 +1,179 @@
+"""Property-based invariant tests for the scheduler.
+
+A Hypothesis state machine drives the cluster with random submissions,
+cancellations, holds/releases and time jumps, checking after every step
+the invariants slurmctld must never violate:
+
+* no node is ever over-allocated (alloc <= capacity, per resource);
+* node running_job_ids matches the set of RUNNING jobs placed on it;
+* association usage equals the sum over its running jobs;
+* every pending job carries a reason; every running job has nodes;
+* terminal jobs never hold node resources.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.slurm import Association, JobSpec, JobState, TRES, small_test_cluster
+from repro.slurm import reasons as R
+
+
+class SchedulerMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cluster = small_test_cluster(
+            cpu_nodes=3,
+            gpu_nodes=1,
+            cpus_per_node=16,
+            mem_per_node_mb=32_000,
+            associations=[Association(account="lab", grp_tres=TRES(cpus=40))],
+        )
+        self.submitted: list[int] = []
+
+    # -- actions -----------------------------------------------------------
+
+    @rule(
+        cpus=st.integers(1, 24),
+        mem=st.integers(100, 40_000),
+        gpus=st.integers(0, 2),
+        nodes=st.integers(1, 3),
+        runtime=st.floats(10, 5000),
+        limit_factor=st.floats(0.5, 3.0),
+        util=st.floats(0, 1),
+        exit_code=st.sampled_from([0, 0, 0, 1]),
+        held=st.booleans(),
+        account=st.sampled_from(["lab", "other"]),
+    )
+    def submit(self, cpus, mem, gpus, nodes, runtime, limit_factor, util,
+               exit_code, held, account):
+        cpus = max(cpus, nodes)  # at least one cpu per node
+        spec = JobSpec(
+            name="fuzz",
+            user="u",
+            account=account,
+            partition="gpu" if gpus else "cpu",
+            req=TRES(cpus=cpus, mem_mb=mem, gpus=gpus, nodes=nodes),
+            time_limit=max(1.0, runtime * limit_factor),
+            actual_runtime=runtime,
+            actual_cpu_utilization=util,
+            exit_code=exit_code,
+        )
+        jobs = self.cluster.submit(spec, held=held)
+        self.submitted.extend(j.job_id for j in jobs)
+
+    @rule(seconds=st.floats(1, 4000))
+    def advance(self, seconds):
+        self.cluster.advance(seconds)
+
+    @rule(idx=st.integers(0, 10_000))
+    def cancel_something(self, idx):
+        live = [
+            j for j in self.cluster.scheduler.visible_jobs() if j.state.is_active
+        ]
+        if live:
+            self.cluster.scheduler.cancel(live[idx % len(live)].job_id)
+
+    @rule(idx=st.integers(0, 10_000))
+    def release_something(self, idx):
+        held = [
+            j
+            for j in self.cluster.scheduler.pending_jobs()
+            if j.reason == R.JOB_HELD_USER
+        ]
+        if held:
+            self.cluster.scheduler.release(held[idx % len(held)].job_id)
+
+    @rule(idx=st.integers(0, 10_000))
+    def suspend_something(self, idx):
+        running = [
+            j for j in self.cluster.scheduler.running_jobs()
+            if j.state is JobState.RUNNING
+        ]
+        if running:
+            self.cluster.scheduler.suspend(running[idx % len(running)].job_id)
+
+    @rule(idx=st.integers(0, 10_000))
+    def resume_something(self, idx):
+        suspended = [
+            j for j in self.cluster.scheduler.running_jobs()
+            if j.state is JobState.SUSPENDED
+        ]
+        if suspended:
+            self.cluster.scheduler.resume_job(
+                suspended[idx % len(suspended)].job_id
+            )
+
+    @rule(idx=st.integers(0, 10_000))
+    def fail_and_recover_node(self, idx):
+        names = list(self.cluster.nodes)
+        name = names[idx % len(names)]
+        node = self.cluster.nodes[name]
+        if node.state.is_online:
+            self.cluster.scheduler.fail_node(name, "fuzz failure")
+        else:
+            node.resume()
+            self.cluster.scheduler.schedule_pass()
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def nodes_never_overallocated(self):
+        for node in self.cluster.nodes.values():
+            assert node.alloc.cpus <= node.cpus, node.name
+            assert node.alloc.mem_mb <= node.real_memory_mb, node.name
+            assert node.alloc.gpus <= node.gpus, node.name
+            assert node.alloc.cpus >= 0 and node.alloc.mem_mb >= 0
+
+    @invariant()
+    def node_job_lists_consistent(self):
+        sched = self.cluster.scheduler
+        placed: dict[str, set[int]] = {name: set() for name in self.cluster.nodes}
+        for job in sched.running_jobs():
+            assert job.state in (JobState.RUNNING, JobState.SUSPENDED)
+            assert job.nodes, f"running job {job.job_id} has no nodes"
+            for n in job.nodes:
+                placed[n].add(job.job_id)
+        for name, node in self.cluster.nodes.items():
+            assert set(node.running_job_ids) == placed[name], name
+
+    @invariant()
+    def association_usage_matches_running(self):
+        sched = self.cluster.scheduler
+        for account in ("lab", "other"):
+            usage = sched.association_usage(account)
+            expected = TRES()
+            count = 0
+            for job in sched.running_jobs():
+                if job.account == account:
+                    expected = expected + job.req
+                    count += 1
+            assert usage.alloc == expected, account
+            assert usage.running_jobs == count, account
+
+    @invariant()
+    def grp_limit_respected(self):
+        usage = self.cluster.scheduler.association_usage("lab")
+        assert usage.alloc.cpus <= 40
+
+    @invariant()
+    def pending_jobs_have_reasons(self):
+        for job in self.cluster.scheduler.pending_jobs():
+            assert job.state is JobState.PENDING
+            assert job.reason, f"pending job {job.job_id} without reason"
+
+    @invariant()
+    def terminal_jobs_hold_nothing(self):
+        sched = self.cluster.scheduler
+        running_ids = {j.job_id for j in sched.running_jobs()}
+        for node in self.cluster.nodes.values():
+            for jid in node.running_job_ids:
+                assert jid in running_ids
+
+
+TestSchedulerInvariants = SchedulerMachine.TestCase
+TestSchedulerInvariants.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

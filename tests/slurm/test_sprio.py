@@ -1,0 +1,75 @@
+"""Tests for sprio and priority decomposition."""
+
+import pytest
+
+from repro.slurm import QoS, SchedulerConfig, small_test_cluster
+from repro.slurm.commands import Sprio, parse_sprio
+from tests.conftest import simple_spec
+
+
+@pytest.fixture
+def queued_cluster():
+    c = small_test_cluster(
+        cpu_nodes=1,
+        qos=[QoS(name="high", priority=5)],
+        scheduler=SchedulerConfig(backfill=False),
+    )
+    # occupy the node so everything else queues
+    c.submit(simple_spec(cpus=64, actual_runtime=7200, time_limit=7200))
+    return c
+
+
+class TestPriorityComponents:
+    def test_components_sum_to_priority(self, queued_cluster):
+        c = queued_cluster
+        job = c.submit(simple_spec(cpus=64, time_limit=3600))[0]
+        c.advance(600)
+        parts = c.scheduler.priority_components(job)
+        assert sum(parts.values()) == pytest.approx(job.priority, rel=1e-6)
+        assert set(parts) == {"base", "qos", "age", "fairshare"}
+
+    def test_age_component_grows(self, queued_cluster):
+        c = queued_cluster
+        job = c.submit(simple_spec(cpus=64, time_limit=3600))[0]
+        a0 = c.scheduler.priority_components(job)["age"]
+        c.advance(1200)
+        assert c.scheduler.priority_components(job)["age"] > a0
+
+    def test_qos_component(self, queued_cluster):
+        c = queued_cluster
+        normal = c.submit(simple_spec(cpus=64, time_limit=3600))[0]
+        vip = c.submit(simple_spec(cpus=64, qos="high", time_limit=3600))[0]
+        assert (
+            c.scheduler.priority_components(vip)["qos"]
+            > c.scheduler.priority_components(normal)["qos"]
+        )
+
+
+class TestSprio:
+    def test_lists_pending_sorted_by_priority(self, queued_cluster):
+        c = queued_cluster
+        c.submit(simple_spec(cpus=64, time_limit=3600))
+        c.submit(simple_spec(cpus=64, qos="high", time_limit=3600))
+        c.advance(60)
+        rows = parse_sprio(Sprio(c).run().stdout)
+        assert len(rows) == 2
+        priorities = [float(r["PRIORITY"]) for r in rows]
+        assert priorities == sorted(priorities, reverse=True)
+        assert float(rows[0]["QOS"]) > float(rows[1]["QOS"])
+
+    def test_user_filter(self, queued_cluster):
+        c = queued_cluster
+        c.submit(simple_spec(user="zed", cpus=64, time_limit=3600))
+        c.submit(simple_spec(user="amy", cpus=64, time_limit=3600))
+        rows = parse_sprio(Sprio(c).run(user="zed").stdout)
+        assert [r["USER"] for r in rows] == ["zed"]
+
+    def test_running_jobs_not_listed(self, queued_cluster):
+        rows = parse_sprio(Sprio(queued_cluster).run().stdout)
+        assert rows == []
+
+    def test_meters_ctld(self, queued_cluster):
+        c = queued_cluster
+        before = c.daemons.ctld.total_rpcs
+        Sprio(c).run()
+        assert c.daemons.ctld.total_rpcs == before + 1

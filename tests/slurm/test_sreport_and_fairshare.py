@@ -1,0 +1,130 @@
+"""Tests for the sreport command and the fairshare priority factor."""
+
+import pytest
+
+from repro.slurm import JobState, SchedulerConfig, small_test_cluster
+from repro.slurm.commands import Sreport, parse_sreport
+from tests.conftest import simple_spec
+
+
+class TestClusterUtilization:
+    def test_idle_cluster_reports_zero_allocated(self, cluster):
+        cluster.advance(3600)
+        out = Sreport(cluster).cluster_utilization(start=0)
+        row = parse_sreport(out.stdout)[0]
+        assert row["Allocated"] == "0"
+        assert row["AllocatedPct"] == "0.00%"
+        # 640 cpus x 3600 s
+        assert int(row["Reported"]) == 640 * 3600
+
+    def test_allocated_fraction(self, cluster):
+        # one job: 64 cpus for the whole hour on a 640-cpu cluster = 10%
+        cluster.submit(simple_spec(cpus=64, actual_runtime=3600, time_limit=3600))
+        cluster.advance(3600)
+        row = parse_sreport(Sreport(cluster).cluster_utilization(0, 3600).stdout)[0]
+        assert int(row["Allocated"]) == pytest.approx(64 * 3600, abs=64)
+        assert row["AllocatedPct"] == "10.00%"
+
+    def test_window_clips_job_time(self, cluster):
+        cluster.submit(simple_spec(cpus=64, actual_runtime=7200, time_limit=7200))
+        cluster.advance(7200)
+        # only the second hour
+        row = parse_sreport(
+            Sreport(cluster).cluster_utilization(3600, 7200).stdout
+        )[0]
+        assert int(row["Allocated"]) == pytest.approx(64 * 3600, abs=64)
+
+    def test_down_nodes_charged(self, cluster):
+        cluster.nodes["a001"].set_down("psu")
+        cluster.advance(3600)
+        row = parse_sreport(Sreport(cluster).cluster_utilization(0).stdout)[0]
+        assert int(row["Down"]) == 64 * 3600
+
+    def test_bad_window_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            Sreport(cluster).cluster_utilization(100, 100)
+
+    def test_hits_dbd(self, cluster):
+        before = cluster.daemons.dbd.total_rpcs
+        cluster.advance(10)
+        Sreport(cluster).cluster_utilization(0)
+        assert cluster.daemons.dbd.total_rpcs == before + 1
+
+
+class TestUserTop:
+    def test_ranking(self, cluster):
+        cluster.submit(simple_spec(user="heavy", cpus=32, actual_runtime=3600,
+                                   time_limit=3600))
+        cluster.submit(simple_spec(user="light", cpus=2, actual_runtime=3600,
+                                   time_limit=3600))
+        cluster.advance(3700)
+        rows = parse_sreport(Sreport(cluster).user_top(0).stdout)
+        assert rows[0]["Login"] == "heavy"
+        assert float(rows[0]["CPUHours"]) == pytest.approx(32.0, abs=0.5)
+        assert rows[1]["Login"] == "light"
+
+    def test_top_n(self, cluster):
+        for i in range(5):
+            cluster.submit(simple_spec(user=f"u{i}", cpus=1,
+                                       actual_runtime=600, time_limit=3600))
+        cluster.advance(700)
+        rows = parse_sreport(Sreport(cluster).user_top(0, top=3).stdout)
+        assert len(rows) == 3
+
+
+class TestFairshare:
+    def make_cluster(self):
+        return small_test_cluster(
+            cpu_nodes=1,
+            scheduler=SchedulerConfig(fairshare_weight=200.0, backfill=False),
+        )
+
+    def test_hungry_account_loses_priority(self):
+        c = self.make_cluster()
+        # account "pig" consumes the node for an hour
+        c.submit(simple_spec(account="pig", cpus=64, actual_runtime=3600,
+                             time_limit=3600))
+        c.advance(3600)
+        # node busy again so both contenders queue
+        c.submit(simple_spec(account="pig", cpus=64, actual_runtime=1800,
+                             time_limit=1800))
+        pig = c.submit(simple_spec(account="pig", cpus=64, time_limit=1800,
+                                   actual_runtime=1800))[0]
+        fair = c.submit(simple_spec(account="newbie", cpus=64, time_limit=1800,
+                                    actual_runtime=1800))[0]
+        assert pig.state is JobState.PENDING
+        assert fair.state is JobState.PENDING
+        c.advance(1900)  # blocker ends; one of the two starts
+        assert fair.state is JobState.RUNNING
+        assert pig.state is JobState.PENDING
+
+    def test_fairshare_disabled(self):
+        c = small_test_cluster(
+            cpu_nodes=1,
+            scheduler=SchedulerConfig(fairshare_weight=0.0, backfill=False),
+        )
+        c.submit(simple_spec(account="pig", cpus=64, actual_runtime=3600,
+                             time_limit=3600))
+        c.advance(3600)
+        c.submit(simple_spec(account="pig", cpus=64, actual_runtime=1800,
+                             time_limit=1800))
+        pig = c.submit(simple_spec(account="pig", cpus=64, time_limit=1800,
+                                   actual_runtime=1800))[0]
+        fair = c.submit(simple_spec(account="newbie", cpus=64, time_limit=1800,
+                                    actual_runtime=1800))[0]
+        c.advance(1900)
+        # FIFO by submit order: pig submitted first, so pig starts
+        assert pig.state is JobState.RUNNING
+        assert fair.state is JobState.PENDING
+
+    def test_priority_value_reflects_usage(self):
+        c = self.make_cluster()
+        c.submit(simple_spec(account="pig", cpus=64, actual_runtime=3600,
+                             time_limit=3600))
+        c.advance(3600)
+        c.submit(simple_spec(account="pig", cpus=64, actual_runtime=1800,
+                             time_limit=1800))
+        pig = c.submit(simple_spec(account="pig", cpus=64, time_limit=1800))[0]
+        fair = c.submit(simple_spec(account="newbie", cpus=64, time_limit=1800))[0]
+        c.scheduler.schedule_pass()
+        assert fair.priority > pig.priority

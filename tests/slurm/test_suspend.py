@@ -1,0 +1,90 @@
+"""Tests for job suspend/resume (scontrol suspend semantics)."""
+
+import pytest
+
+from repro.slurm import JobState
+from tests.conftest import simple_spec
+
+
+class TestSuspendResume:
+    def test_suspend_pauses_completion(self, cluster):
+        job = cluster.submit(simple_spec(actual_runtime=600, time_limit=3600))[0]
+        cluster.advance(100)
+        cluster.scheduler.suspend(job.job_id)
+        assert job.state is JobState.SUSPENDED
+        cluster.advance(2000)  # far past the original end time
+        assert job.state is JobState.SUSPENDED
+
+    def test_resume_finishes_after_remaining_runtime(self, cluster):
+        job = cluster.submit(simple_spec(actual_runtime=600, time_limit=3600))[0]
+        cluster.advance(100)  # 500 s of runtime left
+        cluster.scheduler.suspend(job.job_id)
+        cluster.advance(1000)
+        cluster.scheduler.resume_job(job.job_id)
+        assert job.state is JobState.RUNNING
+        cluster.advance(499)
+        assert job.state is JobState.RUNNING
+        cluster.advance(2)
+        assert job.state is JobState.COMPLETED
+        # suspended wall time counts toward elapsed (sacct behaviour)
+        assert job.elapsed(cluster.now()) == pytest.approx(1601, abs=2)
+
+    def test_allocation_held_while_suspended(self, cluster):
+        job = cluster.submit(simple_spec(cpus=8, actual_runtime=600,
+                                         time_limit=3600))[0]
+        node = cluster.nodes[job.nodes[0]]
+        cluster.scheduler.suspend(job.job_id)
+        assert node.alloc.cpus == 8  # gang-scheduling simplification
+
+    def test_final_state_preserved_across_suspend(self, cluster):
+        job = cluster.submit(simple_spec(exit_code=1, actual_runtime=600,
+                                         time_limit=3600))[0]
+        cluster.advance(100)
+        cluster.scheduler.suspend(job.job_id)
+        cluster.advance(50)
+        cluster.scheduler.resume_job(job.job_id)
+        cluster.advance(501)
+        assert job.state is JobState.FAILED
+        assert job.exit_code == 1
+
+    def test_cancel_suspended_job(self, cluster):
+        job = cluster.submit(simple_spec(actual_runtime=600, time_limit=3600))[0]
+        cluster.scheduler.suspend(job.job_id)
+        cluster.scheduler.cancel(job.job_id)
+        assert job.state is JobState.CANCELLED
+        assert cluster.nodes[job.nodes[0] if job.nodes else "a001"].alloc.cpus == 0
+
+    def test_suspend_pending_rejected(self, cluster):
+        job = cluster.submit(simple_spec(), held=True)[0]
+        with pytest.raises(ValueError):
+            cluster.scheduler.suspend(job.job_id)
+
+    def test_resume_running_rejected(self, cluster):
+        job = cluster.submit(simple_spec(actual_runtime=600, time_limit=3600))[0]
+        with pytest.raises(ValueError):
+            cluster.scheduler.resume_job(job.job_id)
+
+    def test_suspended_visible_in_squeue(self, cluster):
+        from repro.slurm.commands import Squeue, parse_squeue
+
+        job = cluster.submit(simple_spec(name="paused", actual_runtime=600,
+                                         time_limit=3600))[0]
+        cluster.scheduler.suspend(job.job_id)
+        rows = parse_squeue(Squeue(cluster).run().stdout)
+        row = next(r for r in rows if r["NAME"] == "paused")
+        assert row["STATE"] == "SUSPENDED"
+
+    def test_dashboard_shows_suspended_label(self, cluster):
+        from repro.auth import Directory, Viewer
+        from repro.core.dashboard import Dashboard
+
+        directory = Directory()
+        directory.add_user("alice")
+        directory.add_account("lab", members=["alice"])
+        dash = Dashboard(cluster, directory)
+        job = cluster.submit(simple_spec(actual_runtime=600, time_limit=3600))[0]
+        cluster.scheduler.suspend(job.job_id)
+        data = dash.call("my_jobs", Viewer(username="alice")).data
+        row = next(j for j in data["jobs"] if j["job_id"] == str(job.job_id))
+        assert row["state_label"] == "Suspended"
+        assert row["state_color"] == "orange"

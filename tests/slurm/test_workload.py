@@ -1,0 +1,113 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.slurm import JobState, small_test_cluster
+from repro.slurm.workload import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    populated_cluster,
+)
+
+
+class TestPopulation:
+    def test_directory_shape(self):
+        gen = WorkloadGenerator(WorkloadConfig(n_users=10, n_accounts=3))
+        d = gen.build_directory()
+        assert len(d.users()) == 10
+        assert len(d.accounts()) == 3
+
+    def test_every_user_has_an_account(self):
+        gen = WorkloadGenerator(WorkloadConfig(n_users=15, n_accounts=4))
+        d = gen.build_directory()
+        for user in d.users():
+            assert d.accounts_of(user.username), user.username
+
+    def test_every_account_has_a_manager(self):
+        d = WorkloadGenerator().build_directory()
+        for acct in d.accounts():
+            assert acct.managers
+
+    def test_associations_carry_limits(self):
+        cfg = WorkloadConfig(grp_cpu_limit=100, grp_gpu_limit=2)
+        gen = WorkloadGenerator(cfg)
+        d = gen.build_directory()
+        assocs = gen.associations(d)
+        assert all(a.grp_tres.cpus == 100 for a in assocs)
+        assert all(a.grp_tres.gpus == 2 for a in assocs)
+
+
+class TestTemplates:
+    @pytest.fixture
+    def setup(self):
+        gen = WorkloadGenerator(WorkloadConfig(seed=1))
+        d = gen.build_directory()
+        c = small_test_cluster()
+        return gen, d, c
+
+    @pytest.mark.parametrize(
+        "template",
+        ["batch_cpu", "mpi", "gpu_train", "interactive", "array", "failing", "timeout", "oom"],
+    )
+    def test_specs_are_valid_and_submittable(self, setup, template):
+        gen, d, c = setup
+        spec = gen.make_spec(template, d, c)
+        jobs = c.submit(spec)
+        assert jobs
+
+    def test_interactive_jobs_are_inefficient(self, setup):
+        """The §4.3 premise: interactive app jobs have low CPU efficiency."""
+        gen, d, c = setup
+        for _ in range(10):
+            spec = gen.make_spec("interactive", d, c)
+            assert spec.actual_cpu_utilization <= 0.20
+            assert spec.interactive is not None
+            assert spec.interactive.app_name in ("jupyter", "rstudio", "matlab", "vscode")
+            assert spec.name.startswith("sys/dashboard/")
+
+    def test_timeout_template_exceeds_limit(self, setup):
+        gen, d, c = setup
+        spec = gen.make_spec("timeout", d, c)
+        assert spec.actual_runtime > spec.time_limit
+
+    def test_oom_template_exceeds_memory(self, setup):
+        gen, d, c = setup
+        spec = gen.make_spec("oom", d, c)
+        assert spec.actual_max_rss_mb > spec.req.mem_mb
+
+    def test_unknown_template_rejected(self, setup):
+        gen, d, c = setup
+        with pytest.raises(ValueError):
+            gen.make_spec("quantum", d, c)
+
+
+class TestRun:
+    def test_determinism(self):
+        a = populated_cluster(seed=9, duration_hours=2.0)
+        b = populated_cluster(seed=9, duration_hours=2.0)
+        ja = [(j.job_id, j.name, j.state.name) for j in a[0].accounting.query()]
+        jb = [(j.job_id, j.name, j.state.name) for j in b[0].accounting.query()]
+        assert ja == jb
+
+    def test_different_seeds_differ(self):
+        a = populated_cluster(seed=1, duration_hours=2.0)[2]
+        b = populated_cluster(seed=2, duration_hours=2.0)[2]
+        assert a.by_template != b.by_template or a.submitted != b.submitted
+
+    def test_produces_all_interesting_states(self):
+        cluster, _, result = populated_cluster(seed=42, duration_hours=6.0)
+        states = {j.state for j in cluster.accounting.query()}
+        assert JobState.COMPLETED in states
+        assert JobState.FAILED in states
+        # live queue has pending/running work (not drained)
+        live = {j.state for j in cluster.scheduler.visible_jobs()}
+        assert JobState.RUNNING in live or JobState.PENDING in live
+
+    def test_drain_empties_queue(self):
+        cluster, _, _ = populated_cluster(seed=5, duration_hours=1.0, drain=True)
+        assert not cluster.scheduler.pending_jobs()
+        assert not cluster.scheduler.running_jobs()
+
+    def test_mix_counts_sum_to_submitted(self):
+        _, _, result = populated_cluster(seed=3, duration_hours=3.0)
+        assert sum(result.by_template.values()) == result.submitted

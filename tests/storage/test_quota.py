@@ -1,0 +1,146 @@
+"""Tests for the storage quota database."""
+
+import pytest
+
+from repro.storage import (
+    GB,
+    TB,
+    DirectoryQuota,
+    FilesystemKind,
+    QuotaDatabase,
+    format_bytes,
+    provision_standard_layout,
+    randomize_usage,
+)
+
+
+def entry(path="/home/alice", owner="alice", **kw):
+    args = dict(
+        path=path,
+        owner=owner,
+        kind=FilesystemKind.ZFS,
+        label="Home",
+        quota_bytes=25 * GB,
+        quota_files=400_000,
+    )
+    args.update(kw)
+    return DirectoryQuota(**args)
+
+
+class TestDirectoryQuota:
+    def test_fractions(self):
+        e = entry(used_bytes=5 * GB, used_files=100_000)
+        assert e.bytes_fraction == pytest.approx(0.2)
+        assert e.files_fraction == pytest.approx(0.25)
+
+    def test_zero_quota_rejected(self):
+        with pytest.raises(ValueError):
+            entry(quota_bytes=0)
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(ValueError):
+            entry(used_bytes=-1)
+        e = entry()
+        with pytest.raises(ValueError):
+            e.set_usage(-1, 0)
+
+    def test_add_usage(self):
+        e = entry(used_bytes=GB, used_files=10)
+        e.add_usage(GB, 5)
+        assert e.used_bytes == 2 * GB and e.used_files == 15
+
+
+class TestQuotaDatabase:
+    def test_add_get(self):
+        db = QuotaDatabase()
+        db.add(entry())
+        assert db.get("/home/alice").owner == "alice"
+
+    def test_duplicate_rejected(self):
+        db = QuotaDatabase()
+        db.add(entry())
+        with pytest.raises(ValueError):
+            db.add(entry())
+
+    def test_unknown_path(self):
+        with pytest.raises(KeyError):
+            QuotaDatabase().get("/nope")
+
+    def test_directories_for_scopes_by_owner(self):
+        db = QuotaDatabase()
+        db.add(entry())
+        db.add(entry(path="/home/bob", owner="bob"))
+        db.add(entry(path="/depot/lab", owner="lab", label="Project"))
+        dirs = db.directories_for(["alice", "lab"])
+        assert [d.path for d in dirs] == ["/home/alice", "/depot/lab"]
+
+    def test_directories_ordered_home_scratch_project(self):
+        db = QuotaDatabase()
+        db.add(entry(path="/depot/lab", owner="alice", label="Project"))
+        db.add(entry(path="/scratch/anvil/alice", label="Scratch"))
+        db.add(entry())
+        labels = [d.label for d in db.directories_for(["alice"])]
+        assert labels == ["Home", "Scratch", "Project"]
+
+    def test_query_count_instrumentation(self):
+        db = QuotaDatabase()
+        db.directories_for(["x"])
+        db.directories_for(["y"])
+        assert db.query_count == 2
+
+
+class TestProvisioning:
+    def test_standard_layout(self):
+        db = QuotaDatabase()
+        provision_standard_layout(db, ["alice", "bob"], ["lab"])
+        paths = {d.path for d in db.all_directories()}
+        assert paths == {
+            "/home/alice",
+            "/home/bob",
+            "/scratch/anvil/alice",
+            "/scratch/anvil/bob",
+            "/depot/lab",
+        }
+        assert db.get("/depot/lab").owner == "lab"
+        assert db.get("/home/alice").kind is FilesystemKind.ZFS
+        assert db.get("/scratch/anvil/alice").kind is FilesystemKind.GPFS
+
+    def test_randomize_usage_within_quota_and_deterministic(self):
+        db1, db2 = QuotaDatabase(), QuotaDatabase()
+        for db in (db1, db2):
+            provision_standard_layout(db, [f"u{i}" for i in range(20)], ["lab"])
+            randomize_usage(db, seed=4)
+        for d in db1.all_directories():
+            assert 0 <= d.used_bytes <= d.quota_bytes
+            assert 0 <= d.used_files <= d.quota_files
+        assert [d.used_bytes for d in db1.all_directories()] == [
+            d.used_bytes for d in db2.all_directories()
+        ]
+
+    def test_randomize_covers_all_color_bands(self):
+        db = QuotaDatabase()
+        provision_standard_layout(db, [f"u{i}" for i in range(30)], ["lab"])
+        randomize_usage(db, seed=0)
+        fracs = [d.bytes_fraction for d in db.all_directories()]
+        assert any(f < 0.7 for f in fracs)
+        assert any(0.7 <= f < 0.9 for f in fracs)
+        assert any(f >= 0.9 for f in fracs)
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (500, "500 B"),
+            (1536, "1.5 KB"),
+            (25 * GB, "25 GB"),
+            (int(1.5 * TB), "1.5 TB"),
+        ],
+    )
+    def test_format(self, n, expected):
+        assert format_bytes(n) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
