@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Chaos day: take slurmctld down and watch the dashboard degrade, not die.
+
+Walks the resilient fetch path (`repro.faults`) end to end:
+
+1. warm every homepage widget, then let the caches go stale;
+2. schedule a 30-minute slurmctld outage window on the sim clock;
+3. inside the window, Slurm-backed widgets serve their stale data with
+   a degraded banner while news/storage widgets stay live; the circuit
+   breaker opens after the retry budget is spent;
+4. after the window plus the breaker's recovery time, the first probe
+   closes the breaker and everything is fresh again;
+5. the cache/breaker counters tell the whole story.
+
+Run:  python examples/chaos_day.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Viewer, build_demo_dashboard
+from repro.faults import FaultPlan
+
+WIDGETS = ("recent_jobs", "system_status", "accounts", "announcements", "storage")
+
+
+def poll(dash, viewer, tag):
+    print(f"\n[{tag}]")
+    for name in WIDGETS:
+        resp = dash.call(name, viewer)
+        if not resp.ok:
+            print(f"  {name:14s} HTTP {resp.status}: {resp.error}")
+        elif resp.degraded:
+            print(f"  {name:14s} 200 degraded (stale_age_s={resp.stale_age_s:.0f})")
+        else:
+            print(f"  {name:14s} 200 fresh")
+
+
+def main() -> int:
+    dash, directory, _ = build_demo_dashboard(seed=11, duration_hours=1.0)
+    viewer = Viewer(username=directory.users()[0].username)
+
+    # 1. warm the caches, then let everything expire
+    poll(dash, viewer, "healthy, cold cache -> warming")
+    longest_ttl = max(dash.ctx.cache_policy.as_dict().values())
+    dash.clock.advance(longest_ttl + 1)
+
+    # 2. a 30-minute slurmctld outage starting in one minute
+    now = dash.clock.now()
+    plan = FaultPlan(seed=11)
+    plan.schedule_outage("slurmctld", start=now + 60, end=now + 60 + 1800)
+    dash.inject_faults(plan)
+    print(f"\nScheduled slurmctld outage "
+          f"{dash.clock.isoformat(now + 60)} — {dash.clock.isoformat(now + 1860)}")
+
+    # 3. inside the window: stale data served degraded, breaker opens
+    dash.clock.advance(120)
+    poll(dash, viewer, "outage: slurm widgets serve stale, degraded")
+    poll(dash, viewer, "outage, second poll: breaker fails fast")
+    print(f"\n  breakers: {dash.ctx.fetcher.breaker_states()}")
+
+    # the homepage renders the same data with degraded banners
+    render = dash.render_homepage(viewer)
+    banners = render.html.count("degraded-banner")
+    print(f"  homepage rendered with {banners} degraded banner(s), "
+          f"degraded widgets: {sorted(render.degraded)}")
+
+    # 4. recovery: outage window ends, breaker cools off, probe closes it
+    dash.clock.advance(1800 + dash.ctx.fetcher.breaker_for("slurmctld").config.recovery_time_s)
+    dash.clock.advance(longest_ttl + 1)  # expire the stale-served entries too
+    poll(dash, viewer, "recovered: half-open probe succeeds, all fresh")
+    print(f"\n  breakers: {dash.ctx.fetcher.breaker_states()}")
+
+    # 5. the counters tell the story
+    stats = dash.ctx.cache.stats
+    print(f"\nCacheStats: stale_served={stats.stale_served} "
+          f"retries={stats.retries} breaker_opens={stats.breaker_opens} "
+          f"evictions={stats.evictions}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,8 +13,10 @@ up to 30–60 min for announcements (changes slowly).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+import heapq
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
 
 from repro.sim.clock import SimClock
 
@@ -43,6 +45,14 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     expirations: int = 0
+    #: expired entries handed out because the backend could not answer
+    stale_served: int = 0
+    #: entries dropped to stay under ``max_entries``
+    evictions: int = 0
+    #: fetch attempts repeated by the resilient fetch path
+    retries: int = 0
+    #: circuit-breaker transitions into the open state
+    breaker_opens: int = 0
 
     @property
     def requests(self) -> int:
@@ -54,7 +64,19 @@ class CacheStats:
 
 
 class TTLCache:
-    """Clock-driven TTL cache with fetch-with-block semantics."""
+    """Clock-driven TTL cache with fetch-with-block semantics.
+
+    Thread-safe: handler threads of the HTTP server share one instance,
+    so every read/write of ``_entries`` happens under a lock.  Compute
+    blocks run *outside* the lock (they can be slow and may reenter the
+    cache); as with ``Rails.cache.fetch``, two threads missing on the
+    same key may both compute — last write wins.
+
+    Eviction keeps an expiry-ordered heap alongside the dict, so the
+    at-capacity write path is O(log n) instead of a full O(n) scan.
+    Heap entries are invalidated lazily: a popped entry is only honoured
+    if the live dict still holds the same (key, expiry) pair.
+    """
 
     def __init__(self, clock: SimClock, default_ttl: float = 60.0, max_entries: int = 10_000):
         if default_ttl <= 0:
@@ -63,6 +85,8 @@ class TTLCache:
         self.default_ttl = default_ttl
         self.max_entries = max_entries
         self._entries: Dict[str, CacheEntry] = {}
+        self._expiry_heap: List[Tuple[float, str]] = []
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     # -- Rails.cache.fetch ---------------------------------------------------
@@ -70,65 +94,123 @@ class TTLCache:
     def fetch(self, key: str, compute: Callable[[], Any], ttl: Optional[float] = None) -> Any:
         """Return the cached value for ``key``; on miss/expiry call
         ``compute``, store its result with ``ttl``, and return it."""
-        now = self.clock.now()
-        entry = self._entries.get(key)
-        if entry is not None:
-            if entry.is_fresh(now):
-                self.stats.hits += 1
-                return entry.value
-            self.stats.expirations += 1
-        self.stats.misses += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if entry.is_fresh(self.clock.now()):
+                    self.stats.hits += 1
+                    return entry.value
+                self.stats.expirations += 1
+            self.stats.misses += 1
         value = compute()
         self.write(key, value, ttl)
         return value
+
+    def fetch_or_stale(
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        ttl: Optional[float] = None,
+        stale_on: Tuple[Type[BaseException], ...] = (Exception,),
+    ) -> Tuple[Any, Optional[float]]:
+        """:meth:`fetch`, but degrade instead of failing when possible.
+
+        Returns ``(value, stale_age_s)``.  ``stale_age_s`` is ``None``
+        for a fresh hit or a successful compute; when ``compute`` raises
+        one of ``stale_on`` and an expired entry survives, that stale
+        value is returned with its age in seconds.  With no fallback
+        entry the exception propagates.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                if entry.is_fresh(self.clock.now()):
+                    self.stats.hits += 1
+                    return entry.value, None
+                self.stats.expirations += 1
+            self.stats.misses += 1
+        try:
+            value = compute()
+        except stale_on:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is None:
+                    raise
+                self.stats.stale_served += 1
+                return entry.value, entry.age(self.clock.now())
+        self.write(key, value, ttl)
+        return value, None
 
     # -- direct access -----------------------------------------------------
 
     def read(self, key: str) -> Any:
         """Fresh value or None (does not count toward hit/miss stats)."""
-        entry = self._entries.get(key)
-        if entry is not None and entry.is_fresh(self.clock.now()):
-            return entry.value
-        return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.is_fresh(self.clock.now()):
+                return entry.value
+            return None
 
     def write(self, key: str, value: Any, ttl: Optional[float] = None) -> None:
         """Store ``value`` under ``key`` with the given (or default) TTL."""
         ttl = self.default_ttl if ttl is None else ttl
         if ttl <= 0:
             raise ValueError(f"ttl must be positive: {ttl}")
-        if len(self._entries) >= self.max_entries and key not in self._entries:
-            self._evict_one()
-        self._entries[key] = CacheEntry(
-            value=value, stored_at=self.clock.now(), ttl=ttl
-        )
+        with self._lock:
+            if len(self._entries) >= self.max_entries and key not in self._entries:
+                self._evict_one()
+            entry = CacheEntry(value=value, stored_at=self.clock.now(), ttl=ttl)
+            self._entries[key] = entry
+            heapq.heappush(self._expiry_heap, (entry.expires_at(), key))
+            # overwrites leave dead heap entries behind; rebuild before
+            # the lazy skip in _evict_one degrades to a linear scan
+            if len(self._expiry_heap) > 4 * max(self.max_entries, 64):
+                self._rebuild_heap()
 
     def delete(self, key: str) -> bool:
         """Remove one key; returns True if it existed."""
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         """Drop every entry."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            self._expiry_heap.clear()
 
     def entry(self, key: str) -> Optional[CacheEntry]:
         """The raw entry (fresh or stale), for staleness instrumentation."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def _rebuild_heap(self) -> None:
+        self._expiry_heap = [
+            (e.expires_at(), k) for k, e in self._entries.items()
+        ]
+        heapq.heapify(self._expiry_heap)
 
     def _evict_one(self) -> None:
         """Evict the entry closest to expiry (cheap stand-in for LRU)."""
-        victim = min(self._entries.items(), key=lambda kv: kv[1].expires_at())
-        del self._entries[victim[0]]
+        while self._expiry_heap:
+            expires_at, key = heapq.heappop(self._expiry_heap)
+            entry = self._entries.get(key)
+            if entry is not None and entry.expires_at() == expires_at:
+                del self._entries[key]
+                self.stats.evictions += 1
+                return
 
     def purge_expired(self) -> int:
         """Drop expired entries; returns how many were removed."""
-        now = self.clock.now()
-        stale = [k for k, e in self._entries.items() if not e.is_fresh(now)]
-        for k in stale:
-            del self._entries[k]
-        return len(stale)
+        with self._lock:
+            now = self.clock.now()
+            stale = [k for k, e in self._entries.items() if not e.is_fresh(now)]
+            for k in stale:
+                del self._entries[k]
+            return len(stale)
 
 
 @dataclass(frozen=True)
@@ -149,10 +231,19 @@ class CachePolicy:
     news: float = 1800.0
     storage: float = 3600.0
     default: float = 60.0
+    #: per-fetch latency budget before the resilient fetch path declares a
+    #: DaemonTimeoutError; generous so only injected slowdowns trip it
+    timeout_default_s: float = 30.0
+    #: per-source timeout overrides, e.g. ``{"squeue": 0.5}``
+    timeouts_s: Mapping[str, float] = field(default_factory=dict)
 
     def ttl_for(self, source: str) -> float:
         """TTL (seconds) for a named data source; unknown sources get the default."""
         return float(getattr(self, source, self.default))
+
+    def timeout_for(self, source: str) -> float:
+        """Latency budget (seconds) for one fetch of a named data source."""
+        return float(self.timeouts_s.get(source, self.timeout_default_s))
 
     def as_dict(self) -> Dict[str, float]:
         """All per-source TTLs as a plain dict (for reporting)."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.auth import Directory, Viewer
+from repro.faults import BreakerConfig, FaultPlan, RetryPolicy
 from repro.news.api import NewsAPI, seed_news
 from repro.slurm.cluster import SlurmCluster
 from repro.slurm.workload import WorkloadConfig, populated_cluster
@@ -41,6 +42,8 @@ class Dashboard:
         news: Optional[NewsAPI] = None,
         cache_policy: Optional[CachePolicy] = None,
         use_server_cache: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
     ):
         if quotas is None:
             quotas = QuotaDatabase()
@@ -61,6 +64,8 @@ class Dashboard:
             news=news,
             cache_policy=cache_policy,
             use_server_cache=use_server_cache,
+            retry=retry,
+            breaker=breaker,
         )
         self.registry = RouteRegistry()
         for route in (*ALL_WIDGET_ROUTES, *ALL_PAGE_ROUTES, EXPORT_ROUTE):
@@ -90,6 +95,14 @@ class Dashboard:
     def render_homepage_shell(self, viewer: Viewer) -> str:
         """Render the instant shell with loading placeholders (§2.3)."""
         return render_homepage_shell(viewer.username).render()
+
+    # -- fault injection -------------------------------------------------------
+
+    def inject_faults(self, plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+        """Install a chaos schedule on the cluster's daemons (``None``
+        removes it).  Returns the plan for chaining."""
+        self.ctx.cluster.daemons.install_faults(plan)
+        return plan
 
     # -- introspection -------------------------------------------------------
 

@@ -64,10 +64,17 @@ def render_homepage(
     """
     slots = []
     failures: Dict[str, str] = {}
+    degraded: Dict[str, float] = {}
     for name in HOMEPAGE_WIDGETS:
         response = registry.call(ctx, name, viewer)
         if response.ok:
-            body = WIDGET_RENDERERS[name](response.data)
+            data = response.data
+            if response.degraded:
+                # serve-stale path: the widget renders its cached payload
+                # under a degraded banner (§2.4 resilience)
+                degraded[name] = response.stale_age_s or 0.0
+                data = {**data, "_degraded": {"stale_age_s": degraded[name]}}
+            body = WIDGET_RENDERERS[name](data)
         else:
             failures[name] = response.error or "unknown error"
             body = el(
@@ -78,15 +85,22 @@ def render_homepage(
             )
         slots.append(el("div", body, cls="widget-slot", data_widget=name))
     page = page_shell("homepage", viewer.username, el("div", *slots, cls="widget-grid"))
-    return HomepageRender(page=page, failures=failures)
+    return HomepageRender(page=page, failures=failures, degraded=degraded)
 
 
 class HomepageRender:
-    """Rendered homepage plus which widgets failed (for instrumentation)."""
+    """Rendered homepage plus which widgets failed or degraded."""
 
-    def __init__(self, page, failures: Dict[str, str]):
+    def __init__(
+        self,
+        page,
+        failures: Dict[str, str],
+        degraded: Dict[str, float] | None = None,
+    ):
         self.page = page
         self.failures = failures
+        #: widget name -> stale age (s) for widgets served from stale cache
+        self.degraded = degraded or {}
 
     @property
     def html(self) -> str:

@@ -5,6 +5,7 @@ from .components import (
     badge,
     card,
     data_table,
+    degraded_banner,
     loading_placeholder,
     node_grid_cell,
     page_shell,
@@ -22,6 +23,7 @@ __all__ = [
     "badge",
     "card",
     "data_table",
+    "degraded_banner",
     "loading_placeholder",
     "node_grid_cell",
     "page_shell",

@@ -219,6 +219,24 @@ def loading_placeholder(component: str) -> Element:
     )
 
 
+def degraded_banner(stale_age_s: float) -> Element:
+    """Degraded-mode notice shown atop a widget that is serving cached
+    data because its backend is unreachable (the serve-stale path)."""
+    if stale_age_s >= 120:
+        age = f"{stale_age_s / 60:.0f} min"
+    else:
+        age = f"{stale_age_s:.0f} s"
+    return el(
+        "div",
+        el("span", "⚠", cls="degraded-icon", aria_hidden="true"),
+        f"Live data unavailable — showing cached data from {age} ago.",
+        cls="degraded-banner alert alert-warning",
+        role="status",
+        aria_live="polite",
+        data_stale_age_s=f"{stale_age_s:.0f}",
+    )
+
+
 def page_shell(title: str, username: str, *content: object) -> Element:
     """The dashboard page chrome: nav bar with the pre-rendered username
     (the one piece of server-side data ERB injects up front, §2.2.1)."""

@@ -18,11 +18,19 @@ structure:
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.auth import Directory, PermissionDenied, PermissionPolicy, Viewer
+from repro.faults import (
+    BreakerConfig,
+    DaemonError,
+    FetchOutcome,
+    ResilientFetcher,
+    RetryPolicy,
+)
 from repro.news.api import Article, NewsAPI
 from repro.ood import AppRegistry, LogStore, SessionManager
 from repro.slurm.cluster import SlurmCluster
@@ -72,15 +80,43 @@ class RouteResponse:
     status: int = 200
     route: str = ""
     elapsed_ms: float = 0.0
+    #: True when any data source behind this response was served from an
+    #: expired cache entry because its backend could not answer (§2.4
+    #: resilience) — or, on a 503, when the backend is known to be down
+    degraded: bool = False
+    #: age (s) of the oldest stale entry that fed this response
+    stale_age_s: Optional[float] = None
 
     def to_json(self) -> Dict[str, Any]:
         """The JSON envelope sent over HTTP."""
         out: Dict[str, Any] = {"ok": self.ok, "route": self.route, "status": self.status}
+        out["degraded"] = self.degraded
+        if self.stale_age_s is not None:
+            out["stale_age_s"] = round(self.stale_age_s, 3)
         if self.ok:
             out["data"] = self.data
         else:
             out["error"] = self.error
         return out
+
+
+@dataclass
+class FetchScope:
+    """Per-request record of degraded fetches, filled in by
+    :meth:`DashboardContext._cached` while a route handler runs."""
+
+    degraded: bool = False
+    stale_age_s: Optional[float] = None
+    sources: List[str] = field(default_factory=list)
+
+    def note(self, outcome: FetchOutcome) -> None:
+        if not outcome.degraded:
+            return
+        self.degraded = True
+        self.sources.append(outcome.source)
+        if outcome.stale_age_s is not None:
+            if self.stale_age_s is None or outcome.stale_age_s > self.stale_age_s:
+                self.stale_age_s = outcome.stale_age_s
 
 
 class RouteRegistry:
@@ -143,6 +179,7 @@ class RouteRegistry:
                 ok=False, error=f"unknown route {name!r}", status=404, route=name
             )
         t0 = time.perf_counter()
+        scope = ctx.begin_fetch_scope()
         try:
             data = route.handler(ctx, viewer, params)
             return RouteResponse(
@@ -150,11 +187,21 @@ class RouteRegistry:
                 data=data,
                 route=name,
                 elapsed_ms=(time.perf_counter() - t0) * 1000,
+                degraded=scope.degraded,
+                stale_age_s=scope.stale_age_s,
             )
         except PermissionDenied as exc:
             return RouteResponse(
                 ok=False, error=str(exc), status=403, route=name,
                 elapsed_ms=(time.perf_counter() - t0) * 1000,
+            )
+        except DaemonError as exc:
+            # backend down, retries exhausted, nothing stale to serve —
+            # a structured 503, never a traceback (§2.4 resilience)
+            return RouteResponse(
+                ok=False, error=str(exc), status=503, route=name,
+                elapsed_ms=(time.perf_counter() - t0) * 1000,
+                degraded=True,
             )
         except KeyError as exc:
             return RouteResponse(
@@ -169,6 +216,8 @@ class RouteRegistry:
                 route=name,
                 elapsed_ms=(time.perf_counter() - t0) * 1000,
             )
+        finally:
+            ctx.end_fetch_scope()
 
 
 class DashboardContext:
@@ -187,6 +236,9 @@ class DashboardContext:
         news: NewsAPI,
         cache_policy: Optional[CachePolicy] = None,
         use_server_cache: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
+        resilience_seed: int = 0,
     ):
         self.cluster = cluster
         self.directory = directory
@@ -196,6 +248,15 @@ class DashboardContext:
         self.cache_policy = cache_policy or CachePolicy()
         self.use_server_cache = use_server_cache
         self.cache = TTLCache(cluster.clock, default_ttl=self.cache_policy.default)
+        self.fetcher = ResilientFetcher(
+            cache=self.cache,
+            daemons=cluster.daemons,
+            policy=self.cache_policy,
+            retry=retry,
+            breaker=breaker,
+            seed=resilience_seed,
+        )
+        self._scope_local = threading.local()
         self.sessions = SessionManager(cluster)
         self.apps = AppRegistry()
         self.logs = LogStore()
@@ -212,14 +273,35 @@ class DashboardContext:
         """Current simulated time (seconds since the epoch)."""
         return self.cluster.clock.now()
 
+    # -- fetch scopes (per-request degradation tracking) ----------------------
+
+    def _scope_stack(self) -> List[FetchScope]:
+        stack = getattr(self._scope_local, "stack", None)
+        if stack is None:
+            stack = self._scope_local.stack = []
+        return stack
+
+    def begin_fetch_scope(self) -> FetchScope:
+        """Open a per-request scope that collects degraded-fetch flags;
+        the route dispatcher copies them into the response envelope."""
+        scope = FetchScope()
+        self._scope_stack().append(scope)
+        return scope
+
+    def end_fetch_scope(self) -> Optional[FetchScope]:
+        """Close the innermost fetch scope (no-op when none is open)."""
+        stack = self._scope_stack()
+        return stack.pop() if stack else None
+
     # -- cache plumbing ------------------------------------------------------
 
     def _cached(self, source: str, key: str, compute: Callable[[], Any]) -> Any:
         if not self.use_server_cache:
             return compute()
-        return self.cache.fetch(
-            f"{source}:{key}", compute, ttl=self.cache_policy.ttl_for(source)
-        )
+        outcome = self.fetcher.fetch(source, key, compute)
+        for scope in self._scope_stack():
+            scope.note(outcome)
+        return outcome.value
 
     # -- Slurm data (commands -> text -> parse -> records) --------------------
 

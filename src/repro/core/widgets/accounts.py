@@ -14,8 +14,14 @@ from repro.auth import Viewer
 from repro.slurm.model import JobState, TRES
 
 from ..colors import utilization_color
-from ..rendering import el, progress_bar
+from ..rendering import degraded_banner, el, progress_bar
 from ..routes import ApiRoute, DashboardContext
+
+
+def _banner(data):
+    """Degraded-mode banner when this widget is serving stale data."""
+    info = data.get("_degraded")
+    return degraded_banner(info["stale_age_s"]) if info else None
 
 
 def accounts_data(
@@ -121,6 +127,7 @@ def render_accounts(data: Dict[str, Any]):
             el("a", "Accounting guide", href=data["user_guide_url"], cls="widget-link"),
             cls="widget-header",
         ),
+        _banner(data),
         *rows,
         cls="widget widget-accounts",
         aria_label="Allocation usage",

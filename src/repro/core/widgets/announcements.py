@@ -13,8 +13,14 @@ from typing import Any, Dict
 from repro.auth import Viewer
 
 from ..colors import announcement_color, announcement_style
-from ..rendering import accordion, el
+from ..rendering import accordion, degraded_banner, el
 from ..routes import ApiRoute, DashboardContext
+
+
+def _banner(data):
+    """Degraded-mode banner when this widget is serving stale data."""
+    info = data.get("_degraded")
+    return degraded_banner(info["stale_age_s"]) if info else None
 
 
 def announcements_data(
@@ -73,6 +79,7 @@ def render_announcements(data: Dict[str, Any]):
             el("a", "View all news", href=data["all_news_url"], cls="widget-link"),
             cls="widget-header",
         ),
+        _banner(data),
         accordion(items),
         cls="widget widget-announcements",
         aria_label="Cluster announcements",

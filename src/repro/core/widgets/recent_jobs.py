@@ -16,8 +16,14 @@ from repro.slurm import reasons as R
 from repro.slurm.model import JobState
 
 from ..colors import job_state_color, job_state_label
-from ..rendering import badge, el, tooltip_span
+from ..rendering import badge, degraded_banner, el, tooltip_span
 from ..routes import ApiRoute, DashboardContext
+
+
+def _banner(data):
+    """Degraded-mode banner when this widget is serving stale data."""
+    info = data.get("_degraded")
+    return degraded_banner(info["stale_age_s"]) if info else None
 
 
 def recent_jobs_data(
@@ -99,6 +105,7 @@ def render_recent_jobs(data: Dict[str, Any]):
             el("a", "All jobs", href=data["all_jobs_url"], cls="widget-link"),
             cls="widget-header",
         ),
+        _banner(data),
         el("div", *cards, cls="job-card-list"),
         cls="widget widget-recent-jobs",
         aria_label="Recent jobs",

@@ -14,8 +14,14 @@ from repro.ood import files_app_url
 from repro.storage.quota import format_bytes
 
 from ..colors import utilization_color
-from ..rendering import el, progress_bar
+from ..rendering import degraded_banner, el, progress_bar
 from ..routes import ApiRoute, DashboardContext
+
+
+def _banner(data):
+    """Degraded-mode banner when this widget is serving stale data."""
+    info = data.get("_degraded")
+    return degraded_banner(info["stale_age_s"]) if info else None
 
 
 def storage_data(
@@ -77,6 +83,7 @@ def render_storage(data: Dict[str, Any]):
     return el(
         "section",
         el("header", el("h4", "Storage"), cls="widget-header"),
+        _banner(data),
         *rows,
         cls="widget widget-storage",
         aria_label="Storage usage",

@@ -12,8 +12,14 @@ from typing import Any, Dict
 from repro.auth import Viewer
 
 from ..colors import utilization_color
-from ..rendering import el, progress_bar
+from ..rendering import degraded_banner, el, progress_bar
 from ..routes import ApiRoute, DashboardContext
+
+
+def _banner(data):
+    """Degraded-mode banner when this widget is serving stale data."""
+    info = data.get("_degraded")
+    return degraded_banner(info["stale_age_s"]) if info else None
 
 
 def system_status_data(
@@ -90,6 +96,7 @@ def render_system_status(data: Dict[str, Any]):
             el("a", "Partition details", href=data["details_url"], cls="widget-link"),
             cls="widget-header",
         ),
+        _banner(data),
         *rows,
         cls="widget widget-system-status",
         aria_label="System status",

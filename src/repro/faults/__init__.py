@@ -1,0 +1,43 @@
+"""Fault injection + resilience: keep the dashboard useful when the
+cluster's daemons are not.
+
+:class:`FaultPlan` schedules outages, brownouts, and flaky windows
+against the simulated backends; :class:`ResilientFetcher` gives the
+dashboard's fetch path timeouts, retries, circuit breakers, and
+serve-stale fallback so injected chaos degrades responses instead of
+crashing them.
+"""
+
+from .errors import (
+    CircuitOpenError,
+    DaemonError,
+    DaemonTimeoutError,
+    DaemonUnavailableError,
+    SourceUnavailableError,
+)
+from .plan import ANY_SERVICE, FaultPlan, FaultWindow
+from .resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    FetchOutcome,
+    ResilientFetcher,
+    RetryPolicy,
+    service_for_source,
+)
+
+__all__ = [
+    "ANY_SERVICE",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DaemonError",
+    "DaemonTimeoutError",
+    "DaemonUnavailableError",
+    "FaultPlan",
+    "FaultWindow",
+    "FetchOutcome",
+    "ResilientFetcher",
+    "RetryPolicy",
+    "SourceUnavailableError",
+    "service_for_source",
+]

@@ -1,0 +1,183 @@
+"""Scheduled fault injection against the simulated backends.
+
+A :class:`FaultPlan` is a declarative chaos schedule on the sim clock:
+hard outage windows, added latency ("brownouts"), and intermittent
+error rates, each targeting one service by name ("slurmctld",
+"slurmdbd", "news", "storage") or every service (``"*"``).  The daemon
+load model consults the plan on every RPC; the resilient fetch path
+consults it for non-daemon services.  All randomness comes from seeded
+:class:`~repro.sim.rng.RandomStreams`, so a chaos run replays exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.rng import RandomStreams
+
+from .errors import DaemonUnavailableError
+
+#: matches every service name
+ANY_SERVICE = "*"
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One scheduled fault: a half-open interval ``[start, end)`` of
+    simulated time during which a service misbehaves.
+
+    ``kind`` selects the misbehaviour:
+
+    * ``"outage"`` — every request raises :class:`DaemonUnavailableError`;
+    * ``"slow"``   — every RPC gains ``extra_latency_s`` of latency;
+    * ``"flaky"``  — each request fails with probability ``error_rate``.
+    """
+
+    service: str
+    start: float
+    end: float = math.inf
+    kind: str = "outage"
+    extra_latency_s: float = 0.0
+    error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("outage", "slow", "flaky"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.end < self.start:
+            raise ValueError(f"fault window ends before it starts: {self}")
+        if self.kind == "flaky" and not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1]: {self.error_rate}")
+        if self.kind == "slow" and self.extra_latency_s < 0:
+            raise ValueError(f"negative extra latency: {self.extra_latency_s}")
+
+    def active(self, now: float) -> bool:
+        """True while ``now`` falls inside the window."""
+        return self.start <= now < self.end
+
+    def targets(self, service: str) -> bool:
+        """True if this window applies to ``service``."""
+        return self.service == ANY_SERVICE or self.service == service
+
+
+@dataclass
+class FaultPlan:
+    """A mutable schedule of :class:`FaultWindow` entries plus the seeded
+    randomness used to decide intermittent failures deterministically."""
+
+    seed: int = 0
+    windows: List[FaultWindow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = RandomStreams(seed=self.seed)
+        self._lock = threading.Lock()
+
+    # -- authoring ----------------------------------------------------------
+
+    def add(self, window: FaultWindow) -> FaultWindow:
+        """Append one window to the schedule."""
+        with self._lock:
+            self.windows.append(window)
+        return window
+
+    def schedule_outage(
+        self, service: str, start: float, end: float = math.inf
+    ) -> FaultWindow:
+        """Hard outage for ``service`` during ``[start, end)``."""
+        return self.add(FaultWindow(service=service, start=start, end=end))
+
+    def schedule_slowdown(
+        self,
+        service: str,
+        extra_latency_s: float,
+        start: float = 0.0,
+        end: float = math.inf,
+    ) -> FaultWindow:
+        """Brownout: every RPC gains ``extra_latency_s`` during the window."""
+        return self.add(
+            FaultWindow(
+                service=service,
+                start=start,
+                end=end,
+                kind="slow",
+                extra_latency_s=extra_latency_s,
+            )
+        )
+
+    def schedule_flakiness(
+        self,
+        service: str,
+        error_rate: float,
+        start: float = 0.0,
+        end: float = math.inf,
+    ) -> FaultWindow:
+        """Intermittent errors: each request fails with ``error_rate``."""
+        return self.add(
+            FaultWindow(
+                service=service,
+                start=start,
+                end=end,
+                kind="flaky",
+                error_rate=error_rate,
+            )
+        )
+
+    def clear(self) -> None:
+        """Drop every scheduled window (chaos day is over)."""
+        with self._lock:
+            self.windows.clear()
+
+    # -- consultation (hot path) --------------------------------------------
+
+    def _active_for(self, service: str, now: float) -> List[FaultWindow]:
+        with self._lock:
+            return [
+                w for w in self.windows if w.targets(service) and w.active(now)
+            ]
+
+    def check(self, service: str, now: float) -> None:
+        """Raise :class:`DaemonUnavailableError` if ``service`` should fail
+        a request arriving at ``now`` (outage window, or a losing draw
+        against an active error rate)."""
+        for window in self._active_for(service, now):
+            if window.kind == "outage":
+                raise DaemonUnavailableError(service, reason="scheduled outage")
+            if window.kind == "flaky":
+                draw = float(self._rng.stream(f"flaky:{service}").random())
+                if draw < window.error_rate:
+                    raise DaemonUnavailableError(
+                        service, reason=f"intermittent error (p={window.error_rate})"
+                    )
+
+    def extra_latency(self, service: str, now: float) -> float:
+        """Total injected latency (seconds) for a request at ``now``."""
+        return sum(
+            w.extra_latency_s
+            for w in self._active_for(service, now)
+            if w.kind == "slow"
+        )
+
+    def outage_active(self, service: str, now: float) -> bool:
+        """True if a hard outage window covers ``service`` at ``now``."""
+        return any(
+            w.kind == "outage" for w in self._active_for(service, now)
+        )
+
+    def next_recovery(self, service: str, now: float) -> Optional[float]:
+        """End time of the last active outage window, or None if healthy."""
+        ends = [
+            w.end
+            for w in self._active_for(service, now)
+            if w.kind == "outage"
+        ]
+        return max(ends) if ends else None
+
+    def snapshot(self) -> Dict[str, int]:
+        """Window counts by kind (for instrumentation)."""
+        with self._lock:
+            out: Dict[str, int] = {}
+            for w in self.windows:
+                out[w.kind] = out.get(w.kind, 0) + 1
+            return out

@@ -1,0 +1,326 @@
+"""The resilient fetch path: retry, circuit breaker, serve-stale.
+
+The paper's caching tier assumes the daemons answer; this module makes
+the dashboard survive when they do not.  :class:`ResilientFetcher`
+wraps every data-source fetch with:
+
+1. a per-source timeout (from :class:`~repro.core.caching.CachePolicy`),
+   measured against the daemon load model's simulated RPC latency;
+2. bounded retries with exponential backoff and deterministic jitter
+   (seeded via :class:`~repro.sim.rng.RandomStreams`);
+3. a per-daemon circuit breaker (closed → open → half-open) that fails
+   fast during an outage instead of hammering a struggling daemon;
+4. serve-stale fallback: when every attempt fails, the TTL cache's
+   expired entry is returned and the response is flagged degraded.
+
+Only :class:`~repro.faults.errors.DaemonError` failures are retried or
+served stale — application errors (bad job id, permission denied)
+propagate untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from repro.sim.clock import SimClock
+from repro.sim.rng import RandomStreams
+
+from .errors import (
+    CircuitOpenError,
+    DaemonError,
+    DaemonTimeoutError,
+    SourceUnavailableError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.caching import CachePolicy, TTLCache
+    from repro.slurm.daemon import DaemonBus
+
+#: which backend service serves each cached data source; sources not
+#: listed here are their own service (news, storage, ...)
+SOURCE_SERVICES: Dict[str, str] = {
+    "squeue": "slurmctld",
+    "sinfo": "slurmctld",
+    "scontrol_node": "slurmctld",
+    "scontrol_job": "slurmctld",
+    "scontrol_assoc": "slurmctld",
+    "sacct": "slurmdbd",
+    "sreport": "slurmdbd",
+    "sshare": "slurmdbd",
+}
+
+#: the services the daemon bus injects faults for itself; the fetcher
+#: consults the plan directly for everything else
+DAEMON_SERVICES = frozenset({"slurmctld", "slurmdbd"})
+
+
+def service_for_source(source: str) -> str:
+    """The backend service a cached data source depends on."""
+    return SOURCE_SERVICES.get(source, source)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    The jittered delay for attempt ``i`` (0-based, counting failures) is
+
+        min(base * multiplier**i, max_delay) * (1 ± jitter)
+
+    with the ± drawn from a named :class:`RandomStreams` stream, so the
+    schedule replays exactly for a given seed.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.5
+    multiplier: float = 2.0
+    max_delay_s: float = 10.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {self.jitter}")
+
+    def delay(self, attempt: int, rng) -> float:
+        """Jittered delay (seconds) before retry number ``attempt``."""
+        raw = min(
+            self.base_delay_s * self.multiplier**attempt, self.max_delay_s
+        )
+        if self.jitter == 0.0:
+            return raw
+        spread = 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return raw * spread
+
+    def schedule(self, rng) -> List[float]:
+        """The whole backoff schedule: one delay per retry."""
+        return [self.delay(i, rng) for i in range(self.max_attempts - 1)]
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning for one per-daemon circuit breaker."""
+
+    failure_threshold: int = 5  # consecutive failures that open the circuit
+    recovery_time_s: float = 60.0  # open -> half-open after this long
+    half_open_successes: int = 1  # probes needed to close again
+
+
+class CircuitBreaker:
+    """Classic three-state circuit breaker on the sim clock.
+
+    * **closed** — requests flow; consecutive failures are counted.
+    * **open** — requests are refused instantly (:class:`CircuitOpenError`)
+      until ``recovery_time_s`` has passed.
+    * **half-open** — a limited number of probe requests are let through;
+      success closes the circuit, failure reopens it.
+    """
+
+    def __init__(self, daemon: str, clock: SimClock, config: Optional[BreakerConfig] = None):
+        self.daemon = daemon
+        self.clock = clock
+        self.config = config or BreakerConfig()
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._half_open_successes = 0
+        self.opens = 0  # lifetime count of closed/half-open -> open
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open → half-open if time has passed."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == "open"
+            and self.clock.now() - self._opened_at >= self.config.recovery_time_s
+        ):
+            self._state = "half_open"
+            self._half_open_successes = 0
+        return self._state
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a request may proceed."""
+        with self._lock:
+            if self._state_locked() == "open":
+                remaining = self.config.recovery_time_s - (
+                    self.clock.now() - self._opened_at
+                )
+                raise CircuitOpenError(self.daemon, retry_after_s=max(0.0, remaining))
+
+    def record_success(self) -> None:
+        """Note a successful request (closes a half-open circuit)."""
+        with self._lock:
+            state = self._state_locked()
+            self._consecutive_failures = 0
+            if state == "half_open":
+                self._half_open_successes += 1
+                if self._half_open_successes >= self.config.half_open_successes:
+                    self._state = "closed"
+
+    def record_failure(self) -> bool:
+        """Note a failed request; returns True if this opened the circuit."""
+        with self._lock:
+            state = self._state_locked()
+            self._consecutive_failures += 1
+            if state == "half_open" or (
+                state == "closed"
+                and self._consecutive_failures >= self.config.failure_threshold
+            ):
+                self._state = "open"
+                self._opened_at = self.clock.now()
+                self.opens += 1
+                return True
+            return False
+
+
+@dataclass
+class FetchOutcome:
+    """What one resilient fetch produced, for the response envelope."""
+
+    value: Any
+    source: str
+    degraded: bool = False
+    stale_age_s: Optional[float] = None
+    attempts: int = 1
+    error: Optional[str] = None
+
+
+class ResilientFetcher:
+    """Retry + breaker + serve-stale policy over one TTL cache.
+
+    One instance per :class:`~repro.core.routes.DashboardContext`; it is
+    thread-safe and shared by every HTTP handler thread.
+    """
+
+    def __init__(
+        self,
+        cache: "TTLCache",
+        daemons: "DaemonBus",
+        policy: "CachePolicy",
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerConfig] = None,
+        seed: int = 0,
+    ):
+        self.cache = cache
+        self.daemons = daemons
+        self.policy = policy
+        self.retry = retry or RetryPolicy()
+        self.breaker_config = breaker or BreakerConfig()
+        self.rng = RandomStreams(seed=seed)
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        #: every backoff delay slept this run, in order (determinism tests)
+        self.backoff_log: List[float] = []
+        #: hook invoked with each backoff delay; default is a no-op because
+        #: request handling does not advance simulated time
+        self.sleep: Callable[[float], None] = lambda _s: None
+
+    # -- breakers -----------------------------------------------------------
+
+    def breaker_for(self, service: str) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding ``service``."""
+        with self._breaker_lock:
+            breaker = self._breakers.get(service)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    service, self.cache.clock, self.breaker_config
+                )
+                self._breakers[service] = breaker
+            return breaker
+
+    def breaker_states(self) -> Dict[str, str]:
+        """Current state of every instantiated breaker (for /healthz)."""
+        with self._breaker_lock:
+            breakers = list(self._breakers.values())
+        return {b.daemon: b.state for b in breakers}
+
+    # -- the fetch path -----------------------------------------------------
+
+    def fetch(self, source: str, key: str, compute: Callable[[], Any]) -> FetchOutcome:
+        """Fetch ``source:key`` through the cache with full resilience.
+
+        Fresh cache hits short-circuit everything.  On miss, ``compute``
+        runs under the retry/breaker/timeout policy; if every attempt
+        fails with a :class:`DaemonError` and an expired entry exists,
+        that stale value is served and the outcome flagged degraded.
+        With no stale copy, :class:`SourceUnavailableError` propagates.
+        """
+        service = service_for_source(source)
+        full_key = f"{source}:{key}"
+        ttl = self.policy.ttl_for(source)
+        attempts = {"n": 0}
+
+        def resilient_compute() -> Any:
+            return self._compute_with_retry(source, service, compute, attempts)
+
+        try:
+            value, stale_age = self.cache.fetch_or_stale(
+                full_key, resilient_compute, ttl=ttl, stale_on=(DaemonError,)
+            )
+        except DaemonError as exc:
+            raise SourceUnavailableError(source, service, exc) from exc
+        if stale_age is None:
+            return FetchOutcome(
+                value=value, source=source, attempts=max(1, attempts["n"])
+            )
+        return FetchOutcome(
+            value=value,
+            source=source,
+            degraded=True,
+            stale_age_s=stale_age,
+            attempts=max(1, attempts["n"]),
+            error=attempts.get("error"),
+        )
+
+    def _compute_with_retry(
+        self,
+        source: str,
+        service: str,
+        compute: Callable[[], Any],
+        attempts: Dict[str, Any],
+    ) -> Any:
+        breaker = self.breaker_for(service)
+        timeout_s = self.policy.timeout_for(source)
+        plan = getattr(self.daemons, "faults", None)
+        rng = self.rng.stream(f"backoff:{service}")
+        last_exc: Optional[DaemonError] = None
+        for attempt in range(self.retry.max_attempts):
+            attempts["n"] = attempt + 1
+            try:
+                breaker.check()
+                # daemon-backed sources are injected in the daemon layer;
+                # external services (news, storage) consult the plan here
+                if plan is not None and service not in DAEMON_SERVICES:
+                    plan.check(service, self.cache.clock.now())
+                with self.daemons.measure() as probe:
+                    value = compute()
+                if probe.max_latency_s > timeout_s:
+                    raise DaemonTimeoutError(
+                        service, probe.max_latency_s, timeout_s
+                    )
+            except CircuitOpenError as exc:
+                # fast-fail: no RPC happened, nothing to count or retry
+                attempts["error"] = str(exc)
+                raise
+            except DaemonError as exc:
+                last_exc = exc
+                attempts["error"] = str(exc)
+                if breaker.record_failure():
+                    self.cache.stats.breaker_opens += 1
+                if attempt + 1 < self.retry.max_attempts:
+                    delay = self.retry.delay(attempt, rng)
+                    self.backoff_log.append(delay)
+                    self.cache.stats.retries += 1
+                    self.sleep(delay)
+                continue
+            breaker.record_success()
+            return value
+        assert last_exc is not None
+        raise last_exc

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List
 
+from repro.faults.errors import DaemonError
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.slurm.cluster import SlurmCluster
 
@@ -48,7 +50,13 @@ class SlurmCommand:
         self.cluster = cluster
 
     def _finish(self, stdout: str, kind: str = "") -> CommandResult:
-        latency = self.cluster.daemons.record(self.command, kind or self.command)
+        try:
+            latency = self.cluster.daemons.record(self.command, kind or self.command)
+        except DaemonError as exc:
+            # the real tool prints e.g. "slurm_load_jobs error: Unable to
+            # contact slurm controller" — keep the failing binary visible
+            exc.command = self.command
+            raise
         return CommandResult(stdout=stdout, latency_s=latency, command=self.command)
 
 

@@ -24,11 +24,16 @@ a queueing-theory paper.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict, deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Deque, Dict, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass
@@ -50,18 +55,37 @@ class DaemonLoadModel:
         self.clock = clock
         self._events: Deque[Tuple[float, str]] = deque()
         self.total_rpcs = 0
+        self.failed_rpcs = 0
         self.rpcs_by_kind: Dict[str, int] = defaultdict(int)
         self._latency_sum = 0.0
+        #: chaos schedule consulted on every RPC (None = healthy daemon)
+        self.faults: Optional["FaultPlan"] = None
 
     # -- recording ----------------------------------------------------------
 
     def record_rpc(self, kind: str) -> float:
-        """Record one RPC of ``kind``; returns its simulated latency (s)."""
+        """Record one RPC of ``kind``; returns its simulated latency (s).
+
+        When a :class:`~repro.faults.plan.FaultPlan` is installed, the
+        RPC may instead raise
+        :class:`~repro.faults.errors.DaemonUnavailableError` (outage or
+        flaky window), and active slowdown windows inflate the returned
+        latency.  A refused connection never lands on the daemon, so it
+        is counted separately and does not load the rate window.
+        """
         now = self.clock.now()
+        if self.faults is not None:
+            try:
+                self.faults.check(self.config.name, now)
+            except Exception:
+                self.failed_rpcs += 1
+                raise
         self._events.append((now, kind))
         self.total_rpcs += 1
         self.rpcs_by_kind[kind] += 1
         latency = self.latency_at(now)
+        if self.faults is not None:
+            latency += self.faults.extra_latency(self.config.name, now)
         self._latency_sum += latency
         return latency
 
@@ -101,6 +125,7 @@ class DaemonLoadModel:
         return {
             "daemon": self.config.name,
             "total_rpcs": self.total_rpcs,
+            "failed_rpcs": self.failed_rpcs,
             "recent_rate_rps": round(self.recent_rate(now), 4),
             "current_latency_s": round(self.latency_at(now), 6),
             "mean_latency_s": round(self.mean_latency, 6),
@@ -110,9 +135,27 @@ class DaemonLoadModel:
     def reset_counters(self) -> None:
         """Zero the RPC counters and the sliding window."""
         self.total_rpcs = 0
+        self.failed_rpcs = 0
         self.rpcs_by_kind.clear()
         self._latency_sum = 0.0
         self._events.clear()
+
+
+class LatencyProbe:
+    """Observes the RPC latencies issued while a probe is active, so the
+    fetch path can enforce a per-source timeout on whatever the compute
+    block did (one RPC or several)."""
+
+    __slots__ = ("max_latency_s", "rpcs")
+
+    def __init__(self) -> None:
+        self.max_latency_s = 0.0
+        self.rpcs = 0
+
+    def observe(self, latency_s: float) -> None:
+        self.rpcs += 1
+        if latency_s > self.max_latency_s:
+            self.max_latency_s = latency_s
 
 
 class DaemonBus:
@@ -132,6 +175,37 @@ class DaemonBus:
             dbd or DaemonConfig(name="slurmdbd", base_latency_s=0.050, capacity_rps=200.0),
             clock,
         )
+        self.faults: Optional["FaultPlan"] = None
+        self._probe_local = threading.local()
+
+    # -- fault injection ------------------------------------------------------
+
+    def install_faults(self, plan: Optional["FaultPlan"]) -> None:
+        """Install (or with ``None`` remove) a chaos schedule on both
+        daemons.  Every subsequent RPC consults the plan."""
+        self.faults = plan
+        self.ctld.faults = plan
+        self.dbd.faults = plan
+
+    # -- latency probing ------------------------------------------------------
+
+    def _probe_stack(self) -> List[LatencyProbe]:
+        stack = getattr(self._probe_local, "stack", None)
+        if stack is None:
+            stack = self._probe_local.stack = []
+        return stack
+
+    @contextmanager
+    def measure(self) -> Iterator[LatencyProbe]:
+        """Context manager: observe every RPC latency this *thread* records
+        while the block runs (the fetch path's timeout instrument)."""
+        probe = LatencyProbe()
+        stack = self._probe_stack()
+        stack.append(probe)
+        try:
+            yield probe
+        finally:
+            stack.remove(probe)
 
     def model_for(self, command: str) -> DaemonLoadModel:
         """The daemon model that serves a given command."""
@@ -143,7 +217,10 @@ class DaemonBus:
 
     def record(self, command: str, kind: str = "") -> float:
         """Record an RPC for ``command``; returns simulated latency."""
-        return self.model_for(command).record_rpc(kind or command)
+        latency = self.model_for(command).record_rpc(kind or command)
+        for probe in self._probe_stack():
+            probe.observe(latency)
+        return latency
 
     def snapshot(self) -> dict:
         """Snapshots of both daemons, keyed by daemon name."""

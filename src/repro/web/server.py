@@ -15,6 +15,7 @@ fetches.
 from __future__ import annotations
 
 import json
+import math
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -31,7 +32,12 @@ from repro.core.dashboard import Dashboard
 
 
 def coerce_params(pairs) -> Dict[str, Any]:
-    """Type query-string values: ints, floats, booleans, else strings."""
+    """Type query-string values: ints, finite floats, booleans, else strings.
+
+    Values like ``nan``, ``inf`` or ``1e309`` *parse* as floats but must
+    stay strings: a NaN/Infinity that reaches a response payload makes
+    ``json.dumps`` emit literals no JSON parser accepts.
+    """
     out: Dict[str, Any] = {}
     for key, value in pairs:
         if value.lower() in ("true", "false"):
@@ -43,8 +49,10 @@ def coerce_params(pairs) -> Dict[str, Any]:
         except ValueError:
             pass
         try:
-            out[key] = float(value)
-            continue
+            number = float(value)
+            if math.isfinite(number):
+                out[key] = number
+                continue
         except ValueError:
             pass
         out[key] = value
@@ -65,12 +73,35 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(fmt, *args)
 
     def do_GET(self) -> None:  # noqa: N802
+        try:
+            self._handle_get()
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+        except Exception as exc:  # noqa: BLE001 - no traceback ever escapes
+            try:
+                self._send(
+                    500,
+                    {"ok": False, "error": f"{type(exc).__name__}: {exc}"},
+                )
+            except OSError:  # headers already sent / socket gone
+                pass
+
+    def _handle_get(self) -> None:
         parsed = urlparse(self.path)
         params = coerce_params(parse_qsl(parsed.query))
         username = self.headers.get("X-Remote-User")
 
         if parsed.path == "/healthz":
-            self._send(200, {"ok": True, "service": "repro-dashboard"})
+            self._send(
+                200,
+                {
+                    "ok": True,
+                    "service": "repro-dashboard",
+                    # circuit-breaker states per backend, for operators
+                    # watching a degraded cluster recover
+                    "breakers": self.dashboard.ctx.fetcher.breaker_states(),
+                },
+            )
             return
         if username is None:
             self._send(401, {"ok": False, "error": "missing X-Remote-User header"})

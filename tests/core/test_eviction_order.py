@@ -1,0 +1,109 @@
+"""Eviction order for the bounded TTL cache.
+
+When ``max_entries`` is reached the cache evicts the entry *closest to
+expiry* (a heap-ordered stand-in for LRU).  Overwrites and deletes leave
+dead heap entries behind; eviction must skip those lazily without ever
+dropping a live key by mistake.
+"""
+
+from __future__ import annotations
+
+from repro.core.caching import TTLCache
+from repro.sim.clock import SimClock
+
+
+def make_cache(max_entries: int = 3) -> TTLCache:
+    return TTLCache(SimClock(), default_ttl=60.0, max_entries=max_entries)
+
+
+class TestEvictionOrder:
+    def test_evicts_soonest_to_expire_first(self):
+        cache = make_cache(3)
+        cache.write("long", 1, ttl=300)
+        cache.write("short", 2, ttl=10)
+        cache.write("medium", 3, ttl=100)
+        cache.write("new", 4, ttl=50)  # forces one eviction
+        assert cache.read("short") is None
+        assert cache.read("long") == 1
+        assert cache.read("medium") == 3
+        assert cache.read("new") == 4
+
+    def test_eviction_counter_increments(self):
+        cache = make_cache(2)
+        cache.write("a", 1, ttl=10)
+        cache.write("b", 2, ttl=20)
+        assert cache.stats.evictions == 0
+        cache.write("c", 3, ttl=30)
+        assert cache.stats.evictions == 1
+        cache.write("d", 4, ttl=40)
+        assert cache.stats.evictions == 2
+        assert len(cache) == 2
+
+    def test_sequential_fill_evicts_in_insertion_order(self):
+        # equal TTLs + advancing clock => expiry order == insertion order
+        clock = SimClock()
+        cache = TTLCache(clock, default_ttl=60.0, max_entries=3)
+        for i in range(6):
+            cache.write(f"k{i}", i, ttl=60)
+            clock.advance(1)
+        assert [cache.read(f"k{i}") for i in range(3)] == [None, None, None]
+        assert [cache.read(f"k{i}") for i in range(3, 6)] == [3, 4, 5]
+        assert cache.stats.evictions == 3
+
+    def test_overwrite_does_not_evict(self):
+        cache = make_cache(2)
+        cache.write("a", 1, ttl=10)
+        cache.write("b", 2, ttl=20)
+        cache.write("a", 10, ttl=10)  # same key: no room needed
+        assert cache.stats.evictions == 0
+        assert cache.read("a") == 10
+        assert cache.read("b") == 2
+
+    def test_overwrite_refreshes_eviction_priority(self):
+        """An overwrite with a later expiry must shed the key's old heap
+        position — the stale heap entry is dead, not an eviction ticket."""
+        cache = make_cache(2)
+        cache.write("a", 1, ttl=5)  # initially first in line to evict
+        cache.write("b", 2, ttl=50)
+        cache.write("a", 1, ttl=500)  # now expires last
+        cache.write("c", 3, ttl=100)  # evicts b, not a
+        assert cache.read("a") == 1
+        assert cache.read("b") is None
+        assert cache.read("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_deleted_key_dead_heap_entry_is_skipped(self):
+        cache = make_cache(2)
+        cache.write("a", 1, ttl=5)
+        cache.write("b", 2, ttl=50)
+        cache.delete("a")  # heap still holds ("a", t+5)
+        cache.write("c", 3, ttl=100)  # room free: no eviction
+        assert cache.stats.evictions == 0
+        cache.write("d", 4, ttl=200)  # full again: must evict b, skip dead a
+        assert cache.read("b") is None
+        assert cache.read("c") == 3
+        assert cache.read("d") == 4
+        assert cache.stats.evictions == 1
+
+    def test_heap_rebuild_keeps_order_under_churn(self):
+        # thousands of overwrites on few keys force _rebuild_heap; order
+        # must survive the rebuild
+        cache = make_cache(3)
+        for i in range(2000):
+            cache.write(f"k{i % 3}", i, ttl=10 + (i % 3))
+        assert len(cache) == 3
+        assert len(cache._expiry_heap) <= 4 * max(cache.max_entries, 64) + 1
+        cache.write("new", -1, ttl=1)  # evicts soonest-expiring of k0..k2
+        cache.write("new2", -2, ttl=1000)
+        assert cache.read("new2") == -2
+        assert len(cache) == 3
+
+    def test_bounded_size_under_unique_key_flood(self):
+        cache = make_cache(50)
+        for i in range(500):
+            cache.write(f"k{i}", i, ttl=60)
+        assert len(cache) == 50
+        assert cache.stats.evictions == 450
+        # the survivors are the newest 50
+        assert cache.read("k499") == 499
+        assert cache.read("k0") is None

@@ -1,0 +1,45 @@
+"""Fault-suite fixtures: the controlled core world plus chaos helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults import FaultPlan
+from tests.core.conftest import (  # noqa: F401
+    alice_v,
+    bob_v,
+    dash,
+    dave_v,
+    jobs,
+    session,
+    world,
+)
+
+#: every backend service a homepage widget depends on
+ALL_SERVICES = ("slurmctld", "slurmdbd", "news", "storage")
+
+
+@pytest.fixture
+def total_outage(dash):
+    """Install an outage on every backend, active from now on."""
+    plan = FaultPlan(seed=7)
+    now = dash.clock.now()
+    for service in ALL_SERVICES:
+        plan.schedule_outage(service, start=now, end=math.inf)
+    dash.inject_faults(plan)
+    return plan
+
+
+def warm_widget_caches(dash, viewer) -> None:
+    """Populate the server cache by fetching every homepage widget once."""
+    for name in ("announcements", "recent_jobs", "system_status", "accounts", "storage"):
+        resp = dash.call(name, viewer)
+        assert resp.ok, f"warmup of {name} failed: {resp.error}"
+
+
+def expire_all(dash) -> None:
+    """Advance past the longest TTL so every cache entry goes stale."""
+    longest = max(dash.ctx.cache_policy.as_dict().values())
+    dash.clock.advance(longest + 1)

@@ -1,0 +1,99 @@
+"""Circuit-breaker state machine: closed → open → half-open → closed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import BreakerConfig, CircuitBreaker, CircuitOpenError
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(
+        "slurmctld",
+        clock,
+        BreakerConfig(failure_threshold=3, recovery_time_s=60.0),
+    )
+
+
+class TestStateTransitions:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        breaker.check()  # no raise
+
+    def test_opens_after_threshold_consecutive_failures(self, breaker):
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # third strike opens
+        assert breaker.state == "open"
+        assert breaker.opens == 1
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never hit 3 in a row
+
+    def test_open_fails_fast_with_retry_hint(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10)
+        with pytest.raises(CircuitOpenError) as err:
+            breaker.check()
+        assert err.value.retry_after_s == pytest.approx(50.0)
+
+    def test_half_open_after_recovery_time(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(60)
+        assert breaker.state == "half_open"
+        breaker.check()  # probes are allowed through
+
+    def test_half_open_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(60)
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens_immediately(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(60)
+        assert breaker.state == "half_open"
+        assert breaker.record_failure() is True  # one strike, not three
+        assert breaker.state == "open"
+        assert breaker.opens == 2
+
+    def test_reopened_breaker_restarts_the_recovery_clock(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(60)
+        breaker.record_failure()  # half-open probe fails at t=60
+        clock.advance(30)  # t=90: only 30 s into the new open period
+        assert breaker.state == "open"
+        clock.advance(30)  # t=120
+        assert breaker.state == "half_open"
+
+    def test_multi_probe_half_open(self, clock):
+        breaker = CircuitBreaker(
+            "slurmdbd",
+            clock,
+            BreakerConfig(
+                failure_threshold=1, recovery_time_s=10.0, half_open_successes=2
+            ),
+        )
+        breaker.record_failure()
+        clock.advance(10)
+        breaker.record_success()
+        assert breaker.state == "half_open"  # needs one more
+        breaker.record_success()
+        assert breaker.state == "closed"

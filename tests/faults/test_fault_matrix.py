@@ -1,0 +1,229 @@
+"""The fault matrix: (fault kind × data source × cache state) → outcome.
+
+The acceptance contract of the resilience layer:
+
+* **fresh cache** — a cache hit short-circuits the fault entirely;
+* **stale cache + fault** — the route serves the expired entry, HTTP 200,
+  flagged ``degraded`` with a ``stale_age_s``;
+* **cold cache + fault** — a structured 503 JSON error, never a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.web.server import DashboardServer
+
+from .conftest import ALL_SERVICES, expire_all, warm_widget_caches
+
+#: widget route -> the backend service a fault must target to hurt it
+WIDGET_SERVICES = {
+    "recent_jobs": "slurmctld",  # squeue
+    "system_status": "slurmctld",  # sinfo
+    "accounts": "slurmctld",  # squeue + scontrol assoc
+    "announcements": "news",
+    "storage": "storage",
+}
+
+FAULT_KINDS = ("outage", "flaky")
+
+
+def install_fault(dash, service: str, kind: str) -> FaultPlan:
+    plan = FaultPlan(seed=11)
+    now = dash.clock.now()
+    if kind == "outage":
+        plan.schedule_outage(service, start=now, end=math.inf)
+    elif kind == "flaky":
+        # p=1.0 keeps the matrix deterministic; partial rates are
+        # exercised in test_plan.py
+        plan.schedule_flakiness(service, error_rate=1.0, start=now)
+    else:  # pragma: no cover - guarded by parametrize
+        raise AssertionError(kind)
+    dash.inject_faults(plan)
+    return plan
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    @pytest.mark.parametrize("widget", sorted(WIDGET_SERVICES))
+    def test_fresh_cache_hides_the_fault(self, dash, alice_v, widget, kind):
+        warm_widget_caches(dash, alice_v)
+        install_fault(dash, WIDGET_SERVICES[widget], kind)
+        resp = dash.call(widget, alice_v)
+        assert resp.ok and resp.status == 200
+        assert resp.degraded is False
+        assert resp.to_json()["degraded"] is False
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    @pytest.mark.parametrize("widget", sorted(WIDGET_SERVICES))
+    def test_stale_cache_serves_degraded(self, dash, alice_v, widget, kind):
+        warm_widget_caches(dash, alice_v)
+        expire_all(dash)
+        install_fault(dash, WIDGET_SERVICES[widget], kind)
+        resp = dash.call(widget, alice_v)
+        assert resp.ok and resp.status == 200, resp.error
+        assert resp.degraded is True
+        assert resp.stale_age_s is not None and resp.stale_age_s > 0
+        js = resp.to_json()
+        assert js["degraded"] is True and js["stale_age_s"] > 0
+        assert "data" in js
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    @pytest.mark.parametrize("widget", sorted(WIDGET_SERVICES))
+    def test_cold_cache_returns_structured_503(self, dash, alice_v, widget, kind):
+        install_fault(dash, WIDGET_SERVICES[widget], kind)
+        dash.ctx.cache.clear()
+        resp = dash.call(widget, alice_v)
+        assert not resp.ok and resp.status == 503
+        js = resp.to_json()
+        assert js["ok"] is False and js["status"] == 503
+        assert "error" in js and "Traceback" not in js["error"]
+        json.dumps(js)  # the envelope is valid JSON all the way down
+
+    def test_slowdown_beyond_timeout_is_a_fault(self, dash, alice_v):
+        """Injected latency above the per-source budget behaves like an
+        outage: stale serves degraded, cold cache 503s."""
+        warm_widget_caches(dash, alice_v)
+        expire_all(dash)
+        plan = FaultPlan()
+        timeout = dash.ctx.cache_policy.timeout_for("squeue")
+        plan.schedule_slowdown("slurmctld", extra_latency_s=timeout * 2)
+        dash.inject_faults(plan)
+
+        resp = dash.call("recent_jobs", alice_v)
+        assert resp.ok and resp.degraded is True
+
+        dash.ctx.cache.clear()
+        resp = dash.call("recent_jobs", alice_v)
+        assert resp.status == 503
+        # by now the repeated timeouts may have opened the breaker, so the
+        # message names either failure mode; both are squeue-scoped
+        assert "squeue" in resp.error
+
+    def test_degradation_is_per_source(self, dash, alice_v):
+        """A slurmctld outage must not degrade the news/storage widgets."""
+        warm_widget_caches(dash, alice_v)
+        expire_all(dash)
+        install_fault(dash, "slurmctld", "outage")
+        assert dash.call("recent_jobs", alice_v).degraded is True
+        for unaffected in ("announcements", "storage"):
+            resp = dash.call(unaffected, alice_v)
+            assert resp.ok and resp.degraded is False
+
+
+class TestHomepageUnderTotalOutage:
+    """The ISSUE acceptance scenario: every backend down at once."""
+
+    def test_warm_cache_every_widget_degrades(self, dash, alice_v, total_outage):
+        # warm during a healthy interlude, expire, then restore the outage
+        dash.inject_faults(None)
+        warm_widget_caches(dash, alice_v)
+        expire_all(dash)
+        dash.inject_faults(total_outage)
+        for widget in WIDGET_SERVICES:
+            resp = dash.call(widget, alice_v)
+            assert resp.ok and resp.status == 200, (widget, resp.error)
+            assert resp.degraded is True, widget
+            assert resp.stale_age_s > 0, widget
+        render = dash.render_homepage(alice_v)
+        assert not render.failures
+        assert set(render.degraded) == set(WIDGET_SERVICES)
+        assert "showing cached data" in render.html
+
+    def test_cold_cache_every_widget_503s(self, dash, alice_v, total_outage):
+        dash.ctx.cache.clear()
+        for widget in WIDGET_SERVICES:
+            resp = dash.call(widget, alice_v)
+            assert not resp.ok and resp.status == 503, widget
+            json.dumps(resp.to_json())
+
+    def test_cold_cache_homepage_still_renders(self, dash, alice_v, total_outage):
+        dash.ctx.cache.clear()
+        render = dash.render_homepage(alice_v)
+        assert set(render.failures) == set(WIDGET_SERVICES)
+        assert "temporarily unavailable" in render.html
+
+    def test_over_http_no_exception_escapes(self, dash, alice_v, total_outage):
+        """End to end over the real network path: warm-stale → 200 +
+        degraded; the HTML homepage always answers 200."""
+        dash.inject_faults(None)
+        warm_widget_caches(dash, alice_v)
+        expire_all(dash)
+        dash.inject_faults(total_outage)
+        with DashboardServer(dash) as server:
+            for widget in WIDGET_SERVICES:
+                req = urllib.request.Request(
+                    f"{server.url}/api/v1/widgets/{widget}",
+                    headers={"X-Remote-User": "alice"},
+                )
+                with urllib.request.urlopen(req, timeout=10) as resp:
+                    payload = json.loads(resp.read())
+                assert resp.status == 200
+                assert payload["degraded"] is True
+                assert payload["stale_age_s"] > 0
+            req = urllib.request.Request(
+                f"{server.url}/", headers={"X-Remote-User": "alice"}
+            )
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                html = resp.read().decode()
+            assert resp.status == 200
+            assert "showing cached data" in html
+
+    def test_over_http_cold_cache_503(self, dash, total_outage):
+        dash.ctx.cache.clear()
+        with DashboardServer(dash) as server:
+            req = urllib.request.Request(
+                f"{server.url}/api/v1/widgets/recent_jobs",
+                headers={"X-Remote-User": "alice"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10)
+            assert err.value.code == 503
+            payload = json.loads(err.value.read())
+            assert payload["ok"] is False and payload["status"] == 503
+
+
+class TestRecovery:
+    def test_outage_window_ends_and_service_recovers(self, dash, alice_v):
+        """A *scheduled* window: degraded inside it, healthy after it —
+        including the breaker's half-open probe."""
+        warm_widget_caches(dash, alice_v)
+        now = dash.clock.now()
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", start=now + 60, end=now + 600)
+        dash.inject_faults(plan)
+
+        # before the window: normal
+        assert dash.call("recent_jobs", alice_v).degraded is False
+
+        # inside the window, cache stale: degraded but alive; two calls
+        # (3 attempts each) push the breaker past its threshold of 5
+        dash.clock.advance(120)  # t = now+120, squeue TTL long expired
+        for _ in range(2):
+            resp = dash.call("recent_jobs", alice_v)
+            assert resp.ok and resp.degraded is True
+        assert dash.ctx.fetcher.breaker_for("slurmctld").state == "open"
+
+        # after the window plus breaker recovery: healthy again
+        dash.clock.advance(600)
+        resp = dash.call("recent_jobs", alice_v)
+        assert resp.ok and resp.degraded is False
+        assert dash.ctx.fetcher.breaker_for("slurmctld").state == "closed"
+
+    def test_stats_quantify_the_degradation(self, dash, alice_v):
+        warm_widget_caches(dash, alice_v)
+        expire_all(dash)
+        stats = dash.ctx.cache.stats
+        assert stats.stale_served == 0 and stats.retries == 0
+        install_fault(dash, "slurmctld", "outage")
+        for _ in range(6):
+            dash.call("recent_jobs", alice_v)
+        assert stats.stale_served >= 6
+        assert stats.retries > 0
+        assert stats.breaker_opens >= 1

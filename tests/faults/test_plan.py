@@ -1,0 +1,194 @@
+"""FaultPlan semantics: windows on the sim clock, deterministic flakiness,
+latency injection, and the daemon layer's reaction to each."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults import (
+    DaemonTimeoutError,
+    DaemonUnavailableError,
+    FaultPlan,
+    FaultWindow,
+    ResilientFetcher,
+    RetryPolicy,
+    service_for_source,
+)
+from repro.core.caching import CachePolicy, TTLCache
+from repro.sim.clock import SimClock
+from repro.slurm.daemon import DaemonBus
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def bus(clock):
+    return DaemonBus(clock)
+
+
+class TestWindows:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultWindow(service="x", start=10, end=5)
+        with pytest.raises(ValueError):
+            FaultWindow(service="x", start=0, kind="weird")
+        with pytest.raises(ValueError):
+            FaultWindow(service="x", start=0, kind="flaky", error_rate=2.0)
+
+    def test_window_is_half_open(self):
+        w = FaultWindow(service="slurmctld", start=100, end=200)
+        assert not w.active(99.9)
+        assert w.active(100)
+        assert w.active(199.9)
+        assert not w.active(200)
+
+    def test_wildcard_targets_every_service(self):
+        plan = FaultPlan()
+        plan.schedule_outage("*", start=0)
+        assert plan.outage_active("slurmctld", 1)
+        assert plan.outage_active("news", 1)
+
+    def test_outage_only_inside_window(self, bus, clock):
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", start=100, end=200)
+        bus.install_faults(plan)
+        bus.record("squeue")  # t=0: healthy
+        clock.advance(150)
+        with pytest.raises(DaemonUnavailableError):
+            bus.record("squeue")
+        clock.advance(100)  # t=250: window over
+        bus.record("squeue")
+
+    def test_outage_targets_one_daemon(self, bus, clock):
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", start=0)
+        bus.install_faults(plan)
+        with pytest.raises(DaemonUnavailableError):
+            bus.record("squeue")
+        bus.record("sacct")  # slurmdbd unaffected
+
+    def test_failed_rpcs_counted_but_not_rate(self, bus, clock):
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", start=0)
+        bus.install_faults(plan)
+        for _ in range(5):
+            with pytest.raises(DaemonUnavailableError):
+                bus.record("squeue")
+        assert bus.ctld.failed_rpcs == 5
+        assert bus.ctld.total_rpcs == 0
+        assert bus.ctld.recent_rate() == 0.0
+        assert bus.snapshot()["slurmctld"]["failed_rpcs"] == 5
+
+    def test_next_recovery(self):
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", start=0, end=300)
+        assert plan.next_recovery("slurmctld", 100) == 300
+        assert plan.next_recovery("slurmctld", 400) is None
+
+    def test_clear_and_uninstall(self, bus):
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", start=0)
+        bus.install_faults(plan)
+        plan.clear()
+        bus.record("squeue")
+        bus.install_faults(None)
+        assert bus.ctld.faults is None
+
+
+class TestFlakiness:
+    def test_error_rate_roughly_respected(self, bus, clock):
+        plan = FaultPlan(seed=9)
+        plan.schedule_flakiness("slurmctld", error_rate=0.3)
+        bus.install_faults(plan)
+        failures = 0
+        for _ in range(500):
+            try:
+                bus.record("squeue")
+            except DaemonUnavailableError:
+                failures += 1
+        assert 0.2 < failures / 500 < 0.4
+
+    def test_flaky_draws_are_deterministic(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed)
+            plan.schedule_flakiness("slurmctld", error_rate=0.5)
+            outcomes = []
+            for _ in range(50):
+                try:
+                    plan.check("slurmctld", 1.0)
+                    outcomes.append(True)
+                except DaemonUnavailableError:
+                    outcomes.append(False)
+            return outcomes
+
+        assert run(4) == run(4)
+        assert run(4) != run(5)
+
+
+class TestSlowdownAndTimeout:
+    def test_extra_latency_added(self, bus, clock):
+        healthy = bus.record("squeue")
+        plan = FaultPlan()
+        plan.schedule_slowdown("slurmctld", extra_latency_s=2.0)
+        bus.install_faults(plan)
+        assert bus.record("squeue") >= healthy + 2.0
+
+    def test_measure_scopes_rpc_latency(self, bus):
+        with bus.measure() as probe:
+            bus.record("squeue")
+            bus.record("sacct")
+        assert probe.rpcs == 2
+        assert probe.max_latency_s > 0
+        with bus.measure() as fresh:
+            pass
+        assert fresh.rpcs == 0
+
+    def test_fetcher_times_out_slow_daemon(self, bus, clock):
+        """Direct fetcher-level proof that a slowdown beyond the source
+        budget surfaces as DaemonTimeoutError (breaker disabled via a
+        huge threshold so the timeout itself is visible)."""
+        from repro.faults import BreakerConfig
+
+        cache = TTLCache(clock)
+        policy = CachePolicy(timeouts_s={"squeue": 0.5})
+        fetcher = ResilientFetcher(
+            cache,
+            bus,
+            policy,
+            retry=RetryPolicy(max_attempts=1),
+            breaker=BreakerConfig(failure_threshold=10_000),
+        )
+        plan = FaultPlan()
+        plan.schedule_slowdown("slurmctld", extra_latency_s=1.0)
+        bus.install_faults(plan)
+
+        from repro.faults import SourceUnavailableError
+
+        with pytest.raises(SourceUnavailableError) as err:
+            fetcher.fetch("squeue", "alice", lambda: bus.record("squeue"))
+        assert isinstance(err.value.cause, DaemonTimeoutError)
+        assert err.value.cause.timeout_s == 0.5
+
+
+class TestSourceRouting:
+    def test_slurm_sources_map_to_daemons(self):
+        assert service_for_source("squeue") == "slurmctld"
+        assert service_for_source("scontrol_node") == "slurmctld"
+        assert service_for_source("sacct") == "slurmdbd"
+
+    def test_external_sources_are_their_own_service(self):
+        assert service_for_source("news") == "news"
+        assert service_for_source("storage") == "storage"
+
+    def test_snapshot_counts_windows(self):
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", 0, 10)
+        plan.schedule_slowdown("news", 1.0)
+        plan.schedule_flakiness("slurmdbd", 0.1)
+        plan.schedule_outage("storage", 5, math.inf)
+        assert plan.snapshot() == {"outage": 2, "slow": 1, "flaky": 1}

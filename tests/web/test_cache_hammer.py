@@ -1,0 +1,133 @@
+"""Hammer the shared TTL cache from many threads.
+
+``TTLCache`` is shared by every ``ThreadingHTTPServer`` handler thread;
+before the cache grew a lock, concurrent fetch/write/evict interleavings
+could corrupt the entry dict.  Two layers of test: a raw multithreaded
+stress on one cache, and concurrent HTTP traffic through one dashboard.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+from repro.core.caching import TTLCache
+from repro.sim.clock import SimClock
+from repro.web.server import DashboardServer
+
+
+class TestRawCacheHammer:
+    def test_concurrent_fetch_write_evict(self):
+        """16 threads × 300 ops against a 50-entry cache: no exceptions,
+        bounded size, and coherent stats afterwards."""
+        cache = TTLCache(SimClock(), default_ttl=60, max_entries=50)
+        errors = []
+        barrier = threading.Barrier(16)
+
+        def worker(tid: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(300):
+                    key = f"k{(tid * 7 + i) % 120}"
+                    op = i % 4
+                    if op == 0:
+                        cache.fetch(key, lambda: tid)
+                    elif op == 1:
+                        cache.write(key, i, ttl=1 + (i % 90))
+                    elif op == 2:
+                        cache.read(key)
+                    else:
+                        cache.delete(key)
+                    if i % 97 == 0:
+                        cache.purge_expired()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        assert len(cache) <= 50
+        stats = cache.stats
+        assert stats.requests == stats.hits + stats.misses
+        # every key still readable without error
+        for i in range(120):
+            cache.read(f"k{i}")
+
+    def test_fetch_or_stale_under_contention(self):
+        """Concurrent serve-stale on one key: every thread gets the stale
+        value, none crashes, and stats count every stale serve."""
+        clock = SimClock()
+        cache = TTLCache(clock, default_ttl=10)
+        cache.write("key", "cached", ttl=10)
+        clock.advance(11)  # stale now
+        errors, values = [], []
+        lock = threading.Lock()
+
+        def boom() -> str:
+            raise RuntimeError("backend down")
+
+        def worker() -> None:
+            try:
+                value, age = cache.fetch_or_stale("key", boom)
+                with lock:
+                    values.append((value, age))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors, errors
+        assert len(values) == 12
+        assert all(v == "cached" and age > 0 for v, age in values)
+        assert cache.stats.stale_served == 12
+
+
+class TestHttpCacheHammer:
+    def test_concurrent_requests_share_one_cache(self, dash):
+        """40 threads × 3 users × 2 routes through one dashboard: every
+        response parses, none is a 5xx, and the shared cache collapses
+        the daemon traffic to a handful of RPCs."""
+        results, errors = [], []
+        lock = threading.Lock()
+        paths = ("/api/v1/widgets/recent_jobs", "/api/v1/widgets/system_status")
+
+        def fetch(user: str, idx: int) -> None:
+            try:
+                req = urllib.request.Request(
+                    url + paths[idx % len(paths)],
+                    headers={"X-Remote-User": user},
+                )
+                with urllib.request.urlopen(req, timeout=15) as resp:
+                    payload = json.loads(resp.read())
+                with lock:
+                    results.append((resp.status, payload["ok"]))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        with DashboardServer(dash) as server:
+            url = server.url
+            threads = [
+                threading.Thread(target=fetch, args=(user, i))
+                for i in range(40)
+                for user in ("alice", "bob", "dave")
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+
+        assert not errors, errors
+        assert len(results) == 120
+        assert all(status == 200 and ok for status, ok in results)
+        stats = dash.ctx.cache.stats
+        assert stats.requests == stats.hits + stats.misses
+        # 120 requests over 4 distinct cache keys (3 users × squeue + sinfo):
+        # the cache must have absorbed almost everything
+        assert stats.hits >= 120 - 20

@@ -1,0 +1,73 @@
+"""Regression tests for query-string coercion (non-finite float leak).
+
+``coerce_params`` used to convert ``nan``/``inf``/``1e309`` into float
+NaN/Infinity, which ``json.dumps`` then emitted as bare ``NaN`` —
+invalid JSON that breaks every spec-compliant client.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.web.server import coerce_params
+
+
+class TestCoerceParams:
+    def test_basic_types(self):
+        out = coerce_params(
+            [("a", "1"), ("b", "2.5"), ("c", "true"), ("d", "False"), ("e", "text")]
+        )
+        assert out == {"a": 1, "b": 2.5, "c": True, "d": False, "e": "text"}
+        assert isinstance(out["a"], int)
+
+    @pytest.mark.parametrize(
+        "raw",
+        ["nan", "NaN", "inf", "-inf", "Infinity", "-Infinity", "1e309", "-1e309"],
+    )
+    def test_non_finite_floats_stay_strings(self, raw):
+        out = coerce_params([("limit", raw)])
+        assert out["limit"] == raw
+        assert isinstance(out["limit"], str)
+
+    def test_payload_with_rejected_values_is_valid_json(self):
+        out = coerce_params([("a", "nan"), ("b", "inf"), ("c", "3.5")])
+        text = json.dumps(out)
+        assert json.loads(text) == {"a": "nan", "b": "inf", "c": 3.5}
+        assert "NaN" not in text and "Infinity" not in text
+
+    def test_finite_scientific_notation_still_floats(self):
+        out = coerce_params([("x", "1e3"), ("y", "-2.5e-4")])
+        assert out == {"x": 1000.0, "y": -0.00025}
+
+    def test_huge_int_is_fine(self):
+        # int() has no overflow; only the float path can go non-finite
+        out = coerce_params([("n", "9" * 400)])
+        assert out["n"] == int("9" * 400)
+        json.dumps(out)
+
+    @pytest.mark.parametrize("query", ["limit=nan", "limit=1e309", "start=inf"])
+    def test_hostile_params_over_http_yield_valid_json(self, dash, query):
+        """End to end: non-finite query values must never poison a
+        response — whatever the status, the body is spec-valid JSON."""
+        import urllib.error
+        import urllib.request
+
+        from repro.web.server import DashboardServer
+
+        path = "/api/v1/widgets/recent_jobs" if "limit" in query else "/api/v1/my_jobs"
+        with DashboardServer(dash) as server:
+            req = urllib.request.Request(
+                f"{server.url}{path}?{query}",
+                headers={"X-Remote-User": "alice"},
+            )
+            try:
+                with urllib.request.urlopen(req, timeout=10) as resp:
+                    body = resp.read().decode()
+            except urllib.error.HTTPError as err:  # error envelope, not a crash
+                body = err.read().decode()
+        # json.loads is lenient about NaN (Python extension), so assert on
+        # the wire text itself
+        assert "NaN" not in body and "Infinity" not in body
+        json.loads(body)
