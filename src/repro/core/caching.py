@@ -18,6 +18,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
 
+from repro.obs import MetricsRegistry
 from repro.sim.clock import SimClock
 
 
@@ -32,7 +33,16 @@ class CacheEntry:
         return self.stored_at + self.ttl
 
     def is_fresh(self, now: float) -> bool:
-        """True while ``now`` is before the entry's expiry."""
+        """True while ``now`` is *strictly* before the entry's expiry.
+
+        The boundary is half-open by design: at exactly
+        ``stored_at + ttl`` the entry is already expired.  Eviction
+        ordering (:meth:`TTLCache._evict_one`), :meth:`TTLCache.read`,
+        and the stale-serving path all share this method, so they agree
+        on the instant an entry stops being fresh — a lookup at the
+        boundary is a miss, and a stale serve at the boundary reports
+        ``age == ttl``.
+        """
         return now < self.expires_at()
 
     def age(self, now: float) -> float:
@@ -40,19 +50,64 @@ class CacheEntry:
         return now - self.stored_at
 
 
-@dataclass
+def _source_of(key: str) -> str:
+    """The data-source label for a cache key.
+
+    :class:`~repro.core.routes.DashboardContext` namespaces every key as
+    ``"<source>:<key>"``; un-namespaced keys (direct cache users, unit
+    tests) are grouped under ``"default"``.
+    """
+    return key.split(":", 1)[0] if ":" in key else "default"
+
+
 class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    expirations: int = 0
-    #: expired entries handed out because the backend could not answer
-    stale_served: int = 0
-    #: entries dropped to stay under ``max_entries``
-    evictions: int = 0
-    #: fetch attempts repeated by the resilient fetch path
-    retries: int = 0
-    #: circuit-breaker transitions into the open state
-    breaker_opens: int = 0
+    """Read-only view of the cache/fetch counters in a metrics registry.
+
+    Historically a plain dataclass of ad-hoc ints; the counters now live
+    in the shared :class:`~repro.obs.MetricsRegistry` (per-source, and
+    scraped via ``/metrics``), and this view keeps the old attribute API
+    for the admin page, examples, and tests.  Each property sums the
+    backing family across label sets.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
+
+    @property
+    def hits(self) -> int:
+        return int(self.registry.total("repro_cache_requests_total", result="hit"))
+
+    @property
+    def misses(self) -> int:
+        return int(self.registry.total("repro_cache_requests_total", result="miss"))
+
+    @property
+    def expirations(self) -> int:
+        return int(self.registry.total("repro_cache_requests_total", result="expired"))
+
+    @property
+    def stale_served(self) -> int:
+        """Expired entries handed out because the backend could not answer."""
+        return int(
+            self.registry.total("repro_cache_requests_total", result="stale_served")
+        )
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped to stay under ``max_entries``."""
+        return int(self.registry.total("repro_cache_evictions_total"))
+
+    @property
+    def retries(self) -> int:
+        """Fetch attempts repeated by the resilient fetch path."""
+        return int(self.registry.total("repro_fetch_retries_total"))
+
+    @property
+    def breaker_opens(self) -> int:
+        """Circuit-breaker transitions into the open state."""
+        return int(
+            self.registry.total("repro_breaker_transitions_total", to="open")
+        )
 
     @property
     def requests(self) -> int:
@@ -78,7 +133,8 @@ class TTLCache:
     if the live dict still holds the same (key, expiry) pair.
     """
 
-    def __init__(self, clock: SimClock, default_ttl: float = 60.0, max_entries: int = 10_000):
+    def __init__(self, clock: SimClock, default_ttl: float = 60.0, max_entries: int = 10_000,
+                 registry: Optional[MetricsRegistry] = None):
         if default_ttl <= 0:
             raise ValueError("default_ttl must be positive")
         self.clock = clock
@@ -87,7 +143,23 @@ class TTLCache:
         self._entries: Dict[str, CacheEntry] = {}
         self._expiry_heap: List[Tuple[float, str]] = []
         self._lock = threading.RLock()
-        self.stats = CacheStats()
+        #: shared registry (the dashboard's) or a private one; either way
+        #: lookups/evictions become first-class per-source metrics
+        self.metrics = registry or MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "repro_cache_requests_total",
+            "Server-cache lookups by data source and result.",
+            ("source", "result"),
+        )
+        self._evicted = self.metrics.counter(
+            "repro_cache_evictions_total",
+            "Entries evicted to stay under max_entries, by data source.",
+            ("source",),
+        )
+        self.stats = CacheStats(self.metrics)
+
+    def _count(self, key: str, result: str) -> None:
+        self._requests.inc(source=_source_of(key), result=result)
 
     # -- Rails.cache.fetch ---------------------------------------------------
 
@@ -98,10 +170,10 @@ class TTLCache:
             entry = self._entries.get(key)
             if entry is not None:
                 if entry.is_fresh(self.clock.now()):
-                    self.stats.hits += 1
+                    self._count(key, "hit")
                     return entry.value
-                self.stats.expirations += 1
-            self.stats.misses += 1
+                self._count(key, "expired")
+            self._count(key, "miss")
         value = compute()
         self.write(key, value, ttl)
         return value
@@ -125,10 +197,10 @@ class TTLCache:
             entry = self._entries.get(key)
             if entry is not None:
                 if entry.is_fresh(self.clock.now()):
-                    self.stats.hits += 1
+                    self._count(key, "hit")
                     return entry.value, None
-                self.stats.expirations += 1
-            self.stats.misses += 1
+                self._count(key, "expired")
+            self._count(key, "miss")
         try:
             value = compute()
         except stale_on:
@@ -136,7 +208,7 @@ class TTLCache:
                 entry = self._entries.get(key)
                 if entry is None:
                     raise
-                self.stats.stale_served += 1
+                self._count(key, "stale_served")
                 return entry.value, entry.age(self.clock.now())
         self.write(key, value, ttl)
         return value, None
@@ -200,7 +272,7 @@ class TTLCache:
             entry = self._entries.get(key)
             if entry is not None and entry.expires_at() == expires_at:
                 del self._entries[key]
-                self.stats.evictions += 1
+                self._evicted.inc(source=_source_of(key))
                 return
 
     def purge_expired(self) -> int:

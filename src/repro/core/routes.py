@@ -32,6 +32,7 @@ from repro.faults import (
     RetryPolicy,
 )
 from repro.news.api import Article, NewsAPI
+from repro.obs import Observability
 from repro.ood import AppRegistry, LogStore, SessionManager
 from repro.slurm.cluster import SlurmCluster
 from repro.slurm.commands import (
@@ -175,11 +176,38 @@ class RouteRegistry:
         params = params or {}
         route = self._by_name.get(name)
         if route is None:
-            return RouteResponse(
+            response = RouteResponse(
                 ok=False, error=f"unknown route {name!r}", status=404, route=name
             )
+            ctx.obs.record_route(name, response.status, 0.0, ok=False)
+            return response
         t0 = time.perf_counter()
         scope = ctx.begin_fetch_scope()
+        try:
+            with ctx.obs.tracer.span(
+                f"route:{name}", kind="route", attrs={"viewer": viewer.username}
+            ) as span:
+                response = self._dispatch(ctx, route, viewer, params, scope, t0)
+                span.attrs["status"] = response.status
+                if response.degraded:
+                    span.attrs["degraded"] = True
+        finally:
+            ctx.end_fetch_scope()
+        ctx.obs.record_route(
+            name, response.status, response.elapsed_ms, ok=response.ok
+        )
+        return response
+
+    @staticmethod
+    def _dispatch(
+        ctx: "DashboardContext",
+        route: ApiRoute,
+        viewer: Viewer,
+        params: Dict[str, Any],
+        scope: "FetchScope",
+        t0: float,
+    ) -> RouteResponse:
+        name = route.name
         try:
             data = route.handler(ctx, viewer, params)
             return RouteResponse(
@@ -216,8 +244,6 @@ class RouteRegistry:
                 route=name,
                 elapsed_ms=(time.perf_counter() - t0) * 1000,
             )
-        finally:
-            ctx.end_fetch_scope()
 
 
 class DashboardContext:
@@ -239,6 +265,8 @@ class DashboardContext:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
         resilience_seed: int = 0,
+        slow_request_ms: float = 250.0,
+        max_traces: int = 100,
     ):
         self.cluster = cluster
         self.directory = directory
@@ -247,7 +275,17 @@ class DashboardContext:
         self.news = news
         self.cache_policy = cache_policy or CachePolicy()
         self.use_server_cache = use_server_cache
-        self.cache = TTLCache(cluster.clock, default_ttl=self.cache_policy.default)
+        # one registry + tracer pair shared by every layer below: the
+        # cache, the resilient fetch path, and the daemon bus all report
+        # into it, and /metrics scrapes it
+        self.obs = Observability(
+            cluster.clock, max_traces=max_traces, slow_request_ms=slow_request_ms
+        )
+        self.cache = TTLCache(
+            cluster.clock,
+            default_ttl=self.cache_policy.default,
+            registry=self.obs.registry,
+        )
         self.fetcher = ResilientFetcher(
             cache=self.cache,
             daemons=cluster.daemons,
@@ -256,6 +294,8 @@ class DashboardContext:
             breaker=breaker,
             seed=resilience_seed,
         )
+        self.fetcher.tracer = self.obs.tracer
+        cluster.daemons.attach_metrics(self.obs.registry)
         self._scope_local = threading.local()
         self.sessions = SessionManager(cluster)
         self.apps = AppRegistry()
@@ -293,12 +333,55 @@ class DashboardContext:
         stack = self._scope_stack()
         return stack.pop() if stack else None
 
+    # -- observability -------------------------------------------------------
+
+    def breaker_report(self) -> Dict[str, str]:
+        """Breaker states for ``/healthz``, mirrored into the registry's
+        one-hot gauge in the same call — the single code path that keeps
+        ``/healthz`` and ``/metrics`` in agreement."""
+        states = self.fetcher.breaker_states()
+        self.obs.set_breaker_states(states)
+        return states
+
+    def refresh_gauges(self) -> None:
+        """Update the scrape-time gauges (breakers, cache size, daemon
+        rates) from their live sources."""
+        self.breaker_report()
+        self.obs.cache_entries.set(float(len(self.cache)))
+        for name, snap in self.cluster.daemons.snapshot().items():
+            self.obs.daemon_recent_rate.set(
+                snap["recent_rate_rps"], daemon=name
+            )
+            self.obs.daemon_mean_latency.set(
+                snap["mean_latency_s"], daemon=name
+            )
+
+    def scrape_metrics(self) -> str:
+        """The full registry in Prometheus text format, gauges refreshed
+        — what the ``/metrics`` endpoint serves."""
+        self.refresh_gauges()
+        return self.obs.registry.render()
+
     # -- cache plumbing ------------------------------------------------------
 
     def _cached(self, source: str, key: str, compute: Callable[[], Any]) -> Any:
         if not self.use_server_cache:
             return compute()
-        outcome = self.fetcher.fetch(source, key, compute)
+        with self.obs.tracer.span(
+            f"cache:{source}", kind="cache", attrs={"key": key}
+        ) as span:
+            try:
+                outcome = self.fetcher.fetch(source, key, compute)
+            except Exception as exc:
+                span.attrs["error"] = f"{type(exc).__name__}: {exc}"
+                raise
+            span.attrs["result"] = (
+                "hit" if outcome.cache_hit
+                else "stale" if outcome.degraded
+                else "miss"
+            )
+            if outcome.attempts > 1:
+                span.attrs["attempts"] = outcome.attempts
         for scope in self._scope_stack():
             scope.note(outcome)
         return outcome.value

@@ -24,6 +24,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
+from repro.obs import NULL_TRACER
 from repro.sim.clock import SimClock
 from repro.sim.rng import RandomStreams
 
@@ -119,7 +120,8 @@ class CircuitBreaker:
       success closes the circuit, failure reopens it.
     """
 
-    def __init__(self, daemon: str, clock: SimClock, config: Optional[BreakerConfig] = None):
+    def __init__(self, daemon: str, clock: SimClock, config: Optional[BreakerConfig] = None,
+                 on_transition: Optional[Callable[[str, str], None]] = None):
         self.daemon = daemon
         self.clock = clock
         self.config = config or BreakerConfig()
@@ -129,6 +131,14 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._half_open_successes = 0
         self.opens = 0  # lifetime count of closed/half-open -> open
+        #: called as ``on_transition(daemon, new_state)`` on every state
+        #: change (the fetcher wires this to the metrics registry)
+        self.on_transition = on_transition
+
+    def _transition(self, new_state: str) -> None:
+        self._state = new_state
+        if self.on_transition is not None:
+            self.on_transition(self.daemon, new_state)
 
     @property
     def state(self) -> str:
@@ -141,7 +151,7 @@ class CircuitBreaker:
             self._state == "open"
             and self.clock.now() - self._opened_at >= self.config.recovery_time_s
         ):
-            self._state = "half_open"
+            self._transition("half_open")
             self._half_open_successes = 0
         return self._state
 
@@ -162,7 +172,7 @@ class CircuitBreaker:
             if state == "half_open":
                 self._half_open_successes += 1
                 if self._half_open_successes >= self.config.half_open_successes:
-                    self._state = "closed"
+                    self._transition("closed")
 
     def record_failure(self) -> bool:
         """Note a failed request; returns True if this opened the circuit."""
@@ -173,7 +183,7 @@ class CircuitBreaker:
                 state == "closed"
                 and self._consecutive_failures >= self.config.failure_threshold
             ):
-                self._state = "open"
+                self._transition("open")
                 self._opened_at = self.clock.now()
                 self.opens += 1
                 return True
@@ -190,6 +200,9 @@ class FetchOutcome:
     stale_age_s: Optional[float] = None
     attempts: int = 1
     error: Optional[str] = None
+    #: True when the value came straight from a fresh cache entry
+    #: (``compute`` never ran) — the tracer's cache-span result
+    cache_hit: bool = False
 
 
 class ResilientFetcher:
@@ -221,6 +234,20 @@ class ResilientFetcher:
         #: hook invoked with each backoff delay; default is a no-op because
         #: request handling does not advance simulated time
         self.sleep: Callable[[float], None] = lambda _s: None
+        #: span recorder; the dashboard context swaps in its real Tracer
+        self.tracer = NULL_TRACER
+        # retry/breaker activity as first-class metrics on the cache's
+        # registry (shared with the dashboard when one is wired in)
+        self._retries_metric = cache.metrics.counter(
+            "repro_fetch_retries_total",
+            "Fetch attempts repeated by the resilient fetch path.",
+            ("service",),
+        )
+        self._transitions_metric = cache.metrics.counter(
+            "repro_breaker_transitions_total",
+            "Circuit-breaker state transitions by service and new state.",
+            ("service", "to"),
+        )
 
     # -- breakers -----------------------------------------------------------
 
@@ -230,10 +257,14 @@ class ResilientFetcher:
             breaker = self._breakers.get(service)
             if breaker is None:
                 breaker = CircuitBreaker(
-                    service, self.cache.clock, self.breaker_config
+                    service, self.cache.clock, self.breaker_config,
+                    on_transition=self._record_transition,
                 )
                 self._breakers[service] = breaker
             return breaker
+
+    def _record_transition(self, service: str, new_state: str) -> None:
+        self._transitions_metric.inc(service=service, to=new_state)
 
     def breaker_states(self) -> Dict[str, str]:
         """Current state of every instantiated breaker (for /healthz)."""
@@ -268,7 +299,8 @@ class ResilientFetcher:
             raise SourceUnavailableError(source, service, exc) from exc
         if stale_age is None:
             return FetchOutcome(
-                value=value, source=source, attempts=max(1, attempts["n"])
+                value=value, source=source, attempts=max(1, attempts["n"]),
+                cache_hit=attempts["n"] == 0,
             )
         return FetchOutcome(
             value=value,
@@ -293,33 +325,40 @@ class ResilientFetcher:
         last_exc: Optional[DaemonError] = None
         for attempt in range(self.retry.max_attempts):
             attempts["n"] = attempt + 1
-            try:
-                breaker.check()
-                # daemon-backed sources are injected in the daemon layer;
-                # external services (news, storage) consult the plan here
-                if plan is not None and service not in DAEMON_SERVICES:
-                    plan.check(service, self.cache.clock.now())
-                with self.daemons.measure() as probe:
-                    value = compute()
-                if probe.max_latency_s > timeout_s:
-                    raise DaemonTimeoutError(
-                        service, probe.max_latency_s, timeout_s
-                    )
-            except CircuitOpenError as exc:
-                # fast-fail: no RPC happened, nothing to count or retry
-                attempts["error"] = str(exc)
-                raise
-            except DaemonError as exc:
-                last_exc = exc
-                attempts["error"] = str(exc)
-                if breaker.record_failure():
-                    self.cache.stats.breaker_opens += 1
-                if attempt + 1 < self.retry.max_attempts:
-                    delay = self.retry.delay(attempt, rng)
-                    self.backoff_log.append(delay)
-                    self.cache.stats.retries += 1
-                    self.sleep(delay)
-                continue
+            with self.tracer.span(
+                f"daemon:{service}", kind="daemon",
+                attrs={"source": source, "attempt": attempt + 1},
+            ) as span:
+                try:
+                    breaker.check()
+                    # daemon-backed sources are injected in the daemon layer;
+                    # external services (news, storage) consult the plan here
+                    if plan is not None and service not in DAEMON_SERVICES:
+                        plan.check(service, self.cache.clock.now())
+                    with self.daemons.measure() as probe:
+                        value = compute()
+                    if probe.max_latency_s > timeout_s:
+                        raise DaemonTimeoutError(
+                            service, probe.max_latency_s, timeout_s
+                        )
+                except CircuitOpenError as exc:
+                    # fast-fail: no RPC happened, nothing to count or retry
+                    attempts["error"] = str(exc)
+                    span.attrs["error"] = str(exc)
+                    raise
+                except DaemonError as exc:
+                    last_exc = exc
+                    attempts["error"] = str(exc)
+                    span.attrs["error"] = str(exc)
+                    breaker.record_failure()
+                    if attempt + 1 < self.retry.max_attempts:
+                        delay = self.retry.delay(attempt, rng)
+                        self.backoff_log.append(delay)
+                        self._retries_metric.inc(service=service)
+                        self.sleep(delay)
+                    continue
+                span.attrs["rpcs"] = probe.rpcs
+                span.attrs["sim_latency_s"] = round(probe.max_latency_s, 6)
             breaker.record_success()
             return value
         assert last_exc is not None

@@ -1,0 +1,143 @@
+"""Observability: metrics registry, request tracing, slow-request log.
+
+The paper's performance story (§2.4, §3.2) rests on the dual-layer
+cache shielding ``slurmctld`` — this package makes that shield
+*measurable*.  Every layer of the reproduction reports into one
+:class:`~repro.obs.metrics.MetricsRegistry`:
+
+* the daemon bus prices and counts each simulated RPC;
+* the TTL cache counts hits/misses/expirations/stale-serves per source;
+* the resilient fetch path counts retries and breaker transitions;
+* the route registry times every component route into fixed-bucket
+  latency histograms;
+* the HTTP server labels traffic by endpoint kind.
+
+The registry renders as Prometheus text on ``/metrics``; the paired
+:class:`~repro.obs.tracing.Tracer` exposes the last N request traces
+(route → cache → daemon span trees) on ``/api/v1/traces/recent``.
+``tools/obs_report.py`` turns a scraped payload into a text summary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.clock import SimClock
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    samples_by_name,
+)
+from .tracing import NULL_TRACER, Span, Tracer
+
+#: the three circuit-breaker states reported as a one-hot gauge
+BREAKER_STATES = ("closed", "half_open", "open")
+
+
+class Observability:
+    """One registry + tracer pair shared by every layer of a dashboard.
+
+    Owns the request-level metric families (routes, HTTP) and the
+    scrape-time gauges; substrate layers (cache, fetcher, daemons)
+    declare their own families against :attr:`registry`.
+    """
+
+    def __init__(self, clock: SimClock, max_traces: int = 100,
+                 slow_request_ms: float = 250.0,
+                 registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
+        self.tracer = Tracer(
+            clock, max_traces=max_traces, slow_threshold_ms=slow_request_ms
+        )
+        r = self.registry
+        self.route_requests = r.counter(
+            "repro_route_requests_total",
+            "Route invocations by route name and response status.",
+            ("route", "status"),
+        )
+        self.route_errors = r.counter(
+            "repro_route_errors_total",
+            "Route invocations that returned an error envelope.",
+            ("route",),
+        )
+        self.route_latency = r.histogram(
+            "repro_route_latency_seconds",
+            "Wall-clock route handler latency.",
+            ("route",),
+        )
+        self.http_requests = r.counter(
+            "repro_http_requests_total",
+            "HTTP requests by endpoint kind and status code.",
+            ("kind", "status"),
+        )
+        self.breaker_state = r.gauge(
+            "repro_breaker_state",
+            "Circuit breaker state, one-hot per service (1 = current state).",
+            ("service", "state"),
+        )
+        self.cache_entries = r.gauge(
+            "repro_cache_entries",
+            "Live entries in the server-side TTL cache.",
+        )
+        self.daemon_recent_rate = r.gauge(
+            "repro_daemon_recent_rate_rps",
+            "Recent request rate seen by each simulated daemon.",
+            ("daemon",),
+        )
+        self.daemon_mean_latency = r.gauge(
+            "repro_daemon_mean_latency_seconds",
+            "Mean simulated RPC latency per daemon.",
+            ("daemon",),
+        )
+
+    # -- request-path recording ---------------------------------------------
+
+    def record_route(self, name: str, status: int, elapsed_ms: float,
+                     ok: bool) -> None:
+        """Count one route invocation and observe its latency."""
+        self.route_requests.inc(route=name, status=str(status))
+        self.route_latency.observe(elapsed_ms / 1000.0, route=name)
+        if not ok:
+            self.route_errors.inc(route=name)
+
+    def record_http(self, kind: str, status: int) -> None:
+        """Count one HTTP request by endpoint kind."""
+        self.http_requests.inc(kind=kind, status=str(status))
+
+    # -- scrape-time gauges ---------------------------------------------------
+
+    def set_breaker_states(self, states: Dict[str, str]) -> None:
+        """Mirror ``ResilientFetcher.breaker_states()`` into the one-hot
+        gauge — the single code path both ``/healthz`` and ``/metrics``
+        report from, so the two can never disagree."""
+        for service, current in states.items():
+            for state in BREAKER_STATES:
+                self.breaker_state.set(
+                    1.0 if state == current else 0.0,
+                    service=service, state=state,
+                )
+
+
+__all__ = [
+    "BREAKER_STATES",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Observability",
+    "Sample",
+    "Span",
+    "Tracer",
+    "parse_prometheus_text",
+    "quantile_from_buckets",
+    "samples_by_name",
+]

@@ -1,0 +1,443 @@
+"""Metrics primitives: counters, gauges, histograms, and a registry.
+
+The production dashboard's caching tier (§2.4) exists to protect
+``slurmctld`` from query load, but protection you cannot measure is
+protection you cannot tune.  This module is the measurement substrate:
+a small, thread-safe reimplementation of the Prometheus client data
+model — labeled counter/gauge/histogram families collected in one
+:class:`MetricsRegistry` — rendered in the text exposition format any
+Prometheus-compatible scraper understands.
+
+Design notes
+------------
+* One lock per registry guards every series mutation; increments are a
+  dict update under the lock, cheap enough for the request path.
+* Histograms use **fixed buckets** chosen for request latencies
+  (:data:`DEFAULT_LATENCY_BUCKETS`); cumulative bucket counts follow the
+  Prometheus convention (each bucket counts observations ``<= le``).
+* :func:`parse_prometheus_text` is the inverse of
+  :meth:`MetricsRegistry.render` — used by ``tools/obs_report.py`` and
+  the CI smoke test to audit a scraped payload.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Latency buckets (seconds) for request/RPC histograms: sub-millisecond
+#: cache hits up through the 10 s pathological tail, roughly log-spaced.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelValues = Tuple[str, ...]
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format spec."""
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus clients do."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_suffix(names: Sequence[str], values: LabelValues) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{n}="{_escape_label_value(v)}"' for n, v in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+class _MetricFamily:
+    """Shared plumbing for one named family of labeled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str],
+                 lock: threading.Lock):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+
+    def _key(self, labels: Mapping[str, str]) -> LabelValues:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def _header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_MetricFamily):
+    """A monotonically increasing labeled counter family."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str],
+                 lock: threading.Lock):
+        super().__init__(name, help, labelnames, lock)
+        self._values: Dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the series for ``labels``."""
+        if amount < 0:
+            raise ValueError(f"counters only go up: {amount}")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of one series (0 if never incremented)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def total(self, **label_filter: str) -> float:
+        """Sum across series whose labels match ``label_filter``."""
+        with self._lock:
+            items = list(self._values.items())
+        total = 0.0
+        for values, count in items:
+            labels = dict(zip(self.labelnames, values))
+            if all(labels.get(k) == v for k, v in label_filter.items()):
+                total += count
+        return total
+
+    def series(self) -> Dict[LabelValues, float]:
+        """Snapshot of every series (for reporting)."""
+        with self._lock:
+            return dict(self._values)
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        for values, count in items:
+            lines.append(
+                f"{self.name}{_labels_suffix(self.labelnames, values)} "
+                f"{_format_value(count)}"
+            )
+        return lines
+
+
+class Gauge(_MetricFamily):
+    """A labeled gauge family (a value that can go up and down)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str],
+                 lock: threading.Lock):
+        super().__init__(name, help, labelnames, lock)
+        self._values: Dict[LabelValues, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        for values, value in items:
+            lines.append(
+                f"{self.name}{_labels_suffix(self.labelnames, values)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+@dataclass
+class HistogramSeries:
+    """Mutable state of one labeled histogram series."""
+
+    bucket_counts: List[int]
+    sum: float = 0.0
+    count: int = 0
+
+
+class Histogram(_MetricFamily):
+    """A labeled histogram family with fixed, cumulative buckets."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str],
+                 lock: threading.Lock,
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS):
+        super().__init__(name, help, labelnames, lock)
+        buckets = tuple(float(b) for b in buckets)
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"buckets must be sorted and unique: {buckets}")
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket")
+        #: upper bounds, excluding the implicit +Inf bucket
+        self.buckets = buckets
+        self._series: Dict[LabelValues, HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into every bucket it fits."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = HistogramSeries(
+                    bucket_counts=[0] * (len(self.buckets) + 1)
+                )
+            # cumulative convention: bump every bucket whose bound >= value
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[i] += 1
+            series.bucket_counts[-1] += 1  # +Inf
+            series.sum += value
+            series.count += 1
+
+    def snapshot(self, **labels: str) -> Optional[HistogramSeries]:
+        """Copy of one series' state, or None if never observed."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return None
+            return HistogramSeries(
+                bucket_counts=list(series.bucket_counts),
+                sum=series.sum,
+                count=series.count,
+            )
+
+    def quantile(self, q: float, **labels: str) -> Optional[float]:
+        """Estimate quantile ``q`` from bucket counts (see
+        :func:`quantile_from_buckets`); None with no observations."""
+        series = self.snapshot(**labels)
+        if series is None or series.count == 0:
+            return None
+        bounds = list(self.buckets) + [math.inf]
+        return quantile_from_buckets(bounds, series.bucket_counts, q)
+
+    def labelsets(self) -> List[Dict[str, str]]:
+        """Every labelset that has observations."""
+        with self._lock:
+            keys = list(self._series)
+        return [dict(zip(self.labelnames, k)) for k in keys]
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(
+                (k, HistogramSeries(list(s.bucket_counts), s.sum, s.count))
+                for k, s in self._series.items()
+            )
+        for values, series in items:
+            for bound, count in zip(
+                list(self.buckets) + [math.inf], series.bucket_counts
+            ):
+                le = "+Inf" if bound == math.inf else _format_value(bound)
+                label_names = list(self.labelnames) + ["le"]
+                label_values = values + (le,)
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_labels_suffix(label_names, label_values)} {count}"
+                )
+            suffix = _labels_suffix(self.labelnames, values)
+            lines.append(f"{self.name}_sum{suffix} {_format_value(series.sum)}")
+            lines.append(f"{self.name}_count{suffix} {series.count}")
+        return lines
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float], cumulative_counts: Sequence[int], q: float
+) -> float:
+    """Estimate a quantile from cumulative histogram buckets.
+
+    Linear interpolation inside the first bucket whose cumulative count
+    reaches ``q * total`` — the same estimate Prometheus's
+    ``histogram_quantile`` computes.  The lowest bucket interpolates
+    from 0; an answer in the +Inf bucket clamps to the largest finite
+    bound (there is no upper edge to interpolate toward).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]: {q}")
+    total = cumulative_counts[-1]
+    if total == 0:
+        return 0.0
+    rank = q * total
+    for i, bound in enumerate(bounds):
+        if cumulative_counts[i] >= rank:
+            below = cumulative_counts[i - 1] if i > 0 else 0
+            in_bucket = cumulative_counts[i] - below
+            if bound == math.inf:
+                # no finite upper edge: clamp to the previous bound
+                return float(bounds[i - 1]) if i > 0 else 0.0
+            lower = float(bounds[i - 1]) if i > 0 else 0.0
+            if in_bucket == 0:
+                return float(bound)
+            return lower + (float(bound) - lower) * ((rank - below) / in_bucket)
+    return float(bounds[-2]) if len(bounds) > 1 else 0.0
+
+
+class MetricsRegistry:
+    """All metric families of one process, behind one lock.
+
+    Families are created lazily and idempotently: declaring the same
+    name twice with the same shape returns the existing family, so any
+    layer can say ``registry.counter(...)`` without coordination.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _MetricFamily] = {}
+
+    def _declare(self, cls, name: str, help: str,
+                 labelnames: Sequence[str], **kwargs) -> _MetricFamily:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} re-declared with a different shape"
+                    )
+                return existing
+            family = cls(name, help, labelnames, threading.Lock(), **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._declare(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._declare(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        return self._declare(Histogram, name, help, labelnames, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_MetricFamily]:
+        """The family registered under ``name``, or None."""
+        with self._lock:
+            return self._families.get(name)
+
+    def total(self, name: str, **label_filter: str) -> float:
+        """Sum a counter family across matching series (0 if absent)."""
+        family = self.get(name)
+        if family is None:
+            return 0.0
+        if not isinstance(family, Counter):
+            raise TypeError(f"{name!r} is a {family.kind}, not a counter")
+        return family.total(**label_filter)
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        with self._lock:
+            families = [self._families[n] for n in sorted(self._families)]
+        lines: List[str] = []
+        for family in families:
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n"
+
+
+# -- exposition parsing (for reports and smoke tests) ------------------------
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One parsed exposition line: name + labels + value."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+    @property
+    def labeldict(self) -> Dict[str, str]:
+        return dict(self.labels)
+
+
+def _parse_labels(text: str) -> Tuple[Tuple[str, str], ...]:
+    out: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq].strip().lstrip(",").strip()
+        assert text[eq + 1] == '"', f"malformed label at {text[i:]!r}"
+        j = eq + 2
+        value_chars: List[str] = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                nxt = text[j + 1]
+                value_chars.append({"n": "\n", "\\": "\\", '"': '"'}[nxt])
+                j += 2
+            else:
+                value_chars.append(text[j])
+                j += 1
+        out.append((name, "".join(value_chars)))
+        i = j + 1
+    return tuple(out)
+
+
+def parse_prometheus_text(payload: str) -> List[Sample]:
+    """Parse a text-format exposition payload into :class:`Sample` rows.
+
+    Handles HELP/TYPE comments, escaped label values, and the
+    ``+Inf``/``NaN`` value spellings.  Raises ``ValueError`` on lines
+    that are neither comments nor well-formed samples, so the CI smoke
+    test doubles as a format validator.
+    """
+    samples: List[Sample] = []
+    for lineno, line in enumerate(payload.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            if "{" in line:
+                name = line[: line.index("{")]
+                close = line.rindex("}")
+                labels = _parse_labels(line[line.index("{") + 1 : close])
+                value_s = line[close + 1 :].strip().split()[0]
+            else:
+                name, value_s = line.split()[:2]
+                labels = ()
+            value = float(value_s.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except (ValueError, IndexError, KeyError, AssertionError) as exc:
+            raise ValueError(f"malformed exposition line {lineno}: {line!r}") from exc
+        samples.append(Sample(name=name, labels=labels, value=value))
+    return samples
+
+
+def samples_by_name(samples: Iterable[Sample]) -> Dict[str, List[Sample]]:
+    """Group parsed samples by metric name."""
+    out: Dict[str, List[Sample]] = {}
+    for s in samples:
+        out.setdefault(s.name, []).append(s)
+    return out

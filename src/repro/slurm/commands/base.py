@@ -49,6 +49,16 @@ class SlurmCommand:
     def __init__(self, cluster: "SlurmCluster"):
         self.cluster = cluster
 
+    def _count_run(self, outcome: str) -> None:
+        registry = self.cluster.daemons.metrics
+        if registry is None:
+            return
+        registry.counter(
+            "repro_command_runs_total",
+            "Simulated Slurm command invocations by binary and outcome.",
+            ("command", "outcome"),
+        ).inc(command=self.command, outcome=outcome)
+
     def _finish(self, stdout: str, kind: str = "") -> CommandResult:
         try:
             latency = self.cluster.daemons.record(self.command, kind or self.command)
@@ -56,7 +66,9 @@ class SlurmCommand:
             # the real tool prints e.g. "slurm_load_jobs error: Unable to
             # contact slurm controller" — keep the failing binary visible
             exc.command = self.command
+            self._count_run("error")
             raise
+        self._count_run("ok")
         return CommandResult(stdout=stdout, latency_s=latency, command=self.command)
 
 

@@ -34,6 +34,7 @@ from repro.sim.clock import SimClock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.plan import FaultPlan
+    from repro.obs import MetricsRegistry
 
 
 @dataclass
@@ -177,6 +178,33 @@ class DaemonBus:
         )
         self.faults: Optional["FaultPlan"] = None
         self._probe_local = threading.local()
+        #: metrics registry (None until a dashboard attaches one)
+        self.metrics: Optional["MetricsRegistry"] = None
+        self._rpc_total = None
+        self._rpc_failed = None
+        self._rpc_latency = None
+
+    # -- observability --------------------------------------------------------
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Report every subsequent RPC into ``registry`` — count, failure
+        count, and simulated latency histogram, labeled per daemon."""
+        self.metrics = registry
+        self._rpc_total = registry.counter(
+            "repro_daemon_rpcs_total",
+            "Simulated daemon RPCs by daemon and command kind.",
+            ("daemon", "kind"),
+        )
+        self._rpc_failed = registry.counter(
+            "repro_daemon_rpcs_failed_total",
+            "RPCs refused by an injected fault, per daemon.",
+            ("daemon",),
+        )
+        self._rpc_latency = registry.histogram(
+            "repro_daemon_rpc_latency_seconds",
+            "Simulated RPC latency from the daemon load model.",
+            ("daemon",),
+        )
 
     # -- fault injection ------------------------------------------------------
 
@@ -217,7 +245,16 @@ class DaemonBus:
 
     def record(self, command: str, kind: str = "") -> float:
         """Record an RPC for ``command``; returns simulated latency."""
-        latency = self.model_for(command).record_rpc(kind or command)
+        model = self.model_for(command)
+        try:
+            latency = model.record_rpc(kind or command)
+        except Exception:
+            if self._rpc_failed is not None:
+                self._rpc_failed.inc(daemon=model.config.name)
+            raise
+        if self._rpc_total is not None:
+            self._rpc_total.inc(daemon=model.config.name, kind=kind or command)
+            self._rpc_latency.observe(latency, daemon=model.config.name)
         for probe in self._probe_stack():
             probe.observe(latency)
         return latency

@@ -23,6 +23,8 @@ def expand_hostlist(expr: str) -> List[str]:
     ['gpu01', 'gpu02']
     >>> expand_hostlist("")
     []
+    >>> expand_hostlist("r[1-2]n[1-2]")
+    ['r1n1', 'r1n2', 'r2n1', 'r2n2']
     """
     expr = expr.strip()
     if not expr:
@@ -34,6 +36,11 @@ def expand_hostlist(expr: str) -> List[str]:
             hosts.append(part)
             continue
         prefix, body, suffix = m.group("prefix"), m.group("body"), m.group("suffix")
+        # the regex matches the FIRST bracket group only; a suffix like
+        # "n[1-2]" holds further groups, so recurse and take the
+        # cartesian product — Slurm emits r1n1, r1n2, r2n1, r2n2 for
+        # "r[1-2]n[1-2]"
+        suffixes = expand_hostlist(suffix) if suffix else [""]
         for piece in body.split(","):
             piece = piece.strip()
             if "-" in piece:
@@ -43,9 +50,11 @@ def expand_hostlist(expr: str) -> List[str]:
                 if hi < lo:
                     raise ValueError(f"descending range in hostlist: {piece!r}")
                 for i in range(lo, hi + 1):
-                    hosts.append(f"{prefix}{i:0{width}d}{suffix}")
+                    for tail in suffixes:
+                        hosts.append(f"{prefix}{i:0{width}d}{tail}")
             else:
-                hosts.append(f"{prefix}{piece}{suffix}")
+                for tail in suffixes:
+                    hosts.append(f"{prefix}{piece}{tail}")
     return hosts
 
 

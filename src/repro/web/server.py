@@ -37,11 +37,20 @@ def coerce_params(pairs) -> Dict[str, Any]:
     Values like ``nan``, ``inf`` or ``1e309`` *parse* as floats but must
     stay strings: a NaN/Infinity that reaches a response payload makes
     ``json.dumps`` emit literals no JSON parser accepts.
+
+    Python's ``int()``/``float()`` are also looser than the wire format:
+    they accept ``_`` digit separators (``"1_000"`` -> 1000) and
+    surrounding whitespace (``" 42 "`` -> 42).  Neither spelling is a
+    number in a query string, so any value containing an underscore or
+    whitespace skips numeric coercion and stays a string.
     """
     out: Dict[str, Any] = {}
     for key, value in pairs:
         if value.lower() in ("true", "false"):
             out[key] = value.lower() == "true"
+            continue
+        if "_" in value or any(ch.isspace() for ch in value):
+            out[key] = value
             continue
         try:
             out[key] = int(value)
@@ -86,6 +95,27 @@ class _Handler(BaseHTTPRequestHandler):
             except OSError:  # headers already sent / socket gone
                 pass
 
+    def _endpoint_kind(self, path: str) -> str:
+        """Low-cardinality endpoint label for the HTTP request counter."""
+        if path == "/healthz":
+            return "health"
+        if path == "/metrics":
+            return "metrics"
+        if path == "/api/v1/traces/recent":
+            return "traces"
+        if path == "/":
+            return "homepage"
+        if _EXPORT_RE.match(path):
+            return "export"
+        if path.startswith("/api/"):
+            return "api"
+        return "other"
+
+    def _record_http(self, status: int) -> None:
+        self.dashboard.ctx.obs.record_http(
+            self._endpoint_kind(urlparse(self.path).path), status
+        )
+
     def _handle_get(self) -> None:
         parsed = urlparse(self.path)
         params = coerce_params(parse_qsl(parsed.query))
@@ -98,8 +128,29 @@ class _Handler(BaseHTTPRequestHandler):
                     "ok": True,
                     "service": "repro-dashboard",
                     # circuit-breaker states per backend, for operators
-                    # watching a degraded cluster recover
-                    "breakers": self.dashboard.ctx.fetcher.breaker_states(),
+                    # watching a degraded cluster recover; the same call
+                    # mirrors the states into the /metrics gauge
+                    "breakers": self.dashboard.ctx.breaker_report(),
+                },
+            )
+            return
+        if parsed.path == "/metrics":
+            # operator endpoint, unauthenticated like /healthz
+            self._send_text(200, self.dashboard.ctx.scrape_metrics())
+            return
+        if parsed.path == "/api/v1/traces/recent":
+            limit = params.get("limit")
+            traces = self.dashboard.ctx.obs.tracer.recent(
+                limit if isinstance(limit, int) else None
+            )
+            self._send(
+                200,
+                {
+                    "ok": True,
+                    "traces": [t.to_dict() for t in traces],
+                    "slow_threshold_ms": (
+                        self.dashboard.ctx.obs.tracer.slow_threshold_ms
+                    ),
                 },
             )
             return
@@ -137,27 +188,32 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, payload: Dict[str, Any]) -> None:
         body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_body(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str) -> None:
+        # the content type Prometheus scrapers expect from /metrics
+        self._send_body(
+            status, text.encode(), "text/plain; version=0.0.4; charset=utf-8"
+        )
 
     def _send_download(self, content: str, mime: str, filename: str) -> None:
-        body = content.encode()
-        self.send_response(200)
-        self.send_header("Content-Type", mime)
-        self.send_header(
-            "Content-Disposition", f'attachment; filename="{filename}"'
+        self._send_body(
+            200,
+            content.encode(),
+            mime,
+            extra=(("Content-Disposition", f'attachment; filename="{filename}"'),),
         )
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
 
     def _send_html(self, status: int, html: str) -> None:
-        body = html.encode()
+        self._send_body(status, html.encode(), "text/html; charset=utf-8")
+
+    def _send_body(self, status: int, body: bytes, ctype: str,
+                   extra: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self._record_http(status)
         self.send_response(status)
-        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Type", ctype)
+        for name, value in extra:
+            self.send_header(name, value)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

@@ -56,6 +56,43 @@ class TestFetch:
         assert cache.stats.hit_rate == pytest.approx(2 / 3)
 
 
+class TestExpiryBoundary:
+    """Pin the half-open freshness boundary: an entry stored at T with
+    TTL d is fresh on [T, T+d) and expired at exactly T+d.  Every
+    consumer — fetch, read, stale-serving, eviction, purge — must agree
+    on this instant."""
+
+    def test_expired_at_exactly_ttl(self, cache, clock):
+        cache.fetch("k", lambda: "v", ttl=30)
+        clock.advance(30)  # now == stored_at + ttl, not a moment later
+        entry = cache.entry("k")
+        assert not entry.is_fresh(clock.now())
+        # a lookup at the boundary is an expiry + miss, never a hit
+        assert cache.fetch("k", lambda: "recomputed") == "recomputed"
+        assert cache.stats.expirations == 1
+        assert cache.stats.hits == 0
+
+    def test_read_agrees_at_boundary(self, cache, clock):
+        cache.write("k", 1, ttl=30)
+        clock.advance(30)
+        assert cache.read("k") is None
+
+    def test_stale_serve_at_boundary_reports_age_equal_to_ttl(self, cache, clock):
+        def boom():
+            raise RuntimeError("backend down")
+
+        cache.write("k", "old", ttl=30)
+        clock.advance(30)
+        value, stale_age = cache.fetch_or_stale("k", boom, stale_on=(RuntimeError,))
+        assert value == "old"
+        assert stale_age == pytest.approx(30.0)
+
+    def test_purge_agrees_at_boundary(self, cache, clock):
+        cache.write("k", 1, ttl=30)
+        clock.advance(30)
+        assert cache.purge_expired() == 1
+
+
 class TestDirectAccess:
     def test_read_returns_none_for_missing(self, cache):
         assert cache.read("nope") is None

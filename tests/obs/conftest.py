@@ -1,0 +1,11 @@
+"""Observability tests reuse the controlled dashboard world."""
+
+from tests.core.conftest import (  # noqa: F401
+    alice_v,
+    bob_v,
+    dash,
+    dave_v,
+    jobs,
+    session,
+    world,
+)

@@ -1,0 +1,299 @@
+"""Observability threaded through the stack: route/cache/daemon metric
+families, trace trees for real requests, the ``/metrics`` and
+``/api/v1/traces/recent`` endpoints, and a concurrency hammer."""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    samples_by_name,
+)
+
+
+class TestRouteMetrics:
+    def test_route_call_counts_and_times(self, dash, alice_v):
+        reg = dash.ctx.obs.registry
+        dash.call("recent_jobs", alice_v)
+        assert reg.total(
+            "repro_route_requests_total", route="recent_jobs", status="200"
+        ) == 1
+        hist = reg.get("repro_route_latency_seconds")
+        snap = hist.snapshot(route="recent_jobs")
+        assert snap.count == 1
+        assert snap.sum >= 0.0
+        assert reg.total("repro_route_errors_total") == 0
+
+    def test_unknown_route_counted_as_404_error(self, dash, alice_v):
+        reg = dash.ctx.obs.registry
+        dash.call("no_such_widget", alice_v)
+        assert reg.total(
+            "repro_route_requests_total", route="no_such_widget", status="404"
+        ) == 1
+        assert reg.total("repro_route_errors_total", route="no_such_widget") == 1
+
+    def test_permission_denied_counted_as_403(self, dash, bob_v):
+        # bob is a member of physics-lab but not a manager
+        reg = dash.ctx.obs.registry
+        response = dash.call(
+            "account_usage_export", bob_v,
+            {"account": "physics-lab", "format": "csv"},
+        )
+        assert response.status == 403
+        assert reg.total(
+            "repro_route_requests_total",
+            route="account_usage_export", status="403",
+        ) == 1
+        assert reg.total(
+            "repro_route_errors_total", route="account_usage_export"
+        ) == 1
+
+    def test_cache_metrics_labelled_by_source(self, dash, alice_v):
+        reg = dash.ctx.obs.registry
+        dash.call("recent_jobs", alice_v)  # cold: squeue miss
+        assert reg.total(
+            "repro_cache_requests_total", source="squeue", result="miss"
+        ) >= 1
+        before_hits = reg.total(
+            "repro_cache_requests_total", source="squeue", result="hit"
+        )
+        dash.call("recent_jobs", alice_v)  # warm: within squeue TTL
+        assert reg.total(
+            "repro_cache_requests_total", source="squeue", result="hit"
+        ) > before_hits
+
+    def test_stats_view_agrees_with_registry(self, dash, alice_v):
+        """CacheStats is now a *view* over the registry — the legacy
+        attributes and the counters can never drift apart."""
+        reg = dash.ctx.obs.registry
+        for _ in range(3):
+            dash.call("recent_jobs", alice_v)
+        stats = dash.ctx.cache.stats
+        assert stats.hits == reg.total(
+            "repro_cache_requests_total", result="hit"
+        )
+        assert stats.misses == reg.total(
+            "repro_cache_requests_total", result="miss"
+        )
+        assert stats.hits >= 2 and stats.misses >= 1
+
+    def test_daemon_and_command_metrics(self, dash, alice_v):
+        reg = dash.ctx.obs.registry
+        dash.call("system_status", alice_v)
+        assert reg.total("repro_daemon_rpcs_total") >= 1
+        assert reg.get("repro_daemon_rpc_latency_seconds") is not None
+        assert reg.total("repro_command_runs_total", outcome="ok") >= 1
+        assert reg.total("repro_daemon_rpcs_failed_total") == 0
+
+
+class TestTraceTrees:
+    def test_cold_request_traces_route_cache_daemon(self, dash, alice_v):
+        tracer = dash.ctx.obs.tracer
+        tracer.clear()
+        dash.call("recent_jobs", alice_v)
+        [trace] = tracer.recent(1)
+        assert trace.name == "route:recent_jobs"
+        assert trace.kind == "route"
+        assert trace.attrs["viewer"] == "alice"
+        assert trace.attrs["status"] == 200
+        names = [s.name for s in trace.walk()]
+        assert any(n.startswith("cache:") for n in names)
+        assert any(n.startswith("daemon:") for n in names)
+        cache_span = next(c for c in trace.children if c.kind == "cache")
+        assert cache_span.attrs["result"] == "miss"
+        daemon_span = cache_span.children[0]
+        assert daemon_span.kind == "daemon"
+        assert daemon_span.attrs["attempt"] == 1
+
+    def test_warm_request_skips_the_daemon(self, dash, alice_v):
+        tracer = dash.ctx.obs.tracer
+        dash.call("recent_jobs", alice_v)  # fill the cache
+        tracer.clear()
+        dash.call("recent_jobs", alice_v)
+        [trace] = tracer.recent(1)
+        cache_span = next(c for c in trace.children if c.kind == "cache")
+        assert cache_span.attrs["result"] == "hit"
+        assert cache_span.children == []  # no daemon RPC behind a hit
+
+    def test_slow_request_log_threshold_is_configurable(self, dash, alice_v):
+        tracer = dash.ctx.obs.tracer
+        assert tracer.slow_threshold_ms == 250.0  # the default
+        tracer.slow_threshold_ms = 0.0  # operators can lower it live
+        dash.call("recent_jobs", alice_v)
+        assert any(
+            t.name == "route:recent_jobs" for t in tracer.slow_requests
+        )
+
+
+@pytest.fixture(scope="module")
+def served():
+    """An HTTP server over the demo world (module-scoped; these tests
+    only ever add traffic, and assert on deltas or presence)."""
+    from repro.core.dashboard import build_demo_dashboard
+    from repro.web.server import DashboardServer
+
+    dash, directory, _ = build_demo_dashboard(duration_hours=1.0, seed=7)
+    server = DashboardServer(dash).start()
+    yield server, dash, directory
+    server.stop()
+
+
+def fetch(server, path, username=None):
+    headers = {"X-Remote-User": username} if username else {}
+    req = urllib.request.Request(server.url + path, headers=headers)
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), resp.read()
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_exposition(self, served):
+        server, _, directory = served
+        user = directory.users()[0].username
+        fetch(server, "/api/v1/widgets/recent_jobs", username=user)
+        status, ctype, body = fetch(server, "/metrics")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        by_name = samples_by_name(parse_prometheus_text(body.decode()))
+        routes_seen = {
+            s.labeldict["route"] for s in by_name["repro_route_requests_total"]
+        }
+        assert "recent_jobs" in routes_seen
+        assert "repro_route_latency_seconds_bucket" in by_name
+        assert "repro_cache_requests_total" in by_name
+        assert "repro_http_requests_total" in by_name
+        assert "repro_cache_entries" in by_name
+
+    def test_scrape_does_not_require_auth(self, served):
+        server, _, _ = served
+        status, _, _ = fetch(server, "/metrics")
+        assert status == 200
+
+    def test_http_traffic_counted_by_endpoint_kind(self, served):
+        server, _, _ = served
+        fetch(server, "/metrics")
+        _, _, body = fetch(server, "/metrics")
+        by_name = samples_by_name(parse_prometheus_text(body.decode()))
+        kinds = {
+            s.labeldict["kind"]: s.value
+            for s in by_name["repro_http_requests_total"]
+            if s.labeldict["status"] == "200"
+        }
+        assert kinds.get("metrics", 0) >= 1
+
+    def test_healthz_and_metrics_agree_on_breakers(self, served):
+        server, _, _ = served
+        _, _, health = fetch(server, "/healthz")
+        breakers = json.loads(health)["breakers"]
+        _, _, body = fetch(server, "/metrics")
+        by_name = samples_by_name(parse_prometheus_text(body.decode()))
+        one_hot = {
+            (s.labeldict["service"], s.labeldict["state"]): s.value
+            for s in by_name["repro_breaker_state"]
+        }
+        assert breakers  # demo world has slurmctld at least
+        for service, state in breakers.items():
+            assert one_hot[(service, state)] == 1.0
+            for other in ("closed", "half_open", "open"):
+                if other != state:
+                    assert one_hot[(service, other)] == 0.0
+
+
+class TestTracesEndpoint:
+    def test_recent_traces_show_the_request_tree(self, served):
+        server, dash, directory = served
+        user = directory.users()[0].username
+        dash.ctx.obs.tracer.clear()
+        fetch(server, "/api/v1/widgets/system_status", username=user)
+        status, ctype, body = fetch(server, "/api/v1/traces/recent")
+        assert status == 200
+        assert ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["ok"]
+        assert payload["slow_threshold_ms"] == 250.0
+        trace = payload["traces"][-1]
+        assert trace["name"] == "route:system_status"
+        assert trace["kind"] == "route"
+        kinds = {child["kind"] for child in trace.get("children", ())}
+        assert "cache" in kinds
+
+    def test_limit_param(self, served):
+        server, _, directory = served
+        user = directory.users()[0].username
+        for _ in range(3):
+            fetch(server, "/api/v1/widgets/recent_jobs", username=user)
+        _, _, body = fetch(server, "/api/v1/traces/recent?limit=2")
+        payload = json.loads(body)
+        assert len(payload["traces"]) == 2
+
+
+class TestConcurrencyHammer:
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        c = registry.counter("hammer_total", "t", ("worker",))
+        h = registry.histogram("hammer_seconds", "t", (), buckets=(0.5,))
+        n_threads, n_iter = 8, 2000
+        start = threading.Barrier(n_threads)
+
+        def work(i):
+            start.wait()
+            for _ in range(n_iter):
+                c.inc(worker=str(i % 4))
+                h.observe(0.1)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.total() == n_threads * n_iter
+        snap = h.snapshot()
+        assert snap.count == n_threads * n_iter
+        assert snap.bucket_counts == [n_threads * n_iter] * 2
+        assert snap.sum == pytest.approx(n_threads * n_iter * 0.1)
+
+    def test_registry_consistent_under_parallel_route_traffic(
+        self, dash, alice_v, bob_v, dave_v
+    ):
+        reg = dash.ctx.obs.registry
+        baseline = reg.total("repro_route_requests_total")
+        viewers = [alice_v, bob_v, dave_v]
+        n_threads, n_iter = 6, 15
+        start = threading.Barrier(n_threads)
+        errors = []
+
+        def work(i):
+            viewer = viewers[i % len(viewers)]
+            route = ("recent_jobs", "system_status")[i % 2]
+            start.wait()
+            for _ in range(n_iter):
+                try:
+                    response = dash.call(route, viewer)
+                    assert response.ok, response.error
+                    # scrape while traffic is in flight: render must
+                    # always produce parseable exposition text
+                    parse_prometheus_text(reg.render())
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total_calls = n_threads * n_iter
+        assert reg.total("repro_route_requests_total") == baseline + total_calls
+        hist = reg.get("repro_route_latency_seconds")
+        observed = sum(
+            hist.snapshot(route=r).count
+            for r in ("recent_jobs", "system_status")
+        )
+        assert observed == total_calls

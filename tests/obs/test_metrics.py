@@ -1,0 +1,235 @@
+"""Unit tests for the metrics primitives: counters, gauges, histogram
+bucket math, exposition rendering (golden), and the text parser."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    samples_by_name,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        c = registry.counter("t_total", "test", ("k",))
+        assert c.value(k="a") == 0
+        c.inc(k="a")
+        c.inc(3, k="a")
+        assert c.value(k="a") == 4
+
+    def test_series_are_independent(self, registry):
+        c = registry.counter("t_total", "test", ("k",))
+        c.inc(k="a")
+        c.inc(5, k="b")
+        assert c.value(k="a") == 1
+        assert c.value(k="b") == 5
+
+    def test_total_filters_by_label(self, registry):
+        c = registry.counter("t_total", "test", ("src", "result"))
+        c.inc(2, src="squeue", result="hit")
+        c.inc(3, src="sinfo", result="hit")
+        c.inc(7, src="squeue", result="miss")
+        assert c.total(result="hit") == 5
+        assert c.total(src="squeue") == 9
+        assert c.total() == 12
+        assert c.total(result="nope") == 0
+
+    def test_negative_increment_rejected(self, registry):
+        c = registry.counter("t_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_wrong_labels_rejected(self, registry):
+        c = registry.counter("t_total", "test", ("k",))
+        with pytest.raises(ValueError):
+            c.inc(wrong="x")
+        with pytest.raises(ValueError):
+            c.inc()  # missing label
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        g = registry.gauge("t_gauge", "test", ("k",))
+        g.set(5.5, k="a")
+        assert g.value(k="a") == 5.5
+        g.inc(-2.5, k="a")
+        assert g.value(k="a") == 3.0
+
+
+class TestRegistry:
+    def test_redeclare_same_shape_returns_same_family(self, registry):
+        a = registry.counter("t_total", "test", ("k",))
+        b = registry.counter("t_total", "other help", ("k",))
+        assert a is b
+
+    def test_redeclare_different_shape_rejected(self, registry):
+        registry.counter("t_total", "test", ("k",))
+        with pytest.raises(ValueError):
+            registry.counter("t_total", "test", ("k", "j"))
+        with pytest.raises(ValueError):
+            registry.gauge("t_total", "test", ("k",))
+
+    def test_total_on_missing_family_is_zero(self, registry):
+        assert registry.total("absent_total") == 0.0
+
+
+class TestHistogramBuckets:
+    """The bucket math: cumulative counts, sum/count, +Inf behaviour."""
+
+    BOUNDS = (0.1, 0.5, 1.0)
+
+    def make(self, registry):
+        return registry.histogram("t_seconds", "test", ("k",), buckets=self.BOUNDS)
+
+    def test_observation_lands_in_all_covering_buckets(self, registry):
+        h = self.make(registry)
+        h.observe(0.3, k="a")  # > 0.1, <= 0.5, <= 1.0
+        s = h.snapshot(k="a")
+        assert s.bucket_counts == [0, 1, 1, 1]  # le=0.1, 0.5, 1.0, +Inf
+        assert s.count == 1
+        assert s.sum == pytest.approx(0.3)
+
+    def test_boundary_value_is_inclusive(self, registry):
+        h = self.make(registry)
+        h.observe(0.5, k="a")  # le is <=, Prometheus convention
+        assert h.snapshot(k="a").bucket_counts == [0, 1, 1, 1]
+
+    def test_overflow_only_counts_in_inf(self, registry):
+        h = self.make(registry)
+        h.observe(42.0, k="a")
+        s = h.snapshot(k="a")
+        assert s.bucket_counts == [0, 0, 0, 1]
+        assert s.sum == pytest.approx(42.0)
+
+    def test_cumulative_counts_are_monotone(self, registry):
+        h = self.make(registry)
+        for v in (0.05, 0.05, 0.3, 0.7, 2.0):
+            h.observe(v, k="a")
+        s = h.snapshot(k="a")
+        assert s.bucket_counts == [2, 3, 4, 5]
+        assert all(
+            a <= b for a, b in zip(s.bucket_counts, s.bucket_counts[1:])
+        )
+        assert s.bucket_counts[-1] == s.count == 5
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad_seconds", "t", (), buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            registry.histogram("dup_seconds", "t", (), buckets=(0.5, 0.5))
+
+    def test_default_buckets_are_sorted_latency_shaped(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.005  # resolves cache hits
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 5.0  # catches the slow tail
+
+
+class TestQuantileEstimation:
+    def test_median_interpolates_within_bucket(self):
+        # 10 observations all in (0.1, 0.5]: median interpolated linearly
+        bounds = [0.1, 0.5, 1.0, math.inf]
+        counts = [0, 10, 10, 10]
+        q50 = quantile_from_buckets(bounds, counts, 0.5)
+        assert 0.1 < q50 < 0.5
+        assert q50 == pytest.approx(0.1 + (0.5 - 0.1) * 0.5)
+
+    def test_p95_lands_in_upper_bucket(self):
+        bounds = [0.1, 0.5, 1.0, math.inf]
+        counts = [90, 95, 100, 100]
+        q95 = quantile_from_buckets(bounds, counts, 0.95)
+        assert 0.1 <= q95 <= 0.5
+
+    def test_inf_bucket_clamps_to_largest_finite_bound(self):
+        bounds = [0.1, 0.5, math.inf]
+        counts = [0, 0, 5]
+        assert quantile_from_buckets(bounds, counts, 0.99) == 0.5
+
+    def test_empty_histogram_is_zero(self):
+        assert quantile_from_buckets([0.1, math.inf], [0, 0], 0.5) == 0.0
+
+    def test_histogram_quantile_method(self, registry):
+        h = registry.histogram("t_seconds", "t", (), buckets=(0.1, 1.0))
+        assert h.quantile(0.5) is None
+        for _ in range(100):
+            h.observe(0.05)
+        assert 0.0 < h.quantile(0.99) <= 0.1
+
+
+class TestExpositionGolden:
+    """Exact text output: the format /metrics promises to scrapers."""
+
+    def test_golden_render(self):
+        registry = MetricsRegistry()
+        c = registry.counter(
+            "demo_requests_total", "Demo requests.", ("route", "status")
+        )
+        g = registry.gauge("demo_temperature", "Demo gauge.")
+        h = registry.histogram(
+            "demo_latency_seconds", "Demo histogram.", ("route",),
+            buckets=(0.1, 0.5),
+        )
+        c.inc(3, route="jobs", status="200")
+        c.inc(route="jobs", status="500")
+        g.set(21.5)
+        h.observe(0.05, route="jobs")
+        h.observe(0.25, route="jobs")
+        expected = "\n".join([
+            "# HELP demo_latency_seconds Demo histogram.",
+            "# TYPE demo_latency_seconds histogram",
+            'demo_latency_seconds_bucket{route="jobs",le="0.1"} 1',
+            'demo_latency_seconds_bucket{route="jobs",le="0.5"} 2',
+            'demo_latency_seconds_bucket{route="jobs",le="+Inf"} 2',
+            'demo_latency_seconds_sum{route="jobs"} 0.3',
+            'demo_latency_seconds_count{route="jobs"} 2',
+            "# HELP demo_requests_total Demo requests.",
+            "# TYPE demo_requests_total counter",
+            'demo_requests_total{route="jobs",status="200"} 3',
+            'demo_requests_total{route="jobs",status="500"} 1',
+            "# HELP demo_temperature Demo gauge.",
+            "# TYPE demo_temperature gauge",
+            "demo_temperature 21.5",
+        ]) + "\n"
+        assert registry.render() == expected
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        c = registry.counter("esc_total", "t", ("k",))
+        c.inc(k='tricky "quoted"\nnewline\\slash')
+        text = registry.render()
+        assert r'\"quoted\"' in text
+        assert "\nnewline" not in text  # the newline must be escaped
+        # and the parser round-trips it
+        [sample] = parse_prometheus_text(text)
+        assert sample.labeldict["k"] == 'tricky "quoted"\nnewline\\slash'
+
+
+class TestParser:
+    def test_roundtrip(self):
+        registry = MetricsRegistry()
+        c = registry.counter("rt_total", "t", ("a", "b"))
+        c.inc(7, a="x", b="y")
+        registry.gauge("rt_gauge", "t").set(1.25)
+        samples = parse_prometheus_text(registry.render())
+        by_name = samples_by_name(samples)
+        assert by_name["rt_total"][0].value == 7
+        assert by_name["rt_total"][0].labeldict == {"a": "x", "b": "y"}
+        assert by_name["rt_gauge"][0].value == 1.25
+
+    def test_inf_values_parse(self):
+        samples = parse_prometheus_text('x_bucket{le="+Inf"} 3\n')
+        assert samples[0].labeldict == {"le": "+Inf"}
+        assert samples[0].value == 3
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is { not a metric\n")

@@ -1,0 +1,190 @@
+"""Tests for the span/trace API: nesting, sim-clock timing, the ring
+buffer, and the slow-request log."""
+
+import logging
+import threading
+
+import pytest
+
+from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock, max_traces=10, slow_threshold_ms=1e9)
+
+
+class TestNesting:
+    def test_children_attach_to_open_parent(self, tracer):
+        with tracer.span("route:jobs", kind="route") as root:
+            with tracer.span("cache:squeue", kind="cache"):
+                with tracer.span("daemon:slurmctld", kind="daemon"):
+                    pass
+            with tracer.span("cache:sinfo", kind="cache"):
+                pass
+        assert [c.name for c in root.children] == ["cache:squeue", "cache:sinfo"]
+        assert root.children[0].children[0].name == "daemon:slurmctld"
+        assert root.children[1].children == []
+
+    def test_only_root_publishes(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            assert tracer.recent() == []  # still open
+        assert [t.name for t in tracer.recent()] == ["outer"]
+
+    def test_current_tracks_innermost(self, tracer):
+        assert tracer.current() is None
+        with tracer.span("a"):
+            with tracer.span("b") as b:
+                assert tracer.current() is b
+        assert tracer.current() is None
+
+    def test_exception_still_closes_and_publishes(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert [t.name for t in tracer.recent()] == ["boom"]
+        assert tracer.current() is None
+
+    def test_threads_get_independent_stacks(self, tracer):
+        errors = []
+
+        def work(name):
+            try:
+                with tracer.span(f"root:{name}"):
+                    with tracer.span(f"child:{name}") as child:
+                        assert tracer.current() is child
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        traces = tracer.recent()
+        assert len(traces) == 8
+        for trace in traces:
+            # nesting survived interleaving: each root holds its own child
+            assert len(trace.children) == 1
+            assert trace.children[0].name.split(":")[1] == trace.name.split(":")[1]
+
+
+class TestSimClockTiming:
+    def test_spans_stamp_sim_time(self, tracer, clock):
+        clock.advance(100)
+        with tracer.span("a") as a:
+            clock.advance(5)
+            with tracer.span("b") as b:
+                clock.advance(2)
+        assert a.t_sim == 100.0
+        assert b.t_sim == 105.0
+        assert a.sim_elapsed_s == pytest.approx(7.0)
+        assert b.sim_elapsed_s == pytest.approx(2.0)
+
+    def test_ordering_by_sim_time(self, tracer, clock):
+        with tracer.span("root"):
+            for _ in range(3):
+                clock.advance(10)
+                with tracer.span("step"):
+                    pass
+        [root] = tracer.recent()
+        stamps = [c.t_sim for c in root.children]
+        assert stamps == sorted(stamps)
+        assert stamps == [10.0, 20.0, 30.0]
+
+    def test_wall_time_measured(self, tracer):
+        with tracer.span("timed") as span:
+            sum(range(1000))
+        assert span.wall_ms >= 0.0
+
+
+class TestRingBuffer:
+    def test_bounded_and_newest_last(self, tracer):
+        for i in range(25):
+            with tracer.span(f"t{i}"):
+                pass
+        traces = tracer.recent()
+        assert len(traces) == 10  # max_traces
+        assert traces[-1].name == "t24"
+        assert traces[0].name == "t15"
+
+    def test_limit_argument(self, tracer):
+        for i in range(5):
+            with tracer.span(f"t{i}"):
+                pass
+        assert [t.name for t in tracer.recent(2)] == ["t3", "t4"]
+
+    def test_clear(self, tracer):
+        with tracer.span("t"):
+            pass
+        tracer.clear()
+        assert tracer.recent() == []
+
+
+class TestSlowLog:
+    def test_fast_requests_not_logged(self, clock):
+        tracer = Tracer(clock, slow_threshold_ms=1e9)
+        with tracer.span("fast"):
+            pass
+        assert tracer.slow_requests == []
+
+    def test_slow_requests_logged_and_warned(self, clock, caplog):
+        tracer = Tracer(clock, slow_threshold_ms=0.0)  # everything is slow
+        with caplog.at_level(logging.WARNING, logger="repro.obs.slowlog"):
+            with tracer.span("slow"):
+                pass
+        assert [t.name for t in tracer.slow_requests] == ["slow"]
+        assert any("slow request" in r.message for r in caplog.records)
+
+    def test_only_roots_thresholded(self, clock):
+        tracer = Tracer(clock, slow_threshold_ms=0.0)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [t.name for t in tracer.slow_requests] == ["root"]
+
+
+class TestSerialization:
+    def test_to_dict_shape(self, tracer, clock):
+        clock.advance(3)
+        with tracer.span("route:x", kind="route", attrs={"viewer": "alice"}):
+            with tracer.span("cache:squeue", kind="cache"):
+                pass
+        [root] = tracer.recent()
+        d = root.to_dict()
+        assert d["name"] == "route:x"
+        assert d["kind"] == "route"
+        assert d["t_sim"] == 3.0
+        assert d["attrs"] == {"viewer": "alice"}
+        assert d["children"][0]["name"] == "cache:squeue"
+        assert "children" not in d["children"][0]  # leaves omit the key
+
+    def test_walk_depth_first(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        [root] = tracer.recent()
+        assert [s.name for s in root.walk()] == ["a", "b", "c", "d"]
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        with NULL_TRACER.span("x") as span:
+            span.attrs["k"] = "v"  # attribute writes must not crash
+        assert NULL_TRACER.recent() == []
+        assert NULL_TRACER.slow_requests == []
+        assert NULL_TRACER.current() is None

@@ -26,6 +26,39 @@ class TestExpand:
     def test_zero_padding_preserved(self):
         assert expand_hostlist("a[008-010]") == ["a008", "a009", "a010"]
 
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            # regression: multi-group expressions left the suffix group
+            # unexpanded ("r1n[1-2]" came back as a single host)
+            ("r[1-2]n[1-2]", ["r1n1", "r1n2", "r2n1", "r2n2"]),
+            ("r[1-2]n[3,5]", ["r1n3", "r1n5", "r2n3", "r2n5"]),
+            ("a[1-2]b", ["a1b", "a2b"]),
+            ("a[1-2]b[1]", ["a1b1", "a2b1"]),
+            (
+                "r[1-2]n[1-2]g[01-02]",
+                [
+                    "r1n1g01", "r1n1g02", "r1n2g01", "r1n2g02",
+                    "r2n1g01", "r2n1g02", "r2n2g01", "r2n2g02",
+                ],
+            ),
+            # zero padding applies per group
+            ("rack[01-02]node[1-2]", ["rack01node1", "rack01node2",
+                                      "rack02node1", "rack02node2"]),
+        ],
+    )
+    def test_cartesian_multi_group(self, expr, expected):
+        assert expand_hostlist(expr) == expected
+
+    def test_multi_group_mixed_with_plain(self):
+        assert expand_hostlist("login,r[1-2]n[1-2]") == [
+            "login", "r1n1", "r1n2", "r2n1", "r2n2"
+        ]
+
+    def test_multi_group_bad_suffix_range_rejected(self):
+        with pytest.raises(ValueError):
+            expand_hostlist("r[1-2]n[5-3]")
+
     def test_descending_range_rejected(self):
         with pytest.raises(ValueError):
             expand_hostlist("a[5-3]")
@@ -72,3 +105,21 @@ def test_roundtrip_property(pairs):
     hosts = [f"{p}{n:03d}" for p, n in pairs]
     out = expand_hostlist(compress_hostlist(hosts))
     assert sorted(set(out)) == sorted(set(hosts))
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3),
+    st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=3),
+)
+def test_multi_group_roundtrip_property(racks, nodes):
+    """Cartesian expansion round-trips through the collapse direction:
+    expand -> compress -> expand preserves the host multiset (as a set —
+    compress dedups)."""
+    expr = (
+        f"r[{','.join(str(r) for r in sorted(set(racks)))}]"
+        f"n[{','.join(str(n) for n in sorted(set(nodes)))}]"
+    )
+    hosts = expand_hostlist(expr)
+    assert len(hosts) == len(set(racks)) * len(set(nodes))
+    again = expand_hostlist(compress_hostlist(hosts))
+    assert sorted(again) == sorted(hosts)

@@ -41,6 +41,32 @@ class TestCoerceParams:
         out = coerce_params([("x", "1e3"), ("y", "-2.5e-4")])
         assert out == {"x": 1000.0, "y": -0.00025}
 
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            # regression: int()/float() accept PEP 515 underscores, so
+            # "1_000" silently became the number 1000
+            "1_000", "1_0", "_1", "1_", "1_000.5", "1_0e2",
+            # regression: int()/float() strip surrounding whitespace, so
+            # " 42 " silently became the number 42
+            " 42", "42 ", " 42 ", "\t7", "3.5\n", " 1e3 ",
+        ],
+    )
+    def test_underscore_and_whitespace_stay_strings(self, raw):
+        out = coerce_params([("limit", raw)])
+        assert out["limit"] == raw
+        assert isinstance(out["limit"], str)
+
+    def test_padded_booleans_stay_strings(self):
+        # only the exact spellings are booleans; padding keeps them raw
+        out = coerce_params([("flag", " true "), ("other", "TRUE")])
+        assert out["flag"] == " true "
+        assert out["other"] is True
+
+    def test_plain_numbers_still_coerce(self):
+        out = coerce_params([("a", "1000"), ("b", "42"), ("c", "1e3")])
+        assert out == {"a": 1000, "b": 42, "c": 1000.0}
+
     def test_huge_int_is_fine(self):
         # int() has no overflow; only the float path can go non-finite
         out = coerce_params([("n", "9" * 400)])

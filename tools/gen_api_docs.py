@@ -124,6 +124,54 @@ See `examples/chaos_day.py` for a scripted outage-and-recovery run and
 """
 
 
+OBSERVABILITY_SECTION = """\
+## Observability
+
+Every layer reports into one `repro.obs.MetricsRegistry` (counters,
+gauges, fixed-bucket latency histograms) paired with a `repro.obs.Tracer`
+that keeps the last N request traces as route → cache → daemon span
+trees on the sim clock. The metric families:
+
+| family | labels | source |
+| --- | --- | --- |
+| `repro_route_requests_total` | `route`, `status` | every route invocation |
+| `repro_route_errors_total` | `route` | error envelopes (status ≥ 400) |
+| `repro_route_latency_seconds` | `route` | route latency histogram |
+| `repro_http_requests_total` | `kind`, `status` | HTTP server, by endpoint kind |
+| `repro_cache_requests_total` | `source`, `result` | TTL cache (`hit` / `miss` / `expired` / `stale_served`) |
+| `repro_cache_evictions_total` | `source` | capacity evictions |
+| `repro_cache_entries` | — | live cache size (scrape-time gauge) |
+| `repro_fetch_retries_total` | `service` | resilient-fetch retries |
+| `repro_breaker_transitions_total` | `service`, `to` | circuit-breaker state changes |
+| `repro_breaker_state` | `service`, `state` | one-hot current state |
+| `repro_daemon_rpcs_total` | `daemon`, `kind` | simulated daemon RPCs |
+| `repro_daemon_rpcs_failed_total` | `daemon` | injected-fault RPC failures |
+| `repro_daemon_rpc_latency_seconds` | `daemon` | simulated RPC latency |
+| `repro_command_runs_total` | `command`, `outcome` | Slurm command wrappers |
+| `repro_daemon_recent_rate_rps`, `repro_daemon_mean_latency_seconds` | `daemon` | scrape-time gauges |
+
+HTTP surface (both unauthenticated, like `/healthz`):
+
+* **`GET /metrics`** — Prometheus text exposition
+  (`text/plain; version=0.0.4`), gauges refreshed at scrape time.
+  `/healthz` and the `repro_breaker_state` gauge report through the
+  same `DashboardContext.breaker_report()` call, so they cannot
+  disagree.
+* **`GET /api/v1/traces/recent?limit=N`** — the last N root traces as
+  JSON span trees (`t_sim`, `sim_elapsed_s`, `wall_ms`, attrs such as
+  cache `result` and daemon `attempt`).
+
+Requests whose wall time exceeds `slow_request_ms` (default 250 ms,
+settable on `DashboardContext`) land in the tracer's slow-request log
+and a `repro.obs.slowlog` warning. `CacheStats` is a read-only view
+over these counters, so legacy readers and `/metrics` always agree.
+`tools/obs_report.py` renders a scraped payload as an operator report
+(top routes by p95, per-source hit rates, breaker states);
+`tools/metrics_smoke.py` is the CI gate that fails if any handled
+route is missing from the exposition.
+"""
+
+
 def main() -> int:
     repo = pathlib.Path(__file__).resolve().parent.parent
     sys.path.insert(0, str(repo / "src"))
@@ -137,6 +185,7 @@ def main() -> int:
         first_paragraph(repro),
         "",
         DEGRADED_MODE_SECTION,
+        OBSERVABILITY_SECTION,
     ]
     seen = set()
     for info in sorted(

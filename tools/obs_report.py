@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Summarise a scraped ``/metrics`` payload as an operator report.
+
+Reads Prometheus text exposition (a file, stdin, or a live scrape with
+``--url``) and prints:
+
+* top routes by estimated p95 latency (from the fixed-bucket
+  histograms), with request counts and error counts;
+* cache hit rates per source (hit / miss / expired / stale-served);
+* circuit-breaker states and transition counts;
+* daemon RPC volume and failures.
+
+Run::
+
+    python tools/obs_report.py metrics.txt
+    curl -s localhost:8080/metrics | python tools/obs_report.py
+    python tools/obs_report.py --url http://localhost:8080/metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import pathlib
+import sys
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.metrics import (  # noqa: E402
+    Sample,
+    parse_prometheus_text,
+    quantile_from_buckets,
+    samples_by_name,
+)
+
+
+def _histogram_series(
+    bucket_samples: List[Sample], label: str
+) -> Dict[str, Tuple[List[float], List[float]]]:
+    """Group ``*_bucket`` samples by one label into (bounds, counts)."""
+    grouped: Dict[str, List[Tuple[float, float]]] = {}
+    for sample in bucket_samples:
+        key = sample.labeldict.get(label, "")
+        le = sample.labeldict.get("le", "")
+        bound = math.inf if le == "+Inf" else float(le)
+        grouped.setdefault(key, []).append((bound, sample.value))
+    out: Dict[str, Tuple[List[float], List[float]]] = {}
+    for key, pairs in grouped.items():
+        pairs.sort()
+        out[key] = ([b for b, _ in pairs], [c for _, c in pairs])
+    return out
+
+
+def _sum_where(samples: List[Sample], **labels: str) -> float:
+    return sum(
+        s.value for s in samples
+        if all(s.labeldict.get(k) == v for k, v in labels.items())
+    )
+
+
+def route_table(by_name) -> List[dict]:
+    """Per-route latency quantiles and volumes, sorted by p95 desc."""
+    series = _histogram_series(
+        by_name.get("repro_route_latency_seconds_bucket", []), "route"
+    )
+    requests = by_name.get("repro_route_requests_total", [])
+    errors = by_name.get("repro_route_errors_total", [])
+    rows = []
+    for route, (bounds, counts) in series.items():
+        count = counts[-1] if counts else 0
+        rows.append({
+            "route": route,
+            "requests": _sum_where(requests, route=route),
+            "errors": _sum_where(errors, route=route),
+            "p50_ms": quantile_from_buckets(bounds, counts, 0.50) * 1000,
+            "p95_ms": quantile_from_buckets(bounds, counts, 0.95) * 1000,
+            "observations": count,
+        })
+    rows.sort(key=lambda r: r["p95_ms"], reverse=True)
+    return rows
+
+
+def cache_table(by_name) -> List[dict]:
+    """Per-source cache hit rates, sorted by request volume desc."""
+    samples = by_name.get("repro_cache_requests_total", [])
+    sources = sorted({s.labeldict.get("source", "") for s in samples})
+    rows = []
+    for source in sources:
+        hits = _sum_where(samples, source=source, result="hit")
+        misses = _sum_where(samples, source=source, result="miss")
+        expired = _sum_where(samples, source=source, result="expired")
+        stale = _sum_where(samples, source=source, result="stale_served")
+        lookups = hits + misses + expired
+        rows.append({
+            "source": source,
+            "lookups": lookups,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "hits": hits,
+            "misses": misses,
+            "expired": expired,
+            "stale_served": stale,
+        })
+    rows.sort(key=lambda r: r["lookups"], reverse=True)
+    return rows
+
+
+def breaker_table(by_name) -> List[dict]:
+    """Current one-hot breaker state plus lifetime transition counts."""
+    states = by_name.get("repro_breaker_state", [])
+    transitions = by_name.get("repro_breaker_transitions_total", [])
+    services = sorted({s.labeldict.get("service", "") for s in states})
+    rows = []
+    for service in services:
+        current = next(
+            (
+                s.labeldict["state"] for s in states
+                if s.labeldict.get("service") == service and s.value == 1.0
+            ),
+            "unknown",
+        )
+        rows.append({
+            "service": service,
+            "state": current,
+            "opens": _sum_where(transitions, service=service, to="open"),
+            "transitions": _sum_where(transitions, service=service),
+        })
+    return rows
+
+
+def daemon_table(by_name) -> List[dict]:
+    rpcs = by_name.get("repro_daemon_rpcs_total", [])
+    failed = by_name.get("repro_daemon_rpcs_failed_total", [])
+    daemons = sorted({s.labeldict.get("daemon", "") for s in rpcs})
+    return [
+        {
+            "daemon": daemon,
+            "rpcs": _sum_where(rpcs, daemon=daemon),
+            "failed": _sum_where(failed, daemon=daemon),
+        }
+        for daemon in daemons
+    ]
+
+
+def render_report(payload: str, top: int = 10) -> str:
+    by_name = samples_by_name(parse_prometheus_text(payload))
+    lines: List[str] = []
+
+    lines.append(f"== Top routes by p95 latency (top {top}) ==")
+    routes = route_table(by_name)
+    if routes:
+        lines.append(
+            f"{'route':<24} {'reqs':>6} {'errs':>5} {'p50 ms':>8} {'p95 ms':>8}"
+        )
+        for row in routes[:top]:
+            lines.append(
+                f"{row['route']:<24} {row['requests']:>6.0f} "
+                f"{row['errors']:>5.0f} {row['p50_ms']:>8.1f} "
+                f"{row['p95_ms']:>8.1f}"
+            )
+    else:
+        lines.append("(no route histograms in payload)")
+
+    lines.append("")
+    lines.append("== Cache hit rate per source ==")
+    caches = cache_table(by_name)
+    if caches:
+        lines.append(
+            f"{'source':<16} {'lookups':>8} {'hit rate':>9} "
+            f"{'stale served':>13}"
+        )
+        for row in caches:
+            lines.append(
+                f"{row['source']:<16} {row['lookups']:>8.0f} "
+                f"{row['hit_rate']:>8.1%} {row['stale_served']:>13.0f}"
+            )
+    else:
+        lines.append("(no cache counters in payload)")
+
+    lines.append("")
+    lines.append("== Circuit breakers ==")
+    breakers = breaker_table(by_name)
+    if breakers:
+        for row in breakers:
+            lines.append(
+                f"{row['service']:<16} {row['state']:<10} "
+                f"opens={row['opens']:.0f} transitions={row['transitions']:.0f}"
+            )
+    else:
+        lines.append("(no breaker gauges in payload)")
+
+    daemons = daemon_table(by_name)
+    if daemons:
+        lines.append("")
+        lines.append("== Daemon RPCs ==")
+        for row in daemons:
+            lines.append(
+                f"{row['daemon']:<16} rpcs={row['rpcs']:.0f} "
+                f"failed={row['failed']:.0f}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "payload", nargs="?", default="-",
+        help="file with Prometheus text exposition ('-' for stdin)",
+    )
+    parser.add_argument(
+        "--url", help="scrape this /metrics URL instead of reading a file"
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="routes to show (default 10)"
+    )
+    opts = parser.parse_args(argv)
+
+    if opts.url:
+        import urllib.request
+
+        with urllib.request.urlopen(opts.url, timeout=10) as resp:
+            text = resp.read().decode()
+    elif opts.payload == "-":
+        text = sys.stdin.read()
+    else:
+        text = pathlib.Path(opts.payload).read_text()
+
+    print(render_report(text, top=opts.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
