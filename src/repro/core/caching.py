@@ -6,6 +6,14 @@ periodically".  :class:`TTLCache` reproduces `Rails.cache.fetch`: look
 the key up; on a miss (or expiry) run the supplied block, store the
 result with the per-source TTL, and return it.
 
+Unlike ``Rails.cache.fetch``, misses are **single-flight**: when several
+handler threads miss on the same key at once, exactly one of them (the
+leader) runs the compute block; the rest (followers) wait on the
+leader's in-flight result instead of stampeding the backend.  A
+follower's wait is bounded — past the budget it degrades to the expired
+entry when one exists, so the moment a popular key expires under load
+the daemons see one query, not one per concurrent request.
+
 :class:`CachePolicy` centralizes the per-data-source expiration times the
 paper motivates: ~30 s for ``squeue`` (changes fast, protects slurmctld)
 up to 30–60 min for announcements (changes slowly).
@@ -60,6 +68,19 @@ def _source_of(key: str) -> str:
     return key.split(":", 1)[0] if ":" in key else "default"
 
 
+#: every value the ``result`` label of ``repro_cache_requests_total`` can
+#: take.  The label is **one-hot**: each lookup increments exactly one
+#: result, so summing the family counts lookups with no double counting.
+LOOKUP_RESULTS = (
+    "hit",  # fresh entry served
+    "miss",  # no entry; this caller computed
+    "expired",  # expired entry; this caller recomputed
+    "stale_served",  # compute failed (or leader overran); expired entry served
+    "coalesced",  # follower served the leader's in-flight result
+    "coalesced_failed",  # follower inherited the leader's failure, no stale
+)
+
+
 class CacheStats:
     """Read-only view of the cache/fetch counters in a metrics registry.
 
@@ -93,9 +114,26 @@ class CacheStats:
         )
 
     @property
+    def coalesced(self) -> int:
+        """Lookups served from another thread's in-flight compute."""
+        return int(
+            self.registry.total("repro_cache_requests_total", result="coalesced")
+        )
+
+    @property
+    def coalesced_waiters(self) -> int:
+        """Follower threads that waited on an in-flight compute."""
+        return int(self.registry.total("repro_cache_coalesced_waiters_total"))
+
+    @property
     def evictions(self) -> int:
         """Entries dropped to stay under ``max_entries``."""
         return int(self.registry.total("repro_cache_evictions_total"))
+
+    @property
+    def purged(self) -> int:
+        """Entries removed by :meth:`TTLCache.purge_expired` / ``delete``."""
+        return int(self.registry.total("repro_cache_purged_total"))
 
     @property
     def retries(self) -> int:
@@ -111,21 +149,56 @@ class CacheStats:
 
     @property
     def requests(self) -> int:
-        return self.hits + self.misses
+        """Total cache lookups.  ``result`` is one-hot, so the family sum
+        *is* the lookup count — an expired lookup no longer counts as
+        both ``expired`` and ``miss``."""
+        return int(self.registry.total("repro_cache_requests_total"))
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.requests if self.requests else 0.0
+        """Fresh hits over all lookups (one-hot denominator)."""
+        requests = self.requests
+        return self.hits / requests if requests else 0.0
+
+
+@dataclass
+class CacheLookup:
+    """What one :meth:`TTLCache.lookup` produced, with coalescing detail."""
+
+    value: Any
+    #: one of :data:`LOOKUP_RESULTS` — mirrors the counted result label
+    result: str
+    #: age (s) of the expired entry served, when ``result == "stale_served"``
+    stale_age_s: Optional[float] = None
+    #: ``"leader"`` ran the compute, ``"follower"`` waited on another
+    #: thread's in-flight compute, ``None`` for fresh hits
+    role: Optional[str] = None
+
+
+class _InFlight:
+    """One in-flight compute: the leader's pending result for a key."""
+
+    __slots__ = ("event", "leader_thread", "value", "exc", "waiters")
+
+    def __init__(self, leader_thread: int):
+        self.event = threading.Event()
+        self.leader_thread = leader_thread
+        self.value: Any = None
+        self.exc: Optional[BaseException] = None
+        self.waiters = 0
 
 
 class TTLCache:
-    """Clock-driven TTL cache with fetch-with-block semantics.
+    """Clock-driven TTL cache with single-flight fetch-with-block semantics.
 
     Thread-safe: handler threads of the HTTP server share one instance,
     so every read/write of ``_entries`` happens under a lock.  Compute
     blocks run *outside* the lock (they can be slow and may reenter the
-    cache); as with ``Rails.cache.fetch``, two threads missing on the
-    same key may both compute — last write wins.
+    cache).  Unlike ``Rails.cache.fetch``, concurrent misses on one key
+    are **coalesced**: the first thread becomes the leader and runs the
+    compute block; followers wait on its in-flight result (bounded by
+    ``follower_timeout_s``) instead of each hitting the backend, so a
+    popular key expiring under load costs one backend query, not N.
 
     Eviction keeps an expiry-ordered heap alongside the dict, so the
     at-capacity write path is O(log n) instead of a full O(n) scan.
@@ -134,21 +207,25 @@ class TTLCache:
     """
 
     def __init__(self, clock: SimClock, default_ttl: float = 60.0, max_entries: int = 10_000,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None, coalesce: bool = True):
         if default_ttl <= 0:
             raise ValueError("default_ttl must be positive")
         self.clock = clock
         self.default_ttl = default_ttl
         self.max_entries = max_entries
+        #: single-flight coalescing switch (off reproduces the historic
+        #: every-thread-computes behaviour, for A/B benchmarks)
+        self.coalesce = coalesce
         self._entries: Dict[str, CacheEntry] = {}
         self._expiry_heap: List[Tuple[float, str]] = []
+        self._inflight: Dict[str, _InFlight] = {}
         self._lock = threading.RLock()
         #: shared registry (the dashboard's) or a private one; either way
         #: lookups/evictions become first-class per-source metrics
         self.metrics = registry or MetricsRegistry()
         self._requests = self.metrics.counter(
             "repro_cache_requests_total",
-            "Server-cache lookups by data source and result.",
+            "Server-cache lookups by data source and result (one-hot).",
             ("source", "result"),
         )
         self._evicted = self.metrics.counter(
@@ -156,27 +233,49 @@ class TTLCache:
             "Entries evicted to stay under max_entries, by data source.",
             ("source",),
         )
+        self._purged = self.metrics.counter(
+            "repro_cache_purged_total",
+            "Entries dropped by purge_expired/delete/clear, by source and reason.",
+            ("source", "reason"),
+        )
+        self._coalesced_waiters = self.metrics.counter(
+            "repro_cache_coalesced_waiters_total",
+            "Follower threads that waited on an in-flight compute, by source.",
+            ("source",),
+        )
+        self._inflight_gauge = self.metrics.gauge(
+            "repro_cache_inflight_keys",
+            "Keys with a single-flight compute currently running.",
+        )
+        self._inflight_gauge.set(0.0)
+        self._entries_gauge = self.metrics.gauge(
+            "repro_cache_entries",
+            "Live entries in the server-side TTL cache.",
+        )
+        self._entries_gauge.set(0.0)
         self.stats = CacheStats(self.metrics)
 
     def _count(self, key: str, result: str) -> None:
         self._requests.inc(source=_source_of(key), result=result)
 
-    # -- Rails.cache.fetch ---------------------------------------------------
+    def _sync_gauges_locked(self) -> None:
+        """Keep the live-size gauges in lockstep with the dicts (called
+        with the cache lock held, after any mutation)."""
+        self._entries_gauge.set(float(len(self._entries)))
+        self._inflight_gauge.set(float(len(self._inflight)))
 
-    def fetch(self, key: str, compute: Callable[[], Any], ttl: Optional[float] = None) -> Any:
+    # -- Rails.cache.fetch, single-flight ------------------------------------
+
+    def fetch(self, key: str, compute: Callable[[], Any], ttl: Optional[float] = None,
+              follower_timeout_s: Optional[float] = None) -> Any:
         """Return the cached value for ``key``; on miss/expiry call
-        ``compute``, store its result with ``ttl``, and return it."""
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                if entry.is_fresh(self.clock.now()):
-                    self._count(key, "hit")
-                    return entry.value
-                self._count(key, "expired")
-            self._count(key, "miss")
-        value = compute()
-        self.write(key, value, ttl)
-        return value
+        ``compute``, store its result with ``ttl``, and return it.
+
+        Concurrent misses coalesce: only the leader runs ``compute`` and
+        followers share its result (or its exception)."""
+        return self.lookup(
+            key, compute, ttl=ttl, follower_timeout_s=follower_timeout_s
+        ).value
 
     def fetch_or_stale(
         self,
@@ -184,6 +283,7 @@ class TTLCache:
         compute: Callable[[], Any],
         ttl: Optional[float] = None,
         stale_on: Tuple[Type[BaseException], ...] = (Exception,),
+        follower_timeout_s: Optional[float] = None,
     ) -> Tuple[Any, Optional[float]]:
         """:meth:`fetch`, but degrade instead of failing when possible.
 
@@ -191,27 +291,179 @@ class TTLCache:
         for a fresh hit or a successful compute; when ``compute`` raises
         one of ``stale_on`` and an expired entry survives, that stale
         value is returned with its age in seconds.  With no fallback
-        entry the exception propagates.
+        entry the exception propagates.  Followers degrade the same way
+        when their leader fails — or when it outlives
+        ``follower_timeout_s`` — so a whole stampede produces at most
+        one backend failure.
         """
+        result = self.lookup(
+            key, compute, ttl=ttl, stale_on=stale_on,
+            follower_timeout_s=follower_timeout_s,
+        )
+        return result.value, result.stale_age_s
+
+    def lookup(
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        ttl: Optional[float] = None,
+        stale_on: Tuple[Type[BaseException], ...] = (),
+        follower_timeout_s: Optional[float] = None,
+    ) -> CacheLookup:
+        """The full fetch path, reporting how the value was obtained.
+
+        One miss, one compute: the first thread to miss becomes the
+        *leader*, registers an in-flight marker, and runs ``compute``
+        outside the lock; threads missing on the same key meanwhile
+        become *followers* and wait (at most ``follower_timeout_s``
+        seconds, forever when ``None``) for the leader's result.
+
+        Followers degrade to the expired entry — when ``stale_on`` is
+        non-empty and one exists — if the leader fails or overruns the
+        wait budget; with nothing stale, a leader failure propagates to
+        every follower, and a timed-out follower stops waiting and
+        computes on its own rather than blocking past its budget.
+
+        Each call increments ``repro_cache_requests_total`` exactly once
+        (see :data:`LOOKUP_RESULTS`).  Reentrant computes are safe: a
+        compute block touching a *different* key coalesces per key, and
+        one re-fetching its *own* key just computes again instead of
+        deadlocking on itself.
+        """
+        flight: Optional[_InFlight] = None
+        role = "leader"
         with self._lock:
             entry = self._entries.get(key)
-            if entry is not None:
-                if entry.is_fresh(self.clock.now()):
-                    self._count(key, "hit")
-                    return entry.value, None
-                self._count(key, "expired")
-            self._count(key, "miss")
+            if entry is not None and entry.is_fresh(self.clock.now()):
+                self._count(key, "hit")
+                return CacheLookup(value=entry.value, result="hit")
+            had_expired = entry is not None
+            if self.coalesce:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight(threading.get_ident())
+                    self._inflight[key] = flight
+                    self._sync_gauges_locked()
+                elif flight.leader_thread == threading.get_ident():
+                    # our own compute reentered the same key: computing
+                    # again is safe, waiting on ourselves never returns
+                    flight = None
+                else:
+                    flight.waiters += 1
+                    self._coalesced_waiters.inc(source=_source_of(key))
+                    role = "follower"
+        if role == "follower":
+            assert flight is not None
+            return self._await_leader(
+                key, flight, compute, ttl, stale_on, follower_timeout_s
+            )
+        return self._lead(key, flight, compute, ttl, stale_on, had_expired)
+
+    def _lead(
+        self,
+        key: str,
+        flight: Optional[_InFlight],
+        compute: Callable[[], Any],
+        ttl: Optional[float],
+        stale_on: Tuple[Type[BaseException], ...],
+        had_expired: bool,
+    ) -> CacheLookup:
+        """Run ``compute`` as the single-flight leader (outside the lock)
+        and resolve the in-flight marker for any followers."""
+        role = "leader" if flight is not None else None
         try:
             value = compute()
-        except stale_on:
-            with self._lock:
-                entry = self._entries.get(key)
-                if entry is None:
-                    raise
-                self._count(key, "stale_served")
-                return entry.value, entry.age(self.clock.now())
+        except BaseException as exc:
+            if stale_on and isinstance(exc, stale_on):
+                with self._lock:
+                    entry = self._entries.get(key)
+                if entry is not None:
+                    self._count(key, "stale_served")
+                    self._resolve(key, flight, exc=exc)
+                    return CacheLookup(
+                        value=entry.value,
+                        result="stale_served",
+                        stale_age_s=entry.age(self.clock.now()),
+                        role=role,
+                    )
+            self._count(key, "expired" if had_expired else "miss")
+            self._resolve(key, flight, exc=exc)
+            raise
+        # store before resolving so late followers and new arrivals see
+        # the fresh entry the moment they stop being coalesced
         self.write(key, value, ttl)
-        return value, None
+        result = "expired" if had_expired else "miss"
+        self._count(key, result)
+        self._resolve(key, flight, value=value)
+        return CacheLookup(value=value, result=result, role=role)
+
+    def _resolve(self, key: str, flight: Optional[_InFlight],
+                 value: Any = None, exc: Optional[BaseException] = None) -> None:
+        """Publish the leader's outcome and retire the in-flight marker."""
+        if flight is None:
+            return
+        flight.value = value
+        flight.exc = exc
+        with self._lock:
+            if self._inflight.get(key) is flight:
+                del self._inflight[key]
+            self._sync_gauges_locked()
+        flight.event.set()
+
+    def _await_leader(
+        self,
+        key: str,
+        flight: _InFlight,
+        compute: Callable[[], Any],
+        ttl: Optional[float],
+        stale_on: Tuple[Type[BaseException], ...],
+        follower_timeout_s: Optional[float],
+    ) -> CacheLookup:
+        """Wait (bounded) for the in-flight leader, degrading to stale or
+        an independent compute rather than blocking past the budget."""
+        completed = flight.event.wait(timeout=follower_timeout_s)
+        if completed and flight.exc is None:
+            self._count(key, "coalesced")
+            return CacheLookup(
+                value=flight.value, result="coalesced", role="follower"
+            )
+        degradable = bool(stale_on) and (
+            not completed or isinstance(flight.exc, stale_on)
+        )
+        with self._lock:
+            entry = self._entries.get(key)
+            now = self.clock.now()
+        if entry is not None:
+            if entry.is_fresh(now):
+                # someone (a retrying leader, a writer) refreshed the
+                # entry while we waited — as good as a coalesced result
+                self._count(key, "coalesced")
+                return CacheLookup(
+                    value=entry.value, result="coalesced", role="follower"
+                )
+            if degradable:
+                self._count(key, "stale_served")
+                return CacheLookup(
+                    value=entry.value,
+                    result="stale_served",
+                    stale_age_s=entry.age(now),
+                    role="follower",
+                )
+        if completed:
+            assert flight.exc is not None
+            self._count(key, "coalesced_failed")
+            raise flight.exc
+        # waited the whole budget with nothing stale to serve: stop
+        # following and compute independently (counted as this lookup's
+        # one result, whatever compute does)
+        self._count(key, "expired" if entry is not None else "miss")
+        value = compute()
+        self.write(key, value, ttl)
+        return CacheLookup(
+            value=value,
+            result="expired" if entry is not None else "miss",
+            role="follower",
+        )
 
     # -- direct access -----------------------------------------------------
 
@@ -238,17 +490,25 @@ class TTLCache:
             # the lazy skip in _evict_one degrades to a linear scan
             if len(self._expiry_heap) > 4 * max(self.max_entries, 64):
                 self._rebuild_heap()
+            self._sync_gauges_locked()
 
     def delete(self, key: str) -> bool:
         """Remove one key; returns True if it existed."""
         with self._lock:
-            return self._entries.pop(key, None) is not None
+            existed = self._entries.pop(key, None) is not None
+            if existed:
+                self._purged.inc(source=_source_of(key), reason="deleted")
+                self._sync_gauges_locked()
+            return existed
 
     def clear(self) -> None:
         """Drop every entry."""
         with self._lock:
+            for key in self._entries:
+                self._purged.inc(source=_source_of(key), reason="cleared")
             self._entries.clear()
             self._expiry_heap.clear()
+            self._sync_gauges_locked()
 
     def entry(self, key: str) -> Optional[CacheEntry]:
         """The raw entry (fresh or stale), for staleness instrumentation."""
@@ -273,15 +533,23 @@ class TTLCache:
             if entry is not None and entry.expires_at() == expires_at:
                 del self._entries[key]
                 self._evicted.inc(source=_source_of(key))
+                self._sync_gauges_locked()
                 return
 
     def purge_expired(self) -> int:
-        """Drop expired entries; returns how many were removed."""
+        """Drop expired entries; returns how many were removed.
+
+        Each removal is counted in ``repro_cache_purged_total`` so the
+        ``repro_cache_entries`` gauge and ``len(cache)`` stay auditable
+        from ``/metrics`` between scrapes."""
         with self._lock:
             now = self.clock.now()
             stale = [k for k, e in self._entries.items() if not e.is_fresh(now)]
             for k in stale:
                 del self._entries[k]
+                self._purged.inc(source=_source_of(k), reason="expired")
+            if stale:
+                self._sync_gauges_locked()
             return len(stale)
 
 

@@ -377,9 +377,13 @@ class DashboardContext:
                 raise
             span.attrs["result"] = (
                 "hit" if outcome.cache_hit
+                else "coalesced" if outcome.coalesced
                 else "stale" if outcome.degraded
                 else "miss"
             )
+            if outcome.role is not None:
+                # which side of a single-flight stampede this fetch was on
+                span.attrs["role"] = outcome.role
             if outcome.attempts > 1:
                 span.attrs["attempts"] = outcome.attempts
         for scope in self._scope_stack():

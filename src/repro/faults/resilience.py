@@ -203,6 +203,12 @@ class FetchOutcome:
     #: True when the value came straight from a fresh cache entry
     #: (``compute`` never ran) — the tracer's cache-span result
     cache_hit: bool = False
+    #: True when this fetch rode another thread's in-flight compute
+    #: instead of querying the backend itself (single-flight follower)
+    coalesced: bool = False
+    #: ``"leader"``/``"follower"`` when the lookup took part in a
+    #: single-flight stampede, ``None`` otherwise — span annotation
+    role: Optional[str] = None
 
 
 class ResilientFetcher:
@@ -278,10 +284,16 @@ class ResilientFetcher:
         """Fetch ``source:key`` through the cache with full resilience.
 
         Fresh cache hits short-circuit everything.  On miss, ``compute``
-        runs under the retry/breaker/timeout policy; if every attempt
-        fails with a :class:`DaemonError` and an expired entry exists,
-        that stale value is served and the outcome flagged degraded.
-        With no stale copy, :class:`SourceUnavailableError` propagates.
+        runs under the retry/breaker/timeout policy — but only in the
+        *leader* of a concurrent stampede: the cache coalesces parallel
+        misses on one key into a single flight, so the breaker sees one
+        failure per stampede and the daemon one query.  Followers wait
+        at most the source's :meth:`CachePolicy.timeout_for` budget,
+        then degrade to the expired entry when one exists.  If every
+        attempt fails with a :class:`DaemonError` and an expired entry
+        exists, that stale value is served and the outcome flagged
+        degraded.  With no stale copy, :class:`SourceUnavailableError`
+        propagates (to the leader and every follower alike).
         """
         service = service_for_source(source)
         full_key = f"{source}:{key}"
@@ -292,23 +304,32 @@ class ResilientFetcher:
             return self._compute_with_retry(source, service, compute, attempts)
 
         try:
-            value, stale_age = self.cache.fetch_or_stale(
-                full_key, resilient_compute, ttl=ttl, stale_on=(DaemonError,)
+            result = self.cache.lookup(
+                full_key,
+                resilient_compute,
+                ttl=ttl,
+                stale_on=(DaemonError,),
+                follower_timeout_s=self.policy.timeout_for(source),
             )
         except DaemonError as exc:
             raise SourceUnavailableError(source, service, exc) from exc
-        if stale_age is None:
+        if result.stale_age_s is None:
             return FetchOutcome(
-                value=value, source=source, attempts=max(1, attempts["n"]),
-                cache_hit=attempts["n"] == 0,
+                value=result.value,
+                source=source,
+                attempts=max(1, attempts["n"]),
+                cache_hit=result.result == "hit",
+                coalesced=result.result == "coalesced",
+                role=result.role,
             )
         return FetchOutcome(
-            value=value,
+            value=result.value,
             source=source,
             degraded=True,
-            stale_age_s=stale_age,
+            stale_age_s=result.stale_age_s,
             attempts=max(1, attempts["n"]),
             error=attempts.get("error"),
+            role=result.role,
         )
 
     def _compute_with_retry(

@@ -149,11 +149,15 @@ class Tracer:
     # -- reading -------------------------------------------------------------
 
     def recent(self, limit: Optional[int] = None) -> List[Span]:
-        """The most recent finished traces, newest last."""
+        """The most recent finished traces, newest last.
+
+        ``limit=0`` means zero traces — guarded explicitly because the
+        naive ``traces[-0:]`` slice would return *everything*.
+        """
         with self._lock:
             traces = list(self._traces)
         if limit is not None and limit >= 0:
-            traces = traces[-limit:]
+            traces = traces[-limit:] if limit > 0 else []
         return traces
 
     @property

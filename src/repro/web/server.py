@@ -68,6 +68,39 @@ def coerce_params(pairs) -> Dict[str, Any]:
     return out
 
 
+class ParamError(ValueError):
+    """A query parameter failed validation — rendered as a structured 400."""
+
+
+def positive_int_param(
+    params: Dict[str, Any], name: str, maximum: Optional[int] = None
+) -> Optional[int]:
+    """The value of an integer query param that must be >= 1 (or absent).
+
+    ``coerce_params`` maps ``"true"``/``"false"`` to booleans, and
+    ``isinstance(True, int)`` holds in Python — so a naive ``isinstance``
+    check silently reads ``?limit=true`` as ``limit=1``.  Booleans,
+    non-integers, zero and negative values are all rejected with a
+    :class:`ParamError` instead of leaking into slicing arithmetic.
+    """
+    value = params.get(name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ParamError(
+            f"query param {name!r} must be a positive integer, got {value!r}"
+        )
+    if value < 1:
+        raise ParamError(
+            f"query param {name!r} must be >= 1, got {value}"
+        )
+    if maximum is not None and value > maximum:
+        raise ParamError(
+            f"query param {name!r} must be <= {maximum}, got {value}"
+        )
+    return value
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Request handler bound to a Dashboard via the server instance."""
 
@@ -139,10 +172,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_text(200, self.dashboard.ctx.scrape_metrics())
             return
         if parsed.path == "/api/v1/traces/recent":
-            limit = params.get("limit")
-            traces = self.dashboard.ctx.obs.tracer.recent(
-                limit if isinstance(limit, int) else None
-            )
+            try:
+                limit = positive_int_param(params, "limit")
+            except ParamError as exc:
+                self._send(400, {"ok": False, "error": str(exc), "status": 400})
+                return
+            traces = self.dashboard.ctx.obs.tracer.recent(limit)
             self._send(
                 200,
                 {

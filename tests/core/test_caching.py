@@ -1,5 +1,8 @@
 """Tests for the server-side TTL cache (Rails.cache equivalent)."""
 
+import threading
+import time
+
 import pytest
 
 from repro.core.caching import CachePolicy, TTLCache
@@ -151,6 +154,300 @@ class TestEviction:
         cache.write("new", 3, ttl=100)
         assert cache.read("short") is None
         assert cache.read("long") == 2
+
+
+class TestOneHotCounting:
+    """Pin the one-hot ``result`` label: every lookup increments
+    ``repro_cache_requests_total`` exactly once, so the family sum equals
+    the number of lookups (an expired lookup used to count as both
+    ``expired`` *and* ``miss``, inflating every denominator)."""
+
+    def test_expired_lookup_counts_once(self, cache, clock):
+        cache.fetch("k", lambda: "old", ttl=30)  # miss
+        clock.advance(31)
+        cache.fetch("k", lambda: "new")  # expired (NOT also a miss)
+        assert cache.stats.expirations == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.requests == 2
+
+    def test_family_sum_equals_lookup_count(self, cache, clock):
+        def boom():
+            raise RuntimeError("down")
+
+        lookups = 0
+        cache.fetch("a", lambda: 1)  # miss
+        lookups += 1
+        cache.fetch("a", lambda: 1)  # hit
+        lookups += 1
+        cache.fetch("b", lambda: 2, ttl=10)  # miss
+        lookups += 1
+        clock.advance(11)
+        cache.fetch("b", lambda: 3)  # expired
+        lookups += 1
+        cache.write("c", "old", ttl=5)
+        clock.advance(6)
+        cache.fetch_or_stale("c", boom)  # stale_served, exactly one count
+        lookups += 1
+        with pytest.raises(RuntimeError):
+            cache.fetch("d", boom)  # failed miss still counts once
+        lookups += 1
+        stats = cache.stats
+        assert stats.requests == lookups == 6
+        assert (
+            stats.hits + stats.misses + stats.expirations
+            + stats.stale_served + stats.coalesced
+        ) == lookups
+        # pinned per-result counts
+        assert (stats.hits, stats.misses, stats.expirations,
+                stats.stale_served) == (1, 3, 1, 1)
+
+    def test_hit_rate_uses_one_hot_denominator(self, cache, clock):
+        cache.fetch("k", lambda: 1, ttl=10)  # miss
+        cache.fetch("k", lambda: 1)  # hit
+        clock.advance(11)
+        cache.fetch("k", lambda: 2)  # expired
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+
+class TestPurgeAccounting:
+    """purge_expired/delete/clear must show up in /metrics: a purge
+    counter plus a live ``repro_cache_entries`` gauge that tracks
+    ``len(cache)`` instead of drifting between scrapes."""
+
+    def _entries_gauge(self, cache):
+        return cache.metrics.gauge("repro_cache_entries").value()
+
+    def test_purge_counts_per_source(self, cache, clock):
+        cache.write("squeue:a", 1, ttl=10)
+        cache.write("news:b", 2, ttl=10)
+        cache.write("news:c", 3, ttl=100)
+        clock.advance(50)
+        assert cache.purge_expired() == 2
+        purged = cache.metrics.counter(
+            "repro_cache_purged_total", labelnames=("source", "reason")
+        )
+        assert purged.value(source="squeue", reason="expired") == 1
+        assert purged.value(source="news", reason="expired") == 1
+        assert cache.stats.purged == 2
+
+    def test_delete_and_clear_are_counted(self, cache):
+        cache.write("k", 1)
+        cache.write("j", 2)
+        assert cache.delete("k") is True
+        assert cache.delete("k") is False  # double delete counts once
+        cache.clear()
+        assert cache.stats.purged == 2
+
+    def test_entries_gauge_tracks_len(self, cache, clock):
+        assert self._entries_gauge(cache) == 0.0
+        cache.write("a", 1, ttl=10)
+        cache.write("b", 2, ttl=100)
+        assert self._entries_gauge(cache) == 2.0 == len(cache)
+        clock.advance(50)
+        cache.purge_expired()
+        assert self._entries_gauge(cache) == 1.0 == len(cache)
+        cache.delete("b")
+        assert self._entries_gauge(cache) == 0.0 == len(cache)
+
+
+class TestCoalescing:
+    """Single-flight request coalescing: concurrent misses on one key
+    produce one compute; followers share the leader's result, degrade to
+    stale when the leader overruns their budget, and never deadlock."""
+
+    def _gated_leader(self, cache, key, value="L"):
+        """Start a leader whose compute blocks until released; returns
+        (thread, entered_event, release_event, results list)."""
+        entered, release, results = threading.Event(), threading.Event(), []
+
+        def compute():
+            entered.set()
+            assert release.wait(10)
+            return value
+
+        thread = threading.Thread(
+            target=lambda: results.append(cache.fetch(key, compute))
+        )
+        thread.start()
+        assert entered.wait(10)
+        return thread, release, results
+
+    def _await_waiters(self, cache, n, deadline_s=10.0):
+        deadline = time.time() + deadline_s
+        while cache.stats.coalesced_waiters < n:
+            assert time.time() < deadline, "followers never registered"
+            time.sleep(0.002)
+
+    def test_stampede_runs_one_compute(self, cache):
+        """8 concurrent misses on one key: exactly 1 compute, 7 followers
+        served the leader's value."""
+        computes = []
+        leader, release, _ = self._gated_leader(cache, "k")
+        values, threads = [], []
+        lock = threading.Lock()
+
+        def follower():
+            value = cache.fetch("k", lambda: computes.append(1) or "F")
+            with lock:
+                values.append(value)
+
+        for _ in range(7):
+            t = threading.Thread(target=follower)
+            t.start()
+            threads.append(t)
+        self._await_waiters(cache, 7)
+        assert cache.metrics.gauge("repro_cache_inflight_keys").value() == 1.0
+        release.set()
+        leader.join(10)
+        for t in threads:
+            t.join(10)
+        assert not computes, "a follower ran the compute block"
+        assert values == ["L"] * 7
+        stats = cache.stats
+        assert stats.coalesced == 7 and stats.coalesced_waiters == 7
+        assert stats.misses == 1
+        assert stats.requests == 8
+        assert cache.metrics.gauge("repro_cache_inflight_keys").value() == 0.0
+
+    def test_follower_falls_back_to_stale_when_leader_overruns(self, cache, clock):
+        cache.write("k", "stale-value", ttl=10)
+        clock.advance(20)  # expired, age 20
+        leader, release, results = self._gated_leader(cache, "k", value="fresh")
+        try:
+            lookup = cache.lookup(
+                "k", lambda: pytest.fail("follower must not compute"),
+                stale_on=(Exception,), follower_timeout_s=0.05,
+            )
+            assert lookup.result == "stale_served"
+            assert lookup.value == "stale-value"
+            assert lookup.stale_age_s == pytest.approx(20.0)
+            assert lookup.role == "follower"
+        finally:
+            release.set()
+            leader.join(10)
+        assert results == ["fresh"]  # the slow leader still lands its value
+        assert cache.read("k") == "fresh"
+
+    def test_leader_failure_propagates_once_and_followers_degrade(self, cache, clock):
+        """A failing leader: followers with a stale entry serve it; the
+        compute block itself ran exactly once for the whole stampede."""
+        cache.write("k", "old", ttl=5)
+        clock.advance(6)
+        computes = []
+        entered, release = threading.Event(), threading.Event()
+
+        def boom():
+            computes.append(1)
+            entered.set()
+            assert release.wait(10)
+            raise RuntimeError("backend down")
+
+        leader_out = []
+
+        def leader():
+            try:
+                cache.fetch_or_stale("k", boom)
+                leader_out.append("served")
+            except RuntimeError:
+                leader_out.append("raised")
+
+        lt = threading.Thread(target=leader)
+        lt.start()
+        assert entered.wait(10)
+        follower_values = []
+        fts = [
+            threading.Thread(
+                target=lambda: follower_values.append(
+                    cache.fetch_or_stale("k", boom)
+                )
+            )
+            for _ in range(4)
+        ]
+        for t in fts:
+            t.start()
+        self._await_waiters(cache, 4)
+        release.set()
+        lt.join(10)
+        for t in fts:
+            t.join(10)
+        assert computes == [1], "the backend saw more than one query"
+        assert leader_out == ["served"]  # leader itself degraded to stale
+        assert [v for v, _ in follower_values] == ["old"] * 4
+        assert all(age == pytest.approx(6.0) for _, age in follower_values)
+        assert cache.stats.stale_served == 5
+
+    def test_leader_failure_with_no_stale_raises_everywhere(self, cache):
+        entered, release = threading.Event(), threading.Event()
+
+        def boom():
+            entered.set()
+            assert release.wait(10)
+            raise RuntimeError("down")
+
+        outcomes = []
+        lock = threading.Lock()
+
+        def run(fn):
+            try:
+                fn()
+                with lock:
+                    outcomes.append("ok")
+            except RuntimeError:
+                with lock:
+                    outcomes.append("raised")
+
+        lt = threading.Thread(target=lambda: run(lambda: cache.fetch("k", boom)))
+        lt.start()
+        assert entered.wait(10)
+        ft = threading.Thread(
+            target=lambda: run(lambda: cache.fetch("k", lambda: "F"))
+        )
+        ft.start()
+        self._await_waiters(cache, 1)
+        release.set()
+        lt.join(10)
+        ft.join(10)
+        assert outcomes == ["raised", "raised"]
+        assert cache.stats.requests == 2  # miss + coalesced_failed, one-hot
+
+    def test_reentrant_compute_on_another_key_no_deadlock(self, cache):
+        def outer():
+            return cache.fetch("inner", lambda: "i") + "-o"
+
+        assert cache.fetch("outer", outer) == "i-o"
+        assert cache.read("inner") == "i"
+
+    def test_reentrant_compute_on_same_key_no_deadlock(self, cache):
+        def outer():
+            return cache.fetch("k", lambda: "nested")
+
+        assert cache.fetch("k", outer) == "nested"
+
+    def test_timed_out_follower_with_no_stale_computes_itself(self, cache):
+        """Bounded wait, nothing stale: the follower stops following and
+        computes on its own instead of blocking past its budget."""
+        leader, release, results = self._gated_leader(cache, "k", value="slow")
+        try:
+            lookup = cache.lookup(
+                "k", lambda: "impatient", follower_timeout_s=0.05
+            )
+            assert lookup.value == "impatient"
+            assert lookup.result == "miss"
+        finally:
+            release.set()
+            leader.join(10)
+        assert results == ["slow"]
+
+    def test_coalescing_can_be_disabled(self, clock):
+        cache = TTLCache(clock, default_ttl=60, coalesce=False)
+        leader, release, _ = self._gated_leader(cache, "k")
+        try:
+            # no in-flight marker: a second fetch computes immediately
+            assert cache.fetch("k", lambda: "second") == "second"
+            assert cache.stats.coalesced_waiters == 0
+        finally:
+            release.set()
+            leader.join(10)
 
 
 class TestCachePolicy:

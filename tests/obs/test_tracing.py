@@ -125,6 +125,14 @@ class TestRingBuffer:
                 pass
         assert [t.name for t in tracer.recent(2)] == ["t3", "t4"]
 
+    def test_limit_zero_means_zero(self, tracer):
+        # regression: traces[-0:] is the WHOLE list, so recent(0) used to
+        # return everything instead of nothing
+        for i in range(3):
+            with tracer.span(f"t{i}"):
+                pass
+        assert tracer.recent(0) == []
+
     def test_clear(self, tracer):
         with tracer.span("t"):
             pass

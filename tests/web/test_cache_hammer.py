@@ -52,7 +52,9 @@ class TestRawCacheHammer:
         assert not errors, errors
         assert len(cache) <= 50
         stats = cache.stats
-        assert stats.requests == stats.hits + stats.misses
+        # one-hot result label: the family sum is exactly the lookup count;
+        # concurrent misses on one key may coalesce instead of both missing
+        assert stats.requests == stats.hits + stats.misses + stats.coalesced
         # every key still readable without error
         for i in range(120):
             cache.read(f"k{i}")
@@ -127,7 +129,8 @@ class TestHttpCacheHammer:
         assert len(results) == 120
         assert all(status == 200 and ok for status, ok in results)
         stats = dash.ctx.cache.stats
-        assert stats.requests == stats.hits + stats.misses
+        assert stats.requests == stats.hits + stats.misses + stats.coalesced
         # 120 requests over 4 distinct cache keys (3 users × squeue + sinfo):
-        # the cache must have absorbed almost everything
-        assert stats.hits >= 120 - 20
+        # the cache must have absorbed almost everything, either as fresh
+        # hits or by coalescing onto an in-flight compute
+        assert stats.hits + stats.coalesced >= 120 - 20

@@ -108,11 +108,22 @@ which layers four defences in front of the simulated daemons:
    the error. The response is flagged `"degraded": true` with
    `"stale_age_s"` set, and homepage widgets render a degraded banner
    over the cached data.
+5. **Single-flight coalescing** — concurrent misses on one cache key
+   collapse to a single backend compute. The first caller becomes the
+   *leader* and runs the compute outside the cache lock; every
+   concurrent *follower* blocks on the leader's in-flight result
+   (bounded by the source's `CachePolicy.timeout_for` budget) instead
+   of dogpiling slurmctld. If the leader fails, exactly one structured
+   error propagates and followers degrade to the stale entry when one
+   exists; a follower that outwaits its budget falls back to stale, or
+   computes independently as a last resort. Reentrant fetches from
+   inside a compute block never deadlock — the leader thread computes
+   directly.
 
 With a cold cache (nothing to serve stale) the route returns a
 structured `503` JSON envelope — never a traceback. `CacheStats` counts
-`stale_served`, `retries`, `breaker_opens`, and `evictions` so the
-degradation is observable.
+`stale_served`, `coalesced`, `retries`, `breaker_opens`, `evictions`,
+and `purged` so the degradation is observable.
 
 Faults are injected, not mocked: build a `repro.faults.FaultPlan`
 (outage / slowdown / flakiness windows on the sim clock, per service or
@@ -138,8 +149,11 @@ trees on the sim clock. The metric families:
 | `repro_route_errors_total` | `route` | error envelopes (status ≥ 400) |
 | `repro_route_latency_seconds` | `route` | route latency histogram |
 | `repro_http_requests_total` | `kind`, `status` | HTTP server, by endpoint kind |
-| `repro_cache_requests_total` | `source`, `result` | TTL cache (`hit` / `miss` / `expired` / `stale_served`) |
+| `repro_cache_requests_total` | `source`, `result` | TTL cache lookups; `result` is one-hot (`hit` / `miss` / `expired` / `stale_served` / `coalesced` / `coalesced_failed`), so the family sum is the lookup count |
 | `repro_cache_evictions_total` | `source` | capacity evictions |
+| `repro_cache_purged_total` | `source`, `reason` | entries dropped outside lookups (`expired` / `deleted` / `cleared`) |
+| `repro_cache_coalesced_waiters_total` | `source` | followers that joined a single-flight leader (backend computes avoided) |
+| `repro_cache_inflight_keys` | — | keys with a compute currently in flight (gauge) |
 | `repro_cache_entries` | — | live cache size (scrape-time gauge) |
 | `repro_fetch_retries_total` | `service` | resilient-fetch retries |
 | `repro_breaker_transitions_total` | `service`, `to` | circuit-breaker state changes |

@@ -6,7 +6,11 @@ registered route over the network, then scrapes ``/metrics`` and fails
 (exit 1) if any handled route is missing from the
 ``repro_route_requests_total`` exposition.  Also sanity-checks that the
 payload parses as Prometheus text, that ``/healthz`` agrees with the
-breaker gauges, and that ``/api/v1/traces/recent`` returns trace trees.
+breaker gauges, that ``/api/v1/traces/recent`` returns trace trees, and
+that the single-flight coalescing families
+(``repro_cache_coalesced_waiters_total``, ``repro_cache_inflight_keys``,
+``repro_cache_purged_total``) are exposed with live values after a
+controlled one-key stampede.
 
 Run:  python tools/metrics_smoke.py
 """
@@ -16,6 +20,8 @@ from __future__ import annotations
 import json
 import pathlib
 import sys
+import threading
+import time
 import urllib.error
 import urllib.request
 from typing import List
@@ -45,6 +51,50 @@ def get(url: str, username: str | None = None, admin: bool = False) -> bytes:
         return exc.read()
 
 
+def drive_coalescing(dash, failures: List[str]) -> None:
+    """Force one deterministic single-flight stampede on the live cache
+    so the coalescing families carry non-zero values in the scrape."""
+    cache = dash.ctx.cache
+    entered, release = threading.Event(), threading.Event()
+    values: List[str] = []
+
+    def gated() -> str:
+        entered.set()
+        release.wait(10)
+        return "leader-value"
+
+    leader = threading.Thread(
+        target=lambda: values.append(cache.fetch("smoke:stampede", gated))
+    )
+    leader.start()
+    if not entered.wait(10):
+        failures.append("coalescing smoke: leader compute never started")
+        release.set()
+        leader.join(10)
+        return
+    follower = threading.Thread(
+        target=lambda: values.append(
+            cache.fetch("smoke:stampede", lambda: "follower-computed")
+        )
+    )
+    follower.start()
+    deadline = time.time() + 10
+    while (
+        cache.metrics.total("repro_cache_coalesced_waiters_total") < 1
+        and time.time() < deadline
+    ):
+        time.sleep(0.005)
+    release.set()
+    leader.join(10)
+    follower.join(10)
+    if values != ["leader-value", "leader-value"]:
+        failures.append(
+            f"coalescing smoke: follower did not ride the leader ({values})"
+        )
+    # exercise the purge accounting family too
+    cache.delete("smoke:stampede")
+
+
 def main() -> int:
     dash, directory, _ = build_demo_dashboard(duration_hours=1.0, seed=3)
     server = DashboardServer(dash).start()
@@ -68,6 +118,8 @@ def main() -> int:
                 get(server.url + route.path, username=user, admin=True)
             handled.append(route.name)
         print(f"drove {len(handled)} routes over HTTP")
+
+        drive_coalescing(dash, failures)
 
         payload = get(server.url + "/metrics").decode()
         try:
@@ -95,9 +147,22 @@ def main() -> int:
             "repro_daemon_rpcs_total",
             "repro_command_runs_total",
             "repro_cache_entries",
+            "repro_cache_coalesced_waiters_total",
+            "repro_cache_inflight_keys",
+            "repro_cache_purged_total",
         ):
             if family not in by_name:
                 failures.append(f"family {family!r} missing from /metrics")
+
+        waiters = sum(
+            s.value
+            for s in by_name.get("repro_cache_coalesced_waiters_total", [])
+        )
+        if waiters < 1:
+            failures.append(
+                "repro_cache_coalesced_waiters_total is zero after the "
+                "controlled stampede"
+            )
 
         health = json.loads(get(server.url + "/healthz"))
         payload2 = get(server.url + "/metrics").decode()

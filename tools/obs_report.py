@@ -82,24 +82,36 @@ def route_table(by_name) -> List[dict]:
 
 
 def cache_table(by_name) -> List[dict]:
-    """Per-source cache hit rates, sorted by request volume desc."""
+    """Per-source cache hit rates, sorted by request volume desc.
+
+    The ``result`` label is one-hot (each lookup increments exactly one
+    result), so the per-source lookup count is simply the family sum —
+    the old ``hits + misses + expired`` arithmetic both overcounted
+    (expired lookups also counted as misses) and undercounted (stale
+    serves and coalesced followers were invisible).
+    """
     samples = by_name.get("repro_cache_requests_total", [])
+    waiters = by_name.get("repro_cache_coalesced_waiters_total", [])
     sources = sorted({s.labeldict.get("source", "") for s in samples})
     rows = []
     for source in sources:
         hits = _sum_where(samples, source=source, result="hit")
-        misses = _sum_where(samples, source=source, result="miss")
-        expired = _sum_where(samples, source=source, result="expired")
-        stale = _sum_where(samples, source=source, result="stale_served")
-        lookups = hits + misses + expired
+        lookups = _sum_where(samples, source=source)
+        coalesced = _sum_where(samples, source=source, result="coalesced")
         rows.append({
             "source": source,
             "lookups": lookups,
             "hit_rate": hits / lookups if lookups else 0.0,
             "hits": hits,
-            "misses": misses,
-            "expired": expired,
-            "stale_served": stale,
+            "misses": _sum_where(samples, source=source, result="miss"),
+            "expired": _sum_where(samples, source=source, result="expired"),
+            "stale_served": _sum_where(
+                samples, source=source, result="stale_served"
+            ),
+            "coalesced": coalesced,
+            # every coalesced waiter is a backend compute the
+            # single-flight path avoided
+            "saved_computes": _sum_where(waiters, source=source),
         })
     rows.sort(key=lambda r: r["lookups"], reverse=True)
     return rows
@@ -167,12 +179,19 @@ def render_report(payload: str, top: int = 10) -> str:
     if caches:
         lines.append(
             f"{'source':<16} {'lookups':>8} {'hit rate':>9} "
-            f"{'stale served':>13}"
+            f"{'stale served':>13} {'coalesced':>10}"
         )
         for row in caches:
             lines.append(
                 f"{row['source']:<16} {row['lookups']:>8.0f} "
-                f"{row['hit_rate']:>8.1%} {row['stale_served']:>13.0f}"
+                f"{row['hit_rate']:>8.1%} {row['stale_served']:>13.0f} "
+                f"{row['coalesced']:>10.0f}"
+            )
+        saved = sum(r["saved_computes"] for r in caches)
+        if saved:
+            lines.append(
+                f"single-flight coalescing absorbed {saved:.0f} "
+                "stampeding lookups (backend computes avoided)"
             )
     else:
         lines.append("(no cache counters in payload)")
