@@ -1,0 +1,210 @@
+"""P6 — admission control under overload (bulkheads, deadlines, brownout).
+
+The resilience layers of earlier PRs protect individual fetches; this
+bench checks the *admission* contract when the dashboard as a whole is
+overloaded:
+
+* **bulkhead** — N concurrent cold fetches against slurmctld never put
+  more than the configured limit of computes in flight; everyone beyond
+  the bounded wait queue is rejected immediately (fail-fast, not a
+  pile-up), with a ``Retry-After`` hint;
+* **brownout over HTTP** — with a breaker open and the control loop in
+  brownout, ``/healthz`` and My Jobs keep answering 200 while expensive
+  routes are shed with 503 and tight client deadlines become 504s.
+
+Set ``ADMISSION_SMOKE=1`` to run with a small client count (CI smoke).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import List
+
+from repro.core.caching import CachePolicy
+from repro.faults import AdmissionConfig, BulkheadLimit, BulkheadSaturatedError, FaultPlan
+from repro.web.server import DashboardServer
+
+from .conftest import fresh_world
+
+SMOKE = os.environ.get("ADMISSION_SMOKE") == "1"
+CLIENTS = 8 if SMOKE else 32
+BULKHEAD = BulkheadLimit(max_concurrent=2, max_queue=2) if SMOKE else BulkheadLimit(
+    max_concurrent=4, max_queue=4
+)
+
+
+def test_perf_bulkhead_bounds_ctld_concurrency(report):
+    """N concurrent cold computes -> in-flight never exceeds the limit,
+    overflow is rejected in well under 50 ms with a retry hint."""
+    dash, _, _ = fresh_world(
+        seed=13,
+        hours=1.0,
+        admission=AdmissionConfig(
+            bulkheads={"slurmctld": BULKHEAD}, queue_wait_s=30.0
+        ),
+    )
+    fetcher = dash.ctx.fetcher
+    daemons = dash.ctx.cluster.daemons
+    daemons.reset_counters()
+
+    release = threading.Event()
+    lock = threading.Lock()
+    held: List[int] = []
+    completed: List[int] = []
+    rejections: List[float] = []  # wall seconds each rejection took
+    retry_hints: List[float] = []
+
+    def gated_compute(idx):
+        def compute():
+            daemons.record("squeue")
+            with lock:
+                held.append(idx)
+            release.wait(60)
+            return idx
+
+        return compute
+
+    def client(idx):
+        t0 = time.perf_counter()
+        try:
+            # distinct keys: every client is a leader, no coalescing
+            fetcher.fetch("squeue", f"client{idx}", gated_compute(idx))
+            with lock:
+                completed.append(idx)
+        except BulkheadSaturatedError as exc:
+            with lock:
+                rejections.append(time.perf_counter() - t0)
+                retry_hints.append(exc.retry_after_s)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    # the slot holders + full queue leave everyone else rejected
+    expected_rejections = CLIENTS - BULKHEAD.max_concurrent - BULKHEAD.max_queue
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        with lock:
+            if len(rejections) >= expected_rejections:
+                break
+        time.sleep(0.002)
+    release.set()
+    for t in threads:
+        t.join(60)
+
+    bulkhead = fetcher.bulkhead_for("slurmctld")
+    assert daemons.ctld.max_inflight <= BULKHEAD.max_concurrent, (
+        f"bulkhead leaked: {daemons.ctld.max_inflight} computes in flight "
+        f"against a limit of {BULKHEAD.max_concurrent}"
+    )
+    assert bulkhead.max_active <= BULKHEAD.max_concurrent
+    assert len(rejections) == expected_rejections
+    assert len(completed) == CLIENTS - expected_rejections
+    assert all(hint > 0 for hint in retry_hints)
+    rejections.sort()
+    median = rejections[len(rejections) // 2]
+    assert median < 0.050, f"rejection latency {median * 1000:.1f} ms (median)"
+    # everything drained: gauges back to zero
+    assert bulkhead.active == 0 and bulkhead.queued == 0
+    registry = dash.ctx.obs.registry
+    assert registry.get("repro_bulkhead_queue_depth").value(
+        service="slurmctld"
+    ) == 0.0
+    assert registry.get("repro_admission_rejected_total").value(
+        reason="bulkhead"
+    ) >= expected_rejections
+
+    report(
+        "",
+        "P6: bulkhead under a cold-key dogpile",
+        f"{CLIENTS} concurrent clients, limit "
+        f"{BULKHEAD.max_concurrent}+{BULKHEAD.max_queue} queue -> "
+        f"max in-flight {daemons.ctld.max_inflight}, "
+        f"{len(rejections)} rejected "
+        f"(median {median * 1000:.2f} ms, Retry-After "
+        f"{retry_hints[0] if retry_hints else 0:.0f} s)",
+    )
+
+
+def _get(url, username=None, headers=None):
+    all_headers = dict(headers or {})
+    if username:
+        all_headers["X-Remote-User"] = username
+    req = urllib.request.Request(url, headers=all_headers)
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, resp.headers, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers, err.read()
+
+
+def test_perf_brownout_keeps_essentials_alive(report):
+    """Brownout over a real socket: essential surface stays 200, the
+    expensive route sheds with Retry-After, tight deadlines become 504."""
+    dash, directory, viewer = fresh_world(
+        seed=17,
+        hours=1.0,
+        cache_policy=CachePolicy(timeouts_s={"squeue": 1.0}),
+        admission=AdmissionConfig(eval_interval_s=0.0),
+    )
+    user = viewer.username
+    plan = FaultPlan()
+    # news is hard-down (this is what opens a breaker and trips the
+    # controller); slurmctld is merely slow — alive but over its timeout
+    plan.schedule_outage("news", start=dash.clock.now(), end=math.inf)
+    plan.schedule_slowdown("slurmctld", extra_latency_s=5.0)
+    dash.inject_faults(plan)
+
+    with DashboardServer(dash) as server:
+        # open the news breaker: 2 calls x 3 attempts > threshold 5
+        for _ in range(3):
+            _get(server.url + "/api/v1/widgets/announcements", username=user)
+        assert dash.ctx.fetcher.breaker_for("news").state == "open"
+
+        # the next admission evaluation steps into brownout
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200
+        tier = json.loads(body)["admission"]["tier"]
+
+        statuses = {}
+        for _ in range(5 if SMOKE else 20):
+            for path, name in (
+                ("/healthz", "healthz"),
+                ("/api/v1/my_jobs", "my_jobs"),
+                ("/api/v1/job_performance", "job_performance"),
+            ):
+                s, headers, _ = _get(server.url + path, username=user)
+                statuses.setdefault(name, set()).add(s)
+                if name == "job_performance" and s == 503:
+                    assert int(headers["Retry-After"]) >= 1
+
+        status, _, body = _get(server.url + "/healthz")
+        assert json.loads(body)["admission"]["tier"] == "brownout"
+        assert statuses["healthz"] == {200}
+        assert statuses["my_jobs"] == {200}
+        assert statuses["job_performance"] == {503}
+
+        # a client-supplied 50 ms budget cannot cover the 5 s-slow daemon
+        status, headers, body = _get(
+            server.url + "/api/v1/widgets/recent_jobs",
+            username=user,
+            headers={"X-Request-Deadline-Ms": "50"},
+        )
+        assert status == 504
+        assert int(headers["Retry-After"]) >= 1
+        assert "deadline" in json.loads(body)["error"]
+
+    report(
+        "",
+        "P6b: brownout over HTTP (news outage + slow slurmctld)",
+        f"tier at first probe: {tier}; healthz/my_jobs stayed 200, "
+        "job_performance shed 503 + Retry-After, 50 ms client deadline "
+        "-> 504 + Retry-After",
+    )

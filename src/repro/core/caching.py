@@ -576,6 +576,15 @@ class CachePolicy:
     timeout_default_s: float = 30.0
     #: per-source timeout overrides, e.g. ``{"squeue": 0.5}``
     timeouts_s: Mapping[str, float] = field(default_factory=dict)
+    #: default per-request deadline (charged wall time + simulated costs);
+    #: generous enough that a full retry schedule against a slowed daemon
+    #: (3 attempts × timeout + backoff) fits — only injected tight budgets
+    #: or client ``X-Request-Deadline-Ms`` headers trip it
+    deadline_default_s: float = 300.0
+    #: hard cap on any deadline, including client-supplied ones
+    deadline_max_s: float = 900.0
+    #: per-route deadline overrides, e.g. ``{"recent_jobs": 3.0}``
+    deadlines_s: Mapping[str, float] = field(default_factory=dict)
 
     def ttl_for(self, source: str) -> float:
         """TTL (seconds) for a named data source; unknown sources get the default."""
@@ -584,6 +593,16 @@ class CachePolicy:
     def timeout_for(self, source: str) -> float:
         """Latency budget (seconds) for one fetch of a named data source."""
         return float(self.timeouts_s.get(source, self.timeout_default_s))
+
+    def deadline_for(self, route: str) -> float:
+        """Per-request deadline budget (seconds) for a named route,
+        capped at :attr:`deadline_max_s`."""
+        budget = float(self.deadlines_s.get(route, self.deadline_default_s))
+        return min(budget, self.deadline_max_s)
+
+    def clamp_deadline(self, budget_s: float) -> float:
+        """Cap a client-requested deadline at :attr:`deadline_max_s`."""
+        return min(float(budget_s), self.deadline_max_s)
 
     def as_dict(self) -> Dict[str, float]:
         """All per-source TTLs as a plain dict (for reporting)."""

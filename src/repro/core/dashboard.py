@@ -13,7 +13,13 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.auth import Directory, Viewer
-from repro.faults import BreakerConfig, FaultPlan, RetryPolicy
+from repro.faults import (
+    AdmissionConfig,
+    BreakerConfig,
+    Deadline,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.news.api import NewsAPI, seed_news
 from repro.slurm.cluster import SlurmCluster
 from repro.slurm.workload import WorkloadConfig, populated_cluster
@@ -44,6 +50,7 @@ class Dashboard:
         use_server_cache: bool = True,
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
+        admission: Optional[AdmissionConfig] = None,
     ):
         if quotas is None:
             quotas = QuotaDatabase()
@@ -66,6 +73,7 @@ class Dashboard:
             use_server_cache=use_server_cache,
             retry=retry,
             breaker=breaker,
+            admission=admission,
         )
         self.registry = RouteRegistry()
         for route in (*ALL_WIDGET_ROUTES, *ALL_PAGE_ROUTES, EXPORT_ROUTE):
@@ -74,17 +82,27 @@ class Dashboard:
     # -- request API ---------------------------------------------------------
 
     def call(
-        self, name: str, viewer: Viewer, params: Optional[Dict[str, Any]] = None
+        self,
+        name: str,
+        viewer: Viewer,
+        params: Optional[Dict[str, Any]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> RouteResponse:
         """Invoke one component route (with failure isolation)."""
-        return self.registry.call(self.ctx, name, viewer, params)
+        return self.registry.call(self.ctx, name, viewer, params, deadline=deadline)
 
-    def get(self, path: str, viewer: Viewer, params: Optional[Dict[str, Any]] = None) -> RouteResponse:
+    def get(
+        self,
+        path: str,
+        viewer: Viewer,
+        params: Optional[Dict[str, Any]] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> RouteResponse:
         """Invoke by URL path (what the HTTP layer does)."""
         route = self.registry.by_path(path)
         if route is None:
             return RouteResponse(ok=False, error=f"no route at {path!r}", status=404)
-        return self.registry.call(self.ctx, route.name, viewer, params)
+        return self.registry.call(self.ctx, route.name, viewer, params, deadline=deadline)
 
     # -- page rendering ---------------------------------------------------------
 
@@ -137,6 +155,7 @@ def build_demo_dashboard(
     workload: Optional[WorkloadConfig] = None,
     cache_policy: Optional[CachePolicy] = None,
     use_server_cache: bool = True,
+    admission: Optional[AdmissionConfig] = None,
 ):
     """One-call demo instance: populated cluster + directory + dashboard.
 
@@ -152,5 +171,6 @@ def build_demo_dashboard(
         directory,
         cache_policy=cache_policy,
         use_server_cache=use_server_cache,
+        admission=admission,
     )
     return dash, directory, result

@@ -14,7 +14,7 @@ from typing import Any, Dict
 
 from repro.auth import Viewer
 
-from ..rendering import el, loading_placeholder, page_shell
+from ..rendering import brownout_banner, el, loading_placeholder, page_shell
 from ..routes import ApiRoute, DashboardContext, RouteRegistry
 from ..widgets import ALL_WIDGET_ROUTES, WIDGET_RENDERERS
 
@@ -84,8 +84,14 @@ def render_homepage(
                 role="alert",
             )
         slots.append(el("div", body, cls="widget-slot", data_widget=name))
-    page = page_shell("homepage", viewer.username, el("div", *slots, cls="widget-grid"))
-    return HomepageRender(page=page, failures=failures, degraded=degraded)
+    tier = ctx.admission.tier
+    page = page_shell(
+        "homepage",
+        viewer.username,
+        brownout_banner(tier) if tier != "normal" else None,
+        el("div", *slots, cls="widget-grid"),
+    )
+    return HomepageRender(page=page, failures=failures, degraded=degraded, tier=tier)
 
 
 class HomepageRender:
@@ -96,11 +102,14 @@ class HomepageRender:
         page,
         failures: Dict[str, str],
         degraded: Dict[str, float] | None = None,
+        tier: str = "normal",
     ):
         self.page = page
         self.failures = failures
         #: widget name -> stale age (s) for widgets served from stale cache
         self.degraded = degraded or {}
+        #: admission tier at render time ("normal", "brownout", "shed")
+        self.tier = tier
 
     @property
     def html(self) -> str:

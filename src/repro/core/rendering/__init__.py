@@ -3,6 +3,7 @@
 from .components import (
     accordion,
     badge,
+    brownout_banner,
     card,
     data_table,
     degraded_banner,
@@ -21,6 +22,7 @@ from .templates import Template, TemplateError, render_template
 __all__ = [
     "accordion",
     "badge",
+    "brownout_banner",
     "card",
     "data_table",
     "degraded_banner",

@@ -237,6 +237,31 @@ def degraded_banner(stale_age_s: float) -> Element:
     )
 
 
+def brownout_banner(tier: str) -> Element:
+    """Site-wide notice shown when the admission controller has left
+    normal operation: expensive widgets are paused (brownout) or most
+    routes are being shed to protect the Slurm daemons."""
+    if tier == "shed":
+        message = (
+            "The dashboard is under heavy load — only essential pages are"
+            " being served right now."
+        )
+    else:
+        message = (
+            "The dashboard is under load — some widgets are paused and"
+            " data may update less often."
+        )
+    return el(
+        "div",
+        el("span", "⚠", cls="degraded-icon", aria_hidden="true"),
+        message,
+        cls="brownout-banner alert alert-warning",
+        role="status",
+        aria_live="polite",
+        data_tier=tier,
+    )
+
+
 def page_shell(title: str, username: str, *content: object) -> Element:
     """The dashboard page chrome: nav bar with the pre-rendered username
     (the one piece of server-side data ERB injects up front, §2.2.1)."""

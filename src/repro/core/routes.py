@@ -25,8 +25,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.auth import Directory, PermissionDenied, PermissionPolicy, Viewer
 from repro.faults import (
+    AdmissionConfig,
+    AdmissionController,
     BreakerConfig,
+    BulkheadSaturatedError,
     DaemonError,
+    Deadline,
+    DeadlineExceededError,
     FetchOutcome,
     ResilientFetcher,
     RetryPolicy,
@@ -49,6 +54,7 @@ from repro.slurm.model import JobState
 from repro.storage.quota import DirectoryQuota, QuotaDatabase
 
 from .caching import CachePolicy, TTLCache
+from .params import ParamError
 from .records import JobRecord, NodeRecord
 
 RouteHandler = Callable[["DashboardContext", Viewer, Dict[str, Any]], Dict[str, Any]]
@@ -87,6 +93,9 @@ class RouteResponse:
     degraded: bool = False
     #: age (s) of the oldest stale entry that fed this response
     stale_age_s: Optional[float] = None
+    #: seconds after which the client should retry (429/503/504 only);
+    #: the HTTP layer turns this into a real ``Retry-After`` header
+    retry_after_s: Optional[float] = None
 
     def to_json(self) -> Dict[str, Any]:
         """The JSON envelope sent over HTTP."""
@@ -94,6 +103,8 @@ class RouteResponse:
         out["degraded"] = self.degraded
         if self.stale_age_s is not None:
             out["stale_age_s"] = round(self.stale_age_s, 3)
+        if self.retry_after_s is not None:
+            out["retry_after_s"] = round(self.retry_after_s, 3)
         if self.ok:
             out["data"] = self.data
         else:
@@ -118,6 +129,24 @@ class FetchScope:
         if outcome.stale_age_s is not None:
             if self.stale_age_s is None or outcome.stale_age_s > self.stale_age_s:
                 self.stale_age_s = outcome.stale_age_s
+
+
+def _retry_after_of(exc: BaseException) -> Optional[float]:
+    """The retry hint buried in a failure chain, if any.
+
+    ``CircuitOpenError.retry_after_s`` usually arrives wrapped inside a
+    :class:`SourceUnavailableError` (as its ``cause``); walking the chain
+    lets the 503 carry a real ``Retry-After`` instead of dropping it.
+    """
+    current: Optional[BaseException] = exc
+    for _ in range(5):
+        if current is None:
+            return None
+        retry_after = getattr(current, "retry_after_s", None)
+        if retry_after is not None:
+            return float(retry_after)
+        current = getattr(current, "cause", None)
+    return None
 
 
 class RouteRegistry:
@@ -171,8 +200,16 @@ class RouteRegistry:
         name: str,
         viewer: Viewer,
         params: Optional[Dict[str, Any]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> RouteResponse:
-        """Invoke one route with failure isolation (§2.4 Modularity)."""
+        """Invoke one route with failure isolation (§2.4 Modularity).
+
+        Every call carries a :class:`~repro.faults.Deadline` — the
+        per-route default from :meth:`CachePolicy.deadline_for` unless
+        the caller (e.g. the HTTP layer honouring an
+        ``X-Request-Deadline-Ms`` header) supplies one — and passes the
+        admission controller's tier gate before any work runs.
+        """
         params = params or {}
         route = self._by_name.get(name)
         if route is None:
@@ -181,8 +218,31 @@ class RouteRegistry:
             )
             ctx.obs.record_route(name, response.status, 0.0, ok=False)
             return response
+        admission = ctx.admission
+        if admission is not None:
+            decision = admission.admit_route(name)
+            if not decision.allowed:
+                response = RouteResponse(
+                    ok=False,
+                    error=decision.message,
+                    status=decision.status,
+                    route=name,
+                    degraded=True,
+                    retry_after_s=decision.retry_after_s,
+                )
+                with ctx.obs.tracer.span(
+                    f"route:{name}", kind="route",
+                    attrs={"viewer": viewer.username},
+                ) as span:
+                    span.attrs["status"] = response.status
+                    span.attrs["admission"] = decision.reason
+                ctx.obs.record_route(name, response.status, 0.0, ok=False)
+                return response
+        if deadline is None:
+            deadline = Deadline(ctx.cache_policy.deadline_for(name))
         t0 = time.perf_counter()
         scope = ctx.begin_fetch_scope()
+        ctx.begin_deadline(deadline)
         try:
             with ctx.obs.tracer.span(
                 f"route:{name}", kind="route", attrs={"viewer": viewer.username}
@@ -191,7 +251,14 @@ class RouteRegistry:
                 span.attrs["status"] = response.status
                 if response.degraded:
                     span.attrs["degraded"] = True
+                if response.status == 504:
+                    span.attrs["deadline_exceeded"] = True
+                if admission is not None:
+                    tier = admission.tier
+                    if tier != "normal":
+                        span.attrs["tier"] = tier
         finally:
+            ctx.end_deadline()
             ctx.end_fetch_scope()
         ctx.obs.record_route(
             name, response.status, response.elapsed_ms, ok=response.ok
@@ -223,13 +290,34 @@ class RouteRegistry:
                 ok=False, error=str(exc), status=403, route=name,
                 elapsed_ms=(time.perf_counter() - t0) * 1000,
             )
+        except ParamError as exc:
+            # a bad query parameter is the client's mistake, not a crash
+            return RouteResponse(
+                ok=False, error=str(exc), status=400, route=name,
+                elapsed_ms=(time.perf_counter() - t0) * 1000,
+            )
+        except DeadlineExceededError as exc:
+            # the request's time budget ran out mid-fetch: a structured
+            # 504 with a retry hint, instead of burning more backoff
+            return RouteResponse(
+                ok=False, error=str(exc), status=504, route=name,
+                elapsed_ms=(time.perf_counter() - t0) * 1000,
+                degraded=True, retry_after_s=exc.retry_after_s,
+            )
+        except BulkheadSaturatedError as exc:
+            # the backend's concurrency bulkhead is full: 429 + Retry-After
+            return RouteResponse(
+                ok=False, error=str(exc), status=429, route=name,
+                elapsed_ms=(time.perf_counter() - t0) * 1000,
+                degraded=True, retry_after_s=exc.retry_after_s,
+            )
         except DaemonError as exc:
             # backend down, retries exhausted, nothing stale to serve —
             # a structured 503, never a traceback (§2.4 resilience)
             return RouteResponse(
                 ok=False, error=str(exc), status=503, route=name,
                 elapsed_ms=(time.perf_counter() - t0) * 1000,
-                degraded=True,
+                degraded=True, retry_after_s=_retry_after_of(exc),
             )
         except KeyError as exc:
             return RouteResponse(
@@ -267,6 +355,7 @@ class DashboardContext:
         resilience_seed: int = 0,
         slow_request_ms: float = 250.0,
         max_traces: int = 100,
+        admission: Optional[AdmissionConfig] = None,
     ):
         self.cluster = cluster
         self.directory = directory
@@ -293,10 +382,22 @@ class DashboardContext:
             retry=retry,
             breaker=breaker,
             seed=resilience_seed,
+            admission=admission,
         )
         self.fetcher.tracer = self.obs.tracer
+        # the brownout feedback loop: watches the fetcher's breakers and
+        # bulkheads plus route p95, gates every route call, and stretches
+        # TTLs while the dashboard is under distress
+        self.admission = AdmissionController(
+            self.fetcher.admission,
+            registry=self.obs.registry,
+            fetcher=self.fetcher,
+            clock=cluster.clock,
+        )
+        self.fetcher.controller = self.admission
         cluster.daemons.attach_metrics(self.obs.registry)
         self._scope_local = threading.local()
+        self._deadline_local = threading.local()
         self.sessions = SessionManager(cluster)
         self.apps = AppRegistry()
         self.logs = LogStore()
@@ -333,6 +434,30 @@ class DashboardContext:
         stack = self._scope_stack()
         return stack.pop() if stack else None
 
+    # -- deadlines (per-request time budgets) ----------------------------------
+
+    def _deadline_stack(self) -> List[Deadline]:
+        stack = getattr(self._deadline_local, "stack", None)
+        if stack is None:
+            stack = self._deadline_local.stack = []
+        return stack
+
+    def begin_deadline(self, deadline: Deadline) -> Deadline:
+        """Open a per-request deadline; :meth:`_cached` threads it down
+        to the resilient fetch path for the duration of the request."""
+        self._deadline_stack().append(deadline)
+        return deadline
+
+    def end_deadline(self) -> Optional[Deadline]:
+        """Close the innermost deadline (no-op when none is open)."""
+        stack = self._deadline_stack()
+        return stack.pop() if stack else None
+
+    def current_deadline(self) -> Optional[Deadline]:
+        """The deadline of the request this thread is serving, if any."""
+        stack = self._deadline_stack()
+        return stack[-1] if stack else None
+
     # -- observability -------------------------------------------------------
 
     def breaker_report(self) -> Dict[str, str]:
@@ -343,10 +468,15 @@ class DashboardContext:
         self.obs.set_breaker_states(states)
         return states
 
+    def admission_report(self) -> Dict[str, Any]:
+        """Admission tier + distress signals for ``/healthz``."""
+        return self.admission.report()
+
     def refresh_gauges(self) -> None:
         """Update the scrape-time gauges (breakers, cache size, daemon
-        rates) from their live sources."""
+        rates, admission tier) from their live sources."""
         self.breaker_report()
+        self.admission.maybe_evaluate()
         self.obs.cache_entries.set(float(len(self.cache)))
         for name, snap in self.cluster.daemons.snapshot().items():
             self.obs.daemon_recent_rate.set(
@@ -371,7 +501,9 @@ class DashboardContext:
             f"cache:{source}", kind="cache", attrs={"key": key}
         ) as span:
             try:
-                outcome = self.fetcher.fetch(source, key, compute)
+                outcome = self.fetcher.fetch(
+                    source, key, compute, deadline=self.current_deadline()
+                )
             except Exception as exc:
                 span.attrs["error"] = f"{type(exc).__name__}: {exc}"
                 raise

@@ -13,6 +13,7 @@ from typing import Any, Dict
 from repro.auth import Viewer
 
 from ..colors import announcement_color, announcement_style
+from ..params import positive_int_param
 from ..rendering import accordion, degraded_banner, el
 from ..routes import ApiRoute, DashboardContext
 
@@ -27,9 +28,7 @@ def announcements_data(
     ctx: DashboardContext, viewer: Viewer, params: Dict[str, Any]
 ) -> Dict[str, Any]:
     """Route handler: JSON list of recent articles with display hints."""
-    limit = int(params.get("limit", 8))
-    if limit <= 0:
-        raise ValueError("limit must be positive")
+    limit = positive_int_param(params, "limit") or 8
     now = ctx.now()
     articles = []
     for art in ctx.announcements(limit=limit):

@@ -16,6 +16,7 @@ from repro.slurm import reasons as R
 from repro.slurm.model import JobState
 
 from ..colors import job_state_color, job_state_label
+from ..params import positive_int_param
 from ..rendering import badge, degraded_banner, el, tooltip_span
 from ..routes import ApiRoute, DashboardContext
 
@@ -30,7 +31,7 @@ def recent_jobs_data(
     ctx: DashboardContext, viewer: Viewer, params: Dict[str, Any]
 ) -> Dict[str, Any]:
     """Route handler: the viewer's most recent jobs as card payloads."""
-    limit = int(params.get("limit", 8))
+    limit = positive_int_param(params, "limit") or 8
     records = ctx.recent_jobs_of(viewer.username)[:limit]
     now = ctx.now()
     cards = []

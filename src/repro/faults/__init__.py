@@ -5,14 +5,30 @@ cluster's daemons are not.
 against the simulated backends; :class:`ResilientFetcher` gives the
 dashboard's fetch path timeouts, retries, circuit breakers, and
 serve-stale fallback so injected chaos degrades responses instead of
-crashing them.
+crashing them.  :mod:`repro.faults.admission` layers overload control
+on top: per-request :class:`Deadline` budgets, per-service
+:class:`Bulkhead` concurrency limits, and the brownout
+:class:`AdmissionController` that sheds load before a brownout becomes
+a blackout.
 """
 
+from .admission import (
+    TIERS,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    Bulkhead,
+    BulkheadLimit,
+    Deadline,
+)
 from .errors import (
+    AdmissionError,
+    BulkheadSaturatedError,
     CircuitOpenError,
     DaemonError,
     DaemonTimeoutError,
     DaemonUnavailableError,
+    DeadlineExceededError,
     SourceUnavailableError,
 )
 from .plan import ANY_SERVICE, FaultPlan, FaultWindow
@@ -27,17 +43,27 @@ from .resilience import (
 
 __all__ = [
     "ANY_SERVICE",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionError",
     "BreakerConfig",
+    "Bulkhead",
+    "BulkheadLimit",
+    "BulkheadSaturatedError",
     "CircuitBreaker",
     "CircuitOpenError",
     "DaemonError",
     "DaemonTimeoutError",
     "DaemonUnavailableError",
+    "Deadline",
+    "DeadlineExceededError",
     "FaultPlan",
     "FaultWindow",
     "FetchOutcome",
     "ResilientFetcher",
     "RetryPolicy",
     "SourceUnavailableError",
+    "TIERS",
     "service_for_source",
 ]

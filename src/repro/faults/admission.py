@@ -1,0 +1,460 @@
+"""Admission control: deadlines, bulkheads, and brownout load shedding.
+
+PRs 1–3 made individual fetches resilient (retry/breaker/serve-stale)
+and collapsed stampedes (single-flight), but nothing bounded *total
+time* per request or *concurrent work* per backend — a slow daemon
+still let requests pile up without limit while retries burned backoff
+budget long after the client had given up.  This module adds the three
+admission layers the overload-control playbook calls for:
+
+1. :class:`Deadline` — a per-request time budget threaded from the HTTP
+   layer down to the retry loop, so work stops the moment the remaining
+   budget cannot cover another attempt (structured 504, not a hang);
+2. :class:`Bulkhead` — a per-daemon-service concurrency limit with a
+   bounded wait queue around the leader compute path, so one stuck
+   backend cannot exhaust every server thread (structured 429);
+3. :class:`AdmissionController` — a feedback loop over breaker states,
+   bulkhead queue depth, and route p95 latency that steps the dashboard
+   through ``normal → brownout → shed`` tiers: brownout stretches TTLs
+   and disables expensive pages, shed rejects everything non-essential
+   while ``/healthz``, ``/metrics`` and My Jobs stay alive.
+
+Sim-clock note: daemon latency in this reproduction is *simulated* (the
+load model returns it; nothing wall-sleeps), so a deadline is an
+explicit **charge model** — wall time actually spent plus every
+simulated cost (RPC latency, backoff delay) charged against the budget.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry, quantile_from_buckets
+
+from .errors import BulkheadSaturatedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clock import SimClock
+
+    from .resilience import ResilientFetcher
+
+#: the admission tiers, in order of escalation; the gauge value is the index
+TIERS: Tuple[str, ...] = ("normal", "brownout", "shed")
+
+#: every value the ``reason`` label of ``repro_admission_rejected_total``
+#: can take (pre-seeded to zero so the family always renders)
+REJECT_REASONS: Tuple[str, ...] = ("deadline", "bulkhead", "brownout", "shed")
+
+
+class Deadline:
+    """A per-request time budget, spent by wall clock *and* explicit charges.
+
+    ``elapsed()`` is the wall time since construction plus everything
+    charged via :meth:`charge` — simulated RPC latency and backoff
+    delays, which consume the request's budget in the model even though
+    no thread wall-sleeps them.  One instance belongs to one request
+    (created in :meth:`~repro.core.routes.RouteRegistry.call`) and is
+    only mutated by that request's thread.
+    """
+
+    __slots__ = ("budget_s", "_started", "_charged", "_now")
+
+    def __init__(self, budget_s: float, *,
+                 now: Callable[[], float] = time.monotonic):
+        if budget_s <= 0:
+            raise ValueError(f"deadline budget must be > 0: {budget_s}")
+        self.budget_s = float(budget_s)
+        self._now = now
+        self._started = now()
+        self._charged = 0.0
+
+    def charge(self, seconds: float) -> None:
+        """Spend ``seconds`` of simulated cost against the budget."""
+        if seconds > 0:
+            self._charged += seconds
+
+    def elapsed(self) -> float:
+        """Wall time since construction plus every charged cost."""
+        return (self._now() - self._started) + self._charged
+
+    def remaining(self) -> float:
+        """Budget left (may be negative once exhausted)."""
+        return self.budget_s - self.elapsed()
+
+    def expired(self) -> bool:
+        """True once the budget is spent."""
+        return self.remaining() <= 0.0
+
+    def can_afford(self, cost_s: float) -> bool:
+        """True if ``cost_s`` more seconds still fit in the budget."""
+        return self.remaining() >= cost_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Deadline(budget_s={self.budget_s}, "
+            f"elapsed_s={self.elapsed():.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class BulkheadLimit:
+    """Concurrency limits for one service's bulkhead."""
+
+    max_concurrent: int = 8  # computes allowed in flight at once
+    max_queue: int = 16  # callers allowed to wait for a slot
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1: {self.max_concurrent}")
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0: {self.max_queue}")
+
+
+class Bulkhead:
+    """A per-service concurrency limit with a bounded wait queue.
+
+    At most ``limit.max_concurrent`` callers hold a slot at once; up to
+    ``limit.max_queue`` more wait (bounded wall-clock wait) for one to
+    free.  Anyone beyond that is rejected immediately with
+    :class:`BulkheadSaturatedError` — the fail-fast that keeps a stuck
+    backend from absorbing every handler thread.  Queue depth and active
+    slots are mirrored into gauges on every transition.
+    """
+
+    def __init__(self, service: str, limit: BulkheadLimit,
+                 registry: MetricsRegistry, retry_after_s: float = 1.0):
+        self.service = service
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        self._cond = threading.Condition()
+        self.active = 0
+        self.queued = 0
+        #: high-water mark of concurrently held slots (benchmark assert)
+        self.max_active = 0
+        #: lifetime count of rejected acquisitions
+        self.rejected = 0
+        self._queue_gauge = registry.gauge(
+            "repro_bulkhead_queue_depth",
+            "Callers waiting for a bulkhead slot, per service.",
+            ("service",),
+        )
+        self._active_gauge = registry.gauge(
+            "repro_bulkhead_active",
+            "Bulkhead slots currently held, per service.",
+            ("service",),
+        )
+        self._rejected_metric = registry.counter(
+            "repro_admission_rejected_total",
+            "Requests rejected by the admission layer, by reason.",
+            ("reason",),
+        )
+        self._sync_gauges()
+
+    def _sync_gauges(self) -> None:
+        self._queue_gauge.set(float(self.queued), service=self.service)
+        self._active_gauge.set(float(self.active), service=self.service)
+
+    def _reject(self, reason: str) -> BulkheadSaturatedError:
+        self.rejected += 1
+        self._rejected_metric.inc(reason="bulkhead")
+        return BulkheadSaturatedError(
+            self.service, retry_after_s=self.retry_after_s, reason=reason
+        )
+
+    @contextmanager
+    def slot(self, wait_timeout_s: float) -> Iterator[None]:
+        """Hold one concurrency slot for the duration of the block."""
+        self._acquire(wait_timeout_s)
+        try:
+            yield
+        finally:
+            self._release()
+
+    def _acquire(self, wait_timeout_s: float) -> None:
+        give_up_at = time.monotonic() + max(0.0, wait_timeout_s)
+        with self._cond:
+            # fast path — but never jump ahead of callers already queued
+            if self.active < self.limit.max_concurrent and self.queued == 0:
+                self.active += 1
+                self.max_active = max(self.max_active, self.active)
+                self._sync_gauges()
+                return
+            if self.queued >= self.limit.max_queue:
+                self._sync_gauges()
+                raise self._reject("queue full")
+            self.queued += 1
+            self._sync_gauges()
+            try:
+                while self.active >= self.limit.max_concurrent:
+                    remaining = give_up_at - time.monotonic()
+                    if remaining <= 0:
+                        raise self._reject("queue wait timed out")
+                    self._cond.wait(remaining)
+                self.active += 1
+                self.max_active = max(self.max_active, self.active)
+            finally:
+                self.queued -= 1
+                self._sync_gauges()
+
+    def _release(self) -> None:
+        with self._cond:
+            self.active -= 1
+            self._sync_gauges()
+            self._cond.notify()
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tuning for the whole admission layer.
+
+    Defaults are deliberately generous: bulkheads sized well above the
+    test suite's concurrency, evaluation gated on simulated time, and
+    tier thresholds that a single recovering breaker (half-open, +1)
+    cannot trip — admission only bites under genuine distress.
+    """
+
+    #: per-service bulkhead overrides, e.g. ``{"slurmctld": BulkheadLimit(4, 8)}``
+    bulkheads: Mapping[str, BulkheadLimit] = field(default_factory=dict)
+    default_bulkhead: BulkheadLimit = BulkheadLimit()
+    #: wall-clock seconds a caller may wait in the bulkhead queue
+    queue_wait_s: float = 5.0
+    #: Retry-After hint attached to 429/brownout/shed rejections
+    retry_after_s: float = 1.0
+    #: minimum simulated seconds between controller evaluations
+    eval_interval_s: float = 5.0
+    #: minimum simulated seconds in a tier before stepping back down
+    min_dwell_s: float = 30.0
+    #: distress score at which the tier may step up to brownout / shed
+    brownout_at: int = 2
+    shed_at: int = 4
+    #: route p95 latency (s) that scores +1 / +2 distress
+    p95_brownout_s: float = 1.0
+    p95_shed_s: float = 5.0
+    #: bulkhead queue utilisation (0..1) that scores +1 distress
+    queue_pressure: float = 0.5
+    #: TTL stretch applied to every source while not in "normal"
+    brownout_ttl_multiplier: float = 4.0
+    #: routes disabled during brownout (the expensive aggregates)
+    expensive_routes: Tuple[str, ...] = ("job_performance", "job_overview")
+    #: routes that survive even shed (liveness surface + My Jobs)
+    essential_routes: Tuple[str, ...] = ("homepage", "my_jobs")
+
+    def limit_for(self, service: str) -> BulkheadLimit:
+        """The bulkhead limit configured for ``service``."""
+        return self.bulkheads.get(service, self.default_bulkhead)
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one route admission check."""
+
+    allowed: bool
+    reason: str = ""
+    message: str = ""
+    status: int = 200
+    retry_after_s: float = 0.0
+
+
+class AdmissionController:
+    """The brownout feedback loop: distress signals in, tier out.
+
+    Each evaluation (rate-limited to one per ``eval_interval_s`` of
+    *simulated* time, so request bursts at one instant evaluate once)
+    computes a distress score from three signals:
+
+    * circuit breakers — +2 per open breaker, +1 per half-open;
+    * bulkhead queues — +1 when total depth passes ``queue_pressure``
+      of capacity, +2 when the queues are full;
+    * route latency — +1 / +2 when the aggregate route p95 passes the
+      brownout / shed thresholds.
+
+    The tier moves **one step per evaluation** toward the score's target
+    (``normal`` < ``brownout_at`` <= brownout < ``shed_at`` <= shed) and
+    must dwell ``min_dwell_s`` before stepping back down, so a flapping
+    breaker cannot flap the whole dashboard.
+    """
+
+    def __init__(self, config: AdmissionConfig, registry: MetricsRegistry,
+                 fetcher: "ResilientFetcher", clock: "SimClock"):
+        self.config = config
+        self.registry = registry
+        self.fetcher = fetcher
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._tier = "normal"
+        self._tier_since = clock.now()
+        self._last_eval = clock.now()
+        self._signals: Dict[str, Any] = {}
+        self._tier_gauge = registry.gauge(
+            "repro_brownout_tier",
+            "Current admission tier (0=normal, 1=brownout, 2=shed).",
+        )
+        self._tier_gauge.set(0.0)
+        self._rejected = registry.counter(
+            "repro_admission_rejected_total",
+            "Requests rejected by the admission layer, by reason.",
+            ("reason",),
+        )
+        for reason in REJECT_REASONS:
+            self._rejected.inc(0.0, reason=reason)
+        self._transitions = registry.counter(
+            "repro_brownout_transitions_total",
+            "Admission tier transitions, by destination tier.",
+            ("to",),
+        )
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def tier(self) -> str:
+        """Current tier name (no evaluation side effects)."""
+        with self._lock:
+            return self._tier
+
+    def ttl_multiplier(self) -> float:
+        """TTL stretch for the fetch path: >1 outside ``normal``."""
+        return 1.0 if self.tier == "normal" else self.config.brownout_ttl_multiplier
+
+    # -- the feedback loop ---------------------------------------------------
+
+    def score(self) -> Tuple[int, Dict[str, Any]]:
+        """Current distress score and the signals behind it."""
+        score = 0
+        states = self.fetcher.breaker_states()
+        open_n = sum(1 for s in states.values() if s == "open")
+        half_n = sum(1 for s in states.values() if s == "half_open")
+        score += 2 * open_n + half_n
+
+        depth = capacity = 0
+        for bulkhead in self.fetcher.bulkheads():
+            depth += bulkhead.queued
+            capacity += bulkhead.limit.max_queue
+        utilisation = (depth / capacity) if capacity else 0.0
+        if utilisation >= 1.0:
+            score += 2
+        elif utilisation >= self.config.queue_pressure:
+            score += 1
+
+        p95 = self._route_p95()
+        if p95 is not None:
+            if p95 >= self.config.p95_shed_s:
+                score += 2
+            elif p95 >= self.config.p95_brownout_s:
+                score += 1
+
+        signals = {
+            "breakers_open": open_n,
+            "breakers_half_open": half_n,
+            "bulkhead_queue_depth": depth,
+            "bulkhead_queue_utilisation": round(utilisation, 3),
+            "route_p95_s": round(p95, 6) if p95 is not None else None,
+            "score": score,
+        }
+        return score, signals
+
+    def _route_p95(self) -> Optional[float]:
+        """Aggregate p95 across every route's latency histogram."""
+        family = self.registry.get("repro_route_latency_seconds")
+        if not isinstance(family, Histogram):
+            return None
+        bounds = list(family.buckets) + [float("inf")]
+        combined = [0] * len(bounds)
+        total = 0
+        for labels in family.labelsets():
+            series = family.snapshot(**labels)
+            if series is None:
+                continue
+            for i, count in enumerate(series.bucket_counts):
+                combined[i] += count
+            total += series.count
+        if total == 0:
+            return None
+        return quantile_from_buckets(bounds, combined, 0.95)
+
+    def maybe_evaluate(self) -> str:
+        """Evaluate at most once per ``eval_interval_s`` of sim time."""
+        now = self.clock.now()
+        with self._lock:
+            if now - self._last_eval < self.config.eval_interval_s:
+                return self._tier
+        return self.evaluate()
+
+    def evaluate(self) -> str:
+        """Recompute the score and move the tier at most one step."""
+        now = self.clock.now()
+        target_score, signals = self.score()
+        if target_score >= self.config.shed_at:
+            target = 2
+        elif target_score >= self.config.brownout_at:
+            target = 1
+        else:
+            target = 0
+        with self._lock:
+            self._last_eval = now
+            self._signals = signals
+            current = TIERS.index(self._tier)
+            new = current
+            if target > current:
+                new = current + 1
+            elif target < current and now - self._tier_since >= self.config.min_dwell_s:
+                new = current - 1
+            if new != current:
+                self._tier = TIERS[new]
+                self._tier_since = now
+                self._transitions.inc(to=self._tier)
+            self._tier_gauge.set(float(new))
+            return self._tier
+
+    # -- admission decisions -------------------------------------------------
+
+    def admit_route(self, name: str) -> AdmissionDecision:
+        """Decide whether route ``name`` may run under the current tier."""
+        tier = self.maybe_evaluate()
+        cfg = self.config
+        if tier == "normal" or name in cfg.essential_routes:
+            return AdmissionDecision(True)
+        if tier == "shed":
+            self._rejected.inc(reason="shed")
+            return AdmissionDecision(
+                False,
+                reason="shed",
+                status=503,
+                retry_after_s=cfg.retry_after_s,
+                message=(
+                    f"the dashboard is shedding load; route {name!r} is "
+                    "temporarily disabled (essential routes stay available)"
+                ),
+            )
+        if name in cfg.expensive_routes:
+            self._rejected.inc(reason="brownout")
+            return AdmissionDecision(
+                False,
+                reason="brownout",
+                status=503,
+                retry_after_s=cfg.retry_after_s,
+                message=(
+                    f"the dashboard is in brownout; expensive route {name!r} "
+                    "is temporarily disabled"
+                ),
+            )
+        return AdmissionDecision(True)
+
+    def count_rejection(self, reason: str) -> None:
+        """Count one admission rejection (used by the fetch path)."""
+        self._rejected.inc(reason=reason)
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        """Tier + signals for ``/healthz`` and the overload report."""
+        with self._lock:
+            return {
+                "tier": self._tier,
+                "tier_index": TIERS.index(self._tier),
+                "since": self._tier_since,
+                "signals": dict(self._signals),
+            }

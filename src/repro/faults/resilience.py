@@ -28,16 +28,21 @@ from repro.obs import NULL_TRACER
 from repro.sim.clock import SimClock
 from repro.sim.rng import RandomStreams
 
+from .admission import AdmissionConfig, Bulkhead, Deadline
 from .errors import (
+    BulkheadSaturatedError,
     CircuitOpenError,
     DaemonError,
     DaemonTimeoutError,
+    DeadlineExceededError,
     SourceUnavailableError,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.caching import CachePolicy, TTLCache
     from repro.slurm.daemon import DaemonBus
+
+    from .admission import AdmissionController
 
 #: which backend service serves each cached data source; sources not
 #: listed here are their own service (news, storage, ...)
@@ -226,15 +231,22 @@ class ResilientFetcher:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
         seed: int = 0,
+        admission: Optional[AdmissionConfig] = None,
     ):
         self.cache = cache
         self.daemons = daemons
         self.policy = policy
         self.retry = retry or RetryPolicy()
         self.breaker_config = breaker or BreakerConfig()
+        self.admission = admission or AdmissionConfig()
+        #: brownout controller, wired in by DashboardContext (None when the
+        #: fetcher is used standalone — TTLs then stay un-stretched)
+        self.controller: Optional["AdmissionController"] = None
         self.rng = RandomStreams(seed=seed)
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._breaker_lock = threading.Lock()
+        self._bulkheads: Dict[str, Bulkhead] = {}
+        self._bulkhead_lock = threading.Lock()
         #: every backoff delay slept this run, in order (determinism tests)
         self.backoff_log: List[float] = []
         #: hook invoked with each backoff delay; default is a no-op because
@@ -254,6 +266,15 @@ class ResilientFetcher:
             "Circuit-breaker state transitions by service and new state.",
             ("service", "to"),
         )
+        self._rejected_metric = cache.metrics.counter(
+            "repro_admission_rejected_total",
+            "Requests rejected by the admission layer, by reason.",
+            ("reason",),
+        )
+        # eager bulkheads for the daemon services so their gauges render
+        # (with zero values) before any traffic arrives
+        for service in sorted(DAEMON_SERVICES):
+            self.bulkhead_for(service)
 
     # -- breakers -----------------------------------------------------------
 
@@ -278,9 +299,36 @@ class ResilientFetcher:
             breakers = list(self._breakers.values())
         return {b.daemon: b.state for b in breakers}
 
+    # -- bulkheads ----------------------------------------------------------
+
+    def bulkhead_for(self, service: str) -> Bulkhead:
+        """The (lazily created) bulkhead limiting ``service`` concurrency."""
+        with self._bulkhead_lock:
+            bulkhead = self._bulkheads.get(service)
+            if bulkhead is None:
+                bulkhead = Bulkhead(
+                    service,
+                    self.admission.limit_for(service),
+                    registry=self.cache.metrics,
+                    retry_after_s=self.admission.retry_after_s,
+                )
+                self._bulkheads[service] = bulkhead
+            return bulkhead
+
+    def bulkheads(self) -> List[Bulkhead]:
+        """Every instantiated bulkhead (for the brownout controller)."""
+        with self._bulkhead_lock:
+            return list(self._bulkheads.values())
+
     # -- the fetch path -----------------------------------------------------
 
-    def fetch(self, source: str, key: str, compute: Callable[[], Any]) -> FetchOutcome:
+    def fetch(
+        self,
+        source: str,
+        key: str,
+        compute: Callable[[], Any],
+        deadline: Optional[Deadline] = None,
+    ) -> FetchOutcome:
         """Fetch ``source:key`` through the cache with full resilience.
 
         Fresh cache hits short-circuit everything.  On miss, ``compute``
@@ -294,23 +342,42 @@ class ResilientFetcher:
         exists, that stale value is served and the outcome flagged
         degraded.  With no stale copy, :class:`SourceUnavailableError`
         propagates (to the leader and every follower alike).
+
+        Admission layers on top: the leader compute holds a per-service
+        :class:`Bulkhead` slot, and a ``deadline`` bounds total spend —
+        the retry loop stops scheduling attempts once the remaining
+        budget cannot cover another timeout + backoff, and followers
+        never wait longer than the budget allows.  Both rejections
+        (:class:`DeadlineExceededError`, :class:`BulkheadSaturatedError`)
+        still prefer stale data, but with no stale copy they propagate
+        *unwrapped* so the route layer can map 504 / 429.
         """
         service = service_for_source(source)
         full_key = f"{source}:{key}"
         ttl = self.policy.ttl_for(source)
+        if self.controller is not None:
+            # brownout tiers stretch freshness instead of querying backends
+            ttl *= self.controller.ttl_multiplier()
         attempts = {"n": 0}
 
         def resilient_compute() -> Any:
-            return self._compute_with_retry(source, service, compute, attempts)
+            return self._compute_with_retry(
+                source, service, compute, attempts, deadline
+            )
 
+        follower_timeout = self.policy.timeout_for(source)
+        if deadline is not None:
+            follower_timeout = max(0.0, min(follower_timeout, deadline.remaining()))
         try:
             result = self.cache.lookup(
                 full_key,
                 resilient_compute,
                 ttl=ttl,
                 stale_on=(DaemonError,),
-                follower_timeout_s=self.policy.timeout_for(source),
+                follower_timeout_s=follower_timeout,
             )
+        except (DeadlineExceededError, BulkheadSaturatedError):
+            raise  # admission rejections keep their own status codes
         except DaemonError as exc:
             raise SourceUnavailableError(source, service, exc) from exc
         if result.stale_age_s is None:
@@ -338,6 +405,30 @@ class ResilientFetcher:
         service: str,
         compute: Callable[[], Any],
         attempts: Dict[str, Any],
+        deadline: Optional[Deadline] = None,
+    ) -> Any:
+        if deadline is not None and deadline.expired():
+            self._count_rejection("deadline")
+            raise DeadlineExceededError(
+                service, deadline.budget_s, deadline.elapsed()
+            )
+        bulkhead = self.bulkhead_for(service)
+        wait_s = self.admission.queue_wait_s
+        if deadline is not None:
+            wait_s = max(0.0, min(wait_s, deadline.remaining()))
+        with bulkhead.slot(wait_s):
+            with self.daemons.inflight(service):
+                return self._retry_loop(
+                    source, service, compute, attempts, deadline
+                )
+
+    def _retry_loop(
+        self,
+        source: str,
+        service: str,
+        compute: Callable[[], Any],
+        attempts: Dict[str, Any],
+        deadline: Optional[Deadline],
     ) -> Any:
         breaker = self.breaker_for(service)
         timeout_s = self.policy.timeout_for(source)
@@ -358,6 +449,10 @@ class ResilientFetcher:
                         plan.check(service, self.cache.clock.now())
                     with self.daemons.measure() as probe:
                         value = compute()
+                    # simulated RPC latency spends the request's budget,
+                    # whether or not the attempt beat its timeout
+                    if deadline is not None:
+                        deadline.charge(probe.max_latency_s)
                     if probe.max_latency_s > timeout_s:
                         raise DaemonTimeoutError(
                             service, probe.max_latency_s, timeout_s
@@ -374,8 +469,21 @@ class ResilientFetcher:
                     breaker.record_failure()
                     if attempt + 1 < self.retry.max_attempts:
                         delay = self.retry.delay(attempt, rng)
+                        if deadline is not None and not deadline.can_afford(
+                            delay + timeout_s
+                        ):
+                            # the remaining budget cannot cover the backoff
+                            # plus another full attempt: stop here, don't
+                            # burn backoff the client would never see
+                            span.attrs["deadline_exceeded"] = True
+                            self._count_rejection("deadline")
+                            raise DeadlineExceededError(
+                                service, deadline.budget_s, deadline.elapsed()
+                            ) from exc
                         self.backoff_log.append(delay)
                         self._retries_metric.inc(service=service)
+                        if deadline is not None:
+                            deadline.charge(delay)
                         self.sleep(delay)
                     continue
                 span.attrs["rpcs"] = probe.rpcs
@@ -384,3 +492,6 @@ class ResilientFetcher:
             return value
         assert last_exc is not None
         raise last_exc
+
+    def _count_rejection(self, reason: str) -> None:
+        self._rejected_metric.inc(reason=reason)

@@ -30,75 +30,14 @@ _EXPORT_RE = re.compile(
 from repro.auth import Viewer
 from repro.core.dashboard import Dashboard
 
-
-def coerce_params(pairs) -> Dict[str, Any]:
-    """Type query-string values: ints, finite floats, booleans, else strings.
-
-    Values like ``nan``, ``inf`` or ``1e309`` *parse* as floats but must
-    stay strings: a NaN/Infinity that reaches a response payload makes
-    ``json.dumps`` emit literals no JSON parser accepts.
-
-    Python's ``int()``/``float()`` are also looser than the wire format:
-    they accept ``_`` digit separators (``"1_000"`` -> 1000) and
-    surrounding whitespace (``" 42 "`` -> 42).  Neither spelling is a
-    number in a query string, so any value containing an underscore or
-    whitespace skips numeric coercion and stays a string.
-    """
-    out: Dict[str, Any] = {}
-    for key, value in pairs:
-        if value.lower() in ("true", "false"):
-            out[key] = value.lower() == "true"
-            continue
-        if "_" in value or any(ch.isspace() for ch in value):
-            out[key] = value
-            continue
-        try:
-            out[key] = int(value)
-            continue
-        except ValueError:
-            pass
-        try:
-            number = float(value)
-            if math.isfinite(number):
-                out[key] = number
-                continue
-        except ValueError:
-            pass
-        out[key] = value
-    return out
-
-
-class ParamError(ValueError):
-    """A query parameter failed validation — rendered as a structured 400."""
-
-
-def positive_int_param(
-    params: Dict[str, Any], name: str, maximum: Optional[int] = None
-) -> Optional[int]:
-    """The value of an integer query param that must be >= 1 (or absent).
-
-    ``coerce_params`` maps ``"true"``/``"false"`` to booleans, and
-    ``isinstance(True, int)`` holds in Python — so a naive ``isinstance``
-    check silently reads ``?limit=true`` as ``limit=1``.  Booleans,
-    non-integers, zero and negative values are all rejected with a
-    :class:`ParamError` instead of leaking into slicing arithmetic.
-    """
-    value = params.get(name)
-    if value is None:
-        return None
-    if isinstance(value, bool) or not isinstance(value, int):
-        raise ParamError(
-            f"query param {name!r} must be a positive integer, got {value!r}"
-        )
-    if value < 1:
-        raise ParamError(
-            f"query param {name!r} must be >= 1, got {value}"
-        )
-    if maximum is not None and value > maximum:
-        raise ParamError(
-            f"query param {name!r} must be <= {maximum}, got {value}"
-        )
-    return value
+# Param validation lives in repro.core.params so widgets can use it without
+# importing the HTTP layer; re-exported here for backwards compatibility.
+from repro.core.params import (  # noqa: F401  (re-exports)
+    ParamError,
+    coerce_params,
+    positive_int_param,
+)
+from repro.faults import Deadline
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -128,6 +67,11 @@ class _Handler(BaseHTTPRequestHandler):
             except OSError:  # headers already sent / socket gone
                 pass
 
+    # HEAD is GET with the body suppressed (``_send_body`` checks
+    # ``self.command``): same status, same headers — including
+    # Content-Length — so clients can probe a route cheaply.
+    do_HEAD = do_GET  # noqa: N815
+
     def _endpoint_kind(self, path: str) -> str:
         """Low-cardinality endpoint label for the HTTP request counter."""
         if path == "/healthz":
@@ -149,6 +93,29 @@ class _Handler(BaseHTTPRequestHandler):
             self._endpoint_kind(urlparse(self.path).path), status
         )
 
+    def _deadline_from_headers(self) -> Tuple[Optional[Deadline], Optional[str]]:
+        """Parse ``X-Request-Deadline-Ms`` into a :class:`Deadline`.
+
+        Returns ``(deadline, error)``; a malformed or non-positive value
+        is the client's mistake, reported as a structured 400 rather than
+        silently ignored.  The budget is capped by the cache policy so a
+        client cannot demand an unbounded wait.
+        """
+        raw = self.headers.get("X-Request-Deadline-Ms")
+        if raw is None:
+            return None, None
+        try:
+            ms = float(raw.strip())
+        except ValueError:
+            ms = math.nan
+        if not math.isfinite(ms) or ms <= 0:
+            return None, (
+                f"X-Request-Deadline-Ms must be a positive number of"
+                f" milliseconds, got {raw!r}"
+            )
+        policy = self.dashboard.ctx.cache_policy
+        return Deadline(policy.clamp_deadline(ms / 1000.0)), None
+
     def _handle_get(self) -> None:
         parsed = urlparse(self.path)
         params = coerce_params(parse_qsl(parsed.query))
@@ -164,6 +131,9 @@ class _Handler(BaseHTTPRequestHandler):
                     # watching a degraded cluster recover; the same call
                     # mirrors the states into the /metrics gauge
                     "breakers": self.dashboard.ctx.breaker_report(),
+                    # admission tier + signals (§ overload control): stays
+                    # live even when the dashboard is shedding load
+                    "admission": self.dashboard.ctx.admission_report(),
                 },
             )
             return
@@ -208,7 +178,7 @@ class _Handler(BaseHTTPRequestHandler):
                 {"account": export.group("account"), "format": export.group("fmt")},
             )
             if not response.ok:
-                self._send(response.status, response.to_json())
+                self._send_route_response(response)
                 return
             self._send_download(
                 response.data["content"],
@@ -216,14 +186,33 @@ class _Handler(BaseHTTPRequestHandler):
                 response.data["filename"],
             )
             return
-        response = self.dashboard.get(parsed.path, viewer, params)
-        self._send(response.status if not response.ok else 200, response.to_json())
+        deadline, deadline_error = self._deadline_from_headers()
+        if deadline_error is not None:
+            self._send(400, {"ok": False, "error": deadline_error, "status": 400})
+            return
+        response = self.dashboard.get(parsed.path, viewer, params, deadline=deadline)
+        self._send_route_response(response)
 
     # -- helpers ------------------------------------------------------------
 
-    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send(self, status: int, payload: Dict[str, Any],
+              extra: Tuple[Tuple[str, str], ...] = ()) -> None:
         body = json.dumps(payload).encode()
-        self._send_body(status, body, "application/json")
+        self._send_body(status, body, "application/json", extra=extra)
+
+    def _send_route_response(self, response) -> None:
+        """Send a :class:`RouteResponse`, surfacing backpressure hints.
+
+        Admission rejections (429/503/504) carry a retry budget; clients
+        honouring ``Retry-After`` spread their retries instead of piling
+        onto an overloaded daemon.
+        """
+        extra: Tuple[Tuple[str, str], ...] = ()
+        retry_after = getattr(response, "retry_after_s", None)
+        if retry_after is not None and retry_after > 0:
+            extra = (("Retry-After", str(max(1, math.ceil(retry_after)))),)
+        status = response.status if not response.ok else 200
+        self._send(status, response.to_json(), extra=extra)
 
     def _send_text(self, status: int, text: str) -> None:
         # the content type Prometheus scrapers expect from /metrics
@@ -251,7 +240,8 @@ class _Handler(BaseHTTPRequestHandler):
             self.send_header(name, value)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
-        self.wfile.write(body)
+        if self.command != "HEAD":  # HEAD mirrors headers, omits the body
+            self.wfile.write(body)
 
 
 class DashboardServer:

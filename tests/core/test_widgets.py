@@ -42,9 +42,11 @@ class TestAnnouncementsWidget:
         data = widget_data(dash, "announcements", alice_v, {"limit": 1})
         assert len(data["articles"]) == 1
 
-    def test_bad_limit_isolated(self, dash, alice_v):
+    def test_bad_limit_is_client_error(self, dash, alice_v):
+        # validation rejects it before the handler runs: a 400, not a 500
         resp = dash.call("announcements", alice_v, {"limit": -1})
-        assert not resp.ok and resp.status == 500
+        assert not resp.ok and resp.status == 400
+        assert "limit" in resp.error
 
     def test_render(self, dash, alice_v):
         data = widget_data(dash, "announcements", alice_v)

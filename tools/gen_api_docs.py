@@ -186,6 +186,61 @@ route is missing from the exposition.
 """
 
 
+ADMISSION_SECTION = """\
+## Overload & admission control
+
+Resilience (above) protects individual fetches; the admission layer in
+`repro.faults.admission` bounds what the dashboard accepts *in total*
+when the daemons are struggling:
+
+1. **Deadlines** — every route call carries a `Deadline`: the per-route
+   default from `CachePolicy.deadline_for(route)` (override with
+   `deadlines_s`, cap with `deadline_max_s`), or the client's
+   `X-Request-Deadline-Ms` request header (malformed values are a
+   structured `400`; the budget is clamped to `deadline_max_s`). The
+   budget is charged with wall time plus every simulated cost — RPC
+   latency and backoff delays. The retry loop stops scheduling attempts
+   the moment the remaining budget cannot cover another timeout +
+   backoff, and single-flight followers never wait past the budget.
+   Exhaustion is a structured `504` with `retry_after_s` set — never a
+   hang, and never backoff the client would not live to see.
+2. **Bulkheads** — each daemon service gets a `Bulkhead`
+   (`AdmissionConfig.bulkheads`, default 8 concurrent + 16 queued):
+   at most `max_concurrent` leader computes in flight, a bounded wait
+   queue behind them, and an immediate structured `429` with a
+   `Retry-After` header for everyone past the queue — one stuck daemon
+   cannot absorb every server thread.
+3. **Brownout control** — an `AdmissionController` feedback loop scores
+   distress from breaker states (+2 open, +1 half-open), bulkhead queue
+   utilisation, and the aggregate route p95, then steps the dashboard
+   `normal → brownout → shed` one tier per evaluation (rate-limited on
+   sim time, with a `min_dwell_s` before stepping back down).
+   *Brownout* stretches every TTL by `brownout_ttl_multiplier` and
+   disables the expensive routes (`503` + `Retry-After`), with a
+   site-wide banner on the homepage. *Shed* rejects everything except
+   the essential routes — `/healthz`, `/metrics`, the homepage, and
+   My Jobs stay alive throughout.
+
+Rejections never count against the circuit breakers (they are not
+backend failures), and stale cache entries still rescue a deadline- or
+bulkhead-rejected request when one exists. `/healthz` reports the
+current tier and the signals behind it. The metric families:
+
+| family | labels | source |
+| --- | --- | --- |
+| `repro_admission_rejected_total` | `reason` (`deadline` / `bulkhead` / `brownout` / `shed`) | every admission rejection |
+| `repro_bulkhead_active` | `service` | slots currently held (gauge) |
+| `repro_bulkhead_queue_depth` | `service` | callers waiting for a slot (gauge) |
+| `repro_brownout_tier` | — | current tier index (0/1/2, gauge) |
+| `repro_brownout_transitions_total` | `to` | tier transitions |
+
+`tools/overload_report.py` renders a scraped payload as an overload
+report (tier, rejections by reason, bulkhead occupancy, breaker
+states); `benchmarks/test_perf_admission.py` is the overload benchmark
+(set `ADMISSION_SMOKE=1` for the CI-sized run).
+"""
+
+
 def main() -> int:
     repo = pathlib.Path(__file__).resolve().parent.parent
     sys.path.insert(0, str(repo / "src"))
@@ -200,6 +255,7 @@ def main() -> int:
         "",
         DEGRADED_MODE_SECTION,
         OBSERVABILITY_SECTION,
+        ADMISSION_SECTION,
     ]
     seen = set()
     for info in sorted(

@@ -150,6 +150,12 @@ def main() -> int:
             "repro_cache_coalesced_waiters_total",
             "repro_cache_inflight_keys",
             "repro_cache_purged_total",
+            # admission layer: pre-seeded at startup so the families
+            # render even before any rejection happens
+            "repro_admission_rejected_total",
+            "repro_bulkhead_queue_depth",
+            "repro_bulkhead_active",
+            "repro_brownout_tier",
         ):
             if family not in by_name:
                 failures.append(f"family {family!r} missing from /metrics")
@@ -179,6 +185,18 @@ def main() -> int:
                     f"/healthz says {service}={state} but the "
                     "repro_breaker_state gauge disagrees"
                 )
+
+        tier_gauge = samples_by_name(parse_prometheus_text(payload2)).get(
+            "repro_brownout_tier", []
+        )
+        admission = health.get("admission", {})
+        if not tier_gauge:
+            failures.append("repro_brownout_tier gauge missing from /metrics")
+        elif admission.get("tier_index") != int(tier_gauge[0].value):
+            failures.append(
+                f"/healthz admission tier_index={admission.get('tier_index')} "
+                f"but repro_brownout_tier gauge is {tier_gauge[0].value}"
+            )
 
         traces = json.loads(get(server.url + "/api/v1/traces/recent"))
         if not traces.get("traces"):

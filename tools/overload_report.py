@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Summarise a scraped ``/metrics`` payload as an overload report.
+
+The admission-control companion to ``obs_report.py``: reads Prometheus
+text exposition (a file, stdin, or a live scrape with ``--url``) and
+prints:
+
+* the current brownout tier and lifetime tier transitions;
+* admission rejections by reason (deadline / bulkhead / brownout / shed);
+* bulkhead occupancy per service (active slots, queued waiters);
+* circuit-breaker states — the controller's primary distress signal.
+
+Run::
+
+    python tools/overload_report.py metrics.txt
+    curl -s localhost:8080/metrics | python tools/overload_report.py
+    python tools/overload_report.py --url http://localhost:8080/metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict, List
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faults.admission import REJECT_REASONS, TIERS  # noqa: E402
+from repro.obs.metrics import (  # noqa: E402
+    Sample,
+    parse_prometheus_text,
+    samples_by_name,
+)
+
+
+def _sum_where(samples: List[Sample], **labels: str) -> float:
+    return sum(
+        s.value for s in samples
+        if all(s.labeldict.get(k) == v for k, v in labels.items())
+    )
+
+
+def tier_line(by_name) -> str:
+    """Current tier from the ``repro_brownout_tier`` gauge."""
+    gauges = by_name.get("repro_brownout_tier", [])
+    if not gauges:
+        return "(no brownout tier gauge in payload)"
+    index = int(gauges[0].value)
+    name = TIERS[index] if 0 <= index < len(TIERS) else f"unknown({index})"
+    return f"admission tier: {name} (gauge={index})"
+
+
+def transition_lines(by_name) -> List[str]:
+    transitions = by_name.get("repro_brownout_transitions_total", [])
+    if not transitions:
+        return ["(no tier transitions recorded)"]
+    return [
+        f"  -> {s.labeldict.get('to', '?'):<10} {s.value:.0f}x"
+        for s in sorted(transitions, key=lambda s: s.labeldict.get("to", ""))
+    ]
+
+
+def rejection_rows(by_name) -> Dict[str, float]:
+    rejected = by_name.get("repro_admission_rejected_total", [])
+    return {
+        reason: _sum_where(rejected, reason=reason)
+        for reason in REJECT_REASONS
+    }
+
+
+def bulkhead_rows(by_name) -> List[dict]:
+    active = by_name.get("repro_bulkhead_active", [])
+    queued = by_name.get("repro_bulkhead_queue_depth", [])
+    services = sorted(
+        {s.labeldict.get("service", "") for s in active}
+        | {s.labeldict.get("service", "") for s in queued}
+    )
+    return [
+        {
+            "service": service,
+            "active": _sum_where(active, service=service),
+            "queued": _sum_where(queued, service=service),
+        }
+        for service in services
+    ]
+
+
+def breaker_rows(by_name) -> List[dict]:
+    states = by_name.get("repro_breaker_state", [])
+    services = sorted({s.labeldict.get("service", "") for s in states})
+    rows = []
+    for service in services:
+        current = next(
+            (
+                s.labeldict["state"] for s in states
+                if s.labeldict.get("service") == service and s.value == 1.0
+            ),
+            "unknown",
+        )
+        rows.append({"service": service, "state": current})
+    return rows
+
+
+def render_report(payload: str) -> str:
+    by_name = samples_by_name(parse_prometheus_text(payload))
+    lines: List[str] = []
+
+    lines.append("== Admission tier ==")
+    lines.append(tier_line(by_name))
+    lines.extend(transition_lines(by_name))
+
+    lines.append("")
+    lines.append("== Rejections by reason ==")
+    rejections = rejection_rows(by_name)
+    total = sum(rejections.values())
+    for reason in REJECT_REASONS:
+        lines.append(f"{reason:<10} {rejections[reason]:>8.0f}")
+    lines.append(f"{'total':<10} {total:>8.0f}")
+
+    lines.append("")
+    lines.append("== Bulkheads ==")
+    bulkheads = bulkhead_rows(by_name)
+    if bulkheads:
+        lines.append(f"{'service':<16} {'active':>7} {'queued':>7}")
+        for row in bulkheads:
+            lines.append(
+                f"{row['service']:<16} {row['active']:>7.0f} "
+                f"{row['queued']:>7.0f}"
+            )
+    else:
+        lines.append("(no bulkhead gauges in payload)")
+
+    lines.append("")
+    lines.append("== Circuit breakers (controller inputs) ==")
+    breakers = breaker_rows(by_name)
+    if breakers:
+        for row in breakers:
+            lines.append(f"{row['service']:<16} {row['state']}")
+    else:
+        lines.append("(no breaker gauges in payload)")
+    return "\n".join(lines)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "payload", nargs="?", default="-",
+        help="file with Prometheus text exposition ('-' for stdin)",
+    )
+    parser.add_argument(
+        "--url", help="scrape this /metrics URL instead of reading a file"
+    )
+    opts = parser.parse_args(argv)
+
+    if opts.url:
+        import urllib.request
+
+        with urllib.request.urlopen(opts.url, timeout=10) as resp:
+            text = resp.read().decode()
+    elif opts.payload == "-":
+        text = sys.stdin.read()
+    else:
+        text = pathlib.Path(opts.payload).read_text()
+
+    print(render_report(text))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
