@@ -1,0 +1,173 @@
+"""P6 — refresh-ahead caching + parallel widget fan-out.
+
+Two latency claims layered on the caching story of §2.4:
+
+* **refresh-ahead** keeps hot keys perpetually warm: once a key is
+  popular, lookups landing in its soft-TTL window are served from cache
+  instantly while a *background* revalidation rewrites the entry — in
+  steady state the request path issues **zero** backend RPCs;
+* **scatter-gather fan-out** renders the homepage's independent widgets
+  concurrently on the shared worker pool, collapsing page latency from
+  the sum of the widget costs to roughly the slowest widget — with
+  byte-identical output;
+* and refresh-ahead is **load-aware**: outside the ``normal`` admission
+  tier the arming gate closes, so background revalidation can never
+  deepen a brownout, and it resumes the moment the tier recovers.
+
+Set ``FANOUT_SMOKE=1`` to run with reduced sizes (CI smoke).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+from .conftest import fresh_world
+
+SMOKE = os.environ.get("FANOUT_SMOKE") == "1"
+STEADY_CYCLES = 3 if SMOKE else 8
+WIDGET_DELAY_S = 0.02 if SMOKE else 0.05
+
+
+def captured_runner(cache):
+    """Replace the worker pool with a capture list so the bench controls
+    exactly when each background revalidation runs."""
+    captured = []
+    cache.refresh_runner = lambda thunk: (captured.append(thunk) or True)
+    return captured
+
+
+def test_perf_refresh_ahead_zero_request_rpcs(report):
+    """(a) Hot-key steady state: every request is served from cache and
+    every backend RPC happens in the background refresh."""
+    dash, _, viewer = fresh_world(seed=13, hours=1.0)
+    cache = dash.ctx.cache
+    daemons = dash.ctx.cluster.daemons
+    captured = captured_runner(cache)
+
+    warm = dash.call("system_status", viewer)
+    assert warm.ok
+
+    # sinfo TTL is 60 s, soft TTL 0.8 × 60 = 48 s: landing at age 50 is
+    # inside the soft window but well short of hard expiry
+    request_rpcs = []
+    for cycle in range(STEADY_CYCLES):
+        dash.ctx.cluster.advance(50.0)
+        daemons.reset_counters()
+        resp = dash.call("system_status", viewer)
+        assert resp.ok and not resp.degraded
+        request_rpcs.append(daemons.ctld.total_rpcs)
+        assert len(captured) == 1, "exactly one revalidation armed per window"
+        entry_before = cache.entry("sinfo:all")
+        captured.pop()()  # run the background refresh
+        entry_after = cache.entry("sinfo:all")
+        assert entry_after.stored_at > entry_before.stored_at, (
+            "refresh must rewrite the entry with a fresh TTL"
+        )
+        assert daemons.ctld.total_rpcs == 1, "the refresh itself costs one RPC"
+
+    assert request_rpcs == [0] * STEADY_CYCLES, (
+        f"steady-state requests must cost zero on-request RPCs: {request_rpcs}"
+    )
+    served = cache.metrics.total("repro_cache_served_while_refreshing_total")
+    assert served >= STEADY_CYCLES
+    report(
+        "",
+        "P6a: refresh-ahead hot-key steady state",
+        f"{STEADY_CYCLES} soft-window reloads of System Status -> "
+        f"{sum(request_rpcs)} on-request slurmctld RPCs "
+        f"({STEADY_CYCLES} background refreshes, "
+        f"{int(served)} hits served while revalidating)",
+    )
+
+
+def test_perf_homepage_fanout_max_not_sum(report):
+    """(b) Homepage latency ≈ slowest widget, not Σ(widgets), with
+    byte-identical output vs the sequential baseline."""
+    dash, _, viewer = fresh_world(seed=17, hours=1.0)
+
+    def slowed(handler):
+        def wrapped(ctx, v, params):
+            time.sleep(WIDGET_DELAY_S)  # simulated per-widget backend cost
+            return handler(ctx, v, params)
+
+        return wrapped
+
+    from repro.core.pages.homepage import HOMEPAGE_WIDGETS
+
+    originals = {}
+    for name in HOMEPAGE_WIDGETS:
+        route = next(r for r in dash.registry.all_routes() if r.name == name)
+        originals[name] = route
+        dash.registry.unregister(name)
+        dash.registry.register(
+            dataclasses.replace(route, handler=slowed(route.handler))
+        )
+
+    n = len(HOMEPAGE_WIDGETS)
+    try:
+        dash.render_homepage(viewer, parallel=False)  # warm caches
+
+        t0 = time.perf_counter()
+        seq = dash.render_homepage(viewer, parallel=False)
+        seq_wall = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        par = dash.render_homepage(viewer, parallel=True)
+        par_wall = time.perf_counter() - t0
+    finally:
+        for name, route in originals.items():
+            dash.registry.unregister(name)
+            dash.registry.register(route)
+
+    assert par.html == seq.html, "fan-out must not change a byte"
+    assert not par.failures and not seq.failures
+    assert seq_wall >= n * WIDGET_DELAY_S, "baseline must pay every widget"
+    assert par_wall < seq_wall / 2, (
+        f"fan-out must at least halve page latency: "
+        f"sequential {seq_wall * 1000:.1f} ms, parallel {par_wall * 1000:.1f} ms"
+    )
+    report(
+        "",
+        "P6b: homepage scatter-gather fan-out "
+        f"({n} widgets x {WIDGET_DELAY_S * 1000:.0f} ms simulated cost)",
+        f"{'path':>12s} {'wall ms':>9s}",
+        f"{'sequential':>12s} {seq_wall * 1000:>9.1f}",
+        f"{'parallel':>12s} {par_wall * 1000:>9.1f}",
+        f"speedup: {seq_wall / par_wall:.1f}x (ideal {n:.0f}x), "
+        "pages byte-identical",
+    )
+
+
+def test_perf_refresh_ahead_pauses_in_brownout(report):
+    """(c) The arming gate: refresh-ahead halts outside the ``normal``
+    tier and resumes on recovery."""
+    dash, _, viewer = fresh_world(seed=19, hours=1.0)
+    cache = dash.ctx.cache
+    captured = captured_runner(cache)
+
+    assert dash.call("system_status", viewer).ok  # warm
+    dash.ctx.cluster.advance(50.0)  # into the sinfo soft window
+
+    dash.ctx.admission.force_tier("brownout")
+    resp = dash.call("system_status", viewer)
+    assert resp.ok
+    assert captured == [], "brownout must not enqueue background refreshes"
+    paused = cache.metrics.total(
+        "repro_cache_refresh_ahead_total", result="paused"
+    )
+    assert paused >= 1
+
+    dash.ctx.admission.force_tier("normal")
+    resp = dash.call("system_status", viewer)
+    assert resp.ok
+    assert len(captured) == 1, "recovery must re-arm refresh-ahead"
+    captured.pop()()
+    report(
+        "",
+        "P6c: refresh-ahead load-awareness",
+        f"brownout soft-window reload -> 0 refreshes armed "
+        f"({int(paused)} counted paused); "
+        "first reload after recovery re-armed the revalidation",
+    )

@@ -34,6 +34,7 @@ from .routes import (
     RouteRegistry,
     RouteResponse,
 )
+from .workers import TaskOutcome, WorkerPool
 
 __all__ = [
     "CachePolicy",
@@ -70,4 +71,6 @@ __all__ = [
     "DashboardContext",
     "RouteRegistry",
     "RouteResponse",
+    "TaskOutcome",
+    "WorkerPool",
 ]

@@ -14,6 +14,16 @@ follower's wait is bounded — past the budget it degrades to the expired
 entry when one exists, so the moment a popular key expires under load
 the daemons see one query, not one per concurrent request.
 
+Hot keys additionally support **refresh-ahead** (stale-while-
+revalidate): a lookup that lands between the *soft* TTL and the hard
+expiry returns the cached value immediately and arms a deduplicated
+background revalidation on the dashboard's shared worker pool (see
+:mod:`repro.core.workers`), so a warm hot key never blocks a user
+request on a backend RPC.  The background refresh reuses the same
+per-key ``_InFlight`` machinery as coalescing — at most one compute per
+key is ever in flight, whether it was started by a miss or by
+refresh-ahead.
+
 :class:`CachePolicy` centralizes the per-data-source expiration times the
 paper motivates: ~30 s for ``squeue`` (changes fast, protects slurmctld)
 up to 30–60 min for announcements (changes slowly).
@@ -78,6 +88,17 @@ LOOKUP_RESULTS = (
     "stale_served",  # compute failed (or leader overran); expired entry served
     "coalesced",  # follower served the leader's in-flight result
     "coalesced_failed",  # follower inherited the leader's failure, no stale
+)
+
+#: every value the ``result`` label of ``repro_cache_refresh_ahead_total``
+#: can take (one-hot per *armed* refresh decision; plain soft-window hits
+#: that find a refresh already in flight are counted in
+#: ``repro_cache_served_while_refreshing_total`` instead)
+REFRESH_RESULTS = (
+    "ok",  # background refresh ran and stored a fresh entry
+    "error",  # background refresh raised; entry left as-is
+    "rejected",  # worker-pool queue full; refresh dropped
+    "paused",  # refresh gate closed (brownout/shed); nothing enqueued
 )
 
 
@@ -173,12 +194,20 @@ class CacheLookup:
     #: ``"leader"`` ran the compute, ``"follower"`` waited on another
     #: thread's in-flight compute, ``None`` for fresh hits
     role: Optional[str] = None
+    #: True when this lookup was served from cache while a refresh-ahead
+    #: revalidation for the key is in flight (or was just armed)
+    refreshing: bool = False
 
 
 class _InFlight:
     """One in-flight compute: the leader's pending result for a key."""
 
-    __slots__ = ("event", "leader_thread", "value", "exc", "waiters")
+    __slots__ = ("event", "leader_thread", "value", "exc", "waiters", "cancelled")
+
+    #: sentinel leader id for refresh-ahead flights: the compute has been
+    #: queued but no worker thread owns it yet, so no caller can match it
+    #: as "their own" reentrant compute
+    NO_THREAD = -1
 
     def __init__(self, leader_thread: int):
         self.event = threading.Event()
@@ -186,6 +215,10 @@ class _InFlight:
         self.value: Any = None
         self.exc: Optional[BaseException] = None
         self.waiters = 0
+        #: set by delete()/clear() when the key was removed mid-flight:
+        #: followers treat the flight as leaderless and recompute instead
+        #: of trusting a result for a key that no longer exists
+        self.cancelled = False
 
 
 class TTLCache:
@@ -199,6 +232,16 @@ class TTLCache:
     compute block; followers wait on its in-flight result (bounded by
     ``follower_timeout_s``) instead of each hitting the backend, so a
     popular key expiring under load costs one backend query, not N.
+
+    When a :attr:`refresh_runner` is wired (the dashboard wires the
+    shared :class:`~repro.core.workers.WorkerPool`), lookups may also
+    pass ``soft_ttl``/``refresh`` to get **refresh-ahead**: a fresh hit
+    whose age has reached ``soft_ttl`` is served immediately and a
+    single-flight background revalidation is enqueued, keyed through the
+    same ``_inflight`` map so a miss-leader and a refresh task can never
+    run concurrently for one key.  :attr:`refresh_gate` (when set) can
+    veto arming — the dashboard closes it outside the ``normal``
+    admission tier so background work never deepens an overload.
 
     Eviction keeps an expiry-ordered heap alongside the dict, so the
     at-capacity write path is O(log n) instead of a full O(n) scan.
@@ -243,6 +286,27 @@ class TTLCache:
             "Follower threads that waited on an in-flight compute, by source.",
             ("source",),
         )
+        self._refresh_ahead = self.metrics.counter(
+            "repro_cache_refresh_ahead_total",
+            "Refresh-ahead arming decisions by data source and result.",
+            ("source", "result"),
+        )
+        for result in REFRESH_RESULTS:
+            self._refresh_ahead.inc(0.0, source="default", result=result)
+        self._served_refreshing = self.metrics.counter(
+            "repro_cache_served_while_refreshing_total",
+            "Soft-expired hits served while a background refresh was in flight.",
+            ("source",),
+        )
+        self._served_refreshing.inc(0.0, source="default")
+        #: enqueue hook for background refreshes — callable taking a
+        #: zero-arg thunk and returning True when accepted (the dashboard
+        #: wires ``WorkerPool.try_submit``); None disables refresh-ahead
+        self.refresh_runner: Optional[Callable[[Callable[[], None]], bool]] = None
+        #: arming gate — when set and returning False, soft-expired hits
+        #: are served without enqueuing a refresh (counted ``paused``);
+        #: the dashboard wires ``admission.tier == "normal"``
+        self.refresh_gate: Optional[Callable[[], bool]] = None
         self._inflight_gauge = self.metrics.gauge(
             "repro_cache_inflight_keys",
             "Keys with a single-flight compute currently running.",
@@ -309,6 +373,8 @@ class TTLCache:
         ttl: Optional[float] = None,
         stale_on: Tuple[Type[BaseException], ...] = (),
         follower_timeout_s: Optional[float] = None,
+        soft_ttl: Optional[float] = None,
+        refresh: Optional[Callable[[], Any]] = None,
     ) -> CacheLookup:
         """The full fetch path, reporting how the value was obtained.
 
@@ -329,14 +395,33 @@ class TTLCache:
         compute block touching a *different* key coalesces per key, and
         one re-fetching its *own* key just computes again instead of
         deadlocking on itself.
+
+        When ``soft_ttl`` and ``refresh`` are both given, a fresh hit
+        whose age has *reached* ``soft_ttl`` (half-open, mirroring
+        :meth:`CacheEntry.is_fresh`: at ``age == soft_ttl`` the refresh
+        is due) additionally arms a deduplicated background revalidation
+        via :attr:`refresh_runner` — the hit is still served instantly,
+        and ``refresh`` runs off-thread to rewrite the entry before its
+        hard expiry.
         """
         flight: Optional[_InFlight] = None
         role = "leader"
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None and entry.is_fresh(self.clock.now()):
+                refreshing = False
+                if (
+                    soft_ttl is not None
+                    and refresh is not None
+                    and entry.age(self.clock.now()) >= soft_ttl
+                ):
+                    refreshing = self._maybe_refresh_locked(key, refresh, ttl)
+                    if refreshing:
+                        self._served_refreshing.inc(source=_source_of(key))
                 self._count(key, "hit")
-                return CacheLookup(value=entry.value, result="hit")
+                return CacheLookup(
+                    value=entry.value, result="hit", refreshing=refreshing
+                )
             had_expired = entry is not None
             if self.coalesce:
                 flight = self._inflight.get(key)
@@ -410,6 +495,64 @@ class TTLCache:
             self._sync_gauges_locked()
         flight.event.set()
 
+    # -- refresh-ahead -------------------------------------------------------
+
+    def _maybe_refresh_locked(
+        self, key: str, refresh: Callable[[], Any], ttl: Optional[float]
+    ) -> bool:
+        """Arm one background revalidation for ``key`` (lock held).
+
+        Returns True when a refresh is in flight after the call — whether
+        this lookup armed it or an earlier one did (dedup through the
+        same ``_inflight`` map the miss path uses, so at most one compute
+        per key ever runs).  The gate is consulted at *arm* time only: a
+        refresh already running when the dashboard browns out is allowed
+        to finish — it holds a bulkhead slot and a short deadline, so it
+        is bounded anyway.
+        """
+        if self.refresh_runner is None:
+            return False
+        if key in self._inflight:
+            return True  # dedup: miss-leader or earlier refresh already on it
+        if self.refresh_gate is not None and not self.refresh_gate():
+            self._refresh_ahead.inc(source=_source_of(key), result="paused")
+            return False
+        flight = _InFlight(_InFlight.NO_THREAD)
+        self._inflight[key] = flight
+        self._sync_gauges_locked()
+        accepted = self.refresh_runner(
+            lambda: self._run_refresh(key, flight, refresh, ttl)
+        )
+        if not accepted:
+            # pool saturated: retire the marker so the next soft-window
+            # hit (or a real miss) can try again
+            if self._inflight.get(key) is flight:
+                del self._inflight[key]
+            self._sync_gauges_locked()
+            flight.event.set()
+            self._refresh_ahead.inc(source=_source_of(key), result="rejected")
+            return False
+        return True
+
+    def _run_refresh(
+        self,
+        key: str,
+        flight: _InFlight,
+        refresh: Callable[[], Any],
+        ttl: Optional[float],
+    ) -> None:
+        """Execute one armed revalidation (on a worker-pool thread)."""
+        flight.leader_thread = threading.get_ident()
+        try:
+            value = refresh()
+        except BaseException as exc:  # noqa: BLE001 - published to followers
+            self._refresh_ahead.inc(source=_source_of(key), result="error")
+            self._resolve(key, flight, exc=exc)
+            return
+        self.write(key, value, ttl)
+        self._refresh_ahead.inc(source=_source_of(key), result="ok")
+        self._resolve(key, flight, value=value)
+
     def _await_leader(
         self,
         key: str,
@@ -422,6 +565,12 @@ class TTLCache:
         """Wait (bounded) for the in-flight leader, degrading to stale or
         an independent compute rather than blocking past the budget."""
         completed = flight.event.wait(timeout=follower_timeout_s)
+        if completed and flight.cancelled:
+            # delete()/clear() retired the flight while we waited: the
+            # leader's (eventual) result is for a key that was explicitly
+            # removed, so behave as if the leader never answered —
+            # recheck the entry below, then compute independently
+            completed = False
         if completed and flight.exc is None:
             self._count(key, "coalesced")
             return CacheLookup(
@@ -492,22 +641,44 @@ class TTLCache:
                 self._rebuild_heap()
             self._sync_gauges_locked()
 
+    def _cancel_flight_locked(self, key: str) -> None:
+        """Retire the in-flight marker for an explicitly removed key.
+
+        Followers wake immediately (instead of waiting out their full
+        budget on a leader for a key that no longer exists) and treat the
+        flight as leaderless.  The leader itself is unaware: its eventual
+        ``_resolve`` is a no-op (identity mismatch) and its ``write``
+        may re-store the key — the same benign race an uncoalesced
+        delete-during-compute always had.
+        """
+        flight = self._inflight.pop(key, None)
+        if flight is not None:
+            flight.cancelled = True
+            flight.event.set()
+
     def delete(self, key: str) -> bool:
-        """Remove one key; returns True if it existed."""
+        """Remove one key; returns True if it existed.
+
+        Any in-flight compute for the key is cancelled for followers and
+        the ``repro_cache_inflight_keys`` gauge reconciled, so delete
+        never strands waiters or leaks in-flight records."""
         with self._lock:
             existed = self._entries.pop(key, None) is not None
+            self._cancel_flight_locked(key)
             if existed:
                 self._purged.inc(source=_source_of(key), reason="deleted")
-                self._sync_gauges_locked()
+            self._sync_gauges_locked()
             return existed
 
     def clear(self) -> None:
-        """Drop every entry."""
+        """Drop every entry (and cancel every in-flight compute)."""
         with self._lock:
             for key in self._entries:
                 self._purged.inc(source=_source_of(key), reason="cleared")
             self._entries.clear()
             self._expiry_heap.clear()
+            for key in list(self._inflight):
+                self._cancel_flight_locked(key)
             self._sync_gauges_locked()
 
     def entry(self, key: str) -> Optional[CacheEntry]:
@@ -585,6 +756,26 @@ class CachePolicy:
     deadline_max_s: float = 900.0
     #: per-route deadline overrides, e.g. ``{"recent_jobs": 3.0}``
     deadlines_s: Mapping[str, float] = field(default_factory=dict)
+    #: refresh-ahead master switch: when False no soft TTLs are computed
+    #: and lookups never arm background revalidation
+    refresh_ahead: bool = True
+    #: soft TTL as a fraction of the hard TTL — a hot key older than
+    #: ``soft_ttl_fraction × ttl`` is revalidated in the background while
+    #: the cached value is still served; must satisfy 0 < f <= 1
+    soft_ttl_fraction: float = 0.8
+    #: wall/simulated budget for one background revalidation — short, so
+    #: a sick daemon fails a refresh fast instead of pinning pool workers
+    refresh_deadline_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.soft_ttl_fraction <= 1.0):
+            raise ValueError(
+                f"soft_ttl_fraction must be in (0, 1]: {self.soft_ttl_fraction}"
+            )
+        if self.refresh_deadline_s <= 0:
+            raise ValueError(
+                f"refresh_deadline_s must be positive: {self.refresh_deadline_s}"
+            )
 
     def ttl_for(self, source: str) -> float:
         """TTL (seconds) for a named data source; unknown sources get the default."""
@@ -593,6 +784,21 @@ class CachePolicy:
     def timeout_for(self, source: str) -> float:
         """Latency budget (seconds) for one fetch of a named data source."""
         return float(self.timeouts_s.get(source, self.timeout_default_s))
+
+    def soft_ttl_for(self, source: str, ttl: Optional[float] = None) -> Optional[float]:
+        """Soft TTL (seconds) after which a hot key is revalidated in the
+        background, or None when refresh-ahead is disabled.
+
+        Derived from the *base* per-source TTL by default; pass ``ttl``
+        to derive from an explicit hard TTL instead.  Kept independent of
+        brownout TTL stretching on purpose: after recovery, refresh-ahead
+        then naturally rewrites entries that brownout left with stretched
+        expiries.
+        """
+        if not self.refresh_ahead:
+            return None
+        base = self.ttl_for(source) if ttl is None else float(ttl)
+        return self.soft_ttl_fraction * base
 
     def deadline_for(self, route: str) -> float:
         """Per-request deadline budget (seconds) for a named route,

@@ -51,6 +51,8 @@ class Dashboard:
         retry: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerConfig] = None,
         admission: Optional[AdmissionConfig] = None,
+        worker_pool_size: int = 8,
+        worker_queue_max: int = 64,
     ):
         if quotas is None:
             quotas = QuotaDatabase()
@@ -74,6 +76,8 @@ class Dashboard:
             retry=retry,
             breaker=breaker,
             admission=admission,
+            worker_pool_size=worker_pool_size,
+            worker_queue_max=worker_queue_max,
         )
         self.registry = RouteRegistry()
         for route in (*ALL_WIDGET_ROUTES, *ALL_PAGE_ROUTES, EXPORT_ROUTE):
@@ -106,9 +110,13 @@ class Dashboard:
 
     # -- page rendering ---------------------------------------------------------
 
-    def render_homepage(self, viewer: Viewer) -> HomepageRender:
-        """Fetch every widget and render the full homepage (Figure 2)."""
-        return render_homepage(self.ctx, self.registry, viewer)
+    def render_homepage(self, viewer: Viewer, parallel: bool = True) -> HomepageRender:
+        """Fetch every widget and render the full homepage (Figure 2).
+
+        Widgets fan out concurrently on the shared worker pool by
+        default; ``parallel=False`` renders sequentially (same bytes,
+        Σ(widget) latency — the benchmark baseline)."""
+        return render_homepage(self.ctx, self.registry, viewer, parallel=parallel)
 
     def render_homepage_shell(self, viewer: Viewer) -> str:
         """Render the instant shell with loading placeholders (§2.3)."""

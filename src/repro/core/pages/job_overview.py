@@ -26,7 +26,7 @@ from ..colors import job_state_color, job_state_label
 from ..efficiency import compute_efficiency
 from ..records import JobRecord
 from ..rendering import badge, card, data_table, el, tabs, timeline
-from ..routes import ApiRoute, DashboardContext
+from ..routes import ApiRoute, DashboardContext, scatter_sections
 
 
 def job_overview_data(
@@ -51,15 +51,19 @@ def job_overview_data(
 
     now = ctx.now()
     tz_offset = int(params.get("tz_offset_minutes", 0))
-    data: Dict[str, Any] = {
-        "header": _header(ctx, rec),
-        "timeline": _timeline(ctx, rec, tz_offset),
-        "overview": _overview_cards(ctx, rec, now),
-        "session": _session_tab(ctx, rec, internal),
-        "logs": _log_tabs(ctx, viewer, rec, internal, now),
-        "array": _array_tab(ctx, rec),
-    }
-    return data
+    # the six sections only depend on the record fetched above, so they
+    # build concurrently on the shared worker pool (declared order kept)
+    return scatter_sections(
+        ctx,
+        (
+            ("header", lambda: _header(ctx, rec)),
+            ("timeline", lambda: _timeline(ctx, rec, tz_offset)),
+            ("overview", lambda: _overview_cards(ctx, rec, now)),
+            ("session", lambda: _session_tab(ctx, rec, internal)),
+            ("logs", lambda: _log_tabs(ctx, viewer, rec, internal, now)),
+            ("array", lambda: _array_tab(ctx, rec)),
+        ),
+    )
 
 
 def _internal_job(ctx: DashboardContext, job_id: int):

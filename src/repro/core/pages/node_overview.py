@@ -15,8 +15,9 @@ from repro.sim.clock import duration_hms
 from repro.slurm.model import NodeState, format_memory
 
 from ..colors import node_state_color, utilization_color
+from ..records import NodeRecord
 from ..rendering import card, data_table, el, progress_bar, tabs
-from ..routes import ApiRoute, DashboardContext
+from ..routes import ApiRoute, DashboardContext, scatter_sections
 
 #: scontrol fields surfaced in the details tab, in display order
 DETAIL_FIELDS = (
@@ -43,9 +44,24 @@ def node_overview_data(
     if not name:
         raise ValueError("missing required parameter 'node'")
     rec = ctx.node_record(str(name))
-    state = NodeState(rec.state)
+    now = ctx.now()
+    # the four blocks derive independently from the record fetched above,
+    # so they build concurrently on the shared worker pool
+    data = scatter_sections(
+        ctx,
+        (
+            ("status", lambda: _status_card(ctx, rec)),
+            ("usage", lambda: _usage_card(rec)),
+            ("details", lambda: _details(rec)),
+            ("running_jobs", lambda: _running_jobs(ctx, rec, now)),
+        ),
+    )
+    return {"node": rec.name, **data}
 
-    status_card = {
+
+def _status_card(ctx: DashboardContext, rec: NodeRecord) -> Dict[str, Any]:
+    state = NodeState(rec.state)
+    return {
         "state": rec.state,
         "state_color": node_state_color(state),
         "online": state.is_online,
@@ -54,7 +70,10 @@ def node_overview_data(
             ctx.clock.isoformat(rec.last_busy) if rec.last_busy is not None else "n/a"
         ),
     }
-    usage_card = {
+
+
+def _usage_card(rec: NodeRecord) -> Dict[str, Any]:
+    return {
         "cpu": {
             "used": rec.cpus_alloc,
             "total": rec.cpus_total,
@@ -82,12 +101,19 @@ def node_overview_data(
             else None
         ),
     }
-    details = [
+
+
+def _details(rec: NodeRecord) -> List[Dict[str, Any]]:
+    return [
         {"field": label, "value": rec.raw.get(key, "")}
         for key, label in DETAIL_FIELDS
         if rec.raw.get(key) not in (None, "", "(null)")
     ]
-    now = ctx.now()
+
+
+def _running_jobs(
+    ctx: DashboardContext, rec: NodeRecord, now: float
+) -> List[Dict[str, Any]]:
     running = []
     for job in ctx.cluster.scheduler.jobs_on_node(rec.name):
         running.append(
@@ -105,13 +131,7 @@ def node_overview_data(
                 "overview_url": f"/jobs/{job.job_id}",
             }
         )
-    return {
-        "node": rec.name,
-        "status": status_card,
-        "usage": usage_card,
-        "details": details,
-        "running_jobs": running,
-    }
+    return running
 
 
 def render_node_overview(data: Dict[str, Any]):

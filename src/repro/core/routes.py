@@ -56,6 +56,7 @@ from repro.storage.quota import DirectoryQuota, QuotaDatabase
 from .caching import CachePolicy, TTLCache
 from .params import ParamError
 from .records import JobRecord, NodeRecord
+from .workers import TaskOutcome, WorkerPool
 
 RouteHandler = Callable[["DashboardContext", Viewer, Dict[str, Any]], Dict[str, Any]]
 
@@ -115,20 +116,28 @@ class RouteResponse:
 @dataclass
 class FetchScope:
     """Per-request record of degraded fetches, filled in by
-    :meth:`DashboardContext._cached` while a route handler runs."""
+    :meth:`DashboardContext._cached` while a route handler runs.
+
+    During a scatter-gather fan-out one scope is shared by several
+    worker threads, so :meth:`note` mutates under a lock.
+    """
 
     degraded: bool = False
     stale_age_s: Optional[float] = None
     sources: List[str] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def note(self, outcome: FetchOutcome) -> None:
         if not outcome.degraded:
             return
-        self.degraded = True
-        self.sources.append(outcome.source)
-        if outcome.stale_age_s is not None:
-            if self.stale_age_s is None or outcome.stale_age_s > self.stale_age_s:
-                self.stale_age_s = outcome.stale_age_s
+        with self._lock:
+            self.degraded = True
+            self.sources.append(outcome.source)
+            if outcome.stale_age_s is not None:
+                if self.stale_age_s is None or outcome.stale_age_s > self.stale_age_s:
+                    self.stale_age_s = outcome.stale_age_s
 
 
 def _retry_after_of(exc: BaseException) -> Optional[float]:
@@ -356,6 +365,8 @@ class DashboardContext:
         slow_request_ms: float = 250.0,
         max_traces: int = 100,
         admission: Optional[AdmissionConfig] = None,
+        worker_pool_size: int = 8,
+        worker_queue_max: int = 64,
     ):
         self.cluster = cluster
         self.directory = directory
@@ -395,6 +406,18 @@ class DashboardContext:
             clock=cluster.clock,
         )
         self.fetcher.controller = self.admission
+        # shared bounded pool: refresh-ahead revalidation and page fan-out
+        # compete for the same threads, so background work can never
+        # out-grow the configured capacity
+        self.workers = WorkerPool(
+            max_workers=worker_pool_size,
+            max_queue=worker_queue_max,
+            registry=self.obs.registry,
+        )
+        self.cache.refresh_runner = self.workers.try_submit
+        # refresh-ahead arms only in the normal tier: brownout/shed means
+        # the backends need less traffic, not proactive revalidation
+        self.cache.refresh_gate = lambda: self.admission.tier == "normal"
         cluster.daemons.attach_metrics(self.obs.registry)
         self._scope_local = threading.local()
         self._deadline_local = threading.local()
@@ -458,6 +481,52 @@ class DashboardContext:
         stack = self._deadline_stack()
         return stack[-1] if stack else None
 
+    # -- scatter-gather fan-out ----------------------------------------------
+
+    def scatter(self, thunks: Sequence[Callable[[], Any]]) -> List[TaskOutcome]:
+        """Run independent thunks concurrently on the shared worker pool,
+        with this request's context propagated into every worker.
+
+        Each worker thread inherits the calling request's
+        :class:`~repro.faults.Deadline` (one common budget, charged under
+        a lock), its open fetch scopes (so degraded fetches inside the
+        fan-out still mark the response envelope), and its innermost
+        open span (so widget spans nest under the page span instead of
+        becoming disconnected roots).  Outcomes come back in input
+        order, one per thunk, failures isolated per slot.
+        """
+        deadline = self.current_deadline()
+        scopes = list(self._scope_stack())
+        parent_span = self.obs.tracer.current()
+
+        def wrap(fn: Callable[[], Any]) -> Callable[[], Any]:
+            def run() -> Any:
+                # re-entrant (inline) execution already has the request's
+                # stacks on this thread — only graft what is missing, or
+                # one fetch would note the same scope twice
+                scope_stack = self._scope_stack()
+                present = {id(s) for s in scope_stack}
+                added = [s for s in scopes if id(s) not in present]
+                scope_stack.extend(added)
+                deadline_stack = self._deadline_stack()
+                pushed_deadline = (
+                    deadline is not None and self.current_deadline() is not deadline
+                )
+                if pushed_deadline:
+                    deadline_stack.append(deadline)
+                try:
+                    with self.obs.tracer.attach(parent_span):
+                        return fn()
+                finally:
+                    if pushed_deadline:
+                        deadline_stack.pop()
+                    if added:
+                        del scope_stack[-len(added):]
+
+            return run
+
+        return self.workers.scatter_gather([wrap(fn) for fn in thunks])
+
     # -- observability -------------------------------------------------------
 
     def breaker_report(self) -> Dict[str, str]:
@@ -516,6 +585,9 @@ class DashboardContext:
             if outcome.role is not None:
                 # which side of a single-flight stampede this fetch was on
                 span.attrs["role"] = outcome.role
+            if outcome.refreshing:
+                # served from cache while refresh-ahead revalidates it
+                span.attrs["refreshing"] = True
             if outcome.attempts > 1:
                 span.attrs["attempts"] = outcome.attempts
         for scope in self._scope_stack():
@@ -654,3 +726,25 @@ class DashboardContext:
             return self.quotas.directories_for(owners)
 
         return self._cached("storage", viewer.username, compute)
+
+
+def scatter_sections(
+    ctx: DashboardContext,
+    sections: Sequence[Tuple[str, Callable[[], Any]]],
+) -> Dict[str, Any]:
+    """Build a page's independent sections concurrently.
+
+    ``sections`` is ``(name, thunk)`` pairs; the result dict preserves
+    declared order (3.7+ dicts are ordered).  Error semantics match the
+    sequential loop the multi-source pages used to run: if any section
+    raises, the *first* failing section in declared order re-raises and
+    the route dispatcher maps it as before — section failures are not
+    isolated within a page, only across page/widget slots.
+    """
+    outcomes = ctx.scatter([thunk for _, thunk in sections])
+    data: Dict[str, Any] = {}
+    for (name, _), outcome in zip(sections, outcomes):
+        if outcome.error is not None:
+            raise outcome.error
+        data[name] = outcome.value
+    return data

@@ -1,0 +1,284 @@
+"""Shared bounded worker pool for background refresh and request fan-out.
+
+Two hot paths need threads that are not HTTP handler threads:
+
+* **refresh-ahead** — :class:`~repro.core.caching.TTLCache` revalidates
+  soft-expired hot keys *behind* the response, so a warm key never
+  blocks a user request on a daemon RPC;
+* **scatter-gather fan-out** — :func:`~repro.core.pages.homepage.render_homepage`
+  (and the multi-section pages) issue their independent widget/section
+  calls concurrently, collapsing page latency from the *sum* of the
+  parts to roughly the *max*.
+
+Both share one :class:`WorkerPool` per dashboard so background work and
+foreground fan-out compete for the same bounded capacity — the pool can
+never out-grow its configured thread count, and everything it does is
+visible on ``/metrics`` (``repro_worker_pool_active``,
+``repro_worker_pool_queue_depth``, ``repro_worker_pool_tasks_total``).
+
+Design notes
+------------
+* Threads spawn lazily, one per submission that finds no idle worker,
+  up to ``max_workers`` — a dashboard that never fans out never owns a
+  thread.
+* The queue is bounded.  :meth:`try_submit` (the refresh-ahead entry
+  point) simply refuses when full — a dropped revalidation is harmless,
+  the entry is still served until its hard TTL.  :meth:`scatter_gather`
+  (the fan-out entry point) must run *every* task, so rejected tasks run
+  inline on the calling thread instead.
+* :meth:`scatter_gather` called **from a pool worker** runs everything
+  inline: nested fan-out can therefore never deadlock the pool, however
+  deep pages recurse.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, List, Optional, Sequence, Set
+
+from repro.obs import MetricsRegistry
+
+#: every value the ``result`` label of ``repro_worker_pool_tasks_total``
+#: can take (pre-seeded so the family renders before any task runs)
+TASK_RESULTS = (
+    "ok",  # ran on a pool worker, returned
+    "error",  # ran on a pool worker, raised
+    "inline",  # queue full: a scatter_gather task ran on the caller
+    "rejected",  # queue full: a try_submit task was dropped
+)
+
+
+class TaskOutcome:
+    """Per-slot result of :meth:`WorkerPool.scatter_gather`.
+
+    Exactly one of :attr:`value` / :attr:`error` is meaningful: a task
+    that raised has ``error`` set and ``value`` ``None``.
+    """
+
+    __slots__ = ("value", "error")
+
+    def __init__(self, value: Any = None, error: Optional[BaseException] = None):
+        self.value = value
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.error is not None:
+            return f"TaskOutcome(error={self.error!r})"
+        return f"TaskOutcome(value={self.value!r})"
+
+
+class _Task:
+    """One queued unit of work and its completion state."""
+
+    __slots__ = ("fn", "event", "value", "error")
+
+    def __init__(self, fn: Callable[[], Any]):
+        self.fn = fn
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+_SHUTDOWN = _Task(lambda: None)
+
+
+class WorkerPool:
+    """A bounded, lazily-spawned thread pool with queue-depth gauges.
+
+    Thread-safe; one instance is shared by the TTL cache's refresh-ahead
+    path and every page's scatter-gather fan-out.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 8,
+        max_queue: int = 64,
+        name: str = "core",
+        registry: Optional[MetricsRegistry] = None,
+        thread_name_prefix: str = "repro-worker",
+    ):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1: {max_workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1: {max_queue}")
+        self.max_workers = max_workers
+        self.max_queue = max_queue
+        self.name = name
+        self._thread_name_prefix = thread_name_prefix
+        self._queue: "queue.Queue[_Task]" = queue.Queue(maxsize=max_queue)
+        self._lock = threading.Lock()
+        self._spawned = 0
+        self._idle = 0
+        self._queued = 0
+        self._active = 0
+        self._closed = False
+        self._worker_idents: Set[int] = set()
+        self.metrics = registry or MetricsRegistry()
+        self._active_gauge = self.metrics.gauge(
+            "repro_worker_pool_active",
+            "Worker-pool tasks currently executing, per pool.",
+            ("pool",),
+        )
+        self._queue_gauge = self.metrics.gauge(
+            "repro_worker_pool_queue_depth",
+            "Worker-pool tasks waiting for a thread, per pool.",
+            ("pool",),
+        )
+        self._tasks = self.metrics.counter(
+            "repro_worker_pool_tasks_total",
+            "Worker-pool task dispositions, per pool and result.",
+            ("pool", "result"),
+        )
+        for result in TASK_RESULTS:
+            self._tasks.inc(0.0, pool=name, result=result)
+        self._sync_gauges_locked()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _sync_gauges_locked(self) -> None:
+        self._active_gauge.set(float(self._active), pool=self.name)
+        self._queue_gauge.set(float(self._queued), pool=self.name)
+
+    @property
+    def workers_alive(self) -> int:
+        """Threads currently spawned (for tests and reports)."""
+        with self._lock:
+            return self._spawned
+
+    def in_worker(self) -> bool:
+        """True when the calling thread is one of this pool's workers."""
+        with self._lock:
+            return threading.get_ident() in self._worker_idents
+
+    # -- submission ----------------------------------------------------------
+
+    def _spawn_locked(self) -> None:
+        self._spawned += 1
+        self._idle += 1
+        thread = threading.Thread(
+            target=self._worker,
+            name=f"{self._thread_name_prefix}-{self.name}-{self._spawned}",
+            daemon=True,
+        )
+        thread.start()
+
+    def _submit(self, fn: Callable[[], Any]) -> Optional[_Task]:
+        """Enqueue ``fn``; None when the queue is full or the pool closed."""
+        task = _Task(fn)
+        with self._lock:
+            if self._closed:
+                return None
+            try:
+                self._queue.put_nowait(task)
+            except queue.Full:
+                return None
+            self._queued += 1
+            self._sync_gauges_locked()
+            # spawn while accepted work outnumbers idle workers — counting
+            # idle (not just "any worker") keeps a burst of submissions
+            # from stranding tasks behind one not-yet-started thread
+            if self._queued > self._idle and self._spawned < self.max_workers:
+                self._spawn_locked()
+        return task
+
+    def try_submit(self, fn: Callable[[], Any]) -> bool:
+        """Fire-and-forget submission (the refresh-ahead entry point).
+
+        Returns False — and counts a ``rejected`` task — when the queue
+        is full; the caller is expected to treat that as "not now", not
+        as an error.
+        """
+        task = self._submit(fn)
+        if task is None:
+            self._tasks.inc(pool=self.name, result="rejected")
+            return False
+        return True
+
+    def scatter_gather(
+        self, fns: Sequence[Callable[[], Any]]
+    ) -> List[TaskOutcome]:
+        """Run every ``fns[i]`` concurrently; outcomes in input order.
+
+        Each slot isolates its own failure: a raising task yields a
+        :class:`TaskOutcome` with ``error`` set and never disturbs its
+        siblings.  Tasks the bounded queue refuses run inline on the
+        calling thread (the caller participates instead of failing), and
+        a call *from* a pool worker runs everything inline so nested
+        fan-out cannot deadlock the pool.
+        """
+        fns = list(fns)
+        if not fns:
+            return []
+        if self.in_worker():
+            return [self._run_inline(fn) for fn in fns]
+        tasks: List[Optional[_Task]] = [self._submit(fn) for fn in fns]
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(fns)
+        # run the rejected tasks on this thread while workers chew the rest
+        for i, task in enumerate(tasks):
+            if task is None:
+                outcomes[i] = self._run_inline(fns[i])
+        for i, task in enumerate(tasks):
+            if task is not None:
+                task.event.wait()
+                outcomes[i] = TaskOutcome(task.value, task.error)
+        return outcomes  # type: ignore[return-value]
+
+    def _run_inline(self, fn: Callable[[], Any]) -> TaskOutcome:
+        self._tasks.inc(pool=self.name, result="inline")
+        try:
+            return TaskOutcome(value=fn())
+        except BaseException as exc:  # noqa: BLE001 - per-slot isolation
+            return TaskOutcome(error=exc)
+
+    # -- workers -------------------------------------------------------------
+
+    def _worker(self) -> None:
+        ident = threading.get_ident()
+        with self._lock:
+            self._worker_idents.add(ident)
+        try:
+            while True:
+                task = self._queue.get()
+                if task is _SHUTDOWN:
+                    return
+                with self._lock:
+                    self._idle -= 1
+                    self._queued -= 1
+                    self._active += 1
+                    self._sync_gauges_locked()
+                try:
+                    task.value = task.fn()
+                    self._tasks.inc(pool=self.name, result="ok")
+                except BaseException as exc:  # noqa: BLE001 - isolated per task
+                    task.error = exc
+                    self._tasks.inc(pool=self.name, result="error")
+                finally:
+                    task.event.set()
+                    with self._lock:
+                        self._active -= 1
+                        self._idle += 1
+                        self._sync_gauges_locked()
+        finally:
+            with self._lock:
+                self._worker_idents.discard(ident)
+                self._spawned -= 1
+                self._idle -= 1
+
+    def shutdown(self) -> None:
+        """Stop accepting work and retire every worker (best effort).
+
+        Queued tasks already accepted still run; callers blocked in
+        :meth:`scatter_gather` are not interrupted.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            spawned = self._spawned
+        for _ in range(spawned):
+            self._queue.put(_SHUTDOWN)

@@ -57,11 +57,13 @@ class Deadline:
     charged via :meth:`charge` — simulated RPC latency and backoff
     delays, which consume the request's budget in the model even though
     no thread wall-sleeps them.  One instance belongs to one request
-    (created in :meth:`~repro.core.routes.RouteRegistry.call`) and is
-    only mutated by that request's thread.
+    (created in :meth:`~repro.core.routes.RouteRegistry.call`); during a
+    scatter-gather fan-out the same instance is shared by every worker
+    thread serving that request, so charges are applied under a lock —
+    the parallel widgets genuinely spend one common budget.
     """
 
-    __slots__ = ("budget_s", "_started", "_charged", "_now")
+    __slots__ = ("budget_s", "_started", "_charged", "_now", "_charge_lock")
 
     def __init__(self, budget_s: float, *,
                  now: Callable[[], float] = time.monotonic):
@@ -71,11 +73,13 @@ class Deadline:
         self._now = now
         self._started = now()
         self._charged = 0.0
+        self._charge_lock = threading.Lock()
 
     def charge(self, seconds: float) -> None:
         """Spend ``seconds`` of simulated cost against the budget."""
         if seconds > 0:
-            self._charged += seconds
+            with self._charge_lock:
+                self._charged += seconds
 
     def elapsed(self) -> float:
         """Wall time since construction plus every charged cost."""
@@ -318,6 +322,24 @@ class AdmissionController:
     def ttl_multiplier(self) -> float:
         """TTL stretch for the fetch path: >1 outside ``normal``."""
         return 1.0 if self.tier == "normal" else self.config.brownout_ttl_multiplier
+
+    def force_tier(self, tier: str) -> None:
+        """Pin the tier directly (operator override, benchmarks).
+
+        Bypasses the scoring loop but keeps the gauge, transition
+        counter, and dwell clock consistent; the next evaluation may
+        step away again once its interval and dwell allow.
+        """
+        if tier not in TIERS:
+            raise ValueError(f"unknown admission tier: {tier!r}")
+        now = self.clock.now()
+        with self._lock:
+            if tier != self._tier:
+                self._tier = tier
+                self._tier_since = now
+                self._transitions.inc(to=tier)
+            self._last_eval = now
+            self._tier_gauge.set(float(TIERS.index(tier)))
 
     # -- the feedback loop ---------------------------------------------------
 

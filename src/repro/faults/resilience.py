@@ -214,6 +214,9 @@ class FetchOutcome:
     #: ``"leader"``/``"follower"`` when the lookup took part in a
     #: single-flight stampede, ``None`` otherwise — span annotation
     role: Optional[str] = None
+    #: True when the hit was served while a refresh-ahead revalidation
+    #: for the key is in flight — span annotation
+    refreshing: bool = False
 
 
 class ResilientFetcher:
@@ -351,6 +354,13 @@ class ResilientFetcher:
         (:class:`DeadlineExceededError`, :class:`BulkheadSaturatedError`)
         still prefer stale data, but with no stale copy they propagate
         *unwrapped* so the route layer can map 504 / 429.
+
+        Hits past the source's soft TTL additionally arm **refresh-ahead**
+        (when the cache has a worker pool wired): the hit is served
+        instantly and a background revalidation — same bulkhead, same
+        breaker accounting, but its own short
+        :attr:`CachePolicy.refresh_deadline_s` budget — rewrites the
+        entry off-thread before it hard-expires.
         """
         service = service_for_source(source)
         full_key = f"{source}:{key}"
@@ -365,6 +375,24 @@ class ResilientFetcher:
                 source, service, compute, attempts, deadline
             )
 
+        # soft TTL from the *base* TTL: brownout-stretched entries get
+        # revalidated promptly once the tier (and the gate) are normal again
+        soft_ttl = self.policy.soft_ttl_for(source)
+
+        def refresh_compute() -> Any:
+            # background revalidation: fresh attempt counter (breaker
+            # failures count exactly once, never against the foreground
+            # request) and a short dedicated budget so a sick daemon
+            # fails the refresh fast instead of pinning a pool worker
+            bg_attempts: Dict[str, Any] = {"n": 0}
+            bg_deadline = Deadline(self.policy.refresh_deadline_s)
+            with self.tracer.span(
+                f"refresh:{source}", kind="refresh", attrs={"key": key}
+            ):
+                return self._compute_with_retry(
+                    source, service, compute, bg_attempts, bg_deadline
+                )
+
         follower_timeout = self.policy.timeout_for(source)
         if deadline is not None:
             follower_timeout = max(0.0, min(follower_timeout, deadline.remaining()))
@@ -375,6 +403,8 @@ class ResilientFetcher:
                 ttl=ttl,
                 stale_on=(DaemonError,),
                 follower_timeout_s=follower_timeout,
+                soft_ttl=soft_ttl,
+                refresh=refresh_compute,
             )
         except (DeadlineExceededError, BulkheadSaturatedError):
             raise  # admission rejections keep their own status codes
@@ -388,6 +418,7 @@ class ResilientFetcher:
                 cache_hit=result.result == "hit",
                 coalesced=result.result == "coalesced",
                 role=result.role,
+                refreshing=result.refreshing,
             )
         return FetchOutcome(
             value=result.value,

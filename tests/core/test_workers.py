@@ -1,0 +1,211 @@
+"""Tests for the shared bounded worker pool (repro.core.workers)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.workers import TASK_RESULTS, TaskOutcome, WorkerPool
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def make_pool(registry, **kw):
+    kw.setdefault("max_workers", 4)
+    kw.setdefault("max_queue", 16)
+    return WorkerPool(registry=registry, **kw)
+
+
+class TestScatterGather:
+    def test_results_in_input_order(self, registry):
+        pool = make_pool(registry)
+        try:
+            outcomes = pool.scatter_gather([lambda i=i: i * 10 for i in range(8)])
+            assert [o.value for o in outcomes] == [i * 10 for i in range(8)]
+            assert all(o.ok for o in outcomes)
+        finally:
+            pool.shutdown()
+
+    def test_empty_input(self, registry):
+        pool = make_pool(registry)
+        try:
+            assert pool.scatter_gather([]) == []
+        finally:
+            pool.shutdown()
+
+    def test_tasks_genuinely_overlap(self, registry):
+        """N tasks that each wait on a shared barrier can only finish if
+        they run concurrently."""
+        pool = make_pool(registry, max_workers=4)
+        barrier = threading.Barrier(4, timeout=5.0)
+
+        def task():
+            barrier.wait()
+            return "done"
+
+        try:
+            outcomes = pool.scatter_gather([task] * 4)
+            assert [o.value for o in outcomes] == ["done"] * 4
+        finally:
+            pool.shutdown()
+
+    def test_failure_isolated_per_slot(self, registry):
+        pool = make_pool(registry)
+
+        def boom():
+            raise RuntimeError("widget exploded")
+
+        try:
+            outcomes = pool.scatter_gather([lambda: "a", boom, lambda: "c"])
+            assert outcomes[0].value == "a" and outcomes[0].ok
+            assert isinstance(outcomes[1].error, RuntimeError)
+            assert not outcomes[1].ok
+            assert outcomes[2].value == "c" and outcomes[2].ok
+        finally:
+            pool.shutdown()
+
+    def test_overflow_runs_inline_not_dropped(self, registry):
+        """More tasks than workers + queue: the extras run on the caller
+        and every slot still completes."""
+        pool = make_pool(registry, max_workers=1, max_queue=1)
+        gate = threading.Event()
+        started = threading.Event()
+
+        def slow():
+            started.set()
+            gate.wait(timeout=5.0)
+            return "slow"
+
+        # occupy the single worker, then saturate the queue
+        results = {}
+
+        def run():
+            results["outcomes"] = pool.scatter_gather(
+                [slow] + [lambda i=i: i for i in range(6)]
+            )
+
+        t = threading.Thread(target=run)
+        t.start()
+        assert started.wait(timeout=5.0)
+        gate.set()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        outcomes = results["outcomes"]
+        assert outcomes[0].value == "slow"
+        assert [o.value for o in outcomes[1:]] == list(range(6))
+        inline = registry.total(
+            "repro_worker_pool_tasks_total", result="inline"
+        )
+        assert inline >= 1
+        pool.shutdown()
+
+    def test_reentrant_call_from_worker_runs_inline(self, registry):
+        """scatter_gather from inside a pool worker must not deadlock,
+        even when every worker is busy."""
+        pool = make_pool(registry, max_workers=1, max_queue=4)
+
+        def outer():
+            inner = pool.scatter_gather([lambda: 1, lambda: 2])
+            return [o.value for o in inner]
+
+        try:
+            outcomes = pool.scatter_gather([outer])
+            assert outcomes[0].value == [1, 2]
+        finally:
+            pool.shutdown()
+
+
+class TestTrySubmit:
+    def test_accepted_task_runs(self, registry):
+        pool = make_pool(registry)
+        done = threading.Event()
+        try:
+            assert pool.try_submit(done.set) is True
+            assert done.wait(timeout=5.0)
+        finally:
+            pool.shutdown()
+
+    def test_rejected_when_queue_full(self, registry):
+        pool = make_pool(registry, max_workers=1, max_queue=1)
+        gate = threading.Event()
+        started = threading.Event()
+        try:
+            assert pool.try_submit(lambda: (started.set(), gate.wait(5.0))) is True
+            assert started.wait(timeout=5.0)  # worker busy; queue empty
+            assert pool.try_submit(lambda: None) is True  # fills the queue
+            assert pool.try_submit(lambda: None) is False  # queue full
+            assert (
+                registry.total("repro_worker_pool_tasks_total", result="rejected")
+                == 1
+            )
+        finally:
+            gate.set()
+            pool.shutdown()
+
+    def test_rejected_after_shutdown(self, registry):
+        pool = make_pool(registry)
+        pool.shutdown()
+        assert pool.try_submit(lambda: None) is False
+
+
+class TestPoolBehaviour:
+    def test_lazy_spawn(self, registry):
+        pool = make_pool(registry, max_workers=4)
+        assert pool.workers_alive == 0  # no work yet, no threads
+        try:
+            pool.scatter_gather([lambda: 1])
+            assert 1 <= pool.workers_alive <= 4
+        finally:
+            pool.shutdown()
+
+    def test_never_exceeds_max_workers(self, registry):
+        pool = make_pool(registry, max_workers=2, max_queue=32)
+        try:
+            outcomes = pool.scatter_gather([lambda i=i: i for i in range(20)])
+            assert [o.value for o in outcomes] == list(range(20))
+            assert pool.workers_alive <= 2
+        finally:
+            pool.shutdown()
+
+    def test_gauges_render_and_settle_to_zero(self, registry):
+        pool = make_pool(registry)
+        active = registry.get("repro_worker_pool_active")
+        depth = registry.get("repro_worker_pool_queue_depth")
+        try:
+            pool.scatter_gather([lambda: 1, lambda: 2])
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if (
+                    active.value(pool=pool.name) == 0
+                    and depth.value(pool=pool.name) == 0
+                ):
+                    break
+                time.sleep(0.01)
+            text = registry.render()
+            assert "repro_worker_pool_active" in text
+            assert "repro_worker_pool_queue_depth" in text
+            assert active.value(pool=pool.name) == 0
+            assert depth.value(pool=pool.name) == 0
+        finally:
+            pool.shutdown()
+
+    def test_task_results_preseeded(self, registry):
+        make_pool(registry).shutdown()
+        text = registry.render()
+        for result in TASK_RESULTS:
+            assert f'result="{result}"' in text
+
+    def test_validation(self, registry):
+        with pytest.raises(ValueError):
+            WorkerPool(max_workers=0, registry=registry)
+        with pytest.raises(ValueError):
+            WorkerPool(max_queue=0, registry=registry)
+
+    def test_outcome_repr_and_ok(self):
+        ok = TaskOutcome(value=3)
+        bad = TaskOutcome(error=ValueError("x"))
+        assert ok.ok and not bad.ok

@@ -241,6 +241,63 @@ states); `benchmarks/test_perf_admission.py` is the overload benchmark
 """
 
 
+FANOUT_SECTION = """\
+## Refresh-ahead & parallel fan-out
+
+The caching layer (`repro.core.caching`) and a shared bounded worker
+pool (`repro.core.workers.WorkerPool`) together take backend RPCs off
+the request path entirely:
+
+1. **Refresh-ahead (stale-while-revalidate)** — every cached source has
+   a *soft* TTL at `CachePolicy.soft_ttl_fraction` (default 0.8) of its
+   hard TTL, derived from the base TTL so brownout stretching never
+   delays revalidation after recovery (disable with
+   `refresh_ahead=False`). A lookup landing between the soft TTL and
+   hard expiry is served from cache immediately and arms **one**
+   deduplicated background revalidation — refreshes share the same
+   per-key single-flight map as miss coalescing, so a miss-leader and a
+   refresh can never compute concurrently. The background refresh runs
+   on the worker pool under the same per-service bulkhead and breaker
+   accounting as a foreground fetch, but with its own short
+   `CachePolicy.refresh_deadline_s` budget (default 5 s). In steady
+   state a hot key costs **zero on-request RPCs**: users always read
+   the cache, and the cache rewrites itself behind them.
+2. **Load-awareness** — arming is gated on the admission tier: outside
+   `normal` the gate closes and soft-window hits are served without
+   enqueuing (counted `paused`), so background work never deepens a
+   brownout. A full pool queue likewise just drops the revalidation
+   (counted `rejected`) — the entry is still valid until its hard TTL.
+3. **Scatter-gather fan-out** — `DashboardContext.scatter(thunks)` runs
+   independent page sections concurrently on the same pool, propagating
+   the caller's request deadline, fetch scopes, and trace span into the
+   workers. The homepage fans out its five widget routes
+   (`render_homepage(..., parallel=False)` keeps the sequential
+   baseline), and the job/node overview pages scatter their section
+   builders — page latency collapses from Σ(sections) to ≈max(section)
+   with byte-identical output, deterministic slot order, and unchanged
+   per-widget failure isolation. The pool spawns threads lazily up to
+   `worker_pool_size` (default 8, queue bound `worker_queue_max`,
+   default 64); tasks the bounded queue refuses run inline on the
+   caller, and nested fan-out from a worker runs inline too, so the
+   pool can never deadlock itself.
+
+The metric families:
+
+| family | labels | source |
+| --- | --- | --- |
+| `repro_cache_refresh_ahead_total` | `source`, `result` (`ok` / `error` / `rejected` / `paused`) | every refresh-ahead arming decision |
+| `repro_cache_served_while_refreshing_total` | `source` | soft-window hits served while a refresh was in flight |
+| `repro_worker_pool_active` | `pool` | tasks currently executing (gauge) |
+| `repro_worker_pool_queue_depth` | `pool` | tasks waiting for a thread (gauge) |
+| `repro_worker_pool_tasks_total` | `pool`, `result` (`ok` / `error` / `inline` / `rejected`) | every task disposition |
+
+`tools/obs_report.py` renders both families as operator sections;
+`benchmarks/test_perf_fanout.py` proves the three claims — zero
+on-request RPCs on a hot key, fan-out ≈ max not sum, and refresh-ahead
+halting under brownout (set `FANOUT_SMOKE=1` for the CI-sized run).
+"""
+
+
 def main() -> int:
     repo = pathlib.Path(__file__).resolve().parent.parent
     sys.path.insert(0, str(repo / "src"))
@@ -256,6 +313,7 @@ def main() -> int:
         DEGRADED_MODE_SECTION,
         OBSERVABILITY_SECTION,
         ADMISSION_SECTION,
+        FANOUT_SECTION,
     ]
     seen = set()
     for info in sorted(

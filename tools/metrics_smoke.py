@@ -10,7 +10,11 @@ breaker gauges, that ``/api/v1/traces/recent`` returns trace trees, and
 that the single-flight coalescing families
 (``repro_cache_coalesced_waiters_total``, ``repro_cache_inflight_keys``,
 ``repro_cache_purged_total``) are exposed with live values after a
-controlled one-key stampede.
+controlled one-key stampede, and that the refresh-ahead / worker-pool
+families (``repro_cache_refresh_ahead_total``,
+``repro_cache_served_while_refreshing_total``,
+``repro_worker_pool_active``, ``repro_worker_pool_queue_depth``) are
+exposed after one forced background revalidation on the live pool.
 
 Run:  python tools/metrics_smoke.py
 """
@@ -95,6 +99,50 @@ def drive_coalescing(dash, failures: List[str]) -> None:
     cache.delete("smoke:stampede")
 
 
+def drive_refresh_ahead(dash, failures: List[str]) -> None:
+    """Force one refresh-ahead revalidation on the live worker pool so
+    the refresh/pool families carry non-zero values in the scrape."""
+    cache = dash.ctx.cache
+    done = threading.Event()
+
+    def recompute() -> str:
+        done.set()
+        return "revalidated"
+
+    cache.write("smoke:refresh", "warm", ttl=1000.0)
+    # soft_ttl=0: age 0 is already inside the (half-open) soft window,
+    # so this hit arms a background refresh immediately
+    result = cache.lookup(
+        "smoke:refresh",
+        lambda: "warm",
+        ttl=1000.0,
+        soft_ttl=0.0,
+        refresh=recompute,
+    )
+    if result.result != "hit" or not result.refreshing:
+        failures.append(
+            "refresh-ahead smoke: soft-window hit did not arm a refresh "
+            f"({result.result}, refreshing={result.refreshing})"
+        )
+        return
+    if not done.wait(10):
+        failures.append(
+            "refresh-ahead smoke: background refresh never ran on the pool"
+        )
+        return
+    deadline = time.time() + 10
+    while (
+        cache.metrics.total("repro_cache_refresh_ahead_total", result="ok") < 1
+        and time.time() < deadline
+    ):
+        time.sleep(0.005)
+    if cache.read("smoke:refresh") != "revalidated":
+        failures.append(
+            "refresh-ahead smoke: refresh ran but never rewrote the entry"
+        )
+    cache.delete("smoke:refresh")
+
+
 def main() -> int:
     dash, directory, _ = build_demo_dashboard(duration_hours=1.0, seed=3)
     server = DashboardServer(dash).start()
@@ -120,6 +168,7 @@ def main() -> int:
         print(f"drove {len(handled)} routes over HTTP")
 
         drive_coalescing(dash, failures)
+        drive_refresh_ahead(dash, failures)
 
         payload = get(server.url + "/metrics").decode()
         try:
@@ -156,6 +205,13 @@ def main() -> int:
             "repro_bulkhead_queue_depth",
             "repro_bulkhead_active",
             "repro_brownout_tier",
+            # refresh-ahead + worker pool: pre-seeded/gauged at startup
+            # and driven live by drive_refresh_ahead above
+            "repro_cache_refresh_ahead_total",
+            "repro_cache_served_while_refreshing_total",
+            "repro_worker_pool_active",
+            "repro_worker_pool_queue_depth",
+            "repro_worker_pool_tasks_total",
         ):
             if family not in by_name:
                 failures.append(f"family {family!r} missing from /metrics")
@@ -168,6 +224,18 @@ def main() -> int:
             failures.append(
                 "repro_cache_coalesced_waiters_total is zero after the "
                 "controlled stampede"
+            )
+
+        served = sum(
+            s.value
+            for s in by_name.get(
+                "repro_cache_served_while_refreshing_total", []
+            )
+        )
+        if served < 1:
+            failures.append(
+                "repro_cache_served_while_refreshing_total is zero after "
+                "the forced refresh-ahead"
             )
 
         health = json.loads(get(server.url + "/healthz"))

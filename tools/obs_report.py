@@ -7,6 +7,8 @@ Reads Prometheus text exposition (a file, stdin, or a live scrape with
 * top routes by estimated p95 latency (from the fixed-bucket
   histograms), with request counts and error counts;
 * cache hit rates per source (hit / miss / expired / stale-served);
+* refresh-ahead activity per source (background revalidations and hits
+  served while one was in flight) plus worker-pool occupancy;
 * circuit-breaker states and transition counts;
 * daemon RPC volume and failures.
 
@@ -117,6 +119,55 @@ def cache_table(by_name) -> List[dict]:
     return rows
 
 
+def refresh_table(by_name) -> List[dict]:
+    """Per-source refresh-ahead activity, sorted by armed volume desc."""
+    armed = by_name.get("repro_cache_refresh_ahead_total", [])
+    served = by_name.get("repro_cache_served_while_refreshing_total", [])
+    sources = sorted(
+        {s.labeldict.get("source", "") for s in armed}
+        | {s.labeldict.get("source", "") for s in served}
+    )
+    rows = []
+    for source in sources:
+        total = _sum_where(armed, source=source)
+        row = {
+            "source": source,
+            "ok": _sum_where(armed, source=source, result="ok"),
+            "error": _sum_where(armed, source=source, result="error"),
+            "rejected": _sum_where(armed, source=source, result="rejected"),
+            "paused": _sum_where(armed, source=source, result="paused"),
+            "served_while_refreshing": _sum_where(served, source=source),
+            "total": total,
+        }
+        if row["total"] or row["served_while_refreshing"]:
+            rows.append(row)
+    rows.sort(key=lambda r: r["total"], reverse=True)
+    return rows
+
+
+def pool_table(by_name) -> List[dict]:
+    """Worker-pool occupancy and lifetime task dispositions."""
+    active = by_name.get("repro_worker_pool_active", [])
+    depth = by_name.get("repro_worker_pool_queue_depth", [])
+    tasks = by_name.get("repro_worker_pool_tasks_total", [])
+    pools = sorted(
+        {s.labeldict.get("pool", "") for s in active}
+        | {s.labeldict.get("pool", "") for s in tasks}
+    )
+    return [
+        {
+            "pool": pool,
+            "active": _sum_where(active, pool=pool),
+            "queued": _sum_where(depth, pool=pool),
+            "ok": _sum_where(tasks, pool=pool, result="ok"),
+            "error": _sum_where(tasks, pool=pool, result="error"),
+            "inline": _sum_where(tasks, pool=pool, result="inline"),
+            "rejected": _sum_where(tasks, pool=pool, result="rejected"),
+        }
+        for pool in pools
+    ]
+
+
 def breaker_table(by_name) -> List[dict]:
     """Current one-hot breaker state plus lifetime transition counts."""
     states = by_name.get("repro_breaker_state", [])
@@ -195,6 +246,33 @@ def render_report(payload: str, top: int = 10) -> str:
             )
     else:
         lines.append("(no cache counters in payload)")
+
+    refreshes = refresh_table(by_name)
+    if refreshes:
+        lines.append("")
+        lines.append("== Refresh-ahead (stale-while-revalidate) ==")
+        lines.append(
+            f"{'source':<16} {'ok':>6} {'error':>6} {'rejected':>9} "
+            f"{'paused':>7} {'served-while':>13}"
+        )
+        for row in refreshes:
+            lines.append(
+                f"{row['source']:<16} {row['ok']:>6.0f} {row['error']:>6.0f} "
+                f"{row['rejected']:>9.0f} {row['paused']:>7.0f} "
+                f"{row['served_while_refreshing']:>13.0f}"
+            )
+
+    pools = pool_table(by_name)
+    if pools:
+        lines.append("")
+        lines.append("== Worker pools ==")
+        for row in pools:
+            lines.append(
+                f"{row['pool']:<16} active={row['active']:.0f} "
+                f"queued={row['queued']:.0f} ok={row['ok']:.0f} "
+                f"error={row['error']:.0f} inline={row['inline']:.0f} "
+                f"rejected={row['rejected']:.0f}"
+            )
 
     lines.append("")
     lines.append("== Circuit breakers ==")
