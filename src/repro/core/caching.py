@@ -33,11 +33,55 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
 
 from repro.obs import MetricsRegistry
 from repro.sim.clock import SimClock
+
+
+class ContentionLock:
+    """A reentrant lock that counts contended acquisitions and wait time.
+
+    Drop-in for ``threading.RLock`` as a context manager, with three
+    counters mutated only while the lock is held (so they need no lock
+    of their own): ``acquisitions`` (every entry), ``contended``
+    (entries that found the lock taken), and ``wait_s`` (wall seconds
+    spent blocked).  The fast path is one extra non-blocking ``acquire``
+    attempt, so an uncontended cache pays almost nothing for the
+    profile.  :meth:`TTLCache.lock_stats` exposes the numbers; the
+    sharded cache front aggregates them per shard to show that
+    consistent-hash sharding actually spreads lock pressure.
+    """
+
+    __slots__ = ("_lock", "acquisitions", "contended", "wait_s")
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.acquisitions = 0
+        self.contended = 0
+        self.wait_s = 0.0
+
+    def __enter__(self) -> "ContentionLock":
+        if not self._lock.acquire(blocking=False):
+            t0 = time.perf_counter()
+            self._lock.acquire()
+            self.wait_s += time.perf_counter() - t0
+            self.contended += 1
+        self.acquisitions += 1
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._lock.release()
+
+    def stats(self) -> Dict[str, float]:
+        """Lifetime acquisition counters as a plain dict."""
+        return {
+            "acquisitions": float(self.acquisitions),
+            "contended": float(self.contended),
+            "wait_s": self.wait_s,
+        }
 
 
 @dataclass
@@ -250,7 +294,8 @@ class TTLCache:
     """
 
     def __init__(self, clock: SimClock, default_ttl: float = 60.0, max_entries: int = 10_000,
-                 registry: Optional[MetricsRegistry] = None, coalesce: bool = True):
+                 registry: Optional[MetricsRegistry] = None, coalesce: bool = True,
+                 shard: Optional[str] = None):
         if default_ttl <= 0:
             raise ValueError("default_ttl must be positive")
         self.clock = clock
@@ -259,10 +304,13 @@ class TTLCache:
         #: single-flight coalescing switch (off reproduces the historic
         #: every-thread-computes behaviour, for A/B benchmarks)
         self.coalesce = coalesce
+        #: shard label when this cache is one shard of a
+        #: :class:`~repro.core.sharding.ShardedCache`; None standalone
+        self.shard = shard
         self._entries: Dict[str, CacheEntry] = {}
         self._expiry_heap: List[Tuple[float, str]] = []
         self._inflight: Dict[str, _InFlight] = {}
-        self._lock = threading.RLock()
+        self._lock = ContentionLock()
         #: shared registry (the dashboard's) or a private one; either way
         #: lookups/evictions become first-class per-source metrics
         self.metrics = registry or MetricsRegistry()
@@ -307,16 +355,34 @@ class TTLCache:
         #: are served without enqueuing a refresh (counted ``paused``);
         #: the dashboard wires ``admission.tier == "normal"``
         self.refresh_gate: Optional[Callable[[], bool]] = None
-        self._inflight_gauge = self.metrics.gauge(
-            "repro_cache_inflight_keys",
-            "Keys with a single-flight compute currently running.",
-        )
-        self._inflight_gauge.set(0.0)
-        self._entries_gauge = self.metrics.gauge(
-            "repro_cache_entries",
-            "Live entries in the server-side TTL cache.",
-        )
-        self._entries_gauge.set(0.0)
+        if shard is None:
+            self._inflight_gauge = self.metrics.gauge(
+                "repro_cache_inflight_keys",
+                "Keys with a single-flight compute currently running.",
+            )
+            self._inflight_gauge.set(0.0)
+            self._entries_gauge = self.metrics.gauge(
+                "repro_cache_entries",
+                "Live entries in the server-side TTL cache.",
+            )
+            self._entries_gauge.set(0.0)
+        else:
+            # one shard of a ShardedCache: per-shard labeled gauges, so
+            # N shards sharing one registry never clobber each other;
+            # the sharded front reconciles the classic unlabeled
+            # families at scrape time
+            self._inflight_gauge = self.metrics.gauge(
+                "repro_cache_shard_inflight_keys",
+                "Keys with a compute in flight, per cache shard.",
+                ("shard",),
+            )
+            self._inflight_gauge.set(0.0, shard=shard)
+            self._entries_gauge = self.metrics.gauge(
+                "repro_cache_shard_entries",
+                "Live entries per cache shard.",
+                ("shard",),
+            )
+            self._entries_gauge.set(0.0, shard=shard)
         self.stats = CacheStats(self.metrics)
 
     def _count(self, key: str, result: str) -> None:
@@ -325,8 +391,17 @@ class TTLCache:
     def _sync_gauges_locked(self) -> None:
         """Keep the live-size gauges in lockstep with the dicts (called
         with the cache lock held, after any mutation)."""
-        self._entries_gauge.set(float(len(self._entries)))
-        self._inflight_gauge.set(float(len(self._inflight)))
+        if self.shard is None:
+            self._entries_gauge.set(float(len(self._entries)))
+            self._inflight_gauge.set(float(len(self._inflight)))
+        else:
+            self._entries_gauge.set(float(len(self._entries)), shard=self.shard)
+            self._inflight_gauge.set(float(len(self._inflight)), shard=self.shard)
+
+    def lock_stats(self) -> Dict[str, float]:
+        """Lifetime contention profile of the cache lock (acquisitions,
+        contended acquisitions, wall seconds spent waiting)."""
+        return self._lock.stats()
 
     # -- Rails.cache.fetch, single-flight ------------------------------------
 

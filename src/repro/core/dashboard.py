@@ -53,6 +53,7 @@ class Dashboard:
         admission: Optional[AdmissionConfig] = None,
         worker_pool_size: int = 8,
         worker_queue_max: int = 64,
+        cache_shards: int = 1,
     ):
         if quotas is None:
             quotas = QuotaDatabase()
@@ -78,6 +79,7 @@ class Dashboard:
             admission=admission,
             worker_pool_size=worker_pool_size,
             worker_queue_max=worker_queue_max,
+            cache_shards=cache_shards,
         )
         self.registry = RouteRegistry()
         for route in (*ALL_WIDGET_ROUTES, *ALL_PAGE_ROUTES, EXPORT_ROUTE):
@@ -164,6 +166,7 @@ def build_demo_dashboard(
     cache_policy: Optional[CachePolicy] = None,
     use_server_cache: bool = True,
     admission: Optional[AdmissionConfig] = None,
+    cache_shards: int = 1,
 ):
     """One-call demo instance: populated cluster + directory + dashboard.
 
@@ -180,5 +183,6 @@ def build_demo_dashboard(
         cache_policy=cache_policy,
         use_server_cache=use_server_cache,
         admission=admission,
+        cache_shards=cache_shards,
     )
     return dash, directory, result

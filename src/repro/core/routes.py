@@ -56,6 +56,7 @@ from repro.storage.quota import DirectoryQuota, QuotaDatabase
 from .caching import CachePolicy, TTLCache
 from .params import ParamError
 from .records import JobRecord, NodeRecord
+from .sharding import ShardedCache
 from .workers import TaskOutcome, WorkerPool
 
 RouteHandler = Callable[["DashboardContext", Viewer, Dict[str, Any]], Dict[str, Any]]
@@ -367,6 +368,7 @@ class DashboardContext:
         admission: Optional[AdmissionConfig] = None,
         worker_pool_size: int = 8,
         worker_queue_max: int = 64,
+        cache_shards: int = 1,
     ):
         self.cluster = cluster
         self.directory = directory
@@ -381,11 +383,21 @@ class DashboardContext:
         self.obs = Observability(
             cluster.clock, max_traces=max_traces, slow_request_ms=slow_request_ms
         )
-        self.cache = TTLCache(
-            cluster.clock,
-            default_ttl=self.cache_policy.default,
-            registry=self.obs.registry,
-        )
+        if cache_shards > 1:
+            # consistent-hash scale-out: shared-nothing shards with
+            # per-shard locks, byte-identical responses to the default
+            self.cache: Any = ShardedCache(
+                cluster.clock,
+                shards=cache_shards,
+                default_ttl=self.cache_policy.default,
+                registry=self.obs.registry,
+            )
+        else:
+            self.cache = TTLCache(
+                cluster.clock,
+                default_ttl=self.cache_policy.default,
+                registry=self.obs.registry,
+            )
         self.fetcher = ResilientFetcher(
             cache=self.cache,
             daemons=cluster.daemons,
@@ -546,6 +558,9 @@ class DashboardContext:
         rates, admission tier) from their live sources."""
         self.breaker_report()
         self.admission.maybe_evaluate()
+        if isinstance(self.cache, ShardedCache):
+            # reconcile the unlabeled size gauges + per-shard lock profile
+            self.cache.sync_gauges()
         self.obs.cache_entries.set(float(len(self.cache)))
         for name, snap in self.cluster.daemons.snapshot().items():
             self.obs.daemon_recent_rate.set(

@@ -1,0 +1,249 @@
+"""Consistent-hash sharding of the server-side TTL cache.
+
+One :class:`~repro.core.caching.TTLCache` protects every mutation with a
+single reentrant lock.  That is fine for one user clicking around, but a
+load test replaying thousands of concurrent lookups shows every hot key
+— and every refresh-ahead revalidation — serializing on the same lock.
+:class:`ShardedCache` splits the key space across N shared-nothing
+``TTLCache`` shards picked by a consistent-hash ring, so lookups for
+different keys proceed on different locks, while all the per-source
+counters keep flowing into the one shared metrics registry (counters are
+additive, so shards can share families safely; the per-shard *size*
+gauges are labeled by shard and the classic unlabeled families are
+reconciled at scrape time by :meth:`sync_gauges`).
+
+The ring uses virtual nodes (``vnodes`` points per shard, hashed with
+BLAKE2b) so keys spread evenly and, were the shard count ever resized,
+only ~1/N of the key space would move.  With ``shards=1`` every key maps
+to the single shard and behaviour — including response bytes — is
+identical to an unsharded cache; the knob exists so benchmarks can
+compare lock contention at 1 vs N under the same traffic.
+
+:class:`ShardedCache` mirrors the full public ``TTLCache`` API
+(``fetch`` / ``fetch_or_stale`` / ``lookup`` / ``read`` / ``write`` /
+``delete`` / ``clear`` / ``entry`` / ``purge_expired`` / ``len()`` plus
+the ``refresh_runner`` / ``refresh_gate`` hooks), so the resilient fetch
+path and the dashboard context use either interchangeably.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.obs import MetricsRegistry
+from repro.sim.clock import SimClock
+
+from .caching import CacheEntry, CacheLookup, CacheStats, TTLCache
+
+
+def _hash64(text: str) -> int:
+    """Stable 64-bit hash for ring points and keys (never ``hash()``,
+    which is salted per process and would unshard across restarts)."""
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardedCache:
+    """A consistent-hash front over N shared-nothing TTL cache shards."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        shards: int = 1,
+        default_ttl: float = 60.0,
+        max_entries: int = 10_000,
+        registry: Optional[MetricsRegistry] = None,
+        coalesce: bool = True,
+        vnodes: int = 64,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1: {shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1: {vnodes}")
+        self.clock = clock
+        self.default_ttl = default_ttl
+        self.max_entries = max_entries
+        self.metrics = registry or MetricsRegistry()
+        # aggregate capacity stays ~max_entries: each shard gets its slice
+        per_shard = max(1, -(-max_entries // shards))
+        self.shards: List[TTLCache] = [
+            TTLCache(
+                clock,
+                default_ttl=default_ttl,
+                max_entries=per_shard,
+                registry=self.metrics,
+                coalesce=coalesce,
+                shard=str(i),
+            )
+            for i in range(shards)
+        ]
+        # the ring: sorted (point, shard_index) pairs, vnodes per shard
+        points: List[Tuple[int, int]] = []
+        for i in range(shards):
+            for v in range(vnodes):
+                points.append((_hash64(f"shard:{i}:vnode:{v}"), i))
+        points.sort()
+        self._ring_points = [p for p, _ in points]
+        self._ring_shards = [s for _, s in points]
+        # the classic unlabeled gauges, reconciled at scrape time
+        self._entries_gauge = self.metrics.gauge(
+            "repro_cache_entries",
+            "Live entries in the server-side TTL cache.",
+        )
+        self._entries_gauge.set(0.0)
+        self._inflight_gauge = self.metrics.gauge(
+            "repro_cache_inflight_keys",
+            "Keys with a single-flight compute currently running.",
+        )
+        self._inflight_gauge.set(0.0)
+        self._lock_contended = self.metrics.gauge(
+            "repro_cache_shard_lock_contended",
+            "Lifetime contended lock acquisitions, per cache shard.",
+            ("shard",),
+        )
+        self._lock_wait = self.metrics.gauge(
+            "repro_cache_shard_lock_wait_seconds",
+            "Lifetime wall seconds spent waiting on the lock, per shard.",
+            ("shard",),
+        )
+        self.sync_gauges()
+        self.stats = CacheStats(self.metrics)
+
+    # -- sharding ------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, key: str) -> TTLCache:
+        """The shard owning ``key`` (clockwise successor on the ring)."""
+        if len(self.shards) == 1:
+            return self.shards[0]
+        point = _hash64(key)
+        i = bisect.bisect_right(self._ring_points, point)
+        if i == len(self._ring_points):
+            i = 0  # wrap past the highest ring point
+        return self.shards[self._ring_shards[i]]
+
+    def shard_index_of(self, key: str) -> int:
+        """Index of the shard owning ``key`` (for tests and reports)."""
+        return int(self.shard_of(key).shard or 0)
+
+    # -- refresh-ahead hooks (propagated to every shard) ----------------------
+
+    @property
+    def refresh_runner(self) -> Optional[Callable[[Callable[[], None]], bool]]:
+        return self.shards[0].refresh_runner
+
+    @refresh_runner.setter
+    def refresh_runner(self, runner) -> None:
+        for shard in self.shards:
+            shard.refresh_runner = runner
+
+    @property
+    def refresh_gate(self) -> Optional[Callable[[], bool]]:
+        return self.shards[0].refresh_gate
+
+    @refresh_gate.setter
+    def refresh_gate(self, gate) -> None:
+        for shard in self.shards:
+            shard.refresh_gate = gate
+
+    @property
+    def coalesce(self) -> bool:
+        return self.shards[0].coalesce
+
+    @coalesce.setter
+    def coalesce(self, value: bool) -> None:
+        for shard in self.shards:
+            shard.coalesce = value
+
+    # -- the TTLCache API, routed by key --------------------------------------
+
+    def fetch(self, key: str, compute: Callable[[], Any], ttl: Optional[float] = None,
+              follower_timeout_s: Optional[float] = None) -> Any:
+        return self.shard_of(key).fetch(
+            key, compute, ttl=ttl, follower_timeout_s=follower_timeout_s
+        )
+
+    def fetch_or_stale(
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        ttl: Optional[float] = None,
+        stale_on: Tuple[Type[BaseException], ...] = (Exception,),
+        follower_timeout_s: Optional[float] = None,
+    ) -> Tuple[Any, Optional[float]]:
+        return self.shard_of(key).fetch_or_stale(
+            key, compute, ttl=ttl, stale_on=stale_on,
+            follower_timeout_s=follower_timeout_s,
+        )
+
+    def lookup(
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        ttl: Optional[float] = None,
+        stale_on: Tuple[Type[BaseException], ...] = (),
+        follower_timeout_s: Optional[float] = None,
+        soft_ttl: Optional[float] = None,
+        refresh: Optional[Callable[[], Any]] = None,
+    ) -> CacheLookup:
+        return self.shard_of(key).lookup(
+            key, compute, ttl=ttl, stale_on=stale_on,
+            follower_timeout_s=follower_timeout_s,
+            soft_ttl=soft_ttl, refresh=refresh,
+        )
+
+    def read(self, key: str) -> Any:
+        return self.shard_of(key).read(key)
+
+    def write(self, key: str, value: Any, ttl: Optional[float] = None) -> None:
+        self.shard_of(key).write(key, value, ttl=ttl)
+
+    def delete(self, key: str) -> bool:
+        return self.shard_of(key).delete(key)
+
+    def entry(self, key: str) -> Optional[CacheEntry]:
+        return self.shard_of(key).entry(key)
+
+    def clear(self) -> None:
+        for shard in self.shards:
+            shard.clear()
+
+    def purge_expired(self) -> int:
+        return sum(shard.purge_expired() for shard in self.shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    # -- contention profile ----------------------------------------------------
+
+    def lock_stats(self) -> Dict[str, float]:
+        """Aggregate lock-contention profile across every shard."""
+        totals = {"acquisitions": 0.0, "contended": 0.0, "wait_s": 0.0}
+        for shard in self.shards:
+            for name, value in shard.lock_stats().items():
+                totals[name] += value
+        return totals
+
+    def lock_stats_by_shard(self) -> Dict[str, Dict[str, float]]:
+        """Per-shard lock-contention profiles, keyed by shard label."""
+        return {shard.shard or "0": shard.lock_stats() for shard in self.shards}
+
+    def sync_gauges(self) -> None:
+        """Reconcile the unlabeled size gauges and the per-shard lock
+        profile gauges from live shard state (called at scrape time)."""
+        entries = inflight = 0
+        for shard in self.shards:
+            entries += len(shard)
+            with shard._lock:
+                inflight += len(shard._inflight)
+            stats = shard.lock_stats()
+            label = shard.shard or "0"
+            self._lock_contended.set(stats["contended"], shard=label)
+            self._lock_wait.set(stats["wait_s"], shard=label)
+        self._entries_gauge.set(float(entries))
+        self._inflight_gauge.set(float(inflight))

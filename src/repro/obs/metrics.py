@@ -406,13 +406,16 @@ def _parse_labels(text: str) -> Tuple[Tuple[str, str], ...]:
     return tuple(out)
 
 
-def parse_prometheus_text(payload: str) -> List[Sample]:
+def parse_prometheus_text(payload: str, lenient: bool = False) -> List[Sample]:
     """Parse a text-format exposition payload into :class:`Sample` rows.
 
     Handles HELP/TYPE comments, escaped label values, and the
     ``+Inf``/``NaN`` value spellings.  Raises ``ValueError`` on lines
     that are neither comments nor well-formed samples, so the CI smoke
-    test doubles as a format validator.
+    test doubles as a format validator.  With ``lenient=True`` malformed
+    lines are *skipped* instead — the right mode for reports over a
+    scrape taken mid-run or a file truncated by a dying process, where
+    the last line may be cut in half.
     """
     samples: List[Sample] = []
     for lineno, line in enumerate(payload.splitlines(), start=1):
@@ -430,6 +433,8 @@ def parse_prometheus_text(payload: str) -> List[Sample]:
                 labels = ()
             value = float(value_s.replace("+Inf", "inf").replace("-Inf", "-inf"))
         except (ValueError, IndexError, KeyError, AssertionError) as exc:
+            if lenient:
+                continue
             raise ValueError(f"malformed exposition line {lineno}: {line!r}") from exc
         samples.append(Sample(name=name, labels=labels, value=value))
     return samples

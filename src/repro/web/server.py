@@ -244,13 +244,25 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.write(body)
 
 
+class _LoadableHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a listen backlog sized for load tests.
+
+    The stdlib default ``request_queue_size`` of 5 drops connections the
+    moment a traffic generator fires a burst of arrivals in one tick;
+    a deeper accept backlog lets the admission layer (not the kernel)
+    decide what gets shed.
+    """
+
+    request_queue_size = 128
+
+
 class DashboardServer:
     """Threaded HTTP server wrapping one :class:`Dashboard`."""
 
     def __init__(self, dashboard: Dashboard, host: str = "127.0.0.1", port: int = 0,
                  verbose: bool = False):
         self.dashboard = dashboard
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd = _LoadableHTTPServer((host, port), _Handler)
         self._httpd.dashboard = dashboard  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None

@@ -1,0 +1,221 @@
+"""Tests for the consistent-hash sharded cache front.
+
+The contract is strict API equivalence with a single ``TTLCache`` —
+sharding is a lock-granularity optimisation, never a behaviour change:
+byte-identical values, identical metrics semantics (per-shard series
+are additive), and stable key routing.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.caching import TTLCache
+from repro.core.sharding import ShardedCache, _hash64
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+class TestRouting:
+    def test_routing_is_stable(self, clock):
+        cache = ShardedCache(clock, shards=8)
+        for key in (f"key:{i}" for i in range(200)):
+            assert cache.shard_of(key) is cache.shard_of(key)
+
+    def test_single_shard_short_circuits(self, clock):
+        cache = ShardedCache(clock, shards=1)
+        assert all(
+            cache.shard_of(f"k{i}") is cache.shards[0] for i in range(50)
+        )
+
+    def test_keys_spread_across_shards(self, clock):
+        cache = ShardedCache(clock, shards=8)
+        used = {cache.shard_index_of(f"user:{i}:squeue") for i in range(500)}
+        assert len(used) == 8  # 500 keys must reach every shard
+
+    def test_distribution_roughly_uniform(self, clock):
+        cache = ShardedCache(clock, shards=4)
+        counts = [0] * 4
+        for i in range(2000):
+            counts[cache.shard_index_of(f"route:{i}")] += 1
+        # consistent hashing with 64 vnodes/shard: no shard should own
+        # more than ~2x its fair share
+        assert max(counts) < 2 * (2000 / 4)
+
+    def test_hash_is_process_independent(self):
+        # blake2b, not Python hash(): routing must not change across
+        # interpreter restarts or PYTHONHASHSEED values
+        assert _hash64("stable-key") == 7424698699771254153
+
+    def test_rejects_bad_config(self, clock):
+        with pytest.raises(ValueError):
+            ShardedCache(clock, shards=0)
+        with pytest.raises(ValueError):
+            ShardedCache(clock, shards=2, vnodes=0)
+
+
+class TestApiEquivalence:
+    def test_fetch_write_read_delete_roundtrip(self, clock):
+        cache = ShardedCache(clock, shards=4)
+        assert cache.fetch("a", lambda: 1) == 1
+        assert cache.fetch("a", lambda: 2) == 1  # cached
+        cache.write("b", 42)
+        assert cache.read("b") == 42
+        assert len(cache) == 2
+        assert cache.delete("b")
+        assert not cache.delete("b")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_matches_plain_ttlcache_over_mixed_ops(self, clock):
+        """The same op sequence gives identical observable results."""
+        plain = TTLCache(clock, default_ttl=30.0)
+        sharded = ShardedCache(clock, shards=8, default_ttl=30.0)
+        keys = [f"k{i}" for i in range(40)]
+        for i, key in enumerate(keys):
+            assert plain.fetch(key, lambda i=i: i * 7) == sharded.fetch(
+                key, lambda i=i: i * 7
+            )
+        clock.advance(31.0)  # everything expires in both
+        for i, key in enumerate(keys):
+            p = plain.fetch(key, lambda i=i: i + 1000)
+            s = sharded.fetch(key, lambda i=i: i + 1000)
+            assert p == s == i + 1000
+        assert len(plain) == len(sharded)
+
+    def test_ttl_expiry_per_shard(self, clock):
+        cache = ShardedCache(clock, shards=4, default_ttl=10.0)
+        cache.write("x", "old")
+        clock.advance(11.0)
+        assert cache.read("x") is None  # fresh-only view
+        assert cache.entry("x") is not None  # raw view keeps the stale body
+        assert cache.fetch("x", lambda: "new") == "new"
+
+    def test_purge_expired_sums_shards(self, clock):
+        cache = ShardedCache(clock, shards=4, default_ttl=5.0)
+        for i in range(20):
+            cache.write(f"k{i}", i)
+        clock.advance(6.0)
+        assert cache.purge_expired() == 20
+        assert len(cache) == 0
+
+    def test_stale_serving_works_through_shards(self, clock):
+        cache = ShardedCache(clock, shards=4, default_ttl=5.0)
+        cache.fetch("jobs", lambda: "fresh")
+        clock.advance(6.0)
+
+        def boom():
+            raise RuntimeError("backend down")
+
+        value, age = cache.fetch_or_stale("jobs", boom)
+        assert value == "fresh"
+        assert age == pytest.approx(6.0)
+
+    def test_refresh_hooks_propagate_to_all_shards(self, clock):
+        cache = ShardedCache(clock, shards=4)
+        calls = []
+        cache.refresh_runner = lambda fn: (calls.append(fn), True)[1]
+        gate = lambda: True  # noqa: E731
+        cache.refresh_gate = gate
+        for shard in cache.shards:
+            assert shard.refresh_runner is cache.refresh_runner
+            assert shard.refresh_gate is gate
+        cache.coalesce = False
+        assert all(not s.coalesce for s in cache.shards)
+
+    def test_single_flight_still_coalesces_per_key(self, clock):
+        cache = ShardedCache(clock, shards=4)
+        computes = []
+        barrier = threading.Barrier(6)
+        results = []
+
+        def compute():
+            computes.append(1)
+            return "v"
+
+        def worker():
+            barrier.wait()
+            results.append(cache.fetch("hot", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert results == ["v"] * 6
+        assert len(computes) == 1  # one leader, five followers
+
+
+class TestMetrics:
+    def test_shards_share_one_registry_additively(self, clock):
+        reg = MetricsRegistry()
+        cache = ShardedCache(clock, shards=4, registry=reg)
+        for i in range(30):
+            cache.fetch(f"k{i}", lambda: "v")  # 30 misses
+        for i in range(30):
+            cache.fetch(f"k{i}", lambda: "v")  # 30 hits
+        assert reg.total("repro_cache_requests_total", result="miss") == 30.0
+        assert reg.total("repro_cache_requests_total", result="hit") == 30.0
+
+    def test_sync_gauges_reconciles_totals(self, clock):
+        reg = MetricsRegistry()
+        cache = ShardedCache(clock, shards=4, registry=reg)
+        for i in range(17):
+            cache.write(f"k{i}", i)
+        cache.sync_gauges()
+        rendered = reg.render()
+        assert "repro_cache_entries 17" in rendered
+        # per-shard gauge series exist, labeled by shard
+        assert 'repro_cache_shard_entries{shard="0"}' in rendered
+
+    def test_lock_stats_aggregate_and_by_shard(self, clock):
+        cache = ShardedCache(clock, shards=4)
+        for i in range(100):
+            cache.fetch(f"k{i}", lambda: i)
+        agg = cache.lock_stats()
+        by_shard = cache.lock_stats_by_shard()
+        assert set(by_shard) == {"0", "1", "2", "3"}
+        assert agg["acquisitions"] == sum(
+            s["acquisitions"] for s in by_shard.values()
+        )
+        assert agg["acquisitions"] > 0
+
+
+class TestDashboardIntegration:
+    def test_context_uses_plain_cache_by_default(self):
+        from repro.core.dashboard import build_demo_dashboard
+
+        dash, _, _ = build_demo_dashboard(seed=5, duration_hours=0.2)
+        assert isinstance(dash.ctx.cache, TTLCache)
+
+    def test_context_uses_sharded_cache_when_asked(self):
+        from repro.core.dashboard import build_demo_dashboard
+
+        dash, _, _ = build_demo_dashboard(
+            seed=5, duration_hours=0.2, cache_shards=4
+        )
+        assert isinstance(dash.ctx.cache, ShardedCache)
+        assert dash.ctx.cache.shard_count == 4
+
+    def test_responses_identical_across_shard_counts(self):
+        """The headline guarantee: sharding never changes a byte."""
+        from repro.auth import Viewer
+        from repro.core.dashboard import build_demo_dashboard
+
+        paths = ("/api/v1/my_jobs", "/api/v1/cluster_status",
+                 "/api/v1/widgets/recent_jobs")
+        rendered = []
+        for shards in (1, 8):
+            dash, _, _ = build_demo_dashboard(
+                seed=5, duration_hours=0.5, cache_shards=shards
+            )
+            v = Viewer(username="alice")
+            batch = [dash.get(p, v).to_json() for p in paths]
+            batch.append(dash.render_homepage(v).document)
+            rendered.append(batch)
+        assert rendered[0] == rendered[1]

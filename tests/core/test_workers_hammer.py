@@ -1,0 +1,214 @@
+"""Concurrency hammer tests for the shared worker pool.
+
+These pin the two guarantees the fan-out layer depends on under real
+thread pressure (not just single-threaded unit flows):
+
+* ``try_submit`` never blocks and never loses track of a task — every
+  submission is either accepted (and eventually runs) or rejected (and
+  counted), even when dozens of threads race a full queue;
+* ``scatter_gather`` always completes — queue-full degrades to inline
+  execution on the caller, and nested fan-out from inside a worker runs
+  inline rather than deadlocking the pool, even at ``max_workers=1``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.workers import WorkerPool
+
+
+def _drain(pool: WorkerPool, deadline_s: float = 10.0) -> None:
+    """Wait until the pool has no queued or active tasks."""
+    t0 = time.monotonic()
+    while time.monotonic() - t0 < deadline_s:
+        with pool._lock:
+            if pool._queued == 0 and pool._active == 0:
+                return
+        time.sleep(0.005)
+    raise AssertionError("pool did not drain in time")
+
+
+class TestTrySubmitStorm:
+    def test_accounting_exact_under_racing_submitters(self):
+        """accepted + rejected == attempted, and every accepted task runs."""
+        pool = WorkerPool(max_workers=2, max_queue=8, name="storm")
+        gate = threading.Event()
+        ran = []
+        ran_lock = threading.Lock()
+
+        def task():
+            gate.wait(10)
+            with ran_lock:
+                ran.append(1)
+
+        attempts_per_thread = 50
+        accepted = []
+        accepted_lock = threading.Lock()
+
+        def submitter():
+            ok = sum(
+                1 for _ in range(attempts_per_thread) if pool.try_submit(task)
+            )
+            with accepted_lock:
+                accepted.append(ok)
+
+        threads = [threading.Thread(target=submitter) for _ in range(8)]
+        for t in threads:
+            t.start()
+        gate.set()  # release the workers; queue keeps churning meanwhile
+        for t in threads:
+            t.join(timeout=10)
+        _drain(pool)
+
+        attempted = 8 * attempts_per_thread
+        total_accepted = sum(accepted)
+        rejected = pool.metrics.total(
+            "repro_worker_pool_tasks_total", pool="storm", result="rejected"
+        )
+        assert total_accepted + rejected == attempted
+        assert len(ran) == total_accepted
+        pool.shutdown()
+
+    def test_try_submit_rejects_when_queue_full(self):
+        """With workers blocked, exactly max_queue submissions fit."""
+        pool = WorkerPool(max_workers=1, max_queue=4, name="full")
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(10)
+
+        assert pool.try_submit(blocker)
+        assert started.wait(5)  # the single worker is now occupied
+        fitted = sum(1 for _ in range(20) if pool.try_submit(lambda: None))
+        assert fitted == 4  # the queue slots, no more
+        rejected = pool.metrics.total(
+            "repro_worker_pool_tasks_total", pool="full", result="rejected"
+        )
+        assert rejected == 16.0
+        release.set()
+        _drain(pool)
+        pool.shutdown()
+
+
+class TestScatterGatherHammer:
+    def test_concurrent_fanouts_all_complete(self):
+        """Many threads fanning out at once all get full result sets."""
+        pool = WorkerPool(max_workers=4, max_queue=4, name="fan")
+        results = {}
+        results_lock = threading.Lock()
+
+        def fan(idx):
+            outcomes = pool.scatter_gather(
+                [lambda i=i: (idx, i) for i in range(10)]
+            )
+            with results_lock:
+                results[idx] = outcomes
+
+        threads = [
+            threading.Thread(target=fan, args=(i,)) for i in range(12)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads), "fan-out deadlocked"
+
+        assert set(results) == set(range(12))
+        for idx, outcomes in results.items():
+            assert [o.value for o in outcomes] == [
+                (idx, i) for i in range(10)
+            ]
+            assert all(o.ok for o in outcomes)
+        # the tiny queue forced some inline fallbacks — they are counted,
+        # not silently absorbed
+        inline = pool.metrics.total(
+            "repro_worker_pool_tasks_total", pool="fan", result="inline"
+        )
+        assert inline > 0
+        pool.shutdown()
+
+    @pytest.mark.parametrize("max_workers", [1, 2])
+    def test_nested_fanout_cannot_deadlock(self, max_workers):
+        """A task that itself fans out runs its children inline: with
+        every worker busy being a parent, waiting on pooled children
+        would deadlock forever."""
+        pool = WorkerPool(max_workers=max_workers, max_queue=64, name="nest")
+
+        def child(n):
+            return n * n
+
+        def parent(base):
+            outcomes = pool.scatter_gather(
+                [lambda i=i: child(base + i) for i in range(4)]
+            )
+            return [o.value for o in outcomes]
+
+        done = []
+
+        def run():
+            outcomes = pool.scatter_gather(
+                [lambda b=b: parent(b) for b in range(max_workers + 2)]
+            )
+            done.append(outcomes)
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join(timeout=20)
+        assert not t.is_alive(), "nested scatter_gather deadlocked"
+        (outcomes,) = done
+        assert all(o.ok for o in outcomes)
+        for b, o in enumerate(outcomes):
+            assert o.value == [(b + i) ** 2 for i in range(4)]
+        pool.shutdown()
+
+    def test_queue_full_fanout_falls_back_inline(self):
+        """With the lone worker blocked and the queue full, a fan-out
+        still completes on the caller's own thread."""
+        pool = WorkerPool(max_workers=1, max_queue=1, name="inline")
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(10)
+
+        assert pool.try_submit(blocker)
+        assert started.wait(5)
+        pool.try_submit(lambda: None)  # occupy the single queue slot
+
+        before = pool.metrics.total(
+            "repro_worker_pool_tasks_total", pool="inline", result="inline"
+        )
+        outcomes = pool.scatter_gather([lambda i=i: i for i in range(6)])
+        after = pool.metrics.total(
+            "repro_worker_pool_tasks_total", pool="inline", result="inline"
+        )
+        assert [o.value for o in outcomes] == list(range(6))
+        assert after - before == 6  # every slot was refused -> all inline
+        release.set()
+        _drain(pool)
+        pool.shutdown()
+
+    def test_failures_stay_isolated_under_pressure(self):
+        """Raising tasks coexist with succeeding ones across a storm."""
+        pool = WorkerPool(max_workers=3, max_queue=4, name="mixed")
+
+        def boom():
+            raise RuntimeError("kaput")
+
+        for _ in range(5):
+            fns = []
+            for i in range(12):
+                fns.append(boom if i % 3 == 0 else (lambda i=i: i))
+            outcomes = pool.scatter_gather(fns)
+            for i, o in enumerate(outcomes):
+                if i % 3 == 0:
+                    assert not o.ok
+                    assert isinstance(o.error, RuntimeError)
+                else:
+                    assert o.ok and o.value == i
+        pool.shutdown()

@@ -1,0 +1,138 @@
+"""Unit tests for scenario definitions and trace construction."""
+
+import pytest
+
+from repro.load import (
+    Burst,
+    Scenario,
+    build_trace,
+    default_scenarios,
+    trace_digest,
+    trace_summary,
+    user_population,
+)
+
+
+class TestScenarioValidation:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", mode="half-open")
+
+    def test_rejects_nonpositive_durations(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", duration_s=0.0)
+        with pytest.raises(ValueError):
+            Scenario(name="x", tick_s=-1.0)
+
+    def test_rejects_empty_route_mix(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", routes=())
+
+    def test_rejects_inverted_burst(self):
+        with pytest.raises(ValueError):
+            Burst(start_s=10.0, end_s=5.0)
+
+
+class TestBuildTrace:
+    def test_trace_is_sorted_within_ticks(self):
+        trace = build_trace(Scenario(name="t", seed=3, duration_s=20.0))
+        for a, b in zip(trace, trace[1:]):
+            assert (a.tick, a.at_s) <= (b.tick, b.at_s)
+
+    def test_arrival_times_fall_inside_their_tick(self):
+        scen = Scenario(name="t", seed=3, duration_s=20.0, tick_s=2.0)
+        for req in build_trace(scen):
+            assert req.tick * 2.0 <= req.at_s < (req.tick + 1) * 2.0
+
+    def test_burst_window_multiplies_arrivals(self):
+        base = Scenario(name="t", seed=9, duration_s=40.0, rps=5.0)
+        bursty = Scenario(
+            name="t", seed=9, duration_s=40.0, rps=5.0,
+            bursts=(Burst(start_s=10.0, end_s=30.0, multiplier=6.0),),
+        )
+        n_base = len(build_trace(base))
+        n_burst = len(build_trace(bursty))
+        # 20 of 40 seconds run at 6x: expect roughly 3.5x the volume
+        assert n_burst > 2 * n_base
+
+    def test_users_follow_zipf_skew(self):
+        scen = Scenario(
+            name="t", seed=5, duration_s=120.0, users=30, rps=20.0,
+            zipf_s=1.5,
+        )
+        trace = build_trace(scen)
+        counts = {}
+        for req in trace:
+            counts[req.user] = counts.get(req.user, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        # the head user dominates the median user by a wide margin
+        assert ranked[0] > 4 * ranked[len(ranked) // 2]
+
+    def test_route_mix_respected(self):
+        scen = Scenario(name="t", seed=5, duration_s=120.0, rps=20.0)
+        trace = build_trace(scen)
+        by_route = trace_summary(trace)["by_route"]
+        assert by_route["/"] == max(by_route.values())  # homepage heaviest
+
+    def test_catalog_assigns_params_and_user_overrides(self):
+        scen = Scenario(name="t", seed=5, duration_s=60.0, rps=10.0)
+        catalog = {
+            "/api/v1/node_overview": ["node=a001", "node=a002"],
+            "/api/v1/job_overview": [("job_id=7", "alice")],
+        }
+        trace = build_trace(scen, catalog=catalog)
+        nodes = [r for r in trace if r.path == "/api/v1/node_overview"]
+        jobs = [r for r in trace if r.path == "/api/v1/job_overview"]
+        assert nodes and jobs
+        assert all(r.query in ("node=a001", "node=a002") for r in nodes)
+        assert all(r.query == "job_id=7" and r.user == "alice" for r in jobs)
+        assert nodes[0].url_path.endswith("?" + nodes[0].query)
+
+    def test_population_is_stable(self):
+        scen = Scenario(name="t", users=5)
+        assert user_population(scen) == [
+            "load_user_000", "load_user_001", "load_user_002",
+            "load_user_003", "load_user_004",
+        ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest_with_catalog(self):
+        scen = Scenario(name="t", seed=42, duration_s=30.0)
+        catalog = {"/api/v1/node_overview": ["node=a001", "node=a002"]}
+        assert trace_digest(build_trace(scen, catalog=catalog)) == trace_digest(
+            build_trace(scen, catalog=catalog)
+        )
+
+    def test_digest_sensitive_to_every_field(self):
+        scen = Scenario(name="t", seed=42, duration_s=30.0)
+        base = trace_digest(build_trace(scen))
+        assert base != trace_digest(
+            build_trace(Scenario(name="t", seed=43, duration_s=30.0))
+        )
+        assert base != trace_digest(
+            build_trace(Scenario(name="u", seed=42, duration_s=30.0))
+        )
+
+
+class TestDefaultScenarios:
+    def test_covers_required_shapes(self):
+        names = {s.name for s in default_scenarios()}
+        assert {"steady_state", "burst", "fault_window"} <= names
+
+    def test_fault_window_has_outage_and_short_ttl(self):
+        fault = next(
+            s for s in default_scenarios() if s.name == "fault_window"
+        )
+        assert fault.faults
+        assert fault.faults[0].kind == "outage"
+        assert fault.cache_ttl_s is not None
+        outage = fault.faults[0]
+        assert fault.cache_ttl_s < outage.end_s - outage.start_s
+
+    def test_smoke_is_smaller(self):
+        full = {s.name: s for s in default_scenarios()}
+        smoke = {s.name: s for s in default_scenarios(smoke=True)}
+        for name in full:
+            assert smoke[name].duration_s <= full[name].duration_s
+            assert smoke[name].users <= full[name].users

@@ -298,6 +298,45 @@ halting under brownout (set `FANOUT_SMOKE=1` for the CI-sized run).
 """
 
 
+LOAD_SECTION = """\
+## Load harness & cache sharding
+
+`repro.load` turns the simulated deployment into a standing benchmark:
+it replays realistic user populations against the real HTTP server on
+the sim clock and records the result in a schema'd `BENCH_load.json`
+(see `docs/BENCHMARKS.md` for both schemas and the trajectory
+workflow).
+
+1. **Deterministic traffic** — a `Scenario` describes Zipf-skewed users
+   (`repro.sim.rng.zipf_weights`), a weighted route mix over the
+   paper's pages (homepage heaviest), Poisson arrivals with optional
+   burst windows, and scheduled fault windows. `build_trace` expands it
+   into a concrete request list using named seeded streams; the trace
+   is SHA-256 hashed, and two same-seed runs must agree on the digest.
+   Wall-clock latency is the *only* thing allowed to vary.
+2. **Real replay** — the harness stands up a populated dashboard plus
+   `DashboardServer` and fires the trace tick by tick (open loop: every
+   arrival fires; closed loop: in-flight bounded at `clients` — same
+   trace either way). A tick drains completely before the sim clock
+   advances, so TTL expiry and fault windows land exactly on schedule.
+   Per scenario it records p50/p95/p99 latency, offered/achieved RPS,
+   ctld RPCs per request, cache hit rate, stale serves, shed rate, and
+   the admission-tier timeline.
+3. **Cache sharding** — `DashboardContext(cache_shards=N)` fronts the
+   server cache with `repro.core.sharding.ShardedCache`: N
+   shared-nothing `TTLCache` shards behind a consistent-hash ring
+   (blake2b points, 64 vnodes/shard), each with its own lock, in-flight
+   map, and `shard`-labeled gauge series. The default (`1`) keeps the
+   plain `TTLCache`; higher counts cut lock contention under hot-key
+   stampedes with byte-identical responses
+   (`benchmarks/test_perf_sharding.py`, `SHARDING_SMOKE=1` for CI).
+
+`python tools/bench_report.py run` writes and validates the BENCH file
+and prints the trajectory diff against the previous run; the CI
+`load-smoke` job does the same at `LOAD_SMOKE=1` sizing on every push.
+"""
+
+
 def main() -> int:
     repo = pathlib.Path(__file__).resolve().parent.parent
     sys.path.insert(0, str(repo / "src"))
@@ -314,6 +353,7 @@ def main() -> int:
         OBSERVABILITY_SECTION,
         ADMISSION_SECTION,
         FANOUT_SECTION,
+        LOAD_SECTION,
     ]
     seen = set()
     for info in sorted(

@@ -45,7 +45,10 @@ def _histogram_series(
     for sample in bucket_samples:
         key = sample.labeldict.get(label, "")
         le = sample.labeldict.get("le", "")
-        bound = math.inf if le == "+Inf" else float(le)
+        try:
+            bound = math.inf if le == "+Inf" else float(le)
+        except ValueError:  # partial scrape: bucket row without a bound
+            continue
         grouped.setdefault(key, []).append((bound, sample.value))
     out: Dict[str, Tuple[List[float], List[float]]] = {}
     for key, pairs in grouped.items():
@@ -71,16 +74,35 @@ def route_table(by_name) -> List[dict]:
     rows = []
     for route, (bounds, counts) in series.items():
         count = counts[-1] if counts else 0
+        # a histogram with zero observations has no quantiles — report
+        # None (rendered "n/a") instead of a misleading 0.0, so mid-run
+        # scrapes of pre-registered-but-unused routes read honestly
         rows.append({
             "route": route,
             "requests": _sum_where(requests, route=route),
             "errors": _sum_where(errors, route=route),
-            "p50_ms": quantile_from_buckets(bounds, counts, 0.50) * 1000,
-            "p95_ms": quantile_from_buckets(bounds, counts, 0.95) * 1000,
+            "p50_ms": (
+                quantile_from_buckets(bounds, counts, 0.50) * 1000
+                if count else None
+            ),
+            "p95_ms": (
+                quantile_from_buckets(bounds, counts, 0.95) * 1000
+                if count else None
+            ),
             "observations": count,
         })
-    rows.sort(key=lambda r: r["p95_ms"], reverse=True)
+    rows.sort(
+        key=lambda r: r["p95_ms"] if r["p95_ms"] is not None else -1.0,
+        reverse=True,
+    )
     return rows
+
+
+def _fmt(value, width: int, decimals: int = 1) -> str:
+    """Right-aligned number, or ``n/a`` when the value is unknown."""
+    if value is None:
+        return f"{'n/a':>{width}}"
+    return f"{value:>{width}.{decimals}f}"
 
 
 def cache_table(by_name) -> List[dict]:
@@ -177,7 +199,7 @@ def breaker_table(by_name) -> List[dict]:
     for service in services:
         current = next(
             (
-                s.labeldict["state"] for s in states
+                s.labeldict.get("state", "unknown") for s in states
                 if s.labeldict.get("service") == service and s.value == 1.0
             ),
             "unknown",
@@ -206,7 +228,9 @@ def daemon_table(by_name) -> List[dict]:
 
 
 def render_report(payload: str, top: int = 10) -> str:
-    by_name = samples_by_name(parse_prometheus_text(payload))
+    # lenient: a scrape taken mid-run (or truncated by a dying process)
+    # may end in half a line — drop what cannot parse, report the rest
+    by_name = samples_by_name(parse_prometheus_text(payload, lenient=True))
     lines: List[str] = []
 
     lines.append(f"== Top routes by p95 latency (top {top}) ==")
@@ -218,8 +242,8 @@ def render_report(payload: str, top: int = 10) -> str:
         for row in routes[:top]:
             lines.append(
                 f"{row['route']:<24} {row['requests']:>6.0f} "
-                f"{row['errors']:>5.0f} {row['p50_ms']:>8.1f} "
-                f"{row['p95_ms']:>8.1f}"
+                f"{row['errors']:>5.0f} {_fmt(row['p50_ms'], 8)} "
+                f"{_fmt(row['p95_ms'], 8)}"
             )
     else:
         lines.append("(no route histograms in payload)")
