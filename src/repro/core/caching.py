@@ -89,6 +89,10 @@ class CacheEntry:
     value: Any
     stored_at: float
     ttl: float
+    #: monotonically-bumped write counter of the owning cache — the HTTP
+    #: layer derives strong ETags from it, so any rewrite of the entry
+    #: (even with an equal value) invalidates outstanding validators
+    generation: int = 0
 
     def expires_at(self) -> float:
         """Absolute simulated time at which the entry expires."""
@@ -308,6 +312,9 @@ class TTLCache:
         #: :class:`~repro.core.sharding.ShardedCache`; None standalone
         self.shard = shard
         self._entries: Dict[str, CacheEntry] = {}
+        #: write counter stamped onto every stored entry (under the lock),
+        #: so (key, generation) uniquely names one stored value
+        self._generation = 0
         self._expiry_heap: List[Tuple[float, str]] = []
         self._inflight: Dict[str, _InFlight] = {}
         self._lock = ContentionLock()
@@ -707,7 +714,11 @@ class TTLCache:
         with self._lock:
             if len(self._entries) >= self.max_entries and key not in self._entries:
                 self._evict_one()
-            entry = CacheEntry(value=value, stored_at=self.clock.now(), ttl=ttl)
+            self._generation += 1
+            entry = CacheEntry(
+                value=value, stored_at=self.clock.now(), ttl=ttl,
+                generation=self._generation,
+            )
             self._entries[key] = entry
             heapq.heappush(self._expiry_heap, (entry.expires_at(), key))
             # overwrites leave dead heap entries behind; rebuild before
@@ -760,6 +771,13 @@ class TTLCache:
         """The raw entry (fresh or stale), for staleness instrumentation."""
         with self._lock:
             return self._entries.get(key)
+
+    def generation_of(self, key: str) -> Optional[int]:
+        """The stored entry's write generation, or None when absent —
+        the validator the HTTP delivery layer builds ETags from."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.generation if entry is not None else None
 
     def __len__(self) -> int:
         with self._lock:

@@ -15,7 +15,7 @@ it is older than the component's freshness window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.sim.clock import SimClock
 
@@ -25,6 +25,9 @@ class StoredRecord:
     key: str
     value: Any
     stored_at: float
+    #: the server's ETag for this payload, when one was sent — lets a
+    #: later revalidation be conditional (If-None-Match → 304, no body)
+    etag: Optional[str] = None
 
 
 class IndexedDBStore:
@@ -68,9 +71,12 @@ class IndexedDBStore:
         except KeyError:
             raise KeyError(f"no object store {store!r}") from None
 
-    def put(self, store: str, key: str, value: Any, now: float) -> None:
+    def put(self, store: str, key: str, value: Any, now: float,
+            etag: Optional[str] = None) -> None:
         """Insert or replace a record, stamping it with ``now``."""
-        self._store(store)[key] = StoredRecord(key=key, value=value, stored_at=now)
+        self._store(store)[key] = StoredRecord(
+            key=key, value=value, stored_at=now, etag=etag
+        )
 
     def get(self, store: str, key: str) -> Optional[StoredRecord]:
         """The stored record for ``key``, or None."""
@@ -117,6 +123,8 @@ class ClientCache:
         self.instant_renders = 0
         self.network_waits = 0
         self.background_refreshes = 0
+        #: revalidations the server answered 304 (payload unchanged)
+        self.not_modified = 0
 
     def fetch(
         self,
@@ -155,6 +163,51 @@ class ClientCache:
         self.db.put(self.STORE, key, fresh, self.clock.now())
         return FetchOutcome(
             value=fresh, served_from="network", age_s=0.0, revalidated=False
+        )
+
+    def fetch_conditional(
+        self,
+        key: str,
+        fetch_conditional: Callable[[Optional[str]], Tuple[Any, Optional[str], bool]],
+        max_age_s: float = 30.0,
+    ) -> FetchOutcome:
+        """:meth:`fetch`, but revalidations send the stored ETag.
+
+        ``fetch_conditional(etag)`` must return ``(value, etag,
+        not_modified)``: on a 304 the cached payload is kept (only its
+        freshness stamp advances) and no body crossed the wire — the
+        end-to-end completion of the §2.4 dual-layer story.
+        """
+        now = self.clock.now()
+        rec = self.db.get(self.STORE, key)
+        if rec is not None:
+            age = now - rec.stored_at
+            if age <= max_age_s:
+                self.instant_renders += 1
+                return FetchOutcome(
+                    value=rec.value, served_from="client-cache", age_s=age,
+                    revalidated=False,
+                )
+            # stale: show it now, revalidate (conditionally) behind the scenes
+            self.instant_renders += 1
+            self.background_refreshes += 1
+            value, etag, not_modified = fetch_conditional(rec.etag)
+            if not_modified:
+                self.not_modified += 1
+                # unchanged on the server: re-stamp the cached payload
+                self.db.put(self.STORE, key, rec.value, self.clock.now(),
+                            etag=etag or rec.etag)
+            else:
+                self.db.put(self.STORE, key, value, self.clock.now(), etag=etag)
+            return FetchOutcome(
+                value=rec.value, served_from="client-cache", age_s=age,
+                revalidated=True,
+            )
+        self.network_waits += 1
+        value, etag, _ = fetch_conditional(None)
+        self.db.put(self.STORE, key, value, self.clock.now(), etag=etag)
+        return FetchOutcome(
+            value=value, served_from="network", age_s=0.0, revalidated=False
         )
 
     def invalidate(self, key: str) -> bool:

@@ -32,7 +32,12 @@ from repro.storage.quota import (
 from .caching import CachePolicy
 from .export import ROUTE as EXPORT_ROUTE
 from .pages import ALL_PAGE_ROUTES
-from .pages.homepage import HomepageRender, render_homepage, render_homepage_shell
+from .pages.homepage import (
+    HomepageRender,
+    render_homepage,
+    render_homepage_shell,
+    stream_homepage,
+)
 from .routes import DashboardContext, RouteRegistry, RouteResponse
 from .widgets import ALL_WIDGET_ROUTES
 
@@ -119,6 +124,13 @@ class Dashboard:
         default; ``parallel=False`` renders sequentially (same bytes,
         Σ(widget) latency — the benchmark baseline)."""
         return render_homepage(self.ctx, self.registry, viewer, parallel=parallel)
+
+    def stream_homepage(self, viewer: Viewer):
+        """Stream the homepage in document-order chunks: the static shell
+        first, each widget slot as its fan-out worker completes.  The
+        concatenated chunks match :meth:`render_homepage`'s document (the
+        HTTP layer serves this under chunked transfer encoding)."""
+        return stream_homepage(self.ctx, self.registry, viewer)
 
     def render_homepage_shell(self, viewer: Viewer) -> str:
         """Render the instant shell with loading placeholders (§2.3)."""

@@ -32,9 +32,15 @@ CSV_HEADERS = [
 
 
 def usage_rows(ctx: DashboardContext, viewer: Viewer, account: str) -> List[UsageRollup]:
-    """Manager-gated per-user usage breakdown for one account."""
+    """Manager-gated per-user usage breakdown for one account.
+
+    The rollup read goes through the context's resilient fetch path
+    (:meth:`~repro.core.routes.DashboardContext.account_usage`), so an
+    export spends the request's deadline budget like any other route
+    instead of silently bypassing it.
+    """
     ctx.policy.require_export_access(viewer, account)
-    return ctx.cluster.accounting.usage_by_account(account)
+    return ctx.account_usage(account)
 
 
 def export_csv(ctx: DashboardContext, viewer: Viewer, account: str) -> str:

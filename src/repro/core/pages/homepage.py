@@ -11,11 +11,18 @@ taking the page down (§2.4 Modularity).
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.auth import Viewer
 
-from ..rendering import brownout_banner, el, loading_placeholder, page_shell
+from ..rendering import (
+    RawHTML,
+    brownout_banner,
+    el,
+    loading_placeholder,
+    page_shell,
+    render_document,
+)
 from ..routes import ApiRoute, DashboardContext, RouteRegistry, RouteResponse
 from ..widgets import ALL_WIDGET_ROUTES, WIDGET_RENDERERS
 
@@ -90,6 +97,36 @@ def _widget_responses(
     return responses
 
 
+def _render_slot(
+    name: str, response: RouteResponse
+) -> Tuple[Any, Optional[str], Optional[float]]:
+    """Render one widget slot from its route response.
+
+    Returns ``(slot_element, failure, stale_age_s)`` — the single code
+    path both the batch render and the streamed render fill slots
+    through, so the two can never drift apart byte-wise.
+    """
+    failure: Optional[str] = None
+    stale_age: Optional[float] = None
+    if response.ok:
+        data = response.data
+        if response.degraded:
+            # serve-stale path: the widget renders its cached payload
+            # under a degraded banner (§2.4 resilience)
+            stale_age = response.stale_age_s or 0.0
+            data = {**data, "_degraded": {"stale_age_s": stale_age}}
+        body = WIDGET_RENDERERS[name](data)
+    else:
+        failure = response.error or "unknown error"
+        body = el(
+            "div",
+            f"The {name.replace('_', ' ')} widget is temporarily unavailable.",
+            cls="widget-error alert alert-danger",
+            role="alert",
+        )
+    return el("div", body, cls="widget-slot", data_widget=name), failure, stale_age
+
+
 def render_homepage(
     ctx: DashboardContext,
     registry: RouteRegistry,
@@ -113,23 +150,12 @@ def render_homepage(
     failures: Dict[str, str] = {}
     degraded: Dict[str, float] = {}
     for name, response in zip(HOMEPAGE_WIDGETS, responses):
-        if response.ok:
-            data = response.data
-            if response.degraded:
-                # serve-stale path: the widget renders its cached payload
-                # under a degraded banner (§2.4 resilience)
-                degraded[name] = response.stale_age_s or 0.0
-                data = {**data, "_degraded": {"stale_age_s": degraded[name]}}
-            body = WIDGET_RENDERERS[name](data)
-        else:
-            failures[name] = response.error or "unknown error"
-            body = el(
-                "div",
-                f"The {name.replace('_', ' ')} widget is temporarily unavailable.",
-                cls="widget-error alert alert-danger",
-                role="alert",
-            )
-        slots.append(el("div", body, cls="widget-slot", data_widget=name))
+        slot, failure, stale_age = _render_slot(name, response)
+        if failure is not None:
+            failures[name] = failure
+        if stale_age is not None:
+            degraded[name] = stale_age
+        slots.append(slot)
     tier = ctx.admission.tier
     page = page_shell(
         "homepage",
@@ -138,6 +164,81 @@ def render_homepage(
         el("div", *slots, cls="widget-grid"),
     )
     return HomepageRender(page=page, failures=failures, degraded=degraded, tier=tier)
+
+
+#: sentinel marking where one widget slot lands in the streamed document;
+#: NUL can never appear in rendered (escaped) HTML, so splitting on it is safe
+_SLOT_TOKEN = "\x00widget-slot:{name}\x00"
+
+
+def _streaming_segments(username: str, tier: str) -> List[str]:
+    """The homepage document split around its widget slots.
+
+    Renders the full page *once* with a sentinel where each slot goes,
+    then splits on the sentinels: ``segments[0]`` is the shell up to the
+    first slot, ``segments[i]`` the static HTML between slot ``i-1`` and
+    slot ``i``, and the last segment everything after the final slot.
+    Interleaving the real slot HTML back between the segments reproduces
+    the batch render byte-for-byte.
+    """
+    placeholders = [
+        RawHTML(_SLOT_TOKEN.format(name=name)) for name in HOMEPAGE_WIDGETS
+    ]
+    page = page_shell(
+        "homepage",
+        username,
+        brownout_banner(tier) if tier != "normal" else None,
+        el("div", *placeholders, cls="widget-grid"),
+    )
+    document = render_document("HPC Dashboard", page)
+    segments: List[str] = []
+    rest = document
+    for name in HOMEPAGE_WIDGETS:
+        head, rest = rest.split(_SLOT_TOKEN.format(name=name), 1)
+        segments.append(head)
+    segments.append(rest)
+    return segments
+
+
+def stream_homepage(
+    ctx: DashboardContext, registry: RouteRegistry, viewer: Viewer
+) -> Iterator[str]:
+    """Stream the homepage: shell first, widget slots as they complete.
+
+    Yields the document in chunks — the static shell up to the first
+    slot immediately (widget calls are already in flight on the worker
+    pool by then), then each slot plus its trailing static HTML in
+    :data:`HOMEPAGE_WIDGETS` order as the fan-out workers finish.
+    Time-to-first-byte therefore decouples from the slowest widget.
+
+    The concatenated chunks are byte-identical to
+    ``render_homepage(...).document`` rendered at the same instant, with
+    one documented divergence: the admission tier (brownout banner) is
+    sampled *before* the widgets run — the shell must flush before any
+    widget completes — while the batch render samples it after.
+    """
+    with ctx.obs.tracer.span(
+        "page:homepage", kind="page",
+        attrs={"viewer": viewer.username, "streamed": True},
+    ):
+        tier = ctx.admission.tier
+        segments = _streaming_segments(viewer.username, tier)
+        outcomes = ctx.scatter_stream(
+            [partial(registry.call, ctx, name, viewer) for name in HOMEPAGE_WIDGETS]
+        )
+        yield segments[0]
+        for i, (name, outcome) in enumerate(zip(HOMEPAGE_WIDGETS, outcomes)):
+            if outcome.error is not None:
+                response = RouteResponse(
+                    ok=False,
+                    error=f"{type(outcome.error).__name__}: {outcome.error}",
+                    status=500,
+                    route=name,
+                )
+            else:
+                response = outcome.value
+            slot, _, _ = _render_slot(name, response)
+            yield slot.render() + segments[i + 1]
 
 
 class HomepageRender:

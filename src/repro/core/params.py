@@ -20,6 +20,10 @@ import math
 from typing import Any, Dict, Optional
 
 
+class ParamError(ValueError):
+    """A query parameter failed validation — rendered as a structured 400."""
+
+
 def coerce_params(pairs) -> Dict[str, Any]:
     """Type query-string values: ints, finite floats, booleans, else strings.
 
@@ -32,9 +36,20 @@ def coerce_params(pairs) -> Dict[str, Any]:
     surrounding whitespace (``" 42 "`` -> 42).  Neither spelling is a
     number in a query string, so any value containing an underscore or
     whitespace skips numeric coercion and stays a string.
+
+    Malformed *shapes* are the client's mistake and raise
+    :class:`ParamError` (a structured 400) instead of being papered over:
+    a blank value (``?limit=``, which ``parse_qsl`` silently dropped
+    before callers passed ``keep_blank_values``) and a duplicate key
+    (where last-one-wins would let ``?limit=1&limit=999`` smuggle the
+    second value past anything that audited the first).
     """
     out: Dict[str, Any] = {}
     for key, value in pairs:
+        if key in out:
+            raise ParamError(f"duplicate query param {key!r}")
+        if value == "":
+            raise ParamError(f"query param {key!r} has a blank value")
         if value.lower() in ("true", "false"):
             out[key] = value.lower() == "true"
             continue
@@ -55,10 +70,6 @@ def coerce_params(pairs) -> Dict[str, Any]:
             pass
         out[key] = value
     return out
-
-
-class ParamError(ValueError):
-    """A query parameter failed validation — rendered as a structured 400."""
 
 
 def positive_int_param(

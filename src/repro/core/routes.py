@@ -18,10 +18,11 @@ structure:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.auth import Directory, PermissionDenied, PermissionPolicy, Viewer
 from repro.faults import (
@@ -98,6 +99,14 @@ class RouteResponse:
     #: seconds after which the client should retry (429/503/504 only);
     #: the HTTP layer turns this into a real ``Retry-After`` header
     retry_after_s: Optional[float] = None
+    #: strong validator derived from the cache-entry generations behind
+    #: this response (set only for ok, non-degraded, fully-cached
+    #: responses); the HTTP layer sends it as an ``ETag`` header
+    etag: Optional[str] = None
+    #: the ``(cache key, generation)`` pairs :attr:`etag` hashes — the
+    #: HTTP layer re-checks them to answer ``If-None-Match`` with a 304
+    #: without dispatching the route.  Never serialized into the body.
+    cache_deps: Optional[Tuple[Tuple[str, int], ...]] = None
 
     def to_json(self) -> Dict[str, Any]:
         """The JSON envelope sent over HTTP."""
@@ -126,6 +135,12 @@ class FetchScope:
     degraded: bool = False
     stale_age_s: Optional[float] = None
     sources: List[str] = field(default_factory=list)
+    #: cache key -> entry generation for every cached fetch this request
+    #: made — the raw material of the response's strong ETag
+    deps: Dict[str, int] = field(default_factory=dict)
+    #: True when any fetch in this scope bypassed the server cache (or
+    #: its entry vanished under it) — no validator can be derived then
+    uncacheable: bool = False
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -139,6 +154,36 @@ class FetchScope:
             if outcome.stale_age_s is not None:
                 if self.stale_age_s is None or outcome.stale_age_s > self.stale_age_s:
                     self.stale_age_s = outcome.stale_age_s
+
+    def note_dep(self, key: str, generation: int) -> None:
+        with self._lock:
+            self.deps[key] = generation
+
+    def mark_uncacheable(self) -> None:
+        with self._lock:
+            self.uncacheable = True
+
+
+def response_etag(
+    route: str,
+    viewer: Viewer,
+    params: Dict[str, Any],
+    deps: Sequence[Tuple[str, int]],
+) -> str:
+    """Strong ETag for one route response.
+
+    Hashes the cache-entry generations the response was computed from,
+    plus everything else that shapes the body (route, viewer identity,
+    params) — so the validator changes exactly when the bytes could.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(route.encode())
+    h.update(f"|{viewer.username}|{int(viewer.is_admin)}".encode())
+    for name in sorted(params):
+        h.update(f"|{name}={params[name]!r}".encode())
+    for key, generation in deps:
+        h.update(f"|{key}@{generation}".encode())
+    return h.hexdigest()
 
 
 def _retry_after_of(exc: BaseException) -> Optional[float]:
@@ -270,6 +315,18 @@ class RouteRegistry:
         finally:
             ctx.end_deadline()
             ctx.end_fetch_scope()
+        if (
+            response.ok
+            and not response.degraded
+            and scope.deps
+            and not scope.uncacheable
+        ):
+            # every byte of this response is backed by live cache entries:
+            # derive the strong validator the HTTP layer serves as ETag
+            response.cache_deps = tuple(sorted(scope.deps.items()))
+            response.etag = response_etag(
+                name, viewer, params, response.cache_deps
+            )
         ctx.obs.record_route(
             name, response.status, response.elapsed_ms, ok=response.ok
         )
@@ -495,17 +552,15 @@ class DashboardContext:
 
     # -- scatter-gather fan-out ----------------------------------------------
 
-    def scatter(self, thunks: Sequence[Callable[[], Any]]) -> List[TaskOutcome]:
-        """Run independent thunks concurrently on the shared worker pool,
-        with this request's context propagated into every worker.
+    def _fanout_wrapper(self) -> Callable[[Callable[[], Any]], Callable[[], Any]]:
+        """Build the context-propagation wrapper fan-out thunks run under.
 
-        Each worker thread inherits the calling request's
-        :class:`~repro.faults.Deadline` (one common budget, charged under
-        a lock), its open fetch scopes (so degraded fetches inside the
-        fan-out still mark the response envelope), and its innermost
-        open span (so widget spans nest under the page span instead of
-        becoming disconnected roots).  Outcomes come back in input
-        order, one per thunk, failures isolated per slot.
+        Captures the calling request's context *now* (on the request
+        thread): its :class:`~repro.faults.Deadline` (one common budget,
+        charged under a lock), its open fetch scopes (so degraded
+        fetches inside the fan-out still mark the response envelope),
+        and its innermost open span (so widget spans nest under the page
+        span instead of becoming disconnected roots).
         """
         deadline = self.current_deadline()
         scopes = list(self._scope_stack())
@@ -537,7 +592,29 @@ class DashboardContext:
 
             return run
 
+        return wrap
+
+    def scatter(self, thunks: Sequence[Callable[[], Any]]) -> List[TaskOutcome]:
+        """Run independent thunks concurrently on the shared worker pool,
+        with this request's context propagated into every worker.
+
+        Outcomes come back in input order, one per thunk, failures
+        isolated per slot (see :meth:`_fanout_wrapper` for what each
+        worker inherits).
+        """
+        wrap = self._fanout_wrapper()
         return self.workers.scatter_gather([wrap(fn) for fn in thunks])
+
+    def scatter_stream(
+        self, thunks: Sequence[Callable[[], Any]]
+    ) -> Iterator[TaskOutcome]:
+        """:meth:`scatter`, but yielding each outcome in input order as
+        soon as it (and its predecessors) complete — no barrier on the
+        slowest thunk.  The streamed homepage flushes widget slots
+        through this, so time-to-first-slot tracks the fastest widgets
+        instead of the slowest."""
+        wrap = self._fanout_wrapper()
+        return self.workers.scatter_stream([wrap(fn) for fn in thunks])
 
     # -- observability -------------------------------------------------------
 
@@ -580,6 +657,8 @@ class DashboardContext:
 
     def _cached(self, source: str, key: str, compute: Callable[[], Any]) -> Any:
         if not self.use_server_cache:
+            for scope in self._scope_stack():
+                scope.mark_uncacheable()
             return compute()
         with self.obs.tracer.span(
             f"cache:{source}", kind="cache", attrs={"key": key}
@@ -605,8 +684,21 @@ class DashboardContext:
                 span.attrs["refreshing"] = True
             if outcome.attempts > 1:
                 span.attrs["attempts"] = outcome.attempts
-        for scope in self._scope_stack():
+        scopes = self._scope_stack()
+        for scope in scopes:
             scope.note(outcome)
+        # validator bookkeeping: tie this fetch to the generation of the
+        # entry that holds the exact value served.  The identity check
+        # guards the race where a concurrent writer replaced the entry
+        # between our lookup and this read — then no validator is safe.
+        full_key = f"{source}:{key}"
+        entry = self.cache.entry(full_key)
+        if entry is not None and entry.value is outcome.value:
+            for scope in scopes:
+                scope.note_dep(full_key, entry.generation)
+        else:
+            for scope in scopes:
+                scope.mark_uncacheable()
         return outcome.value
 
     # -- Slurm data (commands -> text -> parse -> records) --------------------
@@ -657,6 +749,24 @@ class DashboardContext:
             wanted = set(states)
             records = [r for r in records if r.state in wanted]
         return records
+
+    def account_usage(self, account: str) -> List[Any]:
+        """Per-user usage rollup for one account (§3.4 export).
+
+        Priced as an ``sacct`` query against slurmdbd through the
+        resilient fetch path, so exports share the cache, retry, breaker
+        and **deadline** machinery instead of bypassing it — a tight
+        ``X-Request-Deadline-Ms`` now yields the same structured 504
+        here as on any widget route.
+        """
+
+        def compute() -> List[Any]:
+            # price the slurmdbd RPC the real sacct run would cost; the
+            # rollup itself aggregates the same accounting records
+            self.cluster.daemons.record("sacct", "sacct")
+            return self.cluster.accounting.usage_by_account(account)
+
+        return self._cached("sacct", f"usage:{account}", compute)
 
     def node_records(self) -> List[NodeRecord]:
         """All nodes via scontrol show node (Cluster Status, 60 s TTL)."""

@@ -209,6 +209,12 @@ class ShardedCache:
     def entry(self, key: str) -> Optional[CacheEntry]:
         return self.shard_of(key).entry(key)
 
+    def generation_of(self, key: str) -> Optional[int]:
+        # generations are per-shard monotonic, which is all a validator
+        # needs: a key always hashes to the same shard, so (key,
+        # generation) still uniquely names one stored value
+        return self.shard_of(key).generation_of(key)
+
     def clear(self) -> None:
         for shard in self.shards:
             shard.clear()

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Any, Callable, List, Optional, Sequence, Set
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Set
 
 from repro.obs import MetricsRegistry
 
@@ -227,6 +227,38 @@ class WorkerPool:
                 task.event.wait()
                 outcomes[i] = TaskOutcome(task.value, task.error)
         return outcomes  # type: ignore[return-value]
+
+    def scatter_stream(
+        self, fns: Sequence[Callable[[], Any]]
+    ) -> "Iterator[TaskOutcome]":
+        """:meth:`scatter_gather`, but yield each outcome in input order
+        as soon as it is ready — no barrier on the slowest task.
+
+        Every task is submitted *eagerly* (before the generator is first
+        advanced), so all slots run concurrently while the consumer
+        drains them one by one; slot ``i`` is yielded once it and every
+        predecessor have completed.  Rejected tasks run inline at their
+        turn, and a call from a pool worker runs everything inline —
+        the same no-deadlock guarantees as :meth:`scatter_gather`.
+        """
+        fns = list(fns)
+        if self.in_worker():
+            def run_inline() -> "Iterator[TaskOutcome]":
+                for fn in fns:
+                    yield self._run_inline(fn)
+
+            return run_inline()
+        tasks: List[Optional[_Task]] = [self._submit(fn) for fn in fns]
+
+        def drain() -> "Iterator[TaskOutcome]":
+            for fn, task in zip(fns, tasks):
+                if task is None:
+                    yield self._run_inline(fn)
+                else:
+                    task.event.wait()
+                    yield TaskOutcome(task.value, task.error)
+
+        return drain()
 
     def _run_inline(self, fn: Callable[[], Any]) -> TaskOutcome:
         self._tasks.inc(pool=self.name, result="inline")

@@ -12,6 +12,7 @@ schema'd ``BENCH_load.json`` (see :mod:`repro.load.report`) that
 from .generator import (
     RequestOutcome,
     compare_sharding,
+    delivery_ab,
     percentile,
     responses_identical,
     run_scenario,
@@ -42,6 +43,7 @@ __all__ = [
     "build_trace",
     "compare_sharding",
     "default_scenarios",
+    "delivery_ab",
     "diff",
     "load_bench",
     "percentile",

@@ -16,6 +16,7 @@ quantiles may not.
 
 from __future__ import annotations
 
+import gzip
 import sys
 import threading
 import time
@@ -25,6 +26,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.auth import Viewer
 from repro.core.caching import CachePolicy
 from repro.core.dashboard import build_demo_dashboard
 from repro.core.sharding import ShardedCache
@@ -441,14 +443,100 @@ def responses_identical(
     return all(batch == first for batch in bodies[1:])
 
 
+# -- HTTP delivery: conditional GET / gzip / streaming A/B -------------------
+
+
+def delivery_ab(
+    *,
+    seed: int = 77,
+    user: str = "alice",
+    widget: str = "/api/v1/widgets/system_status",
+) -> Dict[str, Any]:
+    """The BENCH file's ``delivery`` section.
+
+    Measures, against one fresh dashboard over real HTTP:
+
+    * **not_modified** — the byte and render savings of a conditional
+      re-fetch of an unchanged widget (full body vs a 304's zero body,
+      and proof that no route dispatch ran during the 304);
+    * **gzip** — negotiated compression savings, with the decoded bytes
+      proven identical to the identity response;
+    * **streamed homepage** — the chunked streamed document proven
+      byte-identical to the sequential batch render.
+    """
+
+    dash, _directory, _ = build_demo_dashboard(seed=seed)
+
+    with DashboardServer(dash) as server:
+
+        def fetch(path: str, headers: Optional[Dict[str, str]] = None):
+            req = urllib.request.Request(
+                server.url + path,
+                headers={"X-Remote-User": user, **(headers or {})},
+            )
+            try:
+                with urllib.request.urlopen(req, timeout=30) as resp:
+                    return resp.status, resp.headers, resp.read()
+            except urllib.error.HTTPError as exc:
+                return exc.code, exc.headers, exc.read()
+
+        # A: first fetch pays the full render + full body
+        _, headers, full_body = fetch(widget)
+        etag = headers["ETag"]
+        renders_before = dash.ctx.obs.route_requests.total(route="system_status")
+        # B: conditional re-fetch of the unchanged widget
+        status_304, _, body_304 = fetch(widget, {"If-None-Match": etag})
+        renders_during_304 = (
+            dash.ctx.obs.route_requests.total(route="system_status")
+            - renders_before
+        )
+
+        _, _, gz_widget = fetch(widget, {"Accept-Encoding": "gzip"})
+
+        _, _, streamed = fetch("/")
+        batch = dash.render_homepage(
+            Viewer(username=user), parallel=False
+        ).document.encode()
+        _, _, gz_home = fetch("/", {"Accept-Encoding": "gzip"})
+
+    widget_identical = gzip.decompress(gz_widget) == full_body
+    home_identical = gzip.decompress(gz_home) == streamed
+    return {
+        "seed": seed,
+        "widget": widget,
+        "not_modified": {
+            "status": status_304,
+            "full_body_bytes": len(full_body),
+            "revalidation_body_bytes": len(body_304),
+            "bytes_saved": len(full_body) - len(body_304),
+            "render_calls_during_304": renders_during_304,
+        },
+        "gzip": {
+            "widget_identity_bytes": len(full_body),
+            "widget_gzip_bytes": len(gz_widget),
+            "homepage_identity_bytes": len(streamed),
+            "homepage_gzip_bytes": len(gz_home),
+            "savings_ratio": round(
+                1.0 - (len(gz_widget) + len(gz_home))
+                / (len(full_body) + len(streamed)),
+                4,
+            ),
+        },
+        "streamed_homepage_identical": streamed == batch,
+        "decoded_identical": widget_identical and home_identical,
+    }
+
+
 def run_suite(
     scenarios: Sequence[Scenario],
     *,
     smoke: bool = False,
     include_sharding: bool = True,
+    include_delivery: bool = True,
     progress: Optional[Any] = None,
 ) -> Dict[str, Any]:
-    """Run scenarios plus the sharding comparison into one BENCH doc."""
+    """Run scenarios plus the sharding and delivery comparisons into one
+    BENCH doc."""
     records = []
     for scenario in scenarios:
         if progress is not None:
@@ -467,4 +555,8 @@ def run_suite(
             threads=16 if smoke else 32,
             iterations=800 if smoke else 3000,
         )
+    if include_delivery:
+        if progress is not None:
+            progress("HTTP delivery A/B ...")
+        doc["delivery"] = delivery_ab()
     return doc

@@ -96,6 +96,21 @@ def validate_bench(doc: Any) -> List[str]:
                           "responses_identical"):
                 if field not in sharding:
                     errors.append(f"sharding: missing field {field!r}")
+    delivery = doc.get("delivery")
+    if delivery is not None:
+        if not isinstance(delivery, dict):
+            errors.append("delivery must be an object")
+        else:
+            for field in ("not_modified", "gzip",
+                          "streamed_homepage_identical", "decoded_identical"):
+                if field not in delivery:
+                    errors.append(f"delivery: missing field {field!r}")
+            for field in ("full_body_bytes", "bytes_saved",
+                          "render_calls_during_304"):
+                if field not in delivery.get("not_modified", {}):
+                    errors.append(f"delivery: not_modified missing {field!r}")
+            if "savings_ratio" not in delivery.get("gzip", {}):
+                errors.append("delivery: gzip missing 'savings_ratio'")
     return errors
 
 
@@ -148,6 +163,24 @@ def summarize(doc: Dict[str, Any]) -> str:
             f"  contention reduction: "
             f"{sharding['contended_reduction'] * 100:.1f}%  "
             f"responses identical: {sharding['responses_identical']}"
+        )
+    delivery = doc.get("delivery")
+    if delivery:
+        nm = delivery["not_modified"]
+        gz = delivery["gzip"]
+        lines.append("")
+        lines.append("HTTP delivery (conditional GET / gzip / streaming):")
+        lines.append(
+            f"  304 revalidation: {nm['full_body_bytes']} -> "
+            f"{nm['revalidation_body_bytes']} body bytes "
+            f"(saved {nm['bytes_saved']}), "
+            f"renders during 304: {nm['render_calls_during_304']:.0f}"
+        )
+        lines.append(
+            f"  gzip savings: {gz['savings_ratio'] * 100:.1f}%  "
+            f"streamed homepage identical: "
+            f"{delivery['streamed_homepage_identical']}  "
+            f"decoded identical: {delivery['decoded_identical']}"
         )
     return "\n".join(lines)
 
@@ -211,6 +244,16 @@ def diff(old: Dict[str, Any], new: Dict[str, Any]) -> str:
             f"sharding contention reduction: "
             f"{old_sh['contended_reduction']:.3f} -> "
             f"{new_sh['contended_reduction']:.3f}"
+        )
+    old_dl = old.get("delivery")
+    new_dl = new.get("delivery")
+    if old_dl and new_dl:
+        lines.append(
+            f"delivery 304 bytes saved: "
+            f"{old_dl['not_modified']['bytes_saved']} -> "
+            f"{new_dl['not_modified']['bytes_saved']}, gzip savings: "
+            f"{old_dl['gzip']['savings_ratio']:.3f} -> "
+            f"{new_dl['gzip']['savings_ratio']:.3f}"
         )
     return "\n".join(lines) if lines else "(no scenarios to compare)"
 

@@ -77,6 +77,22 @@ class Observability:
             "HTTP requests by endpoint kind and status code.",
             ("kind", "status"),
         )
+        # HTTP delivery layer: pre-seeded so the families render on
+        # /metrics before the first conditional GET or gzip response
+        self.http_not_modified = r.counter(
+            "repro_http_not_modified_total",
+            "Conditional GETs answered 304 from the validator index, "
+            "by endpoint kind.",
+            ("kind",),
+        )
+        self.http_not_modified.inc(0.0, kind="api")
+        self.http_bytes_saved = r.counter(
+            "repro_http_bytes_saved_total",
+            "Response-body bytes kept off the wire, by reason.",
+            ("reason",),
+        )
+        for reason in ("not_modified", "gzip"):
+            self.http_bytes_saved.inc(0.0, reason=reason)
         self.breaker_state = r.gauge(
             "repro_breaker_state",
             "Circuit breaker state, one-hot per service (1 = current state).",
@@ -110,6 +126,18 @@ class Observability:
     def record_http(self, kind: str, status: int) -> None:
         """Count one HTTP request by endpoint kind."""
         self.http_requests.inc(kind=kind, status=str(status))
+
+    def record_not_modified(self, kind: str, bytes_saved: int) -> None:
+        """Count one validated conditional GET (a 304 that skipped both
+        the render and the body bytes it would have sent)."""
+        self.http_not_modified.inc(kind=kind)
+        if bytes_saved > 0:
+            self.http_bytes_saved.inc(float(bytes_saved), reason="not_modified")
+
+    def record_bytes_saved(self, reason: str, bytes_saved: int) -> None:
+        """Count body bytes kept off the wire (e.g. by gzip)."""
+        if bytes_saved > 0:
+            self.http_bytes_saved.inc(float(bytes_saved), reason=reason)
 
     # -- scrape-time gauges ---------------------------------------------------
 

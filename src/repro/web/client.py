@@ -14,10 +14,11 @@ background).  Two transports are provided:
 from __future__ import annotations
 
 import json
+import urllib.error
 import urllib.parse
 import urllib.request
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Protocol
+from typing import Any, Dict, List, Optional, Protocol, Tuple
 
 from repro.auth import Viewer
 from repro.core.clientcache import ClientCache, FetchOutcome, IndexedDBStore
@@ -46,15 +47,32 @@ class InProcessTransport:
         self.dashboard = dashboard
         self.viewer = viewer
         self.requests = 0
+        self.not_modified = 0
 
     def get(self, path: str, params: Dict[str, Any]) -> Dict[str, Any]:
         """Fetch a route over HTTP; raises TransportError on failure."""
+        data, _, _ = self.get_conditional(path, params)
+        return data
+
+    def get_conditional(
+        self, path: str, params: Dict[str, Any], etag: Optional[str] = None
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[str], bool]:
+        """Conditional fetch: ``(data, etag, not_modified)``.
+
+        In-process there is no wire to save bytes on, but the 304
+        contract is modeled the same way: an unchanged validator returns
+        ``(None, etag, True)`` so :class:`~repro.core.clientcache.ClientCache`
+        exercises the identical revalidation path as over HTTP.
+        """
         self.requests += 1
         response = self.dashboard.get(path, self.viewer, params)
         if not response.ok:
             raise TransportError(response.status, response.error or "error")
+        if etag is not None and response.etag == etag:
+            self.not_modified += 1
+            return None, etag, True
         assert response.data is not None
-        return response.data
+        return response.data, response.etag, False
 
 
 class HttpTransport:
@@ -67,19 +85,38 @@ class HttpTransport:
         self.is_admin = is_admin
         self.timeout_s = timeout_s
         self.requests = 0
+        self.not_modified = 0
 
     def get(self, path: str, params: Dict[str, Any]) -> Dict[str, Any]:
         """Fetch a route over HTTP; raises TransportError on failure."""
+        data, _, _ = self.get_conditional(path, params)
+        return data
+
+    def get_conditional(
+        self, path: str, params: Dict[str, Any], etag: Optional[str] = None
+    ) -> Tuple[Optional[Dict[str, Any]], Optional[str], bool]:
+        """Conditional fetch: ``(data, etag, not_modified)``.
+
+        Sends ``If-None-Match`` when a validator is known; a 304 reply
+        (which ``urllib`` surfaces as an :class:`~urllib.error.HTTPError`)
+        returns ``(None, etag, True)`` with zero body bytes read.
+        """
         self.requests += 1
         query = urllib.parse.urlencode(params)
         url = f"{self.base_url}{path}" + (f"?{query}" if query else "")
         req = urllib.request.Request(url, headers={"X-Remote-User": self.username})
         if self.is_admin:
             req.add_header("X-Admin", "1")
+        if etag is not None:
+            req.add_header("If-None-Match", f'"{etag}"')
         try:
             with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
                 payload = json.loads(resp.read())
+                fresh_etag = _raw_etag(resp.headers.get("ETag"))
         except urllib.error.HTTPError as exc:
+            if exc.code == 304:  # not an error: the cached payload stands
+                self.not_modified += 1
+                return None, _raw_etag(exc.headers.get("ETag")) or etag, True
             try:
                 detail = json.loads(exc.read()).get("error", str(exc))
             except Exception:  # noqa: BLE001
@@ -87,7 +124,17 @@ class HttpTransport:
             raise TransportError(exc.code, detail) from exc
         if not payload.get("ok"):
             raise TransportError(payload.get("status", 500), payload.get("error", ""))
-        return payload["data"]
+        return payload["data"], fresh_etag, False
+
+
+def _raw_etag(header: Optional[str]) -> Optional[str]:
+    """Strip the quoted form off an ``ETag`` response header."""
+    if header is None:
+        return None
+    tag = header.strip()
+    if len(tag) >= 2 and tag[0] == '"' and tag[-1] == '"':
+        tag = tag[1:-1]
+    return tag or None
 
 
 @dataclass
@@ -122,14 +169,24 @@ class BrowserClient:
         max_age_s: float = 30.0,
     ) -> WidgetLoad:
         """Load one component the way the frontend does (§2.4): IndexedDB
-        first, network on miss, stale-while-revalidate in between."""
+        first, network on miss, stale-while-revalidate in between.
+        Transports that support conditional fetches revalidate with
+        ``If-None-Match``, so an unchanged widget costs a 304 and no body."""
         params = params or {}
         key = path + "?" + json.dumps(params, sort_keys=True)
-        outcome: FetchOutcome = self.cache.fetch(
-            key,
-            fetch_remote=lambda: self.transport.get(path, params),
-            max_age_s=max_age_s,
-        )
+        conditional = getattr(self.transport, "get_conditional", None)
+        if conditional is not None:
+            outcome: FetchOutcome = self.cache.fetch_conditional(
+                key,
+                fetch_conditional=lambda etag: conditional(path, params, etag),
+                max_age_s=max_age_s,
+            )
+        else:  # custom get-only transports keep the unconditional path
+            outcome = self.cache.fetch(
+                key,
+                fetch_remote=lambda: self.transport.get(path, params),
+                max_age_s=max_age_s,
+            )
         load = WidgetLoad(
             name=name,
             data=outcome.value,

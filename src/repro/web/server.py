@@ -14,12 +14,14 @@ fetches.
 
 from __future__ import annotations
 
+import gzip
 import json
 import math
 import re
 import threading
+import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 from urllib.parse import parse_qsl, urlparse
 
 #: download URLs the Accounts widget links to (§3.4 export dropdown)
@@ -38,16 +40,32 @@ from repro.core.params import (  # noqa: F401  (re-exports)
     positive_int_param,
 )
 from repro.faults import Deadline
+from repro.web.delivery import (
+    GZIP_MIN_BYTES,
+    ValidatorIndex,
+    content_disposition,
+    gzip_accepted,
+    is_compressible,
+    quote_etag,
+)
 
 
 class _Handler(BaseHTTPRequestHandler):
     """Request handler bound to a Dashboard via the server instance."""
 
     server_version = "ReproDashboard/1.0"
+    # HTTP/1.1 so the streamed homepage can use chunked transfer encoding;
+    # every non-chunked response still carries Content-Length, and clients
+    # that want one-shot connections send ``Connection: close`` as before.
+    protocol_version = "HTTP/1.1"
 
     @property
     def dashboard(self) -> Dashboard:
         return self.server.dashboard  # type: ignore[attr-defined]
+
+    @property
+    def validators(self) -> ValidatorIndex:
+        return self.server.validators  # type: ignore[attr-defined]
 
     def log_message(self, fmt: str, *args) -> None:  # noqa: A003
         if self.server.verbose:  # type: ignore[attr-defined]
@@ -118,7 +136,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_get(self) -> None:
         parsed = urlparse(self.path)
-        params = coerce_params(parse_qsl(parsed.query))
+        try:
+            # keep_blank_values so ``?limit=`` reaches coerce_params (which
+            # rejects it as a structured 400) instead of vanishing silently
+            params = coerce_params(
+                parse_qsl(parsed.query, keep_blank_values=True)
+            )
+        except ParamError as exc:
+            self._send(400, {"ok": False, "error": str(exc), "status": 400})
+            return
         username = self.headers.get("X-Remote-User")
 
         if parsed.path == "/healthz":
@@ -166,9 +192,21 @@ class _Handler(BaseHTTPRequestHandler):
             username=username,
             is_admin=self.headers.get("X-Admin", "") == "1",
         )
+        # the deadline parses *before* any dispatch branch — the export
+        # path used to return first, silently ignoring the header and
+        # accepting malformed values
+        deadline, deadline_error = self._deadline_from_headers()
+        if deadline_error is not None:
+            self._send(400, {"ok": False, "error": deadline_error, "status": 400})
+            return
         if parsed.path == "/":
-            html = self.dashboard.render_homepage(viewer).document
-            self._send_html(200, html)
+            self._send_html_stream(self.dashboard.stream_homepage(viewer))
+            return
+        request_key = (
+            f"{viewer.username}|{int(viewer.is_admin)}"
+            f"|{parsed.path}?{parsed.query}"
+        )
+        if self._maybe_not_modified(request_key):
             return
         export = _EXPORT_RE.match(parsed.path)
         if export is not None:
@@ -176,22 +214,62 @@ class _Handler(BaseHTTPRequestHandler):
                 "account_usage_export",
                 viewer,
                 {"account": export.group("account"), "format": export.group("fmt")},
+                deadline=deadline,
             )
             if not response.ok:
-                self._send_route_response(response)
+                self._send_route_response(response, request_key=request_key)
                 return
             self._send_download(
                 response.data["content"],
                 response.data["mime_type"],
                 response.data["filename"],
+                response=response,
+                request_key=request_key,
             )
             return
-        deadline, deadline_error = self._deadline_from_headers()
-        if deadline_error is not None:
-            self._send(400, {"ok": False, "error": deadline_error, "status": 400})
-            return
         response = self.dashboard.get(parsed.path, viewer, params, deadline=deadline)
-        self._send_route_response(response)
+        self._send_route_response(response, request_key=request_key)
+
+    # -- conditional GET -----------------------------------------------------
+
+    def _maybe_not_modified(self, request_key: str) -> bool:
+        """Answer a validating conditional GET with 304 — zero render work,
+        zero body bytes.  The decision (ETag match + every cache dep still
+        fresh at the same write generation) lives in
+        :meth:`repro.web.delivery.ValidatorIndex.validate`; a miss on any
+        condition falls through to a full dispatch."""
+        if_none_match = self.headers.get("If-None-Match")
+        if if_none_match is None:
+            return False
+        ctx = self.dashboard.ctx
+        record = self.validators.validate(
+            request_key, if_none_match, ctx.cache, ctx.clock.now()
+        )
+        if record is None:
+            return False
+        kind = self._endpoint_kind(urlparse(self.path).path)
+        ctx.obs.record_not_modified(kind, record.body_len)
+        self._record_http(304)
+        self.send_response(304)
+        self.send_header("ETag", quote_etag(record.etag))
+        self.end_headers()  # no body, no Content-Length (RFC 9110 §15.4.5)
+        return True
+
+    def _record_validator(
+        self,
+        extra: list,
+        response,
+        request_key: Optional[str],
+        body_len: int,
+    ) -> None:
+        """Attach the ETag header and index the validator for later 304s."""
+        etag = getattr(response, "etag", None)
+        if etag is None or request_key is None:
+            return
+        extra.append(("ETag", quote_etag(etag)))
+        self.validators.record(
+            request_key, etag, response.cache_deps or (), body_len
+        )
 
     # -- helpers ------------------------------------------------------------
 
@@ -200,19 +278,23 @@ class _Handler(BaseHTTPRequestHandler):
         body = json.dumps(payload).encode()
         self._send_body(status, body, "application/json", extra=extra)
 
-    def _send_route_response(self, response) -> None:
+    def _send_route_response(self, response,
+                             request_key: Optional[str] = None) -> None:
         """Send a :class:`RouteResponse`, surfacing backpressure hints.
 
         Admission rejections (429/503/504) carry a retry budget; clients
         honouring ``Retry-After`` spread their retries instead of piling
-        onto an overloaded daemon.
+        onto an overloaded daemon.  Responses computed purely from fresh
+        cache entries additionally carry a strong ETag.
         """
-        extra: Tuple[Tuple[str, str], ...] = ()
+        extra = []
         retry_after = getattr(response, "retry_after_s", None)
         if retry_after is not None and retry_after > 0:
-            extra = (("Retry-After", str(max(1, math.ceil(retry_after)))),)
+            extra.append(("Retry-After", str(max(1, math.ceil(retry_after)))))
         status = response.status if not response.ok else 200
-        self._send(status, response.to_json(), extra=extra)
+        body = json.dumps(response.to_json()).encode()
+        self._record_validator(extra, response, request_key, len(body))
+        self._send_body(status, body, "application/json", extra=tuple(extra))
 
     def _send_text(self, status: int, text: str) -> None:
         # the content type Prometheus scrapers expect from /metrics
@@ -220,28 +302,101 @@ class _Handler(BaseHTTPRequestHandler):
             status, text.encode(), "text/plain; version=0.0.4; charset=utf-8"
         )
 
-    def _send_download(self, content: str, mime: str, filename: str) -> None:
-        self._send_body(
-            200,
-            content.encode(),
-            mime,
-            extra=(("Content-Disposition", f'attachment; filename="{filename}"'),),
-        )
+    def _send_download(self, content: str, mime: str, filename: str,
+                       response=None, request_key: Optional[str] = None) -> None:
+        body = content.encode()
+        # filename derives from a URL path segment: sanitize per RFC 6266
+        # or a crafted account name corrupts/injects response headers
+        extra = [("Content-Disposition", content_disposition(filename))]
+        if response is not None:
+            self._record_validator(extra, response, request_key, len(body))
+        self._send_body(200, body, mime, extra=tuple(extra))
 
     def _send_html(self, status: int, html: str) -> None:
         self._send_body(status, html.encode(), "text/html; charset=utf-8")
 
     def _send_body(self, status: int, body: bytes, ctype: str,
                    extra: Tuple[Tuple[str, str], ...] = ()) -> None:
+        headers = list(extra)
+        if is_compressible(ctype) and len(body) >= GZIP_MIN_BYTES:
+            # Vary on every *eligible* response — caches must key on the
+            # request header even when this client gets identity bytes
+            headers.append(("Vary", "Accept-Encoding"))
+            if gzip_accepted(self.headers.get("Accept-Encoding")):
+                compressed = gzip.compress(body, mtime=0)  # deterministic
+                if len(compressed) < len(body):
+                    if self.command != "HEAD":
+                        self.dashboard.ctx.obs.record_bytes_saved(
+                            "gzip", len(body) - len(compressed)
+                        )
+                    headers.append(("Content-Encoding", "gzip"))
+                    body = compressed
         self._record_http(status)
         self.send_response(status)
         self.send_header("Content-Type", ctype)
-        for name, value in extra:
+        for name, value in headers:
             self.send_header(name, value)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         if self.command != "HEAD":  # HEAD mirrors headers, omits the body
             self.wfile.write(body)
+
+    def _send_html_stream(self, chunks: Iterable[str]) -> None:
+        """Stream an HTML document under chunked transfer encoding.
+
+        Headers flush before the first chunk is rendered, so
+        time-to-first-byte is decoupled from the slowest widget.  A HEAD
+        request returns after the headers without advancing the generator
+        at all — header parity with zero render work.
+        """
+        use_gzip = gzip_accepted(self.headers.get("Accept-Encoding"))
+        self._record_http(200)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Vary", "Accept-Encoding")
+        if use_gzip:
+            self.send_header("Content-Encoding", "gzip")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        if self.command == "HEAD":
+            return
+        # wbits=31 emits a gzip member; zlib writes no mtime, so streamed
+        # bytes are as deterministic as gzip.compress(..., mtime=0)
+        compressor = zlib.compressobj(wbits=31) if use_gzip else None
+        raw_len = sent_len = 0
+        try:
+            for chunk in chunks:
+                data = chunk.encode()
+                raw_len += len(data)
+                if compressor is not None:
+                    # sync-flush so each widget slot reaches the client
+                    # as soon as its worker completes, not at stream end
+                    data = compressor.compress(data) + compressor.flush(
+                        zlib.Z_SYNC_FLUSH
+                    )
+                if data:
+                    sent_len += len(data)
+                    self._write_chunk(data)
+            if compressor is not None:
+                tail = compressor.flush(zlib.Z_FINISH)
+                if tail:
+                    sent_len += len(tail)
+                    self._write_chunk(tail)
+            self.wfile.write(b"0\r\n\r\n")
+            if compressor is not None and raw_len > sent_len:
+                self.dashboard.ctx.obs.record_bytes_saved(
+                    "gzip", raw_len - sent_len
+                )
+        except Exception:  # noqa: BLE001
+            # headers (and possibly chunks) are already on the wire — a 500
+            # is no longer expressible.  Abort the stream instead: chunked
+            # framing makes the truncation detectable client-side, and
+            # closing the connection stops a broken generator from wedging
+            # the handler thread.
+            self.close_connection = True
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
 
 
 class _LoadableHTTPServer(ThreadingHTTPServer):
@@ -265,6 +420,9 @@ class DashboardServer:
         self._httpd = _LoadableHTTPServer((host, port), _Handler)
         self._httpd.dashboard = dashboard  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        # one validator index per server: ETags recorded at send time,
+        # revalidated on If-None-Match without dispatching the route
+        self._httpd.validators = ValidatorIndex()  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -275,6 +433,11 @@ class DashboardServer:
     def url(self) -> str:
         host, port = self.address
         return f"http://{host}:{port}"
+
+    @property
+    def validators(self) -> ValidatorIndex:
+        """The server's ETag validator index (for tests and reports)."""
+        return self._httpd.validators  # type: ignore[attr-defined]
 
     def start(self) -> "DashboardServer":
         """Start serving on a background thread; returns self."""

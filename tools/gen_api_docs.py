@@ -337,6 +337,59 @@ and prints the trajectory diff against the previous run; the CI
 """
 
 
+DELIVERY_SECTION = """\
+## HTTP delivery
+
+The wire layer (`repro.web.server` + `repro.web.delivery`) stops
+re-sending bytes the client already holds and stops buffering pages the
+client could start parsing:
+
+1. **Conditional GET** — every cache write bumps a monotonic per-entry
+   *generation* (`TTLCache.generation_of`; `ShardedCache` delegates to
+   the owning shard). A route render records which cache entries it
+   read (`FetchScope.note_dep`), and a fully-cached, non-degraded
+   response gets a strong `ETag` derived from the route, viewer,
+   params, and those `(key, generation)` pairs. The server keeps a
+   bounded per-`(viewer, path, query)` `ValidatorIndex`; a request
+   presenting `If-None-Match` whose every dependency is still fresh at
+   the same generation is answered `304 Not Modified` with **zero
+   route renders and zero body bytes**. Any upstream rewrite — even to
+   an equal value — bumps the generation and invalidates the
+   validator, so a stale `304` is impossible.
+2. **gzip** — negotiated from `Accept-Encoding` q-values; compressible
+   bodies (HTML, JSON, CSV, SVG) at or above 500 bytes are compressed
+   deterministically (`mtime=0`), swapped in only when actually
+   smaller, and always carry `Vary: Accept-Encoding`. HEAD answers
+   with exactly the headers GET would send, minus the body.
+3. **Streamed homepage** — `GET /` renders through
+   `Dashboard.stream_homepage`: the page shell is rendered once around
+   sentinel slot tokens, the shell head flushes immediately as the
+   first `Transfer-Encoding: chunked` chunk, and the five widget
+   routes stream into their slots in deterministic order as the
+   worker-pool fan-out completes them (optionally gzip-compressed
+   mid-stream with per-chunk flushes). The assembled stream is
+   byte-identical to the sequential batch render, and per-widget
+   failure isolation is unchanged.
+4. **Client revalidation** — `BrowserClient` stores each response's
+   `ETag` in its simulated IndexedDB record; a stale-while-revalidate
+   refresh sends `If-None-Match` and a `304` just re-stamps the stored
+   record instead of re-downloading the body.
+
+The metric families:
+
+| family | labels | source |
+| --- | --- | --- |
+| `repro_http_not_modified_total` | `kind` | requests answered `304` |
+| `repro_http_bytes_saved_total` | `reason` (`not_modified` / `gzip`) | body bytes not sent on the wire |
+
+`benchmarks/test_perf_delivery.py` measures the A/B (revalidation and
+compression savings, streamed/decoded byte-identity — recorded as the
+`delivery` section of `BENCH_load.json`; `DELIVERY_SMOKE=1` for CI),
+and `tools/metrics_smoke.py` drives one live `304` over the wire and
+fails if the delivery families are missing from `/metrics`.
+"""
+
+
 def main() -> int:
     repo = pathlib.Path(__file__).resolve().parent.parent
     sys.path.insert(0, str(repo / "src"))
@@ -354,6 +407,7 @@ def main() -> int:
         ADMISSION_SECTION,
         FANOUT_SECTION,
         LOAD_SECTION,
+        DELIVERY_SECTION,
     ]
     seen = set()
     for info in sorted(

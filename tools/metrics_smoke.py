@@ -14,7 +14,10 @@ controlled one-key stampede, and that the refresh-ahead / worker-pool
 families (``repro_cache_refresh_ahead_total``,
 ``repro_cache_served_while_refreshing_total``,
 ``repro_worker_pool_active``, ``repro_worker_pool_queue_depth``) are
-exposed after one forced background revalidation on the live pool.
+exposed after one forced background revalidation on the live pool, and
+that the HTTP delivery families (``repro_http_not_modified_total``,
+``repro_http_bytes_saved_total``) are exposed with a live 304 counted
+after one conditional-GET revalidation over the wire.
 
 Run:  python tools/metrics_smoke.py
 """
@@ -53,6 +56,42 @@ def get(url: str, username: str | None = None, admin: bool = False) -> bytes:
     except urllib.error.HTTPError as exc:
         # error envelopes still count the route — that's the point
         return exc.read()
+
+
+def drive_conditional_get(server, user: str, failures: List[str]) -> None:
+    """Revalidate one widget over the wire so the delivery families
+    (``repro_http_not_modified_total``, ``repro_http_bytes_saved_total``)
+    carry a live 304 in the scrape."""
+    url = server.url + "/api/v1/widgets/system_status"
+    req = urllib.request.Request(url, headers={"X-Remote-User": user})
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        etag = resp.headers.get("ETag")
+        body = resp.read()
+    if not etag:
+        failures.append("conditional-GET smoke: widget response had no ETag")
+        return
+    if not body:
+        failures.append("conditional-GET smoke: full widget response was empty")
+        return
+    revalidate = urllib.request.Request(
+        url, headers={"X-Remote-User": user, "If-None-Match": etag}
+    )
+    try:
+        with urllib.request.urlopen(revalidate, timeout=10) as resp:
+            failures.append(
+                "conditional-GET smoke: revalidation returned "
+                f"{resp.status}, expected 304"
+            )
+    except urllib.error.HTTPError as exc:
+        if exc.code != 304:
+            failures.append(
+                f"conditional-GET smoke: revalidation returned {exc.code}, "
+                "expected 304"
+            )
+        elif exc.read():
+            failures.append(
+                "conditional-GET smoke: 304 response carried a body"
+            )
 
 
 def drive_coalescing(dash, failures: List[str]) -> None:
@@ -169,6 +208,7 @@ def main() -> int:
 
         drive_coalescing(dash, failures)
         drive_refresh_ahead(dash, failures)
+        drive_conditional_get(server, user, failures)
 
         payload = get(server.url + "/metrics").decode()
         try:
@@ -212,6 +252,10 @@ def main() -> int:
             "repro_worker_pool_active",
             "repro_worker_pool_queue_depth",
             "repro_worker_pool_tasks_total",
+            # HTTP delivery: pre-seeded at startup and driven live by
+            # drive_conditional_get above
+            "repro_http_not_modified_total",
+            "repro_http_bytes_saved_total",
         ):
             if family not in by_name:
                 failures.append(f"family {family!r} missing from /metrics")
@@ -236,6 +280,16 @@ def main() -> int:
             failures.append(
                 "repro_cache_served_while_refreshing_total is zero after "
                 "the forced refresh-ahead"
+            )
+
+        revalidations = sum(
+            s.value
+            for s in by_name.get("repro_http_not_modified_total", [])
+        )
+        if revalidations < 1:
+            failures.append(
+                "repro_http_not_modified_total is zero after the "
+                "conditional-GET revalidation"
             )
 
         health = json.loads(get(server.url + "/healthz"))
