@@ -1,0 +1,61 @@
+"""P9 — event-driven views: TTL-poll vs event-invalidation A/B.
+
+The routes used to ride TTLs: every expiry re-paid the ctld RPC on the
+request path, and a state change stayed invisible until the TTL wound
+down.  The view hub now subscribes to the cluster's event bus, turns
+each StateChange into targeted invalidations, and re-materializes the
+learned view entries at every scheduler pass:
+
+* **zero on-request RPCs** — at steady state the homepage / job / node
+  routes read a ready view; the backend commands run at pass time, off
+  the request path;
+* **byte-identical responses** — the materialized bodies match the
+  TTL-poll path exactly (same seed, same sim instant);
+* **event latency beats TTL latency** — a submitted job shows up on the
+  very next request with *zero* clock advance;
+* **``?since=`` deltas** — a cursor'd re-fetch carries only changed
+  records, and the byte savings are recorded in ``BENCH_load.json``.
+
+``views_ab`` measures all four and its output is the ``views`` section
+of ``BENCH_load.json``.  Set ``VIEWS_SMOKE=1`` for the reduced CI
+sizing (shorter advance window, same checks).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.load import views_ab
+
+SMOKE = os.environ.get("VIEWS_SMOKE") == "1"
+
+
+def test_perf_views_ab_section(report):
+    """The exact structure recorded as ``views`` in BENCH_load.json."""
+    section = views_ab(advance_s=60.0 if SMOKE else 120.0)
+
+    report(
+        f"rpc/request: poll={section['poll']['rpcs_per_request']:.2f} "
+        f"event={section['event']['rpcs_per_request']:.2f} "
+        f"over {len(section['routes'])} routes"
+    )
+    # the headline: event-driven views serve with zero on-request RPCs
+    # while the poll path re-pays its expired TTLs
+    assert section["event"]["on_request_rpcs"] == 0
+    assert section["poll"]["on_request_rpcs"] > 0
+
+    # and cheaper never means different: bodies must match byte for byte
+    assert section["responses_identical"] is True
+
+    # a state change lands on the next request, no TTL wait
+    assert section["reflects_event_without_ttl"] is True
+
+    delta = section["delta"]
+    report(
+        f"?since= delta: {delta['full_bytes']} -> {delta['delta_bytes']} "
+        f"bytes (saved {delta['bytes_saved']}, "
+        f"{delta['records_changed']} records changed)"
+    )
+    assert delta["records_changed"] >= 1
+    assert 0 < delta["delta_bytes"] < delta["full_bytes"]
+    assert delta["bytes_saved"] == delta["full_bytes"] - delta["delta_bytes"]

@@ -147,6 +147,7 @@ REFRESH_RESULTS = (
     "error",  # background refresh raised; entry left as-is
     "rejected",  # worker-pool queue full; refresh dropped
     "paused",  # refresh gate closed (brownout/shed); nothing enqueued
+    "superseded",  # refresh finished after the key was invalidated; discarded
 )
 
 
@@ -315,6 +316,11 @@ class TTLCache:
         #: write counter stamped onto every stored entry (under the lock),
         #: so (key, generation) uniquely names one stored value
         self._generation = 0
+        #: per-key invalidation epoch: bumped by delete/clear/invalidate.
+        #: Compute paths snapshot the epoch before running and store
+        #: through :meth:`_write_if_current`, so a value computed against
+        #: pre-invalidation state can never resurrect a removed key.
+        self._epochs: Dict[str, int] = {}
         self._expiry_heap: List[Tuple[float, str]] = []
         self._inflight: Dict[str, _InFlight] = {}
         self._lock = ContentionLock()
@@ -354,6 +360,13 @@ class TTLCache:
             ("source",),
         )
         self._served_refreshing.inc(0.0, source="default")
+        self._stale_write_skipped = self.metrics.counter(
+            "repro_cache_stale_writes_skipped_total",
+            "Computed values discarded because the key was invalidated "
+            "mid-compute (epoch moved between snapshot and store).",
+            ("source",),
+        )
+        self._stale_write_skipped.inc(0.0, source="default")
         #: enqueue hook for background refreshes — callable taking a
         #: zero-arg thunk and returning True when accepted (the dashboard
         #: wires ``WorkerPool.try_submit``); None disables refresh-ahead
@@ -489,6 +502,7 @@ class TTLCache:
         flight: Optional[_InFlight] = None
         role = "leader"
         with self._lock:
+            epoch = self._epochs.get(key, 0)
             entry = self._entries.get(key)
             if entry is not None and entry.is_fresh(self.clock.now()):
                 refreshing = False
@@ -522,9 +536,9 @@ class TTLCache:
         if role == "follower":
             assert flight is not None
             return self._await_leader(
-                key, flight, compute, ttl, stale_on, follower_timeout_s
+                key, flight, compute, ttl, stale_on, follower_timeout_s, epoch
             )
-        return self._lead(key, flight, compute, ttl, stale_on, had_expired)
+        return self._lead(key, flight, compute, ttl, stale_on, had_expired, epoch)
 
     def _lead(
         self,
@@ -534,6 +548,7 @@ class TTLCache:
         ttl: Optional[float],
         stale_on: Tuple[Type[BaseException], ...],
         had_expired: bool,
+        epoch: int,
     ) -> CacheLookup:
         """Run ``compute`` as the single-flight leader (outside the lock)
         and resolve the in-flight marker for any followers."""
@@ -557,8 +572,10 @@ class TTLCache:
             self._resolve(key, flight, exc=exc)
             raise
         # store before resolving so late followers and new arrivals see
-        # the fresh entry the moment they stop being coalesced
-        self.write(key, value, ttl)
+        # the fresh entry the moment they stop being coalesced — unless
+        # the key was invalidated mid-compute, in which case storing would
+        # resurrect a value computed against pre-invalidation state
+        self._write_if_current(key, value, ttl, epoch)
         result = "expired" if had_expired else "miss"
         self._count(key, result)
         self._resolve(key, flight, value=value)
@@ -602,8 +619,9 @@ class TTLCache:
         flight = _InFlight(_InFlight.NO_THREAD)
         self._inflight[key] = flight
         self._sync_gauges_locked()
+        epoch = self._epochs.get(key, 0)
         accepted = self.refresh_runner(
-            lambda: self._run_refresh(key, flight, refresh, ttl)
+            lambda: self._run_refresh(key, flight, refresh, ttl, epoch)
         )
         if not accepted:
             # pool saturated: retire the marker so the next soft-window
@@ -622,6 +640,7 @@ class TTLCache:
         flight: _InFlight,
         refresh: Callable[[], Any],
         ttl: Optional[float],
+        epoch: int,
     ) -> None:
         """Execute one armed revalidation (on a worker-pool thread)."""
         flight.leader_thread = threading.get_ident()
@@ -631,8 +650,10 @@ class TTLCache:
             self._refresh_ahead.inc(source=_source_of(key), result="error")
             self._resolve(key, flight, exc=exc)
             return
-        self.write(key, value, ttl)
-        self._refresh_ahead.inc(source=_source_of(key), result="ok")
+        stored = self._write_if_current(key, value, ttl, epoch)
+        self._refresh_ahead.inc(
+            source=_source_of(key), result="ok" if stored else "superseded"
+        )
         self._resolve(key, flight, value=value)
 
     def _await_leader(
@@ -643,6 +664,7 @@ class TTLCache:
         ttl: Optional[float],
         stale_on: Tuple[Type[BaseException], ...],
         follower_timeout_s: Optional[float],
+        epoch: int,
     ) -> CacheLookup:
         """Wait (bounded) for the in-flight leader, degrading to stale or
         an independent compute rather than blocking past the budget."""
@@ -664,6 +686,9 @@ class TTLCache:
         with self._lock:
             entry = self._entries.get(key)
             now = self.clock.now()
+            # re-snapshot: an independent compute below starts *now*, so
+            # only invalidations landing after this point should fence it
+            epoch = self._epochs.get(key, 0)
         if entry is not None:
             if entry.is_fresh(now):
                 # someone (a retrying leader, a writer) refreshed the
@@ -689,7 +714,7 @@ class TTLCache:
         # one result, whatever compute does)
         self._count(key, "expired" if entry is not None else "miss")
         value = compute()
-        self.write(key, value, ttl)
+        self._write_if_current(key, value, ttl, epoch)
         return CacheLookup(
             value=value,
             result="expired" if entry is not None else "miss",
@@ -708,24 +733,46 @@ class TTLCache:
 
     def write(self, key: str, value: Any, ttl: Optional[float] = None) -> None:
         """Store ``value`` under ``key`` with the given (or default) TTL."""
+        with self._lock:
+            self._write_locked(key, value, ttl)
+
+    def _write_locked(self, key: str, value: Any, ttl: Optional[float]) -> None:
         ttl = self.default_ttl if ttl is None else ttl
         if ttl <= 0:
             raise ValueError(f"ttl must be positive: {ttl}")
+        if len(self._entries) >= self.max_entries and key not in self._entries:
+            self._evict_one()
+        self._generation += 1
+        entry = CacheEntry(
+            value=value, stored_at=self.clock.now(), ttl=ttl,
+            generation=self._generation,
+        )
+        self._entries[key] = entry
+        heapq.heappush(self._expiry_heap, (entry.expires_at(), key))
+        # overwrites leave dead heap entries behind; rebuild before
+        # the lazy skip in _evict_one degrades to a linear scan
+        if len(self._expiry_heap) > 4 * max(self.max_entries, 64):
+            self._rebuild_heap()
+        self._sync_gauges_locked()
+
+    def epoch_of(self, key: str) -> int:
+        """The key's current invalidation epoch (0 until first removal)."""
         with self._lock:
-            if len(self._entries) >= self.max_entries and key not in self._entries:
-                self._evict_one()
-            self._generation += 1
-            entry = CacheEntry(
-                value=value, stored_at=self.clock.now(), ttl=ttl,
-                generation=self._generation,
-            )
-            self._entries[key] = entry
-            heapq.heappush(self._expiry_heap, (entry.expires_at(), key))
-            # overwrites leave dead heap entries behind; rebuild before
-            # the lazy skip in _evict_one degrades to a linear scan
-            if len(self._expiry_heap) > 4 * max(self.max_entries, 64):
-                self._rebuild_heap()
-            self._sync_gauges_locked()
+            return self._epochs.get(key, 0)
+
+    def _write_if_current(
+        self, key: str, value: Any, ttl: Optional[float], epoch: int
+    ) -> bool:
+        """Store ``value`` only if ``key`` has not been invalidated since
+        ``epoch`` was snapshotted; the check and the store share one lock
+        hold, so an invalidation can never slip between them.  Returns
+        whether the value was stored."""
+        with self._lock:
+            if self._epochs.get(key, 0) != epoch:
+                self._stale_write_skipped.inc(source=_source_of(key))
+                return False
+            self._write_locked(key, value, ttl)
+            return True
 
     def _cancel_flight_locked(self, key: str) -> None:
         """Retire the in-flight marker for an explicitly removed key.
@@ -750,9 +797,30 @@ class TTLCache:
         never strands waiters or leaks in-flight records."""
         with self._lock:
             existed = self._entries.pop(key, None) is not None
+            self._epochs[key] = self._epochs.get(key, 0) + 1
             self._cancel_flight_locked(key)
             if existed:
                 self._purged.inc(source=_source_of(key), reason="deleted")
+            self._sync_gauges_locked()
+            return existed
+
+    def invalidate(self, key: str) -> bool:
+        """Event-driven removal: drop the entry *and* bump the key's
+        epoch, so a compute already in flight for it cannot store its
+        (pre-invalidation) result afterwards.  Returns True if an entry
+        existed.
+
+        This is what the materialized-view hub calls when a
+        :class:`~repro.sim.bus.StateChange` covers a cached key: the next
+        request recomputes from post-change state — no TTL wait, no
+        stale-value resurrection, no stranded
+        ``repro_cache_inflight_keys``."""
+        with self._lock:
+            existed = self._entries.pop(key, None) is not None
+            self._epochs[key] = self._epochs.get(key, 0) + 1
+            self._cancel_flight_locked(key)
+            if existed:
+                self._purged.inc(source=_source_of(key), reason="invalidated")
             self._sync_gauges_locked()
             return existed
 
@@ -761,9 +829,11 @@ class TTLCache:
         with self._lock:
             for key in self._entries:
                 self._purged.inc(source=_source_of(key), reason="cleared")
+                self._epochs[key] = self._epochs.get(key, 0) + 1
             self._entries.clear()
             self._expiry_heap.clear()
             for key in list(self._inflight):
+                self._epochs[key] = self._epochs.get(key, 0) + 1
                 self._cancel_flight_locked(key)
             self._sync_gauges_locked()
 
@@ -817,6 +887,19 @@ class TTLCache:
             return len(stale)
 
 
+#: data sources whose cache entries the event-driven materialized-view
+#: hub (:mod:`repro.core.views`) keeps current: scheduler state changes
+#: invalidate and re-materialize them, so their TTLs become a fallback
+VIEW_SOURCES = (
+    "squeue",
+    "sinfo",
+    "scontrol_node",
+    "scontrol_job",
+    "scontrol_assoc",
+    "sacct",
+)
+
+
 @dataclass(frozen=True)
 class CachePolicy:
     """Per-data-source TTLs (seconds), as chosen in the paper §2.4/§3.
@@ -859,6 +942,16 @@ class CachePolicy:
     #: wall/simulated budget for one background revalidation — short, so
     #: a sick daemon fails a refresh fast instead of pinning pool workers
     refresh_deadline_s: float = 5.0
+    #: event-driven materialized views master switch: when True the hub in
+    #: :mod:`repro.core.views` subscribes to the cluster's state-change
+    #: bus, invalidates covered keys on each change, and re-materializes
+    #: them on scheduler passes — TTLs for :data:`VIEW_SOURCES` are then a
+    #: fallback, not the freshness mechanism
+    event_views: bool = False
+    #: how far the serving TTL for view-managed sources is stretched when
+    #: :attr:`event_views` is on (events keep entries correct; the long
+    #: TTL only bounds staleness if the bus ever goes quiet)
+    view_ttl_factor: float = 20.0
 
     def __post_init__(self) -> None:
         if not (0.0 < self.soft_ttl_fraction <= 1.0):
@@ -869,10 +962,26 @@ class CachePolicy:
             raise ValueError(
                 f"refresh_deadline_s must be positive: {self.refresh_deadline_s}"
             )
+        if self.view_ttl_factor < 1.0:
+            raise ValueError(
+                f"view_ttl_factor must be >= 1: {self.view_ttl_factor}"
+            )
 
     def ttl_for(self, source: str) -> float:
         """TTL (seconds) for a named data source; unknown sources get the default."""
         return float(getattr(self, source, self.default))
+
+    def serve_ttl_for(self, source: str) -> float:
+        """The TTL actually stored with a cache entry.
+
+        Equal to :meth:`ttl_for` normally; for view-managed sources under
+        :attr:`event_views` the base TTL is stretched by
+        :attr:`view_ttl_factor` — events keep those entries correct, so
+        the TTL is demoted to a staleness backstop."""
+        ttl = self.ttl_for(source)
+        if self.event_views and source in VIEW_SOURCES:
+            return ttl * self.view_ttl_factor
+        return ttl
 
     def timeout_for(self, source: str) -> float:
         """Latency budget (seconds) for one fetch of a named data source."""
@@ -889,6 +998,10 @@ class CachePolicy:
         expiries.
         """
         if not self.refresh_ahead:
+            return None
+        if self.event_views and source in VIEW_SOURCES:
+            # the view hub re-materializes these on scheduler passes;
+            # refresh-ahead on top would double every backend RPC
             return None
         base = self.ttl_for(source) if ttl is None else float(ttl)
         return self.soft_ttl_fraction * base

@@ -15,7 +15,7 @@ it is older than the component's freshness window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
 
@@ -39,6 +39,9 @@ class IndexedDBStore:
         self.name = name
         self.version = version
         self._stores: Dict[str, Dict[str, StoredRecord]] = {}
+        #: ``onupgradeneeded`` handlers: run after a schema bump drops the
+        #: old stores, so owners recreate theirs and continue cold
+        self._upgrade_hooks: List[Callable[["IndexedDBStore"], None]] = []
 
     # -- schema ---------------------------------------------------------------
 
@@ -52,16 +55,25 @@ class IndexedDBStore:
         """True if the named object store exists."""
         return store in self._stores
 
+    def on_upgrade(self, hook: Callable[["IndexedDBStore"], None]) -> None:
+        """Register an ``onupgradeneeded`` handler, called after every
+        schema bump (with this store as its argument)."""
+        self._upgrade_hooks.append(hook)
+
     def upgrade(self, new_version: int) -> None:
-        """Schema bump: IndexedDB apps typically recreate stores here; we
-        model the destructive variant the dashboard uses (cache data is
-        disposable by design)."""
+        """Schema bump: drop every object store, then run the registered
+        ``onupgradeneeded`` hooks.  The contract is recreate-then-continue
+        — cache data is disposable by design, the stores themselves are
+        not, so owners that registered a hook start cold instead of
+        crashing on the next access."""
         if new_version <= self.version:
             raise ValueError(
                 f"new version {new_version} must exceed current {self.version}"
             )
         self.version = new_version
         self._stores.clear()
+        for hook in self._upgrade_hooks:
+            hook(self)
 
     # -- records ---------------------------------------------------------------
 
@@ -120,11 +132,29 @@ class ClientCache:
         self.db = db or IndexedDBStore()
         if not self.db.has_store(self.STORE):
             self.db.create_store(self.STORE)
+        # recreate-then-continue: a schema bump drops our store; the hook
+        # puts it back (empty) so the next fetch starts cold instead of
+        # raising KeyError
+        self.db.on_upgrade(self._recreate_store)
         self.instant_renders = 0
         self.network_waits = 0
         self.background_refreshes = 0
         #: revalidations the server answered 304 (payload unchanged)
         self.not_modified = 0
+        #: delta revalidations (``?since=<cursor>``) that merged partial
+        #: responses instead of refetching the whole payload
+        self.delta_refreshes = 0
+        self.delta_records_applied = 0
+
+    def _recreate_store(self, db: IndexedDBStore) -> None:
+        if not db.has_store(self.STORE):
+            db.create_store(self.STORE)
+
+    def _ensure_store(self) -> None:
+        """Belt and braces for databases shared with caches created before
+        the upgrade hook existed: recreate the store on access."""
+        if not self.db.has_store(self.STORE):
+            self.db.create_store(self.STORE)
 
     def fetch(
         self,
@@ -139,6 +169,7 @@ class ClientCache:
           the background (the user never watches a spinner);
         * nothing cached: block on the network like a first visit.
         """
+        self._ensure_store()
         now = self.clock.now()
         rec = self.db.get(self.STORE, key)
         if rec is not None:
@@ -178,6 +209,7 @@ class ClientCache:
         freshness stamp advances) and no body crossed the wire — the
         end-to-end completion of the §2.4 dual-layer story.
         """
+        self._ensure_store()
         now = self.clock.now()
         rec = self.db.get(self.STORE, key)
         if rec is not None:
@@ -210,6 +242,63 @@ class ClientCache:
             value=value, served_from="network", age_s=0.0, revalidated=False
         )
 
+    def fetch_delta(
+        self,
+        key: str,
+        fetch_delta: Callable[[Optional[int]], Dict[str, Any]],
+        max_age_s: float = 30.0,
+    ) -> FetchOutcome:
+        """:meth:`fetch` over a cursor'd delta endpoint (``?since=``).
+
+        ``fetch_delta(since)`` must return the view-route payload:
+        ``{"cursor": int, "full": bool, "records": [{"key": ..., ...}],
+        "removed": [...]}``.  The cache stores the merged record map plus
+        the cursor; a stale hit revalidates with ``since=<stored cursor>``
+        so only changed records cross the wire, and the merge is applied
+        in the background while the user sees the cached copy.
+        """
+        self._ensure_store()
+        now = self.clock.now()
+        rec = self.db.get(self.STORE, key)
+        if rec is not None:
+            age = now - rec.stored_at
+            if age <= max_age_s:
+                self.instant_renders += 1
+                return FetchOutcome(
+                    value=rec.value, served_from="client-cache", age_s=age,
+                    revalidated=False,
+                )
+            # stale: render the cached snapshot, merge the delta behind it
+            self.instant_renders += 1
+            self.background_refreshes += 1
+            self.delta_refreshes += 1
+            state = dict(rec.value)
+            payload = fetch_delta(state.get("cursor"))
+            merged = self._apply_delta(state, payload)
+            self.db.put(self.STORE, key, merged, self.clock.now())
+            return FetchOutcome(
+                value=rec.value, served_from="client-cache", age_s=age,
+                revalidated=True,
+            )
+        self.network_waits += 1
+        payload = fetch_delta(None)
+        state = self._apply_delta({"cursor": None, "records": {}}, payload)
+        self.db.put(self.STORE, key, state, self.clock.now())
+        return FetchOutcome(
+            value=state, served_from="network", age_s=0.0, revalidated=False
+        )
+
+    def _apply_delta(self, state: Dict[str, Any], payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Merge one delta response into the stored ``{cursor, records}``."""
+        records: Dict[str, Any] = {} if payload.get("full") else dict(state.get("records") or {})
+        for item in payload.get("records") or ():
+            records[str(item["key"])] = item
+            self.delta_records_applied += 1
+        for gone in payload.get("removed") or ():
+            records.pop(str(gone), None)
+        return {"cursor": payload.get("cursor"), "records": records}
+
     def invalidate(self, key: str) -> bool:
         """Drop one cached response; returns True if it existed."""
+        self._ensure_store()
         return self.db.delete(self.STORE, key)

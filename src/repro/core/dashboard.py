@@ -39,6 +39,7 @@ from .pages.homepage import (
     stream_homepage,
 )
 from .routes import DashboardContext, RouteRegistry, RouteResponse
+from .views import VIEW_ROUTES
 from .widgets import ALL_WIDGET_ROUTES
 
 
@@ -87,7 +88,9 @@ class Dashboard:
             cache_shards=cache_shards,
         )
         self.registry = RouteRegistry()
-        for route in (*ALL_WIDGET_ROUTES, *ALL_PAGE_ROUTES, EXPORT_ROUTE):
+        for route in (
+            *ALL_WIDGET_ROUTES, *ALL_PAGE_ROUTES, *VIEW_ROUTES, EXPORT_ROUTE
+        ):
             self.registry.register(route)
 
     # -- request API ---------------------------------------------------------
@@ -156,6 +159,8 @@ class Dashboard:
                 "admin_overview",
                 "news_page",
                 "my_sessions",
+                "jobs_view",
+                "nodes_view",
             ):
                 continue  # Table 1 lists exactly the paper's ten features
             rows.append(

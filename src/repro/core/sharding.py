@@ -206,6 +206,12 @@ class ShardedCache:
     def delete(self, key: str) -> bool:
         return self.shard_of(key).delete(key)
 
+    def invalidate(self, key: str) -> bool:
+        return self.shard_of(key).invalidate(key)
+
+    def epoch_of(self, key: str) -> int:
+        return self.shard_of(key).epoch_of(key)
+
     def entry(self, key: str) -> Optional[CacheEntry]:
         return self.shard_of(key).entry(key)
 

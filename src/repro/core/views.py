@@ -1,0 +1,487 @@
+"""Event-driven cache invalidation, materialized views, and delta endpoints.
+
+ROADMAP item 2: the scheduler is already event-driven, so instead of every
+route polling daemons through TTLs, the serving layer *subscribes* to the
+cluster's :class:`~repro.sim.bus.EventBus` and keeps the hot cache entries
+current itself:
+
+* **Targeted invalidation** — a :class:`~repro.sim.bus.StateChange` names
+  the job/user/account/nodes it touched; :class:`ViewMaterializer` maps
+  that onto the cache-key naming convention (``squeue:<user>``,
+  ``scontrol_job:<id>``, ...) and calls :meth:`TTLCache.invalidate` on
+  exactly the entries whose dependency sets cover the change.  The next
+  request recomputes from post-change state — no TTL wait — and the
+  per-key epoch guarantees an in-flight compute cannot resurrect the
+  stale value.
+
+* **Materialized snapshots** — the hub *learns* the compute closure of
+  every view-managed fetch the first time a route runs it (via
+  :meth:`DashboardContext._cached`), and on each scheduler pass re-runs
+  the learned computes, storing fresh entries with a long fallback TTL
+  (:meth:`CachePolicy.serve_ttl_for`).  Homepage widgets, job overview
+  and node overview then read a ready view: their latency decouples from
+  ctld RPC cost entirely, and every learned entry is re-materialized at
+  the pass instant so time-derived fields (elapsed, wait) are exactly
+  what an on-request compute at that instant would produce.
+
+* **Delta endpoints** — :class:`DeltaView` keeps a cursor'd record map
+  per view (jobs, nodes).  ``GET /api/v1/views/<name>?since=<cursor>``
+  returns only the records changed past the cursor (plus tombstones for
+  removals), so a client refresh costs bytes proportional to what
+  changed; replaying deltas from any cursor reconstructs the full
+  snapshot exactly.
+
+Modeled on the collector→schema→exporter pipeline of gcm's
+``slurm_monitor`` and the fleet-wide live views of HPCClusterScape.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.auth import Viewer
+from repro.sim.bus import StateChange
+
+from .caching import VIEW_SOURCES
+from .params import ParamError
+from .routes import ApiRoute
+
+#: StateChange kinds the hub reacts to (``sched_pass`` triggers the flush)
+CHANGE_KINDS = (
+    "job_submitted",
+    "job_started",
+    "job_ended",
+    "node_state",
+    "sched_pass",
+)
+
+
+class ViewMetrics:
+    """The ``repro_view_*`` metric families, pre-seeded so every family
+    is present in ``/metrics`` from the first scrape."""
+
+    def __init__(self, registry) -> None:
+        self.events = registry.counter(
+            "repro_view_events_total",
+            "StateChange records the view hub received, by kind.",
+            ("kind",),
+        )
+        for kind in CHANGE_KINDS:
+            self.events.inc(0.0, kind=kind)
+        self.invalidations = registry.counter(
+            "repro_view_invalidations_total",
+            "Cache entries invalidated by state-change events, by source.",
+            ("source",),
+        )
+        self.refreshes = registry.counter(
+            "repro_view_refreshes_total",
+            "Materialized-view refreshes run at scheduler passes, by source "
+            "and result.",
+            ("source", "result"),
+        )
+        for source in VIEW_SOURCES:
+            self.invalidations.inc(0.0, source=source)
+            self.refreshes.inc(0.0, source=source, result="ok")
+            self.refreshes.inc(0.0, source=source, result="error")
+        self.materialized_keys = registry.gauge(
+            "repro_view_materialized_keys",
+            "Cache keys whose compute the view hub has learned and keeps "
+            "materialized.",
+        )
+        self.materialized_keys.set(0.0)
+        self.delta_requests = registry.counter(
+            "repro_view_delta_requests_total",
+            "View-endpoint requests, by view and response shape.",
+            ("view", "shape"),
+        )
+        self.delta_records = registry.counter(
+            "repro_view_delta_records_total",
+            "Records carried by view-endpoint responses, by view.",
+            ("view",),
+        )
+        self.cursor = registry.gauge(
+            "repro_view_cursor",
+            "Monotonic change cursor per materialized view.",
+            ("view",),
+        )
+        for view in ("jobs", "nodes"):
+            self.delta_requests.inc(0.0, view=view, shape="full")
+            self.delta_requests.inc(0.0, view=view, shape="delta")
+            self.delta_records.inc(0.0, view=view)
+            self.cursor.set(0.0, view=view)
+
+
+def _source_of(full_key: str) -> str:
+    return full_key.split(":", 1)[0]
+
+
+class ViewMaterializer:
+    """Subscribes to the cluster bus; turns state changes into targeted
+    invalidations and pass-time re-materialization of learned entries."""
+
+    #: safety cap on learned computes (a compute is ~one closure; the cap
+    #: only matters if key cardinality explodes, e.g. per-user keys under
+    #: a synthetic million-user load — beyond it, new keys stay TTL-driven)
+    MAX_LEARNED = 4096
+
+    def __init__(self, cache, policy, metrics: ViewMetrics, tracer, clock):
+        self.cache = cache
+        self.policy = policy
+        self.metrics = metrics
+        self.tracer = tracer
+        self.clock = clock
+        self._lock = threading.Lock()
+        #: full cache key -> (source, compute) for every view-managed
+        #: fetch a route has run at least once
+        self._learned: Dict[str, Tuple[str, Callable[[], Any]]] = {}
+        #: keys invalidated since the last flush
+        self._dirty: set = set()
+        self.flushes = 0
+
+    # -- learning ---------------------------------------------------------
+
+    def learn(self, source: str, key: str, compute: Callable[[], Any]) -> None:
+        """Remember how to recompute one cache entry (idempotent).
+
+        Called by :meth:`DashboardContext._cached` on every fetch of a
+        view-managed source; the closure re-runs the same backend command
+        the route would, so a flush produces byte-identical values."""
+        if source not in VIEW_SOURCES:
+            return
+        full_key = f"{source}:{key}"
+        with self._lock:
+            if full_key in self._learned:
+                # keep the freshest closure: captured scope (e.g. a
+                # viewer's account list) may have changed
+                self._learned[full_key] = (source, compute)
+                return
+            if len(self._learned) >= self.MAX_LEARNED:
+                return
+            self._learned[full_key] = (source, compute)
+            self.metrics.materialized_keys.set(float(len(self._learned)))
+
+    def _unlearn(self, full_key: str) -> None:
+        with self._lock:
+            self._learned.pop(full_key, None)
+            self.metrics.materialized_keys.set(float(len(self._learned)))
+
+    def learned_keys(self) -> List[str]:
+        with self._lock:
+            return sorted(self._learned)
+
+    # -- event -> cache-key scope rules -----------------------------------
+
+    def keys_for(self, change: StateChange) -> List[str]:
+        """The cache keys whose dependency sets cover one state change,
+        derived from the ``<source>:<key>`` naming convention."""
+        keys: List[str] = []
+        if change.kind in ("job_submitted", "job_started", "job_ended"):
+            if change.user:
+                keys.append(f"squeue:{change.user}")
+            keys.append("squeue:__all__")
+            keys.append("sinfo:all")
+            if change.job_id is not None:
+                keys.append(f"scontrol_job:{change.job_id}")
+            if change.account:
+                keys.append(f"scontrol_assoc:{change.account}")
+            if change.nodes:
+                keys.append("scontrol_node:all")
+                keys.extend(f"scontrol_node:{n}" for n in change.nodes)
+            if change.kind == "job_ended":
+                # accounting rolls the job up the moment it retires
+                with self._lock:
+                    learned = list(self._learned)
+                prefix = f"sacct:{change.user}:"
+                keys.extend(k for k in learned if k.startswith(prefix))
+                if change.account:
+                    keys.append(f"sacct:usage:{change.account}")
+        elif change.kind == "node_state":
+            keys.append("sinfo:all")
+            keys.append("scontrol_node:all")
+            keys.extend(f"scontrol_node:{n}" for n in change.nodes)
+        return keys
+
+    # -- bus subscription --------------------------------------------------
+
+    def on_change(self, change: StateChange) -> None:
+        """Bus subscriber: invalidate covered keys; flush on sched_pass."""
+        self.metrics.events.inc(kind=change.kind)
+        if change.kind == "sched_pass":
+            self.flush()
+            return
+        for key in self.keys_for(change):
+            self.cache.invalidate(key)
+            self.metrics.invalidations.inc(source=_source_of(key))
+            with self._lock:
+                self._dirty.add(key)
+
+    # -- pass-time re-materialization --------------------------------------
+
+    def flush(self) -> int:
+        """Re-materialize learned entries at the current sim instant.
+
+        Refreshes every learned key that is dirty *or* whose entry was
+        stored at an earlier instant — so after a pass at time T, every
+        learned view reflects exactly what an on-request compute at T
+        would produce (time-derived fields included), and routes serve it
+        with zero on-request backend RPCs.  A failing compute leaves its
+        key invalidated (requests fall back to the resilient fetch path)
+        and is unlearned until a route re-teaches it.
+        """
+        now = self.clock.now()
+        with self._lock:
+            targets = list(self._learned.items())
+            dirty = set(self._dirty)
+            self._dirty.clear()
+        refreshed = 0
+        with self.tracer.span(
+            "views:flush", kind="view", attrs={"learned": len(targets)}
+        ) as span:
+            for full_key, (source, compute) in targets:
+                entry = self.cache.entry(full_key)
+                if (
+                    full_key not in dirty
+                    and entry is not None
+                    and entry.stored_at >= now
+                ):
+                    continue  # already materialized at this instant
+                try:
+                    with self.tracer.span(
+                        f"view:{source}", kind="view", attrs={"key": full_key}
+                    ):
+                        value = compute()
+                except Exception:
+                    # leave the key invalidated: the next request takes
+                    # the resilient fetch path (retries, breakers, stale)
+                    self.cache.invalidate(full_key)
+                    self._unlearn(full_key)
+                    self.metrics.refreshes.inc(source=source, result="error")
+                    continue
+                self.cache.write(
+                    full_key, value, ttl=self.policy.serve_ttl_for(source)
+                )
+                self.metrics.refreshes.inc(source=source, result="ok")
+                refreshed += 1
+            span.attrs["refreshed"] = refreshed
+        self.flushes += 1
+        return refreshed
+
+
+class DeltaView:
+    """A cursor'd record map supporting ``?since=<cursor>`` delta reads.
+
+    Each :meth:`sync` diffs a fresh snapshot against the stored one; keys
+    whose payload changed (or appeared) are stamped with the next cursor
+    value, removed keys get a tombstone at that cursor.  Tombstones are
+    retained indefinitely (bounded by the total distinct keys ever seen),
+    which is what makes replay-from-any-cursor exact.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.cursor = 0
+        self._synced_generation: Optional[int] = None
+        self._records: Dict[str, Tuple[int, Dict[str, Any]]] = {}
+        self._tombstones: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def sync(
+        self, generation: Optional[int], records: Dict[str, Dict[str, Any]]
+    ) -> None:
+        """Fold a fresh snapshot in.  ``generation`` is the cache-entry
+        write generation the snapshot came from: an unchanged generation
+        means the snapshot bytes cannot have changed, so the diff is
+        skipped entirely."""
+        with self._lock:
+            if (
+                generation is not None
+                and generation == self._synced_generation
+            ):
+                return
+            next_cursor = self.cursor + 1
+            changed = False
+            for key, payload in records.items():
+                old = self._records.get(key)
+                if old is None or old[1] != payload:
+                    self._records[key] = (next_cursor, payload)
+                    self._tombstones.pop(key, None)
+                    changed = True
+            for key in list(self._records):
+                if key not in records:
+                    del self._records[key]
+                    self._tombstones[key] = next_cursor
+                    changed = True
+            if changed:
+                self.cursor = next_cursor
+            self._synced_generation = generation
+
+    def since(
+        self,
+        cursor: Optional[int],
+        visible: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> Dict[str, Any]:
+        """The delta payload past ``cursor`` (full snapshot when ``None``
+        or ahead of the view).  ``visible`` filters records at serve time
+        (viewer scoping); tombstones are never filtered — a key the
+        viewer could once see must still be removable client-side."""
+        with self._lock:
+            full = cursor is None or cursor > self.cursor
+            if full:
+                items = [
+                    (key, payload)
+                    for key, (_, payload) in self._records.items()
+                ]
+                removed: List[str] = []
+            else:
+                items = [
+                    (key, payload)
+                    for key, (version, payload) in self._records.items()
+                    if version > cursor
+                ]
+                removed = sorted(
+                    key
+                    for key, version in self._tombstones.items()
+                    if version > cursor
+                )
+            out_cursor = self.cursor
+        if visible is not None:
+            items = [(k, p) for k, p in items if visible(p)]
+        items.sort(key=lambda kv: kv[0])
+        return {
+            "view": self.name,
+            "cursor": out_cursor,
+            "full": full,
+            "records": [
+                dict(payload, key=key) for key, payload in items
+            ],
+            "removed": removed,
+        }
+
+
+# -- view route handlers -----------------------------------------------------
+
+
+def _since_param(params: Dict[str, Any]) -> Optional[int]:
+    raw = params.get("since")
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, int) or raw < 0:
+        raise ParamError(f"since must be a non-negative integer, got {raw!r}")
+    return raw
+
+
+def _round_opt(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 3)
+
+
+def _job_payload(rec, now: float) -> Dict[str, Any]:
+    return {
+        "job_id": rec.job_id,
+        "display_id": rec.display_id,
+        "name": rec.name,
+        "user": rec.user,
+        "account": rec.account,
+        "partition": rec.partition,
+        "state": rec.state.value,
+        "reason": rec.reason,
+        "nodes": list(rec.nodes),
+        "cpus": rec.req.cpus,
+        "submit_time": _round_opt(rec.submit_time),
+        "start_time": _round_opt(rec.start_time),
+        "end_time": _round_opt(rec.end_time),
+        "elapsed_s": round(rec.elapsed(now), 3),
+        "wait_s": round(rec.wait_time(now), 3),
+    }
+
+
+def _node_payload(rec) -> Dict[str, Any]:
+    return {
+        "name": rec.name,
+        "state": rec.state,
+        "cpus_total": rec.cpus_total,
+        "cpus_alloc": rec.cpus_alloc,
+        "memory_total_mb": rec.memory_total_mb,
+        "memory_alloc_mb": rec.memory_alloc_mb,
+        "gpus_total": rec.gpus_total,
+        "gpus_alloc": rec.gpus_alloc,
+        "partitions": list(rec.partitions),
+        "reason": rec.reason,
+    }
+
+
+def jobs_view_data(ctx, viewer: Viewer, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Route handler: the live queue as a cursor'd delta view.
+
+    The underlying snapshot is the shared ``squeue:__all__`` cache entry
+    (event-invalidated, pass-materialized); visibility is applied per
+    record at serve time, so the cursor is global while each viewer only
+    receives the jobs the My Jobs privacy rule lets them see."""
+    since = _since_param(params)
+    records = ctx.cluster_queue()
+    now = ctx.now()
+    view: DeltaView = ctx.delta_views["jobs"]
+    view.sync(
+        ctx.cache.generation_of("squeue:__all__"),
+        {str(rec.job_id): _job_payload(rec, now) for rec in records},
+    )
+    payload = view.since(
+        since, visible=lambda p: ctx.policy.can_see_job(viewer, _RecordProxy(p))
+    )
+    _count_delta(ctx, "jobs", payload)
+    return payload
+
+
+def nodes_view_data(ctx, viewer: Viewer, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Route handler: all nodes as a cursor'd delta view (public data —
+    the Cluster Status grid shows every node to every viewer)."""
+    since = _since_param(params)
+    records = ctx.node_records()
+    view: DeltaView = ctx.delta_views["nodes"]
+    view.sync(
+        ctx.cache.generation_of("scontrol_node:all"),
+        {rec.name: _node_payload(rec) for rec in records},
+    )
+    payload = view.since(since)
+    _count_delta(ctx, "nodes", payload)
+    return payload
+
+
+class _RecordProxy:
+    """Adapts a view-record payload dict to the ``job.user``/``job.account``
+    attribute shape :meth:`PermissionPolicy.can_see_job` expects."""
+
+    __slots__ = ("user", "account")
+
+    def __init__(self, payload: Dict[str, Any]):
+        self.user = payload.get("user", "")
+        self.account = payload.get("account", "")
+
+
+def _count_delta(ctx, view: str, payload: Dict[str, Any]) -> None:
+    metrics: ViewMetrics = ctx.view_metrics
+    shape = "full" if payload["full"] else "delta"
+    metrics.delta_requests.inc(view=view, shape=shape)
+    metrics.delta_records.inc(float(len(payload["records"])), view=view)
+    metrics.cursor.set(float(payload["cursor"]), view=view)
+
+
+JOBS_VIEW_ROUTE = ApiRoute(
+    name="jobs_view",
+    path="/api/v1/views/jobs",
+    feature="Jobs delta view",
+    data_sources=("squeue",),
+    handler=jobs_view_data,
+    client_max_age_s=15.0,
+)
+
+NODES_VIEW_ROUTE = ApiRoute(
+    name="nodes_view",
+    path="/api/v1/views/nodes",
+    feature="Nodes delta view",
+    data_sources=("scontrol show node",),
+    handler=nodes_view_data,
+    client_max_age_s=30.0,
+)
+
+VIEW_ROUTES = (JOBS_VIEW_ROUTE, NODES_VIEW_ROUTE)

@@ -18,6 +18,7 @@ from .generator import (
     run_scenario,
     run_suite,
     stampede_contention,
+    views_ab,
 )
 from .report import diff, load_bench, summarize, validate_bench, write_bench
 from .scenarios import (
@@ -56,5 +57,6 @@ __all__ = [
     "trace_summary",
     "user_population",
     "validate_bench",
+    "views_ab",
     "write_bench",
 ]

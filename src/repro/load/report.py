@@ -111,6 +111,23 @@ def validate_bench(doc: Any) -> List[str]:
                     errors.append(f"delivery: not_modified missing {field!r}")
             if "savings_ratio" not in delivery.get("gzip", {}):
                 errors.append("delivery: gzip missing 'savings_ratio'")
+    views = doc.get("views")
+    if views is not None:
+        if not isinstance(views, dict):
+            errors.append("views must be an object")
+        else:
+            for field in ("routes", "poll", "event", "responses_identical",
+                          "reflects_event_without_ttl", "delta"):
+                if field not in views:
+                    errors.append(f"views: missing field {field!r}")
+            for mode in ("poll", "event"):
+                for field in ("on_request_rpcs", "rpcs_per_request"):
+                    if field not in views.get(mode, {}):
+                        errors.append(f"views: {mode} missing {field!r}")
+            for field in ("full_bytes", "delta_bytes", "bytes_saved",
+                          "records_changed"):
+                if field not in views.get("delta", {}):
+                    errors.append(f"views: delta missing {field!r}")
     return errors
 
 
@@ -181,6 +198,23 @@ def summarize(doc: Dict[str, Any]) -> str:
             f"streamed homepage identical: "
             f"{delivery['streamed_homepage_identical']}  "
             f"decoded identical: {delivery['decoded_identical']}"
+        )
+    views = doc.get("views")
+    if views:
+        delta = views["delta"]
+        lines.append("")
+        lines.append("event-driven views (TTL-poll vs event-invalidation):")
+        lines.append(
+            f"  rpc/rq poll={views['poll']['rpcs_per_request']:.2f} "
+            f"event={views['event']['rpcs_per_request']:.2f}  "
+            f"responses identical: {views['responses_identical']}  "
+            f"reflects event pre-TTL: {views['reflects_event_without_ttl']}"
+        )
+        lines.append(
+            f"  ?since= delta: {delta['full_bytes']} -> "
+            f"{delta['delta_bytes']} bytes "
+            f"(saved {delta['bytes_saved']}, "
+            f"{delta['records_changed']} records changed)"
         )
     return "\n".join(lines)
 
@@ -254,6 +288,16 @@ def diff(old: Dict[str, Any], new: Dict[str, Any]) -> str:
             f"{new_dl['not_modified']['bytes_saved']}, gzip savings: "
             f"{old_dl['gzip']['savings_ratio']:.3f} -> "
             f"{new_dl['gzip']['savings_ratio']:.3f}"
+        )
+    old_vw = old.get("views")
+    new_vw = new.get("views")
+    if old_vw and new_vw:
+        lines.append(
+            f"views event rpc/rq: "
+            f"{old_vw['event']['rpcs_per_request']:.2f} -> "
+            f"{new_vw['event']['rpcs_per_request']:.2f}, "
+            f"delta bytes saved: {old_vw['delta']['bytes_saved']} -> "
+            f"{new_vw['delta']['bytes_saved']}"
         )
     return "\n".join(lines) if lines else "(no scenarios to compare)"
 

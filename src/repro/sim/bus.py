@@ -1,0 +1,114 @@
+"""In-process event bus carrying typed cluster state changes.
+
+The simulator is already event-driven (:mod:`repro.sim.events`); this bus
+is the tap the serving layer subscribes to.  The scheduler publishes a
+:class:`StateChange` for every externally-visible transition — job
+submitted / started / ended, node state change, scheduler pass — and
+subscribers (the materialized-view hub in :mod:`repro.core.views`) turn
+those into targeted cache invalidations and view refreshes instead of
+waiting out TTLs.
+
+Dispatch is synchronous and in-order: ``publish`` calls every subscriber
+before returning, on the simulation thread.  Subscriber exceptions are
+isolated (counted, never propagated into the scheduler), mirroring how a
+real message bus decouples producer health from consumer bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from .clock import SimClock
+
+
+@dataclass(frozen=True)
+class StateChange:
+    """One externally-visible cluster state transition.
+
+    ``kind`` is one of ``job_submitted``, ``job_started``, ``job_ended``,
+    ``node_state``, ``sched_pass``.  ``seq`` is a bus-wide monotonic
+    sequence number, so subscribers can order and deduplicate.
+    """
+
+    kind: str
+    at: float
+    seq: int
+    job_id: Optional[int] = None
+    user: str = ""
+    account: str = ""
+    nodes: Tuple[str, ...] = ()
+    detail: str = ""
+
+
+Subscriber = Callable[[StateChange], None]
+
+
+class EventBus:
+    """Synchronous pub/sub for :class:`StateChange` records."""
+
+    def __init__(self, clock: SimClock):
+        self.clock = clock
+        self._subscribers: List[Subscriber] = []
+        self._seq = 0
+        self.published = 0
+        #: subscriber callbacks that raised (isolated, not propagated)
+        self.subscriber_errors = 0
+        #: ring of the most recent changes, for debugging/inspection
+        self.recent: List[StateChange] = []
+        self._recent_cap = 256
+
+    def subscribe(self, fn: Subscriber) -> Callable[[], None]:
+        """Register ``fn``; returns an unsubscribe callable."""
+        self._subscribers.append(fn)
+
+        def _unsubscribe() -> None:
+            try:
+                self._subscribers.remove(fn)
+            except ValueError:
+                pass
+
+        return _unsubscribe
+
+    def publish(
+        self,
+        kind: str,
+        *,
+        job_id: Optional[int] = None,
+        user: str = "",
+        account: str = "",
+        nodes: Tuple[str, ...] = (),
+        detail: str = "",
+    ) -> StateChange:
+        """Publish one state change to every subscriber, in order."""
+        self._seq += 1
+        change = StateChange(
+            kind=kind,
+            at=self.clock.now(),
+            seq=self._seq,
+            job_id=job_id,
+            user=user,
+            account=account,
+            nodes=tuple(nodes),
+            detail=detail,
+        )
+        self.published += 1
+        self.recent.append(change)
+        if len(self.recent) > self._recent_cap:
+            del self.recent[: len(self.recent) - self._recent_cap]
+        for fn in list(self._subscribers):
+            try:
+                fn(change)
+            except Exception:
+                self.subscriber_errors += 1
+        return change
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"EventBus(subscribers={len(self._subscribers)}, "
+            f"published={self.published})"
+        )

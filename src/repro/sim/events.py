@@ -101,6 +101,11 @@ class EventLoop:
             if handle_box and handle_box[0].cancelled:
                 return
             callback()
+            if handle_box and handle_box[0].cancelled:
+                # the callback cancelled its own recurrence: scheduling the
+                # next firing would re-point the handle at a fresh,
+                # uncancelled event and silently undo the cancel
+                return
             nxt = self.schedule_in(interval, _fire, label)
             # keep the user's handle pointed at the live event so cancel()
             # keeps working across firings
@@ -115,18 +120,29 @@ class EventLoop:
 
     # -- running ---------------------------------------------------------
 
-    def peek_time(self) -> Optional[float]:
-        """Timestamp of the next pending (non-cancelled) event, or None."""
+    def _compact_head(self) -> None:
+        """Pop cancelled tombstones off the queue head (lazy removal).
+
+        Every reader of the queue — :meth:`peek_time`, :meth:`step`, and
+        the :attr:`pending` counter — goes through the same compaction,
+        so they can never disagree about whether anything is left to
+        fire: ``pending == 0`` exactly when ``peek_time()`` is ``None``.
+        """
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending (non-cancelled) event, or None."""
+        self._compact_head()
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
         """Run the next event.  Returns False if the queue is empty."""
         while self._queue:
+            self._compact_head()
+            if not self._queue:
+                break
             ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
             # If someone advanced the clock directly past this event's
             # timestamp, run the event now rather than failing: overdue
             # events fire immediately.
@@ -166,6 +182,13 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
+        """Events still due to fire (cancelled tombstones excluded).
+
+        Shares :meth:`_compact_head` with :meth:`peek_time` so the two
+        always agree: a queue holding only cancelled events reports
+        ``pending == 0`` and ``peek_time() is None``.
+        """
+        self._compact_head()
         return sum(1 for ev in self._queue if not ev.cancelled)
 
     @property

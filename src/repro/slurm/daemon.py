@@ -296,6 +296,15 @@ class DaemonBus:
         """Snapshots of both daemons, keyed by daemon name."""
         return {"slurmctld": self.ctld.snapshot(), "slurmdbd": self.dbd.snapshot()}
 
+    def rpc_totals(self) -> dict:
+        """Cumulative RPC counts per daemon — cheap to diff around a
+        request window (the load harness A/B uses this to prove a route
+        cost zero on-request ctld RPCs)."""
+        return {
+            "slurmctld": self.ctld.total_rpcs,
+            "slurmdbd": self.dbd.total_rpcs,
+        }
+
     def reset_counters(self) -> None:
         """Zero both daemons' counters."""
         self.ctld.reset_counters()

@@ -120,3 +120,101 @@ class TestClientCache:
         cc.fetch("a", lambda: 1)
         outcome = cc.fetch("b", lambda: 2)
         assert outcome.served_from == "network"
+
+
+class TestUpgradeRecreatesStore:
+    """Regression: a schema bump used to drop `api-responses` without
+    recreating it, so every later read/write raised KeyError instead of
+    starting cold (the onupgradeneeded contract is recreate-then-continue)."""
+
+    def test_fetch_after_upgrade_starts_cold(self, clock):
+        cc = ClientCache(clock)
+        cc.fetch("k", lambda: "v1")
+        cc.db.upgrade(2)
+        # pre-fix: KeyError("no object store 'api-responses'")
+        outcome = cc.fetch("k", lambda: "v2")
+        assert outcome.served_from == "network"
+        assert outcome.value == "v2"
+
+    def test_conditional_fetch_after_upgrade(self, clock):
+        cc = ClientCache(clock)
+        cc.fetch_conditional("k", lambda etag: ("v1", "W1", False))
+        cc.db.upgrade(5)
+        outcome = cc.fetch_conditional("k", lambda etag: ("v2", "W2", False))
+        assert outcome.served_from == "network"
+        assert outcome.value == "v2"
+
+    def test_invalidate_after_upgrade_is_safe(self, clock):
+        cc = ClientCache(clock)
+        cc.fetch("k", lambda: "v1")
+        cc.db.upgrade(2)
+        assert cc.invalidate("k") is False
+
+    def test_upgrade_hook_runs_for_shared_db(self, clock):
+        db = IndexedDBStore()
+        cc = ClientCache(clock, db=db)
+        cc.fetch("k", lambda: "v1")
+        db.upgrade(2)
+        # the hook recreated the store immediately, even before any access
+        assert db.has_store(ClientCache.STORE)
+        assert db.count(ClientCache.STORE) == 0
+
+
+class TestFetchDelta:
+    def _payload(self, cursor, records, removed=(), full=False):
+        return {
+            "view": "jobs", "cursor": cursor, "full": full,
+            "records": [{"key": k, "v": v} for k, v in records],
+            "removed": list(removed),
+        }
+
+    def test_first_fetch_stores_full_snapshot(self, clock):
+        cc = ClientCache(clock)
+        calls = []
+
+        def fetch(since):
+            calls.append(since)
+            return self._payload(3, [("1", "a"), ("2", "b")], full=True)
+
+        out = cc.fetch_delta("jobs", fetch)
+        assert calls == [None]
+        assert out.served_from == "network"
+        assert out.value["cursor"] == 3
+        assert set(out.value["records"]) == {"1", "2"}
+
+    def test_stale_revalidation_sends_cursor_and_merges(self, clock):
+        cc = ClientCache(clock)
+        cc.fetch_delta(
+            "jobs",
+            lambda since: self._payload(3, [("1", "a"), ("2", "b")], full=True),
+            max_age_s=30,
+        )
+        clock.advance(100)
+        calls = []
+
+        def fetch(since):
+            calls.append(since)
+            return self._payload(5, [("2", "b2"), ("4", "d")], removed=["1"])
+
+        out = cc.fetch_delta("jobs", fetch, max_age_s=30)
+        assert calls == [3]          # revalidated from the stored cursor
+        assert out.revalidated
+        # the merged state is what the next fresh read serves
+        nxt = cc.fetch_delta("jobs", lambda s: pytest.fail("fresh"), max_age_s=30)
+        recs = nxt.value["records"]
+        assert nxt.value["cursor"] == 5
+        assert set(recs) == {"2", "4"}
+        assert recs["2"]["v"] == "b2"
+        assert cc.delta_refreshes == 1
+        assert cc.delta_records_applied == 4  # 2 full + 2 delta
+
+    def test_full_response_replaces_state(self, clock):
+        cc = ClientCache(clock)
+        cc.fetch_delta(
+            "jobs", lambda s: self._payload(2, [("1", "a")], full=True))
+        clock.advance(100)
+        cc.fetch_delta(
+            "jobs", lambda s: self._payload(9, [("7", "z")], full=True),
+            max_age_s=30)
+        out = cc.fetch_delta("jobs", lambda s: pytest.fail("fresh"), max_age_s=30)
+        assert set(out.value["records"]) == {"7"}

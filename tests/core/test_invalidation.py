@@ -1,0 +1,218 @@
+"""Event-driven invalidation racing the cache's compute paths.
+
+The dangerous window: a StateChange invalidates a key while a
+single-flight leader (or an armed refresh-ahead revalidation) is still
+computing the *pre-change* value.  Without the per-key epoch, that
+compute's write would resurrect stale state the moment the invalidation
+finished; these tests pin the epoch semantics instead.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.caching import VIEW_SOURCES, CachePolicy, TTLCache
+from repro.core.sharding import ShardedCache
+from repro.sim.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def cache(clock):
+    return TTLCache(clock, default_ttl=60.0)
+
+
+def inflight_gauge(cache):
+    return cache.metrics.gauge("repro_cache_inflight_keys").value()
+
+
+class TestInvalidate:
+    def test_invalidate_drops_entry_and_counts(self, cache):
+        cache.write("squeue:alice", "v")
+        assert cache.invalidate("squeue:alice") is True
+        assert cache.read("squeue:alice") is None
+        assert cache.entry("squeue:alice") is None
+        assert cache.invalidate("squeue:alice") is False
+        assert cache.metrics.total(
+            "repro_cache_purged_total", reason="invalidated"
+        ) == 1.0
+
+    def test_invalidate_bumps_epoch(self, cache):
+        assert cache.epoch_of("k") == 0
+        cache.invalidate("k")
+        assert cache.epoch_of("k") == 1
+        cache.delete("k")
+        assert cache.epoch_of("k") == 2
+
+    def test_next_lookup_recomputes(self, cache):
+        calls = []
+        cache.fetch("squeue:alice", lambda: calls.append(1) or "v1")
+        cache.invalidate("squeue:alice")
+        value = cache.fetch("squeue:alice", lambda: calls.append(1) or "v2")
+        assert value == "v2" and len(calls) == 2
+
+
+class TestInvalidationRacesSingleFlight:
+    def test_mid_compute_invalidation_not_resurrected(self, cache):
+        """The leader's write after an invalidation must be discarded —
+        its value reflects pre-invalidation backend state."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            entered.set()
+            assert release.wait(5.0)
+            return "stale-snapshot"
+
+        results = []
+        t = threading.Thread(
+            target=lambda: results.append(cache.fetch("squeue:alice", compute))
+        )
+        t.start()
+        assert entered.wait(5.0)
+        assert cache.invalidate("squeue:alice") is False  # no entry yet
+        release.set()
+        t.join(5.0)
+        # the caller still gets its computed value...
+        assert results == ["stale-snapshot"]
+        # ...but the cache did NOT store it
+        assert cache.entry("squeue:alice") is None
+        assert cache.metrics.total(
+            "repro_cache_stale_writes_skipped_total", source="squeue"
+        ) == 1.0
+        # and nothing is stranded in flight
+        assert inflight_gauge(cache) == 0.0
+        assert len(cache._inflight) == 0
+
+    def test_mid_compute_invalidation_wakes_followers(self, cache):
+        """A follower waiting on an invalidated flight stops waiting and
+        recomputes instead of inheriting the cancelled leader's value."""
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_compute():
+            entered.set()
+            assert release.wait(5.0)
+            return "leader-value"
+
+        leader_results, follower_results = [], []
+        leader = threading.Thread(
+            target=lambda: leader_results.append(
+                cache.fetch("squeue:alice", slow_compute)
+            )
+        )
+        leader.start()
+        assert entered.wait(5.0)
+
+        follower_started = threading.Event()
+
+        def follow():
+            follower_started.set()
+            follower_results.append(
+                cache.fetch("squeue:alice", lambda: "fresh-value")
+            )
+
+        follower = threading.Thread(target=follow)
+        follower.start()
+        assert follower_started.wait(5.0)
+        # give the follower a moment to actually park on the flight
+        for _ in range(100):
+            if cache.metrics.total(
+                "repro_cache_coalesced_waiters_total", source="squeue"
+            ) >= 1.0:
+                break
+            threading.Event().wait(0.01)
+
+        cache.invalidate("squeue:alice")
+        follower.join(5.0)
+        release.set()
+        leader.join(5.0)
+
+        assert follower_results == ["fresh-value"]
+        assert leader_results == ["leader-value"]
+        # the follower's post-invalidation compute is the stored value
+        assert cache.read("squeue:alice") == "fresh-value"
+        assert inflight_gauge(cache) == 0.0
+
+    def test_write_after_invalidation_still_possible(self, cache):
+        """Only the epoch-snapshotting compute paths are fenced; a plain
+        write() after the invalidation stores normally."""
+        cache.invalidate("k")
+        cache.write("k", "v")
+        assert cache.read("k") == "v"
+
+
+class TestInvalidationRacesRefreshAhead:
+    def test_refresh_superseded_by_invalidation(self, cache, clock):
+        """An armed revalidation whose key is invalidated before it runs
+        must not rewrite the entry (counted ``superseded``)."""
+        captured = []
+        cache.refresh_runner = lambda thunk: (captured.append(thunk) or True)
+        cache.write("squeue:alice", "v1", ttl=60.0)
+        clock.advance(50.0)
+        result = cache.lookup(
+            "squeue:alice", lambda: "v1",
+            soft_ttl=48.0, refresh=lambda: "refreshed-from-old-state",
+        )
+        assert result.refreshing and len(captured) == 1
+        # the StateChange lands before the pool runs the refresh
+        cache.invalidate("squeue:alice")
+        captured[0]()
+        assert cache.entry("squeue:alice") is None
+        assert cache.metrics.total(
+            "repro_cache_refresh_ahead_total", result="superseded"
+        ) == 1.0
+        assert inflight_gauge(cache) == 0.0
+
+    def test_refresh_without_invalidation_still_rewrites(self, cache, clock):
+        captured = []
+        cache.refresh_runner = lambda thunk: (captured.append(thunk) or True)
+        cache.write("squeue:alice", "v1", ttl=60.0)
+        clock.advance(50.0)
+        cache.lookup("squeue:alice", lambda: "v1",
+                     soft_ttl=48.0, refresh=lambda: "v2")
+        captured[0]()
+        assert cache.read("squeue:alice") == "v2"
+        assert cache.metrics.total(
+            "repro_cache_refresh_ahead_total", result="ok"
+        ) == 1.0
+
+
+class TestShardedInvalidate:
+    def test_routes_to_owning_shard(self, clock):
+        sharded = ShardedCache(clock, shards=4, default_ttl=60.0)
+        sharded.write("squeue:alice", "v")
+        assert sharded.invalidate("squeue:alice") is True
+        assert sharded.read("squeue:alice") is None
+        assert sharded.epoch_of("squeue:alice") == 1
+        # only the owning shard's epoch moved
+        moved = sum(
+            1 for shard in sharded.shards
+            if shard.epoch_of("squeue:alice") == 1
+        )
+        assert moved == 1
+
+
+class TestEventViewsPolicy:
+    def test_serve_ttl_stretched_only_for_view_sources(self):
+        policy = CachePolicy(event_views=True, view_ttl_factor=20.0)
+        assert policy.serve_ttl_for("squeue") == policy.squeue * 20.0
+        assert policy.serve_ttl_for("news") == policy.news
+        off = CachePolicy(event_views=False)
+        for source in VIEW_SOURCES:
+            assert off.serve_ttl_for(source) == off.ttl_for(source)
+
+    def test_soft_ttl_suppressed_for_view_sources(self):
+        policy = CachePolicy(event_views=True)
+        assert policy.soft_ttl_for("squeue") is None
+        assert policy.soft_ttl_for("news") is not None
+        off = CachePolicy(event_views=False)
+        assert off.soft_ttl_for("squeue") is not None
+
+    def test_view_ttl_factor_validated(self):
+        with pytest.raises(ValueError):
+            CachePolicy(view_ttl_factor=0.5)

@@ -1,0 +1,264 @@
+"""Event-driven materialized views and the cursor'd delta endpoints.
+
+The acceptance bar from the issue: after a state-change event the
+affected route reflects it on the next request without waiting out a
+TTL; at steady state the view routes serve with zero on-request ctld
+RPCs; and replaying ``?since=`` deltas from any cursor reconstructs the
+full snapshot exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.auth import Directory, Viewer
+from repro.core.caching import CachePolicy
+from repro.core.dashboard import Dashboard
+from repro.core.views import DeltaView
+from repro.sim.bus import EventBus
+from repro.sim.clock import SimClock
+from repro.slurm import JobSpec, TRES, small_test_cluster
+
+
+def _spec(user="alice", account="physics-lab", cpus=4, **kw):
+    defaults = dict(
+        name="job", user=user, account=account, partition="cpu",
+        req=TRES(cpus=cpus, mem_mb=1024, nodes=1),
+        time_limit=600.0, actual_runtime=120.0,
+    )
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+def _world(event_views=True):
+    cluster = small_test_cluster()
+    directory = Directory()
+    for name in ("alice", "bob", "dave"):
+        directory.add_user(name)
+    directory.add_account("physics-lab", members=["alice", "bob"])
+    directory.add_account("chem-lab", members=["dave"])
+    dash = Dashboard(
+        cluster, directory,
+        cache_policy=CachePolicy(event_views=event_views),
+    )
+    return cluster, dash
+
+
+@pytest.fixture
+def alice():
+    return Viewer(username="alice")
+
+
+class TestMaterializerWiring:
+    def test_hub_absent_unless_opted_in(self):
+        _, dash = _world(event_views=False)
+        assert dash.ctx.views is None
+
+    def test_hub_subscribed_when_opted_in(self):
+        cluster, dash = _world()
+        assert dash.ctx.views is not None
+        assert cluster.bus.subscriber_count == 1
+
+    def test_routes_teach_the_hub(self, alice):
+        _, dash = _world()
+        dash.call("jobs_view", alice)
+        dash.call("nodes_view", alice)
+        learned = dash.ctx.views.learned_keys()
+        assert "squeue:__all__" in learned
+        assert "scontrol_node:all" in learned
+
+    def test_non_view_sources_not_learned(self, alice):
+        _, dash = _world()
+        dash.ctx.views.learn("news", "limit=5", lambda: [])
+        assert dash.ctx.views.learned_keys() == []
+
+
+class TestEventInvalidation:
+    def test_change_visible_without_waiting_out_ttl(self, alice):
+        """The headline behaviour: submit lands on the very next request
+        even though the previous response was cached seconds ago."""
+        cluster, dash = _world()
+        before = dash.call("jobs_view", alice)
+        assert before.data["records"] == []
+        [job] = cluster.submit(_spec())
+        # no clock advance at all: a TTL could not have expired
+        after = dash.call("jobs_view", alice)
+        ids = [r["job_id"] for r in after.data["records"]]
+        assert job.job_id in ids
+
+    def test_node_failure_visible_immediately(self, alice):
+        cluster, dash = _world()
+        [job] = cluster.submit(_spec())
+        dash.call("nodes_view", alice)
+        victim = job.nodes[0]
+        cluster.scheduler.fail_node(victim, reason="power loss")
+        after = dash.call("nodes_view", alice)
+        state = next(
+            r["state"] for r in after.data["records"] if r["name"] == victim
+        )
+        assert "DOWN" in state.upper()
+
+    def test_invalidation_metrics_flow(self, alice):
+        cluster, dash = _world()
+        dash.call("jobs_view", alice)
+        cluster.submit(_spec())
+        registry = dash.ctx.obs.registry
+        assert registry.total(
+            "repro_view_events_total", kind="job_submitted"
+        ) >= 1.0
+        assert registry.total(
+            "repro_view_invalidations_total", source="squeue"
+        ) >= 1.0
+
+
+class TestPassTimeMaterialization:
+    def test_steady_state_serves_with_zero_on_request_rpcs(self, alice):
+        """Once the hub has learned the view keys, scheduler passes keep
+        them materialized: request-time ctld RPC cost is zero."""
+        cluster, dash = _world()
+        cluster.submit(_spec())
+        # teach the hub, then let passes re-materialize for a while
+        dash.call("jobs_view", alice)
+        dash.call("nodes_view", alice)
+        cluster.advance(120.0)
+        before = cluster.daemons.rpc_totals()
+        r1 = dash.call("jobs_view", alice)
+        r2 = dash.call("nodes_view", alice)
+        after = cluster.daemons.rpc_totals()
+        assert r1.ok and r2.ok
+        assert after == before  # pure cache reads
+        assert dash.ctx.obs.registry.total(
+            "repro_view_refreshes_total", result="ok"
+        ) > 0.0
+
+    def test_poll_mode_pays_rpcs_after_ttl_expiry(self, alice):
+        """Contrast: without event views the same traffic re-runs the
+        backend commands once TTLs lapse."""
+        cluster, dash = _world(event_views=False)
+        cluster.submit(_spec())
+        dash.call("jobs_view", alice)
+        cluster.advance(120.0)
+        before = cluster.daemons.rpc_totals()
+        dash.call("jobs_view", alice)
+        after = cluster.daemons.rpc_totals()
+        assert after["slurmctld"] > before["slurmctld"]
+
+    def test_failing_compute_unlearned_and_left_invalidated(self):
+        cluster, dash = _world()
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise RuntimeError("backend gone")
+
+        dash.ctx.views.learn("squeue", "__all__", broken)
+        dash.ctx.views.flush()
+        assert dash.ctx.views.learned_keys() == []
+        assert dash.ctx.cache.entry("squeue:__all__") is None
+        assert dash.ctx.obs.registry.total(
+            "repro_view_refreshes_total", source="squeue", result="error"
+        ) == 1.0
+
+    def test_flush_skips_entries_already_materialized_now(self):
+        cluster, dash = _world()
+        calls = []
+        dash.ctx.views.learn("squeue", "__all__", lambda: calls.append(1) or [])
+        assert dash.ctx.views.flush() == 1
+        # same instant, not dirty: nothing to do
+        assert dash.ctx.views.flush() == 0
+        assert len(calls) == 1
+
+
+class TestViewerScoping:
+    def test_private_jobs_filtered_at_serve_time(self):
+        """dave's chem-lab job is invisible to bob (My Jobs privacy rule)
+        even though both read the same global cursor'd view."""
+        cluster, dash = _world()
+        cluster.submit(_spec(user="bob", account="physics-lab"))
+        cluster.submit(_spec(user="dave", account="chem-lab"))
+        bob = dash.call("jobs_view", Viewer(username="bob"))
+        users = {r["user"] for r in bob.data["records"]}
+        assert users == {"bob"}
+        admin = dash.call("jobs_view", Viewer(username="root", is_admin=True))
+        assert {r["user"] for r in admin.data["records"]} == {"bob", "dave"}
+
+    def test_cursor_is_global_across_viewers(self):
+        cluster, dash = _world()
+        cluster.submit(_spec(user="bob"))
+        bob = dash.call("jobs_view", Viewer(username="bob"))
+        dave = dash.call("jobs_view", Viewer(username="dave"))
+        assert bob.data["cursor"] == dave.data["cursor"]
+
+
+class TestSinceParam:
+    def test_negative_since_is_a_param_error(self, alice):
+        _, dash = _world()
+        resp = dash.call("jobs_view", alice, params={"since": -1})
+        assert resp.status == 400
+
+    def test_future_cursor_returns_full(self, alice):
+        cluster, dash = _world()
+        cluster.submit(_spec())
+        resp = dash.call("jobs_view", alice, params={"since": 10_000})
+        assert resp.data["full"] is True
+
+
+class TestDeltaView:
+    def test_sync_noop_on_same_generation(self):
+        view = DeltaView("jobs")
+        view.sync(7, {"1": {"state": "RUNNING"}})
+        assert view.cursor == 1
+        view.sync(7, {"1": {"state": "COMPLETED"}})  # same generation: skipped
+        assert view.cursor == 1
+
+    def test_removal_gets_tombstone(self):
+        view = DeltaView("jobs")
+        view.sync(1, {"1": {"s": "R"}, "2": {"s": "R"}})
+        view.sync(2, {"1": {"s": "R"}})
+        delta = view.since(1)
+        assert delta["removed"] == ["2"]
+        assert delta["records"] == []
+        assert delta["cursor"] == 2
+
+    def test_unchanged_payload_not_restamped(self):
+        view = DeltaView("jobs")
+        view.sync(1, {"1": {"s": "R"}, "2": {"s": "R"}})
+        view.sync(2, {"1": {"s": "R"}, "2": {"s": "C"}})
+        delta = view.since(1)
+        assert [r["key"] for r in delta["records"]] == ["2"]
+
+    def test_replay_from_any_cursor_reconstructs_snapshot(self):
+        """The property test: for a random history of syncs, folding the
+        ``since(c)`` delta into the state at cursor c reproduces the
+        current full snapshot exactly, for every historical cursor c."""
+        rng = random.Random(99)
+        view = DeltaView("jobs")
+        live = {}
+        snapshots = {0: {}}  # cursor -> full record map at that cursor
+        for generation in range(1, 60):
+            op = rng.random()
+            if op < 0.5 or not live:
+                live[str(rng.randrange(20))] = {"v": rng.randrange(1000)}
+            elif op < 0.8:
+                key = rng.choice(list(live))
+                live[key] = {"v": rng.randrange(1000)}
+            else:
+                live.pop(rng.choice(list(live)))
+            view.sync(generation, {k: dict(v) for k, v in live.items()})
+            snapshots[view.cursor] = {k: dict(v) for k, v in live.items()}
+
+        full_now = {
+            r["key"]: {k: v for k, v in r.items() if k != "key"}
+            for r in view.since(None)["records"]
+        }
+        assert full_now == snapshots[view.cursor]
+        for cursor, base in snapshots.items():
+            delta = view.since(cursor)
+            state = {k: dict(v) for k, v in base.items()}
+            for rec in delta["records"]:
+                state[rec["key"]] = {
+                    k: v for k, v in rec.items() if k != "key"
+                }
+            for gone in delta["removed"]:
+                state.pop(gone, None)
+            assert state == full_now, f"replay diverged from cursor {cursor}"

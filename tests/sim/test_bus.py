@@ -1,0 +1,139 @@
+"""Tests for the state-change event bus and the scheduler's taps."""
+
+import pytest
+
+from repro.sim.bus import EventBus, StateChange
+from repro.sim.clock import SimClock
+from repro.slurm.cluster import small_test_cluster
+from repro.slurm.model import TRES, JobSpec
+
+
+@pytest.fixture
+def bus():
+    return EventBus(SimClock())
+
+
+class TestEventBus:
+    def test_publish_dispatches_in_order(self, bus):
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish("job_submitted", job_id=1, user="alice")
+        bus.publish("sched_pass")
+        assert [c.kind for c in seen] == ["job_submitted", "sched_pass"]
+        assert seen[0].job_id == 1 and seen[0].user == "alice"
+
+    def test_seq_is_monotonic(self, bus):
+        changes = [bus.publish("sched_pass") for _ in range(5)]
+        assert [c.seq for c in changes] == [1, 2, 3, 4, 5]
+
+    def test_timestamps_come_from_clock(self, bus):
+        bus.clock.advance(42.0)
+        assert bus.publish("sched_pass").at == 42.0
+
+    def test_unsubscribe(self, bus):
+        seen = []
+        unsub = bus.subscribe(seen.append)
+        bus.publish("sched_pass")
+        unsub()
+        unsub()  # idempotent
+        bus.publish("sched_pass")
+        assert len(seen) == 1
+
+    def test_subscriber_errors_isolated(self, bus):
+        seen = []
+
+        def bad(change: StateChange) -> None:
+            raise RuntimeError("subscriber bug")
+
+        bus.subscribe(bad)
+        bus.subscribe(seen.append)
+        bus.publish("sched_pass")
+        assert len(seen) == 1
+        assert bus.subscriber_errors == 1
+
+    def test_recent_ring_bounded(self, bus):
+        for _ in range(300):
+            bus.publish("sched_pass")
+        assert len(bus.recent) == 256
+        assert bus.recent[-1].seq == 300
+
+
+class TestSchedulerTaps:
+    def _spec(self, cpus=4, **kw):
+        defaults = dict(
+            name="job", user="alice", account="acct-a", partition="cpu",
+            req=TRES(cpus=cpus, mem_mb=1024, nodes=1),
+            time_limit=600.0, actual_runtime=120.0,
+        )
+        defaults.update(kw)
+        return JobSpec(**defaults)
+
+    def test_job_lifecycle_publishes(self):
+        cluster = small_test_cluster(cpu_nodes=2)
+        seen = []
+        cluster.bus.subscribe(seen.append)
+        [job] = cluster.submit(self._spec())
+        kinds = [c.kind for c in seen]
+        assert "job_submitted" in kinds
+        assert "job_started" in kinds  # the submit-triggered pass started it
+        assert "sched_pass" in kinds
+        submitted = next(c for c in seen if c.kind == "job_submitted")
+        assert submitted.job_id == job.job_id
+        assert submitted.user == "alice" and submitted.account == "acct-a"
+        started = next(c for c in seen if c.kind == "job_started")
+        assert started.nodes  # allocation recorded
+
+        seen.clear()
+        cluster.advance(200.0)  # past actual_runtime
+        ended = [c for c in seen if c.kind == "job_ended"]
+        assert len(ended) == 1
+        assert ended[0].job_id == job.job_id
+        assert ended[0].detail == "COMPLETED"
+
+    def test_cancel_pending_publishes_job_ended(self):
+        cluster = small_test_cluster(cpu_nodes=1, cpus_per_node=4)
+        # saturate the node so the second job stays pending
+        cluster.submit(self._spec(cpus=4))
+        [waiting] = cluster.submit(self._spec(cpus=4))
+        seen = []
+        cluster.bus.subscribe(seen.append)
+        cluster.scheduler.cancel(waiting.job_id)
+        ended = [c for c in seen if c.kind == "job_ended"]
+        assert len(ended) == 1 and ended[0].detail == "CANCELLED"
+
+    def test_fail_node_publishes_node_state(self):
+        cluster = small_test_cluster(cpu_nodes=2)
+        [job] = cluster.submit(self._spec())
+        node_name = job.nodes[0]
+        seen = []
+        cluster.bus.subscribe(seen.append)
+        cluster.scheduler.fail_node(node_name, reason="power loss")
+        kinds = [c.kind for c in seen]
+        assert "node_state" in kinds
+        node_change = next(c for c in seen if c.kind == "node_state")
+        assert node_change.nodes == (node_name,)
+        assert node_change.detail == "power loss"
+        # the victim job also ended
+        ended = [c for c in seen if c.kind == "job_ended"]
+        assert ended and ended[0].detail == "NODE_FAIL"
+
+    def test_periodic_pass_publishes(self):
+        cluster = small_test_cluster(cpu_nodes=1)
+        seen = []
+        cluster.bus.subscribe(seen.append)
+        cluster.advance(65.0)  # two sched_interval ticks
+        passes = [c for c in seen if c.kind == "sched_pass"]
+        assert len(passes) >= 2
+
+    def test_standalone_scheduler_needs_no_bus(self):
+        from repro.sim.events import EventLoop
+        from repro.slurm.model import Node, Partition
+        from repro.slurm.scheduler import SlurmScheduler
+
+        sched = SlurmScheduler(
+            loop=EventLoop(),
+            nodes=[Node(name="n1", cpus=4, real_memory_mb=1024)],
+            partitions=[Partition(name="p", node_names=["n1"], is_default=True)],
+        )
+        assert sched.bus is None
+        sched.schedule_pass()  # no crash without a bus

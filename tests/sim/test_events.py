@@ -143,3 +143,73 @@ def test_pending_and_processed_counters():
     assert loop.pending == 1
     loop.run_all()
     assert loop.processed == 1
+
+
+def test_recurring_cancel_from_inside_callback_stops_it():
+    """Regression: cancelling the handle from *inside* the callback used to
+    be undone — _fire scheduled the next firing and re-pointed the handle
+    at the fresh, uncancelled event."""
+    loop = EventLoop()
+    fired = []
+    handle_box = []
+
+    def tick():
+        fired.append(loop.clock.now())
+        if len(fired) >= 2:
+            handle_box[0].cancel()
+
+    handle_box.append(loop.schedule_every(10, tick))
+    loop.run_until(100)
+    assert fired == [10.0, 20.0]
+    assert handle_box[0].cancelled
+    # nothing left behind in the queue either
+    assert loop.pending == 0
+
+
+def test_recurring_cancel_from_sibling_event_at_same_instant():
+    """A cancel fired by a sibling event at the same timestamp lands on the
+    re-pointed handle (the t=20 firing runs first, re-points the handle at
+    t=30, then the cancel stops that one)."""
+    loop = EventLoop()
+    fired = []
+    handle = loop.schedule_every(10, lambda: fired.append(loop.clock.now()))
+    loop.run_until(10)
+    loop.schedule_at(20, handle.cancel)
+    loop.run_until(100)
+    assert fired == [10.0, 20.0]
+    assert loop.pending == 0
+
+
+def test_pending_agrees_with_peek_time_on_cancelled_only_queue():
+    """Regression guard: a queue holding only cancelled tombstones must
+    report pending == 0 and peek_time() is None — the two share the same
+    compaction and can never disagree."""
+    loop = EventLoop()
+    handles = [loop.schedule_at(t, lambda: None) for t in (1, 2, 3)]
+    for h in handles:
+        h.cancel()
+    assert loop.peek_time() is None
+    assert loop.pending == 0
+    assert loop.step() is False
+
+
+def test_pending_peek_time_invariant_under_fuzz():
+    """pending == 0 <=> peek_time() is None, through arbitrary interleaved
+    schedule/cancel/step sequences."""
+    import random
+
+    rng = random.Random(1234)
+    loop = EventLoop()
+    handles = []
+    for _ in range(300):
+        op = rng.randint(0, 3)
+        if op == 0:
+            handles.append(loop.schedule_in(rng.uniform(0.0, 5.0), lambda: None))
+        elif op == 1 and handles:
+            handles[rng.randint(0, len(handles) - 1)].cancel()
+        elif op == 2:
+            loop.step()
+        # invariant holds after every operation
+        assert (loop.pending == 0) == (loop.peek_time() is None)
+    loop.run_all()
+    assert loop.pending == 0 and loop.peek_time() is None

@@ -55,6 +55,7 @@ def _cmd_run(opts: argparse.Namespace) -> int:
         default_scenarios(smoke=smoke),
         smoke=smoke,
         include_sharding=not opts.no_sharding,
+        include_views=not opts.no_views,
         progress=progress,
     )
     stamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
@@ -104,6 +105,8 @@ def main(argv: List[str] | None = None) -> int:
                        help="small populations/durations (CI; also LOAD_SMOKE=1)")
     run_p.add_argument("--no-sharding", action="store_true",
                        help="skip the cache-sharding stampede comparison")
+    run_p.add_argument("--no-views", action="store_true",
+                       help="skip the event-driven views A/B")
     run_p.set_defaults(func=_cmd_run)
 
     val_p = sub.add_parser("validate", help="schema-check a BENCH file")
