@@ -1,0 +1,84 @@
+"""P9 — multi-cluster federation with per-cluster failure isolation.
+
+The acceptance criteria of the federation tentpole, as standing checks:
+
+* three clusters with one in a scheduled outage keep serving the
+  federated pages as **200 with degraded detail** — zero unexpected
+  5xx anywhere in the run;
+* the surviving clusters' cache hit rates are **undisturbed**: within
+  noise of a single-cluster baseline replaying the identical mix,
+  because members share nothing a dead sibling could poison;
+* the federated homepage renders one column per cluster with only the
+  dead cluster's column degraded.
+
+Set ``FEDERATION_SMOKE=1`` to run with reduced sizes (CI smoke).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.auth import Viewer
+from repro.federation import build_demo_federation
+from repro.load.federation import federation_ab
+
+SMOKE = os.environ.get("FEDERATION_SMOKE") == "1"
+
+#: healthy members' hit rate may drift this much from baseline before
+#: we call the isolation claim broken (the A/B usually lands at 0.0)
+HIT_RATE_TOLERANCE = 0.05
+
+
+def test_perf_federation_isolation_ab(report):
+    """1 cluster vs 3-with-one-killed over real HTTP."""
+    rec = federation_ab(smoke=SMOKE)
+    fed = rec["federated"]
+
+    report(
+        "P9 federation A/B "
+        f"({len(fed['clusters'])} clusters, {rec['faulted_cluster']} killed "
+        f"at tick {fed['kill_tick']}):",
+        f"  statuses: {fed['statuses']}",
+        f"  degraded-detail 200s: {fed['degraded_responses']}",
+        f"  healthy hit-rate delta: {rec['healthy_hit_rate_delta']:.4f}",
+    )
+
+    # never a whole-page 5xx because one cluster died
+    assert rec["zero_unexpected_5xx"] is True
+    assert fed["unexpected_5xx"] == 0
+    # the quorum path did engage: federated 200s named the dead cluster
+    assert rec["degraded_detail_served"] is True
+    assert fed["degraded_responses"] > 0
+    # healthy members' hit rates stay within noise of the baseline
+    assert rec["healthy_hit_rate_delta"] <= HIT_RATE_TOLERANCE
+    for name in rec["healthy_clusters"]:
+        cache = fed["member_cache"][name]
+        assert cache["lookups"] > 0
+
+
+def test_perf_federated_homepage_isolates_dead_column(report):
+    """The page-level face of the same claim: one dead member degrades
+    exactly one column."""
+    fed, registry = build_demo_federation(
+        names=("anvil", "bell", "negishi"),
+        seed=11,
+        duration_hours=0.25 if SMOKE else 0.5,
+    )
+    viewer = Viewer(username=registry.default.directory.users()[0].username)
+
+    from repro.faults import FaultPlan
+    import math
+
+    plan = FaultPlan()
+    plan.schedule_outage("*", start=fed.clock.now(), end=math.inf)
+    fed.inject_faults("bell", plan)
+
+    render = fed.render_homepage(viewer)
+    report(
+        "P9 federated homepage with bell dead: "
+        f"clusters_degraded={render.clusters_degraded}"
+    )
+    assert render.clusters_degraded == ["bell"]
+    assert set(render.failures) <= {"bell"}
+    streamed = "".join(fed.stream_homepage(viewer))
+    assert streamed == fed.render_homepage(viewer).document

@@ -149,6 +149,20 @@ class Dashboard:
 
     # -- introspection -------------------------------------------------------
 
+    def healthz_payload(self) -> Dict[str, Any]:
+        """The ``/healthz`` body: breaker states per backend (for
+        operators watching a degraded cluster recover; the same call
+        mirrors the states into the /metrics gauge) and the admission
+        tier + signals — stays live even while the dashboard is
+        shedding load.  The federated dashboard overrides this with a
+        per-cluster shape."""
+        return {
+            "ok": True,
+            "service": "repro-dashboard",
+            "breakers": self.ctx.breaker_report(),
+            "admission": self.ctx.admission_report(),
+        }
+
     def feature_table(self) -> List[Dict[str, str]]:
         """Regenerate the paper's Table 1 from the registered routes."""
         rows = []

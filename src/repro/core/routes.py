@@ -107,6 +107,12 @@ class RouteResponse:
     #: HTTP layer re-checks them to answer ``If-None-Match`` with a 304
     #: without dispatching the route.  Never serialized into the body.
     cache_deps: Optional[Tuple[Tuple[str, int], ...]] = None
+    #: federation only: names of member clusters that failed or served
+    #: stale while this merged response was assembled (partial-result
+    #: semantics — the response is still 200 when ≥1 cluster answered).
+    #: ``None`` on the single-cluster path, keeping its envelope
+    #: byte-identical to pre-federation behavior.
+    clusters_degraded: Optional[List[str]] = None
 
     def to_json(self) -> Dict[str, Any]:
         """The JSON envelope sent over HTTP."""
@@ -116,6 +122,8 @@ class RouteResponse:
             out["stale_age_s"] = round(self.stale_age_s, 3)
         if self.retry_after_s is not None:
             out["retry_after_s"] = round(self.retry_after_s, 3)
+        if self.clusters_degraded is not None:
+            out["clusters_degraded"] = list(self.clusters_degraded)
         if self.ok:
             out["data"] = self.data
         else:
@@ -726,15 +734,28 @@ class DashboardContext:
 
     # -- Slurm data (commands -> text -> parse -> records) --------------------
 
+    def _stamp_cluster(self, record):
+        """Stamp this context's cluster name onto a parsed record (or a
+        list of them) — federation rollups label provenance from it; the
+        hand-written page serializers never emit it, so single-cluster
+        payloads are unchanged."""
+        name = self.cluster.name
+        if isinstance(record, list):
+            for rec in record:
+                rec.cluster = name
+        else:
+            record.cluster = name
+        return record
+
     def recent_jobs_of(self, username: str) -> List[JobRecord]:
         """squeue scoped to one user (Recent Jobs widget, 30 s TTL)."""
 
         def compute() -> List[JobRecord]:
             out = self._squeue.run(user=username)
-            return [
+            return self._stamp_cluster([
                 JobRecord.from_squeue_row(r, self.clock)
                 for r in parse_squeue(out.stdout)
-            ]
+            ])
 
         return self._cached("squeue", username, compute)
 
@@ -762,10 +783,10 @@ class DashboardContext:
             out = self._sacct.run(
                 users=[viewer.username], accounts=accounts, start=start, end=end
             )
-            return [
+            return self._stamp_cluster([
                 JobRecord.from_sacct_row(r, self.clock)
                 for r in parse_sacct(out.stdout)
-            ]
+            ])
 
         records = self._cached("sacct", key, compute)
         if states is not None:
@@ -796,10 +817,10 @@ class DashboardContext:
 
         def compute() -> List[NodeRecord]:
             out = self._scontrol.show_nodes()
-            return [
+            return self._stamp_cluster([
                 NodeRecord.from_scontrol_block(b, self.clock)
                 for b in parse_scontrol_blocks(out.stdout)
-            ]
+            ])
 
         return self._cached("scontrol_node", "all", compute)
 
@@ -810,9 +831,9 @@ class DashboardContext:
 
         def compute() -> NodeRecord:
             out = self._scontrol.show_node(name)
-            return NodeRecord.from_scontrol_block(
+            return self._stamp_cluster(NodeRecord.from_scontrol_block(
                 parse_scontrol_blocks(out.stdout)[0], self.clock
-            )
+            ))
 
         return self._cached("scontrol_node", name, compute)
 
@@ -822,9 +843,9 @@ class DashboardContext:
         def compute() -> JobRecord:
             try:
                 out = self._scontrol.show_job(job_id)
-                return JobRecord.from_scontrol_block(
+                return self._stamp_cluster(JobRecord.from_scontrol_block(
                     parse_scontrol_blocks(out.stdout)[0], self.clock
-                )
+                ))
             except KeyError:
                 archived = self.cluster.accounting.get(job_id)
                 if archived is None:
@@ -833,7 +854,9 @@ class DashboardContext:
                 res = self._sacct.run(users=[archived.user])
                 for row in parse_sacct(res.stdout):
                     if row["JobIDRaw"] == str(job_id):
-                        return JobRecord.from_sacct_row(row, self.clock)
+                        return self._stamp_cluster(
+                            JobRecord.from_sacct_row(row, self.clock)
+                        )
                 raise KeyError(f"unknown job {job_id}") from None
 
         return self._cached("scontrol_job", str(job_id), compute)

@@ -29,6 +29,7 @@ from .errors import (
     DaemonTimeoutError,
     DaemonUnavailableError,
     DeadlineExceededError,
+    FaultConfigError,
     SourceUnavailableError,
 )
 from .plan import ANY_SERVICE, FaultPlan, FaultWindow
@@ -58,6 +59,7 @@ __all__ = [
     "DaemonUnavailableError",
     "Deadline",
     "DeadlineExceededError",
+    "FaultConfigError",
     "FaultPlan",
     "FaultWindow",
     "FetchOutcome",

@@ -10,6 +10,24 @@ traceback reach the browser.
 from __future__ import annotations
 
 
+class FaultConfigError(ValueError):
+    """A fault schedule is malformed: zero-length or negative-duration
+    window, or two windows of the same kind overlapping on the same
+    target.  Subclasses :class:`ValueError` so existing callers catching
+    the old untyped validation errors keep working.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable tag: ``"empty-window"``, ``"inverted-window"``,
+        or ``"overlap"``.
+    """
+
+    def __init__(self, reason: str, message: str):
+        self.reason = reason
+        super().__init__(message)
+
+
 class DaemonError(RuntimeError):
     """Base class for backend-service failures (daemons and external APIs).
 

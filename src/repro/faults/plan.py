@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.sim.rng import RandomStreams
 
-from .errors import DaemonUnavailableError
+from .errors import DaemonUnavailableError, FaultConfigError
 
 #: matches every service name
 ANY_SERVICE = "*"
@@ -34,6 +34,11 @@ class FaultWindow:
     * ``"outage"`` — every request raises :class:`DaemonUnavailableError`;
     * ``"slow"``   — every RPC gains ``extra_latency_s`` of latency;
     * ``"flaky"``  — each request fails with probability ``error_rate``.
+
+    Windows must have positive duration: zero-length (``end == start``)
+    and inverted (``end < start``) intervals are rejected at construction
+    with a :class:`~repro.faults.errors.FaultConfigError` — a window that
+    can never be active is always an authoring mistake.
     """
 
     service: str
@@ -47,7 +52,15 @@ class FaultWindow:
         if self.kind not in ("outage", "slow", "flaky"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.end < self.start:
-            raise ValueError(f"fault window ends before it starts: {self}")
+            raise FaultConfigError(
+                "inverted-window", f"fault window ends before it starts: {self}"
+            )
+        if self.end == self.start:
+            raise FaultConfigError(
+                "empty-window",
+                f"fault window has zero duration (half-open [start, end) "
+                f"never activates): {self}",
+            )
         if self.kind == "flaky" and not 0.0 <= self.error_rate <= 1.0:
             raise ValueError(f"error_rate must be in [0, 1]: {self.error_rate}")
         if self.kind == "slow" and self.extra_latency_s < 0:
@@ -62,10 +75,44 @@ class FaultWindow:
         return self.service == ANY_SERVICE or self.service == service
 
 
+def _targets_intersect(a: FaultWindow, b: FaultWindow) -> bool:
+    """True when the two windows can apply to the same service."""
+    return (
+        a.service == b.service
+        or a.service == ANY_SERVICE
+        or b.service == ANY_SERVICE
+    )
+
+
+def _intervals_overlap(a: FaultWindow, b: FaultWindow) -> bool:
+    """True when the half-open intervals share at least one instant."""
+    return a.start < b.end and b.start < a.end
+
+
+def _reject_same_kind_overlap(a: FaultWindow, b: FaultWindow) -> None:
+    """Raise :class:`FaultConfigError` when two same-kind windows overlap
+    on an intersecting target — the duplicate adds nothing but ambiguity."""
+    if a.kind == b.kind and _targets_intersect(a, b) and _intervals_overlap(a, b):
+        raise FaultConfigError(
+            "overlap",
+            f"overlapping {a.kind!r} windows on the same target: {a} vs {b}",
+        )
+
+
 @dataclass
 class FaultPlan:
     """A mutable schedule of :class:`FaultWindow` entries plus the seeded
-    randomness used to decide intermittent failures deterministically."""
+    randomness used to decide intermittent failures deterministically.
+
+    Two windows of the *same* kind may not overlap on the same target —
+    the effect of e.g. two concurrent outages is indistinguishable from
+    one, so the duplicate is always an authoring mistake and :meth:`add`
+    rejects it with a :class:`~repro.faults.errors.FaultConfigError`.
+    Different kinds may overlap freely; precedence while they do is
+    **outage > flaky > slow**: an active outage wins over any flaky draw,
+    and injected slow-window latency is suppressed while an outage covers
+    the service (the request fails fast instead of failing slowly).
+    """
 
     seed: int = 0
     windows: List[FaultWindow] = field(default_factory=list)
@@ -73,12 +120,18 @@ class FaultPlan:
     def __post_init__(self) -> None:
         self._rng = RandomStreams(seed=self.seed)
         self._lock = threading.Lock()
+        for i, window in enumerate(self.windows):
+            for other in self.windows[i + 1:]:
+                _reject_same_kind_overlap(window, other)
 
     # -- authoring ----------------------------------------------------------
 
     def add(self, window: FaultWindow) -> FaultWindow:
-        """Append one window to the schedule."""
+        """Append one window to the schedule (validating against the
+        windows already scheduled)."""
         with self._lock:
+            for other in self.windows:
+                _reject_same_kind_overlap(window, other)
             self.windows.append(window)
         return window
 
@@ -140,10 +193,14 @@ class FaultPlan:
     def check(self, service: str, now: float) -> None:
         """Raise :class:`DaemonUnavailableError` if ``service`` should fail
         a request arriving at ``now`` (outage window, or a losing draw
-        against an active error rate)."""
-        for window in self._active_for(service, now):
+        against an active error rate).  Outage precedence is explicit: if
+        any active window is an outage, the request fails as an outage
+        before any flaky window gets to burn a random draw."""
+        active = self._active_for(service, now)
+        for window in active:
             if window.kind == "outage":
                 raise DaemonUnavailableError(service, reason="scheduled outage")
+        for window in active:
             if window.kind == "flaky":
                 draw = float(self._rng.stream(f"flaky:{service}").random())
                 if draw < window.error_rate:
@@ -152,12 +209,15 @@ class FaultPlan:
                     )
 
     def extra_latency(self, service: str, now: float) -> float:
-        """Total injected latency (seconds) for a request at ``now``."""
-        return sum(
-            w.extra_latency_s
-            for w in self._active_for(service, now)
-            if w.kind == "slow"
-        )
+        """Total injected latency (seconds) for a request at ``now``.
+
+        Zero while an outage covers the service: outage > slow, so a
+        request that is going to be refused is refused *fast* rather than
+        first serving the slow window's penalty."""
+        active = self._active_for(service, now)
+        if any(w.kind == "outage" for w in active):
+            return 0.0
+        return sum(w.extra_latency_s for w in active if w.kind == "slow")
 
     def outage_active(self, service: str, now: float) -> bool:
         """True if a hard outage window covers ``service`` at ``now``."""

@@ -1,0 +1,67 @@
+"""Multi-cluster federation with per-cluster failure isolation.
+
+One dashboard over N independent simulated clusters (ROADMAP item 1,
+motivated by HPCClusterScape's shared multi-cluster fleets).  Each
+member is a complete, shared-nothing dashboard stack — its own
+``SlurmCluster``, ``DaemonBus``, ``FaultPlan`` hooks, circuit breakers,
+bulkheads, admission controller and cache namespace — behind one shared
+simulated clock.  The federated serving path scatter-gathers per-member
+fetches over the worker-pool substrate with explicit quorum semantics:
+a federated response is 200-with-``clusters_degraded`` detail when at
+least one cluster answers, and 503 only when none do.  A dead or
+browning-out cluster degrades its *own* column/slot (stale-served with
+a per-cluster banner, or an explicit unreachable slot) while healthy
+clusters render fresh.
+"""
+
+from .context import FederatedCacheView, FederatedContext
+from .dashboard import (
+    FederatedDashboard,
+    build_demo_federation,
+    namespace_response,
+)
+from .metrics import (
+    label_sample_line,
+    merge_scrapes,
+    namespace_key,
+    split_namespaced_key,
+)
+from .pages import (
+    FEDERATED_HANDLERS,
+    FEDERATION_PREFIX,
+    FederatedHomepageRender,
+    federated_accounts,
+    federated_cluster_status,
+    federated_my_jobs,
+    gather_members,
+    render_cluster_column,
+    render_federated_homepage,
+    stream_federated_homepage,
+    unreachable_column,
+)
+from .registry import ClusterMember, ClusterRegistry
+
+__all__ = [
+    "ClusterMember",
+    "ClusterRegistry",
+    "FEDERATED_HANDLERS",
+    "FEDERATION_PREFIX",
+    "FederatedCacheView",
+    "FederatedContext",
+    "FederatedDashboard",
+    "FederatedHomepageRender",
+    "build_demo_federation",
+    "federated_accounts",
+    "federated_cluster_status",
+    "federated_my_jobs",
+    "gather_members",
+    "label_sample_line",
+    "merge_scrapes",
+    "namespace_key",
+    "namespace_response",
+    "render_cluster_column",
+    "render_federated_homepage",
+    "split_namespaced_key",
+    "stream_federated_homepage",
+    "unreachable_column",
+]

@@ -1,0 +1,127 @@
+"""The federation-level serving context.
+
+:class:`FederatedContext` plays the role :class:`~repro.core.routes.DashboardContext`
+plays for one cluster, scoped to what the HTTP layer and federated pages
+actually need: observability for federation-level requests, a worker
+pool for the member fan-out, and a *namespaced cache view* so the ETag
+validator index can revalidate federated responses against member cache
+entries without the members sharing anything.
+
+No member state lives here.  Each member keeps its own registry, cache,
+breakers, bulkheads and admission tier; this context only *reads* them
+(nested ``/healthz`` reports, merged ``/metrics`` scrapes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Sequence
+
+from repro.core.workers import TaskOutcome, WorkerPool
+from repro.obs import Observability
+
+from .metrics import merge_scrapes, split_namespaced_key
+from .registry import ClusterRegistry
+
+
+class FederatedCacheView:
+    """Read-only cache facade over every member, keyed by namespaced
+    ``"<cluster>/<source>:<key>"`` strings.
+
+    This is what makes federated ETags sound: a federated response's
+    validator deps carry the member prefix, so revalidation reaches into
+    exactly the member cache that produced each entry — and two members
+    holding the same ``source:key`` can never satisfy each other's
+    validators.
+    """
+
+    def __init__(self, registry: ClusterRegistry):
+        self._registry = registry
+
+    def entry(self, full_key: str):
+        cluster, member_key = split_namespaced_key(full_key)
+        if cluster is None:
+            return None
+        member = self._registry.get(cluster)
+        if member is None:
+            return None
+        return member.ctx.cache.entry(member_key)
+
+    def __len__(self) -> int:
+        return sum(len(m.ctx.cache) for m in self._registry)
+
+
+class FederatedContext:
+    """Everything the HTTP layer needs from a federated dashboard."""
+
+    def __init__(
+        self,
+        registry: ClusterRegistry,
+        worker_pool_size: int = 8,
+        worker_queue_max: int = 64,
+        max_traces: int = 100,
+        slow_request_ms: float = 250.0,
+    ):
+        if len(registry) == 0:
+            raise ValueError("federation needs at least one cluster")
+        self.registry = registry
+        self.clock = registry.clock
+        # federation-level requests record here; member-level work keeps
+        # recording into each member's own registry
+        self.obs = Observability(
+            self.clock, max_traces=max_traces, slow_request_ms=slow_request_ms
+        )
+        self.cache = FederatedCacheView(registry)
+        # deadline clamping policy is uniform across members (they run
+        # the same code); borrow the default member's
+        self.cache_policy = registry.default.ctx.cache_policy
+        self.workers = WorkerPool(
+            max_workers=worker_pool_size,
+            max_queue=worker_queue_max,
+            registry=self.obs.registry,
+        )
+
+    # -- member fan-out ------------------------------------------------------
+
+    def scatter(self, thunks: Sequence[Callable[[], Any]]) -> List[TaskOutcome]:
+        """Run per-member thunks concurrently; outcomes in input order,
+        failures isolated per slot.  No cross-member context propagates:
+        each member call opens its own scope/deadline inside its own
+        dashboard."""
+        return self.workers.scatter_gather(list(thunks))
+
+    def scatter_stream(
+        self, thunks: Sequence[Callable[[], Any]]
+    ) -> Iterator[TaskOutcome]:
+        """:meth:`scatter`, streaming each outcome in input order as soon
+        as it (and its predecessors) complete."""
+        return self.workers.scatter_stream(list(thunks))
+
+    # -- observability -------------------------------------------------------
+
+    def breaker_report(self) -> Dict[str, Dict[str, str]]:
+        """Breaker states nested per member cluster (each member's call
+        also mirrors its states into that member's one-hot gauge)."""
+        return {
+            member.name: member.ctx.breaker_report()
+            for member in self.registry
+        }
+
+    def admission_report(self) -> Dict[str, Any]:
+        """Admission tier + signals nested per member cluster."""
+        return {
+            member.name: member.ctx.admission_report()
+            for member in self.registry
+        }
+
+    def scrape_metrics(self) -> str:
+        """One merged Prometheus exposition: every member's registry with
+        a ``cluster`` label injected, plus the federation-level families
+        (HTTP counters, fan-out pool) unlabeled."""
+        sections = {
+            member.name: member.ctx.scrape_metrics()
+            for member in self.registry
+        }
+        return merge_scrapes(sections, base=self.obs.registry.render())
+
+    def now(self) -> float:
+        return self.clock.now()

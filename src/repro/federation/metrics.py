@@ -1,0 +1,117 @@
+"""Merging per-cluster Prometheus scrapes under one ``/metrics``.
+
+Every member dashboard owns its own
+:class:`~repro.obs.metrics.MetricsRegistry` — that is what makes the
+isolation shared-nothing — but operators want one scrape endpoint for
+the whole federation.  :func:`merge_scrapes` combines the members'
+text expositions, injecting a ``cluster`` label as the first label of
+every sample so same-named families from different members never
+collide (an unlabeled gauge like ``repro_cache_entries`` would
+otherwise clobber across clusters).
+
+The merge works at the text-line level: each family's ``# HELP`` /
+``# TYPE`` header is emitted once (first writer wins — members run the
+same code, so headers agree), families come out sorted by name, and
+within a family the federation-level samples (no ``cluster`` label)
+precede members' samples in registration order.  The output round-trips
+through :func:`~repro.obs.metrics.parse_prometheus_text`, which the CI
+smoke test uses as a format validator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def label_sample_line(line: str, cluster: str) -> str:
+    """Inject ``cluster="<name>"`` as the first label of one sample line."""
+    escaped = _escape_label_value(cluster)
+    if "{" in line:
+        head, rest = line.split("{", 1)
+        if rest.startswith("}"):  # degenerate "name{} value"
+            return f'{head}{{cluster="{escaped}"}}{rest[1:]}'
+        return f'{head}{{cluster="{escaped}",{rest}'
+    name, _, value = line.partition(" ")
+    return f'{name}{{cluster="{escaped}"}} {value}'
+
+
+def _family_of(line: str) -> str:
+    """Metric family a sample line belongs to (bucket/sum/count collapse
+    onto their histogram's family so headers group correctly)."""
+    name = line.split("{", 1)[0].split(" ", 1)[0]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def merge_scrapes(
+    sections: Mapping[str, str], base: Optional[str] = None
+) -> str:
+    """One federated exposition from per-cluster scrape texts.
+
+    ``sections`` maps cluster name -> that member's registry render;
+    ``base`` is an optional federation-level render whose samples pass
+    through without a ``cluster`` label (HTTP counters live there — a
+    request is served by the federation, not by one member).
+    """
+    helps: Dict[str, str] = {}
+    types: Dict[str, str] = {}
+    samples: Dict[str, List[str]] = {}
+    order: List[str] = []
+
+    def _absorb(text: str, cluster: Optional[str]) -> None:
+        for line in text.splitlines():
+            line = line.rstrip()
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                family = line.split(" ", 3)[2]
+                helps.setdefault(family, line)
+                continue
+            if line.startswith("# TYPE "):
+                family = line.split(" ", 3)[2]
+                types.setdefault(family, line)
+                continue
+            if line.startswith("#"):
+                continue
+            family = _family_of(line)
+            if family not in samples:
+                samples[family] = []
+                order.append(family)
+            if cluster is not None:
+                line = label_sample_line(line, cluster)
+            samples[family].append(line)
+
+    if base:
+        _absorb(base, None)
+    for cluster, text in sections.items():
+        _absorb(text, cluster)
+
+    lines: List[str] = []
+    for family in sorted(order):
+        if family in helps:
+            lines.append(helps[family])
+        if family in types:
+            lines.append(types[family])
+        lines.extend(samples[family])
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def split_namespaced_key(full_key: str) -> Tuple[Optional[str], str]:
+    """Split a federated cache key ``"<cluster>/<source>:<key>"`` into
+    ``(cluster, member_key)``; a key without a namespace returns
+    ``(None, full_key)``."""
+    head, sep, rest = full_key.partition("/")
+    if not sep:
+        return None, full_key
+    return head, rest
+
+
+def namespace_key(cluster: str, member_key: str) -> str:
+    """The federated spelling of one member cache key."""
+    return f"{cluster}/{member_key}"

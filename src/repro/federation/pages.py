@@ -1,0 +1,517 @@
+"""Federated pages and cross-cluster rollups.
+
+Every function here follows the same partial-result contract (the
+tentpole's quorum semantics): per-member work fans out over the
+federation worker pool, a member that fails or serves stale degrades
+*its own* column/slot, and the merged response is
+
+* ``200`` with a ``clusters_degraded`` list naming the losers when at
+  least one member answered, and
+* ``503`` only when **no** member answered — never a whole-page 5xx
+  because one cluster died.
+
+The federated homepage streams exactly like the single-cluster one
+(:mod:`repro.core.pages.homepage`): the shell is rendered once with a
+sentinel per cluster column and split, then each column's HTML is
+interleaved back as its member's fan-out worker completes — so the
+batch and streamed renders are byte-identical by construction, and a
+cluster dying mid-stream degrades its column *in place* without
+aborting the chunked connection.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import partial
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.auth import Viewer
+from repro.core.pages.homepage import HOMEPAGE_WIDGETS, _render_slot
+from repro.core.rendering import RawHTML, el, page_shell, render_document
+from repro.core.routes import RouteResponse, response_etag
+from repro.faults import Deadline
+
+from .context import FederatedContext
+from .metrics import namespace_key
+from .registry import ClusterMember
+
+#: path prefix every federated JSON route lives under
+FEDERATION_PREFIX = "/api/v1/federation/"
+
+#: federated route name -> the member route it rolls up
+FEDERATED_ROUTES = {
+    "federation_cluster_status": "cluster_status",
+    "federation_my_jobs": "my_jobs",
+    "federation_accounts": "accounts",
+}
+
+
+# -- fan-out -----------------------------------------------------------------
+
+
+def _call_member(
+    member: ClusterMember,
+    route: str,
+    viewer: Viewer,
+    params: Dict[str, Any],
+    deadline: Optional[Deadline],
+) -> RouteResponse:
+    # each member gets its own params copy (handlers may mutate) and
+    # opens its own fetch scope/deadline inside its own dashboard
+    return member.dashboard.call(route, viewer, dict(params), deadline=deadline)
+
+
+def gather_members(
+    ctx: FederatedContext,
+    route: str,
+    viewer: Viewer,
+    params: Dict[str, Any],
+    deadline: Optional[Deadline] = None,
+) -> "List[Tuple[ClusterMember, RouteResponse]]":
+    """One :class:`RouteResponse` per member, in registration order.
+
+    Failure isolation is two-layered: ``registry.call`` inside each
+    member already catches handler errors, and an escape from the
+    fan-out machinery itself is synthesized into that member's 500
+    envelope rather than touching its siblings.
+    """
+    members = ctx.registry.members()
+    outcomes = ctx.scatter(
+        [
+            partial(_call_member, member, route, viewer, params, deadline)
+            for member in members
+        ]
+    )
+    results: List[Tuple[ClusterMember, RouteResponse]] = []
+    for member, outcome in zip(members, outcomes):
+        if outcome.error is not None:
+            results.append(
+                (
+                    member,
+                    RouteResponse(
+                        ok=False,
+                        error=f"{type(outcome.error).__name__}: {outcome.error}",
+                        status=500,
+                        route=route,
+                    ),
+                )
+            )
+        else:
+            results.append((member, outcome.value))
+    return results
+
+
+def degraded_clusters(
+    results: "List[Tuple[ClusterMember, RouteResponse]]",
+) -> List[str]:
+    """Members that failed outright or served stale, in registration
+    order — the ``clusters_degraded`` field of the merged envelope."""
+    return [
+        member.name
+        for member, resp in results
+        if not resp.ok or resp.degraded
+    ]
+
+
+def _merged_validator(
+    route: str,
+    viewer: Viewer,
+    params: Dict[str, Any],
+    results: "List[Tuple[ClusterMember, RouteResponse]]",
+) -> Tuple[Optional[str], Optional[Tuple[Tuple[str, int], ...]]]:
+    """Federated ETag over every member's validator deps, namespaced.
+
+    Only derivable when *every* member answered fresh with a validator
+    of its own — a partial or stale merge has no sound validator.  The
+    member prefix on each dep key keeps revalidation per-member: two
+    clusters caching the same ``source:key`` can never satisfy each
+    other's generations.
+    """
+    deps: List[Tuple[str, int]] = []
+    for member, resp in results:
+        if not (resp.ok and not resp.degraded and resp.etag and resp.cache_deps):
+            return None, None
+        deps.extend(
+            (namespace_key(member.name, key), gen) for key, gen in resp.cache_deps
+        )
+    cache_deps = tuple(sorted(deps))
+    return response_etag(route, viewer, params, cache_deps), cache_deps
+
+
+def _all_failed_response(
+    route: str,
+    results: "List[Tuple[ClusterMember, RouteResponse]]",
+    elapsed_ms: float,
+) -> RouteResponse:
+    """The quorum-lost envelope: every member failed, so the federation
+    answers 503 (with the largest member retry hint) — the only case a
+    federated route surfaces a 5xx."""
+    hints = [
+        resp.retry_after_s
+        for _, resp in results
+        if resp.retry_after_s is not None
+    ]
+    return RouteResponse(
+        ok=False,
+        error="no cluster answered: "
+        + "; ".join(f"{m.name}: {r.error}" for m, r in results),
+        status=503,
+        route=route,
+        elapsed_ms=elapsed_ms,
+        degraded=True,
+        retry_after_s=max(hints) if hints else None,
+        clusters_degraded=[m.name for m, _ in results],
+    )
+
+
+def _member_slot(member: ClusterMember, resp: RouteResponse) -> Dict[str, Any]:
+    """One per-cluster slot of a merged JSON payload."""
+    if not resp.ok:
+        return {
+            "cluster": member.name,
+            "unreachable": True,
+            "error": resp.error,
+            "status": resp.status,
+        }
+    slot: Dict[str, Any] = {
+        "cluster": member.name,
+        "degraded": resp.degraded,
+        "data": resp.data,
+    }
+    if resp.stale_age_s is not None:
+        slot["stale_age_s"] = round(resp.stale_age_s, 3)
+    return slot
+
+
+# -- JSON rollups ------------------------------------------------------------
+
+
+def federated_cluster_status(
+    ctx: FederatedContext,
+    viewer: Viewer,
+    params: Dict[str, Any],
+    deadline: Optional[Deadline] = None,
+) -> RouteResponse:
+    """The cluster-status page's data: one slot per member cluster."""
+    route = "federation_cluster_status"
+    t0 = time.perf_counter()
+    results = gather_members(ctx, "cluster_status", viewer, params, deadline)
+    elapsed_ms = (time.perf_counter() - t0) * 1000
+    degraded = degraded_clusters(results)
+    if all(not r.ok for _, r in results):
+        response = _all_failed_response(route, results, elapsed_ms)
+    else:
+        etag, cache_deps = _merged_validator(route, viewer, params, results)
+        response = RouteResponse(
+            ok=True,
+            data={
+                "clusters": [_member_slot(m, r) for m, r in results],
+                "clusters_total": len(results),
+                "clusters_ok": sum(1 for _, r in results if r.ok),
+            },
+            route=route,
+            elapsed_ms=elapsed_ms,
+            degraded=bool(degraded),
+            stale_age_s=_max_stale(results),
+            clusters_degraded=degraded,
+            etag=etag,
+            cache_deps=cache_deps,
+        )
+    ctx.obs.record_route(route, response.status, elapsed_ms, ok=response.ok)
+    return response
+
+
+def federated_my_jobs(
+    ctx: FederatedContext,
+    viewer: Viewer,
+    params: Dict[str, Any],
+    deadline: Optional[Deadline] = None,
+) -> RouteResponse:
+    """Cross-cluster My Jobs: every member's rows merged, each labeled
+    with its cluster of origin; partial results keep the page up."""
+    route = "federation_my_jobs"
+    t0 = time.perf_counter()
+    results = gather_members(ctx, "my_jobs", viewer, params, deadline)
+    elapsed_ms = (time.perf_counter() - t0) * 1000
+    degraded = degraded_clusters(results)
+    if all(not r.ok for _, r in results):
+        response = _all_failed_response(route, results, elapsed_ms)
+    else:
+        jobs: List[Dict[str, Any]] = []
+        contributing: List[str] = []
+        for member, resp in results:
+            if not resp.ok:
+                continue
+            contributing.append(member.name)
+            for row in resp.data.get("jobs", []):
+                jobs.append({**row, "cluster": member.name})
+        etag, cache_deps = _merged_validator(route, viewer, params, results)
+        response = RouteResponse(
+            ok=True,
+            data={
+                "jobs": jobs,
+                "total": len(jobs),
+                "clusters": [_member_summary(m, r) for m, r in results],
+                "clusters_contributing": contributing,
+            },
+            route=route,
+            elapsed_ms=elapsed_ms,
+            degraded=bool(degraded),
+            stale_age_s=_max_stale(results),
+            clusters_degraded=degraded,
+            etag=etag,
+            cache_deps=cache_deps,
+        )
+    ctx.obs.record_route(route, response.status, elapsed_ms, ok=response.ok)
+    return response
+
+
+def federated_accounts(
+    ctx: FederatedContext,
+    viewer: Viewer,
+    params: Dict[str, Any],
+    deadline: Optional[Deadline] = None,
+) -> RouteResponse:
+    """Cross-cluster accounting rollup: each member's allocations merged
+    and labeled with the cluster they bill against."""
+    route = "federation_accounts"
+    t0 = time.perf_counter()
+    results = gather_members(ctx, "accounts", viewer, params, deadline)
+    elapsed_ms = (time.perf_counter() - t0) * 1000
+    degraded = degraded_clusters(results)
+    if all(not r.ok for _, r in results):
+        response = _all_failed_response(route, results, elapsed_ms)
+    else:
+        accounts: List[Dict[str, Any]] = []
+        contributing: List[str] = []
+        for member, resp in results:
+            if not resp.ok:
+                continue
+            contributing.append(member.name)
+            for acct in resp.data.get("accounts", []):
+                accounts.append({**acct, "cluster": member.name})
+        etag, cache_deps = _merged_validator(route, viewer, params, results)
+        response = RouteResponse(
+            ok=True,
+            data={
+                "accounts": accounts,
+                "total": len(accounts),
+                "clusters": [_member_summary(m, r) for m, r in results],
+                "clusters_contributing": contributing,
+            },
+            route=route,
+            elapsed_ms=elapsed_ms,
+            degraded=bool(degraded),
+            stale_age_s=_max_stale(results),
+            clusters_degraded=degraded,
+            etag=etag,
+            cache_deps=cache_deps,
+        )
+    ctx.obs.record_route(route, response.status, elapsed_ms, ok=response.ok)
+    return response
+
+
+def _member_summary(member: ClusterMember, resp: RouteResponse) -> Dict[str, Any]:
+    """Compact contribution record for merged list payloads."""
+    out: Dict[str, Any] = {"cluster": member.name, "ok": resp.ok}
+    if not resp.ok:
+        out["error"] = resp.error
+        out["status"] = resp.status
+    elif resp.degraded:
+        out["degraded"] = True
+        if resp.stale_age_s is not None:
+            out["stale_age_s"] = round(resp.stale_age_s, 3)
+    return out
+
+
+def _max_stale(
+    results: "List[Tuple[ClusterMember, RouteResponse]]",
+) -> Optional[float]:
+    ages = [r.stale_age_s for _, r in results if r.stale_age_s is not None]
+    return max(ages) if ages else None
+
+
+FEDERATED_HANDLERS = {
+    "federation_cluster_status": federated_cluster_status,
+    "federation_my_jobs": federated_my_jobs,
+    "federation_accounts": federated_accounts,
+}
+
+
+# -- the federated homepage ---------------------------------------------------
+
+#: sentinel marking where one cluster column lands in the streamed
+#: document; NUL can never appear in rendered (escaped) HTML
+_COLUMN_TOKEN = "\x00cluster-column:{name}\x00"
+
+
+def render_cluster_column(
+    member: ClusterMember, viewer: Viewer
+) -> Tuple[Any, List[str], Dict[str, float]]:
+    """One member's homepage column: its five widget slots under a
+    cluster header, rendered through the *same*
+    :func:`~repro.core.pages.homepage._render_slot` path as the
+    single-cluster page — so slot envelopes can never drift between the
+    two.  Returns ``(element, failed_widgets, degraded_widgets)``."""
+    failures: List[str] = []
+    degraded: Dict[str, float] = {}
+    slots = []
+    for name in HOMEPAGE_WIDGETS:
+        response = member.dashboard.call(name, viewer)
+        slot, failure, stale_age = _render_slot(name, response)
+        if failure is not None:
+            failures.append(name)
+        if stale_age is not None:
+            degraded[name] = stale_age
+        slots.append(slot)
+    banner = None
+    if failures or degraded:
+        banner = el(
+            "div",
+            f"Some {member.name} data is unavailable or stale; "
+            f"other clusters are unaffected.",
+            cls="cluster-banner alert alert-warning",
+            role="status",
+        )
+    classes = "cluster-column"
+    if failures or degraded:
+        classes += " cluster-degraded"
+    column = el(
+        "section",
+        el("h2", member.name, cls="cluster-name"),
+        banner,
+        *slots,
+        cls=classes,
+        data_cluster=member.name,
+    )
+    return column, failures, degraded
+
+
+def unreachable_column(name: str, detail: str) -> Any:
+    """The explicit "cluster unreachable" slot: rendered when a member's
+    column thunk itself dies (beyond per-widget isolation)."""
+    return el(
+        "section",
+        el("h2", name, cls="cluster-name"),
+        el(
+            "div",
+            f"Cluster {name} is unreachable. ({detail})",
+            cls="cluster-error alert alert-danger",
+            role="alert",
+        ),
+        cls="cluster-column cluster-unreachable",
+        data_cluster=name,
+    )
+
+
+def _federation_segments(username: str, names: List[str]) -> List[str]:
+    """The federated homepage document split around its cluster columns
+    (same technique as the single-cluster streamed homepage: render the
+    full document once with sentinels, split on them)."""
+    placeholders = [RawHTML(_COLUMN_TOKEN.format(name=name)) for name in names]
+    page = page_shell(
+        "federation",
+        username,
+        el("div", *placeholders, cls="federation-grid"),
+    )
+    document = render_document("HPC Dashboard", page)
+    segments: List[str] = []
+    rest = document
+    for name in names:
+        head, rest = rest.split(_COLUMN_TOKEN.format(name=name), 1)
+        segments.append(head)
+    segments.append(rest)
+    return segments
+
+
+class FederatedHomepageRender:
+    """Rendered federated homepage plus per-cluster degradation detail."""
+
+    def __init__(
+        self,
+        document: str,
+        failures: Dict[str, List[str]],
+        degraded: Dict[str, Dict[str, float]],
+        clusters_degraded: List[str],
+    ):
+        self.document = document
+        #: cluster -> widget names that failed outright
+        self.failures = failures
+        #: cluster -> widget name -> stale age (s)
+        self.degraded = degraded
+        #: clusters that failed or served stale, in registration order
+        self.clusters_degraded = clusters_degraded
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _column_chunks(
+    ctx: FederatedContext, viewer: Viewer
+) -> Iterator[Tuple[str, str, List[str], Dict[str, float]]]:
+    """Per-cluster ``(name, column_html, failures, degraded)`` in
+    registration order, each yielded as its fan-out worker completes."""
+    members = ctx.registry.members()
+    outcomes = ctx.scatter_stream(
+        [partial(render_cluster_column, member, viewer) for member in members]
+    )
+    for member, outcome in zip(members, outcomes):
+        if outcome.error is not None:
+            detail = f"{type(outcome.error).__name__}: {outcome.error}"
+            column = unreachable_column(member.name, detail)
+            yield member.name, column.render(), list(HOMEPAGE_WIDGETS), {}
+        else:
+            column, failures, degraded = outcome.value
+            yield member.name, column.render(), failures, degraded
+
+
+def stream_federated_homepage(
+    ctx: FederatedContext, viewer: Viewer
+) -> Iterator[str]:
+    """Stream the federated homepage: shell first, one column per member
+    cluster as each completes.  A member that dies mid-stream degrades
+    its own column in place; the chunked connection always terminates
+    normally."""
+    with ctx.obs.tracer.span(
+        "page:federation", kind="page",
+        attrs={"viewer": viewer.username, "streamed": True},
+    ):
+        names = ctx.registry.names
+        segments = _federation_segments(viewer.username, names)
+        chunks = _column_chunks(ctx, viewer)
+        yield segments[0]
+        for i, (_, column_html, _, _) in enumerate(chunks):
+            yield column_html + segments[i + 1]
+
+
+def render_federated_homepage(
+    ctx: FederatedContext, viewer: Viewer
+) -> FederatedHomepageRender:
+    """Batch render: same bytes as the streamed page, plus the
+    per-cluster failure/degradation report the tests assert on."""
+    with ctx.obs.tracer.span(
+        "page:federation", kind="page", attrs={"viewer": viewer.username},
+    ):
+        names = ctx.registry.names
+        segments = _federation_segments(viewer.username, names)
+        failures: Dict[str, List[str]] = {}
+        degraded: Dict[str, Dict[str, float]] = {}
+        parts = [segments[0]]
+        for i, (name, column_html, col_failures, col_degraded) in enumerate(
+            _column_chunks(ctx, viewer)
+        ):
+            if col_failures:
+                failures[name] = col_failures
+            if col_degraded:
+                degraded[name] = col_degraded
+            parts.append(column_html + segments[i + 1])
+    clusters_degraded = [
+        name for name in names if name in failures or name in degraded
+    ]
+    return FederatedHomepageRender(
+        document="".join(parts),
+        failures=failures,
+        degraded=degraded,
+        clusters_degraded=clusters_degraded,
+    )

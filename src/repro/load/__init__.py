@@ -9,6 +9,7 @@ schema'd ``BENCH_load.json`` (see :mod:`repro.load.report`) that
 ``tools/bench_report.py`` runs, validates, summarizes, and diffs.
 """
 
+from .federation import federation_ab, run_federation_side
 from .generator import (
     RequestOutcome,
     compare_sharding,
@@ -46,9 +47,11 @@ __all__ = [
     "default_scenarios",
     "delivery_ab",
     "diff",
+    "federation_ab",
     "load_bench",
     "percentile",
     "responses_identical",
+    "run_federation_side",
     "run_scenario",
     "run_suite",
     "stampede_contention",

@@ -1,0 +1,218 @@
+"""Federation A/B under standing load: 1 cluster vs 3 with one killed.
+
+The BENCH file's ``federation`` section answers the tentpole's isolation
+claim with numbers: replay the same per-cluster request mix against
+
+* **baseline** — a federation of one healthy cluster, and
+* **federated** — three clusters with one killed mid-run (hard outage
+  on every service from the halfway tick),
+
+both over real HTTP through :class:`~repro.web.server.DashboardServer`.
+The claims the record carries:
+
+* **zero unexpected 5xx** — the dead cluster degrades its own slots;
+  deliberate backpressure (429/503/504 on the dead member's direct
+  ``?cluster=`` routes) is shed, never a federated-page failure;
+* **healthy hit rates undisturbed** — each surviving member's cache hit
+  rate stays within noise of the single-cluster baseline, because
+  members share nothing a dead sibling could poison.
+
+Everything here runs on the shared sim clock (the tick barrier drains
+every request before the clock moves), so reruns are reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults import FaultPlan
+from repro.federation import build_demo_federation
+from repro.web.server import DashboardServer
+
+from .generator import SHED_STATUSES, TRANSPORT_ERROR_STATUS
+
+#: the federated pages every tick exercises for every user
+FEDERATED_PATHS = (
+    "/api/v1/federation/cluster_status",
+    "/api/v1/federation/my_jobs",
+    "/",
+)
+
+#: per-member widget each tick hits through the ``?cluster=`` selector
+MEMBER_WIDGET = "/api/v1/widgets/recent_jobs"
+
+
+def _fire(url: str, path: str, user: str, timeout_s: float) -> Tuple[int, bytes]:
+    req = urllib.request.Request(
+        url + path, headers={"X-Remote-User": user}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+    except (urllib.error.URLError, OSError):
+        return TRANSPORT_ERROR_STATUS, b""
+
+
+def _member_cache_totals(registry) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for member in registry:
+        reg = member.ctx.obs.registry
+        out[member.name] = {
+            "lookups": reg.total("repro_cache_requests_total"),
+            "hits": reg.total("repro_cache_requests_total", result="hit"),
+        }
+    return out
+
+
+def run_federation_side(
+    names: Sequence[str],
+    *,
+    faulted: Optional[str] = None,
+    ticks: int,
+    tick_s: float,
+    user_count: int,
+    seed: int = 2025,
+    duration_hours: float = 0.5,
+    request_timeout_s: float = 30.0,
+) -> Dict[str, Any]:
+    """Replay the federation mix against one stack; returns its record.
+
+    ``faulted`` names the member killed at the halfway tick (hard outage
+    on every service, never lifted).  The request mix per tick is the
+    same regardless of cluster count: every user fetches each federated
+    page, then each member's widget through ``?cluster=`` — so member
+    hit rates are comparable across sides.
+    """
+    fed, registry = build_demo_federation(
+        names=tuple(names), seed=seed, duration_hours=duration_hours
+    )
+    users = [u.username for u in registry.default.directory.users()[:user_count]]
+    kill_tick = ticks // 2 if faulted else None
+
+    statuses: Dict[str, int] = {}
+    degraded_responses = 0
+    requests = 0
+    cache_before = _member_cache_totals(registry)
+
+    wall_start = time.perf_counter()
+    with DashboardServer(fed) as server:
+        for tick in range(ticks):
+            if kill_tick is not None and tick == kill_tick:
+                plan = FaultPlan(seed=seed)
+                plan.schedule_outage(
+                    "*", start=fed.clock.now(), end=math.inf
+                )
+                fed.inject_faults(faulted, plan)
+            for user in users:
+                paths = list(FEDERATED_PATHS) + [
+                    f"{MEMBER_WIDGET}?cluster={name}" for name in names
+                ]
+                for path in paths:
+                    status, body = _fire(
+                        server.url, path, user, request_timeout_s
+                    )
+                    requests += 1
+                    key = str(status)
+                    statuses[key] = statuses.get(key, 0) + 1
+                    if status == 200 and path.startswith("/api/v1/federation/"):
+                        payload = json.loads(body)
+                        if payload.get("clusters_degraded"):
+                            degraded_responses += 1
+            # tick barrier: the clock only moves between drained ticks
+            registry.advance(tick_s)
+    wall_s = time.perf_counter() - wall_start
+
+    cache_after = _member_cache_totals(registry)
+    member_cache: Dict[str, Dict[str, float]] = {}
+    for name in registry.names:
+        lookups = cache_after[name]["lookups"] - cache_before[name]["lookups"]
+        hits = cache_after[name]["hits"] - cache_before[name]["hits"]
+        member_cache[name] = {
+            "lookups": lookups,
+            "hits": hits,
+            "hit_rate": round(hits / lookups if lookups else 0.0, 4),
+        }
+
+    unexpected_5xx = sum(
+        n for code, n in statuses.items()
+        if code.startswith("5")
+        and int(code) not in SHED_STATUSES
+        and int(code) != TRANSPORT_ERROR_STATUS
+    )
+    shed = sum(statuses.get(str(code), 0) for code in SHED_STATUSES)
+    return {
+        "clusters": list(names),
+        "faulted_cluster": faulted,
+        "kill_tick": kill_tick,
+        "requests": requests,
+        "statuses": dict(sorted(statuses.items())),
+        "unexpected_5xx": unexpected_5xx,
+        "shed_responses": shed,
+        "degraded_responses": degraded_responses,
+        "member_cache": member_cache,
+        "wall_s": round(wall_s, 3),
+    }
+
+
+def federation_ab(
+    *,
+    smoke: bool = False,
+    seed: int = 2025,
+    names: Sequence[str] = ("anvil", "bell", "negishi"),
+    faulted: str = "bell",
+) -> Dict[str, Any]:
+    """The BENCH file's ``federation`` section: baseline vs killed-member
+    federation, plus the derived isolation verdicts."""
+    ticks = 6 if smoke else 16
+    tick_s = 30.0
+    user_count = 2 if smoke else 4
+    duration_hours = 0.25 if smoke else 0.5
+
+    baseline = run_federation_side(
+        names[:1],
+        ticks=ticks,
+        tick_s=tick_s,
+        user_count=user_count,
+        seed=seed,
+        duration_hours=duration_hours,
+    )
+    federated = run_federation_side(
+        names,
+        faulted=faulted,
+        ticks=ticks,
+        tick_s=tick_s,
+        user_count=user_count,
+        seed=seed,
+        duration_hours=duration_hours,
+    )
+
+    base_rate = baseline["member_cache"][names[0]]["hit_rate"]
+    healthy = [n for n in names if n != faulted]
+    healthy_delta = max(
+        abs(federated["member_cache"][n]["hit_rate"] - base_rate)
+        for n in healthy
+    )
+    return {
+        "smoke": bool(smoke),
+        "seed": seed,
+        "ticks": ticks,
+        "tick_s": tick_s,
+        "users": user_count,
+        "faulted_cluster": faulted,
+        "baseline": baseline,
+        "federated": federated,
+        "healthy_clusters": healthy,
+        "healthy_hit_rate_delta": round(healthy_delta, 4),
+        "zero_unexpected_5xx": (
+            baseline["unexpected_5xx"] == 0
+            and federated["unexpected_5xx"] == 0
+        ),
+        "degraded_detail_served": federated["degraded_responses"] > 0,
+    }

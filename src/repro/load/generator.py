@@ -651,6 +651,7 @@ def run_suite(
     include_sharding: bool = True,
     include_delivery: bool = True,
     include_views: bool = True,
+    include_federation: bool = True,
     progress: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run scenarios plus the sharding and delivery comparisons into one
@@ -681,4 +682,10 @@ def run_suite(
         if progress is not None:
             progress("event-driven views A/B ...")
         doc["views"] = views_ab()
+    if include_federation:
+        if progress is not None:
+            progress("federation A/B (1 vs 3 clusters, one killed) ...")
+        from .federation import federation_ab
+
+        doc["federation"] = federation_ab(smoke=smoke)
     return doc

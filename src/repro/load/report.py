@@ -111,6 +111,22 @@ def validate_bench(doc: Any) -> List[str]:
                     errors.append(f"delivery: not_modified missing {field!r}")
             if "savings_ratio" not in delivery.get("gzip", {}):
                 errors.append("delivery: gzip missing 'savings_ratio'")
+    federation = doc.get("federation")
+    if federation is not None:
+        if not isinstance(federation, dict):
+            errors.append("federation must be an object")
+        else:
+            for field in ("faulted_cluster", "baseline", "federated",
+                          "healthy_clusters", "healthy_hit_rate_delta",
+                          "zero_unexpected_5xx", "degraded_detail_served"):
+                if field not in federation:
+                    errors.append(f"federation: missing field {field!r}")
+            for side in ("baseline", "federated"):
+                for field in ("clusters", "requests", "statuses",
+                              "unexpected_5xx", "shed_responses",
+                              "degraded_responses", "member_cache"):
+                    if field not in federation.get(side, {}):
+                        errors.append(f"federation: {side} missing {field!r}")
     views = doc.get("views")
     if views is not None:
         if not isinstance(views, dict):
@@ -198,6 +214,27 @@ def summarize(doc: Dict[str, Any]) -> str:
             f"streamed homepage identical: "
             f"{delivery['streamed_homepage_identical']}  "
             f"decoded identical: {delivery['decoded_identical']}"
+        )
+    federation = doc.get("federation")
+    if federation:
+        fd = federation["federated"]
+        lines.append("")
+        lines.append(
+            f"federation A/B (1 vs {len(fd['clusters'])} clusters, "
+            f"{federation['faulted_cluster']} killed mid-run):"
+        )
+        for name, cache in fd["member_cache"].items():
+            marker = " (killed)" if name == federation["faulted_cluster"] else ""
+            lines.append(
+                f"  {name:<10} hit_rate={cache['hit_rate'] * 100:>5.1f}% "
+                f"lookups={cache['lookups']:.0f}{marker}"
+            )
+        lines.append(
+            f"  unexpected 5xx: {fd['unexpected_5xx']}  "
+            f"shed: {fd['shed_responses']}  "
+            f"degraded-detail 200s: {fd['degraded_responses']}  "
+            f"healthy hit-rate delta vs baseline: "
+            f"{federation['healthy_hit_rate_delta'] * 100:.1f}pp"
         )
     views = doc.get("views")
     if views:
@@ -288,6 +325,16 @@ def diff(old: Dict[str, Any], new: Dict[str, Any]) -> str:
             f"{new_dl['not_modified']['bytes_saved']}, gzip savings: "
             f"{old_dl['gzip']['savings_ratio']:.3f} -> "
             f"{new_dl['gzip']['savings_ratio']:.3f}"
+        )
+    old_fd = old.get("federation")
+    new_fd = new.get("federation")
+    if old_fd and new_fd:
+        lines.append(
+            f"federation healthy hit-rate delta: "
+            f"{old_fd['healthy_hit_rate_delta']:.3f} -> "
+            f"{new_fd['healthy_hit_rate_delta']:.3f}, unexpected 5xx: "
+            f"{old_fd['federated']['unexpected_5xx']} -> "
+            f"{new_fd['federated']['unexpected_5xx']}"
         )
     old_vw = old.get("views")
     new_vw = new.get("views")

@@ -26,6 +26,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.sim.rng import RandomStreams
+
 #: bodies smaller than this are not worth a gzip member (header + CRC
 #: overhead ≈ 25 bytes, and tiny JSON rarely deflates well)
 GZIP_MIN_BYTES = 500
@@ -113,6 +115,35 @@ def content_disposition(filename: str) -> str:
     return f'attachment; filename="{safe}"'
 
 
+class RetryJitter:
+    """Deterministic seeded jitter for ``Retry-After`` hints.
+
+    Every admission rejection (429/503/504) used to carry the *same*
+    retry budget, so every rejected client slept the same interval and
+    re-stampeded the recovering daemon in lockstep.  Each call draws the
+    next value from one seeded :class:`~repro.sim.rng.RandomStreams`
+    stream and spreads the hint across ``[hint, hint * (1 + spread))`` —
+    concurrent rejections get *different* hints, and a run with the same
+    seed replays the exact same sequence of hints.
+
+    Jitter applies to the header hint only; the JSON body's
+    ``retry_after_s`` stays the route layer's un-jittered budget.
+    """
+
+    def __init__(self, seed: int = 0, spread: float = 0.5):
+        if spread < 0:
+            raise ValueError(f"spread must be >= 0: {spread}")
+        self.spread = spread
+        self._rng = RandomStreams(seed=seed).stream("retry-after")
+        self._lock = threading.Lock()
+
+    def jitter(self, retry_after_s: float) -> float:
+        """The jittered hint for one rejected request (thread-safe)."""
+        with self._lock:
+            draw = float(self._rng.random())
+        return retry_after_s * (1.0 + self.spread * draw)
+
+
 @dataclass(frozen=True)
 class ValidatorRecord:
     """What the server remembers about one ETagged response."""
@@ -189,6 +220,7 @@ class ValidatorIndex:
 
 __all__ = [
     "GZIP_MIN_BYTES",
+    "RetryJitter",
     "ValidatorIndex",
     "ValidatorRecord",
     "content_disposition",

@@ -42,6 +42,7 @@ from repro.core.params import (  # noqa: F401  (re-exports)
 from repro.faults import Deadline
 from repro.web.delivery import (
     GZIP_MIN_BYTES,
+    RetryJitter,
     ValidatorIndex,
     content_disposition,
     gzip_accepted,
@@ -66,6 +67,10 @@ class _Handler(BaseHTTPRequestHandler):
     @property
     def validators(self) -> ValidatorIndex:
         return self.server.validators  # type: ignore[attr-defined]
+
+    @property
+    def retry_jitter(self) -> RetryJitter:
+        return self.server.retry_jitter  # type: ignore[attr-defined]
 
     def log_message(self, fmt: str, *args) -> None:  # noqa: A003
         if self.server.verbose:  # type: ignore[attr-defined]
@@ -148,20 +153,9 @@ class _Handler(BaseHTTPRequestHandler):
         username = self.headers.get("X-Remote-User")
 
         if parsed.path == "/healthz":
-            self._send(
-                200,
-                {
-                    "ok": True,
-                    "service": "repro-dashboard",
-                    # circuit-breaker states per backend, for operators
-                    # watching a degraded cluster recover; the same call
-                    # mirrors the states into the /metrics gauge
-                    "breakers": self.dashboard.ctx.breaker_report(),
-                    # admission tier + signals (§ overload control): stays
-                    # live even when the dashboard is shedding load
-                    "admission": self.dashboard.ctx.admission_report(),
-                },
-            )
+            # the dashboard owns its health shape: single-cluster reports
+            # breakers + admission tier, federated adds per-cluster detail
+            self._send(200, self.dashboard.healthz_payload())
             return
         if parsed.path == "/metrics":
             # operator endpoint, unauthenticated like /healthz
@@ -290,7 +284,11 @@ class _Handler(BaseHTTPRequestHandler):
         extra = []
         retry_after = getattr(response, "retry_after_s", None)
         if retry_after is not None and retry_after > 0:
-            extra.append(("Retry-After", str(max(1, math.ceil(retry_after)))))
+            # jitter the header hint so concurrently rejected clients
+            # spread their retries instead of re-stampeding in lockstep;
+            # the body's retry_after_s stays the un-jittered budget
+            hint = self.retry_jitter.jitter(retry_after)
+            extra.append(("Retry-After", str(max(1, math.ceil(hint)))))
         status = response.status if not response.ok else 200
         body = json.dumps(response.to_json()).encode()
         self._record_validator(extra, response, request_key, len(body))
@@ -423,6 +421,8 @@ class DashboardServer:
         # one validator index per server: ETags recorded at send time,
         # revalidated on If-None-Match without dispatching the route
         self._httpd.validators = ValidatorIndex()  # type: ignore[attr-defined]
+        # one jitter stream per server: deterministic Retry-After spread
+        self._httpd.retry_jitter = RetryJitter()  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property

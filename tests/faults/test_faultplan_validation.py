@@ -1,0 +1,148 @@
+"""FaultPlan authoring validation and overlap precedence.
+
+The chaos schedule rejects windows that can never mean anything
+(zero-length, inverted) and same-kind overlaps on one target at
+construction time, with structured :class:`FaultConfigError` reasons.
+When *different* kinds overlap, precedence is outage > flaky > slow.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults import DaemonUnavailableError, FaultConfigError
+from repro.faults.plan import FaultPlan, FaultWindow
+
+
+class TestWindowConstruction:
+    def test_zero_length_window_is_rejected(self):
+        with pytest.raises(FaultConfigError) as exc:
+            FaultWindow(service="slurmctld", start=5.0, end=5.0)
+        assert exc.value.reason == "empty-window"
+
+    def test_inverted_window_is_rejected(self):
+        with pytest.raises(FaultConfigError) as exc:
+            FaultWindow(service="slurmctld", start=10.0, end=3.0)
+        assert exc.value.reason == "inverted-window"
+
+    def test_fault_config_error_is_a_value_error(self):
+        # callers that guarded with ValueError keep working
+        with pytest.raises(ValueError):
+            FaultWindow(service="news", start=2.0, end=1.0)
+
+    def test_valid_window_still_constructs(self):
+        w = FaultWindow(service="slurmctld", start=0.0, end=10.0)
+        assert w.active(0.0) and not w.active(10.0)
+
+
+class TestOverlapRejection:
+    def test_same_kind_same_service_overlap_rejected(self):
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", start=0.0, end=100.0)
+        with pytest.raises(FaultConfigError) as exc:
+            plan.schedule_outage("slurmctld", start=50.0, end=150.0)
+        assert exc.value.reason == "overlap"
+
+    def test_wildcard_overlaps_any_service(self):
+        plan = FaultPlan()
+        plan.schedule_outage("*", start=0.0, end=100.0)
+        with pytest.raises(FaultConfigError) as exc:
+            plan.schedule_outage("news", start=10.0, end=20.0)
+        assert exc.value.reason == "overlap"
+
+    def test_different_services_may_overlap(self):
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", start=0.0, end=100.0)
+        plan.schedule_outage("news", start=0.0, end=100.0)
+        assert plan.snapshot() == {"outage": 2}
+
+    def test_adjacent_windows_do_not_overlap(self):
+        # half-open [0, 50) and [50, 100) share no instant
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", start=0.0, end=50.0)
+        plan.schedule_outage("slurmctld", start=50.0, end=100.0)
+        assert plan.snapshot() == {"outage": 2}
+
+    def test_different_kinds_may_overlap(self):
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", start=0.0, end=100.0)
+        plan.schedule_slowdown("slurmctld", extra_latency_s=2.0,
+                               start=0.0, end=100.0)
+        plan.schedule_flakiness("slurmctld", error_rate=0.5,
+                                start=0.0, end=100.0)
+        assert plan.snapshot() == {"outage": 1, "slow": 1, "flaky": 1}
+
+    def test_constructor_validates_preseeded_windows(self):
+        a = FaultWindow(service="storage", start=0.0, end=30.0, kind="slow",
+                        extra_latency_s=1.0)
+        b = FaultWindow(service="*", start=10.0, end=20.0, kind="slow",
+                        extra_latency_s=2.0)
+        with pytest.raises(FaultConfigError) as exc:
+            FaultPlan(windows=[a, b])
+        assert exc.value.reason == "overlap"
+
+    def test_rejected_window_is_not_kept(self):
+        plan = FaultPlan()
+        plan.schedule_outage("slurmctld", start=0.0, end=math.inf)
+        with pytest.raises(FaultConfigError):
+            plan.schedule_outage("*", start=5.0)
+        assert plan.snapshot() == {"outage": 1}
+
+
+class TestOverlapPrecedence:
+    def test_outage_wins_over_flaky(self):
+        # error_rate=0 can never fail on its own; the outage must win
+        plan = FaultPlan()
+        plan.schedule_flakiness("slurmctld", error_rate=0.0,
+                                start=0.0, end=100.0)
+        plan.schedule_outage("slurmctld", start=0.0, end=100.0)
+        with pytest.raises(DaemonUnavailableError) as exc:
+            plan.check("slurmctld", now=50.0)
+        assert "scheduled outage" in str(exc.value)
+
+    def test_outage_does_not_burn_flaky_draws(self):
+        # identical seeds; one plan spends the outage period under an
+        # outage, the other doesn't exist yet.  After the outage ends,
+        # both must produce the same flaky draw sequence.
+        covered = FaultPlan(seed=7)
+        covered.schedule_flakiness("news", error_rate=0.5, start=0.0, end=200.0)
+        covered.schedule_outage("news", start=0.0, end=100.0)
+        control = FaultPlan(seed=7)
+        control.schedule_flakiness("news", error_rate=0.5, start=0.0, end=200.0)
+
+        for _ in range(10):
+            with pytest.raises(DaemonUnavailableError):
+                covered.check("news", now=50.0)  # outage, no draw spent
+
+        def outcomes(plan):
+            out = []
+            for _ in range(20):
+                try:
+                    plan.check("news", now=150.0)
+                    out.append(True)
+                except DaemonUnavailableError:
+                    out.append(False)
+            return out
+
+        assert outcomes(covered) == outcomes(control)
+
+    def test_outage_suppresses_slow_latency(self):
+        plan = FaultPlan()
+        plan.schedule_slowdown("slurmctld", extra_latency_s=3.0,
+                               start=0.0, end=200.0)
+        plan.schedule_outage("slurmctld", start=50.0, end=100.0)
+        # outage active: fail fast, no brownout penalty
+        assert plan.extra_latency("slurmctld", now=75.0) == 0.0
+        # outage over: the slow window applies again
+        assert plan.extra_latency("slurmctld", now=150.0) == 3.0
+
+    def test_slow_windows_sum_across_targets(self):
+        plan = FaultPlan()
+        plan.schedule_slowdown("slurmctld", extra_latency_s=1.0,
+                               start=0.0, end=100.0)
+        plan.schedule_slowdown("*", extra_latency_s=0.5,
+                               start=200.0, end=300.0)
+        assert plan.extra_latency("slurmctld", now=50.0) == 1.0
+        assert plan.extra_latency("slurmctld", now=250.0) == 0.5

@@ -1,0 +1,50 @@
+"""Shared fixtures for the federation suite.
+
+Everything is function-scoped: these tests inject faults and advance
+the shared clock, so no world survives its test.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.auth import Viewer
+from repro.federation import build_demo_federation
+
+
+@pytest.fixture
+def two_clusters():
+    """A two-member federation over a tiny shared timeline."""
+    fed, registry = build_demo_federation(
+        names=("anvil", "bell"), seed=11, duration_hours=0.5
+    )
+    return fed, registry
+
+
+@pytest.fixture
+def three_clusters():
+    """The acceptance-criteria shape: three members, one to kill."""
+    fed, registry = build_demo_federation(
+        names=("anvil", "bell", "negishi"), seed=11, duration_hours=0.5
+    )
+    return fed, registry
+
+
+@pytest.fixture
+def viewer(two_clusters):
+    _, registry = two_clusters
+    return Viewer(username=registry.default.directory.users()[0].username)
+
+
+def kill_cluster(fed, name, start=None):
+    """Schedule a hard outage on every service of one member."""
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan()
+    plan.schedule_outage(
+        "*", start=fed.clock.now() if start is None else start, end=math.inf
+    )
+    fed.inject_faults(name, plan)
+    return plan

@@ -1,0 +1,204 @@
+"""Chaos mid-stream and the federated HTTP surface.
+
+A cluster killed while the federated homepage is streaming must degrade
+its own column in place — the chunked connection terminates normally
+and every slot envelope stays byte-intact.  Over a real socket the
+federated routes keep full conditional-GET parity: ETags, If-None-Match
+304s, and HEAD mirroring GET.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.auth import Viewer
+from repro.core.pages.homepage import HOMEPAGE_WIDGETS
+from repro.federation import build_demo_federation
+from repro.web.server import DashboardServer
+
+from .conftest import kill_cluster
+from .test_federated_homepage import column_of
+
+
+class TestChaosMidStream:
+    def test_cluster_killed_mid_stream_degrades_in_place(self):
+        fed, registry = build_demo_federation(
+            names=("anvil", "bell", "negishi"), seed=11, duration_hours=0.25
+        )
+        viewer = Viewer(
+            username=registry.default.directory.users()[0].username
+        )
+        stream = fed.stream_homepage(viewer)
+        chunks = [next(stream)]  # shell flushed; columns not yet rendered
+        kill_cluster(fed, "negishi")
+        chunks.extend(stream)  # the stream must finish normally
+
+        # shell + one chunk per cluster column
+        assert len(chunks) == 1 + len(registry)
+        document = "".join(chunks)
+        assert document.rstrip().endswith("</html>")
+
+        # byte-level slot envelopes: every widget slot of every cluster
+        # present exactly once, dead or alive
+        for widget in HOMEPAGE_WIDGETS:
+            assert document.count(f'data-widget="{widget}"') == len(registry)
+
+        dead = column_of(document, "negishi")
+        assert "cluster-degraded" in dead
+        assert dead.count("widget-error alert alert-danger") == len(
+            HOMEPAGE_WIDGETS
+        )
+        for name in ("anvil", "bell"):
+            alive = column_of(document, name)
+            assert "cluster-degraded" not in alive
+            assert "widget-error" not in alive
+
+    def test_mid_stream_kill_yields_same_bytes_as_batch(self):
+        fed, registry = build_demo_federation(
+            names=("anvil", "bell"), seed=11, duration_hours=0.25
+        )
+        viewer = Viewer(
+            username=registry.default.directory.users()[0].username
+        )
+        stream = fed.stream_homepage(viewer)
+        first = next(stream)
+        kill_cluster(fed, "bell")
+        streamed = first + "".join(stream)
+        batch = fed.render_homepage(viewer).document
+        assert streamed == batch
+
+
+@pytest.fixture
+def served_federation():
+    fed, registry = build_demo_federation(
+        names=("anvil", "bell"), seed=11, duration_hours=0.25
+    )
+    server = DashboardServer(fed).start()
+    yield server, fed, registry
+    server.stop()
+
+
+def request(server, path, username=None, headers=None, method="GET"):
+    all_headers = dict(headers or {})
+    if username:
+        all_headers["X-Remote-User"] = username
+    req = urllib.request.Request(
+        server.url + path, headers=all_headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return resp.status, resp.headers, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.headers, err.read()
+
+
+class TestFederatedHTTP:
+    def test_homepage_streams_chunked_and_complete(self, served_federation):
+        server, fed, registry = served_federation
+        user = registry.default.directory.users()[0].username
+        kill_cluster(fed, "bell")
+        status, headers, body = request(server, "/", username=user)
+        assert status == 200
+        assert headers.get("Transfer-Encoding") == "chunked"
+        text = body.decode()
+        assert text.rstrip().endswith("</html>")
+        assert "cluster-degraded" in column_of(text, "bell")
+        assert "cluster-degraded" not in column_of(text, "anvil")
+
+    def test_federated_route_conditional_get(self, served_federation):
+        server, _, registry = served_federation
+        user = registry.default.directory.users()[0].username
+        path = "/api/v1/federation/cluster_status"
+        status, headers, body = request(server, path, username=user)
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["ok"] is True
+        assert payload["clusters_degraded"] == []
+        etag = headers["ETag"]
+        assert etag.startswith('"')
+
+        status, h304, body = request(
+            server, path, username=user, headers={"If-None-Match": etag}
+        )
+        assert status == 304 and body == b""
+        assert h304["ETag"] == etag
+
+    def test_head_mirrors_get_for_federated_routes(self, served_federation):
+        server, _, registry = served_federation
+        user = registry.default.directory.users()[0].username
+        path = "/api/v1/federation/my_jobs"
+        get_status, get_headers, get_body = request(
+            server, path, username=user
+        )
+        head_status, head_headers, head_body = request(
+            server, path, username=user, method="HEAD"
+        )
+        assert get_status == head_status == 200
+        assert head_body == b""
+        assert head_headers["ETag"] == get_headers["ETag"]
+        assert head_headers["Content-Type"] == get_headers["Content-Type"]
+
+        status, h304, body = request(
+            server,
+            path,
+            username=user,
+            headers={"If-None-Match": get_headers["ETag"]},
+            method="HEAD",
+        )
+        assert status == 304 and body == b""
+
+    def test_cluster_param_selects_member_over_http(self, served_federation):
+        server, _, registry = served_federation
+        user = registry.default.directory.users()[0].username
+        status, _, body = request(
+            server, "/api/v1/my_jobs?cluster=bell", username=user
+        )
+        assert status == 200
+        assert json.loads(body)["ok"] is True
+
+        status, _, body = request(
+            server, "/api/v1/my_jobs?cluster=purdue", username=user
+        )
+        assert status == 404
+        assert "bell" in json.loads(body)["error"]
+
+    def test_degraded_federation_is_never_a_5xx(self, served_federation):
+        server, fed, registry = served_federation
+        user = registry.default.directory.users()[0].username
+        kill_cluster(fed, "bell")
+        status, _, body = request(
+            server, "/api/v1/federation/cluster_status", username=user
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["clusters_degraded"] == ["bell"]
+
+    def test_healthz_reports_per_cluster_state(self, served_federation):
+        server, fed, registry = served_federation
+        user = registry.default.directory.users()[0].username
+        kill_cluster(fed, "bell")
+        # drive bell's breaker open through the federated page
+        for _ in range(3):
+            request(server, "/api/v1/federation/cluster_status", username=user)
+        status, _, body = request(server, "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["federation"]["clusters_total"] == 2
+        assert set(payload["clusters"]) == {"anvil", "bell"}
+        assert payload["clusters"]["bell"]["breakers"]["slurmctld"] == "open"
+        assert payload["clusters"]["anvil"]["breakers"]["slurmctld"] == "closed"
+
+    def test_metrics_scrape_is_cluster_labeled(self, served_federation):
+        server, _, registry = served_federation
+        status, _, body = request(server, "/metrics")
+        assert status == 200
+        text = body.decode()
+        for name in registry.names:
+            assert re.search(
+                r'repro_cache_entries\{cluster="%s"' % name, text
+            ), f"no cluster-labeled cache gauge for {name}"

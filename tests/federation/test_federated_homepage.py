@@ -1,0 +1,110 @@
+"""The federated homepage: one column per cluster, isolated degradation."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.pages.homepage import HOMEPAGE_WIDGETS
+from repro.federation import unreachable_column
+
+from .conftest import kill_cluster
+
+
+def column_of(document: str, name: str) -> str:
+    """The one <section> column for cluster ``name``.  Widgets render
+    nested <section> elements of their own, so close tags have to be
+    balanced rather than regexed."""
+    marker = f'data-cluster="{name}"'
+    starts = [
+        m.start()
+        for m in re.finditer(r"<section\b[^>]*>", document)
+        if marker in m.group(0)
+    ]
+    assert len(starts) == 1, f"expected exactly one {name} column"
+    depth = 0
+    for m in re.finditer(r"<section\b|</section>", document[starts[0]:]):
+        depth += 1 if m.group(0) != "</section>" else -1
+        if depth == 0:
+            return document[starts[0]: starts[0] + m.end()]
+    raise AssertionError(f"unbalanced column for {name}")
+
+
+class TestHealthyHomepage:
+    def test_one_column_per_cluster(self, two_clusters, viewer):
+        fed, _ = two_clusters
+        render = fed.render_homepage(viewer)
+        assert render.ok
+        assert render.clusters_degraded == []
+        for name in ("anvil", "bell"):
+            column = column_of(render.document, name)
+            assert f'<h2 class="cluster-name">{name}</h2>' in column
+            for widget in HOMEPAGE_WIDGETS:
+                assert f'data-widget="{widget}"' in column
+            assert "cluster-degraded" not in column
+
+    def test_batch_and_stream_are_byte_identical(self, two_clusters, viewer):
+        fed, _ = two_clusters
+        streamed = "".join(fed.stream_homepage(viewer))
+        batch = fed.render_homepage(viewer).document
+        assert streamed == batch
+
+    def test_columns_follow_registration_order(self, two_clusters, viewer):
+        fed, _ = two_clusters
+        doc = fed.render_homepage(viewer).document
+        assert doc.index('data-cluster="anvil"') < doc.index(
+            'data-cluster="bell"'
+        )
+
+
+class TestDegradedColumn:
+    def test_dead_cluster_degrades_only_its_column(self, two_clusters, viewer):
+        fed, _ = two_clusters
+        kill_cluster(fed, "bell")
+        render = fed.render_homepage(viewer)
+        assert render.clusters_degraded == ["bell"]
+        assert set(render.failures) == {"bell"}
+        assert render.failures["bell"] == list(HOMEPAGE_WIDGETS)
+
+        bell = column_of(render.document, "bell")
+        assert "cluster-degraded" in bell
+        assert "Some bell data is unavailable or stale" in bell
+        assert bell.count("widget-error alert alert-danger") == len(
+            HOMEPAGE_WIDGETS
+        )
+        # the slot envelope survives per widget even when all fail
+        for widget in HOMEPAGE_WIDGETS:
+            assert f'data-widget="{widget}"' in bell
+
+        anvil = column_of(render.document, "anvil")
+        assert "cluster-degraded" not in anvil
+        assert "widget-error" not in anvil
+
+    def test_stale_cluster_gets_the_degraded_banner(self, two_clusters, viewer):
+        fed, registry = two_clusters
+        fed.render_homepage(viewer)  # warm every member's widgets
+        kill_cluster(fed, "bell")
+        registry.advance(3600.0)
+        render = fed.render_homepage(viewer)
+        assert "bell" in render.clusters_degraded
+        bell = column_of(render.document, "bell")
+        assert "cluster-degraded" in bell
+        # stale-served slots, not hard failures
+        assert render.degraded.get("bell")
+
+    def test_degraded_render_still_streams_byte_identical(
+        self, two_clusters, viewer
+    ):
+        fed, _ = two_clusters
+        kill_cluster(fed, "bell")
+        streamed = "".join(fed.stream_homepage(viewer))
+        batch = fed.render_homepage(viewer).document
+        assert streamed == batch
+
+
+class TestUnreachableColumn:
+    def test_envelope(self):
+        html = unreachable_column("anvil", "boom").render()
+        assert 'data-cluster="anvil"' in html
+        assert "cluster-unreachable" in html
+        assert 'role="alert"' in html
+        assert "Cluster anvil is unreachable." in html

@@ -1,0 +1,186 @@
+"""Federated JSON routes: quorum semantics, selectors, validators."""
+
+from __future__ import annotations
+
+from repro.auth import Viewer
+from repro.federation import build_demo_federation
+
+from .conftest import kill_cluster
+
+
+class TestHealthyFederation:
+    def test_cluster_status_has_one_slot_per_member(self, two_clusters, viewer):
+        fed, registry = two_clusters
+        resp = fed.call("federation_cluster_status", viewer)
+        assert resp.ok and resp.status == 200
+        assert resp.clusters_degraded == []
+        assert resp.data["clusters_total"] == 2
+        assert resp.data["clusters_ok"] == 2
+        slots = resp.data["clusters"]
+        assert [s["cluster"] for s in slots] == ["anvil", "bell"]
+        assert all(s["degraded"] is False for s in slots)
+        assert all("nodes" in s["data"] for s in slots)
+
+    def test_fresh_merge_carries_a_namespaced_validator(
+        self, two_clusters, viewer
+    ):
+        fed, _ = two_clusters
+        resp = fed.call("federation_cluster_status", viewer)
+        assert resp.etag
+        assert resp.cache_deps
+        prefixes = {key.split("/", 1)[0] for key, _ in resp.cache_deps}
+        assert prefixes == {"anvil", "bell"}
+        # the federated cache view resolves every namespaced dep into
+        # the member cache that produced it
+        for key, gen in resp.cache_deps:
+            entry = fed.ctx.cache.entry(key)
+            assert entry is not None
+
+    def test_validator_is_stable_while_caches_are(self, two_clusters, viewer):
+        fed, _ = two_clusters
+        first = fed.call("federation_cluster_status", viewer)
+        second = fed.call("federation_cluster_status", viewer)
+        assert first.etag == second.etag
+        assert first.cache_deps == second.cache_deps
+
+    def test_my_jobs_rows_are_labeled_with_their_cluster(
+        self, two_clusters, viewer
+    ):
+        fed, _ = two_clusters
+        resp = fed.call("federation_my_jobs", viewer)
+        assert resp.ok
+        assert resp.data["clusters_contributing"] == ["anvil", "bell"]
+        assert resp.data["total"] == len(resp.data["jobs"])
+        for row in resp.data["jobs"]:
+            assert row["cluster"] in ("anvil", "bell")
+
+    def test_accounts_rollup_labels_contributors(self, two_clusters, viewer):
+        fed, _ = two_clusters
+        resp = fed.call("federation_accounts", viewer)
+        assert resp.ok
+        assert resp.data["clusters_contributing"] == ["anvil", "bell"]
+        for acct in resp.data["accounts"]:
+            assert acct["cluster"] in ("anvil", "bell")
+        summaries = resp.data["clusters"]
+        assert [s["cluster"] for s in summaries] == ["anvil", "bell"]
+        assert all(s["ok"] for s in summaries)
+
+
+class TestClusterSelector:
+    def test_selector_routes_to_the_named_member(self, two_clusters, viewer):
+        fed, _ = two_clusters
+        resp = fed.call("my_jobs", viewer, {"cluster": "bell"})
+        assert resp.ok
+        assert all(key.startswith("bell/") for key, _ in resp.cache_deps)
+
+    def test_unselected_path_goes_to_the_default_member(
+        self, two_clusters, viewer
+    ):
+        fed, _ = two_clusters
+        resp = fed.get("/api/v1/my_jobs", viewer)
+        assert resp.ok
+        assert all(key.startswith("anvil/") for key, _ in resp.cache_deps)
+
+    def test_unknown_cluster_is_a_structured_404(self, two_clusters, viewer):
+        fed, _ = two_clusters
+        resp = fed.call("my_jobs", viewer, {"cluster": "purdue"})
+        assert not resp.ok and resp.status == 404
+        assert "anvil" in resp.error and "bell" in resp.error
+
+    def test_member_etags_are_namespaced(self, two_clusters, viewer):
+        # two members asked the same question must never share a
+        # federated validator, even if their bodies happened to match
+        fed, _ = two_clusters
+        a = fed.call("cluster_status", viewer, {"cluster": "anvil"})
+        b = fed.call("cluster_status", viewer, {"cluster": "bell"})
+        assert a.etag and b.etag and a.etag != b.etag
+
+
+class TestDegradedCluster:
+    def test_dead_member_degrades_only_its_slot(self, two_clusters, viewer):
+        fed, registry = two_clusters
+        # warm both members so the dead one can stale-serve
+        fed.call("federation_cluster_status", viewer)
+        kill_cluster(fed, "bell")
+        registry.advance(3600.0)  # expire every TTL
+        resp = fed.call("federation_cluster_status", viewer)
+        assert resp.ok and resp.status == 200
+        assert resp.clusters_degraded == ["bell"]
+        slots = {s["cluster"]: s for s in resp.data["clusters"]}
+        assert slots["anvil"]["degraded"] is False
+        bell = slots["bell"]
+        assert bell.get("degraded") or bell.get("unreachable")
+        # a partial merge has no sound validator
+        assert resp.etag is None
+
+    def test_cold_dead_member_is_an_unreachable_slot(
+        self, two_clusters, viewer
+    ):
+        fed, _ = two_clusters
+        kill_cluster(fed, "bell")  # nothing cached: no stale to serve
+        resp = fed.call("federation_cluster_status", viewer)
+        assert resp.ok and resp.status == 200
+        assert resp.data["clusters_ok"] == 1
+        slots = {s["cluster"]: s for s in resp.data["clusters"]}
+        assert slots["bell"]["unreachable"] is True
+        assert slots["bell"]["error"]
+        assert "data" not in slots["bell"]
+
+    def test_merged_lists_skip_the_dead_member(self, two_clusters, viewer):
+        fed, _ = two_clusters
+        kill_cluster(fed, "bell")
+        resp = fed.call("federation_my_jobs", viewer)
+        assert resp.ok
+        assert resp.data["clusters_contributing"] == ["anvil"]
+        assert all(row["cluster"] == "anvil" for row in resp.data["jobs"])
+        summary = {s["cluster"]: s for s in resp.data["clusters"]}
+        assert summary["bell"]["ok"] is False
+
+    def test_one_of_three_dead_matches_acceptance_criteria(self, three_clusters):
+        fed, registry = three_clusters
+        viewer = Viewer(
+            username=registry.default.directory.users()[0].username
+        )
+        kill_cluster(fed, "bell")
+        resp = fed.call("federation_cluster_status", viewer)
+        assert resp.ok and resp.status == 200
+        assert resp.clusters_degraded == ["bell"]
+        assert resp.data["clusters_ok"] == 2
+
+
+class TestQuorum:
+    def test_all_dead_is_the_only_503(self, two_clusters, viewer):
+        fed, _ = two_clusters
+        kill_cluster(fed, "anvil")
+        kill_cluster(fed, "bell")
+        resp = fed.call("federation_cluster_status", viewer)
+        assert not resp.ok and resp.status == 503
+        assert resp.degraded is True
+        assert resp.clusters_degraded == ["anvil", "bell"]
+        assert "anvil" in resp.error and "bell" in resp.error
+        payload = resp.to_json()
+        assert payload["clusters_degraded"] == ["anvil", "bell"]
+
+    def test_single_cluster_payload_has_no_federation_fields(
+        self, two_clusters, viewer
+    ):
+        # byte-compat: member-routed responses never grow the
+        # clusters_degraded key
+        fed, _ = two_clusters
+        resp = fed.call("my_jobs", viewer)
+        assert resp.clusters_degraded is None
+        assert "clusters_degraded" not in resp.to_json()
+
+
+class TestFederationOfOne:
+    def test_behaves_like_the_single_cluster_dashboard(self):
+        fed, registry = build_demo_federation(
+            names=("solo",), seed=11, duration_hours=0.25
+        )
+        viewer = Viewer(
+            username=registry.default.directory.users()[0].username
+        )
+        direct = registry.default.dashboard.call("my_jobs", viewer)
+        routed = fed.call("my_jobs", viewer)
+        assert routed.ok
+        assert routed.data == direct.data

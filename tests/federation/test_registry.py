@@ -1,0 +1,117 @@
+"""ClusterRegistry: shared timeline, shared-nothing members."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.auth import Viewer
+from repro.federation import ClusterRegistry, build_demo_federation
+from repro.sim.clock import SimClock
+
+from .conftest import kill_cluster
+
+
+def small_registry(names=("anvil", "bell"), seed=11):
+    registry = ClusterRegistry()
+    for i, name in enumerate(names):
+        registry.add_cluster(name, seed=seed + i, duration_hours=0.25)
+    return registry
+
+
+class TestMembership:
+    def test_members_share_one_clock(self):
+        registry = small_registry()
+        for member in registry:
+            assert member.ctx.clock is registry.clock
+
+    def test_members_keep_registration_order(self):
+        registry = small_registry(names=("zulu", "alpha", "mike"))
+        assert registry.names == ["zulu", "alpha", "mike"]
+        assert registry.default.name == "zulu"
+
+    def test_duplicate_name_rejected(self):
+        registry = small_registry()
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.add_cluster("anvil", seed=99, duration_hours=0.25)
+
+    def test_foreign_clock_member_rejected(self):
+        registry = small_registry(names=("anvil",))
+        other = ClusterRegistry(clock=SimClock())
+        stray = other.add_cluster("stray", seed=5, duration_hours=0.25)
+        with pytest.raises(ValueError, match="different clock"):
+            registry.add_member(stray)
+
+    def test_lookup_surface(self):
+        registry = small_registry()
+        assert len(registry) == 2
+        assert "anvil" in registry and "nope" not in registry
+        assert registry.get("bell").name == "bell"
+        assert registry.get("nope") is None
+
+
+class TestSharedTimeline:
+    def test_advance_reaches_the_target(self):
+        registry = small_registry()
+        before = registry.now()
+        registry.advance(120.0)
+        assert registry.now() == pytest.approx(before + 120.0)
+
+    def test_advance_is_deterministic(self):
+        a = small_registry()
+        b = small_registry()
+        assert a.now() == b.now()
+        assert a.advance(600.0) == b.advance(600.0)
+        assert a.now() == b.now()
+
+    def test_advance_drains_member_queues(self):
+        registry = small_registry()
+        # population leaves live jobs whose completions are queued; a
+        # long advance must fire events from both members' queues
+        processed = registry.advance(3600.0)
+        assert processed >= 0
+        for member in registry:
+            t = member.loop.peek_time()
+            assert t is None or t > registry.now()
+
+
+class TestIsolation:
+    def test_fault_plans_are_per_member(self):
+        fed, registry = build_demo_federation(
+            names=("anvil", "bell"), seed=11, duration_hours=0.25
+        )
+        kill_cluster(fed, "bell")
+        report = registry.fault_report()
+        assert report["bell"] == {"outage": 1}
+        assert report["anvil"] == {}
+        assert registry.get("anvil").fault_plan is None
+
+    def test_breakers_are_per_member(self):
+        fed, registry = build_demo_federation(
+            names=("anvil", "bell"), seed=11, duration_hours=0.25
+        )
+        viewer = Viewer(
+            username=registry.default.directory.users()[0].username
+        )
+        kill_cluster(fed, "bell")
+        bell = registry.get("bell")
+        for _ in range(6):  # past the consecutive-failure threshold
+            bell.dashboard.call("recent_jobs", viewer)
+        assert bell.ctx.breaker_report()["slurmctld"] == "open"
+        # the sibling never saw a failure
+        assert all(
+            state == "closed"
+            for state in registry.get("anvil").ctx.breaker_report().values()
+        )
+
+    def test_caches_are_per_member(self):
+        fed, registry = build_demo_federation(
+            names=("anvil", "bell"), seed=11, duration_hours=0.25
+        )
+        viewer = Viewer(
+            username=registry.default.directory.users()[0].username
+        )
+        anvil, bell = registry.get("anvil"), registry.get("bell")
+        before_bell = len(bell.ctx.cache)
+        anvil.dashboard.call("cluster_status", viewer)
+        assert len(anvil.ctx.cache) > 0
+        assert len(bell.ctx.cache) == before_bell

@@ -56,6 +56,7 @@ def _cmd_run(opts: argparse.Namespace) -> int:
         smoke=smoke,
         include_sharding=not opts.no_sharding,
         include_views=not opts.no_views,
+        include_federation=not opts.no_federation,
         progress=progress,
     )
     stamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
@@ -107,6 +108,8 @@ def main(argv: List[str] | None = None) -> int:
                        help="skip the cache-sharding stampede comparison")
     run_p.add_argument("--no-views", action="store_true",
                        help="skip the event-driven views A/B")
+    run_p.add_argument("--no-federation", action="store_true",
+                       help="skip the multi-cluster federation A/B")
     run_p.set_defaults(func=_cmd_run)
 
     val_p = sub.add_parser("validate", help="schema-check a BENCH file")

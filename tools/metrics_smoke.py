@@ -233,6 +233,108 @@ def drive_view_invalidation(dash, server, user: str, failures: List[str]) -> Non
         failures.append("view smoke: ?since= fetch fell back to a full body")
 
 
+def drive_federation(failures: List[str]) -> None:
+    """Boot a two-member federation behind the real server and require
+    the merged ``/metrics`` scrape to carry ``cluster``-labeled member
+    families that agree with the per-cluster ``/healthz`` report."""
+    import math
+
+    from repro.faults import FaultPlan
+    from repro.federation import build_demo_federation
+
+    fed, registry = build_demo_federation(
+        names=("anvil", "bell"), seed=3, duration_hours=0.5
+    )
+    server = DashboardServer(fed).start()
+    try:
+        user = registry.default.directory.users()[0].username
+        # drive the federated pages, then kill one member and drive its
+        # breaker open so the per-cluster state is non-trivial
+        get(server.url + "/api/v1/federation/cluster_status", username=user)
+        get(server.url + "/api/v1/federation/my_jobs", username=user)
+        get(server.url + "/", username=user)
+        plan = FaultPlan()
+        plan.schedule_outage("*", start=fed.clock.now(), end=math.inf)
+        fed.inject_faults("bell", plan)
+        registry.advance(3600.0)  # expire every TTL: bell must miss now
+        for _ in range(3):
+            get(
+                server.url + "/api/v1/federation/cluster_status",
+                username=user,
+            )
+
+        payload = get(server.url + "/metrics").decode()
+        try:
+            by_name = samples_by_name(parse_prometheus_text(payload))
+        except ValueError as exc:
+            failures.append(
+                f"federation smoke: merged /metrics does not parse: {exc}"
+            )
+            return
+
+        for family in (
+            "repro_cache_entries",
+            "repro_cache_requests_total",
+            "repro_breaker_state",
+            "repro_daemon_rpcs_total",
+            "repro_route_requests_total",
+        ):
+            clusters = {
+                s.labeldict.get("cluster")
+                for s in by_name.get(family, [])
+                if "cluster" in s.labeldict
+            }
+            missing = {"anvil", "bell"} - clusters
+            if missing:
+                failures.append(
+                    f"federation smoke: family {family!r} missing "
+                    f"cluster label(s) {sorted(missing)}"
+                )
+
+        # federation-level families stay unlabeled (no member owns them)
+        http_clusters = {
+            s.labeldict.get("cluster")
+            for s in by_name.get("repro_http_requests_total", [])
+        }
+        if http_clusters - {None}:
+            failures.append(
+                "federation smoke: federation-level "
+                "repro_http_requests_total grew a cluster label"
+            )
+
+        health = json.loads(get(server.url + "/healthz"))
+        if set(health.get("clusters", {})) != {"anvil", "bell"}:
+            failures.append(
+                "federation smoke: /healthz clusters do not list every "
+                "member"
+            )
+            return
+        one_hot = {
+            (
+                s.labeldict.get("cluster"),
+                s.labeldict["service"],
+                s.labeldict["state"],
+            ): s.value
+            for s in by_name.get("repro_breaker_state", [])
+            if "cluster" in s.labeldict
+        }
+        for name, state in health["clusters"].items():
+            for service, breaker_state in state.get("breakers", {}).items():
+                if one_hot.get((name, service, breaker_state)) != 1.0:
+                    failures.append(
+                        f"federation smoke: /healthz says "
+                        f"{name}/{service}={breaker_state} but the "
+                        "cluster-labeled repro_breaker_state gauge disagrees"
+                    )
+        if health["clusters"]["bell"]["breakers"].get("slurmctld") != "open":
+            failures.append(
+                "federation smoke: bell's slurmctld breaker never opened "
+                "under the outage"
+            )
+    finally:
+        server.stop()
+
+
 def main() -> int:
     dash, directory, _ = build_demo_dashboard(
         duration_hours=1.0, seed=3,
@@ -412,12 +514,15 @@ def main() -> int:
     finally:
         server.stop()
 
+    drive_federation(failures)
+
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
         return 1
     print(f"OK: all {len(handled)} handled routes present in /metrics; "
-          "healthz/metrics breakers agree; traces flowing")
+          "healthz/metrics breakers agree; traces flowing; federated "
+          "scrape cluster-labeled and consistent with per-cluster healthz")
     return 0
 
 
