@@ -60,6 +60,7 @@ class Dashboard:
         worker_pool_size: int = 8,
         worker_queue_max: int = 64,
         cache_shards: int = 1,
+        cache_max_entries: Optional[int] = None,
     ):
         if quotas is None:
             quotas = QuotaDatabase()
@@ -86,6 +87,7 @@ class Dashboard:
             worker_pool_size=worker_pool_size,
             worker_queue_max=worker_queue_max,
             cache_shards=cache_shards,
+            cache_max_entries=cache_max_entries,
         )
         self.registry = RouteRegistry()
         for route in (
@@ -198,6 +200,7 @@ def build_demo_dashboard(
     use_server_cache: bool = True,
     admission: Optional[AdmissionConfig] = None,
     cache_shards: int = 1,
+    cache_max_entries: Optional[int] = None,
 ):
     """One-call demo instance: populated cluster + directory + dashboard.
 
@@ -215,5 +218,6 @@ def build_demo_dashboard(
         use_server_cache=use_server_cache,
         admission=admission,
         cache_shards=cache_shards,
+        cache_max_entries=cache_max_entries,
     )
     return dash, directory, result

@@ -434,6 +434,7 @@ class DashboardContext:
         worker_pool_size: int = 8,
         worker_queue_max: int = 64,
         cache_shards: int = 1,
+        cache_max_entries: Optional[int] = None,
     ):
         self.cluster = cluster
         self.directory = directory
@@ -448,6 +449,11 @@ class DashboardContext:
         self.obs = Observability(
             cluster.clock, max_traces=max_traces, slow_request_ms=slow_request_ms
         )
+        # capacity knob: a scale-out worker's slice of the fleet cache —
+        # None keeps the historical 10k-entry default
+        max_entries = {} if cache_max_entries is None else (
+            {"max_entries": cache_max_entries}
+        )
         if cache_shards > 1:
             # consistent-hash scale-out: shared-nothing shards with
             # per-shard locks, byte-identical responses to the default
@@ -456,12 +462,14 @@ class DashboardContext:
                 shards=cache_shards,
                 default_ttl=self.cache_policy.default,
                 registry=self.obs.registry,
+                **max_entries,
             )
         else:
             self.cache = TTLCache(
                 cluster.clock,
                 default_ttl=self.cache_policy.default,
                 registry=self.obs.registry,
+                **max_entries,
             )
         self.fetcher = ResilientFetcher(
             cache=self.cache,

@@ -27,16 +27,16 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def label_sample_line(line: str, cluster: str) -> str:
-    """Inject ``cluster="<name>"`` as the first label of one sample line."""
+def label_sample_line(line: str, cluster: str, label: str = "cluster") -> str:
+    """Inject ``<label>="<name>"`` as the first label of one sample line."""
     escaped = _escape_label_value(cluster)
     if "{" in line:
         head, rest = line.split("{", 1)
         if rest.startswith("}"):  # degenerate "name{} value"
-            return f'{head}{{cluster="{escaped}"}}{rest[1:]}'
-        return f'{head}{{cluster="{escaped}",{rest}'
+            return f'{head}{{{label}="{escaped}"}}{rest[1:]}'
+        return f'{head}{{{label}="{escaped}",{rest}'
     name, _, value = line.partition(" ")
-    return f'{name}{{cluster="{escaped}"}} {value}'
+    return f'{name}{{{label}="{escaped}"}} {value}'
 
 
 def _family_of(line: str) -> str:
@@ -50,14 +50,18 @@ def _family_of(line: str) -> str:
 
 
 def merge_scrapes(
-    sections: Mapping[str, str], base: Optional[str] = None
+    sections: Mapping[str, str], base: Optional[str] = None,
+    label: str = "cluster",
 ) -> str:
-    """One federated exposition from per-cluster scrape texts.
+    """One merged exposition from per-member scrape texts.
 
-    ``sections`` maps cluster name -> that member's registry render;
-    ``base`` is an optional federation-level render whose samples pass
-    through without a ``cluster`` label (HTTP counters live there — a
-    request is served by the federation, not by one member).
+    ``sections`` maps member name -> that member's registry render;
+    ``base`` is an optional ensemble-level render whose samples pass
+    through without a member label (HTTP counters live there — a
+    request is served by the ensemble, not by one member).  ``label``
+    names the injected label: the federation merges members under
+    ``cluster``; the multi-process balancer merges worker scrapes under
+    ``worker`` with exactly the same semantics.
     """
     helps: Dict[str, str] = {}
     types: Dict[str, str] = {}
@@ -84,7 +88,7 @@ def merge_scrapes(
                 samples[family] = []
                 order.append(family)
             if cluster is not None:
-                line = label_sample_line(line, cluster)
+                line = label_sample_line(line, cluster, label=label)
             samples[family].append(line)
 
     if base:

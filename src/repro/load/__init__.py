@@ -12,6 +12,7 @@ schema'd ``BENCH_load.json`` (see :mod:`repro.load.report`) that
 from .federation import federation_ab, run_federation_side
 from .generator import (
     RequestOutcome,
+    bench_environment,
     compare_sharding,
     delivery_ab,
     percentile,
@@ -22,6 +23,7 @@ from .generator import (
     views_ab,
 )
 from .report import diff, load_bench, summarize, validate_bench, write_bench
+from .scaleout import run_fleet_side, scaleout_ab, transparency_check
 from .scenarios import (
     Burst,
     FaultSpec,
@@ -42,6 +44,7 @@ __all__ = [
     "RequestOutcome",
     "RouteWeight",
     "Scenario",
+    "bench_environment",
     "build_trace",
     "compare_sharding",
     "default_scenarios",
@@ -52,12 +55,15 @@ __all__ = [
     "percentile",
     "responses_identical",
     "run_federation_side",
+    "run_fleet_side",
     "run_scenario",
     "run_suite",
+    "scaleout_ab",
     "stampede_contention",
     "summarize",
     "trace_digest",
     "trace_summary",
+    "transparency_check",
     "user_population",
     "validate_bench",
     "views_ab",

@@ -17,6 +17,8 @@ quantiles may not.
 from __future__ import annotations
 
 import gzip
+import os
+import platform
 import sys
 import threading
 import time
@@ -46,6 +48,20 @@ from .scenarios import (
 
 #: synthetic status for requests that died below HTTP (socket errors)
 TRANSPORT_ERROR_STATUS = 599
+
+
+def bench_environment() -> Dict[str, Any]:
+    """Machine facts recorded alongside every ``achieved_wall`` figure.
+
+    Sim-side numbers (trace digests, hit rates, shed counts) compare
+    across any two machines; wall-clock throughput does not.  Diffing
+    tools use this block to refuse — loudly — to call a cross-machine
+    or cross-interpreter delta a regression.
+    """
+    return {
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 1,
+    }
 
 #: statuses that mean "the admission layer shed this request"
 SHED_STATUSES = (429, 503, 504)
@@ -652,6 +668,7 @@ def run_suite(
     include_delivery: bool = True,
     include_views: bool = True,
     include_federation: bool = True,
+    include_scaleout: bool = True,
     progress: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run scenarios plus the sharding and delivery comparisons into one
@@ -665,6 +682,7 @@ def run_suite(
         "schema_version": 1,
         "kind": "repro-load-bench",
         "smoke": bool(smoke),
+        "environment": bench_environment(),
         "scenarios": records,
     }
     if include_sharding:
@@ -688,4 +706,12 @@ def run_suite(
         from .federation import federation_ab
 
         doc["federation"] = federation_ab(smoke=smoke)
+    if include_scaleout:
+        if progress is not None:
+            progress(
+                "scale-out A/B (1 worker vs fleet, one killed) ..."
+            )
+        from .scaleout import scaleout_ab
+
+        doc["scaleout"] = scaleout_ab(smoke=smoke)
     return doc

@@ -1,0 +1,419 @@
+"""Scale-out A/B under standing load: 1 worker vs an affinity-routed fleet.
+
+The BENCH file's ``scaleout`` section answers the tentpole's capacity
+claim with numbers.  The same deterministic trace replays against four
+deployments, every one behind a real :class:`~repro.scaleout.balancer.
+BalancerServer` (so proxy overhead cancels out of every comparison):
+
+* **baseline** — one worker.  Its cache is capped at
+  ``cache_max_entries`` and the trace's working set does not fit, so it
+  keeps re-rendering evicted entries;
+* **affinity** — N workers, cache-affinity routing.  Same per-worker
+  cap, but the ring partitions the working set: aggregate capacity is
+  N x the cap and the fleet mostly serves warm entries;
+* **round_robin** — N workers, routing control.  Same aggregate
+  capacity, but every worker sees every key, so the fleet just
+  duplicates the baseline's misses N ways;
+* **affinity_kill** — the affinity fleet with one worker SIGKILLed at
+  the halfway tick: the proof that a dead worker means rerouted
+  requests and a cold-cache blip, never an outage.
+
+The claims the record carries: affinity beats baseline on achieved wall
+RPS at equal-or-better p95; affinity's fleet hit rate beats the
+round-robin control's; the kill run finishes with **zero unexpected
+5xx**; and routing is **transparent** — a separate cache-off replay of
+the trace prefix proves 1 worker and N workers return byte-identical
+bodies per request.  (The identity proof must run cache-off: with
+caches on, widgets that render relative times — "estimated start" —
+bake the render instant into the cached entry, so two topologies'
+entries can age differently while both are TTL-fresh.  Cache-less
+bodies are a pure function of (request, frozen sim time), which is
+exactly the property that makes the proof meaningful.)
+
+Users come from the workers' seeded directory (not synthetic load
+users) so per-user sources — ``sacct``, quotas — are genuinely
+expensive to recompute; that is what gives cache capacity its wall-
+clock meaning on this machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import urllib.error
+import urllib.request
+
+from repro.obs.metrics import parse_prometheus_text
+from repro.scaleout import WorkerConfig, WorkerFleet
+
+from .generator import (
+    SHED_STATUSES,
+    TRANSPORT_ERROR_STATUS,
+    bench_environment,
+    percentile,
+    request_catalog,
+)
+from .scenarios import (
+    HOMEPAGE,
+    PlannedRequest,
+    RouteWeight,
+    Scenario,
+    build_trace,
+    trace_digest,
+    trace_summary,
+)
+
+#: traffic mix for the fleet trace: expensive, viewer-keyed routes
+#: dominate.  job_performance (``range=all`` for a stable cache key) is
+#: the sharpest A/B instrument — a miss aggregates the viewer's whole
+#: job history, a hit renders a few hundred bytes from the cached
+#: records; my_jobs and the homepage recompute per-user sacct/quota
+#: state on a miss; job pages arrive as their owner (the catalog
+#: overrides the user).  Every heavy key is therefore viewer-linked,
+#: which is what lets the affinity ring partition the working set.
+FLEET_ROUTE_MIX: Tuple[Tuple[str, float], ...] = (
+    (HOMEPAGE, 0.20),
+    ("/api/v1/job_performance", 0.35),
+    ("/api/v1/my_jobs", 0.15),
+    ("/api/v1/job_overview", 0.20),
+    ("/api/v1/cluster_status", 0.10),
+)
+
+
+def fleet_worker_config(*, seed: int, smoke: bool) -> WorkerConfig:
+    """The per-worker build every side of the A/B shares.
+
+    A denser population than the demo default (more users submitting
+    more often) widens the working set past one capped cache, and the
+    cap itself is what makes "N x aggregate capacity" a measurable
+    thing rather than a slogan.
+    """
+    return WorkerConfig(
+        seed=seed,
+        duration_hours=1.0 if smoke else 2.5,
+        cache_max_entries=40 if smoke else 56,
+        workload_users=16 if smoke else 48,
+        workload_interarrival_s=60.0 if smoke else 30.0,
+    )
+
+
+def fleet_scenario(*, seed: int, users: int, smoke: bool) -> Scenario:
+    return Scenario(
+        name="scaleout_fleet",
+        seed=seed,
+        duration_s=12.0 if smoke else 96.0,
+        tick_s=2.0,
+        users=users,
+        rps=5.0 if smoke else 16.0,
+        # flatter than the default skew: capacity pressure needs the
+        # long tail of users to actually arrive, not just the top few
+        zipf_s=0.7,
+        mode="open",
+        routes=tuple(
+            RouteWeight(path, weight) for path, weight in FLEET_ROUTE_MIX
+        ),
+        description=(
+            "Fleet trace: seeded-directory users browsing the expensive "
+            "viewer-keyed mix."
+        ),
+    )
+
+
+def build_fleet_trace(
+    scenario: Scenario, config: WorkerConfig, catalog_limit: int = 60
+) -> List[PlannedRequest]:
+    """The deterministic trace every side replays.
+
+    Built from a parent-side twin of the worker build (same config →
+    same cluster → same catalog), with the synthetic ``load_user_NNN``
+    population mapped 1:1 onto the seeded directory's usernames so
+    requests exercise real per-user state.
+    """
+    dash, directory, _result = config.build()
+    catalog = request_catalog(dash, limit=catalog_limit)
+    # range=all keeps job_performance's sacct key stable (the default
+    # 7d window bakes now() into the key — a new key every tick)
+    catalog["/api/v1/job_performance"] = ["range=all"]
+    real_users = sorted(u.username for u in directory.users())
+    trace = []
+    for req in build_trace(scenario, catalog=catalog):
+        if req.user.startswith("load_user_"):
+            idx = int(req.user.rsplit("_", 1)[1])
+            req = replace(req, user=real_users[idx % len(real_users)])
+        trace.append(req)
+    return trace
+
+
+def _fire(
+    url: str, req: PlannedRequest, timeout_s: float
+) -> Tuple[int, float, int, str]:
+    """(status, latency_s, body_bytes, body_sha256) for one request."""
+    request = urllib.request.Request(
+        url + req.url_path, headers={"X-Remote-User": req.user}
+    )
+    t0 = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as resp:
+            body = resp.read()
+            status = resp.status
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        status = exc.code
+    except (urllib.error.URLError, OSError):
+        body = b""
+        status = TRANSPORT_ERROR_STATUS
+    return (
+        status,
+        time.perf_counter() - t0,
+        len(body),
+        hashlib.sha256(body).hexdigest(),
+    )
+
+
+def _fleet_cache_totals(metrics_text: str) -> Dict[str, float]:
+    """Sum worker-labeled cache counters out of one merged scrape."""
+    lookups = hits = 0.0
+    for sample in parse_prometheus_text(metrics_text, lenient=True):
+        if sample.name != "repro_cache_requests_total":
+            continue
+        labels = sample.labeldict
+        if "worker" not in labels:
+            continue
+        lookups += sample.value
+        if labels.get("result") == "hit":
+            hits += sample.value
+    return {"lookups": lookups, "hits": hits}
+
+
+def _scrape(url: str, timeout_s: float = 30.0) -> str:
+    with urllib.request.urlopen(url + "/metrics", timeout=timeout_s) as resp:
+        return resp.read().decode()
+
+
+def run_fleet_side(
+    trace: Sequence[PlannedRequest],
+    scenario: Scenario,
+    config: WorkerConfig,
+    *,
+    workers: int,
+    affinity: bool = True,
+    kill: Optional[str] = None,
+    request_timeout_s: float = 30.0,
+    pool_workers: int = 16,
+) -> Dict[str, Any]:
+    """Replay the trace against one fleet shape; returns its record.
+
+    ``kill`` names the worker SIGKILLed at the halfway tick.  Per-
+    request body digests come back in trace order so callers can prove
+    byte identity across sides, position by position.
+    """
+    by_tick: Dict[int, List[Tuple[int, PlannedRequest]]] = {}
+    for idx, req in enumerate(trace):
+        by_tick.setdefault(req.tick, []).append((idx, req))
+    kill_tick = scenario.ticks // 2 if kill else None
+
+    results: List[Optional[Tuple[int, float, int, str]]] = [None] * len(trace)
+    with WorkerFleet(
+        workers=workers, config=config, affinity=affinity
+    ) as fleet:
+        url = fleet.url
+        before = _fleet_cache_totals(_scrape(url))
+        wall_start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=pool_workers) as pool:
+            for tick in range(scenario.ticks):
+                if kill_tick is not None and tick == kill_tick:
+                    fleet.kill(kill)
+                batch = by_tick.get(tick, ())
+                futures = [
+                    (idx, pool.submit(_fire, url, req, request_timeout_s))
+                    for idx, req in batch
+                ]
+                # tick barrier: drain before the fleet clock moves
+                for idx, future in futures:
+                    results[idx] = future.result()
+                fleet.clock.advance(scenario.tick_s)
+        wall_elapsed = time.perf_counter() - wall_start
+        after = _fleet_cache_totals(_scrape(url))
+        balancer_reg = fleet.balancer.registry
+        rerouted = balancer_reg.total(
+            "repro_balancer_requests_total", routing="rerouted"
+        )
+        retries = balancer_reg.total("repro_balancer_retries_total")
+        alive = fleet.alive_workers
+
+    outcomes = [r for r in results if r is not None]
+    latencies = sorted(lat for _s, lat, _n, _d in outcomes)
+    statuses: Dict[str, int] = {}
+    for status, _lat, _n, _d in outcomes:
+        key = str(status)
+        statuses[key] = statuses.get(key, 0) + 1
+    unexpected_5xx = sum(
+        n for code, n in statuses.items()
+        if code.startswith("5")
+        and int(code) not in SHED_STATUSES
+        and int(code) != TRANSPORT_ERROR_STATUS
+    )
+    # a killed worker's counters vanish from the final scrape; the
+    # surviving workers' deltas still describe the fleet that finished
+    lookups = max(0.0, after["lookups"] - before["lookups"])
+    hits = max(0.0, after["hits"] - before["hits"])
+    completed = len(outcomes)
+    return {
+        "workers": workers,
+        "routing": "affinity" if affinity else "round_robin",
+        "killed_worker": kill,
+        "kill_tick": kill_tick,
+        "requests": completed,
+        "statuses": dict(sorted(statuses.items())),
+        "unexpected_5xx": unexpected_5xx,
+        "shed_responses": sum(
+            statuses.get(str(code), 0) for code in SHED_STATUSES
+        ),
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50) * 1000, 3),
+            "p95": round(percentile(latencies, 0.95) * 1000, 3),
+            "p99": round(percentile(latencies, 0.99) * 1000, 3),
+            "mean": round(
+                (sum(latencies) / len(latencies) * 1000)
+                if latencies else 0.0,
+                3,
+            ),
+        },
+        "rps": {
+            "offered_sim": round(len(trace) / scenario.duration_s, 3),
+            "achieved_wall": round(
+                completed / wall_elapsed if wall_elapsed > 0 else 0.0, 3
+            ),
+        },
+        "fleet_cache": {
+            "lookups": lookups,
+            "hits": hits,
+            "hit_rate": round(hits / lookups if lookups else 0.0, 4),
+        },
+        "balancer": {"rerouted": rerouted, "retries": retries},
+        "workers_alive_at_end": alive,
+        "wall_s": round(wall_elapsed, 3),
+        "body_digests": [d for _s, _lat, _n, d in outcomes],
+    }
+
+
+def _strip_digests(record: Dict[str, Any]) -> Dict[str, Any]:
+    """One combined digest instead of the per-request list (the BENCH
+    file stays readable; identity was already checked element-wise)."""
+    digests = record.pop("body_digests")
+    record["body_digest"] = hashlib.sha256(
+        "".join(digests).encode()
+    ).hexdigest()
+    return record
+
+
+def transparency_check(
+    trace: Sequence[PlannedRequest],
+    scenario: Scenario,
+    config: WorkerConfig,
+    *,
+    workers: int,
+    prefix_ticks: int = 6,
+) -> Dict[str, Any]:
+    """Prove routing transparency: 1 worker vs N, byte for byte.
+
+    Replays a prefix of the trace against cache-less fleets (see the
+    module docstring for why the proof must run cache-off) and compares
+    body digests position by position.  Cache-off requests pay full
+    recompute cost every time, so a short prefix keeps the proof cheap
+    while still covering every route family in the mix.
+    """
+    ticks = min(scenario.ticks, prefix_ticks)
+    prefix = [req for req in trace if req.tick < ticks]
+    pure_config = replace(
+        config, use_server_cache=False, cache_max_entries=None
+    )
+    pure_scenario = replace(
+        scenario, duration_s=ticks * scenario.tick_s
+    )
+    single = run_fleet_side(prefix, pure_scenario, pure_config, workers=1)
+    fleet = run_fleet_side(
+        prefix, pure_scenario, pure_config, workers=workers
+    )
+    mismatches = sum(
+        1
+        for a, b in zip(single["body_digests"], fleet["body_digests"])
+        if a != b
+    )
+    return {
+        "requests": len(prefix),
+        "bodies_identical": (
+            single["body_digests"] == fleet["body_digests"]
+        ),
+        "body_mismatches": mismatches,
+        "single": _strip_digests(single),
+        "fleet": _strip_digests(fleet),
+    }
+
+
+def scaleout_ab(
+    *,
+    smoke: bool = False,
+    seed: int = 2025,
+    workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The BENCH file's ``scaleout`` section: the four-sided fleet A/B,
+    the cache-off transparency proof, and the derived capacity/
+    identity/availability verdicts."""
+    n_workers = workers or (2 if smoke else 4)
+    config = fleet_worker_config(seed=seed, smoke=smoke)
+    scenario = fleet_scenario(
+        seed=seed, users=config.workload_users, smoke=smoke
+    )
+    trace = build_fleet_trace(scenario, config)
+
+    baseline = run_fleet_side(trace, scenario, config, workers=1)
+    affinity = run_fleet_side(trace, scenario, config, workers=n_workers)
+    control = run_fleet_side(
+        trace, scenario, config, workers=n_workers, affinity=False
+    )
+    killed = run_fleet_side(
+        trace, scenario, config, workers=n_workers, kill="w0"
+    )
+    transparency = transparency_check(
+        trace, scenario, config, workers=n_workers
+    )
+
+    speedup = 0.0
+    if baseline["rps"]["achieved_wall"] > 0:
+        speedup = (
+            affinity["rps"]["achieved_wall"]
+            / baseline["rps"]["achieved_wall"]
+        )
+    return {
+        "smoke": bool(smoke),
+        "seed": seed,
+        "workers": n_workers,
+        # achieved_wall only compares against runs from the same
+        # environment — diff tooling checks this block before judging
+        "environment": {**bench_environment(), "workers": n_workers},
+        "cache_max_entries": config.cache_max_entries,
+        "trace": {"digest": trace_digest(trace), **trace_summary(trace)},
+        "baseline": _strip_digests(baseline),
+        "affinity": _strip_digests(affinity),
+        "round_robin": _strip_digests(control),
+        "affinity_kill": _strip_digests(killed),
+        "transparency": transparency,
+        "speedup_wall": round(speedup, 3),
+        "p95_improved": (
+            affinity["latency_ms"]["p95"] <= baseline["latency_ms"]["p95"]
+        ),
+        "bodies_identical": transparency["bodies_identical"],
+        "body_mismatches": transparency["body_mismatches"],
+        "hit_rate_advantage": round(
+            affinity["fleet_cache"]["hit_rate"]
+            - control["fleet_cache"]["hit_rate"],
+            4,
+        ),
+        "kill_zero_unexpected_5xx": killed["unexpected_5xx"] == 0,
+        "kill_rerouted": killed["balancer"]["rerouted"] > 0,
+    }

@@ -1,0 +1,26 @@
+"""Multi-process scale-out: a worker fleet behind a front balancer.
+
+One process can only hold one cache.  This package runs N full
+dashboard processes (each its own interpreter, server cache, breakers
+and admission controller) behind a single :class:`BalancerServer` that
+routes by cache affinity on a consistent-hash ring — the fleet's caches
+partition the working set instead of duplicating misses, and a dead
+worker means rerouted requests, never an outage.
+
+>>> from repro.scaleout import WorkerFleet, WorkerConfig
+>>> with WorkerFleet(workers=4, config=WorkerConfig(seed=7)) as fleet:
+...     ...  # drive HTTP traffic at fleet.url; tick fleet.clock
+"""
+
+from .balancer import BalancerServer, WorkerBreaker
+from .fleet import WorkerFleet
+from .worker import WorkerConfig, WorkerHandle, worker_main
+
+__all__ = [
+    "BalancerServer",
+    "WorkerBreaker",
+    "WorkerConfig",
+    "WorkerFleet",
+    "WorkerHandle",
+    "worker_main",
+]

@@ -1,0 +1,175 @@
+"""The worker fleet: N dashboard processes behind one balancer.
+
+:class:`WorkerFleet` is the one-call deployment for multi-process
+scale-out: it forks ``workers`` identical dashboard processes (same
+seeded scenario, own cache/breakers/admission each), waits for their
+ready handshakes, and fronts them with a
+:class:`~repro.scaleout.balancer.BalancerServer` on a single port.
+
+The fleet duck-types the harness contract a single
+:class:`~repro.web.server.DashboardServer` satisfies — ``url``,
+``clock.advance(...)``, context-manager lifecycle — so every load
+scenario drives a fleet and a lone server through identical code.
+``clock`` is a :class:`~repro.sim.clock.RelayClock`: each ``advance``
+broadcasts to all live workers and barriers on their acks, keeping the
+per-process sim clocks in lockstep (a dead worker is tolerated and
+dropped from the barrier, mirroring how the balancer tolerates it on
+the request path).
+
+:meth:`kill` SIGKILLs one worker mid-run — the fault the scale-out A/B
+injects to demonstrate that a dead worker means redistributed load,
+never an outage.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.clock import RelayClock
+
+from .balancer import BalancerServer
+from .worker import WorkerConfig, WorkerHandle
+
+#: default multiprocessing start method; fork is cheap and inherits the
+#: imported modules (spawn works too — WorkerConfig is primitives-only)
+START_METHOD = "fork"
+
+
+class WorkerFleet:
+    """N worker dashboards behind one balancer, as one context manager."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        config: Optional[WorkerConfig] = None,
+        affinity: bool = True,
+        proxy_timeout_s: float = 30.0,
+        breaker_threshold: int = 1,
+        breaker_cooldown_s: float = 2.0,
+        start_method: str = START_METHOD,
+        verbose: bool = False,
+    ):
+        if workers < 1:
+            raise ValueError(f"a fleet needs >= 1 worker: {workers}")
+        self.config = config or WorkerConfig()
+        self.affinity = affinity
+        self._proxy_timeout_s = proxy_timeout_s
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown_s = breaker_cooldown_s
+        self._verbose = verbose
+        ctx = mp.get_context(start_method)
+        self.handles: Dict[str, WorkerHandle] = {
+            f"w{i}": WorkerHandle(f"w{i}", self.config, ctx=ctx)
+            for i in range(workers)
+        }
+        self.balancer: Optional[BalancerServer] = None
+        self._clock: Optional[RelayClock] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, ready_timeout_s: float = 120.0) -> "WorkerFleet":
+        """Spawn every worker, collect handshakes, start the balancer."""
+        if self.balancer is not None:
+            raise RuntimeError("fleet already started")
+        try:
+            # spawn all processes first, then collect handshakes — the
+            # N dashboard builds overlap instead of serializing
+            for handle in self.handles.values():
+                handle.spawn()
+            for handle in self.handles.values():
+                handle.await_ready(ready_timeout_s)
+        except BaseException:
+            self.stop()
+            raise
+        start_times = {h.start_time for h in self.handles.values()}
+        if len(start_times) != 1:
+            self.stop()
+            raise RuntimeError(
+                f"workers disagree on start time: {sorted(start_times)} — "
+                "identical seeds should build identical clocks"
+            )
+        self._clock = RelayClock(start_times.pop(), self._relay_advance)
+        self.balancer = BalancerServer(
+            {name: h.address() for name, h in self.handles.items()},
+            affinity=self.affinity,
+            proxy_timeout_s=self._proxy_timeout_s,
+            breaker_threshold=self._breaker_threshold,
+            breaker_cooldown_s=self._breaker_cooldown_s,
+            verbose=self._verbose,
+        )
+        self.balancer.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the balancer, then every worker (idempotent)."""
+        if self.balancer is not None:
+            self.balancer.stop()
+            self.balancer = None
+        for handle in self.handles.values():
+            handle.stop()
+
+    def __enter__(self) -> "WorkerFleet":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- harness surface -------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        if self.balancer is None:
+            raise RuntimeError("fleet not started")
+        return self.balancer.url
+
+    @property
+    def clock(self) -> RelayClock:
+        """The fleet's logical sim clock (advances relay to workers)."""
+        if self._clock is None:
+            raise RuntimeError("fleet not started")
+        return self._clock
+
+    @property
+    def worker_names(self) -> List[str]:
+        return list(self.handles)
+
+    @property
+    def alive_workers(self) -> List[str]:
+        return [name for name, h in self.handles.items() if h.alive]
+
+    def worker_ports(self) -> Dict[str, int]:
+        return {name: h.port for name, h in self.handles.items()}
+
+    # -- coordination ----------------------------------------------------
+
+    def _relay_advance(self, seconds: float) -> None:
+        """Broadcast one tick, then barrier on every live worker's ack.
+
+        Two phases so the workers advance concurrently.  A worker that
+        dies mid-tick (killed, crashed, hung past the barrier timeout)
+        is marked dead and dropped — the surviving workers' clocks stay
+        in lockstep and the run continues.
+        """
+        sent = [
+            h for h in self.handles.values() if h.send_advance(seconds)
+        ]
+        lagging: List[Tuple[str, float]] = []
+        for handle in sent:
+            new_now = handle.wait_advanced()
+            if new_now is not None:
+                lagging.append((handle.name, new_now))
+        times = {t for _name, t in lagging}
+        if len(times) > 1:  # pragma: no cover - lockstep invariant
+            raise RuntimeError(
+                f"worker clocks diverged after advance: {dict(lagging)}"
+            )
+
+    def kill(self, name: str) -> None:
+        """SIGKILL one worker (fault injection for tests/benchmarks)."""
+        self.handles[name].kill()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n = len(self.handles)
+        alive = len(self.alive_workers)
+        return f"WorkerFleet(workers={n}, alive={alive})"

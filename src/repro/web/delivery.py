@@ -144,6 +144,19 @@ class RetryJitter:
         return retry_after_s * (1.0 + self.spread * draw)
 
 
+def request_cache_key(
+    username: str, is_admin: bool, path: str, query: str
+) -> str:
+    """The canonical viewer+route identity of one GET request.
+
+    This single derivation is shared by the :class:`ValidatorIndex`
+    (ETag revalidation) and the scale-out balancer's affinity router —
+    the balancer hashes exactly the key the worker will cache under, so
+    repeat requests land on the worker that already holds the entry.
+    """
+    return f"{username}|{int(is_admin)}|{path}?{query}"
+
+
 @dataclass(frozen=True)
 class ValidatorRecord:
     """What the server remembers about one ETagged response."""
@@ -228,4 +241,5 @@ __all__ = [
     "if_none_match_values",
     "is_compressible",
     "quote_etag",
+    "request_cache_key",
 ]

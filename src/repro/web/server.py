@@ -48,6 +48,7 @@ from repro.web.delivery import (
     gzip_accepted,
     is_compressible,
     quote_etag,
+    request_cache_key,
 )
 
 
@@ -196,9 +197,8 @@ class _Handler(BaseHTTPRequestHandler):
         if parsed.path == "/":
             self._send_html_stream(self.dashboard.stream_homepage(viewer))
             return
-        request_key = (
-            f"{viewer.username}|{int(viewer.is_admin)}"
-            f"|{parsed.path}?{parsed.query}"
+        request_key = request_cache_key(
+            viewer.username, viewer.is_admin, parsed.path, parsed.query
         )
         if self._maybe_not_modified(request_key):
             return
@@ -398,19 +398,36 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class _LoadableHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer with a listen backlog sized for load tests.
+    """ThreadingHTTPServer hardened for load tests and rapid restarts.
 
     The stdlib default ``request_queue_size`` of 5 drops connections the
     moment a traffic generator fires a burst of arrivals in one tick;
     a deeper accept backlog lets the admission layer (not the kernel)
     decide what gets shed.
+
+    ``allow_reuse_address`` (``SO_REUSEADDR``) is made explicit — a
+    worker process killed and respawned on the same port must not flake
+    with ``Address already in use`` while the old socket lingers in
+    TIME_WAIT — and handler threads are daemonic with a non-blocking
+    close, so stopping a server never hangs on a wedged keep-alive
+    connection (scale-out tests start/kill/restart workers rapidly).
     """
 
     request_queue_size = 128
+    allow_reuse_address = True
+    daemon_threads = True
+    # don't join lingering handler threads in server_close(): a client
+    # holding a keep-alive connection open must not block a restart
+    block_on_close = False
 
 
 class DashboardServer:
-    """Threaded HTTP server wrapping one :class:`Dashboard`."""
+    """Threaded HTTP server wrapping one :class:`Dashboard`.
+
+    Binds at construction time (``port=0`` asks the kernel for an
+    ephemeral port — the scale-out fleet always does this); the bound
+    port is exposed via :attr:`port` immediately, before :meth:`start`.
+    """
 
     def __init__(self, dashboard: Dashboard, host: str = "127.0.0.1", port: int = 0,
                  verbose: bool = False):
@@ -424,15 +441,26 @@ class DashboardServer:
         # one jitter stream per server: deterministic Retry-After spread
         self._httpd.retry_jitter = RetryJitter()  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._stopped = False
 
     @property
     def address(self) -> Tuple[str, int]:
         return self._httpd.server_address[:2]
 
     @property
+    def port(self) -> int:
+        """The actually-bound TCP port (resolves ``port=0`` bindings)."""
+        return self._httpd.server_address[1]
+
+    @property
     def url(self) -> str:
         host, port = self.address
         return f"http://{host}:{port}"
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._thread is not None
 
     @property
     def validators(self) -> ValidatorIndex:
@@ -443,18 +471,30 @@ class DashboardServer:
         """Start serving on a background thread; returns self."""
         if self._thread is not None:
             raise RuntimeError("server already started")
+        if self._stopped:
+            raise RuntimeError("server already stopped; build a new one")
         self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Shut the server down and join its thread (idempotent)."""
+    def stop(self, grace_s: float = 5.0) -> None:
+        """Shut the server down and join its thread (idempotent).
+
+        The listening socket closes unconditionally — even if the accept
+        loop takes longer than ``grace_s`` to drain — so the port is
+        free for an immediate rebind.
+        """
         if self._thread is None:
+            if not self._stopped:
+                # never started: still release the bound socket
+                self._httpd.server_close()
+                self._stopped = True
             return
         self._httpd.shutdown()
-        self._thread.join(timeout=5)
+        self._thread.join(timeout=grace_s)
         self._httpd.server_close()
         self._thread = None
+        self._stopped = True
 
     def __enter__(self) -> "DashboardServer":
         return self.start()

@@ -124,6 +124,9 @@ class TestSuite:
             [_tiny(name="suite_a"), _tiny(name="suite_b", seed=8)],
             smoke=True,
             include_sharding=False,
+            # the multi-process A/B spawns whole fleets; its own smoke
+            # runs in the scaleout CI job, not the unit suite
+            include_scaleout=False,
         )
         assert validate_bench(doc) == []
         assert [r["name"] for r in doc["scenarios"]] == ["suite_a", "suite_b"]

@@ -1,0 +1,61 @@
+"""The balancer's per-worker mini-breaker (wall-clock cooldowns)."""
+
+import pytest
+
+from repro.scaleout import WorkerBreaker
+
+
+class TestWorkerBreaker:
+    def test_starts_closed(self):
+        b = WorkerBreaker()
+        assert b.allow(0.0)
+        assert b.state(0.0) == "closed"
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerBreaker(threshold=0)
+
+    def test_opens_after_threshold_failures(self):
+        b = WorkerBreaker(threshold=3, cooldown_s=5.0)
+        b.record_failure(10.0)
+        b.record_failure(10.1)
+        assert b.allow(10.2)
+        b.record_failure(10.2)
+        assert not b.allow(10.3)
+        assert b.state(10.3) == "open"
+
+    def test_cooldown_half_opens(self):
+        b = WorkerBreaker(threshold=1, cooldown_s=2.0)
+        b.record_failure(100.0)
+        assert not b.allow(101.9)
+        assert b.allow(102.0)
+        assert b.state(102.0) == "half-open"
+
+    def test_success_closes_and_resets_count(self):
+        b = WorkerBreaker(threshold=2, cooldown_s=2.0)
+        b.record_failure(0.0)
+        b.record_success()
+        # the count reset: one more failure is below threshold again
+        b.record_failure(1.0)
+        assert b.allow(1.0)
+        assert b.state(1.0) == "closed"
+
+    def test_half_open_failure_reopens(self):
+        b = WorkerBreaker(threshold=1, cooldown_s=2.0)
+        b.record_failure(0.0)
+        assert b.allow(2.5)  # half-open probe window
+        b.record_failure(2.5)
+        assert not b.allow(3.0)
+
+    def test_allow_is_a_pure_read(self):
+        """Routing calls allow() once per candidate per request to
+        *order* the list — it must never consume half-open probe state
+        or otherwise mutate (a consumed probe once wedged the breaker
+        permanently when the probe went unused)."""
+        b = WorkerBreaker(threshold=1, cooldown_s=2.0)
+        b.record_failure(0.0)
+        for _ in range(10):
+            assert b.allow(5.0)  # many reads, all still half-open
+        assert b.state(5.0) == "half-open"
+        b.record_success()
+        assert b.state(5.0) == "closed"

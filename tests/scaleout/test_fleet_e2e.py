@@ -1,0 +1,148 @@
+"""End-to-end fleet: real processes, real proxying, real failure.
+
+Spawning dashboards is the expensive part, so the read-only tests
+share one module-scoped two-worker fleet; the kill test builds its own
+(it mutates fleet membership).
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.scaleout import WorkerConfig, WorkerFleet
+
+CONFIG = WorkerConfig(seed=11, duration_hours=1.0)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    with WorkerFleet(workers=2, config=CONFIG) as fl:
+        yield fl
+
+
+def get(url, path, user=None, method="GET", headers=None):
+    hdrs = dict(headers or {})
+    if user:
+        hdrs["X-Remote-User"] = user
+    req = urllib.request.Request(url + path, headers=hdrs, method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+class TestProxying:
+    def test_api_request_proxies_200(self, fleet):
+        status, headers, body = get(fleet.url, "/api/v1/my_jobs", "u001")
+        assert status == 200
+        assert json.loads(body)["ok"] is True
+        assert "application/json" in headers["Content-Type"]
+
+    def test_body_identical_to_direct_worker_fetch(self, fleet):
+        """Proxy fidelity: the balancer relays the owning worker's
+        bytes untouched (affinity pins the owner, so hitting every
+        worker directly must find one byte-identical response)."""
+        path = "/api/v1/cluster_status"
+        _status, _headers, via_proxy = get(fleet.url, path, "u001")
+        direct = []
+        for port in fleet.worker_ports().values():
+            _s, _h, body = get(f"http://127.0.0.1:{port}", path, "u001")
+            direct.append(body)
+        assert via_proxy in direct
+
+    def test_missing_user_still_proxies(self, fleet):
+        """Viewer-less requests round-robin instead of 500ing; the
+        worker's own 401 passes through the proxy untouched."""
+        status, _headers, body = get(fleet.url, "/api/v1/my_jobs")
+        assert status == 401
+        assert json.loads(body)["ok"] is False
+
+    def test_head_matches_get_headers(self, fleet):
+        path = "/api/v1/cluster_status"
+        g_status, g_headers, g_body = get(fleet.url, path, "u002")
+        h_status, h_headers, h_body = get(
+            fleet.url, path, "u002", method="HEAD"
+        )
+        assert (g_status, h_status) == (200, 200)
+        assert h_body == b""
+        assert h_headers["Content-Length"] == g_headers["Content-Length"]
+        assert h_headers["Content-Type"] == g_headers["Content-Type"]
+
+    def test_affinity_is_sticky(self, fleet):
+        """Repeats of one identity land on one worker (balancer counter
+        moves for exactly one worker label)."""
+        reg = fleet.balancer.registry
+        path = "/api/v1/my_jobs?range=all"
+
+        def per_worker():
+            return {
+                w: reg.total(
+                    "repro_balancer_requests_total",
+                    worker=w, routing="affinity",
+                )
+                for w in fleet.worker_names
+            }
+
+        before = per_worker()
+        for _ in range(5):
+            assert get(fleet.url, path, "u003")[0] == 200
+        after = per_worker()
+        moved = [w for w in fleet.worker_names if after[w] != before[w]]
+        assert len(moved) == 1
+        assert after[moved[0]] - before[moved[0]] == 5
+
+
+class TestOperatorEndpoints:
+    def test_healthz_nests_workers(self, fleet):
+        status, _headers, body = get(fleet.url, "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["workers_up"] == 2
+        assert set(payload["workers"]) == set(fleet.worker_names)
+        assert all(w["ok"] for w in payload["workers"].values())
+
+    def test_metrics_merges_worker_scrapes(self, fleet):
+        _status, _headers, body = get(fleet.url, "/metrics")
+        text = body.decode()
+        # worker families arrive labeled, balancer families unlabeled
+        assert 'worker="w0"' in text
+        assert 'worker="w1"' in text
+        assert "repro_balancer_requests_total" in text
+        assert "repro_balancer_workers 2" in text
+
+
+class TestClockLockstep:
+    def test_advance_relays_to_every_worker(self, fleet):
+        t0 = fleet.clock.now()
+        fleet.clock.advance(30.0)
+        assert fleet.clock.now() == pytest.approx(t0 + 30.0)
+        # both workers acked (divergence raises inside the relay)
+        assert sorted(fleet.alive_workers) == sorted(fleet.worker_names)
+
+
+class TestWorkerDeath:
+    def test_kill_reroutes_without_5xx(self):
+        with WorkerFleet(workers=2, config=CONFIG) as fl:
+            # warm one identity so its routing is established
+            assert get(fl.url, "/api/v1/my_jobs", "u001")[0] == 200
+            fl.kill("w0")
+            statuses = [
+                get(fl.url, "/api/v1/my_jobs", f"u{i:03d}")[0]
+                for i in range(1, 7)
+            ]
+            assert statuses == [200] * 6
+            reg = fl.balancer.registry
+            assert reg.total(
+                "repro_balancer_requests_total", routing="rerouted"
+            ) > 0
+            # the clock keeps ticking on the survivor
+            fl.clock.advance(5.0)
+            assert fl.alive_workers == ["w1"]
+            status, _h, body = get(fl.url, "/healthz")
+            payload = json.loads(body)
+            assert status == 200 and payload["ok"] is True
+            assert payload["workers_up"] == 1

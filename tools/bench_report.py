@@ -57,6 +57,7 @@ def _cmd_run(opts: argparse.Namespace) -> int:
         include_sharding=not opts.no_sharding,
         include_views=not opts.no_views,
         include_federation=not opts.no_federation,
+        include_scaleout=not opts.no_scaleout,
         progress=progress,
     )
     stamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
@@ -110,6 +111,8 @@ def main(argv: List[str] | None = None) -> int:
                        help="skip the event-driven views A/B")
     run_p.add_argument("--no-federation", action="store_true",
                        help="skip the multi-cluster federation A/B")
+    run_p.add_argument("--no-scaleout", action="store_true",
+                       help="skip the multi-process scale-out A/B")
     run_p.set_defaults(func=_cmd_run)
 
     val_p = sub.add_parser("validate", help="schema-check a BENCH file")

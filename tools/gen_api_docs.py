@@ -516,6 +516,66 @@ served on every federated 200 that lost a member.
 """
 
 
+SCALEOUT_SECTION = """\
+## Multi-process scale-out
+
+`repro.scaleout` runs a fleet of N full dashboard processes behind one
+front balancer, with cross-process cache-shard ownership:
+
+1. **Shared-nothing workers** — `WorkerFleet` forks N processes, each
+   running a complete `DashboardServer` (own interpreter, TTL cache,
+   breakers, admission controller, worker pool) built from the same
+   primitives-only `WorkerConfig` (same seed, so identical worlds and
+   identical sim clocks). A `multiprocessing.Pipe` control channel per
+   worker carries the ready handshake (`("ready", port, now)`) and the
+   broadcast-and-barrier sim-clock tick (`("advance", s)` /
+   `("advanced", now)`); the fleet's `RelayClock` keeps every process
+   in lockstep and tolerates — by dropping from the barrier — workers
+   that die mid-run.
+2. **Cache-affinity routing** — `BalancerServer` hashes each request's
+   viewer+route identity (the same `request_cache_key` derivation the
+   workers' validator indexes use) on the `HashRing` from
+   `repro.core.sharding`, promoted from cache shards to whole worker
+   processes. Repeat requests for one key land on one worker, so N
+   capped caches *partition* the working set (N x aggregate capacity)
+   instead of each worker missing on everything. Viewer-less requests
+   (and the `affinity=False` benchmark control) round-robin.
+3. **Worker failure = rerouted load** — each worker gets a wall-clock
+   mini-breaker (`WorkerBreaker`: consecutive transport failures open
+   it, a cooldown half-opens it; `allow()` is a pure read so routing
+   can consult it freely). A request whose owner is down walks the
+   ring's preference order and retries **once** on the next healthy
+   worker; the consistent-hash remap touches only the dead worker's
+   ~1/N key share, so survivors keep their warm caches. If every
+   candidate fails the balancer answers a structured 503.
+4. **Proxy fidelity** — the balancer relays worker responses
+   byte-identically (hop-by-hop headers stripped per RFC 9110,
+   Content-Length recomputed for bodies, preserved for HEAD parity,
+   suppressed for 304; gzip passes through; chunked upstream bodies
+   re-sent with Content-Length). A cache-off replay proves 1 worker
+   and N return identical bytes per request — routing is transparent.
+5. **Fleet observability** — the balancer's `/metrics` merges every
+   worker's scrape under a `worker` label (the same merge the
+   federation uses for clusters) plus its own `repro_balancer_*`
+   families (requests by routing decision, retries, per-worker up
+   gauges); `/healthz` nests each worker's health payload and stays
+   `ok` while at least one worker is up.
+
+`WorkerFleet(workers=N, config=WorkerConfig(...))` is the one-call
+deployment; it duck-types the single-server harness contract (`url`,
+`clock.advance`, context manager). `benchmarks/test_perf_scaleout.py`
+(`SCALEOUT_SMOKE=1` for CI) and the `scaleout` section of
+`BENCH_load.json` (`repro.load.scaleout.scaleout_ab`) record the
+acceptance A/B: 1 worker vs an affinity fleet vs a round-robin control
+vs a fleet with one worker SIGKILLed mid-run — >= 2x achieved wall RPS
+at equal-or-better p95, byte-identical cache-off bodies, fleet hit
+rate above the duplicated-cache control, zero unexpected 5xx after the
+kill. Every `achieved_wall` figure is recorded with an `environment`
+block (Python version, CPU count, worker count) and the trajectory
+diff refuses to compare speedups across differing environments.
+"""
+
+
 def main() -> int:
     repo = pathlib.Path(__file__).resolve().parent.parent
     sys.path.insert(0, str(repo / "src"))
@@ -536,6 +596,7 @@ def main() -> int:
         DELIVERY_SECTION,
         VIEWS_SECTION,
         FEDERATION_SECTION,
+        SCALEOUT_SECTION,
     ]
     seen = set()
     for info in sorted(

@@ -335,6 +335,126 @@ def drive_federation(failures: List[str]) -> None:
         server.stop()
 
 
+def drive_scaleout(failures: List[str]) -> None:
+    """Boot a two-worker fleet behind the real balancer and require the
+    merged ``/metrics`` scrape to carry ``worker``-labeled families plus
+    the balancer's own ``repro_balancer_*`` families — then SIGKILL one
+    worker and require rerouted 200s with no 5xx."""
+    from repro.scaleout import WorkerConfig, WorkerFleet
+
+    def status_of(url: str, username: str) -> int:
+        req = urllib.request.Request(
+            url, headers={"X-Remote-User": username}
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status
+        except urllib.error.HTTPError as exc:
+            return exc.code
+
+    config = WorkerConfig(seed=3, duration_hours=1.0)
+    with WorkerFleet(workers=2, config=config) as fleet:
+        users = [f"smoke_user_{i}" for i in range(6)]
+        for user in users:
+            for path in ("/api/v1/my_jobs", "/api/v1/cluster_status"):
+                if status_of(fleet.url + path, user) != 200:
+                    failures.append(
+                        f"scaleout smoke: {path} not 200 via balancer"
+                    )
+
+        payload = get(fleet.url + "/metrics").decode()
+        try:
+            by_name = samples_by_name(
+                parse_prometheus_text(payload, lenient=True)
+            )
+        except ValueError as exc:
+            failures.append(
+                f"scaleout smoke: merged /metrics does not parse: {exc}"
+            )
+            return
+
+        for family in (
+            "repro_cache_requests_total",
+            "repro_http_requests_total",
+            "repro_route_requests_total",
+        ):
+            workers = {
+                s.labeldict.get("worker")
+                for s in by_name.get(family, [])
+                if "worker" in s.labeldict
+            }
+            missing = {"w0", "w1"} - workers
+            if missing:
+                failures.append(
+                    f"scaleout smoke: family {family!r} missing worker "
+                    f"label(s) {sorted(missing)}"
+                )
+        for family in (
+            "repro_balancer_requests_total",
+            "repro_balancer_workers",
+            "repro_balancer_worker_up",
+        ):
+            if family not in by_name:
+                failures.append(
+                    f"scaleout smoke: balancer family {family!r} missing "
+                    "from merged /metrics"
+                )
+        routed = {
+            s.labeldict.get("routing")
+            for s in by_name.get("repro_balancer_requests_total", [])
+        }
+        if "affinity" not in routed:
+            failures.append(
+                "scaleout smoke: no affinity-routed requests counted"
+            )
+
+        health = json.loads(get(fleet.url + "/healthz"))
+        if set(health.get("workers", {})) != {"w0", "w1"}:
+            failures.append(
+                "scaleout smoke: /healthz does not nest every worker"
+            )
+        if health.get("workers_up") != 2:
+            failures.append(
+                f"scaleout smoke: workers_up={health.get('workers_up')} "
+                "with a healthy fleet"
+            )
+
+        # the availability half: kill one worker, demand rerouted 200s
+        fleet.kill("w0")
+        statuses = [
+            status_of(fleet.url + "/api/v1/my_jobs", user) for user in users
+        ]
+        if any(s >= 500 for s in statuses):
+            failures.append(
+                f"scaleout smoke: 5xx after worker kill: {statuses}"
+            )
+        rerouted = fleet.balancer.registry.total(
+            "repro_balancer_requests_total", routing="rerouted"
+        )
+        if rerouted < 1:
+            failures.append(
+                "scaleout smoke: no rerouted requests counted after the "
+                "worker kill"
+            )
+        payload = get(fleet.url + "/metrics").decode()
+        by_name = samples_by_name(
+            parse_prometheus_text(payload, lenient=True)
+        )
+        up = {
+            s.labeldict["worker"]: s.value
+            for s in by_name.get("repro_balancer_worker_up", [])
+        }
+        if up.get("w0") != 0.0 or up.get("w1") != 1.0:
+            failures.append(
+                f"scaleout smoke: worker_up gauges wrong after kill: {up}"
+            )
+        health = json.loads(get(fleet.url + "/healthz"))
+        if not health.get("ok") or health.get("workers_up") != 1:
+            failures.append(
+                "scaleout smoke: /healthz must stay ok with one survivor"
+            )
+
+
 def main() -> int:
     dash, directory, _ = build_demo_dashboard(
         duration_hours=1.0, seed=3,
@@ -515,6 +635,7 @@ def main() -> int:
         server.stop()
 
     drive_federation(failures)
+    drive_scaleout(failures)
 
     if failures:
         for failure in failures:
@@ -522,7 +643,8 @@ def main() -> int:
         return 1
     print(f"OK: all {len(handled)} handled routes present in /metrics; "
           "healthz/metrics breakers agree; traces flowing; federated "
-          "scrape cluster-labeled and consistent with per-cluster healthz")
+          "scrape cluster-labeled and consistent with per-cluster healthz; "
+          "fleet scrape worker-labeled and kill-tolerant")
     return 0
 
 
